@@ -1,0 +1,42 @@
+//! Microbenchmarks for the bitset substrate: the block-wise set algebra
+//! every algorithm's inner loop is made of.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dualminer_bitset::AttrSet;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_set(n: usize, density: f64, rng: &mut StdRng) -> AttrSet {
+    AttrSet::from_indices(n, (0..n).filter(|_| rng.gen_bool(density)))
+}
+
+fn bench_bitset(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bitset");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for n in [64usize, 512, 4096] {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = random_set(n, 0.3, &mut rng);
+        let b = random_set(n, 0.3, &mut rng);
+
+        group.bench_with_input(BenchmarkId::new("intersection_len", n), &n, |bch, _| {
+            bch.iter(|| black_box(&a).intersection_len(black_box(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("is_subset", n), &n, |bch, _| {
+            bch.iter(|| black_box(&a).is_subset(black_box(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("intersects", n), &n, |bch, _| {
+            bch.iter(|| black_box(&a).intersects(black_box(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("union_alloc", n), &n, |bch, _| {
+            bch.iter(|| black_box(&a).union(black_box(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("iter_sum", n), &n, |bch, _| {
+            bch.iter(|| black_box(&a).iter().sum::<usize>())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bitset);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Episode-mining benchmarks: window counting and the levelwise episode
+//! miner on planted and noise sequences (E13's wall-clock companion).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dualminer_episodes::gen::{planted_serial, random_sequence};
+use dualminer_episodes::mine::{frequency, mine_episodes, EpisodeClass};
+use dualminer_episodes::Episode;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_frequency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("episode_frequency");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let mut rng = StdRng::seed_from_u64(5);
+    let seq = planted_serial(6, 5000, &[0, 1, 2], 8, &mut rng);
+    let serial = Episode::serial([0, 1, 2]);
+    let parallel = Episode::parallel([0, 1, 2]);
+    for win in [4u64, 8, 16] {
+        group.bench_with_input(BenchmarkId::new("serial", win), &win, |b, &win| {
+            b.iter(|| frequency(&seq, black_box(&serial), win))
+        });
+        group.bench_with_input(BenchmarkId::new("parallel", win), &win, |b, &win| {
+            b.iter(|| frequency(&seq, black_box(&parallel), win))
+        });
+    }
+    group.finish();
+}
+
+fn bench_mining(c: &mut Criterion) {
+    let mut group = c.benchmark_group("episode_mining");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(6);
+    let planted = planted_serial(5, 1500, &[0, 1, 2], 8, &mut rng);
+    let noise = random_sequence(5, 1500, &mut rng);
+    for (name, seq) in [("planted", &planted), ("noise", &noise)] {
+        for class in [EpisodeClass::Serial, EpisodeClass::Parallel] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{class:?}"), name),
+                seq,
+                |b, seq| b.iter(|| mine_episodes(seq, class, 5, 0.3)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_frequency, bench_mining);
+criterion_main!(benches);

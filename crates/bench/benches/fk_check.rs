@@ -1,0 +1,58 @@
+//! Fredman–Khachiyan duality-check timing on true dual pairs of growing
+//! size (the E11 scaling experiment's wall-clock companion).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dualminer_hypergraph::{berge, fk, generators};
+
+fn bench_fk_check(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fk_dual_check");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(20);
+
+    for n in [8usize, 12, 16] {
+        let f = generators::matching(n);
+        let g = berge::transversals(&f);
+        let m = f.len() + g.len();
+        group.bench_with_input(
+            BenchmarkId::new("matching", format!("n{n}_m{m}")),
+            &(f, g),
+            |b, (f, g)| b.iter(|| assert!(fk::are_dual(f, g))),
+        );
+    }
+
+    for (n, t) in [(7usize, 3usize), (8, 3), (9, 4)] {
+        let f = generators::threshold(n, t);
+        let g = generators::threshold(n, n - t + 1);
+        let m = f.len() + g.len();
+        group.bench_with_input(
+            BenchmarkId::new("threshold", format!("n{n}t{t}_m{m}")),
+            &(f, g),
+            |b, (f, g)| b.iter(|| assert!(fk::are_dual(f, g))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_fk_witness(c: &mut Criterion) {
+    // Non-dual pairs: how fast is the witness found when one transversal
+    // is missing?
+    let mut group = c.benchmark_group("fk_witness");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(20);
+    for n in [8usize, 12, 16] {
+        let f = generators::matching(n);
+        let tr = berge::transversals(&f);
+        let mut edges = tr.edges().to_vec();
+        edges.pop();
+        let g = dualminer_hypergraph::Hypergraph::from_edges(n, edges).unwrap();
+        group.bench_with_input(BenchmarkId::new("matching_minus_one", n), &(f, g), |b, (f, g)| {
+            b.iter(|| assert!(fk::duality_witness(f, g).is_some()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fk_check, bench_fk_witness);
+criterion_main!(benches);

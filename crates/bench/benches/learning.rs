@@ -1,0 +1,58 @@
+//! Learning benchmarks: the Dualize & Advance learner vs the levelwise
+//! learner across target shapes (experiment E10's wall-clock companion).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dualminer_hypergraph::TrAlgorithm;
+use dualminer_learning::gen::{long_clause_cnf, matching_dnf, random_dnf};
+use dualminer_learning::learn::{learn_monotone_dualize, learn_monotone_levelwise};
+use dualminer_learning::{FuncMq, MonotoneDnf};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_learners(c: &mut Criterion) {
+    let mut group = c.benchmark_group("learn_monotone");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(13);
+
+    let targets: Vec<(String, MonotoneDnf)> = vec![
+        ("random_n12_m6_k4".into(), random_dnf(12, 6, 4, &mut rng)),
+        ("matching_n12".into(), matching_dnf(12)),
+        (
+            "long_clauses_n14_k2".into(),
+            long_clause_cnf(14, 2, 5, &mut rng).to_dnf(),
+        ),
+    ];
+
+    for (label, target) in &targets {
+        group.bench_with_input(
+            BenchmarkId::new("dualize_berge", label),
+            target,
+            |b, target| {
+                b.iter(|| learn_monotone_dualize(FuncMq::new(target.clone()), TrAlgorithm::Berge))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("dualize_fk", label),
+            target,
+            |b, target| {
+                b.iter(|| {
+                    learn_monotone_dualize(
+                        FuncMq::new(target.clone()),
+                        TrAlgorithm::FkJointGeneration,
+                    )
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("levelwise", label),
+            target,
+            |b, target| b.iter(|| learn_monotone_levelwise(FuncMq::new(target.clone()))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_learners);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! The experiment harness: regenerates every reproducible artifact of the
+//! paper. `cargo run -p dualminer-bench --release --bin experiments`
+//! runs all twelve experiments; pass ids (`e1 e5 …`) for a subset.
+
+use dualminer_bench::{run_experiment, ALL_EXPERIMENTS};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let ids: Vec<String> = if args.is_empty() || args.iter().any(|a| a == "all") {
+        ALL_EXPERIMENTS.iter().map(|s| s.to_string()).collect()
+    } else {
+        args.iter().map(|a| a.to_lowercase()).collect()
+    };
+
+    println!(
+        "dualminer experiment harness — reproducing Gunopulos, Khardon, Mannila,\n\
+         Toivonen: \"Data mining, Hypergraph Transversals, and Machine Learning\"\n\
+         (PODS 1997). Experiment index: DESIGN.md §4; recorded results:\n\
+         EXPERIMENTS.md.\n"
+    );
+
+    let started = std::time::Instant::now();
+    for id in &ids {
+        if !run_experiment(id) {
+            eprintln!(
+                "unknown experiment {id:?}; available: {}",
+                ALL_EXPERIMENTS.join(", ")
+            );
+            std::process::exit(1);
+        }
+    }
+    println!(
+        "Completed {} experiment(s) in {:.1}s.",
+        ids.len(),
+        started.elapsed().as_secs_f64()
+    );
+}

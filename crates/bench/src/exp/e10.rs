@@ -1,0 +1,127 @@
+//! **E10 — Corollaries 26, 28, 29**: exact learning of monotone functions.
+//! (a) The Dualize & Advance learner recovers both representations with
+//! queries inside `[|DNF|+|CNF|, |CNF|·(|DNF|+n²)]` and time growing
+//! sub-exponentially in `m = |DNF|+|CNF|`. (b) The levelwise learner is
+//! polynomial on CNFs with clauses of size ≥ n−k (Corollary 26).
+
+use std::time::Instant;
+
+use dualminer_core::bounds::corollary29_query_bound;
+use dualminer_hypergraph::TrAlgorithm;
+use dualminer_learning::gen::{long_clause_cnf, random_dnf};
+use dualminer_learning::learn::{learn_monotone_dualize, learn_monotone_levelwise};
+use dualminer_learning::angluin::{learn_monotone_mq_eq, FuncEq};
+use dualminer_learning::gen::matching_dnf;
+use dualminer_learning::FuncMq;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::table::{fmt_duration, Table};
+
+/// Runs E10.
+pub fn run() {
+    println!("== E10: Corollaries 26/28/29 — learning monotone functions ==\n");
+    let mut rng = StdRng::seed_from_u64(10);
+
+    println!("(a) Dualize & Advance learner (Cor 28/29), random k=4 DNFs over n=14:");
+    let mut table = Table::new([
+        "|DNF| target",
+        "|CNF| learned",
+        "m",
+        "queries",
+        "Cor27 floor",
+        "Cor29 bound",
+        "time",
+    ]);
+    for m_terms in [2usize, 4, 8, 12, 16] {
+        let target = random_dnf(14, m_terms, 4, &mut rng);
+        let t0 = Instant::now();
+        let learned = learn_monotone_dualize(
+            FuncMq::new(target.clone()),
+            TrAlgorithm::FkJointGeneration,
+        );
+        let elapsed = t0.elapsed();
+        assert_eq!(learned.dnf, target);
+        let floor = learned.corollary27_lower_bound();
+        let bound = corollary29_query_bound(learned.cnf.len(), learned.dnf.len(), 14);
+        assert!(learned.queries >= floor);
+        assert!(learned.queries as u128 <= bound + 1);
+        table.row([
+            target.len().to_string(),
+            learned.cnf.len().to_string(),
+            (learned.dnf.len() + learned.cnf.len()).to_string(),
+            learned.queries.to_string(),
+            floor.to_string(),
+            bound.to_string(),
+            fmt_duration(elapsed),
+        ]);
+    }
+    table.print();
+
+    println!("\n(b) levelwise learner on long-clause CNFs (Cor 26), clauses of size n−k:");
+    let mut table = Table::new(["n", "k", "|CNF|", "|DNF|", "queries", "poly C(n,≤k+1)·…", "time"]);
+    for n in [12usize, 16, 20] {
+        for k in [1usize, 2, 3] {
+            let cnf = long_clause_cnf(n, k, 5, &mut rng);
+            let target = cnf.to_dnf();
+            let t0 = Instant::now();
+            let learned = learn_monotone_levelwise(FuncMq::new(target.clone()));
+            let elapsed = t0.elapsed();
+            assert_eq!(learned.cnf, cnf);
+            // The false points all sit below maximal false points of size
+            // ≤ k, so the theory the learner walks is ≤ C(n,≤k) and the
+            // queries ≤ C(n,≤k+1).
+            let poly = dualminer_core::bounds::binomial_sum(n, k + 1);
+            assert!((learned.queries as u128) <= poly);
+            table.row([
+                n.to_string(),
+                k.to_string(),
+                cnf.len().to_string(),
+                learned.dnf.len().to_string(),
+                learned.queries.to_string(),
+                poly.to_string(),
+                fmt_duration(elapsed),
+            ]);
+        }
+    }
+    table.print();
+
+    println!(
+        "\n(c) the Angluin contrast on the matching function: MQ-only pays the\n\
+         2^(n/2) CNF (Cor 27); MQ+EQ is polynomial in |DNF| alone:"
+    );
+    let mut table = Table::new([
+        "n",
+        "|DNF|",
+        "|CNF|",
+        "MQ-only queries",
+        "MQ+EQ: MQs",
+        "MQ+EQ: EQs",
+    ]);
+    for n in [8usize, 12, 16] {
+        let target = matching_dnf(n);
+        let mq_only = learn_monotone_dualize(
+            FuncMq::new(target.clone()),
+            TrAlgorithm::Berge,
+        );
+        let angluin = learn_monotone_mq_eq(FuncMq::new(target.clone()), FuncEq::new(target.clone()));
+        assert_eq!(angluin.dnf, target);
+        assert_eq!(angluin.equivalence_queries, target.len() as u64 + 1);
+        table.row([
+            n.to_string(),
+            mq_only.dnf.len().to_string(),
+            mq_only.cnf.len().to_string(),
+            mq_only.queries.to_string(),
+            angluin.membership_queries.to_string(),
+            angluin.equivalence_queries.to_string(),
+        ]);
+    }
+    table.print();
+    println!(
+        "\nThe D&A learner's queries sit between the Corollary 27 floor and the\n\
+         Corollary 29 ceiling on every target; the levelwise learner stays under\n\
+         the Corollary 26 polynomial; the MQ+EQ column shows why Corollary 27\n\
+         'explains the lower bound given by Angluin' — the exponential term is\n\
+         the CNF, and an equivalence oracle makes it vanish.\n"
+    );
+}

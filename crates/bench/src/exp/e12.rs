@@ -1,0 +1,87 @@
+//! **E12 — the Section 5 key-discovery remark**: with unrestricted data
+//! access, minimal keys cost *zero* `Is-interesting` queries (agree sets +
+//! one HTR run); under the restricted oracle model Dualize & Advance pays
+//! per Theorem 21 and levelwise per Theorem 10. All three paths return
+//! identical keys on Armstrong-planted relations.
+
+use std::time::Instant;
+
+use dualminer_fdep::keys::{
+    minimal_keys_dualize_advance, minimal_keys_levelwise, minimal_keys_via_agree_sets,
+};
+use dualminer_fdep::Relation;
+use dualminer_hypergraph::TrAlgorithm;
+use dualminer_mining::gen::random_antichain;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::table::{fmt_duration, Table};
+
+/// Runs E12.
+pub fn run() {
+    println!("== E12: keys via agree sets vs restricted-oracle algorithms ==\n");
+    let mut rng = StdRng::seed_from_u64(12);
+    let mut table = Table::new([
+        "n attrs",
+        "plants",
+        "|keys|",
+        "agree+HTR q",
+        "D&A q",
+        "levelwise q",
+        "agree+HTR t",
+        "D&A t",
+        "levelwise t",
+        "agree",
+    ]);
+    for n in [10usize, 14, 18, 24] {
+        for plants_count in [4usize, 8] {
+            let k = n - 3; // long agree sets: keys stay small
+            let plants = random_antichain(n, plants_count, k, &mut rng);
+            let rel = Relation::armstrong(n, &plants);
+
+            let t0 = Instant::now();
+            let direct = minimal_keys_via_agree_sets(&rel, TrAlgorithm::Berge);
+            let t_direct = t0.elapsed();
+
+            let t0 = Instant::now();
+            let da = minimal_keys_dualize_advance(&rel, TrAlgorithm::FkJointGeneration);
+            let t_da = t0.elapsed();
+
+            // Levelwise pays for every non-superkey — with agree sets of
+            // size n−3 that is ~2ⁿ queries, so it is only run where that
+            // is affordable (the blow-up itself is the Theorem 10 story).
+            let lw = (n <= 18).then(|| {
+                let t0 = Instant::now();
+                let lw = minimal_keys_levelwise(&rel);
+                (lw, t0.elapsed())
+            });
+
+            let mut same = direct.minimal_keys == da.minimal_keys;
+            if let Some((lw, _)) = &lw {
+                same &= direct.minimal_keys == lw.minimal_keys;
+            }
+            assert!(same);
+            assert_eq!(direct.queries, 0);
+
+            table.row([
+                n.to_string(),
+                plants_count.to_string(),
+                direct.minimal_keys.len().to_string(),
+                direct.queries.to_string(),
+                da.queries.to_string(),
+                lw.as_ref().map_or("~2ⁿ (skipped)".into(), |(l, _)| l.queries.to_string()),
+                fmt_duration(t_direct),
+                fmt_duration(t_da),
+                lw.as_ref().map_or("—".into(), |(_, t)| fmt_duration(*t)),
+                if same { "✓" } else { "✗" }.to_string(),
+            ]);
+        }
+    }
+    table.print();
+    println!(
+        "\n\"For functional dependencies with fixed right hand side, and for keys,\n\
+         even simpler algorithms can be used\" — the agree-set path needs no\n\
+         Is-interesting queries at all, while the oracle-bound algorithms pay\n\
+         their Theorem 10 / Theorem 21 bills; all three agree on every relation.\n"
+    );
+}

@@ -1,0 +1,72 @@
+//! **E6 — Example 19**: the exponential intermediate border. The matching
+//! hypergraph `E = {{x₂ᵢ₋₁, x₂ᵢ}}` has `2^{n/2}` minimal transversals,
+//! yet in the surrounding mining problem (`MTh` = all `(n−2)`-sets) the
+//! final negative border has only `n` members — so a Dualize & Advance
+//! implementation that *materializes* each intermediate transversal
+//! hypergraph can pay exponentially, while the incremental (FK joint
+//! generation) variant tests at most `|Bd⁻(MTh)| + 1` sets per iteration
+//! (Lemma 20).
+
+use dualminer_core::dualize_advance::dualize_advance;
+use dualminer_core::oracle::{CountingOracle, FnOracle};
+use dualminer_hypergraph::{berge, generators, TrAlgorithm};
+
+use crate::table::Table;
+
+/// Runs E6.
+pub fn run() {
+    println!("== E6: Example 19 — the 2^(n/2) intermediate blowup ==\n");
+
+    println!("(a) the matching hypergraph itself:");
+    let mut table = Table::new(["n", "|E| = n/2", "|Tr(E)| measured", "2^(n/2)"]);
+    for n in [8usize, 12, 16, 20] {
+        let h = generators::matching(n);
+        let tr = berge::transversals(&h);
+        assert_eq!(tr.len(), 1 << (n / 2));
+        table.row([
+            n.to_string(),
+            (n / 2).to_string(),
+            tr.len().to_string(),
+            (1u64 << (n / 2)).to_string(),
+        ]);
+    }
+    table.print();
+
+    println!(
+        "\n(b) the surrounding mining problem (MTh = all (n−2)-sets): Lemma 20\n\
+         keeps the incremental D&A run polynomial regardless of (a):"
+    );
+    let mut table = Table::new([
+        "n",
+        "|MTh| = C(n,n−2)",
+        "|Bd⁻| = n",
+        "max tested/iter",
+        "Lemma 20 cap |Bd⁻|+1",
+        "total queries",
+    ]);
+    for n in [8usize, 10, 12] {
+        let mut oracle = CountingOracle::new(FnOracle::new(n, move |x: &dualminer_bitset::AttrSet| {
+            x.len() <= n - 2
+        }));
+        let run = dualize_advance(&mut oracle, TrAlgorithm::FkJointGeneration);
+        assert_eq!(run.maximal.len(), n * (n - 1) / 2);
+        assert_eq!(run.negative_border.len(), n);
+        let max_tested = run.max_transversals_tested();
+        assert!(max_tested <= n + 1);
+        table.row([
+            n.to_string(),
+            run.maximal.len().to_string(),
+            run.negative_border.len().to_string(),
+            max_tested.to_string(),
+            (n + 1).to_string(),
+            oracle.distinct_queries().to_string(),
+        ]);
+    }
+    table.print();
+    println!(
+        "\nThe transversal *hypergraph* explodes as 2^(n/2) (a), but the number of\n\
+         transversals the algorithm actually has to look at per iteration stays\n\
+         ≤ |Bd⁻(MTh)| + 1 (b) — exactly the separation Example 19 and Lemma 20\n\
+         establish together.\n"
+    );
+}

@@ -1,0 +1,25 @@
+//! The experiment harness as a test: every experiment function asserts its
+//! paper claim internally, so simply running the fast ones under `cargo
+//! test` guards the whole reproduction against regressions. (The slower
+//! sweeps — e5, e8, e12 — run in release via the binary.)
+
+#[test]
+fn fast_experiments_hold() {
+    for id in ["e1", "e2", "e4", "e6", "e9", "e13", "e14"] {
+        assert!(dualminer_bench::run_experiment(id), "unknown id {id}");
+    }
+}
+
+#[test]
+fn unknown_experiment_rejected() {
+    assert!(!dualminer_bench::run_experiment("e99"));
+    assert!(!dualminer_bench::run_experiment(""));
+}
+
+#[test]
+fn experiment_list_is_complete() {
+    assert_eq!(dualminer_bench::ALL_EXPERIMENTS.len(), 14);
+    for id in dualminer_bench::ALL_EXPERIMENTS {
+        assert!(id.starts_with('e'));
+    }
+}

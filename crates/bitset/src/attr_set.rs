@@ -1,0 +1,594 @@
+//! The [`AttrSet`] type: a subset of a fixed attribute universe.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+use crate::{blocks_for, BLOCK_BITS};
+
+/// A set of attributes drawn from a fixed universe `{0, …, n−1}`.
+///
+/// The universe size `n` is part of the value: two `AttrSet`s are only
+/// comparable (and combinable) when they share the same universe size, and
+/// [`complement`](AttrSet::complement) is complement *within the universe*.
+/// This mirrors the paper's setting, where every sentence of the language is
+/// a subset of the same attribute set `R`.
+///
+/// Storage is a packed vector of `u64` blocks, so every set operation runs
+/// in `O(n / 64)` word operations.
+#[derive(Clone, Eq)]
+pub struct AttrSet {
+    nbits: usize,
+    blocks: Vec<u64>,
+}
+
+impl AttrSet {
+    /// The empty set over a universe of `nbits` attributes.
+    pub fn empty(nbits: usize) -> Self {
+        AttrSet {
+            nbits,
+            blocks: vec![0; blocks_for(nbits)],
+        }
+    }
+
+    /// The full set `{0, …, nbits−1}`.
+    pub fn full(nbits: usize) -> Self {
+        let mut s = Self::empty(nbits);
+        for b in &mut s.blocks {
+            *b = u64::MAX;
+        }
+        s.trim_tail();
+        s
+    }
+
+    /// The singleton `{attr}` over a universe of `nbits` attributes.
+    ///
+    /// # Panics
+    /// Panics if `attr >= nbits`.
+    pub fn singleton(nbits: usize, attr: usize) -> Self {
+        let mut s = Self::empty(nbits);
+        s.insert(attr);
+        s
+    }
+
+    /// Builds a set from attribute indices.
+    ///
+    /// # Panics
+    /// Panics if any index is `>= nbits`.
+    pub fn from_indices<I: IntoIterator<Item = usize>>(nbits: usize, indices: I) -> Self {
+        let mut s = Self::empty(nbits);
+        for i in indices {
+            s.insert(i);
+        }
+        s
+    }
+
+    /// The universe size this set lives in.
+    #[inline]
+    pub fn universe_size(&self) -> usize {
+        self.nbits
+    }
+
+    /// Clears bits beyond `nbits` in the last block (internal invariant).
+    #[inline]
+    fn trim_tail(&mut self) {
+        let used = self.nbits % BLOCK_BITS;
+        if used != 0 {
+            if let Some(last) = self.blocks.last_mut() {
+                *last &= (1u64 << used) - 1;
+            }
+        }
+    }
+
+    #[inline]
+    fn check_attr(&self, attr: usize) {
+        assert!(
+            attr < self.nbits,
+            "attribute {attr} out of universe 0..{}",
+            self.nbits
+        );
+    }
+
+    #[inline]
+    fn check_same_universe(&self, other: &AttrSet) {
+        assert!(
+            self.nbits == other.nbits,
+            "universe mismatch: {} vs {}",
+            self.nbits,
+            other.nbits
+        );
+    }
+
+    /// Inserts `attr`. Returns `true` if it was not already present.
+    ///
+    /// # Panics
+    /// Panics if `attr` is outside the universe.
+    #[inline]
+    pub fn insert(&mut self, attr: usize) -> bool {
+        self.check_attr(attr);
+        let (b, m) = (attr / BLOCK_BITS, 1u64 << (attr % BLOCK_BITS));
+        let fresh = self.blocks[b] & m == 0;
+        self.blocks[b] |= m;
+        fresh
+    }
+
+    /// Removes `attr`. Returns `true` if it was present.
+    ///
+    /// # Panics
+    /// Panics if `attr` is outside the universe.
+    #[inline]
+    pub fn remove(&mut self, attr: usize) -> bool {
+        self.check_attr(attr);
+        let (b, m) = (attr / BLOCK_BITS, 1u64 << (attr % BLOCK_BITS));
+        let present = self.blocks[b] & m != 0;
+        self.blocks[b] &= !m;
+        present
+    }
+
+    /// Whether `attr` is in the set. Attributes outside the universe are
+    /// never members.
+    #[inline]
+    pub fn contains(&self, attr: usize) -> bool {
+        attr < self.nbits && self.blocks[attr / BLOCK_BITS] & (1u64 << (attr % BLOCK_BITS)) != 0
+    }
+
+    /// Cardinality (number of attributes in the set).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.blocks.iter().map(|b| b.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.blocks.iter().all(|&b| b == 0)
+    }
+
+    /// Whether the set equals the whole universe.
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.len() == self.nbits
+    }
+
+    /// The smallest attribute in the set, if any.
+    pub fn first(&self) -> Option<usize> {
+        for (i, &b) in self.blocks.iter().enumerate() {
+            if b != 0 {
+                return Some(i * BLOCK_BITS + b.trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    /// The largest attribute in the set, if any.
+    pub fn last(&self) -> Option<usize> {
+        for (i, &b) in self.blocks.iter().enumerate().rev() {
+            if b != 0 {
+                return Some(i * BLOCK_BITS + (BLOCK_BITS - 1 - b.leading_zeros() as usize));
+            }
+        }
+        None
+    }
+
+    /// Removes all attributes.
+    pub fn clear(&mut self) {
+        for b in &mut self.blocks {
+            *b = 0;
+        }
+    }
+
+    // --- set algebra -----------------------------------------------------
+
+    /// In-place union: `self ∪= other`.
+    ///
+    /// # Panics
+    /// Panics on universe mismatch (also true of every binary operation
+    /// below).
+    #[inline]
+    pub fn union_with(&mut self, other: &AttrSet) {
+        self.check_same_universe(other);
+        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
+            *a |= b;
+        }
+    }
+
+    /// In-place intersection: `self ∩= other`.
+    #[inline]
+    pub fn intersect_with(&mut self, other: &AttrSet) {
+        self.check_same_universe(other);
+        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
+            *a &= b;
+        }
+    }
+
+    /// In-place difference: `self \= other`.
+    #[inline]
+    pub fn difference_with(&mut self, other: &AttrSet) {
+        self.check_same_universe(other);
+        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
+            *a &= !b;
+        }
+    }
+
+    /// In-place symmetric difference: `self Δ= other`.
+    #[inline]
+    pub fn symmetric_difference_with(&mut self, other: &AttrSet) {
+        self.check_same_universe(other);
+        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
+            *a ^= b;
+        }
+    }
+
+    /// In-place complement within the universe.
+    #[inline]
+    pub fn complement_in_place(&mut self) {
+        for b in &mut self.blocks {
+            *b = !*b;
+        }
+        self.trim_tail();
+    }
+
+    /// `self ∪ other` as a new set.
+    pub fn union(&self, other: &AttrSet) -> AttrSet {
+        let mut s = self.clone();
+        s.union_with(other);
+        s
+    }
+
+    /// `self ∩ other` as a new set.
+    pub fn intersection(&self, other: &AttrSet) -> AttrSet {
+        let mut s = self.clone();
+        s.intersect_with(other);
+        s
+    }
+
+    /// `self \ other` as a new set.
+    pub fn difference(&self, other: &AttrSet) -> AttrSet {
+        let mut s = self.clone();
+        s.difference_with(other);
+        s
+    }
+
+    /// `self Δ other` as a new set.
+    pub fn symmetric_difference(&self, other: &AttrSet) -> AttrSet {
+        let mut s = self.clone();
+        s.symmetric_difference_with(other);
+        s
+    }
+
+    /// `R \ self` (complement within the universe) as a new set.
+    pub fn complement(&self) -> AttrSet {
+        let mut s = self.clone();
+        s.complement_in_place();
+        s
+    }
+
+    // --- relational tests ------------------------------------------------
+
+    /// Whether `self ⊆ other`.
+    #[inline]
+    pub fn is_subset(&self, other: &AttrSet) -> bool {
+        self.check_same_universe(other);
+        self.blocks
+            .iter()
+            .zip(&other.blocks)
+            .all(|(a, b)| a & !b == 0)
+    }
+
+    /// Whether `self ⊇ other`.
+    #[inline]
+    pub fn is_superset(&self, other: &AttrSet) -> bool {
+        other.is_subset(self)
+    }
+
+    /// Whether `self ⊂ other` (proper subset).
+    #[inline]
+    pub fn is_proper_subset(&self, other: &AttrSet) -> bool {
+        self.is_subset(other) && self != other
+    }
+
+    /// Whether `self ⊃ other` (proper superset).
+    #[inline]
+    pub fn is_proper_superset(&self, other: &AttrSet) -> bool {
+        other.is_proper_subset(self)
+    }
+
+    /// Whether the sets share at least one attribute.
+    ///
+    /// This is the *hitting* test of the transversal problem: `T` is a
+    /// transversal of a hypergraph iff `T.intersects(E)` for every edge `E`.
+    #[inline]
+    pub fn intersects(&self, other: &AttrSet) -> bool {
+        self.check_same_universe(other);
+        self.blocks.iter().zip(&other.blocks).any(|(a, b)| a & b != 0)
+    }
+
+    /// Whether the sets are disjoint.
+    #[inline]
+    pub fn is_disjoint(&self, other: &AttrSet) -> bool {
+        !self.intersects(other)
+    }
+
+    /// Cardinality of `self ∩ other` without allocating.
+    #[inline]
+    pub fn intersection_len(&self, other: &AttrSet) -> usize {
+        self.check_same_universe(other);
+        self.blocks
+            .iter()
+            .zip(&other.blocks)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    // --- iteration & conversion ------------------------------------------
+
+    /// Iterates over member attributes in ascending order.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter {
+            set: self,
+            block: 0,
+            bits: self.blocks.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// Collects the member attributes into a `Vec`, ascending.
+    pub fn to_vec(&self) -> Vec<usize> {
+        self.iter().collect()
+    }
+
+    /// Raw storage blocks (low attribute indices in low blocks/bits).
+    pub fn blocks(&self) -> &[u64] {
+        &self.blocks
+    }
+
+    /// Compares two sets by cardinality first, then lexicographically by
+    /// ascending attribute indices. This is the natural order for printing
+    /// lattice levels and borders.
+    pub fn cmp_card_lex(&self, other: &AttrSet) -> Ordering {
+        self.len()
+            .cmp(&other.len())
+            .then_with(|| self.cmp_lex(other))
+    }
+
+    /// Compares two sets lexicographically by ascending attribute indices
+    /// (`{A,B} < {A,C} < {B}`), i.e. dictionary order of the paper's
+    /// shorthand strings.
+    pub fn cmp_lex(&self, other: &AttrSet) -> Ordering {
+        let mut a = self.iter();
+        let mut b = other.iter();
+        loop {
+            match (a.next(), b.next()) {
+                (None, None) => return Ordering::Equal,
+                (None, Some(_)) => return Ordering::Less,
+                (Some(_), None) => return Ordering::Greater,
+                (Some(x), Some(y)) => match x.cmp(&y) {
+                    Ordering::Equal => continue,
+                    ord => return ord,
+                },
+            }
+        }
+    }
+}
+
+/// Ascending-index iterator over an [`AttrSet`]'s members.
+pub struct Iter<'a> {
+    set: &'a AttrSet,
+    block: usize,
+    bits: u64,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.bits != 0 {
+                let tz = self.bits.trailing_zeros() as usize;
+                self.bits &= self.bits - 1; // clear lowest set bit
+                return Some(self.block * BLOCK_BITS + tz);
+            }
+            self.block += 1;
+            if self.block >= self.set.blocks.len() {
+                return None;
+            }
+            self.bits = self.set.blocks[self.block];
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a AttrSet {
+    type Item = usize;
+    type IntoIter = Iter<'a>;
+
+    fn into_iter(self) -> Iter<'a> {
+        self.iter()
+    }
+}
+
+impl PartialEq for AttrSet {
+    fn eq(&self, other: &Self) -> bool {
+        self.nbits == other.nbits && self.blocks == other.blocks
+    }
+}
+
+impl Hash for AttrSet {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.nbits.hash(state);
+        self.blocks.hash(state);
+    }
+}
+
+/// Total order on same-universe sets: block-wise numeric comparison
+/// (high block first), which groups supersets of high attributes together.
+/// It is an arbitrary-but-deterministic total order suitable for
+/// `BTreeSet`/`BTreeMap` keys; use [`AttrSet::cmp_card_lex`] or
+/// [`AttrSet::cmp_lex`] when a human-meaningful order is needed.
+///
+/// Sets from different universes compare by universe size first, so `Ord`
+/// stays consistent with `Eq` even across universes.
+impl Ord for AttrSet {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.nbits.cmp(&other.nbits).then_with(|| {
+            self.blocks
+                .iter()
+                .rev()
+                .cmp(other.blocks.iter().rev())
+        })
+    }
+}
+
+impl PartialOrd for AttrSet {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl fmt::Debug for AttrSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (k, i) in self.iter().enumerate() {
+            if k > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{i}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_full() {
+        let e = AttrSet::empty(10);
+        assert!(e.is_empty());
+        assert_eq!(e.len(), 0);
+        let f = AttrSet::full(10);
+        assert!(f.is_full());
+        assert_eq!(f.len(), 10);
+        assert_eq!(e.complement(), f);
+        assert_eq!(f.complement(), e);
+    }
+
+    #[test]
+    fn full_trims_tail_bits() {
+        // 70 bits spans two blocks; the second block must only have 6 bits.
+        let f = AttrSet::full(70);
+        assert_eq!(f.len(), 70);
+        assert_eq!(f.last(), Some(69));
+        assert!(!f.contains(70));
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = AttrSet::empty(100);
+        assert!(s.insert(3));
+        assert!(s.insert(99));
+        assert!(!s.insert(3));
+        assert!(s.contains(3));
+        assert!(s.contains(99));
+        assert!(!s.contains(4));
+        assert_eq!(s.len(), 2);
+        assert!(s.remove(3));
+        assert!(!s.remove(3));
+        assert_eq!(s.to_vec(), vec![99]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of universe")]
+    fn insert_out_of_range_panics() {
+        AttrSet::empty(5).insert(5);
+    }
+
+    #[test]
+    #[should_panic(expected = "universe mismatch")]
+    fn cross_universe_union_panics() {
+        let mut a = AttrSet::empty(5);
+        a.union_with(&AttrSet::empty(6));
+    }
+
+    #[test]
+    fn algebra_small() {
+        let a = AttrSet::from_indices(8, [0, 1, 2]);
+        let b = AttrSet::from_indices(8, [1, 3]);
+        assert_eq!(a.union(&b).to_vec(), vec![0, 1, 2, 3]);
+        assert_eq!(a.intersection(&b).to_vec(), vec![1]);
+        assert_eq!(a.difference(&b).to_vec(), vec![0, 2]);
+        assert_eq!(a.symmetric_difference(&b).to_vec(), vec![0, 2, 3]);
+        assert_eq!(a.complement().to_vec(), vec![3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn subset_superset() {
+        let a = AttrSet::from_indices(8, [0, 1, 2]);
+        let b = AttrSet::from_indices(8, [1, 2]);
+        assert!(b.is_subset(&a));
+        assert!(b.is_proper_subset(&a));
+        assert!(a.is_superset(&b));
+        assert!(a.is_subset(&a));
+        assert!(!a.is_proper_subset(&a));
+    }
+
+    #[test]
+    fn intersects_and_disjoint() {
+        let a = AttrSet::from_indices(128, [0, 127]);
+        let b = AttrSet::from_indices(128, [127]);
+        let c = AttrSet::from_indices(128, [64]);
+        assert!(a.intersects(&b));
+        assert!(a.is_disjoint(&c));
+        assert_eq!(a.intersection_len(&b), 1);
+        assert_eq!(a.intersection_len(&c), 0);
+    }
+
+    #[test]
+    fn first_last() {
+        let s = AttrSet::from_indices(200, [5, 77, 191]);
+        assert_eq!(s.first(), Some(5));
+        assert_eq!(s.last(), Some(191));
+        assert_eq!(AttrSet::empty(200).first(), None);
+        assert_eq!(AttrSet::empty(200).last(), None);
+    }
+
+    #[test]
+    fn iter_crosses_blocks() {
+        let v = vec![0, 63, 64, 65, 129];
+        let s = AttrSet::from_indices(130, v.clone());
+        assert_eq!(s.to_vec(), v);
+    }
+
+    #[test]
+    fn lex_orders() {
+        let u = 4;
+        let ab = AttrSet::from_indices(u, [0, 1]);
+        let ac = AttrSet::from_indices(u, [0, 2]);
+        let b = AttrSet::from_indices(u, [1]);
+        assert_eq!(ab.cmp_lex(&ac), Ordering::Less);
+        assert_eq!(ac.cmp_lex(&b), Ordering::Less);
+        assert_eq!(b.cmp_card_lex(&ab), Ordering::Less); // smaller first
+        assert_eq!(ab.cmp_lex(&ab), Ordering::Equal);
+    }
+
+    #[test]
+    fn ord_consistent_with_eq() {
+        let a = AttrSet::from_indices(8, [1, 2]);
+        let b = AttrSet::from_indices(8, [1, 2]);
+        assert_eq!(a.cmp(&b), Ordering::Equal);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn debug_format() {
+        let s = AttrSet::from_indices(8, [1, 5]);
+        assert_eq!(format!("{s:?}"), "{1,5}");
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut s = AttrSet::full(65);
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.universe_size(), 65);
+    }
+}

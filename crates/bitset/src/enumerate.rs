@@ -1,0 +1,215 @@
+//! Lattice-walking enumeration helpers.
+//!
+//! The levelwise algorithm (Algorithm 9 of the paper) visits the subset
+//! lattice one *level* (cardinality) at a time, and both algorithms need the
+//! immediate neighbours of a set: its subsets of one smaller cardinality
+//! (for candidate pruning) and its supersets of one larger cardinality (the
+//! `width(L, ⪯)` successors of Theorem 12).
+
+use crate::AttrSet;
+
+/// Iterator over all subsets of a universe with a fixed cardinality `k`, in
+/// lexicographic order of ascending index vectors.
+///
+/// This is the *level* `k` of the subset lattice; level iteration is how the
+/// levelwise algorithm seeds its first candidate collection and how
+/// brute-force reference implementations enumerate the lattice in tests.
+pub struct SubsetsOfSize {
+    nbits: usize,
+    k: usize,
+    /// Current combination as ascending indices; `None` once exhausted.
+    indices: Option<Vec<usize>>,
+}
+
+impl SubsetsOfSize {
+    /// All `k`-subsets of `{0, …, nbits−1}`.
+    pub fn new(nbits: usize, k: usize) -> Self {
+        let indices = if k <= nbits {
+            Some((0..k).collect())
+        } else {
+            None
+        };
+        SubsetsOfSize { nbits, k, indices }
+    }
+}
+
+impl Iterator for SubsetsOfSize {
+    type Item = AttrSet;
+
+    fn next(&mut self) -> Option<AttrSet> {
+        let indices = self.indices.as_mut()?;
+        let result = AttrSet::from_indices(self.nbits, indices.iter().copied());
+        // Advance to the next combination (standard odometer).
+        if self.k == 0 {
+            self.indices = None;
+            return Some(result);
+        }
+        let mut i = self.k;
+        loop {
+            if i == 0 {
+                self.indices = None;
+                break;
+            }
+            i -= 1;
+            if indices[i] < self.nbits - (self.k - i) {
+                indices[i] += 1;
+                for j in i + 1..self.k {
+                    indices[j] = indices[j - 1] + 1;
+                }
+                break;
+            }
+        }
+        Some(result)
+    }
+}
+
+/// Iterator over the immediate subsets of a set (each obtained by removing
+/// one member), ascending by the removed attribute.
+pub struct ImmediateSubsets<'a> {
+    set: &'a AttrSet,
+    members: Vec<usize>,
+    pos: usize,
+}
+
+impl<'a> ImmediateSubsets<'a> {
+    /// Immediate subsets of `set`.
+    pub fn new(set: &'a AttrSet) -> Self {
+        ImmediateSubsets {
+            set,
+            members: set.to_vec(),
+            pos: 0,
+        }
+    }
+}
+
+impl Iterator for ImmediateSubsets<'_> {
+    type Item = AttrSet;
+
+    fn next(&mut self) -> Option<AttrSet> {
+        let &attr = self.members.get(self.pos)?;
+        self.pos += 1;
+        let mut s = self.set.clone();
+        s.remove(attr);
+        Some(s)
+    }
+}
+
+/// Iterator over the immediate supersets of a set (each obtained by adding
+/// one non-member of the universe), ascending by the added attribute.
+///
+/// The number of immediate supersets is at most `n`, which is the paper's
+/// `width(L, ⪯)` for the subset lattice (Theorem 12, Corollary 13).
+pub struct ImmediateSupersets<'a> {
+    set: &'a AttrSet,
+    non_members: Vec<usize>,
+    pos: usize,
+}
+
+impl<'a> ImmediateSupersets<'a> {
+    /// Immediate supersets of `set` within its universe.
+    pub fn new(set: &'a AttrSet) -> Self {
+        ImmediateSupersets {
+            set,
+            non_members: set.complement().to_vec(),
+            pos: 0,
+        }
+    }
+}
+
+impl Iterator for ImmediateSupersets<'_> {
+    type Item = AttrSet;
+
+    fn next(&mut self) -> Option<AttrSet> {
+        let &attr = self.non_members.get(self.pos)?;
+        self.pos += 1;
+        let mut s = self.set.clone();
+        s.insert(attr);
+        Some(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn binom(n: usize, k: usize) -> usize {
+        if k > n {
+            return 0;
+        }
+        let mut r = 1usize;
+        for i in 0..k {
+            r = r * (n - i) / (i + 1);
+        }
+        r
+    }
+
+    #[test]
+    fn subsets_counts() {
+        for n in 0..8 {
+            for k in 0..=n + 1 {
+                let got = SubsetsOfSize::new(n, k).count();
+                assert_eq!(got, binom(n, k), "n={n} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn subsets_of_size_zero() {
+        let all: Vec<_> = SubsetsOfSize::new(5, 0).collect();
+        assert_eq!(all, vec![AttrSet::empty(5)]);
+    }
+
+    #[test]
+    fn subsets_lex_order_and_distinct() {
+        let all: Vec<_> = SubsetsOfSize::new(5, 3).collect();
+        assert_eq!(all.len(), 10);
+        for w in all.windows(2) {
+            assert!(w[0].cmp_lex(&w[1]).is_lt());
+        }
+        assert!(all.iter().all(|s| s.len() == 3));
+    }
+
+    #[test]
+    fn subsets_full_level() {
+        let all: Vec<_> = SubsetsOfSize::new(4, 4).collect();
+        assert_eq!(all, vec![AttrSet::full(4)]);
+    }
+
+    #[test]
+    fn immediate_subsets_small() {
+        let s = AttrSet::from_indices(4, [0, 2]);
+        let subs: Vec<_> = ImmediateSubsets::new(&s).collect();
+        assert_eq!(
+            subs,
+            vec![AttrSet::from_indices(4, [2]), AttrSet::from_indices(4, [0])]
+        );
+    }
+
+    #[test]
+    fn immediate_subsets_of_empty_is_empty() {
+        let e = AttrSet::empty(4);
+        assert_eq!(ImmediateSubsets::new(&e).count(), 0);
+    }
+
+    #[test]
+    fn immediate_supersets_small() {
+        let s = AttrSet::from_indices(4, [0, 2]);
+        let sups: Vec<_> = ImmediateSupersets::new(&s).collect();
+        assert_eq!(
+            sups,
+            vec![
+                AttrSet::from_indices(4, [0, 1, 2]),
+                AttrSet::from_indices(4, [0, 2, 3]),
+            ]
+        );
+    }
+
+    #[test]
+    fn immediate_supersets_width_bound() {
+        // width of the subset lattice is at most n (Theorem 12 setting).
+        let s = AttrSet::from_indices(10, [1, 4]);
+        assert_eq!(ImmediateSupersets::new(&s).count(), 8);
+        let f = AttrSet::full(10);
+        assert_eq!(ImmediateSupersets::new(&f).count(), 0);
+    }
+}

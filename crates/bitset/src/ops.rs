@@ -1,0 +1,77 @@
+//! Operator-trait sugar for [`AttrSet`]: `&a | &b`, `&a & &b`, `&a - &b`,
+//! `&a ^ &b`, and `!&a` (complement in the universe).
+//!
+//! All operators panic on universe mismatch, like the named methods they
+//! delegate to.
+
+use std::ops::{BitAnd, BitOr, BitXor, Not, Sub};
+
+use crate::AttrSet;
+
+impl BitOr for &AttrSet {
+    type Output = AttrSet;
+    fn bitor(self, rhs: &AttrSet) -> AttrSet {
+        self.union(rhs)
+    }
+}
+
+impl BitAnd for &AttrSet {
+    type Output = AttrSet;
+    fn bitand(self, rhs: &AttrSet) -> AttrSet {
+        self.intersection(rhs)
+    }
+}
+
+impl Sub for &AttrSet {
+    type Output = AttrSet;
+    fn sub(self, rhs: &AttrSet) -> AttrSet {
+        self.difference(rhs)
+    }
+}
+
+impl BitXor for &AttrSet {
+    type Output = AttrSet;
+    fn bitxor(self, rhs: &AttrSet) -> AttrSet {
+        self.symmetric_difference(rhs)
+    }
+}
+
+impl Not for &AttrSet {
+    type Output = AttrSet;
+    fn not(self) -> AttrSet {
+        self.complement()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::AttrSet;
+
+    fn s(v: &[usize]) -> AttrSet {
+        AttrSet::from_indices(6, v.iter().copied())
+    }
+
+    #[test]
+    fn operators_match_methods() {
+        let a = s(&[0, 1, 2]);
+        let b = s(&[1, 3]);
+        assert_eq!(&a | &b, a.union(&b));
+        assert_eq!(&a & &b, a.intersection(&b));
+        assert_eq!(&a - &b, a.difference(&b));
+        assert_eq!(&a ^ &b, a.symmetric_difference(&b));
+        assert_eq!(!&a, a.complement());
+    }
+
+    #[test]
+    fn de_morgan_via_operators() {
+        let a = s(&[0, 4]);
+        let b = s(&[4, 5]);
+        assert_eq!(!&(&a | &b), &(!&a) & &(!&b));
+    }
+
+    #[test]
+    #[should_panic(expected = "universe mismatch")]
+    fn operators_check_universe() {
+        let _ = &s(&[0]) | &AttrSet::empty(7);
+    }
+}

@@ -1,0 +1,133 @@
+//! Property-based tests for the `AttrSet` algebra: the Boolean-lattice laws
+//! every downstream algorithm silently relies on.
+
+use dualminer_bitset::{AttrSet, ImmediateSubsets, ImmediateSupersets, SubsetsOfSize, Universe};
+use proptest::prelude::*;
+
+const UNIVERSE: usize = 130; // spans three u64 blocks
+
+fn arb_set() -> impl Strategy<Value = AttrSet> {
+    proptest::collection::vec(0..UNIVERSE, 0..40)
+        .prop_map(|v| AttrSet::from_indices(UNIVERSE, v))
+}
+
+proptest! {
+    #[test]
+    fn union_commutes(a in arb_set(), b in arb_set()) {
+        prop_assert_eq!(a.union(&b), b.union(&a));
+    }
+
+    #[test]
+    fn intersection_commutes(a in arb_set(), b in arb_set()) {
+        prop_assert_eq!(a.intersection(&b), b.intersection(&a));
+    }
+
+    #[test]
+    fn union_associates(a in arb_set(), b in arb_set(), c in arb_set()) {
+        prop_assert_eq!(a.union(&b).union(&c), a.union(&b.union(&c)));
+    }
+
+    #[test]
+    fn distributivity(a in arb_set(), b in arb_set(), c in arb_set()) {
+        prop_assert_eq!(
+            a.intersection(&b.union(&c)),
+            a.intersection(&b).union(&a.intersection(&c))
+        );
+    }
+
+    #[test]
+    fn de_morgan(a in arb_set(), b in arb_set()) {
+        prop_assert_eq!(
+            a.union(&b).complement(),
+            a.complement().intersection(&b.complement())
+        );
+    }
+
+    #[test]
+    fn double_complement(a in arb_set()) {
+        prop_assert_eq!(a.complement().complement(), a);
+    }
+
+    #[test]
+    fn difference_is_intersect_complement(a in arb_set(), b in arb_set()) {
+        prop_assert_eq!(a.difference(&b), a.intersection(&b.complement()));
+    }
+
+    #[test]
+    fn subset_iff_union_absorbs(a in arb_set(), b in arb_set()) {
+        prop_assert_eq!(a.is_subset(&b), a.union(&b) == b);
+    }
+
+    #[test]
+    fn intersects_iff_nonempty_intersection(a in arb_set(), b in arb_set()) {
+        prop_assert_eq!(a.intersects(&b), !a.intersection(&b).is_empty());
+        prop_assert_eq!(a.intersection_len(&b), a.intersection(&b).len());
+    }
+
+    #[test]
+    fn len_inclusion_exclusion(a in arb_set(), b in arb_set()) {
+        prop_assert_eq!(
+            a.union(&b).len() + a.intersection(&b).len(),
+            a.len() + b.len()
+        );
+    }
+
+    #[test]
+    fn iter_ascending_and_consistent(a in arb_set()) {
+        let v = a.to_vec();
+        prop_assert_eq!(v.len(), a.len());
+        prop_assert!(v.windows(2).all(|w| w[0] < w[1]));
+        prop_assert_eq!(AttrSet::from_indices(UNIVERSE, v), a);
+    }
+
+    #[test]
+    fn immediate_neighbours(a in arb_set()) {
+        for sub in ImmediateSubsets::new(&a) {
+            prop_assert!(sub.is_proper_subset(&a));
+            prop_assert_eq!(sub.len() + 1, a.len());
+        }
+        for sup in ImmediateSupersets::new(&a) {
+            prop_assert!(sup.is_proper_superset(&a));
+            prop_assert_eq!(sup.len(), a.len() + 1);
+        }
+        prop_assert_eq!(ImmediateSubsets::new(&a).count(), a.len());
+        prop_assert_eq!(
+            ImmediateSupersets::new(&a).count(),
+            UNIVERSE - a.len()
+        );
+    }
+
+    #[test]
+    fn display_parse_round_trip(a in arb_set()) {
+        let u = Universe::letters(UNIVERSE);
+        let text = u.display(&a);
+        if a.is_empty() {
+            prop_assert_eq!(text, "∅");
+        } else {
+            // Multi-char names past index 25 force the comma-separated form.
+            prop_assert_eq!(u.parse(&text).unwrap(), a);
+        }
+    }
+
+    #[test]
+    fn subsets_of_size_sound(k in 0usize..4) {
+        // On a small universe, enumerate and cross-check with a filter.
+        let n = 7;
+        let listed: Vec<AttrSet> = SubsetsOfSize::new(n, k).collect();
+        prop_assert!(listed.iter().all(|s| s.len() == k));
+        let mut uniq = listed.clone();
+        uniq.sort();
+        uniq.dedup();
+        prop_assert_eq!(uniq.len(), listed.len());
+    }
+
+    #[test]
+    fn ord_total_and_eq_consistent(a in arb_set(), b in arb_set()) {
+        use std::cmp::Ordering;
+        match a.cmp(&b) {
+            Ordering::Equal => prop_assert_eq!(&a, &b),
+            Ordering::Less => prop_assert_eq!(b.cmp(&a), Ordering::Greater),
+            Ordering::Greater => prop_assert_eq!(b.cmp(&a), Ordering::Less),
+        }
+    }
+}

@@ -1,0 +1,319 @@
+//! Hand-rolled argument parsing (no external dependencies).
+
+use dualminer_hypergraph::TrAlgorithm;
+
+/// Usage text shown on parse errors and `--help`.
+pub const USAGE: &str = "\
+dualminer — data mining, hypergraph transversals, and machine learning (PODS 1997)
+
+USAGE:
+    dualminer mine <baskets.txt> --min-support <N|0.x> [--rules <conf>] [--maximal]
+    dualminer keys <relation.csv> [--fds]
+    dualminer transversals <hypergraph.txt> [--algo berge|fk|levelwise|mmcs]
+    dualminer episodes <events.txt> --window <W> --min-freq <0.x> [--serial|--parallel]
+    dualminer --help
+
+SUBCOMMANDS:
+    mine          frequent itemsets (and optionally association rules /
+                  the maximal sets with their negative-border certificate)
+    keys          minimal keys of a CSV relation, via agree sets + one
+                  transversal computation; --fds adds minimal functional
+                  dependencies for every right-hand side
+    transversals  the minimal-transversal hypergraph Tr(H)
+    episodes      frequent serial/parallel episodes over sliding windows
+
+FILE FORMATS:
+    baskets.txt     one transaction per line, whitespace-separated items
+    relation.csv    header row of attribute names, then comma-separated rows
+    hypergraph.txt  one edge per line, whitespace-separated vertex names
+    events.txt      one event per line: <time> <type-name>";
+
+/// A parsed command line.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Command {
+    /// `mine` subcommand.
+    Mine {
+        /// Input basket file.
+        path: String,
+        /// Absolute (`≥ 1`) or relative (`(0,1)`) support threshold.
+        min_support: Support,
+        /// Minimum confidence for rule output (absent = no rules).
+        rules: Option<f64>,
+        /// Also print the maximal sets + negative border.
+        maximal: bool,
+    },
+    /// `keys` subcommand.
+    Keys {
+        /// Input CSV relation.
+        path: String,
+        /// Also derive minimal FDs per attribute.
+        fds: bool,
+    },
+    /// `transversals` subcommand.
+    Transversals {
+        /// Input hypergraph file.
+        path: String,
+        /// Engine selection.
+        algo: TrAlgorithm,
+    },
+    /// `episodes` subcommand.
+    Episodes {
+        /// Input events file.
+        path: String,
+        /// Window width.
+        window: u64,
+        /// Minimum window frequency in (0, 1].
+        min_freq: f64,
+        /// Mine serial (ordered) episodes instead of parallel ones.
+        serial: bool,
+    },
+    /// `--help`.
+    Help,
+}
+
+/// Support threshold: absolute row count or relative fraction.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Support {
+    /// At least this many rows.
+    Absolute(usize),
+    /// At least this fraction of rows (exclusive 0, inclusive 1).
+    Relative(f64),
+}
+
+impl Support {
+    /// Resolves to an absolute threshold for a database with `rows` rows.
+    pub fn resolve(&self, rows: usize) -> usize {
+        match *self {
+            Support::Absolute(n) => n,
+            Support::Relative(f) => ((f * rows as f64).ceil() as usize).max(1),
+        }
+    }
+}
+
+fn parse_support(s: &str) -> Result<Support, String> {
+    if let Ok(n) = s.parse::<usize>() {
+        if n == 0 {
+            return Err("--min-support must be positive".into());
+        }
+        return Ok(Support::Absolute(n));
+    }
+    match s.parse::<f64>() {
+        Ok(f) if f > 0.0 && f <= 1.0 => Ok(Support::Relative(f)),
+        _ => Err(format!("invalid --min-support value {s:?} (want integer ≥ 1 or fraction in (0,1])")),
+    }
+}
+
+/// Parses an argument vector (without the program name).
+pub fn parse(argv: &[String]) -> Result<Command, String> {
+    let mut it = argv.iter().peekable();
+    let sub = it.next().ok_or("missing subcommand")?;
+    if sub == "--help" || sub == "-h" || sub == "help" {
+        return Ok(Command::Help);
+    }
+    match sub.as_str() {
+        "mine" => {
+            let path = it.next().ok_or("mine: missing input file")?.clone();
+            let mut min_support = None;
+            let mut rules = None;
+            let mut maximal = false;
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--min-support" => {
+                        let v = it.next().ok_or("--min-support needs a value")?;
+                        min_support = Some(parse_support(v)?);
+                    }
+                    "--rules" => {
+                        let v = it.next().ok_or("--rules needs a confidence value")?;
+                        let c: f64 = v
+                            .parse()
+                            .map_err(|_| format!("invalid confidence {v:?}"))?;
+                        if !(0.0..=1.0).contains(&c) {
+                            return Err("confidence must be in [0, 1]".into());
+                        }
+                        rules = Some(c);
+                    }
+                    "--maximal" => maximal = true,
+                    other => return Err(format!("mine: unknown flag {other:?}")),
+                }
+            }
+            Ok(Command::Mine {
+                path,
+                min_support: min_support.ok_or("mine: --min-support is required")?,
+                rules,
+                maximal,
+            })
+        }
+        "keys" => {
+            let path = it.next().ok_or("keys: missing input file")?.clone();
+            let mut fds = false;
+            for flag in it.by_ref() {
+                match flag.as_str() {
+                    "--fds" => fds = true,
+                    other => return Err(format!("keys: unknown flag {other:?}")),
+                }
+            }
+            Ok(Command::Keys { path, fds })
+        }
+        "transversals" => {
+            let path = it.next().ok_or("transversals: missing input file")?.clone();
+            let mut algo = TrAlgorithm::Berge;
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--algo" => {
+                        let v = it.next().ok_or("--algo needs a value")?;
+                        algo = match v.as_str() {
+                            "berge" => TrAlgorithm::Berge,
+                            "fk" => TrAlgorithm::FkJointGeneration,
+                            "levelwise" => TrAlgorithm::LevelwiseLargeEdges,
+                            "mmcs" => TrAlgorithm::Mmcs,
+                            other => return Err(format!("unknown algorithm {other:?}")),
+                        };
+                    }
+                    other => return Err(format!("transversals: unknown flag {other:?}")),
+                }
+            }
+            Ok(Command::Transversals { path, algo })
+        }
+        "episodes" => {
+            let path = it.next().ok_or("episodes: missing input file")?.clone();
+            let mut window = None;
+            let mut min_freq = None;
+            let mut serial = false;
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--window" => {
+                        let v = it.next().ok_or("--window needs a value")?;
+                        let w: u64 =
+                            v.parse().map_err(|_| format!("invalid window {v:?}"))?;
+                        if w == 0 {
+                            return Err("--window must be positive".into());
+                        }
+                        window = Some(w);
+                    }
+                    "--min-freq" => {
+                        let v = it.next().ok_or("--min-freq needs a value")?;
+                        let f: f64 =
+                            v.parse().map_err(|_| format!("invalid frequency {v:?}"))?;
+                        if !(f > 0.0 && f <= 1.0) {
+                            return Err("--min-freq must be in (0, 1]".into());
+                        }
+                        min_freq = Some(f);
+                    }
+                    "--serial" => serial = true,
+                    "--parallel" => serial = false,
+                    other => return Err(format!("episodes: unknown flag {other:?}")),
+                }
+            }
+            Ok(Command::Episodes {
+                path,
+                window: window.ok_or("episodes: --window is required")?,
+                min_freq: min_freq.ok_or("episodes: --min-freq is required")?,
+                serial,
+            })
+        }
+        other => Err(format!("unknown subcommand {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_mine_full() {
+        let cmd = parse(&v(&[
+            "mine",
+            "b.txt",
+            "--min-support",
+            "0.1",
+            "--rules",
+            "0.8",
+            "--maximal",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Mine {
+                path: "b.txt".into(),
+                min_support: Support::Relative(0.1),
+                rules: Some(0.8),
+                maximal: true,
+            }
+        );
+    }
+
+    #[test]
+    fn parse_mine_absolute_support() {
+        let cmd = parse(&v(&["mine", "b.txt", "--min-support", "5"])).unwrap();
+        match cmd {
+            Command::Mine { min_support, rules, maximal, .. } => {
+                assert_eq!(min_support, Support::Absolute(5));
+                assert_eq!(rules, None);
+                assert!(!maximal);
+            }
+            _ => panic!("wrong command"),
+        }
+    }
+
+    #[test]
+    fn mine_requires_support() {
+        assert!(parse(&v(&["mine", "b.txt"])).is_err());
+        assert!(parse(&v(&["mine", "b.txt", "--min-support", "0"])).is_err());
+        assert!(parse(&v(&["mine", "b.txt", "--min-support", "1.5"])).is_err());
+    }
+
+    #[test]
+    fn parse_keys_and_transversals() {
+        assert_eq!(
+            parse(&v(&["keys", "r.csv", "--fds"])).unwrap(),
+            Command::Keys { path: "r.csv".into(), fds: true }
+        );
+        assert_eq!(
+            parse(&v(&["transversals", "h.txt", "--algo", "mmcs"])).unwrap(),
+            Command::Transversals {
+                path: "h.txt".into(),
+                algo: TrAlgorithm::Mmcs
+            }
+        );
+        assert!(parse(&v(&["transversals", "h.txt", "--algo", "zzz"])).is_err());
+    }
+
+    #[test]
+    fn parse_episodes() {
+        let cmd = parse(&v(&[
+            "episodes", "e.txt", "--window", "5", "--min-freq", "0.2", "--serial",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Episodes {
+                path: "e.txt".into(),
+                window: 5,
+                min_freq: 0.2,
+                serial: true
+            }
+        );
+        assert!(parse(&v(&["episodes", "e.txt", "--window", "5"])).is_err());
+        assert!(parse(&v(&["episodes", "e.txt", "--window", "0", "--min-freq", "0.2"])).is_err());
+        assert!(parse(&v(&["episodes", "e.txt", "--window", "5", "--min-freq", "2"])).is_err());
+    }
+
+    #[test]
+    fn help_and_unknown() {
+        assert_eq!(parse(&v(&["--help"])).unwrap(), Command::Help);
+        assert!(parse(&v(&["frobnicate"])).is_err());
+        assert!(parse(&[]).is_err());
+    }
+
+    #[test]
+    fn support_resolution() {
+        assert_eq!(Support::Absolute(7).resolve(100), 7);
+        assert_eq!(Support::Relative(0.1).resolve(100), 10);
+        assert_eq!(Support::Relative(0.101).resolve(100), 11); // ceil
+        assert_eq!(Support::Relative(0.001).resolve(10), 1); // min 1
+    }
+}

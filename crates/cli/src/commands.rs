@@ -1,0 +1,196 @@
+//! Command implementations.
+
+use dualminer_core::border::verify_maxth;
+use dualminer_core::oracle::CountingOracle;
+use dualminer_fdep::fd::minimal_fd_lhs_via_agree_sets;
+use dualminer_fdep::keys::minimal_keys_via_agree_sets;
+use dualminer_hypergraph::transversals_with;
+use dualminer_mining::apriori::apriori;
+use dualminer_mining::rules::association_rules;
+use dualminer_mining::FrequencyOracle;
+
+use crate::args::{Command, USAGE};
+use crate::formats;
+
+/// Executes a parsed command.
+pub fn run(cmd: Command) -> Result<(), String> {
+    match cmd {
+        Command::Help => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        Command::Mine {
+            path,
+            min_support,
+            rules,
+            maximal,
+        } => {
+            let text = read(&path)?;
+            let (universe, db) = formats::parse_baskets(&text)?;
+            let sigma = min_support.resolve(db.n_rows());
+            println!(
+                "{} transactions, {} items, min support {} rows",
+                db.n_rows(),
+                db.n_items(),
+                sigma
+            );
+            let fs = apriori(&db, sigma);
+            println!("\n{} frequent itemsets:", fs.itemsets.len());
+            for (set, support) in &fs.itemsets {
+                if set.is_empty() {
+                    continue;
+                }
+                println!(
+                    "  {:<30} support {} ({:.1}%)",
+                    universe.display(set),
+                    support,
+                    100.0 * *support as f64 / db.n_rows() as f64
+                );
+            }
+            if maximal {
+                println!("\nMaximal frequent sets (MTh):");
+                for m in &fs.maximal {
+                    println!("  {}", universe.display(m));
+                }
+                println!("Negative border (certificate of completeness):");
+                for b in &fs.negative_border {
+                    println!("  {}", universe.display(b));
+                }
+                // Verify with Corollary 4 — belt and braces for the user.
+                let mut oracle = CountingOracle::new(FrequencyOracle::new(&db, sigma));
+                let out = verify_maxth(
+                    &mut oracle,
+                    &fs.maximal,
+                    dualminer_hypergraph::TrAlgorithm::Berge,
+                );
+                println!(
+                    "Verified: {} ({} oracle queries = |Bd⁺|+|Bd⁻|)",
+                    out.is_maxth, out.queries
+                );
+            }
+            if let Some(conf) = rules {
+                let rules = association_rules(&fs, conf);
+                println!("\n{} association rules (confidence ≥ {conf}):", rules.len());
+                for r in &rules {
+                    println!("  {}", r.display(&universe));
+                }
+            }
+            Ok(())
+        }
+        Command::Keys { path, fds } => {
+            let text = read(&path)?;
+            let (universe, rel) = formats::parse_relation(&text)?;
+            println!("{} rows × {} attributes", rel.n_rows(), rel.n_attrs());
+            let keys =
+                minimal_keys_via_agree_sets(&rel, dualminer_hypergraph::TrAlgorithm::Berge);
+            if keys.minimal_keys.is_empty() {
+                println!("\nNo keys: the relation contains duplicate rows.");
+            } else {
+                println!("\nMinimal keys:");
+                for k in &keys.minimal_keys {
+                    println!("  {{{}}}", names(&universe, k));
+                }
+            }
+            println!("Maximal agree sets:");
+            for ag in &keys.maximal_non_superkeys {
+                println!("  {{{}}}", names(&universe, ag));
+            }
+            if fds {
+                println!("\nMinimal functional dependencies:");
+                let mut any = false;
+                for target in 0..rel.n_attrs() {
+                    let d = minimal_fd_lhs_via_agree_sets(
+                        &rel,
+                        target,
+                        dualminer_hypergraph::TrAlgorithm::Berge,
+                    );
+                    for lhs in &d.minimal_lhs {
+                        any = true;
+                        println!("  {{{}}} → {}", names(&universe, lhs), universe.name(target));
+                    }
+                }
+                if !any {
+                    println!("  (none)");
+                }
+            }
+            Ok(())
+        }
+        Command::Episodes {
+            path,
+            window,
+            min_freq,
+            serial,
+        } => {
+            let text = read(&path)?;
+            let (names, seq) = formats::parse_events(&text)?;
+            let class = if serial {
+                dualminer_episodes::mine::EpisodeClass::Serial
+            } else {
+                dualminer_episodes::mine::EpisodeClass::Parallel
+            };
+            println!(
+                "{} events, {} types; windows of width {window}, min frequency {min_freq}",
+                seq.len(),
+                seq.alphabet()
+            );
+            let run = dualminer_episodes::mine::mine_episodes(&seq, class, window, min_freq);
+            let render = |e: &dualminer_episodes::Episode| -> String {
+                match e {
+                    dualminer_episodes::Episode::Parallel(v) => format!(
+                        "{{{}}}",
+                        v.iter().map(|k| names[*k].as_str()).collect::<Vec<_>>().join(", ")
+                    ),
+                    dualminer_episodes::Episode::Serial(v) => v
+                        .iter()
+                        .map(|k| names[*k].as_str())
+                        .collect::<Vec<_>>()
+                        .join(" → "),
+                }
+            };
+            println!("\n{} frequent episodes:", run.frequent.len());
+            for (e, f) in &run.frequent {
+                if e.rank() == 0 {
+                    continue;
+                }
+                println!("  {:<40} {:.1}%", render(e), 100.0 * f);
+            }
+            println!("\nMaximal frequent episodes:");
+            for e in &run.maximal {
+                println!("  {}", render(e));
+            }
+            Ok(())
+        }
+        Command::Transversals { path, algo } => {
+            let text = read(&path)?;
+            let (universe, h) = formats::parse_hypergraph(&text)?;
+            println!(
+                "hypergraph: {} vertices, {} edges (simple: {})",
+                h.universe_size(),
+                h.len(),
+                h.is_simple()
+            );
+            let started = std::time::Instant::now();
+            let tr = transversals_with(&h, algo);
+            println!(
+                "\nTr(H) with {algo:?}: {} minimal transversals in {:.2?}:",
+                tr.len(),
+                started.elapsed()
+            );
+            for t in tr.edges() {
+                println!("  {{{}}}", names(&universe, t));
+            }
+            Ok(())
+        }
+    }
+}
+
+fn names(universe: &dualminer_bitset::Universe, set: &dualminer_bitset::AttrSet) -> String {
+    set.iter()
+        .map(|i| universe.name(i))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn read(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))
+}

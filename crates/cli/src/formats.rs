@@ -1,0 +1,220 @@
+//! Input-file parsers: baskets, CSV relations, hypergraphs.
+
+use std::collections::HashMap;
+
+use dualminer_bitset::{AttrSet, Universe};
+use dualminer_episodes::EventSequence;
+use dualminer_fdep::Relation;
+use dualminer_hypergraph::Hypergraph;
+use dualminer_mining::TransactionDb;
+
+/// Parses a basket file: one transaction per line, whitespace-separated
+/// item names; `#` starts a comment; blank lines are empty transactions
+/// and are skipped. Item indices are assigned in order of first
+/// appearance.
+pub fn parse_baskets(text: &str) -> Result<(Universe, TransactionDb), String> {
+    let mut names: Vec<String> = Vec::new();
+    let mut index: HashMap<String, usize> = HashMap::new();
+    let mut raw_rows: Vec<Vec<usize>> = Vec::new();
+    for line in text.lines() {
+        let line = strip_comment(line);
+        let items: Vec<&str> = line.split_whitespace().collect();
+        if items.is_empty() {
+            continue;
+        }
+        let mut row = Vec::with_capacity(items.len());
+        for item in items {
+            let id = *index.entry(item.to_string()).or_insert_with(|| {
+                names.push(item.to_string());
+                names.len() - 1
+            });
+            row.push(id);
+        }
+        raw_rows.push(row);
+    }
+    if raw_rows.is_empty() {
+        return Err("no transactions found".into());
+    }
+    let n = names.len();
+    let universe = Universe::new(names);
+    let db = TransactionDb::from_index_rows(n, raw_rows);
+    Ok((universe, db))
+}
+
+/// Parses a CSV relation: first line is the header of attribute names,
+/// remaining lines are comma-separated values (treated as opaque strings,
+/// dictionary-coded per column).
+pub fn parse_relation(text: &str) -> Result<(Universe, Relation), String> {
+    let mut lines = text.lines().map(strip_comment).filter(|l| !l.trim().is_empty());
+    let header = lines.next().ok_or("empty relation file")?;
+    let names: Vec<String> = header.split(',').map(|s| s.trim().to_string()).collect();
+    let n = names.len();
+    if n == 0 || names.iter().any(String::is_empty) {
+        return Err("invalid header row".into());
+    }
+    let mut dictionaries: Vec<HashMap<String, u32>> = vec![HashMap::new(); n];
+    let mut rows: Vec<Vec<u32>> = Vec::new();
+    for (lineno, line) in lines.enumerate() {
+        let cells: Vec<&str> = line.split(',').map(str::trim).collect();
+        if cells.len() != n {
+            return Err(format!(
+                "row {} has {} cells, expected {}",
+                lineno + 2,
+                cells.len(),
+                n
+            ));
+        }
+        let row = cells
+            .iter()
+            .enumerate()
+            .map(|(col, cell)| {
+                let dict = &mut dictionaries[col];
+                let next = dict.len() as u32;
+                *dict.entry(cell.to_string()).or_insert(next)
+            })
+            .collect();
+        rows.push(row);
+    }
+    Ok((Universe::new(names), Relation::new(n, rows)))
+}
+
+/// Parses a hypergraph file: one edge per line, whitespace-separated
+/// vertex names; vertex indices assigned in order of first appearance.
+pub fn parse_hypergraph(text: &str) -> Result<(Universe, Hypergraph), String> {
+    let mut names: Vec<String> = Vec::new();
+    let mut index: HashMap<String, usize> = HashMap::new();
+    let mut raw_edges: Vec<Vec<usize>> = Vec::new();
+    for line in text.lines() {
+        let line = strip_comment(line);
+        let verts: Vec<&str> = line.split_whitespace().collect();
+        if verts.is_empty() {
+            continue;
+        }
+        let mut edge = Vec::with_capacity(verts.len());
+        for v in verts {
+            let id = *index.entry(v.to_string()).or_insert_with(|| {
+                names.push(v.to_string());
+                names.len() - 1
+            });
+            edge.push(id);
+        }
+        raw_edges.push(edge);
+    }
+    if raw_edges.is_empty() {
+        return Err("no edges found".into());
+    }
+    let n = names.len();
+    let universe = Universe::new(names);
+    let edges = raw_edges
+        .into_iter()
+        .map(|e| AttrSet::from_indices(n, e))
+        .collect();
+    let h = Hypergraph::from_edges(n, edges).map_err(|e| e.to_string())?;
+    Ok((universe, h))
+}
+
+/// Parses an event file: one event per line as `<time> <type-name>`;
+/// comments/blank lines as elsewhere. Event-type indices are assigned in
+/// order of first appearance.
+pub fn parse_events(text: &str) -> Result<(Vec<String>, EventSequence), String> {
+    let mut names: Vec<String> = Vec::new();
+    let mut index: HashMap<String, usize> = HashMap::new();
+    let mut pairs: Vec<(u64, usize)> = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = strip_comment(line);
+        let mut parts = line.split_whitespace();
+        let Some(time) = parts.next() else { continue };
+        let kind = parts
+            .next()
+            .ok_or_else(|| format!("line {}: expected `<time> <type>`", lineno + 1))?;
+        if parts.next().is_some() {
+            return Err(format!("line {}: too many fields", lineno + 1));
+        }
+        let time: u64 = time
+            .parse()
+            .map_err(|_| format!("line {}: invalid time {time:?}", lineno + 1))?;
+        let id = *index.entry(kind.to_string()).or_insert_with(|| {
+            names.push(kind.to_string());
+            names.len() - 1
+        });
+        pairs.push((time, id));
+    }
+    if pairs.is_empty() {
+        return Err("no events found".into());
+    }
+    let alphabet = names.len();
+    Ok((names, EventSequence::from_pairs(alphabet, pairs)))
+}
+
+fn strip_comment(line: &str) -> &str {
+    match line.find('#') {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baskets_basic() {
+        let (u, db) = parse_baskets("milk bread\nbread butter # breakfast\n\nmilk\n").unwrap();
+        assert_eq!(u.size(), 3);
+        assert_eq!(db.n_rows(), 3);
+        assert_eq!(u.index_of("butter"), Some(2));
+        assert_eq!(db.support(&AttrSet::from_indices(3, [1])), 2); // bread
+    }
+
+    #[test]
+    fn baskets_empty_file_rejected() {
+        assert!(parse_baskets("# only comments\n").is_err());
+    }
+
+    #[test]
+    fn relation_basic() {
+        let csv = "dept,role\nsales,mgr\nsales,ic\neng,ic\n";
+        let (u, rel) = parse_relation(csv).unwrap();
+        assert_eq!(u.size(), 2);
+        assert_eq!(rel.n_rows(), 3);
+        // dept column: sales=0, eng=1.
+        assert_eq!(rel.rows()[0][0], rel.rows()[1][0]);
+        assert_ne!(rel.rows()[0][0], rel.rows()[2][0]);
+    }
+
+    #[test]
+    fn relation_ragged_rejected() {
+        assert!(parse_relation("a,b\n1\n").is_err());
+        assert!(parse_relation("").is_err());
+    }
+
+    #[test]
+    fn hypergraph_basic() {
+        let (u, h) = parse_hypergraph("x y\ny z\n# comment\nx z\n").unwrap();
+        assert_eq!(u.size(), 3);
+        assert_eq!(h.len(), 3);
+        assert!(h.is_simple());
+    }
+
+    #[test]
+    fn events_basic() {
+        let (names, seq) = parse_events("0 login\n1 search\n2 login # again\n").unwrap();
+        assert_eq!(names, vec!["login", "search"]);
+        assert_eq!(seq.len(), 3);
+        assert_eq!(seq.alphabet(), 2);
+    }
+
+    #[test]
+    fn events_errors() {
+        assert!(parse_events("").is_err());
+        assert!(parse_events("x login\n").is_err());
+        assert!(parse_events("1 a b\n").is_err());
+        assert!(parse_events("1\n").is_err());
+    }
+
+    #[test]
+    fn comment_stripping() {
+        assert_eq!(strip_comment("a b # c"), "a b ");
+        assert_eq!(strip_comment("plain"), "plain");
+    }
+}

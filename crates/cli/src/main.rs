@@ -1,0 +1,36 @@
+//! `dualminer` — the command-line frontend.
+//!
+//! ```text
+//! dualminer mine <baskets.txt> --min-support <N|0.x> [--rules <conf>] [--maximal]
+//! dualminer keys <relation.csv> [--fds]
+//! dualminer transversals <hypergraph.txt> [--algo berge|fk|levelwise|mmcs]
+//! ```
+//!
+//! File formats (see `formats` module): baskets are one transaction per
+//! line with whitespace-separated item names; relations are CSV with a
+//! header row; hypergraphs are one edge per line with whitespace-separated
+//! vertex names.
+
+mod args;
+mod commands;
+mod formats;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match args::parse(&argv) {
+        Ok(cmd) => match commands::run(cmd) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            eprintln!("{}", args::USAGE);
+            ExitCode::FAILURE
+        }
+    }
+}

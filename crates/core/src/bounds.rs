@@ -1,0 +1,132 @@
+//! Closed forms of every bound stated in the paper, so experiments and
+//! property tests can assert `measured ≤ bound` and report tightness.
+//!
+//! All bounds are returned as `u128` with saturating arithmetic: the
+//! theorems' right-hand sides (e.g. `2ᵏ·n·|MTh|`) overflow `u64` well
+//! inside the parameter ranges the experiments sweep.
+
+use crate::lang::dc;
+
+/// Theorem 2 / Corollary 27: any algorithm computing (or verifying) the
+/// theory from `Is-interesting` queries alone needs at least
+/// `|Bd(Th)| = |Bd⁺| + |Bd⁻|` queries. In learning terms (Theorem 24)
+/// this is `|CNF(f)| + |DNF(f)|`.
+pub fn theorem2_lower_bound(bd_plus: usize, bd_minus: usize) -> u128 {
+    bd_plus as u128 + bd_minus as u128
+}
+
+/// Theorem 10: the levelwise algorithm's *exact* query count,
+/// `|Th ∪ Bd⁻(Th)|` (a disjoint union).
+pub fn theorem10_exact(theory: usize, bd_minus: usize) -> u128 {
+    theory as u128 + bd_minus as u128
+}
+
+/// Theorem 12: levelwise query upper bound `dc(k) · width(L,⪯) · |MTh|`,
+/// where `k` is the maximal rank of an interesting sentence.
+pub fn theorem12_bound(k: usize, width: usize, mth: usize) -> u128 {
+    dc(k)
+        .saturating_mul(width as u128)
+        .saturating_mul(mth as u128)
+}
+
+/// Corollary 13: the frequent-set instantiation `2ᵏ · n · |MTh|`.
+pub fn corollary13_bound(k: usize, n: usize, mth: usize) -> u128 {
+    theorem12_bound(k, n, mth)
+}
+
+/// Corollary 14(i)'s concrete polynomial: every negative-border sentence
+/// has rank ≤ k + 1, so `|Bd⁻(Th)| ≤ Σ_{i ≤ k+1} C(n, i)` — polynomial in
+/// `n` for constant `k`, and `n^{O(k)}` for `k = O(log n)`.
+pub fn corollary14_bound(k: usize, n: usize) -> u128 {
+    binomial_sum(n, k + 1)
+}
+
+/// Theorem 21: Dualize-and-Advance query bound
+/// `|MTh| · (|Bd⁻(MTh)| + rank(MTh) · width(L,⪯))`.
+pub fn theorem21_bound(mth: usize, bd_minus: usize, rank: usize, width: usize) -> u128 {
+    (mth as u128).saturating_mul(
+        (bd_minus as u128).saturating_add((rank as u128).saturating_mul(width as u128)),
+    )
+}
+
+/// Corollary 28/29: the learning-side query bound
+/// `|CNF(f)| · (|DNF(f)| + n²)`.
+pub fn corollary29_query_bound(cnf: usize, dnf: usize, n: usize) -> u128 {
+    (cnf as u128).saturating_mul((dnf as u128).saturating_add((n as u128).pow(2)))
+}
+
+/// The Fredman–Khachiyan-style sub-exponential envelope
+/// `t(m) = m^{O(log m)}` used by Corollaries 22 and 29, evaluated with
+/// constant 1 in the exponent: `m^(log₂ m)`. Experiments report
+/// `log(measured) / (log m · log₂ m)` so the constant drops out.
+pub fn subexponential_envelope(m: usize) -> f64 {
+    if m <= 1 {
+        return 1.0;
+    }
+    let m = m as f64;
+    m.powf(m.log2())
+}
+
+/// `C(n, k)` with saturation.
+pub fn binomial(n: usize, k: usize) -> u128 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut r: u128 = 1;
+    for i in 0..k {
+        r = r.saturating_mul((n - i) as u128) / (i as u128 + 1);
+    }
+    r
+}
+
+/// `Σ_{i ≤ k} C(n, i)` with saturation.
+pub fn binomial_sum(n: usize, k: usize) -> u128 {
+    (0..=k.min(n)).fold(0u128, |acc, i| acc.saturating_add(binomial(n, i)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binomials() {
+        assert_eq!(binomial(5, 2), 10);
+        assert_eq!(binomial(5, 0), 1);
+        assert_eq!(binomial(5, 6), 0);
+        assert_eq!(binomial(60, 30), 118_264_581_564_861_424);
+        assert_eq!(binomial_sum(4, 2), 1 + 4 + 6);
+        assert_eq!(binomial_sum(3, 10), 8);
+    }
+
+    #[test]
+    fn bound_formulas() {
+        assert_eq!(theorem2_lower_bound(2, 2), 4);
+        assert_eq!(theorem10_exact(10, 2), 12);
+        assert_eq!(theorem12_bound(3, 4, 2), 8 * 4 * 2);
+        assert_eq!(corollary13_bound(3, 4, 2), theorem12_bound(3, 4, 2));
+        assert_eq!(corollary14_bound(2, 4), binomial_sum(4, 3));
+        assert_eq!(theorem21_bound(2, 2, 3, 4), 2 * (2 + 12));
+        assert_eq!(corollary29_query_bound(2, 2, 4), 2 * (2 + 16));
+    }
+
+    #[test]
+    fn figure1_instance_satisfies_bounds() {
+        // Fig. 1: |Th| = 10 (with ∅), |Bd⁻| = 2, |MTh| = 2, k = 3, n = 4.
+        let queries = theorem10_exact(10, 2);
+        assert!(queries <= theorem12_bound(3, 4, 2));
+        assert!(theorem2_lower_bound(2, 2) <= queries);
+    }
+
+    #[test]
+    fn saturation() {
+        assert_eq!(theorem12_bound(200, usize::MAX, usize::MAX), u128::MAX);
+        assert!(binomial(300, 150) > 0);
+    }
+
+    #[test]
+    fn envelope_monotone() {
+        assert!(subexponential_envelope(2) < subexponential_envelope(8));
+        assert_eq!(subexponential_envelope(1), 1.0);
+    }
+}

@@ -1,0 +1,626 @@
+//! The Dualize and Advance algorithm (Algorithm 16).
+//!
+//! Levelwise pays for every interesting sentence; when maximal sentences
+//! are long that cost is exponential (`dc(k) = 2ᵏ` in Theorem 12). Dualize
+//! and Advance instead *jumps* between maximal sentences:
+//!
+//! 1. Maintain a collection `Cᵢ` of verified maximal interesting sets.
+//! 2. **Dualize**: compute the minimal transversals of the complements of
+//!    `Cᵢ` — by Theorem 7 that is `Bd⁻(Cᵢ)`, the minimal sets not under
+//!    any found-so-far maximal set.
+//! 3. Query each transversal. If none is interesting, `Cᵢ = MTh` and the
+//!    transversals are `Bd⁻(MTh)` (Lemma 18). Otherwise an interesting
+//!    transversal is a **counterexample**…
+//! 4. **Advance**: extend it greedily, one attribute at a time, to a new
+//!    maximal interesting set (step 9).
+//!
+//! Lemma 20 bounds step 3: at most `|Bd⁻(MTh)|` transversals are tested
+//! before a counterexample appears — every tested set either *is* a member
+//! of the final `Bd⁻(MTh)` or is interesting (a counterexample), even
+//! though intermediate transversal hypergraphs can be exponentially larger
+//! (Example 19). Theorem 21 then gives the total query bound
+//! `|MTh| · (|Bd⁻(MTh)| + rank(MTh)·width(L,⪯))`, and with the
+//! Fredman–Khachiyan subroutine the total time is sub-exponential in
+//! `|MTh| + |Bd⁻(MTh)|` (Corollary 22).
+//!
+//! One deviation from the paper's listing: the first maximal set is found
+//! by greedily extending `∅` directly, which is what the first iteration
+//! amounts to (from `C₁ = {∅}`, `Tr({R})` is the singletons, and either
+//! some singleton is interesting or `∅` itself is maximal). This also
+//! makes the degenerate theories (`∅` uninteresting, or only `∅`
+//! interesting) come out right.
+
+use dualminer_bitset::AttrSet;
+use dualminer_hypergraph::{transversals_with, Hypergraph, TrAlgorithm};
+
+use crate::oracle::InterestOracle;
+
+/// Trace of one outer iteration (one new maximal set, or the final
+/// certificate round).
+#[derive(Clone, Debug)]
+pub struct DualizeAdvanceIteration {
+    /// Minimal transversals of the complement family tested this round —
+    /// the quantity Lemma 20 bounds by `|Bd⁻(MTh)|`.
+    pub transversals_tested: usize,
+    /// The interesting transversal that triggered the advance (absent in
+    /// the final round).
+    pub counterexample: Option<AttrSet>,
+    /// The maximal set the counterexample grew into.
+    pub maximal_found: Option<AttrSet>,
+    /// Queries spent by the greedy extension (step 9).
+    pub extension_queries: u64,
+}
+
+/// Complete output of one Dualize-and-Advance run.
+#[derive(Clone, Debug)]
+pub struct DualizeAdvanceRun {
+    /// `MTh(L, r, q)`, sorted card-lex.
+    pub maximal: Vec<AttrSet>,
+    /// `Bd⁻(MTh)`: the final round's transversals, all verified
+    /// uninteresting — the algorithm delivers the whole border for free
+    /// (Example 17's closing remark).
+    pub negative_border: Vec<AttrSet>,
+    /// Per-iteration trace; `iterations.len() == maximal.len() + 1`.
+    pub iterations: Vec<DualizeAdvanceIteration>,
+    /// Total `Is-interesting` queries.
+    pub queries: u64,
+}
+
+impl DualizeAdvanceRun {
+    /// Measured left side of the Theorem 21 inequality.
+    pub fn total_queries(&self) -> u64 {
+        self.queries
+    }
+
+    /// The largest number of transversals tested in any iteration.
+    /// Lemma 20: a non-final iteration tests at most `|Bd⁻(MTh)|`
+    /// uninteresting sets before its counterexample (≤ `|Bd⁻(MTh)| + 1`
+    /// tested in total); the final iteration tests exactly `|Bd⁻(MTh)|`.
+    pub fn max_transversals_tested(&self) -> usize {
+        self.iterations
+            .iter()
+            .map(|i| i.transversals_tested)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// The attribute order the step-9 greedy extension tries — correctness is
+/// order-independent (any order reaches *a* maximal set), but the order
+/// decides *which* maximal set each advance lands on and therefore the
+/// iteration trajectory (the DESIGN.md §5 ablation).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub enum ExtensionOrder {
+    /// Ascending attribute indices (the default).
+    #[default]
+    Ascending,
+    /// Descending attribute indices.
+    Descending,
+    /// A caller-provided permutation (attributes missing from it are
+    /// never tried — callers almost always want a full permutation).
+    Custom(Vec<usize>),
+}
+
+impl ExtensionOrder {
+    fn materialize(&self, n: usize) -> Vec<usize> {
+        match self {
+            ExtensionOrder::Ascending => (0..n).collect(),
+            ExtensionOrder::Descending => (0..n).rev().collect(),
+            ExtensionOrder::Custom(v) => v.clone(),
+        }
+    }
+}
+
+/// Tunables of a Dualize & Advance run.
+#[derive(Clone, Debug, Default)]
+pub struct DualizeAdvanceConfig {
+    /// Greedy-extension attribute order (step 9).
+    pub extension_order: ExtensionOrder,
+}
+
+/// Runs Dualize and Advance with the given transversal strategy.
+///
+/// With [`TrAlgorithm::FkJointGeneration`] the dualization is *incremental*:
+/// transversals are queried as the joint-generation loop emits them, and
+/// enumeration stops at the first counterexample — the regime Theorem 21
+/// assumes. The other strategies materialize the full transversal
+/// hypergraph per iteration first (cheaper on small borders, exponentially
+/// worse on instances like Example 19).
+pub fn dualize_advance<O: InterestOracle>(
+    oracle: &mut O,
+    algo: TrAlgorithm,
+) -> DualizeAdvanceRun {
+    dualize_advance_with_config(oracle, algo, &DualizeAdvanceConfig::default())
+}
+
+/// [`dualize_advance`] with explicit tunables.
+pub fn dualize_advance_with_config<O: InterestOracle>(
+    oracle: &mut O,
+    algo: TrAlgorithm,
+    config: &DualizeAdvanceConfig,
+) -> DualizeAdvanceRun {
+    let n = oracle.universe_size();
+    let ext_order = config.extension_order.materialize(n);
+    let mut maximal: Vec<AttrSet> = Vec::new();
+    let mut iterations: Vec<DualizeAdvanceIteration> = Vec::new();
+    let mut queries = 0u64;
+
+    // Seed: is anything interesting at all?
+    queries += 1;
+    if !oracle.is_interesting(&AttrSet::empty(n)) {
+        return DualizeAdvanceRun {
+            maximal,
+            negative_border: vec![AttrSet::empty(n)],
+            iterations,
+            queries,
+        };
+    }
+    let (first, ext_q) =
+        greedy_maximize_with_order(oracle, AttrSet::empty(n), Some(&ext_order));
+    queries += ext_q;
+    iterations.push(DualizeAdvanceIteration {
+        transversals_tested: 0,
+        counterexample: Some(AttrSet::empty(n)),
+        maximal_found: Some(first.clone()),
+        extension_queries: ext_q,
+    });
+    maximal.push(first);
+
+    loop {
+        // Dualize: E = complements of Cᵢ; Tr(E) = Bd⁻(Cᵢ) by Theorem 7.
+        let complements = Hypergraph::from_edges(n, maximal.iter().map(AttrSet::complement).collect())
+            .expect("complements stay in universe");
+
+        let mut tested = 0usize;
+        let mut counterexample: Option<AttrSet> = None;
+        let mut certificate: Vec<AttrSet> = Vec::new();
+
+        match algo {
+            TrAlgorithm::FkJointGeneration => {
+                // Incremental enumeration with early exit: re-implement the
+                // joint-generation loop inline so each emitted transversal
+                // is queried immediately.
+                let mut g = Hypergraph::empty(n);
+                loop {
+                    match dualminer_hypergraph::fk::duality_witness(&complements, &g) {
+                        None => break,
+                        Some(w) => {
+                            let t = dualminer_hypergraph::oracle::minimize_transversal(
+                                &complements,
+                                &w.complement(),
+                            )
+                            .expect("witness complement is a transversal");
+                            tested += 1;
+                            queries += 1;
+                            if oracle.is_interesting(&t) {
+                                counterexample = Some(t);
+                                break;
+                            }
+                            certificate.push(t.clone());
+                            g.add_edge(t);
+                        }
+                    }
+                }
+            }
+            TrAlgorithm::Berge | TrAlgorithm::LevelwiseLargeEdges | TrAlgorithm::Mmcs => {
+                let tr = transversals_with(&complements, algo);
+                for t in tr.edges() {
+                    tested += 1;
+                    queries += 1;
+                    if oracle.is_interesting(t) {
+                        counterexample = Some(t.clone());
+                        break;
+                    }
+                    certificate.push(t.clone());
+                }
+            }
+        }
+
+        match counterexample {
+            None => {
+                // All of Bd⁻(Cᵢ) uninteresting: Cᵢ = MTh (Lemma 18).
+                iterations.push(DualizeAdvanceIteration {
+                    transversals_tested: tested,
+                    counterexample: None,
+                    maximal_found: None,
+                    extension_queries: 0,
+                });
+                maximal.sort_by(|a, b| a.cmp_card_lex(b));
+                certificate.sort_by(|a, b| a.cmp_card_lex(b));
+                return DualizeAdvanceRun {
+                    maximal,
+                    negative_border: certificate,
+                    iterations,
+                    queries,
+                };
+            }
+            Some(x) => {
+                let (y, ext_q) =
+                    greedy_maximize_with_order(oracle, x.clone(), Some(&ext_order));
+                queries += ext_q;
+                debug_assert!(!maximal.contains(&y));
+                iterations.push(DualizeAdvanceIteration {
+                    transversals_tested: tested,
+                    counterexample: Some(x),
+                    maximal_found: Some(y.clone()),
+                    extension_queries: ext_q,
+                });
+                maximal.push(y);
+            }
+        }
+    }
+}
+
+/// The trivial fallback used by joint-generation early exit above is not
+/// needed for Berge; kept private.
+///
+/// Step 9: grow an interesting set to a maximal interesting set, one
+/// attribute at a time in ascending order. A single pass suffices: a
+/// rejected extension stays rejected as the set grows (monotonicity), so
+/// the result is maximal. Uses at most `width = n − |x|` queries —
+/// within the paper's `rank(MTh) · width` allowance.
+pub fn greedy_maximize<O: InterestOracle>(oracle: &mut O, x: AttrSet) -> (AttrSet, u64) {
+    greedy_maximize_with_order(oracle, x, None)
+}
+
+/// [`greedy_maximize`] trying attributes in the given order (ascending by
+/// default); the order changes which maximal set is reached, never
+/// maximality — the DESIGN.md §5 ablation knob.
+pub fn greedy_maximize_with_order<O: InterestOracle>(
+    oracle: &mut O,
+    mut x: AttrSet,
+    order: Option<&[usize]>,
+) -> (AttrSet, u64) {
+    let n = oracle.universe_size();
+    let default: Vec<usize> = (0..n).collect();
+    let order = order.unwrap_or(&default);
+    let mut queries = 0u64;
+    for &v in order {
+        if x.contains(v) {
+            continue;
+        }
+        x.insert(v);
+        queries += 1;
+        if !oracle.is_interesting(&x) {
+            x.remove(v);
+        }
+    }
+    (x, queries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::{CountingOracle, FamilyOracle, FnOracle};
+    use dualminer_bitset::Universe;
+
+    fn fig1_oracle() -> CountingOracle<FamilyOracle> {
+        let u = Universe::letters(4);
+        CountingOracle::new(FamilyOracle::new(
+            4,
+            vec![u.parse("ABC").unwrap(), u.parse("BD").unwrap()],
+        ))
+    }
+
+    #[test]
+    fn example_17_trace() {
+        let u = Universe::letters(4);
+        let mut oracle = fig1_oracle();
+        let run = dualize_advance(&mut oracle, TrAlgorithm::Berge);
+        assert_eq!(u.display_family(run.maximal.iter()), "{BD, ABC}");
+        assert_eq!(u.display_family(run.negative_border.iter()), "{AD, CD}");
+        // Iterations: seed-extend to ABC, advance to BD, certify.
+        assert_eq!(run.iterations.len(), 3);
+        assert_eq!(
+            run.iterations[0].maximal_found,
+            Some(u.parse("ABC").unwrap())
+        );
+        assert_eq!(
+            run.iterations[1].maximal_found,
+            Some(u.parse("BD").unwrap())
+        );
+        assert!(run.iterations[2].counterexample.is_none());
+        assert_eq!(run.iterations[2].transversals_tested, 2);
+    }
+
+    #[test]
+    fn all_strategies_agree() {
+        for algo in [
+            TrAlgorithm::Berge,
+            TrAlgorithm::FkJointGeneration,
+            TrAlgorithm::LevelwiseLargeEdges,
+        ] {
+            let mut oracle = fig1_oracle();
+            let run = dualize_advance(&mut oracle, algo);
+            let u = Universe::letters(4);
+            assert_eq!(u.display_family(run.maximal.iter()), "{BD, ABC}", "{algo:?}");
+            assert_eq!(
+                u.display_family(run.negative_border.iter()),
+                "{AD, CD}",
+                "{algo:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_theory() {
+        let mut oracle = FnOracle::new(4, |_: &AttrSet| false);
+        let run = dualize_advance(&mut oracle, TrAlgorithm::Berge);
+        assert!(run.maximal.is_empty());
+        assert_eq!(run.negative_border, vec![AttrSet::empty(4)]);
+        assert_eq!(run.queries, 1);
+    }
+
+    #[test]
+    fn only_empty_interesting() {
+        let mut oracle = FnOracle::new(3, |x: &AttrSet| x.is_empty());
+        let run = dualize_advance(&mut oracle, TrAlgorithm::Berge);
+        assert_eq!(run.maximal, vec![AttrSet::empty(3)]);
+        assert_eq!(run.negative_border.len(), 3); // the singletons
+    }
+
+    #[test]
+    fn full_theory() {
+        let mut oracle = FnOracle::new(5, |_: &AttrSet| true);
+        let run = dualize_advance(&mut oracle, TrAlgorithm::Berge);
+        assert_eq!(run.maximal, vec![AttrSet::full(5)]);
+        assert!(run.negative_border.is_empty());
+        // 1 (seed) + 5 (extension) + 0 (no transversals of empty
+        // complement... complements = {∅} → Tr = ∅).
+        assert_eq!(run.queries, 6);
+    }
+
+    #[test]
+    fn matches_levelwise_on_random_oracles() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(23);
+        for _ in 0..25 {
+            let n = rng.gen_range(3..8);
+            let m = rng.gen_range(1..4);
+            let family: Vec<AttrSet> = (0..m)
+                .map(|_| {
+                    let k = rng.gen_range(1..=n);
+                    AttrSet::from_indices(n, (0..k).map(|_| rng.gen_range(0..n)))
+                })
+                .collect();
+            let mut o1 = FamilyOracle::new(n, family.clone());
+            let lw = crate::levelwise::levelwise(&mut o1);
+            for algo in [TrAlgorithm::Berge, TrAlgorithm::FkJointGeneration] {
+                let mut o2 = FamilyOracle::new(n, family.clone());
+                let da = dualize_advance(&mut o2, algo);
+                assert_eq!(da.maximal, lw.positive_border, "family={family:?}");
+                assert_eq!(da.negative_border, lw.negative_border, "family={family:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_maximize_is_maximal() {
+        let mut oracle = fig1_oracle();
+        let (y, q) = greedy_maximize(&mut oracle, AttrSet::empty(4));
+        let u = Universe::letters(4);
+        assert_eq!(y, u.parse("ABC").unwrap());
+        assert_eq!(q, 4); // one query per attribute
+        // Reverse order reaches the other maximal set.
+        let (y2, _) =
+            greedy_maximize_with_order(&mut oracle, AttrSet::empty(4), Some(&[3, 2, 1, 0]));
+        assert_eq!(y2, u.parse("BD").unwrap());
+    }
+
+    #[test]
+    fn lemma20_on_example() {
+        let mut oracle = fig1_oracle();
+        let run = dualize_advance(&mut oracle, TrAlgorithm::Berge);
+        let bd_minus = run.negative_border.len();
+        for it in &run.iterations {
+            assert!(it.transversals_tested <= bd_minus);
+        }
+    }
+}
+
+#[cfg(test)]
+mod config_tests {
+    use super::*;
+    use crate::oracle::FamilyOracle;
+    use dualminer_bitset::Universe;
+
+    #[test]
+    fn extension_order_changes_trajectory_not_answer() {
+        let u = Universe::letters(4);
+        let maxth = vec![u.parse("ABC").unwrap(), u.parse("BD").unwrap()];
+        let mut runs = Vec::new();
+        for order in [ExtensionOrder::Ascending, ExtensionOrder::Descending] {
+            let mut oracle = FamilyOracle::new(4, maxth.clone());
+            let run = dualize_advance_with_config(
+                &mut oracle,
+                TrAlgorithm::Berge,
+                &DualizeAdvanceConfig { extension_order: order },
+            );
+            runs.push(run);
+        }
+        // Same MTh and Bd⁻…
+        assert_eq!(runs[0].maximal, runs[1].maximal);
+        assert_eq!(runs[0].negative_border, runs[1].negative_border);
+        // …but the first maximal set found differs (ABC vs BD).
+        assert_ne!(
+            runs[0].iterations[0].maximal_found,
+            runs[1].iterations[0].maximal_found
+        );
+    }
+
+    #[test]
+    fn custom_order_is_respected() {
+        let u = Universe::letters(4);
+        let maxth = vec![u.parse("ABC").unwrap(), u.parse("BD").unwrap()];
+        let mut oracle = FamilyOracle::new(4, maxth);
+        let run = dualize_advance_with_config(
+            &mut oracle,
+            TrAlgorithm::Berge,
+            &DualizeAdvanceConfig {
+                extension_order: ExtensionOrder::Custom(vec![3, 1, 2, 0]),
+            },
+        );
+        // Trying D first reaches BD before ABC.
+        assert_eq!(
+            run.iterations[0].maximal_found,
+            Some(u.parse("BD").unwrap())
+        );
+    }
+}
+
+/// The batch variant of Dualize & Advance: each round materializes the
+/// full negative border of the current collection and advances from
+/// *every* interesting transversal, not just the first.
+///
+/// Fewer (but more expensive) dualizations per run — at most
+/// `rank(MTh) + 1` rounds, since every round either finishes or grows
+/// some maximal chain — in exchange for evaluating the entire
+/// intermediate border each round (so Example 19-style blowups hit it
+/// harder than the incremental variant). This is closer to how the
+/// randomized study of reference \[11\] batched its certificates; the
+/// `dna_batch_vs_incremental` comparison lives in the E7 bench family.
+pub fn dualize_advance_batch<O: InterestOracle>(
+    oracle: &mut O,
+    algo: TrAlgorithm,
+) -> DualizeAdvanceRun {
+    let n = oracle.universe_size();
+    let mut maximal: Vec<AttrSet> = Vec::new();
+    let mut iterations: Vec<DualizeAdvanceIteration> = Vec::new();
+    let mut queries = 0u64;
+
+    queries += 1;
+    if !oracle.is_interesting(&AttrSet::empty(n)) {
+        return DualizeAdvanceRun {
+            maximal,
+            negative_border: vec![AttrSet::empty(n)],
+            iterations,
+            queries,
+        };
+    }
+    let (first, ext_q) = greedy_maximize(oracle, AttrSet::empty(n));
+    queries += ext_q;
+    iterations.push(DualizeAdvanceIteration {
+        transversals_tested: 0,
+        counterexample: Some(AttrSet::empty(n)),
+        maximal_found: Some(first.clone()),
+        extension_queries: ext_q,
+    });
+    maximal.push(first);
+
+    loop {
+        let complements =
+            Hypergraph::from_edges(n, maximal.iter().map(AttrSet::complement).collect())
+                .expect("complements stay in universe");
+        let tr = transversals_with(&complements, algo);
+        let mut tested = 0usize;
+        let mut ext_queries = 0u64;
+        let mut found_any = false;
+        let mut certificate: Vec<AttrSet> = Vec::new();
+        let mut last_counterexample = None;
+        let mut last_maximal = None;
+        for t in tr.edges() {
+            tested += 1;
+            queries += 1;
+            if oracle.is_interesting(t) {
+                found_any = true;
+                let (y, q) = greedy_maximize(oracle, t.clone());
+                queries += q;
+                ext_queries += q;
+                last_counterexample = Some(t.clone());
+                if !maximal.contains(&y) {
+                    last_maximal = Some(y.clone());
+                    maximal.push(y);
+                }
+            } else {
+                certificate.push(t.clone());
+            }
+        }
+        iterations.push(DualizeAdvanceIteration {
+            transversals_tested: tested,
+            counterexample: last_counterexample,
+            maximal_found: last_maximal,
+            extension_queries: ext_queries,
+        });
+        if !found_any {
+            maximal.sort_by(|a, b| a.cmp_card_lex(b));
+            certificate.sort_by(|a, b| a.cmp_card_lex(b));
+            return DualizeAdvanceRun {
+                maximal,
+                negative_border: certificate,
+                iterations,
+                queries,
+            };
+        }
+    }
+}
+
+#[cfg(test)]
+mod batch_tests {
+    use super::*;
+    use crate::oracle::{CountingOracle, FamilyOracle, FnOracle};
+    use dualminer_bitset::Universe;
+
+    #[test]
+    fn batch_matches_incremental_on_figure1() {
+        let u = Universe::letters(4);
+        let maxth = vec![u.parse("ABC").unwrap(), u.parse("BD").unwrap()];
+        let mut o1 = FamilyOracle::new(4, maxth.clone());
+        let inc = dualize_advance(&mut o1, TrAlgorithm::Berge);
+        let mut o2 = FamilyOracle::new(4, maxth);
+        let bat = dualize_advance_batch(&mut o2, TrAlgorithm::Berge);
+        assert_eq!(inc.maximal, bat.maximal);
+        assert_eq!(inc.negative_border, bat.negative_border);
+        // The batch variant uses no more rounds.
+        assert!(bat.iterations.len() <= inc.iterations.len());
+    }
+
+    #[test]
+    fn batch_round_count_bounded_by_rank() {
+        // Round bound: every round either certifies or extends at least
+        // one chain, and chains have length ≤ rank(MTh) + 1.
+        let n = 10;
+        let family: Vec<AttrSet> = (0..5)
+            .map(|i| AttrSet::from_indices(n, [i, i + 1, i + 2, i + 3]))
+            .collect();
+        let mut oracle = CountingOracle::new(FamilyOracle::new(n, family.clone()));
+        let run = dualize_advance_batch(&mut oracle, TrAlgorithm::Berge);
+        assert_eq!(run.maximal.len(), 5);
+        let rank = family.iter().map(AttrSet::len).max().unwrap();
+        assert!(
+            run.iterations.len() <= rank + 2,
+            "{} rounds for rank {}",
+            run.iterations.len(),
+            rank
+        );
+    }
+
+    #[test]
+    fn batch_on_random_oracles() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(61);
+        for _ in 0..20 {
+            let n = rng.gen_range(3..8);
+            let m = rng.gen_range(1..4);
+            let family: Vec<AttrSet> = (0..m)
+                .map(|_| {
+                    let k = rng.gen_range(1..=n);
+                    AttrSet::from_indices(n, (0..k).map(|_| rng.gen_range(0..n)))
+                })
+                .collect();
+            let mut o1 = FamilyOracle::new(n, family.clone());
+            let inc = dualize_advance(&mut o1, TrAlgorithm::Berge);
+            let mut o2 = FamilyOracle::new(n, family.clone());
+            let bat = dualize_advance_batch(&mut o2, TrAlgorithm::Berge);
+            assert_eq!(inc.maximal, bat.maximal, "{family:?}");
+            assert_eq!(inc.negative_border, bat.negative_border, "{family:?}");
+        }
+    }
+
+    #[test]
+    fn batch_empty_theory() {
+        let mut oracle = FnOracle::new(4, |_: &AttrSet| false);
+        let run = dualize_advance_batch(&mut oracle, TrAlgorithm::Berge);
+        assert!(run.maximal.is_empty());
+        assert_eq!(run.negative_border, vec![AttrSet::empty(4)]);
+    }
+}

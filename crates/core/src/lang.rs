@@ -1,0 +1,142 @@
+//! Representation as sets (Definition 6) and the lattice vocabulary of
+//! Theorem 12.
+//!
+//! A language `L` with specialization relation `⪯` is *representable as
+//! sets* when there is a bijection `f : L → P(R)` with
+//! `θ ⪯ φ ⟺ f(θ) ⊆ f(φ)` — the structure `⪯` imposes on `L` must be
+//! isomorphic to a full subset lattice (so `|L|` is a power of two). The
+//! paper notes frequent sets, functional dependencies with a fixed
+//! right-hand side, inclusion dependencies, and monotone Boolean functions
+//! all qualify; episode languages do not (the map fails to be surjective,
+//! which breaks the inverse image in Theorem 7).
+//!
+//! [`SetRepresentation`] captures `f`; the FD crate (non-identity `f` for
+//! keys) and the learning crate (assignments ↔ sets) implement it. The
+//! rest of this module provides `rank`, `width` and `dc(k)` — the
+//! quantities Theorem 12's bound `dc(k)·width·|MTh|` is phrased in — for
+//! the subset lattice.
+
+use dualminer_bitset::AttrSet;
+
+/// Definition 6: a bijective, order-preserving encoding of a language into
+/// the subset lattice `P(R)`.
+///
+/// Implementations must satisfy, for all sentences `a`, `b`:
+/// `a ⪯ b ⟺ encode(a) ⊆ encode(b)`, and `decode(encode(a)) = a`.
+pub trait SetRepresentation {
+    /// The sentence type of the language `L`.
+    type Sentence;
+
+    /// Size of the attribute universe `R`.
+    fn universe_size(&self) -> usize;
+
+    /// `f`: sentence → set.
+    fn encode(&self, sentence: &Self::Sentence) -> AttrSet;
+
+    /// `f⁻¹`: set → sentence. Total, because `f` is surjective.
+    fn decode(&self, set: &AttrSet) -> Self::Sentence;
+}
+
+/// The identity representation: the language already *is* the subset
+/// lattice (frequent sets, Example 8's `f(X) = X`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IdentityRepresentation {
+    n: usize,
+}
+
+impl IdentityRepresentation {
+    /// Identity representation over `n` attributes.
+    pub fn new(n: usize) -> Self {
+        IdentityRepresentation { n }
+    }
+}
+
+impl SetRepresentation for IdentityRepresentation {
+    type Sentence = AttrSet;
+
+    fn universe_size(&self) -> usize {
+        self.n
+    }
+
+    fn encode(&self, sentence: &AttrSet) -> AttrSet {
+        sentence.clone()
+    }
+
+    fn decode(&self, set: &AttrSet) -> AttrSet {
+        set.clone()
+    }
+}
+
+/// `rank(φ)` in the subset lattice is the cardinality `|f(φ)|`: 0 for the
+/// bottom, and `1 + max(rank of immediate predecessors)` otherwise.
+pub fn rank(set: &AttrSet) -> usize {
+    set.len()
+}
+
+/// `rank(C) = max_{φ∈C} rank(φ)`; 0 for an empty collection.
+pub fn rank_of_family(family: &[AttrSet]) -> usize {
+    family.iter().map(AttrSet::len).max().unwrap_or(0)
+}
+
+/// `width(L, ⪯)`: the maximal number of immediate successors of any
+/// sentence. In the subset lattice over `n` attributes this is `n` (the
+/// bottom has `n` immediate supersets).
+pub fn subset_lattice_width(n: usize) -> usize {
+    n
+}
+
+/// `dc(k)`: the maximal size of the downward closure of any sentence of
+/// rank ≤ k. In the subset lattice, a `k`-set has `2ᵏ` subsets.
+///
+/// Saturates at `u128::MAX` for `k ≥ 128` (irrelevant in practice; keeps
+/// the bound evaluators total).
+pub fn dc(k: usize) -> u128 {
+    if k >= 128 {
+        u128::MAX
+    } else {
+        1u128 << k
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_round_trip() {
+        let repr = IdentityRepresentation::new(5);
+        let s = AttrSet::from_indices(5, [1, 3]);
+        assert_eq!(repr.encode(&s), s);
+        assert_eq!(repr.decode(&s), s);
+        assert_eq!(repr.universe_size(), 5);
+    }
+
+    #[test]
+    fn identity_preserves_order() {
+        let repr = IdentityRepresentation::new(5);
+        let a = AttrSet::from_indices(5, [1]);
+        let b = AttrSet::from_indices(5, [1, 3]);
+        assert!(repr.encode(&a).is_subset(&repr.encode(&b)));
+    }
+
+    #[test]
+    fn rank_and_width() {
+        assert_eq!(rank(&AttrSet::empty(4)), 0);
+        assert_eq!(rank(&AttrSet::full(4)), 4);
+        assert_eq!(rank_of_family(&[]), 0);
+        assert_eq!(
+            rank_of_family(&[AttrSet::from_indices(4, [0]), AttrSet::from_indices(4, [1, 2, 3])]),
+            3
+        );
+        assert_eq!(subset_lattice_width(7), 7);
+    }
+
+    #[test]
+    fn dc_values() {
+        assert_eq!(dc(0), 1);
+        assert_eq!(dc(3), 8);
+        assert_eq!(dc(127), 1u128 << 127);
+        assert_eq!(dc(128), u128::MAX);
+        assert_eq!(dc(200), u128::MAX);
+    }
+}

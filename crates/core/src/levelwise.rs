@@ -1,0 +1,246 @@
+//! The levelwise algorithm (Algorithm 9) — Apriori generalized.
+//!
+//! Walk the subset lattice bottom-up one level at a time, alternating
+//! *candidate generation* (no database access: a candidate is kept only if
+//! all of its immediate generalizations were interesting) and *evaluation*
+//! (one `Is-interesting` query per candidate). The paper proves:
+//!
+//! * **Theorem 10** — the query count is exactly
+//!   `|Th(L,r,q) ∪ Bd⁻(Th(L,r,q))|`: every interesting sentence and every
+//!   negative-border sentence is evaluated once, nothing else ever becomes
+//!   a candidate.
+//! * **Theorem 12** — at most `dc(k) · width(L,⪯) · |MTh|` queries, where
+//!   `k` is the maximal rank of an interesting sentence; for frequent sets
+//!   this is `2ᵏ · n · |MTh|` (Corollary 13).
+//!
+//! One convention is ours: the lattice bottom `∅` is a sentence (the
+//! paper's Example 11 starts at singletons, leaving ∅ implicit). Level 0
+//! therefore evaluates ∅ — one extra query — and an empty theory is
+//! representable (`MTh = ∅`, `Bd⁻ = {∅}`). Experiment E1 reports the count
+//! both ways.
+
+use std::collections::HashSet;
+
+use dualminer_bitset::AttrSet;
+
+use crate::oracle::InterestOracle;
+
+/// Complete output of one levelwise run.
+#[derive(Clone, Debug)]
+pub struct LevelwiseRun {
+    /// The whole theory `Th(L, r, q)`: every interesting sentence, sorted
+    /// by cardinality then lexicographically.
+    pub theory: Vec<AttrSet>,
+    /// `Bd⁺(Th) = MTh`: the maximal interesting sentences.
+    pub positive_border: Vec<AttrSet>,
+    /// `Bd⁻(Th)`: the minimal uninteresting sentences — exactly the
+    /// candidates that failed evaluation (Example 11's observation).
+    pub negative_border: Vec<AttrSet>,
+    /// Candidates evaluated at each level (level = index = cardinality).
+    pub candidates_per_level: Vec<usize>,
+    /// Total `Is-interesting` evaluations issued by this run.
+    pub queries: u64,
+}
+
+impl LevelwiseRun {
+    /// `|Th ∪ Bd⁻(Th)|` — the Theorem 10 identity this run's `queries`
+    /// must equal (the two families are disjoint, so it is a plain sum).
+    pub fn theorem10_count(&self) -> u64 {
+        (self.theory.len() + self.negative_border.len()) as u64
+    }
+}
+
+/// Runs Algorithm 9 against the oracle.
+///
+/// Candidate generation uses the standard prefix-join: a level-`(i+1)`
+/// candidate is produced from its level-`i` subset lacking the largest
+/// element, then pruned unless *all* its immediate subsets were interesting
+/// — exactly the paper's step 5,
+/// `C_{i+1} := Bd⁻(∪_{j≤i} L_j) \ ∪_{j≤i} C_j`, restricted to the next
+/// level (lower-level members of the border were already candidates at
+/// their own level).
+pub fn levelwise<O: InterestOracle>(oracle: &mut O) -> LevelwiseRun {
+    let n = oracle.universe_size();
+    let mut theory: Vec<AttrSet> = Vec::new();
+    let mut negative: Vec<AttrSet> = Vec::new();
+    let mut candidates_per_level: Vec<usize> = Vec::new();
+    let mut queries = 0u64;
+
+    // Level 0: the single most general sentence, ∅.
+    let empty = AttrSet::empty(n);
+    candidates_per_level.push(1);
+    queries += 1;
+    if !oracle.is_interesting(&empty) {
+        return LevelwiseRun {
+            theory,
+            positive_border: vec![],
+            negative_border: vec![empty],
+            candidates_per_level,
+            queries,
+        };
+    }
+    theory.push(empty);
+
+    // `level` holds L_i as sorted index vectors for prefix extension.
+    let mut level: Vec<Vec<usize>> = vec![vec![]];
+    let mut card = 0usize;
+    while !level.is_empty() && card < n {
+        card += 1;
+        let members: HashSet<&[usize]> = level.iter().map(Vec::as_slice).collect();
+        let mut next: Vec<Vec<usize>> = Vec::new();
+        let mut tested = 0usize;
+        for x in &level {
+            let lo = x.last().map_or(0, |&m| m + 1);
+            'ext: for a in lo..n {
+                let mut cand = x.clone();
+                cand.push(a);
+                if card >= 2 {
+                    let mut sub = Vec::with_capacity(card - 1);
+                    for drop in 0..cand.len() - 1 {
+                        sub.clear();
+                        sub.extend(
+                            cand.iter()
+                                .enumerate()
+                                .filter_map(|(i, &v)| (i != drop).then_some(v)),
+                        );
+                        if !members.contains(sub.as_slice()) {
+                            continue 'ext;
+                        }
+                    }
+                }
+                tested += 1;
+                queries += 1;
+                let cand_set = AttrSet::from_indices(n, cand.iter().copied());
+                if oracle.is_interesting(&cand_set) {
+                    theory.push(cand_set);
+                    next.push(cand);
+                } else {
+                    negative.push(cand_set);
+                }
+            }
+        }
+        if tested > 0 {
+            candidates_per_level.push(tested);
+        }
+        level = next;
+    }
+
+    // Positive border: theory members with no interesting immediate
+    // superset. (No database access — computable from Th alone.)
+    let member_set: HashSet<&AttrSet> = theory.iter().collect();
+    let positive_border: Vec<AttrSet> = theory
+        .iter()
+        .filter(|t| {
+            dualminer_bitset::ImmediateSupersets::new(t).all(|s| !member_set.contains(&s))
+        })
+        .cloned()
+        .collect();
+
+    negative.sort_by(|a, b| a.cmp_card_lex(b));
+
+    LevelwiseRun {
+        theory,
+        positive_border,
+        negative_border: negative,
+        candidates_per_level,
+        queries,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::{CountingOracle, FamilyOracle, FnOracle};
+    use dualminer_bitset::Universe;
+
+    fn fig1_oracle() -> CountingOracle<FamilyOracle> {
+        let u = Universe::letters(4);
+        CountingOracle::new(FamilyOracle::new(
+            4,
+            vec![u.parse("ABC").unwrap(), u.parse("BD").unwrap()],
+        ))
+    }
+
+    #[test]
+    fn example_11_trace() {
+        let u = Universe::letters(4);
+        let mut oracle = fig1_oracle();
+        let run = levelwise(&mut oracle);
+
+        // Theory: ∅ + {A,B,C,D} + {AB,AC,BC,BD} + {ABC} = 10 sentences.
+        assert_eq!(run.theory.len(), 10);
+        assert_eq!(u.display_family(run.positive_border.iter()), "{BD, ABC}");
+        // "the negative border corresponds exactly to the sets found not
+        //  interesting along the way, that is the sets AD and CD."
+        assert_eq!(u.display_family(run.negative_border.iter()), "{AD, CD}");
+        // Candidates: ∅; 4 singletons; all 6 pairs (paper: "in this case
+        // all attribute pairs"); 1 triple ABC; no quadruple (ABCD pruned:
+        // ABD ∉ L3).
+        assert_eq!(run.candidates_per_level, vec![1, 4, 6, 1]);
+    }
+
+    #[test]
+    fn theorem10_exact_count() {
+        let mut oracle = fig1_oracle();
+        let run = levelwise(&mut oracle);
+        assert_eq!(run.queries, run.theorem10_count());
+        assert_eq!(oracle.distinct_queries(), run.queries);
+        // Levelwise never repeats a query even without memoization.
+        assert_eq!(oracle.raw_queries(), run.queries);
+    }
+
+    #[test]
+    fn empty_theory() {
+        let mut oracle = FnOracle::new(4, |_: &AttrSet| false);
+        let run = levelwise(&mut oracle);
+        assert!(run.theory.is_empty());
+        assert!(run.positive_border.is_empty());
+        assert_eq!(run.negative_border, vec![AttrSet::empty(4)]);
+        assert_eq!(run.queries, 1);
+    }
+
+    #[test]
+    fn full_theory() {
+        let mut oracle = FnOracle::new(3, |_: &AttrSet| true);
+        let run = levelwise(&mut oracle);
+        assert_eq!(run.theory.len(), 8);
+        assert_eq!(run.positive_border, vec![AttrSet::full(3)]);
+        assert!(run.negative_border.is_empty());
+        assert_eq!(run.queries, 8);
+    }
+
+    #[test]
+    fn only_empty_set_interesting() {
+        let mut oracle = FnOracle::new(3, |x: &AttrSet| x.is_empty());
+        let run = levelwise(&mut oracle);
+        assert_eq!(run.theory, vec![AttrSet::empty(3)]);
+        assert_eq!(run.positive_border, vec![AttrSet::empty(3)]);
+        assert_eq!(run.negative_border.len(), 3); // all singletons
+        assert_eq!(run.queries, 4);
+    }
+
+    #[test]
+    fn negative_border_matches_theorem7() {
+        let mut oracle = fig1_oracle();
+        let run = levelwise(&mut oracle);
+        let via_tr = crate::border::negative_border_via_transversals(
+            4,
+            &run.positive_border,
+            dualminer_hypergraph::TrAlgorithm::Berge,
+        );
+        assert_eq!(run.negative_border, via_tr);
+    }
+
+    #[test]
+    fn size_threshold_oracle() {
+        // Interesting = |x| ≤ 2 over n = 5: MTh = all 10 pairs,
+        // Bd⁻ = all 10 triples.
+        let mut oracle = CountingOracle::new(FnOracle::new(5, |x: &AttrSet| x.len() <= 2));
+        let run = levelwise(&mut oracle);
+        assert_eq!(run.theory.len(), 1 + 5 + 10);
+        assert_eq!(run.positive_border.len(), 10);
+        assert_eq!(run.negative_border.len(), 10);
+        assert_eq!(run.queries, 26);
+        assert!(run.negative_border.iter().all(|s| s.len() == 3));
+    }
+}

@@ -1,0 +1,251 @@
+//! Episodes and their specialization relation.
+
+use std::fmt;
+
+use crate::sequence::Event;
+
+/// An episode over an event-type alphabet, in the two basic shapes of
+/// \[21\].
+///
+/// The specialization relation of the mining framework is the
+/// *subepisode* order: `α ⪯ β` (β more specific) iff every occurrence of
+/// β contains one of α. Concretely: a parallel episode is a subepisode of
+/// another iff its type set is a subset; a serial episode is a subepisode
+/// of another iff its type sequence is a subsequence; and a parallel
+/// episode is a subepisode of a serial one iff its types can be matched
+/// into the sequence (the serial order only adds constraints).
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Episode {
+    /// All listed event types occur in the window, in any order. The type
+    /// list is kept sorted and duplicate-free.
+    Parallel(Vec<usize>),
+    /// The listed event types occur at strictly increasing times.
+    /// Repeats are allowed (`A → A` is meaningful).
+    Serial(Vec<usize>),
+}
+
+impl Episode {
+    /// A parallel episode; sorts and de-duplicates the types.
+    pub fn parallel<I: IntoIterator<Item = usize>>(kinds: I) -> Self {
+        let mut v: Vec<usize> = kinds.into_iter().collect();
+        v.sort_unstable();
+        v.dedup();
+        Episode::Parallel(v)
+    }
+
+    /// A serial episode (order preserved verbatim).
+    pub fn serial<I: IntoIterator<Item = usize>>(kinds: I) -> Self {
+        Episode::Serial(kinds.into_iter().collect())
+    }
+
+    /// The episode's size (number of events it requires) — the `rank` of
+    /// the framework's lattice vocabulary.
+    pub fn rank(&self) -> usize {
+        match self {
+            Episode::Parallel(v) | Episode::Serial(v) => v.len(),
+        }
+    }
+
+    /// The event types mentioned.
+    pub fn kinds(&self) -> &[usize] {
+        match self {
+            Episode::Parallel(v) | Episode::Serial(v) => v,
+        }
+    }
+
+    /// Whether the episode occurs in a time-ordered slice of events (one
+    /// window).
+    pub fn occurs_in(&self, window: &[Event]) -> bool {
+        match self {
+            Episode::Parallel(kinds) => kinds
+                .iter()
+                .all(|k| window.iter().any(|e| e.kind == *k)),
+            Episode::Serial(kinds) => {
+                // Greedy subsequence matching with strictly increasing
+                // times: after matching at time t, the next event must
+                // come strictly later.
+                let mut last_time: Option<u64> = None;
+                let mut idx = 0usize;
+                for need in kinds {
+                    let mut found = false;
+                    while idx < window.len() {
+                        let e = window[idx];
+                        idx += 1;
+                        if e.kind == *need && last_time.map_or(true, |t| e.time > t) {
+                            last_time = Some(e.time);
+                            found = true;
+                            break;
+                        }
+                    }
+                    if !found {
+                        return false;
+                    }
+                }
+                true
+            }
+        }
+    }
+
+    /// The subepisode test: `self ⪯ other` (is `self` more general)?
+    ///
+    /// Same-shape comparisons use subset / subsequence; a parallel episode
+    /// is also a subepisode of a serial one containing its types; a serial
+    /// episode of length ≥ 2 is never a subepisode of a parallel one (the
+    /// order constraint cannot be implied).
+    pub fn is_subepisode_of(&self, other: &Episode) -> bool {
+        match (self, other) {
+            (Episode::Parallel(a), Episode::Parallel(b)) => {
+                a.iter().all(|k| b.binary_search(k).is_ok())
+            }
+            (Episode::Serial(a), Episode::Serial(b)) => is_subsequence(a, b),
+            (Episode::Parallel(a), Episode::Serial(b)) => {
+                // Every type of a must be available in b (with
+                // multiplicity 1 since a is a set).
+                a.iter().all(|k| b.contains(k))
+            }
+            (Episode::Serial(a), Episode::Parallel(b)) => {
+                // A length-1 serial episode is the same constraint as the
+                // singleton parallel episode.
+                a.len() == 1 && b.contains(&a[0])
+            }
+        }
+    }
+
+    /// Immediate generalizations: episodes of rank−1 obtained by deleting
+    /// one event. For a parallel episode, drop one type; for a serial
+    /// episode, drop one position (deduplicated).
+    pub fn immediate_subepisodes(&self) -> Vec<Episode> {
+        let mut subs = Vec::new();
+        match self {
+            Episode::Parallel(v) => {
+                for i in 0..v.len() {
+                    let mut w = v.clone();
+                    w.remove(i);
+                    subs.push(Episode::Parallel(w));
+                }
+            }
+            Episode::Serial(v) => {
+                for i in 0..v.len() {
+                    let mut w = v.clone();
+                    w.remove(i);
+                    let e = Episode::Serial(w);
+                    if !subs.contains(&e) {
+                        subs.push(e);
+                    }
+                }
+            }
+        }
+        subs
+    }
+
+    /// Renders e.g. `{A,C}` (parallel) or `A→B→A` (serial) with letter
+    /// names for alphabets ≤ 26 (indices otherwise).
+    pub fn display(&self) -> String {
+        let name = |k: &usize| {
+            if *k < 26 {
+                ((b'A' + *k as u8) as char).to_string()
+            } else {
+                k.to_string()
+            }
+        };
+        match self {
+            Episode::Parallel(v) => {
+                format!("{{{}}}", v.iter().map(name).collect::<Vec<_>>().join(","))
+            }
+            Episode::Serial(v) => v.iter().map(name).collect::<Vec<_>>().join("→"),
+        }
+    }
+}
+
+impl fmt::Display for Episode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.display())
+    }
+}
+
+/// Whether `a` is a subsequence of `b`.
+fn is_subsequence(a: &[usize], b: &[usize]) -> bool {
+    let mut it = b.iter();
+    a.iter().all(|x| it.any(|y| y == x))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EventSequence;
+
+    fn window(pairs: &[(u64, usize)]) -> Vec<Event> {
+        EventSequence::from_pairs(10, pairs.iter().copied())
+            .events()
+            .to_vec()
+    }
+
+    #[test]
+    fn parallel_occurrence() {
+        let w = window(&[(1, 0), (2, 2), (3, 1)]);
+        assert!(Episode::parallel([0, 1]).occurs_in(&w));
+        assert!(Episode::parallel([2]).occurs_in(&w));
+        assert!(!Episode::parallel([3]).occurs_in(&w));
+        assert!(Episode::parallel([]).occurs_in(&w));
+    }
+
+    #[test]
+    fn serial_occurrence_requires_order() {
+        let w = window(&[(1, 0), (2, 2), (3, 1)]);
+        assert!(Episode::serial([0, 1]).occurs_in(&w));
+        assert!(!Episode::serial([1, 0]).occurs_in(&w));
+        assert!(Episode::serial([0, 2, 1]).occurs_in(&w));
+    }
+
+    #[test]
+    fn serial_repeats_need_distinct_times() {
+        let w = window(&[(1, 0), (1, 0)]); // two A's at the same instant
+        assert!(!Episode::serial([0, 0]).occurs_in(&w));
+        let w2 = window(&[(1, 0), (2, 0)]);
+        assert!(Episode::serial([0, 0]).occurs_in(&w2));
+    }
+
+    #[test]
+    fn subepisode_same_shape() {
+        assert!(Episode::parallel([0]).is_subepisode_of(&Episode::parallel([0, 1])));
+        assert!(!Episode::parallel([2]).is_subepisode_of(&Episode::parallel([0, 1])));
+        assert!(Episode::serial([0, 1]).is_subepisode_of(&Episode::serial([0, 2, 1])));
+        assert!(!Episode::serial([1, 0]).is_subepisode_of(&Episode::serial([0, 2, 1])));
+    }
+
+    #[test]
+    fn subepisode_cross_shape() {
+        assert!(Episode::parallel([0, 1]).is_subepisode_of(&Episode::serial([1, 2, 0])));
+        assert!(Episode::serial([0]).is_subepisode_of(&Episode::parallel([0, 1])));
+        assert!(!Episode::serial([0, 1]).is_subepisode_of(&Episode::parallel([0, 1])));
+    }
+
+    #[test]
+    fn monotonicity_of_occurrence() {
+        // If β occurs and α ⪯ β then α occurs — the framework's key
+        // property, spot-checked on a window.
+        let w = window(&[(1, 0), (2, 2), (3, 1), (5, 0)]);
+        let beta = Episode::serial([0, 2, 1, 0]);
+        assert!(beta.occurs_in(&w));
+        for alpha in beta.immediate_subepisodes() {
+            assert!(alpha.is_subepisode_of(&beta));
+            assert!(alpha.occurs_in(&w), "{alpha} should occur");
+        }
+    }
+
+    #[test]
+    fn immediate_subepisodes_dedup() {
+        // A→A→B: dropping either A gives the same A→B.
+        let e = Episode::serial([0, 0, 1]);
+        let subs = e.immediate_subepisodes();
+        assert_eq!(subs.len(), 2); // A→B (once) and A→A
+        assert!(subs.contains(&Episode::serial([0, 1])));
+        assert!(subs.contains(&Episode::serial([0, 0])));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Episode::parallel([0, 2]).display(), "{A,C}");
+        assert_eq!(Episode::serial([0, 1, 0]).display(), "A→B→A");
+    }
+}

@@ -1,0 +1,158 @@
+//! Why episodes are **not** representable as sets — the paper's Section 3
+//! caveat, made executable.
+//!
+//! Definition 6 requires a bijection `f : L → P(R)` with
+//! `α ⪯ β ⟺ f(α) ⊆ f(β)`. Any such isomorphism forces structural
+//! invariants on `L` that the episode lattice violates; this module
+//! computes the violations so tests and experiment E13 can assert them:
+//!
+//! 1. **Cardinality**: `|L|` must be a power of two (the paper: *"the
+//!    lattice must be finite, and its size must be a power of 2"*). The
+//!    number of serial episodes of size ≤ s over m types is
+//!    `Σ_{i≤s} mⁱ` — already 1 + m + m² fails for every m ≥ 1 at s = 2
+//!    … except degenerate coincidences, which the checker rules out
+//!    case by case.
+//! 2. **Successor counts**: in `P(R)`, a sentence of rank `r` has exactly
+//!    `n − r` immediate successors — *decreasing* in rank. A serial
+//!    episode of size `s` has `(s+1)·m − (duplicates)` immediate
+//!    extensions — *increasing* in rank. Already rank 0 vs rank 1
+//!    mismatches for m ≥ 2.
+//! 3. **Top element**: `P(R)` has a unique maximum; the serial episode
+//!    language has none (every episode extends).
+
+/// The concrete obstruction found for a given alphabet size and size cap.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Obstruction {
+    /// Number of serial episodes of size ≤ `max_size`.
+    pub sentence_count: u128,
+    /// Whether that count is a power of two (a necessary condition for
+    /// representability that fails).
+    pub count_is_power_of_two: bool,
+    /// Immediate-successor count of the bottom (empty) episode within the
+    /// capped language: `m`.
+    pub bottom_successors: usize,
+    /// Immediate-successor count of a rank-1 episode: `2m` (minus
+    /// duplicate collapses) — in `P(R)` it would have to be
+    /// `bottom_successors − 1`.
+    pub rank1_successors: usize,
+}
+
+impl Obstruction {
+    /// Whether the language could still be a subset lattice — `false`
+    /// whenever any invariant fails (which is always, for m ≥ 2).
+    pub fn representable(&self) -> bool {
+        self.count_is_power_of_two && self.rank1_successors + 1 == self.bottom_successors
+    }
+}
+
+/// Counts serial episodes of size ≤ `max_size` over `m` event types and
+/// the successor structure at the bottom of the lattice.
+pub fn representation_obstruction(m: usize, max_size: usize) -> Obstruction {
+    assert!(m >= 1 && max_size >= 2, "need m ≥ 1 and size cap ≥ 2");
+    // Σ_{i ≤ max_size} m^i, saturating.
+    let mut count: u128 = 0;
+    let mut pow: u128 = 1;
+    for _ in 0..=max_size {
+        count = count.saturating_add(pow);
+        pow = pow.saturating_mul(m as u128);
+    }
+    // Immediate successors of ∅ (the singleton serial episodes): m.
+    // Immediate successors of the episode ⟨0⟩ within size ≤ max_size:
+    // insert one type before or after → 2m sequences; ⟨0,0⟩ is produced
+    // by both insertions, so the distinct count is 2m − 1.
+    let rank1 = 2 * m - 1;
+    Obstruction {
+        sentence_count: count,
+        count_is_power_of_two: count.is_power_of_two(),
+        bottom_successors: m,
+        rank1_successors: rank1,
+    }
+}
+
+/// `width(L, ⪯)` of the size-capped serial-episode lattice: the maximal
+/// number of immediate successors of any episode — achieved at the
+/// largest episodes, which have `(s+1)·m` extension slots (minus
+/// duplicates, bounded below by `s·m`); the framework's Theorem 12 uses
+/// this as the `width` factor for episode mining.
+pub fn serial_width(m: usize, max_size: usize) -> usize {
+    (max_size + 1) * m
+}
+
+/// `dc(k)` of the serial-episode lattice: the number of subepisodes
+/// (subsequences) of a size-`k` serial episode is at most `2ᵏ`, matching
+/// the subset-lattice value — the episode lattice is *locally* set-like
+/// below any sentence even though it is not globally a powerset.
+pub fn serial_dc(k: usize) -> u128 {
+    if k >= 128 {
+        u128::MAX
+    } else {
+        1u128 << k
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Episode;
+
+    #[test]
+    fn episodes_are_not_representable() {
+        for m in 2..8usize {
+            for cap in 2..5usize {
+                let ob = representation_obstruction(m, cap);
+                assert!(
+                    !ob.representable(),
+                    "m={m} cap={cap}: {ob:?} — the paper says this must fail"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn successor_counts_grow_not_shrink() {
+        // The heart of the obstruction: bottoms have m successors, rank-1
+        // episodes have 2m−1 > m − ... in P(R) successors shrink by one
+        // per level.
+        let ob = representation_obstruction(3, 4);
+        assert_eq!(ob.bottom_successors, 3);
+        assert_eq!(ob.rank1_successors, 5);
+        assert!(ob.rank1_successors > ob.bottom_successors);
+    }
+
+    #[test]
+    fn sentence_counts() {
+        // m=2, cap=3: 1 + 2 + 4 + 8 = 15, not a power of two.
+        let ob = representation_obstruction(2, 3);
+        assert_eq!(ob.sentence_count, 15);
+        assert!(!ob.count_is_power_of_two);
+    }
+
+    #[test]
+    fn rank1_successor_count_matches_enumeration() {
+        // Enumerate the actual immediate superepisodes of ⟨0⟩ over m=3.
+        let m = 3;
+        let base = vec![0usize];
+        let mut sups = std::collections::HashSet::new();
+        for pos in 0..=base.len() {
+            for t in 0..m {
+                let mut w = base.clone();
+                w.insert(pos, t);
+                sups.insert(Episode::serial(w));
+            }
+        }
+        assert_eq!(sups.len(), 2 * m - 1);
+        // All are genuine immediate superepisodes.
+        let e = Episode::serial(base);
+        for s in &sups {
+            assert!(e.is_subepisode_of(s));
+            assert_eq!(s.rank(), 2);
+        }
+    }
+
+    #[test]
+    fn dc_and_width_values() {
+        assert_eq!(serial_dc(3), 8);
+        assert_eq!(serial_dc(200), u128::MAX);
+        assert_eq!(serial_width(4, 3), 16);
+    }
+}

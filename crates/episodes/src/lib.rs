@@ -1,0 +1,69 @@
+//! # dualminer-episodes
+//!
+//! Frequent-episode discovery in event sequences (Mannila, Toivonen,
+//! Verkamo, KDD 1995 — reference \[21\] of the PODS'97 paper), implemented
+//! as the paper's designated **boundary case**: a data mining language that
+//! fits the `(L, r, q)` framework and the *general* theorems, but is
+//! **not representable as sets** (Definition 6), so the transversal
+//! machinery of Theorem 7 does not apply.
+//!
+//! The paper, Section 3:
+//!
+//! > *"the language of \[21\] used for discovering episodes in sequences
+//! > does not satisfy this condition"* … *"In particular the mapping f
+//! > must be surjective … This is indeed the case in the episodes of
+//! > \[21\]."*
+//!
+//! and Section 4's Theorem 12 is stated *"for any (L, r, q)"* — so the
+//! levelwise analysis still holds here. This crate demonstrates both
+//! halves:
+//!
+//! * [`mine::mine_episodes`] — the levelwise episode miner (WINEPI-style
+//!   window counting); its query count satisfies the Theorem 10 identity
+//!   and the Theorem 12 bound with the episode lattice's own `rank`,
+//!   `width` and `dc(k)` (experiment E13).
+//! * [`lattice::representation_obstruction`] — a constructive proof
+//!   object: for every universe size, the episode lattice fails the
+//!   counting/structure conditions a subset-lattice isomorphism would
+//!   impose (sentence count not a power of two, width growing with rank —
+//!   impossible in `P(R)` where every sentence has exactly
+//!   `n − rank` immediate successors… etc.).
+//!
+//! Episodes here follow \[21\]'s two basic shapes, over an alphabet of
+//! event types `{0, …, m−1}`:
+//!
+//! * **parallel** episode: a non-empty *set* of event types — occurs in a
+//!   window if every type appears;
+//! * **serial** episode: a non-empty *sequence* of event types — occurs
+//!   if they appear in order (strictly increasing times).
+//!
+//! # Example
+//!
+//! ```
+//! use dualminer_episodes::mine::{mine_episodes, EpisodeClass};
+//! use dualminer_episodes::{Episode, EventSequence};
+//!
+//! // A repeats→B within two ticks, every five ticks.
+//! let seq = EventSequence::from_pairs(
+//!     2,
+//!     (0..40u64).flat_map(|i| [(5 * i, 0), (5 * i + 1, 1)]),
+//! );
+//! let run = mine_episodes(&seq, EpisodeClass::Serial, 3, 0.3);
+//! assert!(run.frequent.iter().any(|(e, _)| *e == Episode::serial([0, 1])));
+//! // Theorem 10 holds even though this lattice is not a powerset:
+//! assert_eq!(run.queries, run.theorem10_count());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod episode;
+pub mod gen;
+pub mod lattice;
+pub mod mine;
+pub mod minepi;
+pub mod rules;
+mod sequence;
+
+pub use episode::Episode;
+pub use sequence::{Event, EventSequence};

@@ -1,0 +1,401 @@
+//! MINEPI: minimal-occurrence counting, the second frequency measure of
+//! \[21\].
+//!
+//! WINEPI counts *windows*; MINEPI counts **minimal occurrences**: time
+//! intervals `[ts, te]` such that the episode occurs within the interval
+//! but in no proper sub-interval. Minimal occurrences localize each
+//! instance of a pattern exactly and are the basis for rules with *two*
+//! time bounds ("if A→B within 5 ticks, then C within 20"). Support =
+//! number of minimal occurrences (optionally with a maximum span).
+//!
+//! The measure is still *anti-monotone under the subepisode order once a
+//! span bound is fixed*: every minimal occurrence of `β` within span `w`
+//! contains an occurrence of each subepisode within `w` — so the
+//! levelwise machinery applies unchanged, which is what
+//! [`mine_episodes_minepi`] does.
+
+use std::collections::HashSet;
+
+use crate::{Episode, EventSequence};
+
+/// A minimal occurrence: the closed time interval `[start, end]`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Occurrence {
+    /// Time of the first matched event.
+    pub start: u64,
+    /// Time of the last matched event (`start == end` for rank-1
+    /// episodes).
+    pub end: u64,
+}
+
+impl Occurrence {
+    /// The span `end − start` (0 for single events).
+    pub fn span(&self) -> u64 {
+        self.end - self.start
+    }
+}
+
+/// All minimal occurrences of an episode, in increasing start time.
+///
+/// `O(rank · events)` for serial episodes via the classic
+/// earliest-transversal scan: for each end position, the latest possible
+/// start is found greedily from the right; an occurrence is minimal iff
+/// no later start yields the same end and no earlier end the same start.
+/// Parallel episodes reduce to the same scan over their type multiset in
+/// any order, tracked per-type.
+pub fn minimal_occurrences(seq: &EventSequence, episode: &Episode) -> Vec<Occurrence> {
+    match episode {
+        Episode::Serial(kinds) => serial_minimal_occurrences(seq, kinds),
+        Episode::Parallel(kinds) => parallel_minimal_occurrences(seq, kinds),
+    }
+}
+
+fn serial_minimal_occurrences(seq: &EventSequence, kinds: &[usize]) -> Vec<Occurrence> {
+    if kinds.is_empty() {
+        return vec![];
+    }
+    let events = seq.events();
+    let mut out: Vec<Occurrence> = Vec::new();
+    // For each possible *end* event matching the last type, compute the
+    // latest start: walk backwards matching the episode right-to-left
+    // greedily (latest possible positions). The resulting [start, end] is
+    // a candidate; keep it if its start is strictly later than the
+    // previous kept occurrence's start (standard minimality filter when
+    // scanning ends in increasing order).
+    let mut last_kept_start: Option<u64> = None;
+    for (end_idx, end_event) in events.iter().enumerate() {
+        if end_event.kind != kinds[kinds.len() - 1] {
+            continue;
+        }
+        // Match the remaining kinds right-to-left, latest-first, with
+        // strictly decreasing times.
+        let mut need = kinds.len() - 1;
+        let mut last_time = end_event.time;
+        let mut start_time = end_event.time;
+        let mut i = end_idx;
+        let mut ok = true;
+        while need > 0 {
+            let mut found = false;
+            while i > 0 {
+                i -= 1;
+                let e = events[i];
+                if e.kind == kinds[need - 1] && e.time < last_time {
+                    last_time = e.time;
+                    start_time = e.time;
+                    found = true;
+                    break;
+                }
+            }
+            if !found {
+                ok = false;
+                break;
+            }
+            need -= 1;
+        }
+        if !ok {
+            continue;
+        }
+        // Minimality: strictly increasing starts as ends increase. Equal
+        // or earlier start means the previous occurrence is nested inside
+        // this one's interval (or duplicates it).
+        if last_kept_start.map_or(true, |s| start_time > s) {
+            out.push(Occurrence {
+                start: start_time,
+                end: end_event.time,
+            });
+            last_kept_start = Some(start_time);
+        }
+    }
+    out
+}
+
+fn parallel_minimal_occurrences(seq: &EventSequence, kinds: &[usize]) -> Vec<Occurrence> {
+    if kinds.is_empty() {
+        return vec![];
+    }
+    let events = seq.events();
+    let wanted: HashSet<usize> = kinds.iter().copied().collect();
+    let mut out: Vec<Occurrence> = Vec::new();
+    let mut last_kept_start: Option<u64> = None;
+    // Sliding two-pointer: for each end index, the latest start such that
+    // all wanted types appear in [start, end].
+    let mut counts: Vec<usize> = vec![0; seq.alphabet()];
+    let mut covered = 0usize;
+    let mut lo = 0usize;
+    for (hi, e) in events.iter().enumerate() {
+        if wanted.contains(&e.kind) {
+            counts[e.kind] += 1;
+            if counts[e.kind] == 1 {
+                covered += 1;
+            }
+        }
+        if covered < wanted.len() {
+            continue;
+        }
+        // Shrink from the left while still covered.
+        while lo <= hi {
+            let f = events[lo];
+            if wanted.contains(&f.kind) && counts[f.kind] == 1 {
+                break;
+            }
+            if wanted.contains(&f.kind) {
+                counts[f.kind] -= 1;
+            }
+            lo += 1;
+        }
+        let start_time = events[lo].time;
+        if last_kept_start.map_or(true, |s| start_time > s) {
+            out.push(Occurrence {
+                start: start_time,
+                end: e.time,
+            });
+            last_kept_start = Some(start_time);
+        }
+    }
+    out
+}
+
+/// MINEPI support: minimal occurrences with span ≤ `max_span`.
+pub fn minepi_support(seq: &EventSequence, episode: &Episode, max_span: u64) -> usize {
+    if episode.rank() == 0 {
+        // The empty episode occurs vacuously everywhere; by convention its
+        // support is the number of events (enough to top any threshold).
+        return seq.len();
+    }
+    minimal_occurrences(seq, episode)
+        .into_iter()
+        .filter(|o| o.span() <= max_span)
+        .count()
+}
+
+/// Output of a MINEPI mining run.
+#[derive(Clone, Debug)]
+pub struct MinepiMining {
+    /// Frequent episodes with their minimal-occurrence counts.
+    pub frequent: Vec<(Episode, usize)>,
+    /// The negative border.
+    pub negative_border: Vec<Episode>,
+    /// Support evaluations (Theorem 10's count for this instance).
+    pub queries: u64,
+}
+
+/// Levelwise mining under the MINEPI measure: serial episodes whose
+/// bounded-span minimal-occurrence count is ≥ `min_count`.
+pub fn mine_episodes_minepi(
+    seq: &EventSequence,
+    max_span: u64,
+    min_count: usize,
+) -> MinepiMining {
+    assert!(min_count > 0, "min_count must be positive");
+    let m = seq.alphabet();
+    let mut frequent: Vec<(Episode, usize)> = Vec::new();
+    let mut negative: Vec<Episode> = Vec::new();
+    let mut queries = 0u64;
+
+    let empty = Episode::serial([]);
+    queries += 1;
+    let s0 = minepi_support(seq, &empty, max_span);
+    if s0 < min_count {
+        return MinepiMining {
+            frequent,
+            negative_border: vec![empty],
+            queries,
+        };
+    }
+    frequent.push((empty.clone(), s0));
+
+    let mut level: Vec<Episode> = vec![empty];
+    let max_size = seq.len().max(1);
+    let mut size = 0usize;
+    while !level.is_empty() && size < max_size {
+        size += 1;
+        let members: HashSet<&Episode> = level.iter().collect();
+        let mut next = Vec::new();
+        for base in &level {
+            let Episode::Serial(v) = base else { unreachable!() };
+            for t in 0..m {
+                let mut w = v.clone();
+                w.push(t);
+                let cand = Episode::Serial(w);
+                if cand
+                    .immediate_subepisodes()
+                    .iter()
+                    .any(|s| !members.contains(s))
+                {
+                    continue;
+                }
+                queries += 1;
+                let supp = minepi_support(seq, &cand, max_span);
+                if supp >= min_count {
+                    frequent.push((cand.clone(), supp));
+                    next.push(cand);
+                } else {
+                    negative.push(cand);
+                }
+            }
+        }
+        level = next;
+    }
+    negative.sort();
+    MinepiMining {
+        frequent,
+        negative_border: negative,
+        queries,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq() -> EventSequence {
+        // A B A B C at times 0,1,4,5,6.
+        EventSequence::from_pairs(3, [(0, 0), (1, 1), (4, 0), (5, 1), (6, 2)])
+    }
+
+    #[test]
+    fn serial_minimal_occurrences_basic() {
+        let s = seq();
+        let occ = minimal_occurrences(&s, &Episode::serial([0, 1]));
+        // A→B occurs minimally at [0,1] and [4,5]; [0,5] is not minimal.
+        assert_eq!(
+            occ,
+            vec![
+                Occurrence { start: 0, end: 1 },
+                Occurrence { start: 4, end: 5 }
+            ]
+        );
+    }
+
+    #[test]
+    fn serial_spanning_occurrence() {
+        let s = seq();
+        let occ = minimal_occurrences(&s, &Episode::serial([1, 0]));
+        // B→A only as [1,4].
+        assert_eq!(occ, vec![Occurrence { start: 1, end: 4 }]);
+    }
+
+    #[test]
+    fn parallel_minimal_occurrences_basic() {
+        let s = seq();
+        let occ = minimal_occurrences(&s, &Episode::parallel([0, 1]));
+        // {A,B} minimal windows: [0,1], [1,4]? — the two-pointer keeps
+        // [0,1], then for end=4 (A) start shrinks to 1 (B at 1): [1,4],
+        // then end=5 (B) start 4: [4,5].
+        assert_eq!(
+            occ,
+            vec![
+                Occurrence { start: 0, end: 1 },
+                Occurrence { start: 1, end: 4 },
+                Occurrence { start: 4, end: 5 }
+            ]
+        );
+    }
+
+    #[test]
+    fn span_bound_filters() {
+        let s = seq();
+        let e = Episode::serial([1, 0]); // span 3 occurrence
+        assert_eq!(minepi_support(&s, &e, 10), 1);
+        assert_eq!(minepi_support(&s, &e, 2), 0);
+    }
+
+    #[test]
+    fn occurrences_are_genuine_and_minimal() {
+        let s = seq();
+        for e in [
+            Episode::serial([0, 1]),
+            Episode::serial([0, 1, 2]),
+            Episode::parallel([0, 2]),
+        ] {
+            for o in minimal_occurrences(&s, &e) {
+                // The episode occurs within [start, end]…
+                let window: Vec<_> = s
+                    .events()
+                    .iter()
+                    .copied()
+                    .filter(|ev| ev.time >= o.start && ev.time <= o.end)
+                    .collect();
+                assert!(e.occurs_in(&window), "{e} not in {o:?}");
+                // …but not when either endpoint is trimmed off.
+                let trimmed_left: Vec<_> =
+                    window.iter().copied().filter(|ev| ev.time > o.start).collect();
+                let trimmed_right: Vec<_> =
+                    window.iter().copied().filter(|ev| ev.time < o.end).collect();
+                assert!(!e.occurs_in(&trimmed_left), "{e} still in left-trim of {o:?}");
+                assert!(!e.occurs_in(&trimmed_right), "{e} still in right-trim of {o:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn minepi_mining_matches_direct_supports() {
+        let mut rng_seq = Vec::new();
+        for i in 0..60u64 {
+            rng_seq.push((i, (i % 3) as usize));
+        }
+        let s = EventSequence::from_pairs(3, rng_seq);
+        let run = mine_episodes_minepi(&s, 4, 5);
+        assert_eq!(run.queries, (run.frequent.len() + run.negative_border.len()) as u64);
+        for (e, supp) in &run.frequent {
+            assert_eq!(minepi_support(&s, e, 4), *supp, "{e}");
+            assert!(*supp >= 5);
+        }
+        for e in &run.negative_border {
+            assert!(minepi_support(&s, e, 4) < 5, "{e}");
+        }
+        // The repeating A B C pattern must be found.
+        assert!(run
+            .frequent
+            .iter()
+            .any(|(e, _)| *e == Episode::serial([0, 1, 2])));
+    }
+
+    #[test]
+    fn mining_is_complete_against_brute_force() {
+        // The levelwise prune assumes MINEPI support is anti-monotone
+        // under the subepisode order; verify completeness by brute force
+        // over all serial episodes of size ≤ 3.
+        let s = EventSequence::from_pairs(
+            2,
+            [(0, 0), (1, 1), (2, 0), (5, 1), (6, 0), (7, 1), (9, 0)],
+        );
+        let (max_span, min_count) = (3u64, 2usize);
+        let run = mine_episodes_minepi(&s, max_span, min_count);
+        let mined: HashSet<&Episode> = run.frequent.iter().map(|(e, _)| e).collect();
+        let mut all: Vec<Vec<usize>> = vec![vec![]];
+        for _ in 0..3 {
+            let mut next = Vec::new();
+            for base in &all {
+                for t in 0..2usize {
+                    let mut w = base.clone();
+                    w.push(t);
+                    next.push(w);
+                }
+            }
+            all.extend(next.clone());
+            all = all.into_iter().collect::<HashSet<_>>().into_iter().collect();
+        }
+        for kinds in all {
+            let e = Episode::serial(kinds);
+            if e.rank() > 3 {
+                continue;
+            }
+            let frequent = minepi_support(&s, &e, max_span) >= min_count;
+            assert_eq!(
+                frequent,
+                mined.contains(&e),
+                "{e}: brute-force {frequent} vs mined {}",
+                mined.contains(&e)
+            );
+        }
+    }
+
+    #[test]
+    fn empty_sequence() {
+        let s = EventSequence::new(2, vec![]);
+        assert!(minimal_occurrences(&s, &Episode::serial([0])).is_empty());
+        let run = mine_episodes_minepi(&s, 3, 1);
+        assert!(run.frequent.is_empty());
+    }
+}

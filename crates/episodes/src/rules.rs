@@ -1,0 +1,132 @@
+//! Episode rules: "if `α` occurs in a window, so does `β`" — the
+//! rule-generation stage of \[21\], mirroring association rules for
+//! itemsets (Section 2 of the PODS paper).
+//!
+//! For a frequent episode `β` and a subepisode `α ⪯ β`, the rule `α ⇒ β`
+//! has confidence `fr(β) / fr(α)`: among windows where the premise
+//! occurs, how often does the whole episode? As with itemsets, all
+//! frequencies are already in the mined collection — rule generation
+//! needs no further passes over the sequence.
+
+use std::collections::HashMap;
+
+use crate::mine::EpisodeMining;
+use crate::Episode;
+
+/// An episode rule `premise ⇒ conclusion` with statistics.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EpisodeRule {
+    /// The premise `α` (an immediate subepisode of the conclusion).
+    pub premise: Episode,
+    /// The conclusion `β`.
+    pub conclusion: Episode,
+    /// `fr(β)`: window frequency of the conclusion.
+    pub frequency: f64,
+    /// `fr(β) / fr(α)` ∈ (0, 1].
+    pub confidence: f64,
+}
+
+/// Derives all episode rules `α ⇒ β` with `β` frequent, `α` an immediate
+/// subepisode of `β`, and confidence ≥ `min_confidence`. Sorted by
+/// descending confidence then frequency.
+pub fn episode_rules(mining: &EpisodeMining, min_confidence: f64) -> Vec<EpisodeRule> {
+    assert!(
+        (0.0..=1.0).contains(&min_confidence),
+        "confidence threshold must be in [0, 1]"
+    );
+    let freq: HashMap<&Episode, f64> = mining.frequent.iter().map(|(e, f)| (e, *f)).collect();
+    let mut rules = Vec::new();
+    for (beta, f_beta) in &mining.frequent {
+        if beta.rank() < 2 {
+            continue; // premises must be nonempty and proper
+        }
+        for alpha in beta.immediate_subepisodes() {
+            if alpha.rank() == 0 {
+                continue;
+            }
+            // The theory is closed downward, so α is present.
+            let f_alpha = freq[&alpha];
+            let confidence = f_beta / f_alpha;
+            if confidence >= min_confidence {
+                rules.push(EpisodeRule {
+                    premise: alpha,
+                    conclusion: beta.clone(),
+                    frequency: *f_beta,
+                    confidence,
+                });
+            }
+        }
+    }
+    rules.sort_by(|a, b| {
+        b.confidence
+            .total_cmp(&a.confidence)
+            .then(b.frequency.total_cmp(&a.frequency))
+            .then(a.conclusion.cmp(&b.conclusion))
+            .then(a.premise.cmp(&b.premise))
+    });
+    rules
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::planted_serial;
+    use crate::mine::{frequency, mine_episodes, EpisodeClass};
+    use crate::EventSequence;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn planted() -> EventSequence {
+        let mut rng = StdRng::seed_from_u64(1);
+        planted_serial(5, 600, &[0, 1, 2], 8, &mut rng)
+    }
+
+    #[test]
+    fn rules_have_recomputable_statistics() {
+        let seq = planted();
+        let run = mine_episodes(&seq, EpisodeClass::Serial, 5, 0.25);
+        let rules = episode_rules(&run, 0.0);
+        assert!(!rules.is_empty());
+        for r in &rules {
+            assert!(r.premise.is_subepisode_of(&r.conclusion));
+            assert_eq!(r.premise.rank() + 1, r.conclusion.rank());
+            let fa = frequency(&seq, &r.premise, 5);
+            let fb = frequency(&seq, &r.conclusion, 5);
+            assert!((r.confidence - fb / fa).abs() < 1e-9);
+            assert!(r.confidence > 0.0 && r.confidence <= 1.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn planted_signature_yields_confident_rule() {
+        let seq = planted();
+        let run = mine_episodes(&seq, EpisodeClass::Serial, 5, 0.25);
+        let rules = episode_rules(&run, 0.5);
+        // A→B ⇒ A→B→C should be confident: B after A almost always leads
+        // to C in the planted signature.
+        assert!(
+            rules.iter().any(|r| r.premise == Episode::serial([0, 1])
+                && r.conclusion == Episode::serial([0, 1, 2])),
+            "missing the planted rule; got {rules:?}"
+        );
+    }
+
+    #[test]
+    fn threshold_filters() {
+        let seq = planted();
+        let run = mine_episodes(&seq, EpisodeClass::Serial, 5, 0.25);
+        let all = episode_rules(&run, 0.0);
+        let strict = episode_rules(&run, 0.9);
+        assert!(strict.len() <= all.len());
+        assert!(strict.iter().all(|r| r.confidence >= 0.9));
+    }
+
+    #[test]
+    fn sorted_by_confidence() {
+        let seq = planted();
+        let run = mine_episodes(&seq, EpisodeClass::Parallel, 5, 0.25);
+        let rules = episode_rules(&run, 0.0);
+        for w in rules.windows(2) {
+            assert!(w[0].confidence >= w[1].confidence);
+        }
+    }
+}

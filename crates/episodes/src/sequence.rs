@@ -1,0 +1,193 @@
+//! Event sequences and sliding windows.
+
+/// One event: a type drawn from the alphabet `{0, …, m−1}` at an integer
+/// time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// Time stamp (arbitrary integer scale).
+    pub time: u64,
+    /// Event type.
+    pub kind: usize,
+}
+
+/// A time-ordered event sequence over an alphabet of `m` event types.
+///
+/// The WINEPI model of \[21\]: episodes are counted over all windows of a
+/// fixed width `win` that overlap the sequence; the *frequency* of an
+/// episode is the fraction of windows in which it occurs.
+#[derive(Clone, Debug)]
+pub struct EventSequence {
+    alphabet: usize,
+    events: Vec<Event>,
+}
+
+impl EventSequence {
+    /// Builds a sequence, sorting events by time.
+    ///
+    /// # Panics
+    /// Panics if any event type is `>= alphabet`.
+    pub fn new(alphabet: usize, mut events: Vec<Event>) -> Self {
+        for e in &events {
+            assert!(e.kind < alphabet, "event type {} outside alphabet", e.kind);
+        }
+        events.sort_by_key(|e| e.time);
+        EventSequence { alphabet, events }
+    }
+
+    /// Convenience constructor from `(time, kind)` pairs.
+    pub fn from_pairs<I: IntoIterator<Item = (u64, usize)>>(alphabet: usize, pairs: I) -> Self {
+        Self::new(
+            alphabet,
+            pairs
+                .into_iter()
+                .map(|(time, kind)| Event { time, kind })
+                .collect(),
+        )
+    }
+
+    /// Alphabet size `m`.
+    pub fn alphabet(&self) -> usize {
+        self.alphabet
+    }
+
+    /// The events, time-ordered.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the sequence is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// All windows of width `win`, following \[21\]: the window start ranges
+    /// over `(t_first − win, t_last]`, so the first and last events are
+    /// each covered by exactly `win` windows. Returns `(start, events)`
+    /// pairs where `events` are those with `start ≤ time < start + win`.
+    ///
+    /// Empty for an empty sequence or `win = 0`.
+    pub fn windows(&self, win: u64) -> Windows<'_> {
+        let (lo, hi) = match (self.events.first(), self.events.last()) {
+            (Some(f), Some(l)) if win > 0 => {
+                (f.time.saturating_sub(win - 1) as i64, l.time as i64)
+            }
+            _ => (0, -1),
+        };
+        Windows {
+            seq: self,
+            win,
+            next_start: lo,
+            last_start: hi,
+            lo_idx: 0,
+        }
+    }
+
+    /// Number of windows of width `win` (the denominator of episode
+    /// frequency).
+    pub fn window_count(&self, win: u64) -> u64 {
+        match (self.events.first(), self.events.last()) {
+            (Some(f), Some(l)) if win > 0 => {
+                (l.time as i64 - f.time.saturating_sub(win - 1) as i64 + 1) as u64
+            }
+            _ => 0,
+        }
+    }
+}
+
+/// Iterator over the sliding windows of a sequence.
+pub struct Windows<'a> {
+    seq: &'a EventSequence,
+    win: u64,
+    next_start: i64,
+    last_start: i64,
+    lo_idx: usize,
+}
+
+impl<'a> Iterator for Windows<'a> {
+    type Item = (i64, &'a [Event]);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.next_start > self.last_start {
+            return None;
+        }
+        let start = self.next_start;
+        self.next_start += 1;
+        let events = &self.seq.events;
+        // Advance the lower index past events before the window.
+        while self.lo_idx < events.len() && (events[self.lo_idx].time as i64) < start {
+            self.lo_idx += 1;
+        }
+        let mut hi = self.lo_idx;
+        let end = start + self.win as i64;
+        while hi < events.len() && (events[hi].time as i64) < end {
+            hi += 1;
+        }
+        Some((start, &events[self.lo_idx..hi]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq() -> EventSequence {
+        EventSequence::from_pairs(3, [(10, 0), (11, 2), (13, 1), (14, 0)])
+    }
+
+    #[test]
+    fn construction_sorts() {
+        let s = EventSequence::from_pairs(2, [(5, 1), (2, 0)]);
+        assert_eq!(s.events()[0].time, 2);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside alphabet")]
+    fn alphabet_checked() {
+        EventSequence::from_pairs(2, [(0, 2)]);
+    }
+
+    #[test]
+    fn window_count_matches_iteration() {
+        let s = seq();
+        for win in 1..=6u64 {
+            assert_eq!(
+                s.windows(win).count() as u64,
+                s.window_count(win),
+                "win={win}"
+            );
+        }
+        assert_eq!(s.window_count(0), 0);
+        assert_eq!(EventSequence::new(2, vec![]).window_count(3), 0);
+    }
+
+    #[test]
+    fn edge_windows_cover_extremes() {
+        // With win = 3, first window starts at 10−2 = 8, last at 14:
+        // 14 − 8 + 1 = 7 windows.
+        let s = seq();
+        assert_eq!(s.window_count(3), 7);
+        let all: Vec<_> = s.windows(3).collect();
+        assert_eq!(all.first().unwrap().0, 8);
+        assert_eq!(all.last().unwrap().0, 14);
+        // The first window [8, 11) contains only the event at t=10.
+        assert_eq!(all[0].1.len(), 1);
+        // The last window [14, 17) contains only the event at t=14.
+        assert_eq!(all.last().unwrap().1.len(), 1);
+    }
+
+    #[test]
+    fn window_contents_are_in_range() {
+        let s = seq();
+        for (start, events) in s.windows(2) {
+            for e in events {
+                assert!((e.time as i64) >= start && (e.time as i64) < start + 2);
+            }
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Property tests for the episode lattice: monotonicity of occurrence
+//! (the framework's prerequisite), consistency of mining output, and the
+//! subepisode order's transitivity.
+
+use dualminer_episodes::mine::{frequency, mine_episodes, EpisodeClass};
+use dualminer_episodes::{Episode, EventSequence};
+use proptest::prelude::*;
+
+const ALPHABET: usize = 4;
+
+fn arb_sequence() -> impl Strategy<Value = EventSequence> {
+    proptest::collection::vec((0u64..40, 0..ALPHABET), 0..30)
+        .prop_map(|pairs| EventSequence::from_pairs(ALPHABET, pairs))
+}
+
+fn arb_serial() -> impl Strategy<Value = Episode> {
+    proptest::collection::vec(0..ALPHABET, 0..4).prop_map(Episode::serial)
+}
+
+fn arb_parallel() -> impl Strategy<Value = Episode> {
+    proptest::collection::vec(0..ALPHABET, 0..4).prop_map(Episode::parallel)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn occurrence_is_monotone(seq in arb_sequence(), e in arb_serial(), win in 1u64..8) {
+        // If e occurs in a window, every immediate subepisode does too —
+        // the monotonicity that makes q(r, ·) well-behaved.
+        for (_, events) in seq.windows(win) {
+            if e.occurs_in(events) {
+                for sub in e.immediate_subepisodes() {
+                    prop_assert!(sub.occurs_in(events), "{sub} missing where {e} occurs");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn frequency_antitone_in_specialization(
+        seq in arb_sequence(), e in arb_serial(), win in 1u64..8
+    ) {
+        let f = frequency(&seq, &e, win);
+        for sub in e.immediate_subepisodes() {
+            prop_assert!(frequency(&seq, &sub, win) >= f - 1e-12);
+        }
+    }
+
+    #[test]
+    fn subepisode_order_is_transitive(
+        a in arb_serial(), b in arb_serial(), c in arb_serial()
+    ) {
+        if a.is_subepisode_of(&b) && b.is_subepisode_of(&c) {
+            prop_assert!(a.is_subepisode_of(&c));
+        }
+    }
+
+    #[test]
+    fn subepisode_reflexive_and_size_monotone(a in arb_serial(), b in arb_parallel()) {
+        prop_assert!(a.is_subepisode_of(&a));
+        prop_assert!(b.is_subepisode_of(&b));
+        if a.is_subepisode_of(&b) {
+            prop_assert!(a.rank() <= b.rank());
+        }
+    }
+
+    #[test]
+    fn mining_output_is_consistent(seq in arb_sequence(), win in 1u64..6) {
+        for class in [EpisodeClass::Serial, EpisodeClass::Parallel] {
+            let run = mine_episodes(&seq, class, win, 0.3);
+            // Theorem 10 identity (generic lattice version).
+            prop_assert_eq!(run.queries, run.theorem10_count());
+            // Frequent really frequent; border really infrequent with
+            // frequent subepisodes.
+            for (e, f) in &run.frequent {
+                prop_assert!((frequency(&seq, e, win) - f).abs() < 1e-12);
+                prop_assert!(*f >= 0.3);
+            }
+            let frequent: std::collections::HashSet<&Episode> =
+                run.frequent.iter().map(|(e, _)| e).collect();
+            for b in &run.negative_border {
+                prop_assert!(frequency(&seq, b, win) < 0.3);
+                for sub in b.immediate_subepisodes() {
+                    prop_assert!(frequent.contains(&sub));
+                }
+            }
+            // Maximal episodes form an antichain under ⪯.
+            for (i, m) in run.maximal.iter().enumerate() {
+                for other in &run.maximal[i + 1..] {
+                    prop_assert!(!m.is_subepisode_of(other) || m == other);
+                    prop_assert!(!other.is_subepisode_of(m) || m == other);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_occurrence_equals_type_subset(
+        seq in arb_sequence(), kinds in proptest::collection::vec(0..ALPHABET, 0..4), win in 1u64..6
+    ) {
+        // A parallel episode occurs iff its type set is a subset of the
+        // window's type set — cross-checked against a direct computation.
+        let e = Episode::parallel(kinds);
+        for (_, events) in seq.windows(win) {
+            let present: std::collections::HashSet<usize> =
+                events.iter().map(|ev| ev.kind).collect();
+            let direct = e.kinds().iter().all(|k| present.contains(k));
+            prop_assert_eq!(e.occurs_in(events), direct);
+        }
+    }
+}

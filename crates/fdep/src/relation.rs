@@ -1,0 +1,264 @@
+//! Relation instances over categorical domains.
+
+use dualminer_bitset::AttrSet;
+use rand::Rng;
+
+/// A relation instance: `n_attrs` columns of `u32`-coded categorical
+/// values, row-major.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Relation {
+    n_attrs: usize,
+    rows: Vec<Vec<u32>>,
+}
+
+impl Relation {
+    /// Builds a relation from rows.
+    ///
+    /// # Panics
+    /// Panics if any row's width differs from `n_attrs`.
+    pub fn new(n_attrs: usize, rows: Vec<Vec<u32>>) -> Self {
+        for r in &rows {
+            assert_eq!(r.len(), n_attrs, "row width does not match attribute count");
+        }
+        Relation { n_attrs, rows }
+    }
+
+    /// Number of attributes (columns).
+    #[inline]
+    pub fn n_attrs(&self) -> usize {
+        self.n_attrs
+    }
+
+    /// Number of tuples (rows).
+    #[inline]
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// The tuples.
+    pub fn rows(&self) -> &[Vec<u32>] {
+        &self.rows
+    }
+
+    /// Whether two rows agree on every attribute of `x`.
+    pub fn rows_agree_on(&self, t: usize, u: usize, x: &AttrSet) -> bool {
+        x.iter().all(|a| self.rows[t][a] == self.rows[u][a])
+    }
+
+    /// Whether `x` is a **superkey**: no two distinct rows agree on all of
+    /// `x`. The empty set is a superkey iff the relation has ≤ 1 row.
+    ///
+    /// Hash-grouping on the projection: `O(rows · |x|)`.
+    pub fn is_superkey(&self, x: &AttrSet) -> bool {
+        let mut seen = std::collections::HashSet::with_capacity(self.rows.len());
+        for row in &self.rows {
+            let proj: Vec<u32> = x.iter().map(|a| row[a]).collect();
+            if !seen.insert(proj) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Whether the FD `x → a` holds: any two rows agreeing on `x` also
+    /// agree on attribute `a`.
+    pub fn fd_holds(&self, x: &AttrSet, a: usize) -> bool {
+        let mut seen: std::collections::HashMap<Vec<u32>, u32> =
+            std::collections::HashMap::with_capacity(self.rows.len());
+        for row in &self.rows {
+            let proj: Vec<u32> = x.iter().map(|i| row[i]).collect();
+            match seen.entry(proj) {
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    if *e.get() != row[a] {
+                        return false;
+                    }
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(row[a]);
+                }
+            }
+        }
+        true
+    }
+
+    /// A random relation: each cell uniform in `0..domain`.
+    pub fn random<R: Rng + ?Sized>(
+        n_attrs: usize,
+        n_rows: usize,
+        domain: u32,
+        rng: &mut R,
+    ) -> Self {
+        assert!(domain > 0);
+        let rows = (0..n_rows)
+            .map(|_| (0..n_attrs).map(|_| rng.gen_range(0..domain)).collect())
+            .collect();
+        Relation::new(n_attrs, rows)
+    }
+
+    /// The Armstrong-style construction (Mannila–Räihä): a relation whose
+    /// maximal agree sets are exactly the ⊆-maximal members of `plants`.
+    ///
+    /// Row 0 is all zeros; row `i ≥ 1` agrees with row 0 exactly on
+    /// `plants[i−1]` (other cells get the unique value `i`). Any two
+    /// planted rows then agree exactly on the intersection of their
+    /// plants, which is dominated — so the agree-set antichain is the
+    /// plant antichain.
+    ///
+    /// # Panics
+    /// Panics if a plant is the full attribute set (two identical rows
+    /// would make *no* set a key) or lives in the wrong universe.
+    pub fn armstrong(n_attrs: usize, plants: &[AttrSet]) -> Self {
+        let mut rows = vec![vec![0u32; n_attrs]];
+        for (i, p) in plants.iter().enumerate() {
+            assert_eq!(p.universe_size(), n_attrs, "plant outside universe");
+            assert!(
+                p.len() < n_attrs,
+                "a full-universe agree set would duplicate rows"
+            );
+            let fill = (i + 1) as u32;
+            let row = (0..n_attrs)
+                .map(|a| if p.contains(a) { 0 } else { fill })
+                .collect();
+            rows.push(row);
+        }
+        Relation::new(n_attrs, rows)
+    }
+}
+
+impl Relation {
+    /// Encodes the relation as transactions: each `(attribute, value)`
+    /// pair becomes one item, each tuple the set of its pairs — the
+    /// standard benchmark encoding that lets itemset miners run on
+    /// relational data (so the paper's frequent-set and key-discovery
+    /// instances can meet on a single dataset).
+    ///
+    /// Returns the transaction rows plus, for provenance, the
+    /// `(attribute, value)` pair behind each item index. Every row has
+    /// exactly `n_attrs` items.
+    pub fn to_transactions(&self) -> (Vec<AttrSet>, Vec<(usize, u32)>) {
+        let mut items: Vec<(usize, u32)> = Vec::new();
+        let mut index: std::collections::HashMap<(usize, u32), usize> =
+            std::collections::HashMap::new();
+        // First pass: stable item numbering by (column, value).
+        for row in &self.rows {
+            for (a, &v) in row.iter().enumerate() {
+                index.entry((a, v)).or_insert_with(|| {
+                    items.push((a, v));
+                    items.len() - 1
+                });
+            }
+        }
+        let n_items = items.len();
+        let rows = self
+            .rows
+            .iter()
+            .map(|row| {
+                AttrSet::from_indices(
+                    n_items,
+                    row.iter().enumerate().map(|(a, &v)| index[&(a, v)]),
+                )
+            })
+            .collect();
+        (rows, items)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Relation {
+        // A B C
+        Relation::new(
+            3,
+            vec![vec![0, 0, 0], vec![0, 1, 1], vec![1, 1, 0]],
+        )
+    }
+
+    #[test]
+    fn superkey_tests() {
+        let r = toy();
+        assert!(!r.is_superkey(&AttrSet::empty(3)));
+        assert!(!r.is_superkey(&AttrSet::from_indices(3, [0]))); // A: rows 0,1 agree
+        assert!(!r.is_superkey(&AttrSet::from_indices(3, [1]))); // B: rows 1,2 agree
+        assert!(r.is_superkey(&AttrSet::from_indices(3, [0, 1]))); // AB distinct
+        assert!(r.is_superkey(&AttrSet::full(3)));
+    }
+
+    #[test]
+    fn empty_set_superkey_of_tiny_relations() {
+        assert!(Relation::new(2, vec![]).is_superkey(&AttrSet::empty(2)));
+        assert!(Relation::new(2, vec![vec![0, 0]]).is_superkey(&AttrSet::empty(2)));
+    }
+
+    #[test]
+    fn fd_holds_tests() {
+        let r = toy();
+        // A → B? rows 0,1 agree on A (=0) but B differs (0 vs 1): no.
+        assert!(!r.fd_holds(&AttrSet::from_indices(3, [0]), 1));
+        // C → A? C=0: rows 0,2, A differs: no.
+        assert!(!r.fd_holds(&AttrSet::from_indices(3, [2]), 0));
+        // AB is a key, so AB → C holds.
+        assert!(r.fd_holds(&AttrSet::from_indices(3, [0, 1]), 2));
+        // ∅ → A holds iff column A constant: it is not.
+        assert!(!r.fd_holds(&AttrSet::empty(3), 0));
+    }
+
+    #[test]
+    fn rows_agree_on() {
+        let r = toy();
+        assert!(r.rows_agree_on(0, 1, &AttrSet::from_indices(3, [0])));
+        assert!(!r.rows_agree_on(0, 1, &AttrSet::from_indices(3, [0, 1])));
+        assert!(r.rows_agree_on(0, 2, &AttrSet::empty(3)));
+    }
+
+    #[test]
+    fn armstrong_realizes_plants() {
+        let plants = vec![
+            AttrSet::from_indices(4, [0, 1]),
+            AttrSet::from_indices(4, [1, 2, 3]),
+        ];
+        let r = Relation::armstrong(4, &plants);
+        assert_eq!(r.n_rows(), 3);
+        // Row 1 agrees with row 0 exactly on {0,1}.
+        assert!(r.rows_agree_on(0, 1, &plants[0]));
+        assert!(!r.rows_agree_on(0, 1, &AttrSet::from_indices(4, [0, 1, 2])));
+    }
+
+    #[test]
+    #[should_panic(expected = "full-universe")]
+    fn armstrong_rejects_full_plant() {
+        Relation::armstrong(3, &[AttrSet::full(3)]);
+    }
+
+    #[test]
+    fn to_transactions_encoding() {
+        let r = Relation::new(
+            2,
+            vec![vec![0, 5], vec![0, 6], vec![1, 5]],
+        );
+        let (rows, items) = r.to_transactions();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(items.len(), 4); // (0,0), (1,5), (0,1)... distinct pairs
+        // Every row has one item per attribute.
+        assert!(rows.iter().all(|row| row.len() == 2));
+        // Rows 0 and 1 share the item for (attr 0, value 0).
+        let shared = rows[0].intersection(&rows[1]);
+        assert_eq!(shared.len(), 1);
+        let item = shared.first().unwrap();
+        assert_eq!(items[item], (0, 0));
+        // Rows 0 and 2 share (attr 1, value 5).
+        let shared = rows[0].intersection(&rows[2]);
+        assert_eq!(items[shared.first().unwrap()], (1, 5));
+    }
+
+    #[test]
+    fn random_shape() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(1);
+        let r = Relation::random(5, 20, 3, &mut rng);
+        assert_eq!(r.n_attrs(), 5);
+        assert_eq!(r.n_rows(), 20);
+        assert!(r.rows().iter().flatten().all(|&v| v < 3));
+    }
+}

@@ -1,0 +1,200 @@
+//! Hypergraph instance generators for tests and experiments.
+//!
+//! Each generator targets a regime one of the paper's results quantifies
+//! over: the Example 19 matching (exponential transversal blowup), the
+//! Corollary 15 co-sparse instances (all edges large), threshold
+//! hypergraphs (exactly known duals, for FK stress tests), and plain random
+//! instances.
+
+use dualminer_bitset::{AttrSet, SubsetsOfSize};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::Hypergraph;
+
+/// The paper's Example 19 instance: the perfect matching
+/// `Dᵢ = {x_{2i−1}, x_{2i}}` for `i = 1..n/2`.
+///
+/// Its minimal transversals are all `2^{n/2}` ways of picking one vertex
+/// per pair — the canonical case where an intermediate border is
+/// exponentially larger than both `MTh` and `Bd⁻(MTh)`.
+///
+/// # Panics
+/// Panics if `n` is odd.
+pub fn matching(n: usize) -> Hypergraph {
+    assert!(n % 2 == 0, "matching requires an even vertex count");
+    let edges = (0..n / 2).map(|i| vec![2 * i, 2 * i + 1]);
+    Hypergraph::from_index_edges(n, edges)
+}
+
+/// All `C(n, t)` edges of size `t` — the threshold hypergraph `Hₙᵗ`.
+///
+/// Its transversal hypergraph is the threshold hypergraph `Hₙ^{n−t+1}`
+/// (hit every `t`-subset ⟺ miss at most `t − 1` vertices), giving exactly
+/// known dual pairs of tunable size for the FK experiments.
+pub fn threshold(n: usize, t: usize) -> Hypergraph {
+    Hypergraph::from_edges(n, SubsetsOfSize::new(n, t).collect()).expect("in universe")
+}
+
+/// `m` random distinct edges of sizes drawn uniformly from
+/// `size_range`, **not** minimized (callers may want the raw family).
+pub fn random_uniform<R: Rng + ?Sized>(
+    n: usize,
+    m: usize,
+    size_range: std::ops::RangeInclusive<usize>,
+    rng: &mut R,
+) -> Hypergraph {
+    assert!(*size_range.end() <= n, "edge size exceeds universe");
+    let mut vertices: Vec<usize> = (0..n).collect();
+    let mut edges = Vec::with_capacity(m);
+    let mut attempts = 0usize;
+    let mut h = Hypergraph::empty(n);
+    while edges.len() < m && attempts < m * 20 + 100 {
+        attempts += 1;
+        let k = rng.gen_range(size_range.clone());
+        vertices.shuffle(rng);
+        let e = AttrSet::from_indices(n, vertices[..k].iter().copied());
+        if h.add_edge(e.clone()) {
+            edges.push(e);
+        }
+    }
+    h
+}
+
+/// `m` random distinct edges of size ≥ `n − k` (complement of size
+/// `1..=k`): the Corollary 15 regime.
+pub fn co_sparse<R: Rng + ?Sized>(n: usize, k: usize, m: usize, rng: &mut R) -> Hypergraph {
+    assert!(k >= 1 && k < n, "need 1 ≤ k < n");
+    let mut vertices: Vec<usize> = (0..n).collect();
+    let mut h = Hypergraph::empty(n);
+    let mut attempts = 0usize;
+    while h.len() < m && attempts < m * 20 + 100 {
+        attempts += 1;
+        let c = rng.gen_range(1..=k);
+        vertices.shuffle(rng);
+        let complement = AttrSet::from_indices(n, vertices[..c].iter().copied());
+        h.add_edge(complement.complement());
+    }
+    h
+}
+
+/// The cycle graph `Cₙ` as a hypergraph (edges `{i, i+1 mod n}`).
+///
+/// Its minimal transversals are the minimal vertex covers of the cycle —
+/// a mid-density family convenient for cross-algorithm agreement tests.
+pub fn cycle(n: usize) -> Hypergraph {
+    assert!(n >= 3, "cycle needs at least 3 vertices");
+    Hypergraph::from_index_edges(n, (0..n).map(|i| vec![i, (i + 1) % n]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{berge, naive};
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn matching_transversal_count() {
+        for half in 1..=5usize {
+            let h = matching(2 * half);
+            assert_eq!(berge::transversals(&h).len(), 1 << half);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn matching_rejects_odd() {
+        matching(5);
+    }
+
+    #[test]
+    fn threshold_dual_is_threshold() {
+        for n in 3..=6usize {
+            for t in 1..=n {
+                let h = threshold(n, t);
+                let expected = threshold(n, n - t + 1);
+                assert_eq!(berge::transversals(&h), expected, "n={n} t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn random_uniform_shape() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let h = random_uniform(12, 8, 2..=4, &mut rng);
+        assert!(h.len() <= 8);
+        assert!(h.edges().iter().all(|e| (2..=4).contains(&e.len())));
+    }
+
+    #[test]
+    fn co_sparse_edges_are_large() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let h = co_sparse(10, 3, 6, &mut rng);
+        assert!(!h.is_empty());
+        assert!(h.edges().iter().all(|e| e.len() >= 7));
+    }
+
+    #[test]
+    fn cycle_vertex_covers() {
+        let h = cycle(5);
+        let tr = berge::transversals(&h);
+        assert_eq!(tr, naive::transversals(&h));
+        // C5's minimal vertex covers all have size 3 and there are 5.
+        assert_eq!(tr.len(), 5);
+        assert!(tr.edges().iter().all(|t| t.len() == 3));
+    }
+}
+
+/// The classical self-dualization: given a simple hypergraph `H` on `n`
+/// vertices, build `SD(H)` on `n + 2` vertices (`x = n`, `y = n + 1`) with
+/// edges `{E ∪ {x}} ∪ {T ∪ {y} : T ∈ Tr(H)} ∪ {{x, y}}`. `SD(H)` is
+/// self-dual — `Tr(SD(H)) = SD(H)` — which makes it the canonical
+/// generator of hard instances for duality checkers: self-duality testing
+/// is polynomially equivalent to the general HTR decision problem.
+pub fn self_dualize(h: &Hypergraph) -> Hypergraph {
+    let n = h.universe_size();
+    let hm = h.minimized();
+    let tr = crate::berge::transversals(&hm);
+    let (x, y) = (n, n + 1);
+    let grow = |s: &AttrSet, extra: usize| {
+        let mut g = AttrSet::from_indices(n + 2, s.iter());
+        g.insert(extra);
+        g
+    };
+    let mut edges: Vec<AttrSet> = hm.edges().iter().map(|e| grow(e, x)).collect();
+    edges.extend(tr.edges().iter().map(|t| grow(t, y)));
+    edges.push(AttrSet::from_indices(n + 2, [x, y]));
+    Hypergraph::from_edges(n + 2, edges).expect("grown edges in universe")
+}
+
+#[cfg(test)]
+mod self_dual_tests {
+    use super::*;
+    use crate::fk;
+
+    #[test]
+    fn self_dualize_produces_self_dual_hypergraphs() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(21);
+        // Triangle, cycle, matching, random — all become self-dual.
+        let bases = vec![
+            Hypergraph::from_index_edges(3, [vec![0, 1], vec![1, 2], vec![0, 2]]),
+            cycle(5),
+            matching(6),
+            random_uniform(6, 4, 2..=3, &mut rng).minimized(),
+        ];
+        for h in bases {
+            let sd = self_dualize(&h);
+            assert!(sd.is_simple(), "{h:?}");
+            assert!(fk::is_self_dual(&sd), "{h:?}");
+            assert_eq!(crate::berge::transversals(&sd), sd, "{h:?}");
+        }
+    }
+
+    #[test]
+    fn self_dualize_of_empty() {
+        // H empty: Tr = {∅}; SD = {{x}, {y}, {x,y}} minimized = {{x},{y}}.
+        let sd = self_dualize(&Hypergraph::empty(2));
+        assert!(fk::is_self_dual(&sd));
+    }
+}

@@ -1,0 +1,114 @@
+//! Incremental transversal enumeration via repeated duality checks.
+//!
+//! This is the *joint generation* scheme (Gurvich–Khachiyan) that turns the
+//! Fredman–Khachiyan duality check into the incremental `T(I, i)`-time HTR
+//! subroutine required by the paper's Theorem 21 and Corollary 22: maintain
+//! a partial answer `G ⊆ Tr(F)`; while `(F, G)` is not dual, the FK witness
+//! `w` satisfies `f(w) = 0 = g(w̄)`, so `w̄` is a transversal of `F`
+//! containing no member of `G`; greedily minimizing it yields a **new**
+//! minimal transversal. Each of the `i` outputs costs one duality check on
+//! a pair of size `(|F|, i)` — quasi-polynomial incremental time.
+
+use dualminer_bitset::AttrSet;
+
+use crate::oracle::{is_transversal, minimize_transversal};
+use crate::{fk, Hypergraph};
+
+/// Observable progress of one enumeration run, for the experiments.
+#[derive(Clone, Debug, Default)]
+pub struct JointGenTrace {
+    /// FK recursive-call count per emitted transversal (last entry is the
+    /// final, successful duality check).
+    pub fk_calls_per_step: Vec<u64>,
+}
+
+/// Computes `Tr(H)` by joint generation.
+pub fn transversals(h: &Hypergraph) -> Hypergraph {
+    transversals_traced(h).0
+}
+
+/// [`transversals`] plus the per-step FK effort trace.
+pub fn transversals_traced(h: &Hypergraph) -> (Hypergraph, JointGenTrace) {
+    let n = h.universe_size();
+    let hm = h.minimized();
+    let mut trace = JointGenTrace::default();
+
+    // Constant corner cases mirror `berge::transversals`.
+    if hm.is_empty() {
+        return (
+            Hypergraph::from_edges(n, vec![AttrSet::empty(n)]).expect("in universe"),
+            trace,
+        );
+    }
+    if hm.edges().iter().any(|e| e.is_empty()) {
+        return (Hypergraph::empty(n), trace);
+    }
+
+    let mut g = Hypergraph::empty(n);
+    loop {
+        let (witness, stats) = fk::duality_witness_counted(&hm, &g);
+        trace.fk_calls_per_step.push(stats.calls);
+        let Some(w) = witness else {
+            return (g, trace);
+        };
+        // Invariant: G ⊆ Tr(F) and pairwise intersecting, so the witness
+        // always has f(w) = 0 = g(w̄): w̄ is a transversal not containing
+        // any already-found minimal transversal.
+        let t = w.complement();
+        debug_assert!(is_transversal(&hm, &t));
+        let t_min = minimize_transversal(&hm, &t)
+            .expect("FK witness complement must be a transversal");
+        let added = g.add_edge(t_min);
+        assert!(added, "joint generation produced a duplicate transversal");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::berge;
+
+    fn h(n: usize, edges: &[&[usize]]) -> Hypergraph {
+        Hypergraph::from_index_edges(n, edges.iter().map(|e| e.to_vec()))
+    }
+
+    #[test]
+    fn constants() {
+        let tr = transversals(&Hypergraph::empty(3));
+        assert_eq!(tr.len(), 1);
+        assert!(tr.edges()[0].is_empty());
+        assert!(transversals(&h(3, &[&[]])).is_empty());
+    }
+
+    #[test]
+    fn paper_example_8() {
+        let f = h(4, &[&[3], &[0, 2]]);
+        assert_eq!(transversals(&f), berge::transversals(&f));
+    }
+
+    #[test]
+    fn matches_berge_on_random_instances() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..40 {
+            let n = rng.gen_range(3..9);
+            let m = rng.gen_range(1..7);
+            let edges: Vec<Vec<usize>> = (0..m)
+                .map(|_| {
+                    let k = rng.gen_range(1..=n.min(4));
+                    (0..k).map(|_| rng.gen_range(0..n)).collect()
+                })
+                .collect();
+            let hg = Hypergraph::from_index_edges(n, edges);
+            assert_eq!(transversals(&hg), berge::transversals(&hg), "{hg:?}");
+        }
+    }
+
+    #[test]
+    fn trace_has_one_entry_per_transversal_plus_final() {
+        let f = h(6, &[&[0, 1], &[2, 3], &[4, 5]]);
+        let (tr, trace) = transversals_traced(&f);
+        assert_eq!(tr.len(), 8);
+        assert_eq!(trace.fk_calls_per_step.len(), 9);
+    }
+}

@@ -1,0 +1,206 @@
+//! # dualminer-hypergraph
+//!
+//! Simple hypergraphs and minimal-transversal (hypergraph dualization)
+//! algorithms — the combinatorial engine behind the PODS 1997 paper
+//! *"Data mining, Hypergraph Transversals, and Machine Learning"*.
+//!
+//! A collection `H` of subsets of a vertex set `R` is a **simple
+//! hypergraph** if no edge is empty and no edge contains another (the
+//! paper's Section 3 definition). A **transversal** (hitting set) of `H` is
+//! a set `T ⊆ R` intersecting every edge; `Tr(H)` denotes the hypergraph of
+//! *minimal* transversals. Computing `Tr(H)` is the **HTR problem**
+//! (Problem 5), whose exact complexity is open; the best known bound is the
+//! quasi-polynomial algorithm of Fredman and Khachiyan (1996), which the
+//! paper's Corollaries 22 and 29 rely on.
+//!
+//! This crate implements, from scratch:
+//!
+//! * [`Hypergraph`] — the edge-set type with simplicity/minimization.
+//! * [`berge::transversals`] — Berge's sequential-multiplication baseline.
+//! * [`fk::duality_witness`] — the Fredman–Khachiyan recursive duality
+//!   check (algorithm A), returning a witness assignment when the input
+//!   pair is not dual.
+//! * [`joint_gen::transversals`] — incremental enumeration of `Tr(H)` by
+//!   repeated duality checks (one new minimal transversal per check), the
+//!   `T(I, i)`-incremental subroutine Theorem 21 asks for.
+//! * [`levelwise_tr::transversals_large_edges`] — the paper's **new**
+//!   polynomial special case (Corollary 15): when every edge has size at
+//!   least `n − k` with `k = O(log n)`, the levelwise algorithm computes
+//!   `Tr(H)` in input-polynomial time.
+//! * [`mmcs::transversals`] — MMCS depth-first enumeration (Murakami–Uno
+//!   2014), the modern baseline the benches compare the 1997-era
+//!   machinery against.
+//! * [`naive::transversals`] — exponential brute force, used as the test
+//!   referee.
+//! * [`generators`] — random and adversarial instances, including the
+//!   Example 19 matching whose transversal hypergraph has `2^{n/2}` edges.
+//!
+//! # Example
+//!
+//! ```
+//! use dualminer_bitset::Universe;
+//! use dualminer_hypergraph::{berge, Hypergraph};
+//!
+//! // Example 8 of the paper: H(S) = {D, AC} over R = {A,B,C,D}.
+//! let u = Universe::letters(4);
+//! let h = Hypergraph::from_edges(4, vec![
+//!     u.parse("D").unwrap(),
+//!     u.parse("AC").unwrap(),
+//! ]).unwrap();
+//! let tr = berge::transversals(&h);
+//! assert_eq!(u.display_family(tr.edges()), "{AD, CD}");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod berge;
+pub mod fk;
+pub mod generators;
+mod graph;
+pub mod joint_gen;
+pub mod levelwise_tr;
+pub mod mmcs;
+pub mod naive;
+pub mod oracle;
+
+pub use graph::{EdgeError, Hypergraph};
+
+use dualminer_bitset::AttrSet;
+
+/// The transversal-computation strategies offered by this crate, so callers
+/// (notably Dualize-and-Advance in `dualminer-core`) can select a subroutine
+/// at run time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum TrAlgorithm {
+    /// Berge sequential multiplication — simple, exact, exponential in the
+    /// worst case but very fast on small borders.
+    #[default]
+    Berge,
+    /// Fredman–Khachiyan joint generation — quasi-polynomial incremental
+    /// enumeration (the subroutine behind the paper's Corollary 22).
+    FkJointGeneration,
+    /// The paper's Corollary 15 levelwise special case — input-polynomial
+    /// when all edges have size ≥ n − O(log n); falls back to Berge when
+    /// the precondition does not hold.
+    LevelwiseLargeEdges,
+    /// MMCS depth-first branch-and-bound (Murakami–Uno 2014) — the modern
+    /// polynomial-space baseline.
+    Mmcs,
+}
+
+/// Computes `Tr(H)` with the chosen strategy.
+///
+/// All strategies return the same minimal-transversal hypergraph; they
+/// differ only in running time.
+pub fn transversals_with(h: &Hypergraph, algo: TrAlgorithm) -> Hypergraph {
+    match algo {
+        TrAlgorithm::Berge => berge::transversals(h),
+        TrAlgorithm::FkJointGeneration => joint_gen::transversals(h),
+        TrAlgorithm::Mmcs => mmcs::transversals(h),
+        TrAlgorithm::LevelwiseLargeEdges => {
+            let n = h.universe_size();
+            let max_complement = h.edges().iter().map(|e| n - e.len()).max().unwrap_or(0);
+            // The special case pays ~n^(k+1); past k ≈ log2(n) + 2 Berge is
+            // the safer general-purpose choice.
+            let log2n = usize::BITS as usize - n.max(1).leading_zeros() as usize;
+            if max_complement <= log2n + 2 {
+                levelwise_tr::transversals_large_edges(h)
+            } else {
+                berge::transversals(h)
+            }
+        }
+    }
+}
+
+/// Removes non-minimal sets from a family: returns the ⊆-minimal antichain.
+///
+/// Used by every algorithm in this crate; `O(m² · n/64)` with an early
+/// cardinality sort so each set is only compared against smaller ones.
+pub fn minimize_family(mut sets: Vec<AttrSet>) -> Vec<AttrSet> {
+    sets.sort_by(|a, b| a.cmp_card_lex(b));
+    sets.dedup();
+    let mut kept: Vec<AttrSet> = Vec::with_capacity(sets.len());
+    'outer: for s in sets {
+        for k in &kept {
+            if k.is_subset(&s) {
+                continue 'outer;
+            }
+        }
+        kept.push(s);
+    }
+    kept
+}
+
+/// Removes non-maximal sets from a family: returns the ⊆-maximal antichain.
+pub fn maximize_family(mut sets: Vec<AttrSet>) -> Vec<AttrSet> {
+    sets.sort_by(|a, b| b.cmp_card_lex(a));
+    sets.dedup();
+    let mut kept: Vec<AttrSet> = Vec::with_capacity(sets.len());
+    'outer: for s in sets {
+        for k in &kept {
+            if s.is_subset(k) {
+                continue 'outer;
+            }
+        }
+        kept.push(s);
+    }
+    kept
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimize_family_keeps_antichain() {
+        let n = 5;
+        let sets = vec![
+            AttrSet::from_indices(n, [0, 1]),
+            AttrSet::from_indices(n, [0, 1, 2]),
+            AttrSet::from_indices(n, [3]),
+            AttrSet::from_indices(n, [3, 4]),
+            AttrSet::from_indices(n, [0, 1]),
+        ];
+        let min = minimize_family(sets);
+        assert_eq!(
+            min,
+            vec![
+                AttrSet::from_indices(n, [3]),
+                AttrSet::from_indices(n, [0, 1]),
+            ]
+        );
+    }
+
+    #[test]
+    fn maximize_family_keeps_antichain() {
+        let n = 5;
+        let sets = vec![
+            AttrSet::from_indices(n, [0, 1]),
+            AttrSet::from_indices(n, [0, 1, 2]),
+            AttrSet::from_indices(n, [3]),
+            AttrSet::from_indices(n, [3, 4]),
+        ];
+        let max = maximize_family(sets);
+        assert_eq!(max.len(), 2);
+        assert!(max.contains(&AttrSet::from_indices(n, [0, 1, 2])));
+        assert!(max.contains(&AttrSet::from_indices(n, [3, 4])));
+    }
+
+    #[test]
+    fn minimize_family_empty_set_dominates() {
+        let n = 3;
+        let min = minimize_family(vec![AttrSet::from_indices(n, [0]), AttrSet::empty(n)]);
+        assert_eq!(min, vec![AttrSet::empty(n)]);
+    }
+
+    #[test]
+    fn families_of_one() {
+        let n = 4;
+        let s = vec![AttrSet::from_indices(n, [1, 2])];
+        assert_eq!(minimize_family(s.clone()), s);
+        assert_eq!(maximize_family(s.clone()), s);
+        assert!(minimize_family(vec![]).is_empty());
+        assert!(maximize_family(vec![]).is_empty());
+    }
+}

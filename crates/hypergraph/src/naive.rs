@@ -1,0 +1,82 @@
+//! Exponential brute-force transversal computation — the referee.
+//!
+//! Enumerates subsets in ascending cardinality and keeps the transversals
+//! none of whose kept subsets is a transversal. `O(2ⁿ · |H|)`: only usable
+//! for `n ≲ 20`, which is exactly its job — an independently-coded oracle
+//! the property tests compare every real algorithm against.
+
+use dualminer_bitset::{AttrSet, SubsetsOfSize};
+
+use crate::oracle::is_transversal;
+use crate::Hypergraph;
+
+/// Computes `Tr(H)` by brute force.
+///
+/// # Panics
+/// Panics if the universe exceeds 25 vertices — calling this on larger
+/// instances is a bug in the caller (use a real algorithm).
+pub fn transversals(h: &Hypergraph) -> Hypergraph {
+    let n = h.universe_size();
+    assert!(n <= 25, "brute force limited to 25 vertices, got {n}");
+    let mut minimal: Vec<AttrSet> = Vec::new();
+    for k in 0..=n {
+        'cand: for cand in SubsetsOfSize::new(n, k) {
+            for m in &minimal {
+                if m.is_subset(&cand) {
+                    continue 'cand; // a smaller transversal is inside
+                }
+            }
+            if is_transversal(h, &cand) {
+                minimal.push(cand);
+            }
+        }
+    }
+    Hypergraph::from_edges(n, minimal).expect("subsets stay in universe")
+}
+
+/// Counts all transversals (not only minimal ones) by brute force; used by
+/// the Example 19 experiment to report the full `2^{n/2}` blowup.
+pub fn count_all_transversals(h: &Hypergraph) -> u64 {
+    let n = h.universe_size();
+    assert!(n <= 25, "brute force limited to 25 vertices, got {n}");
+    let mut count = 0u64;
+    for mask in 0u64..(1u64 << n) {
+        let t = AttrSet::from_indices(n, (0..n).filter(|&i| mask >> i & 1 == 1));
+        if is_transversal(h, &t) {
+            count += 1;
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_berge_on_small_cases() {
+        let cases = vec![
+            Hypergraph::empty(4),
+            Hypergraph::from_index_edges(4, [vec![0]]),
+            Hypergraph::from_index_edges(4, [vec![3], vec![0, 2]]),
+            Hypergraph::from_index_edges(5, [vec![0, 1], vec![1, 2], vec![2, 3], vec![3, 4]]),
+            Hypergraph::from_index_edges(6, [vec![0, 1, 2], vec![3, 4, 5], vec![0, 3]]),
+        ];
+        for h in cases {
+            assert_eq!(transversals(&h), crate::berge::transversals(&h), "{h:?}");
+        }
+    }
+
+    #[test]
+    fn count_all_matching() {
+        // Two disjoint pairs: transversal must hit both pairs;
+        // count = (2^2 - 1)^2 = 9 over the 4 pair-vertices.
+        let h = Hypergraph::from_index_edges(4, [vec![0, 1], vec![2, 3]]);
+        assert_eq!(count_all_transversals(&h), 9);
+    }
+
+    #[test]
+    fn count_all_empty() {
+        assert_eq!(count_all_transversals(&Hypergraph::empty(3)), 8);
+    }
+}

@@ -1,0 +1,167 @@
+//! Transversal predicates: hitting tests, greedy minimization, minimality.
+//!
+//! These are the `O(|H| · n/64)` primitives both data-mining algorithms
+//! lean on: the levelwise special case of Corollary 15 asks "is `X` a
+//! transversal?" per candidate, and Dualize-and-Advance's step 9 extends a
+//! counterexample greedily — whose dual view is the greedy transversal
+//! minimization implemented here.
+
+use dualminer_bitset::AttrSet;
+
+use crate::Hypergraph;
+
+/// Whether `t` intersects every edge of `h` (the hitting-set test).
+///
+/// For the empty hypergraph every set, including ∅, is a transversal.
+pub fn is_transversal(h: &Hypergraph, t: &AttrSet) -> bool {
+    h.edges().iter().all(|e| t.intersects(e))
+}
+
+/// Whether `x` is *independent*: contains no edge of `h`.
+///
+/// Independence is the complement view that links transversals to the data
+/// mining problem: `x` contains no edge of `H(S)` iff `R \ x` is a
+/// transversal-free certificate. The Fredman–Khachiyan witness search uses
+/// both predicates.
+pub fn is_independent(h: &Hypergraph, x: &AttrSet) -> bool {
+    !h.edges().iter().any(|e| e.is_subset(x))
+}
+
+/// Greedily shrinks a transversal to a minimal one by trying to drop each
+/// vertex in ascending order. Returns `None` if `t` is not a transversal.
+///
+/// `O(|t| · |H| · n/64)`. The result is minimal but depends on the drop
+/// order; [`minimize_transversal_with_order`] lets callers control it (the
+/// ablation of DESIGN.md §5).
+pub fn minimize_transversal(h: &Hypergraph, t: &AttrSet) -> Option<AttrSet> {
+    let order: Vec<usize> = t.iter().collect();
+    minimize_transversal_with_order(h, t, &order)
+}
+
+/// Like [`minimize_transversal`], dropping candidate vertices in the given
+/// order (vertices not in `t` are ignored).
+pub fn minimize_transversal_with_order(
+    h: &Hypergraph,
+    t: &AttrSet,
+    order: &[usize],
+) -> Option<AttrSet> {
+    if !is_transversal(h, t) {
+        return None;
+    }
+    let mut cur = t.clone();
+    for &v in order {
+        if !cur.contains(v) {
+            continue;
+        }
+        cur.remove(v);
+        if !is_transversal(h, &cur) {
+            cur.insert(v);
+        }
+    }
+    Some(cur)
+}
+
+/// Whether `t` is a transversal none of whose proper subsets is one.
+///
+/// Equivalent test used here: `t` hits every edge, and every `v ∈ t` has a
+/// *private* edge `E` with `t ∩ E = {v}` (otherwise `t \ {v}` still hits
+/// everything).
+pub fn is_minimal_transversal(h: &Hypergraph, t: &AttrSet) -> bool {
+    if !is_transversal(h, t) {
+        return false;
+    }
+    t.iter().all(|v| {
+        h.edges()
+            .iter()
+            .any(|e| e.contains(v) && t.intersection_len(e) == 1)
+    })
+}
+
+/// Checks that `candidate` equals `Tr(h)` by direct definition: every edge
+/// of `candidate` is a minimal transversal, and every minimal transversal
+/// obtained by shrinking `R` itself... — this cheap variant only verifies
+/// soundness (all candidates minimal transversals) and mutual
+/// non-redundancy; completeness requires a duality check, see
+/// [`crate::fk::duality_witness`].
+pub fn all_minimal_transversals(h: &Hypergraph, candidate: &Hypergraph) -> bool {
+    candidate.is_simple() && candidate.edges().iter().all(|t| is_minimal_transversal(h, t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Hypergraph {
+        // Edges {0,1},{1,2},{0,2}: minimal transversals are the same pairs.
+        Hypergraph::from_index_edges(3, [vec![0, 1], vec![1, 2], vec![0, 2]])
+    }
+
+    #[test]
+    fn transversal_basics() {
+        let h = triangle();
+        assert!(is_transversal(&h, &AttrSet::from_indices(3, [0, 1])));
+        assert!(is_transversal(&h, &AttrSet::full(3)));
+        assert!(!is_transversal(&h, &AttrSet::from_indices(3, [0])));
+        assert!(!is_transversal(&h, &AttrSet::empty(3)));
+    }
+
+    #[test]
+    fn empty_hypergraph_everything_is_transversal() {
+        let h = Hypergraph::empty(3);
+        assert!(is_transversal(&h, &AttrSet::empty(3)));
+        assert!(is_minimal_transversal(&h, &AttrSet::empty(3)));
+        assert!(!is_minimal_transversal(&h, &AttrSet::from_indices(3, [0])));
+    }
+
+    #[test]
+    fn independence() {
+        let h = triangle();
+        assert!(is_independent(&h, &AttrSet::from_indices(3, [0])));
+        assert!(!is_independent(&h, &AttrSet::from_indices(3, [0, 1])));
+        assert!(is_independent(&h, &AttrSet::empty(3)));
+    }
+
+    #[test]
+    fn minimize_shrinks_to_minimal() {
+        let h = triangle();
+        let t = minimize_transversal(&h, &AttrSet::full(3)).unwrap();
+        assert!(is_minimal_transversal(&h, &t));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn minimize_rejects_non_transversal() {
+        let h = triangle();
+        assert_eq!(minimize_transversal(&h, &AttrSet::from_indices(3, [0])), None);
+    }
+
+    #[test]
+    fn minimize_order_dependence() {
+        let h = triangle();
+        let full = AttrSet::full(3);
+        let asc = minimize_transversal_with_order(&h, &full, &[0, 1, 2]).unwrap();
+        let desc = minimize_transversal_with_order(&h, &full, &[2, 1, 0]).unwrap();
+        assert!(is_minimal_transversal(&h, &asc));
+        assert!(is_minimal_transversal(&h, &desc));
+        // Ascending drops 0 first → {1,2}; descending drops 2 first → {0,1}.
+        assert_eq!(asc, AttrSet::from_indices(3, [1, 2]));
+        assert_eq!(desc, AttrSet::from_indices(3, [0, 1]));
+    }
+
+    #[test]
+    fn minimality_needs_private_edges() {
+        let h = triangle();
+        assert!(is_minimal_transversal(&h, &AttrSet::from_indices(3, [0, 1])));
+        assert!(!is_minimal_transversal(&h, &AttrSet::full(3)));
+        assert!(!is_minimal_transversal(&h, &AttrSet::from_indices(3, [0])));
+    }
+
+    #[test]
+    fn soundness_check() {
+        let h = triangle();
+        let tr = Hypergraph::from_index_edges(3, [vec![0, 1], vec![1, 2], vec![0, 2]]);
+        assert!(all_minimal_transversals(&h, &tr));
+        let bad = Hypergraph::from_index_edges(3, [vec![0, 1, 2]]);
+        assert!(!all_minimal_transversals(&h, &bad));
+    }
+}

@@ -1,0 +1,88 @@
+//! Property tests: the four transversal algorithms agree with brute force,
+//! and the classical dualization identities hold.
+
+use dualminer_bitset::AttrSet;
+use dualminer_hypergraph::oracle::{is_minimal_transversal, is_transversal};
+use dualminer_hypergraph::{berge, fk, joint_gen, levelwise_tr, mmcs, naive, Hypergraph};
+use proptest::prelude::*;
+
+const N: usize = 8;
+
+fn arb_hypergraph() -> impl Strategy<Value = Hypergraph> {
+    proptest::collection::vec(proptest::collection::vec(0..N, 1..5), 0..7)
+        .prop_map(|edges| Hypergraph::from_index_edges(N, edges))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn all_algorithms_agree_with_brute_force(h in arb_hypergraph()) {
+        let reference = naive::transversals(&h);
+        prop_assert_eq!(berge::transversals(&h), reference.clone());
+        prop_assert_eq!(joint_gen::transversals(&h), reference.clone());
+        prop_assert_eq!(levelwise_tr::transversals_large_edges(&h), reference.clone());
+        prop_assert_eq!(mmcs::transversals(&h), reference);
+    }
+
+    #[test]
+    fn outputs_are_minimal_transversals(h in arb_hypergraph()) {
+        let tr = berge::transversals(&h);
+        prop_assert!(tr.is_simple() || tr.is_empty() || tr.edges() == [AttrSet::empty(N)]);
+        for t in tr.edges() {
+            prop_assert!(is_transversal(&h, t));
+            prop_assert!(is_minimal_transversal(&h.minimized(), t));
+        }
+    }
+
+    #[test]
+    fn transversal_involution(h in arb_hypergraph()) {
+        // Tr(Tr(H)) = min(H) for hypergraphs without an empty edge;
+        // with one, Tr(H) = ∅ and Tr(∅) = {∅} = min(H) as well since
+        // minimization keeps only the empty edge.
+        let hm = h.minimized();
+        let tr2 = berge::transversals(&berge::transversals(&hm));
+        prop_assert_eq!(tr2, hm);
+    }
+
+    #[test]
+    fn fk_accepts_true_duals(h in arb_hypergraph()) {
+        let hm = h.minimized();
+        let tr = berge::transversals(&hm);
+        prop_assert!(fk::are_dual(&hm, &tr));
+        prop_assert!(fk::are_dual(&tr, &hm));
+    }
+
+    #[test]
+    fn fk_rejects_perturbed_duals_with_valid_witness(h in arb_hypergraph()) {
+        let hm = h.minimized();
+        let tr = berge::transversals(&hm);
+        if tr.len() >= 2 {
+            let mut edges = tr.edges().to_vec();
+            edges.pop();
+            let broken = Hypergraph::from_edges(N, edges).unwrap();
+            let w = fk::duality_witness(&hm, &broken);
+            let w = w.expect("strict sub-family of Tr cannot be dual");
+            let fw = hm.edges().iter().any(|e| e.is_subset(&w));
+            let gw = broken.edges().iter().any(|t| t.is_subset(&w.complement()));
+            prop_assert_eq!(fw, gw, "witness must equate f(w) and g(w̄)");
+        }
+    }
+
+    #[test]
+    fn minimize_transversal_yields_minimal(h in arb_hypergraph()) {
+        let full = AttrSet::full(N);
+        if let Some(t) = dualminer_hypergraph::oracle::minimize_transversal(&h, &full) {
+            prop_assert!(is_minimal_transversal(&h.minimized(), &t));
+        } else {
+            // Only possible when an edge is empty.
+            prop_assert!(h.edges().iter().any(|e| e.is_empty()));
+        }
+    }
+
+    #[test]
+    fn minimized_preserves_transversals(h in arb_hypergraph(), x in proptest::collection::vec(0..N, 0..N)) {
+        let xs = AttrSet::from_indices(N, x);
+        prop_assert_eq!(is_transversal(&h, &xs), is_transversal(&h.minimized(), &xs));
+    }
+}

@@ -1,0 +1,279 @@
+//! Monotone Boolean functions in DNF and CNF.
+//!
+//! A monotone function has a unique minimum DNF (disjunction of its
+//! *prime implicants* — here: minimal true sets) and a unique minimum CNF
+//! (conjunction of its *prime implicates* — minimal clauses). The two are
+//! linked by hypergraph dualization: the prime implicates are exactly the
+//! minimal transversals of the prime-implicant hypergraph, which is what
+//! makes monotone-function learning and `Tr(H)` interchangeable
+//! (Section 6, and Fredman–Khachiyan's original setting).
+
+use dualminer_bitset::{AttrSet, Universe};
+use dualminer_hypergraph::{berge, minimize_family, Hypergraph};
+
+/// A monotone DNF: `f(x) = ⋁ᵢ ⋀_{v ∈ Tᵢ} x_v`, stored as the term family
+/// `{Tᵢ}`. No terms ⇒ constant false; an empty term ⇒ constant true.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MonotoneDnf {
+    n: usize,
+    terms: Vec<AttrSet>,
+}
+
+/// A monotone CNF: `f(x) = ⋀ⱼ ⋁_{v ∈ Cⱼ} x_v`, stored as the clause family
+/// `{Cⱼ}`. No clauses ⇒ constant true; an empty clause ⇒ constant false.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MonotoneCnf {
+    n: usize,
+    clauses: Vec<AttrSet>,
+}
+
+impl MonotoneDnf {
+    /// Builds a DNF, minimizing the term family (so `terms()` is the
+    /// unique minimum representation).
+    ///
+    /// # Panics
+    /// Panics if any term lives in a different universe.
+    pub fn new(n: usize, terms: Vec<AttrSet>) -> Self {
+        for t in &terms {
+            assert_eq!(t.universe_size(), n, "term outside universe");
+        }
+        MonotoneDnf {
+            n,
+            terms: minimize_family(terms),
+        }
+    }
+
+    /// The constant-false function.
+    pub fn constant_false(n: usize) -> Self {
+        MonotoneDnf { n, terms: vec![] }
+    }
+
+    /// The constant-true function.
+    pub fn constant_true(n: usize) -> Self {
+        MonotoneDnf {
+            n,
+            terms: vec![AttrSet::empty(n)],
+        }
+    }
+
+    /// Number of variables.
+    pub fn n_vars(&self) -> usize {
+        self.n
+    }
+
+    /// The minimal terms (prime implicants), card-lex sorted.
+    pub fn terms(&self) -> &[AttrSet] {
+        &self.terms
+    }
+
+    /// `|DNF(f)|`: the number of minimal terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Whether `f ≡ 0`.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Evaluates `f` on the assignment whose true variables are `x`.
+    pub fn eval(&self, x: &AttrSet) -> bool {
+        self.terms.iter().any(|t| t.is_subset(x))
+    }
+
+    /// The unique minimum CNF of the same function: clauses are the
+    /// minimal transversals of the term hypergraph.
+    pub fn to_cnf(&self) -> MonotoneCnf {
+        let h = Hypergraph::from_edges(self.n, self.terms.clone()).expect("terms in universe");
+        MonotoneCnf {
+            n: self.n,
+            clauses: berge::transversals(&h).edges().to_vec(),
+        }
+    }
+
+    /// Renders e.g. `AD ∨ CD` (constant false renders as `⊥`).
+    pub fn display(&self, u: &Universe) -> String {
+        if self.terms.is_empty() {
+            return "⊥".into();
+        }
+        self.terms
+            .iter()
+            .map(|t| if t.is_empty() { "⊤".into() } else { u.display(t) })
+            .collect::<Vec<_>>()
+            .join(" ∨ ")
+    }
+}
+
+impl MonotoneCnf {
+    /// Builds a CNF, minimizing the clause family.
+    ///
+    /// # Panics
+    /// Panics if any clause lives in a different universe.
+    pub fn new(n: usize, clauses: Vec<AttrSet>) -> Self {
+        for c in &clauses {
+            assert_eq!(c.universe_size(), n, "clause outside universe");
+        }
+        MonotoneCnf {
+            n,
+            clauses: minimize_family(clauses),
+        }
+    }
+
+    /// The constant-true function.
+    pub fn constant_true(n: usize) -> Self {
+        MonotoneCnf { n, clauses: vec![] }
+    }
+
+    /// The constant-false function.
+    pub fn constant_false(n: usize) -> Self {
+        MonotoneCnf {
+            n,
+            clauses: vec![AttrSet::empty(n)],
+        }
+    }
+
+    /// Number of variables.
+    pub fn n_vars(&self) -> usize {
+        self.n
+    }
+
+    /// The minimal clauses (prime implicates), card-lex sorted.
+    pub fn clauses(&self) -> &[AttrSet] {
+        &self.clauses
+    }
+
+    /// `|CNF(f)|`: the number of minimal clauses.
+    pub fn len(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Whether `f ≡ 1`.
+    pub fn is_empty(&self) -> bool {
+        self.clauses.is_empty()
+    }
+
+    /// Evaluates `f` on the assignment whose true variables are `x`.
+    pub fn eval(&self, x: &AttrSet) -> bool {
+        self.clauses.iter().all(|c| c.intersects(x))
+    }
+
+    /// The unique minimum DNF of the same function.
+    pub fn to_dnf(&self) -> MonotoneDnf {
+        let h = Hypergraph::from_edges(self.n, self.clauses.clone()).expect("clauses in universe");
+        MonotoneDnf {
+            n: self.n,
+            terms: berge::transversals(&h).edges().to_vec(),
+        }
+    }
+
+    /// Renders e.g. `(A ∨ C)(D)` (constant true renders as `⊤`).
+    pub fn display(&self, u: &Universe) -> String {
+        if self.clauses.is_empty() {
+            return "⊤".into();
+        }
+        self.clauses
+            .iter()
+            .map(|c| {
+                if c.is_empty() {
+                    "(⊥)".into()
+                } else {
+                    format!(
+                        "({})",
+                        c.iter().map(|v| u.name(v)).collect::<Vec<_>>().join(" ∨ ")
+                    )
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("")
+    }
+}
+
+/// Semantic equivalence of a DNF and a CNF, decided by the
+/// Fredman–Khachiyan duality check (no `2ⁿ` sweep): `f_dnf ≡ f_cnf` iff the
+/// term family and the clause family are dual hypergraphs.
+pub fn equivalent(dnf: &MonotoneDnf, cnf: &MonotoneCnf) -> bool {
+    assert_eq!(dnf.n_vars(), cnf.n_vars());
+    let f = Hypergraph::from_edges(dnf.n, dnf.terms.clone()).expect("in universe");
+    let g = Hypergraph::from_edges(cnf.n, cnf.clauses.clone()).expect("in universe");
+    dualminer_hypergraph::fk::are_dual(&f, &g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[usize]) -> AttrSet {
+        AttrSet::from_indices(4, v.iter().copied())
+    }
+
+    #[test]
+    fn example_25_function() {
+        // f = AD ∨ CD; CNF (A ∨ C)(D).
+        let u = Universe::letters(4);
+        let dnf = MonotoneDnf::new(4, vec![s(&[0, 3]), s(&[2, 3])]);
+        assert_eq!(dnf.display(&u), "AD ∨ CD");
+        let cnf = dnf.to_cnf();
+        assert_eq!(cnf.display(&u), "(D)(A ∨ C)");
+        assert!(equivalent(&dnf, &cnf));
+        assert_eq!(cnf.to_dnf(), dnf);
+    }
+
+    #[test]
+    fn eval_agrees_across_representations() {
+        let dnf = MonotoneDnf::new(4, vec![s(&[0, 1]), s(&[2])]);
+        let cnf = dnf.to_cnf();
+        for bits in 0..16usize {
+            let x = AttrSet::from_indices(4, (0..4).filter(|i| bits >> i & 1 == 1));
+            assert_eq!(dnf.eval(&x), cnf.eval(&x), "{x:?}");
+        }
+    }
+
+    #[test]
+    fn constants() {
+        let t = MonotoneDnf::constant_true(3);
+        let f = MonotoneDnf::constant_false(3);
+        assert!(t.eval(&AttrSet::empty(3)));
+        assert!(!f.eval(&AttrSet::full(3)));
+        assert_eq!(t.to_cnf(), MonotoneCnf::constant_true(3));
+        assert_eq!(f.to_cnf(), MonotoneCnf::constant_false(3));
+        assert_eq!(MonotoneCnf::constant_true(3).to_dnf(), t);
+        assert_eq!(MonotoneCnf::constant_false(3).to_dnf(), f);
+    }
+
+    #[test]
+    fn minimization_on_construction() {
+        let dnf = MonotoneDnf::new(4, vec![s(&[0]), s(&[0, 1]), s(&[0])]);
+        assert_eq!(dnf.terms(), &[s(&[0])]);
+        let cnf = MonotoneCnf::new(4, vec![s(&[0, 1]), s(&[0])]);
+        assert_eq!(cnf.clauses(), &[s(&[0])]);
+    }
+
+    #[test]
+    fn monotonicity_of_eval() {
+        let dnf = MonotoneDnf::new(4, vec![s(&[0, 3]), s(&[1, 2])]);
+        for bits in 0..16usize {
+            let x = AttrSet::from_indices(4, (0..4).filter(|i| bits >> i & 1 == 1));
+            if dnf.eval(&x) {
+                for sup in dualminer_bitset::ImmediateSupersets::new(&x) {
+                    assert!(dnf.eval(&sup));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn equivalence_rejects_wrong_pairs() {
+        let dnf = MonotoneDnf::new(4, vec![s(&[0, 3]), s(&[2, 3])]);
+        let wrong = MonotoneCnf::new(4, vec![s(&[3])]); // just (D)
+        assert!(!equivalent(&dnf, &wrong));
+    }
+
+    #[test]
+    fn double_dualization_round_trip() {
+        let dnf = MonotoneDnf::new(5, vec![s5(&[0, 1]), s5(&[1, 2, 3]), s5(&[4])]);
+        assert_eq!(dnf.to_cnf().to_dnf(), dnf);
+        fn s5(v: &[usize]) -> AttrSet {
+            AttrSet::from_indices(5, v.iter().copied())
+        }
+    }
+}

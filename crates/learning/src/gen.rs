@@ -1,0 +1,111 @@
+//! Monotone-function generators for the learning experiments.
+
+use dualminer_bitset::{AttrSet, SubsetsOfSize};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::{MonotoneCnf, MonotoneDnf};
+
+/// A random monotone DNF: `m` distinct terms of size `k` (same-size terms
+/// are automatically an antichain, so `|DNF(f)| = m` exactly).
+pub fn random_dnf<R: Rng + ?Sized>(n: usize, m: usize, k: usize, rng: &mut R) -> MonotoneDnf {
+    assert!(k <= n && k >= 1, "term size must be in 1..=n");
+    let mut vars: Vec<usize> = (0..n).collect();
+    let mut terms: Vec<AttrSet> = Vec::with_capacity(m);
+    let mut attempts = 0usize;
+    while terms.len() < m && attempts < m * 30 + 100 {
+        attempts += 1;
+        vars.shuffle(rng);
+        let t = AttrSet::from_indices(n, vars[..k].iter().copied());
+        if !terms.contains(&t) {
+            terms.push(t);
+        }
+    }
+    MonotoneDnf::new(n, terms)
+}
+
+/// The matching function `f = ⋁ᵢ x_{2i−1} x_{2i}` — Angluin-style hard
+/// instance and the Boolean twin of Example 19: `|DNF| = n/2` but
+/// `|CNF| = 2^{n/2}`. Any learner not given `|CNF|` as a resource pays
+/// exponentially here (the Corollary 27 discussion).
+///
+/// # Panics
+/// Panics if `n` is odd.
+pub fn matching_dnf(n: usize) -> MonotoneDnf {
+    assert!(n % 2 == 0, "matching needs an even variable count");
+    let terms = (0..n / 2)
+        .map(|i| AttrSet::from_indices(n, [2 * i, 2 * i + 1]))
+        .collect();
+    MonotoneDnf::new(n, terms)
+}
+
+/// The threshold function `Th_k^n` (true iff ≥ k variables set):
+/// `|DNF| = C(n, k)`, `|CNF| = C(n, n−k+1)` — a balanced stress instance.
+pub fn threshold_dnf(n: usize, k: usize) -> MonotoneDnf {
+    assert!(k >= 1 && k <= n);
+    MonotoneDnf::new(n, SubsetsOfSize::new(n, k).collect())
+}
+
+/// A CNF with clauses of size exactly `n − k` (the Corollary 26 regime:
+/// all clauses large). The clauses are `m` random co-`k`-sets.
+pub fn long_clause_cnf<R: Rng + ?Sized>(
+    n: usize,
+    k: usize,
+    m: usize,
+    rng: &mut R,
+) -> MonotoneCnf {
+    assert!(k >= 1 && k < n, "need 1 ≤ k < n");
+    let mut vars: Vec<usize> = (0..n).collect();
+    let mut clauses = Vec::with_capacity(m);
+    let mut attempts = 0usize;
+    while clauses.len() < m && attempts < m * 30 + 100 {
+        attempts += 1;
+        vars.shuffle(rng);
+        let missing = AttrSet::from_indices(n, vars[..k].iter().copied());
+        let clause = missing.complement();
+        if !clauses.contains(&clause) {
+            clauses.push(clause);
+        }
+    }
+    MonotoneCnf::new(n, clauses)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn random_dnf_shape() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let f = random_dnf(10, 5, 3, &mut rng);
+        assert_eq!(f.len(), 5);
+        assert!(f.terms().iter().all(|t| t.len() == 3));
+    }
+
+    #[test]
+    fn matching_cnf_is_exponential() {
+        for half in 1..=4usize {
+            let f = matching_dnf(2 * half);
+            assert_eq!(f.len(), half);
+            assert_eq!(f.to_cnf().len(), 1 << half);
+        }
+    }
+
+    #[test]
+    fn threshold_duality() {
+        let f = threshold_dnf(5, 2);
+        assert_eq!(f.len(), 10);
+        let cnf = f.to_cnf();
+        assert_eq!(cnf.len(), 5); // C(5, 4)
+        assert!(cnf.clauses().iter().all(|c| c.len() == 4));
+    }
+
+    #[test]
+    fn long_clause_cnf_shape() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let f = long_clause_cnf(10, 2, 4, &mut rng);
+        assert!(!f.is_empty());
+        assert!(f.clauses().iter().all(|c| c.len() >= 8));
+    }
+}

@@ -1,0 +1,62 @@
+//! # dualminer-learning
+//!
+//! Exact learning of monotone Boolean functions with membership queries —
+//! Section 6 of the PODS'97 paper, which proves the task **equivalent** to
+//! the abstract data mining problem (Theorem 24):
+//!
+//! > assignments `x ∈ {0,1}ⁿ` ↔ attribute sets; `f(x)` ↔ `¬q(r, set(x))`;
+//! > membership queries ↔ `Is-interesting` queries.
+//!
+//! Under the bridge, the minimal true points of `f` are the negative
+//! border of the mining theory (= the terms of `f`'s unique minimal
+//! **DNF**), and the maximal false points are `MTh` (their complements are
+//! the clauses of the unique minimal **CNF**) — Example 25 spells this out
+//! on the Figure 1 function `f = AD ∨ CD = (A ∨ C)(D)`.
+//!
+//! The corollaries implemented and measured here:
+//!
+//! * **Corollary 26** — the levelwise learner handles monotone CNFs whose
+//!   clauses have ≥ `n − O(log n)` variables in polynomial time.
+//! * **Corollary 27** — every learner needs ≥ `|DNF(f)| + |CNF(f)|`
+//!   membership queries (Theorem 2 through the bridge).
+//! * **Corollaries 28/29** — Dualize & Advance learns both representations
+//!   with `≤ |CNF|·(|DNF| + n²)` queries and sub-exponential time given
+//!   the Fredman–Khachiyan subroutine.
+//! * **Corollary 30** — a DNF learner yields an output-polynomial HTR
+//!   algorithm: [`learn::transversals_via_learner`].
+//!
+//! The [`angluin`] module adds the classical upper-bound counterpoint:
+//! with an *equivalence* oracle on top of membership queries, monotone
+//! DNFs are learnable with `|DNF|+1` EQs and `≤ |DNF|·n` MQs — the
+//! exponential `|CNF|` term of Corollary 27 disappears, which is exactly
+//! why the corollary "explains the lower bound given by Angluin".
+
+//! # Example
+//!
+//! ```
+//! use dualminer_bitset::AttrSet;
+//! use dualminer_hypergraph::TrAlgorithm;
+//! use dualminer_learning::learn::learn_monotone_dualize;
+//! use dualminer_learning::{FuncMq, MonotoneDnf};
+//!
+//! // Hide f = x0x3 ∨ x2x3 behind a membership oracle and learn it back.
+//! let secret = MonotoneDnf::new(4, vec![
+//!     AttrSet::from_indices(4, [0, 3]),
+//!     AttrSet::from_indices(4, [2, 3]),
+//! ]);
+//! let learned = learn_monotone_dualize(FuncMq::new(secret.clone()), TrAlgorithm::Berge);
+//! assert_eq!(learned.dnf, secret);
+//! assert!(learned.queries >= learned.corollary27_lower_bound());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod angluin;
+pub mod func;
+pub mod gen;
+pub mod learn;
+pub mod oracle;
+
+pub use func::{MonotoneCnf, MonotoneDnf};
+pub use oracle::{CountingMq, FuncMq, MembershipOracle};

@@ -1,0 +1,95 @@
+//! Property tests: learners recover random monotone targets exactly, the
+//! DNF/CNF dualization identities hold, and the query bounds of
+//! Corollaries 27 and 29 bracket the measured counts.
+
+use dualminer_bitset::AttrSet;
+use dualminer_core::bounds;
+use dualminer_hypergraph::TrAlgorithm;
+use dualminer_learning::func::equivalent;
+use dualminer_learning::learn::{
+    learn_monotone_dualize, learn_monotone_levelwise, transversals_via_learner,
+};
+use dualminer_learning::{FuncMq, MonotoneDnf};
+use proptest::prelude::*;
+
+const N: usize = 6;
+
+fn arb_dnf() -> impl Strategy<Value = MonotoneDnf> {
+    proptest::collection::vec(proptest::collection::vec(0..N, 0..N), 0..5)
+        .prop_map(|terms| {
+            MonotoneDnf::new(
+                N,
+                terms.into_iter().map(|t| AttrSet::from_indices(N, t)).collect(),
+            )
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn dualize_learner_is_exact(target in arb_dnf()) {
+        for algo in [TrAlgorithm::Berge, TrAlgorithm::FkJointGeneration] {
+            let learned = learn_monotone_dualize(FuncMq::new(target.clone()), algo);
+            prop_assert_eq!(&learned.dnf, &target);
+            prop_assert!(equivalent(&learned.dnf, &learned.cnf));
+            prop_assert_eq!(&learned.cnf, &target.to_cnf());
+        }
+    }
+
+    #[test]
+    fn levelwise_learner_is_exact(target in arb_dnf()) {
+        let learned = learn_monotone_levelwise(FuncMq::new(target.clone()));
+        prop_assert_eq!(&learned.dnf, &target);
+        prop_assert_eq!(&learned.cnf, &target.to_cnf());
+    }
+
+    #[test]
+    fn learned_function_evaluates_like_target(target in arb_dnf(), bits in 0usize..64) {
+        let learned = learn_monotone_dualize(
+            FuncMq::new(target.clone()),
+            TrAlgorithm::Berge,
+        );
+        let x = AttrSet::from_indices(N, (0..N).filter(|i| bits >> i & 1 == 1));
+        prop_assert_eq!(learned.dnf.eval(&x), target.eval(&x));
+        prop_assert_eq!(learned.cnf.eval(&x), target.eval(&x));
+    }
+
+    #[test]
+    fn query_bounds_bracket_measurements(target in arb_dnf()) {
+        let learned = learn_monotone_dualize(
+            FuncMq::new(target.clone()),
+            TrAlgorithm::FkJointGeneration,
+        );
+        // Corollary 27 lower bound.
+        prop_assert!(learned.queries >= learned.corollary27_lower_bound());
+        // Corollary 29 upper bound (+1 for the explicit ∅ seed).
+        let ub = bounds::corollary29_query_bound(learned.cnf.len(), learned.dnf.len(), N);
+        prop_assert!(learned.queries as u128 <= ub + 1,
+            "queries {} > bound {}", learned.queries, ub);
+    }
+
+    #[test]
+    fn dnf_cnf_dualization_is_involutive(target in arb_dnf()) {
+        prop_assert_eq!(target.to_cnf().to_dnf(), target.clone());
+        // And the sizes obey the trivial antichain bound both ways.
+        let cnf = target.to_cnf();
+        if !target.is_empty() && !cnf.is_empty() {
+            for t in target.terms() {
+                for c in cnf.clauses() {
+                    prop_assert!(t.intersects(c) || t.is_empty() || c.is_empty());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn corollary30_matches_direct_htr(
+        edges in proptest::collection::vec(proptest::collection::vec(0..N, 1..4), 0..5)
+    ) {
+        let h = dualminer_hypergraph::Hypergraph::from_index_edges(N, edges);
+        let via_learner = transversals_via_learner(&h, TrAlgorithm::Berge);
+        let direct = dualminer_hypergraph::berge::transversals(&h.minimized());
+        prop_assert_eq!(via_learner, direct);
+    }
+}

@@ -1,0 +1,232 @@
+//! Apriori: the specialized levelwise frequent-set miner.
+//!
+//! Algorithm 9 instantiated for frequent sets (\[2, 20\] in the paper), with
+//! the two standard systems refinements the generic oracle version cannot
+//! express:
+//!
+//! * supports are *recorded*, not just thresholded — association-rule
+//!   generation needs them (Section 2's closing remark);
+//! * support counting reuses the parent's tidset (Eclat-style): a level
+//!   `i+1` candidate is its generating prefix plus one item, so its tidset
+//!   is one bitset intersection instead of `i+1`.
+//!
+//! The query structure is *identical* to the generic
+//! [`dualminer_core::levelwise::levelwise`] run against a
+//! [`crate::FrequencyOracle`] — the unit tests assert equality of theory,
+//! borders, and candidate counts — so every Theorem 10/12 statement about
+//! the generic algorithm applies verbatim to this miner.
+
+use std::collections::{HashMap, HashSet};
+
+use dualminer_bitset::AttrSet;
+
+use crate::TransactionDb;
+
+/// A mined collection of frequent itemsets with their supports.
+#[derive(Clone, Debug)]
+pub struct FrequentSets {
+    pub(crate) n_items: usize,
+    pub(crate) min_support: usize,
+    pub(crate) n_rows: usize,
+    /// Frequent sets, card-lex sorted, with absolute supports.
+    pub itemsets: Vec<(AttrSet, usize)>,
+    /// The maximal frequent sets (`MTh`).
+    pub maximal: Vec<AttrSet>,
+    /// The negative border: infrequent candidates all of whose subsets are
+    /// frequent.
+    pub negative_border: Vec<AttrSet>,
+    /// Candidates evaluated per level (level = cardinality).
+    pub candidates_per_level: Vec<usize>,
+}
+
+impl FrequentSets {
+    /// Number of items of the mined database.
+    pub fn n_items(&self) -> usize {
+        self.n_items
+    }
+
+    /// The absolute threshold used.
+    pub fn min_support(&self) -> usize {
+        self.min_support
+    }
+
+    /// Rows in the mined database (for confidence/frequency computations).
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Support lookup map.
+    pub fn support_map(&self) -> HashMap<AttrSet, usize> {
+        self.itemsets.iter().cloned().collect()
+    }
+
+    /// Total support-counting operations performed (Theorem 10's count).
+    pub fn queries(&self) -> u64 {
+        (self.itemsets.len() + self.negative_border.len()) as u64
+    }
+}
+
+/// Mines all frequent itemsets of `db` at absolute threshold `min_support`.
+///
+/// # Panics
+/// Panics if `min_support` is 0 (see [`crate::FrequencyOracle::new`]).
+pub fn apriori(db: &TransactionDb, min_support: usize) -> FrequentSets {
+    assert!(min_support > 0, "min_support must be positive");
+    let n = db.n_items();
+    let mut itemsets: Vec<(AttrSet, usize)> = Vec::new();
+    let mut negative: Vec<AttrSet> = Vec::new();
+    let mut candidates_per_level: Vec<usize> = Vec::new();
+
+    // Level 0: ∅ with support |r|.
+    candidates_per_level.push(1);
+    let empty_support = db.n_rows();
+    if empty_support < min_support {
+        return FrequentSets {
+            n_items: n,
+            min_support,
+            n_rows: db.n_rows(),
+            itemsets,
+            maximal: vec![],
+            negative_border: vec![AttrSet::empty(n)],
+            candidates_per_level,
+        };
+    }
+    itemsets.push((AttrSet::empty(n), empty_support));
+
+    // Level entries carry (sorted index vector, tidset) so a child's
+    // tidset is parent ∩ column.
+    let mut level: Vec<(Vec<usize>, AttrSet)> = vec![(vec![], db.tidset(&AttrSet::empty(n)))];
+    let mut card = 0usize;
+    while !level.is_empty() && card < n {
+        card += 1;
+        let members: HashSet<&[usize]> = level.iter().map(|(v, _)| v.as_slice()).collect();
+        let mut next: Vec<(Vec<usize>, AttrSet)> = Vec::new();
+        let mut tested = 0usize;
+        for (x, tids) in &level {
+            let lo = x.last().map_or(0, |&m| m + 1);
+            'ext: for a in lo..n {
+                let mut cand = x.clone();
+                cand.push(a);
+                if card >= 2 {
+                    let mut sub = Vec::with_capacity(card - 1);
+                    for drop in 0..cand.len() - 1 {
+                        sub.clear();
+                        sub.extend(
+                            cand.iter()
+                                .enumerate()
+                                .filter_map(|(i, &v)| (i != drop).then_some(v)),
+                        );
+                        if !members.contains(sub.as_slice()) {
+                            continue 'ext;
+                        }
+                    }
+                }
+                tested += 1;
+                let cand_tids = tids.intersection(&db.columns()[a]);
+                let support = cand_tids.len();
+                let cand_set = AttrSet::from_indices(n, cand.iter().copied());
+                if support >= min_support {
+                    itemsets.push((cand_set, support));
+                    next.push((cand, cand_tids));
+                } else {
+                    negative.push(cand_set);
+                }
+            }
+        }
+        if tested > 0 {
+            candidates_per_level.push(tested);
+        }
+        level = next;
+    }
+
+    let member_set: HashSet<&AttrSet> = itemsets.iter().map(|(s, _)| s).collect();
+    let maximal: Vec<AttrSet> = itemsets
+        .iter()
+        .map(|(s, _)| s)
+        .filter(|s| dualminer_bitset::ImmediateSupersets::new(s).all(|t| !member_set.contains(&t)))
+        .cloned()
+        .collect();
+    negative.sort_by(|a, b| a.cmp_card_lex(b));
+
+    FrequentSets {
+        n_items: n,
+        min_support,
+        n_rows: db.n_rows(),
+        itemsets,
+        maximal,
+        negative_border: negative,
+        candidates_per_level,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FrequencyOracle;
+    use dualminer_bitset::Universe;
+    use dualminer_core::levelwise::levelwise;
+
+    fn fig1_db() -> TransactionDb {
+        TransactionDb::from_index_rows(
+            4,
+            [vec![0, 1, 2], vec![0, 1, 2, 3], vec![1, 3]],
+        )
+    }
+
+    #[test]
+    fn figure1_frequent_sets() {
+        let db = fig1_db();
+        let u = Universe::letters(4);
+        let fs = apriori(&db, 2);
+        assert_eq!(u.display_family(fs.maximal.iter()), "{BD, ABC}");
+        assert_eq!(u.display_family(fs.negative_border.iter()), "{AD, CD}");
+        // Theory: ∅,A,B,C,D,AB,AC,BC,BD,ABC = 10.
+        assert_eq!(fs.itemsets.len(), 10);
+        let supports = fs.support_map();
+        assert_eq!(supports[&u.parse("B").unwrap()], 3);
+        assert_eq!(supports[&u.parse("ABC").unwrap()], 2);
+        assert_eq!(supports[&u.parse("BD").unwrap()], 2);
+    }
+
+    #[test]
+    fn matches_generic_levelwise() {
+        let db = fig1_db();
+        for sigma in 1..=3usize {
+            let fs = apriori(&db, sigma);
+            let mut oracle = FrequencyOracle::new(&db, sigma);
+            let run = levelwise(&mut oracle);
+            let theory: Vec<AttrSet> = fs.itemsets.iter().map(|(s, _)| s.clone()).collect();
+            assert_eq!(theory, run.theory, "σ={sigma}");
+            assert_eq!(fs.maximal, run.positive_border, "σ={sigma}");
+            assert_eq!(fs.negative_border, run.negative_border, "σ={sigma}");
+            assert_eq!(fs.candidates_per_level, run.candidates_per_level, "σ={sigma}");
+            assert_eq!(fs.queries(), run.queries, "σ={sigma}");
+        }
+    }
+
+    #[test]
+    fn threshold_above_rows_gives_empty_theory() {
+        let db = fig1_db();
+        let fs = apriori(&db, 4);
+        assert!(fs.itemsets.is_empty());
+        assert_eq!(fs.negative_border, vec![AttrSet::empty(4)]);
+        assert!(fs.maximal.is_empty());
+    }
+
+    #[test]
+    fn supports_are_exact() {
+        let db = fig1_db();
+        let fs = apriori(&db, 1);
+        for (set, support) in &fs.itemsets {
+            assert_eq!(*support, db.support_horizontal(set), "{set:?}");
+        }
+    }
+
+    #[test]
+    fn empty_database() {
+        let db = TransactionDb::new(3, vec![]);
+        let fs = apriori(&db, 1);
+        assert!(fs.itemsets.is_empty());
+        assert_eq!(fs.negative_border, vec![AttrSet::empty(3)]);
+    }
+}

@@ -1,0 +1,158 @@
+//! Closed frequent itemsets — the condensed representation that grew out
+//! of the border idea.
+//!
+//! A frequent set is **closed** if no proper superset has the same
+//! support; the closed sets with their supports determine the support of
+//! *every* frequent set (take the smallest closed superset). Together
+//! with `MTh = Bd⁺` (which is the support-agnostic condensation) this is
+//! the standard compression spectrum descending from the paper's border
+//! framework: `MTh ⊆ closed ⊆ all frequent`.
+
+use std::collections::HashMap;
+
+use dualminer_bitset::AttrSet;
+
+use crate::apriori::FrequentSets;
+use crate::TransactionDb;
+
+/// A closed frequent itemset with its support.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ClosedSet {
+    /// The itemset.
+    pub set: AttrSet,
+    /// Its absolute support.
+    pub support: usize,
+}
+
+/// Extracts the closed sets from a mined frequent-set collection: keep
+/// `X` iff every immediate frequent superset has strictly smaller
+/// support. `O(|Th| · n)` hash probes, no database access.
+pub fn closed_sets(frequent: &FrequentSets) -> Vec<ClosedSet> {
+    let supports: HashMap<&AttrSet, usize> = frequent
+        .itemsets
+        .iter()
+        .map(|(s, supp)| (s, *supp))
+        .collect();
+    let mut closed = Vec::new();
+    for (set, support) in &frequent.itemsets {
+        let absorbed = dualminer_bitset::ImmediateSupersets::new(set)
+            .any(|sup| supports.get(&sup) == Some(support));
+        if !absorbed {
+            closed.push(ClosedSet {
+                set: set.clone(),
+                support: *support,
+            });
+        }
+    }
+    closed
+}
+
+/// The closure of an itemset in the database: the intersection of all
+/// rows containing it (the largest superset with the same tidset).
+/// Returns the full universe if no row contains `x`.
+pub fn closure(db: &TransactionDb, x: &AttrSet) -> AttrSet {
+    let tids = db.tidset(x);
+    let mut acc = AttrSet::full(db.n_items());
+    for t in tids.iter() {
+        acc.intersect_with(&db.rows()[t]);
+    }
+    acc
+}
+
+/// Reconstructs the support of an arbitrary frequent set from the closed
+/// collection: the support of its smallest closed superset; `None` if no
+/// closed superset exists (then `x` is not frequent).
+pub fn support_from_closed(closed: &[ClosedSet], x: &AttrSet) -> Option<usize> {
+    closed
+        .iter()
+        .filter(|c| x.is_subset(&c.set))
+        .map(|c| c.support)
+        .max()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apriori::apriori;
+
+    fn fig1_db() -> TransactionDb {
+        TransactionDb::from_index_rows(
+            4,
+            [vec![0, 1, 2], vec![0, 1, 2, 3], vec![1, 3]],
+        )
+    }
+
+    #[test]
+    fn closed_sets_of_figure1() {
+        let db = fig1_db();
+        let fs = apriori(&db, 1);
+        let closed = closed_sets(&fs);
+        // Closures: B(3), ABC(2), BD(2), ABCD(1) — and ∅ closes to B.
+        let sets: Vec<(String, usize)> = closed
+            .iter()
+            .map(|c| (format!("{:?}", c.set), c.support))
+            .collect();
+        assert_eq!(closed.len(), 4, "{sets:?}");
+        assert!(closed.iter().any(|c| c.set == AttrSet::from_indices(4, [1]) && c.support == 3));
+        assert!(closed
+            .iter()
+            .any(|c| c.set == AttrSet::from_indices(4, [0, 1, 2]) && c.support == 2));
+    }
+
+    #[test]
+    fn closure_operator_properties() {
+        let db = fig1_db();
+        for bits in 0..16usize {
+            let x = AttrSet::from_indices(4, (0..4).filter(|i| bits >> i & 1 == 1));
+            let cx = closure(&db, &x);
+            // Extensive, idempotent, support-preserving (when x occurs).
+            assert!(x.is_subset(&cx));
+            assert_eq!(closure(&db, &cx), cx);
+            if db.support(&x) > 0 {
+                assert_eq!(db.support(&x), db.support(&cx), "{x:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn closed_sets_are_their_own_closure() {
+        let db = fig1_db();
+        let fs = apriori(&db, 1);
+        for c in closed_sets(&fs) {
+            assert_eq!(closure(&db, &c.set), c.set, "{:?}", c.set);
+        }
+    }
+
+    #[test]
+    fn supports_reconstructible_from_closed() {
+        let db = fig1_db();
+        let fs = apriori(&db, 1);
+        let closed = closed_sets(&fs);
+        for (set, support) in &fs.itemsets {
+            assert_eq!(
+                support_from_closed(&closed, set),
+                Some(*support),
+                "{set:?}"
+            );
+        }
+        // An infrequent set has no closed superset.
+        assert_eq!(
+            support_from_closed(&closed, &AttrSet::from_indices(4, [0, 3])),
+            Some(1) // AD ⊆ ABCD which is closed with support 1
+        );
+    }
+
+    #[test]
+    fn maximal_sets_are_closed() {
+        // MTh ⊆ closed: a maximal frequent set has no frequent superset at
+        // all, so trivially none with equal support.
+        let db = fig1_db();
+        let fs = apriori(&db, 2);
+        let closed = closed_sets(&fs);
+        for m in &fs.maximal {
+            assert!(closed.iter().any(|c| &c.set == m), "{m:?}");
+        }
+        assert!(closed.len() >= fs.maximal.len());
+        assert!(closed.len() <= fs.itemsets.len());
+    }
+}

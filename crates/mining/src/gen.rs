@@ -1,0 +1,242 @@
+//! Synthetic transaction-database generators.
+//!
+//! The paper's theorems quantify over `n`, `k = rank(MTh)`, `|MTh|` and
+//! `|Bd⁻(MTh)|`; reproducing them requires workloads where those knobs
+//! turn independently. Real retail data cannot do that, so the experiments
+//! use:
+//!
+//! * [`planted`] — the theory is *dictated*: rows are copies of chosen
+//!   maximal sets, so `MTh` equals the plant exactly (the E2/E3/E7 sweeps).
+//! * [`random_antichain`] — a random plant with controlled size/cardinality.
+//! * [`quest`] — an IBM-Quest-style basket generator (pattern pool,
+//!   corruption, skew): the "realistic" shape for timing benches.
+//! * [`dense_uniform`] — Bernoulli item noise.
+//! * [`example19_db`] — the regime of the paper's Example 19: `MTh` is all
+//!   `(n−2)`-sets, so levelwise pays `~2ⁿ` while `|Bd⁻|` stays tiny.
+
+use dualminer_bitset::{AttrSet, SubsetsOfSize};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::TransactionDb;
+
+/// Builds a database whose maximal frequent sets at threshold
+/// `min_support = copies` are **exactly** the ⊆-maximal members of
+/// `plants`: each planted set becomes `copies` identical rows.
+///
+/// Works because `support(X) = copies · |{P ∈ plants : X ⊆ P}|`, which is
+/// ≥ `copies` iff `X` is under some plant.
+pub fn planted(n_items: usize, plants: &[AttrSet], copies: usize) -> TransactionDb {
+    assert!(copies > 0, "each plant needs at least one row");
+    let mut rows = Vec::with_capacity(plants.len() * copies);
+    for p in plants {
+        for _ in 0..copies {
+            rows.push(p.clone());
+        }
+    }
+    TransactionDb::new(n_items, rows)
+}
+
+/// Draws a random antichain of `count` sets of cardinality exactly `k`
+/// (distinct; same-size sets are automatically an antichain).
+pub fn random_antichain<R: Rng + ?Sized>(
+    n: usize,
+    count: usize,
+    k: usize,
+    rng: &mut R,
+) -> Vec<AttrSet> {
+    assert!(k <= n, "set size exceeds universe");
+    let mut items: Vec<usize> = (0..n).collect();
+    let mut plants: Vec<AttrSet> = Vec::with_capacity(count);
+    let mut attempts = 0usize;
+    while plants.len() < count && attempts < count * 30 + 100 {
+        attempts += 1;
+        items.shuffle(rng);
+        let s = AttrSet::from_indices(n, items[..k].iter().copied());
+        if !plants.contains(&s) {
+            plants.push(s);
+        }
+    }
+    plants
+}
+
+/// Parameters of the Quest-style generator (Agrawal–Srikant conventions:
+/// `T` = average transaction size, `I` = average pattern size, `L` =
+/// pattern-pool size, `D` = transaction count).
+#[derive(Clone, Copy, Debug)]
+pub struct QuestParams {
+    /// Number of distinct items.
+    pub n_items: usize,
+    /// Number of transactions to generate (`|D|`).
+    pub n_transactions: usize,
+    /// Average transaction size (`|T|`).
+    pub avg_transaction_size: usize,
+    /// Average pattern size (`|I|`).
+    pub avg_pattern_size: usize,
+    /// Pattern-pool size (`|L|`).
+    pub n_patterns: usize,
+    /// Probability an item of a chosen pattern is dropped (corruption).
+    pub corruption: f64,
+}
+
+impl Default for QuestParams {
+    fn default() -> Self {
+        QuestParams {
+            n_items: 50,
+            n_transactions: 500,
+            avg_transaction_size: 10,
+            avg_pattern_size: 4,
+            n_patterns: 20,
+            corruption: 0.25,
+        }
+    }
+}
+
+/// IBM-Quest-style synthetic baskets: a pool of potentially-frequent
+/// patterns is drawn with geometric popularity skew; each transaction
+/// unions randomly chosen (and randomly corrupted) patterns until it
+/// reaches its target size.
+pub fn quest<R: Rng + ?Sized>(params: &QuestParams, rng: &mut R) -> TransactionDb {
+    let n = params.n_items;
+    assert!(n >= 2, "need at least two items");
+    // Pattern pool.
+    let mut items: Vec<usize> = (0..n).collect();
+    let patterns: Vec<AttrSet> = (0..params.n_patterns.max(1))
+        .map(|_| {
+            let size = sample_size(params.avg_pattern_size, n, rng);
+            items.shuffle(rng);
+            AttrSet::from_indices(n, items[..size].iter().copied())
+        })
+        .collect();
+    // Geometric-ish popularity: earlier patterns picked more often.
+    let weights: Vec<f64> = (0..patterns.len())
+        .map(|i| 0.8f64.powi(i as i32))
+        .collect();
+    let total_weight: f64 = weights.iter().sum();
+
+    let rows = (0..params.n_transactions)
+        .map(|_| {
+            let target = sample_size(params.avg_transaction_size, n, rng);
+            let mut row = AttrSet::empty(n);
+            let mut guard = 0;
+            while row.len() < target && guard < 8 * target + 16 {
+                guard += 1;
+                let mut pick = rng.gen_range(0.0..total_weight);
+                let mut chosen = patterns.len() - 1;
+                for (i, w) in weights.iter().enumerate() {
+                    if pick < *w {
+                        chosen = i;
+                        break;
+                    }
+                    pick -= w;
+                }
+                for item in &patterns[chosen] {
+                    if !rng.gen_bool(params.corruption) {
+                        row.insert(item);
+                    }
+                }
+            }
+            row
+        })
+        .collect();
+    TransactionDb::new(n, rows)
+}
+
+/// Size around `avg`, clamped to `[1, n]` (uniform in `avg/2 ..= 3·avg/2`).
+fn sample_size<R: Rng + ?Sized>(avg: usize, n: usize, rng: &mut R) -> usize {
+    let lo = (avg / 2).max(1);
+    let hi = (avg + avg / 2).max(lo + 1).min(n.max(1));
+    rng.gen_range(lo..=hi).min(n)
+}
+
+/// Bernoulli(`density`) item noise: every cell 1 independently.
+pub fn dense_uniform<R: Rng + ?Sized>(
+    n_items: usize,
+    n_rows: usize,
+    density: f64,
+    rng: &mut R,
+) -> TransactionDb {
+    assert!((0.0..=1.0).contains(&density));
+    let rows = (0..n_rows)
+        .map(|_| AttrSet::from_indices(n_items, (0..n_items).filter(|_| rng.gen_bool(density))))
+        .collect();
+    TransactionDb::new(n_items, rows)
+}
+
+/// The Example 19 regime: a database whose maximal frequent sets at
+/// `min_support = 1` are **all** `(n−2)`-subsets of the items — one row
+/// per such subset. Levelwise must visit `2ⁿ − n − 1` frequent sets here,
+/// while `|MTh| = C(n, 2)` and `|Bd⁻(MTh)| = C(n, 2)` stay quadratic.
+pub fn example19_db(n_items: usize) -> TransactionDb {
+    assert!(n_items >= 3, "need n ≥ 3");
+    let rows: Vec<AttrSet> = SubsetsOfSize::new(n_items, n_items - 2).collect();
+    TransactionDb::new(n_items, rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::maximal::{maximal_frequent_sets, MaximalStrategy};
+    use dualminer_hypergraph::maximize_family;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn planted_controls_maxth_exactly() {
+        let mut rng = StdRng::seed_from_u64(17);
+        for _ in 0..10 {
+            let n = 10;
+            let plants = random_antichain(n, 4, 4, &mut rng);
+            let db = planted(n, &plants, 3);
+            let run = maximal_frequent_sets(&db, 3, MaximalStrategy::Levelwise);
+            let mut expected = maximize_family(plants.clone());
+            expected.sort_by(|a, b| a.cmp_card_lex(b));
+            assert_eq!(run.maximal, expected);
+        }
+    }
+
+    #[test]
+    fn random_antichain_shape() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let plants = random_antichain(12, 6, 5, &mut rng);
+        assert_eq!(plants.len(), 6);
+        assert!(plants.iter().all(|p| p.len() == 5));
+        let mut dedup = plants.clone();
+        dedup.dedup();
+        assert_eq!(dedup.len(), plants.len());
+    }
+
+    #[test]
+    fn quest_produces_plausible_baskets() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let params = QuestParams {
+            n_items: 30,
+            n_transactions: 200,
+            ..QuestParams::default()
+        };
+        let db = quest(&params, &mut rng);
+        assert_eq!(db.n_rows(), 200);
+        assert_eq!(db.n_items(), 30);
+        let avg: f64 =
+            db.rows().iter().map(|r| r.len() as f64).sum::<f64>() / db.n_rows() as f64;
+        assert!(avg > 2.0 && avg < 25.0, "suspicious avg basket size {avg}");
+    }
+
+    #[test]
+    fn dense_uniform_density() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let db = dense_uniform(20, 500, 0.3, &mut rng);
+        let ones: usize = db.rows().iter().map(AttrSet::len).sum();
+        let density = ones as f64 / (20.0 * 500.0);
+        assert!((density - 0.3).abs() < 0.05);
+    }
+
+    #[test]
+    fn example19_maximal_sets() {
+        let n = 6;
+        let db = example19_db(n);
+        let run = maximal_frequent_sets(&db, 1, MaximalStrategy::Levelwise);
+        assert_eq!(run.maximal.len(), 15); // all (n−2)-sets: C(6,4)
+        assert!(run.maximal.iter().all(|s| s.len() == n - 2));
+        assert_eq!(run.negative_border.len(), 6); // all (n−1)-sets: C(6,5)
+    }
+}

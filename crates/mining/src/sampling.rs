@@ -1,0 +1,186 @@
+//! Sample-then-verify mining: Toivonen's algorithm (VLDB 1996), the
+//! classic *application* of the paper's border machinery.
+//!
+//! Mine a random row sample in memory at a slightly lowered threshold,
+//! then make **one pass** over the full database evaluating only the
+//! sampled theory plus its negative border:
+//!
+//! * every genuinely frequent set is either in the sampled theory or has
+//!   an ancestor in the sampled negative border — so if *no* border set
+//!   turns out frequent on the full data, the (filtered) sampled theory is
+//!   provably exactly the full theory;
+//! * otherwise the frequent border sets witness a *failure*: the sample
+//!   missed part of the lattice, and the caller re-runs with a bigger
+//!   sample or lower sampling threshold (the retry loop here).
+//!
+//! The correctness argument is pure border algebra — `Th(full) ⊆
+//! closure(Th(sample) ∪ Bd⁻(sample))` whenever `Th(full) ⊆
+//! downward-closure of the evaluated family — which is Theorem 7 country,
+//! hence its place in this reproduction.
+
+use std::collections::HashSet;
+
+use dualminer_bitset::AttrSet;
+use rand::Rng;
+
+use crate::apriori::apriori;
+use crate::TransactionDb;
+
+/// Result of one sample-then-verify run.
+#[derive(Clone, Debug)]
+pub struct SampledMining {
+    /// The exact frequent sets of the **full** database with supports.
+    pub itemsets: Vec<(AttrSet, usize)>,
+    /// Sampling rounds used (1 = first sample already certified).
+    pub rounds: usize,
+    /// Candidate sets evaluated against the full database, summed over
+    /// rounds — the full-data work, to compare with `apriori`'s
+    /// `|Th ∪ Bd⁻|`.
+    pub full_data_evaluations: usize,
+}
+
+/// Mines the exact frequent sets of `db` by sampling.
+///
+/// `sample_rows` rows are drawn with replacement; the sample is mined at
+/// `lowered` = `min_support · sample_rows / db_rows · margin` (margin < 1
+/// lowers the bar so near-threshold sets are not missed). On failure the
+/// sample doubles. Falls back to plain Apriori when the sample would
+/// reach the database size.
+pub fn sample_then_verify<R: Rng + ?Sized>(
+    db: &TransactionDb,
+    min_support: usize,
+    mut sample_rows: usize,
+    margin: f64,
+    rng: &mut R,
+) -> SampledMining {
+    assert!(min_support > 0, "min_support must be positive");
+    assert!((0.0..=1.0).contains(&margin) && margin > 0.0, "margin in (0,1]");
+    let n_rows = db.n_rows();
+    let mut rounds = 0usize;
+    let mut full_data_evaluations = 0usize;
+
+    loop {
+        rounds += 1;
+        if sample_rows >= n_rows || n_rows == 0 {
+            // Degenerate: just mine exactly.
+            let fs = apriori(db, min_support);
+            let evaluations = fs.itemsets.len() + fs.negative_border.len();
+            return SampledMining {
+                itemsets: fs.itemsets,
+                rounds,
+                full_data_evaluations: full_data_evaluations + evaluations,
+            };
+        }
+
+        // Draw the sample and mine it at the lowered threshold.
+        let sample = TransactionDb::new(
+            db.n_items(),
+            (0..sample_rows)
+                .map(|_| db.rows()[rng.gen_range(0..n_rows)].clone())
+                .collect(),
+        );
+        let scaled = (min_support as f64) * (sample_rows as f64) / (n_rows as f64);
+        let lowered = ((scaled * margin).floor() as usize).max(1);
+        let fs = apriori(&sample, lowered);
+
+        // One pass over the full database: evaluate Th(sample) ∪ Bd⁻(sample).
+        let mut exact: Vec<(AttrSet, usize)> = Vec::new();
+        let mut frequent_border = false;
+        let theory_members: HashSet<&AttrSet> = fs.itemsets.iter().map(|(s, _)| s).collect();
+        for (set, _) in &fs.itemsets {
+            full_data_evaluations += 1;
+            let support = db.support(set);
+            if support >= min_support {
+                exact.push((set.clone(), support));
+            }
+        }
+        for border_set in &fs.negative_border {
+            full_data_evaluations += 1;
+            if db.support(border_set) >= min_support {
+                frequent_border = true;
+                break;
+            }
+        }
+        debug_assert!(fs.negative_border.iter().all(|b| !theory_members.contains(b)));
+
+        if !frequent_border {
+            // Certified: every full-data frequent set is inside the
+            // evaluated downward-closed family.
+            exact.sort_by(|(a, _), (b, _)| a.cmp_card_lex(b));
+            return SampledMining {
+                itemsets: exact,
+                rounds,
+                full_data_evaluations,
+            };
+        }
+        sample_rows *= 2; // failure: enlarge the sample and retry
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{quest, QuestParams};
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn matches_exact_mining_on_quest_data() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let db = quest(
+            &QuestParams {
+                n_items: 14,
+                n_transactions: 600,
+                avg_transaction_size: 5,
+                avg_pattern_size: 3,
+                n_patterns: 6,
+                corruption: 0.25,
+            },
+            &mut rng,
+        );
+        let sigma = 90;
+        let exact = apriori(&db, sigma);
+        for seed in 0..5u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let sampled = sample_then_verify(&db, sigma, 150, 0.8, &mut rng);
+            assert_eq!(sampled.itemsets, exact.itemsets, "seed={seed}");
+        }
+    }
+
+    #[test]
+    fn tiny_sample_still_exact_after_retries() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let db = quest(
+            &QuestParams {
+                n_items: 10,
+                n_transactions: 300,
+                avg_transaction_size: 4,
+                avg_pattern_size: 3,
+                n_patterns: 4,
+                corruption: 0.3,
+            },
+            &mut rng,
+        );
+        let sigma = 60;
+        let exact = apriori(&db, sigma);
+        let mut rng = StdRng::seed_from_u64(3);
+        let sampled = sample_then_verify(&db, sigma, 8, 0.8, &mut rng);
+        assert_eq!(sampled.itemsets, exact.itemsets);
+        assert!(sampled.rounds >= 1);
+    }
+
+    #[test]
+    fn empty_database() {
+        let db = TransactionDb::new(3, vec![]);
+        let mut rng = StdRng::seed_from_u64(4);
+        let sampled = sample_then_verify(&db, 1, 10, 0.9, &mut rng);
+        assert!(sampled.itemsets.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "margin")]
+    fn margin_validated() {
+        let db = TransactionDb::new(2, vec![]);
+        let mut rng = StdRng::seed_from_u64(5);
+        sample_then_verify(&db, 1, 10, 0.0, &mut rng);
+    }
+}

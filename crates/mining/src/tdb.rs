@@ -1,0 +1,195 @@
+//! The 0/1 relation: [`TransactionDb`].
+
+use dualminer_bitset::{AttrSet, Universe};
+
+/// A transaction database: a 0/1 relation whose rows are item sets.
+///
+/// Stored twice: *horizontally* (each row an [`AttrSet`] over the item
+/// universe) and *vertically* (each item a *tidset* — the set of row ids
+/// containing it, an [`AttrSet`] over the row universe). The vertical
+/// layout makes `support(X)` an `|X|`-way bitset intersection, the fast
+/// path Apriori/Eclat use; the horizontal layout is kept for row-scan
+/// counting (the DESIGN.md §5 ablation) and display.
+#[derive(Clone, Debug)]
+pub struct TransactionDb {
+    n_items: usize,
+    rows: Vec<AttrSet>,
+    columns: Vec<AttrSet>,
+}
+
+impl TransactionDb {
+    /// Builds a database from horizontal rows.
+    ///
+    /// # Panics
+    /// Panics if any row's universe differs from `n_items`.
+    pub fn new(n_items: usize, rows: Vec<AttrSet>) -> Self {
+        for r in &rows {
+            assert_eq!(
+                r.universe_size(),
+                n_items,
+                "row universe does not match item count"
+            );
+        }
+        let n_rows = rows.len();
+        let mut columns = vec![AttrSet::empty(n_rows); n_items];
+        for (tid, row) in rows.iter().enumerate() {
+            for item in row {
+                columns[item].insert(tid);
+            }
+        }
+        TransactionDb {
+            n_items,
+            rows,
+            columns,
+        }
+    }
+
+    /// Builds a database from slices of item indices.
+    pub fn from_index_rows<I, J>(n_items: usize, rows: I) -> Self
+    where
+        I: IntoIterator<Item = J>,
+        J: IntoIterator<Item = usize>,
+    {
+        let rows = rows
+            .into_iter()
+            .map(|r| AttrSet::from_indices(n_items, r))
+            .collect();
+        Self::new(n_items, rows)
+    }
+
+    /// Number of items (attributes of the relation).
+    #[inline]
+    pub fn n_items(&self) -> usize {
+        self.n_items
+    }
+
+    /// Number of rows (transactions).
+    #[inline]
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// The horizontal rows.
+    pub fn rows(&self) -> &[AttrSet] {
+        &self.rows
+    }
+
+    /// The vertical index: `columns()[i]` is the tidset of item `i`.
+    pub fn columns(&self) -> &[AttrSet] {
+        &self.columns
+    }
+
+    /// The tidset of an itemset: rows containing **all** items of `x`.
+    ///
+    /// `tidset(∅)` is all rows. `O(|x| · n_rows/64)`.
+    pub fn tidset(&self, x: &AttrSet) -> AttrSet {
+        let mut acc = AttrSet::full(self.n_rows());
+        for item in x {
+            acc.intersect_with(&self.columns[item]);
+        }
+        acc
+    }
+
+    /// Absolute support: number of rows containing all of `x` (vertical
+    /// counting).
+    pub fn support(&self, x: &AttrSet) -> usize {
+        // Avoid materializing the tidset when x is a single column.
+        match x.len() {
+            0 => self.n_rows(),
+            1 => self.columns[x.first().expect("len 1")].len(),
+            _ => self.tidset(x).len(),
+        }
+    }
+
+    /// Absolute support by a horizontal row scan — semantically identical
+    /// to [`support`](Self::support); exists for the counting ablation.
+    pub fn support_horizontal(&self, x: &AttrSet) -> usize {
+        self.rows.iter().filter(|r| x.is_subset(r)).count()
+    }
+
+    /// Relative support in `\[0, 1\]`; 0 for an empty database.
+    pub fn frequency(&self, x: &AttrSet) -> f64 {
+        if self.rows.is_empty() {
+            0.0
+        } else {
+            self.support(x) as f64 / self.rows.len() as f64
+        }
+    }
+
+    /// Renders the database with item names, one row per line.
+    pub fn display(&self, universe: &Universe) -> String {
+        self.rows
+            .iter()
+            .enumerate()
+            .map(|(i, r)| format!("t{i}: {}", universe.display(r)))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> TransactionDb {
+        // Items A..D; designed so MTh(σ=2) = {ABC, BD} (Figure 1).
+        TransactionDb::from_index_rows(
+            4,
+            [
+                vec![0, 1, 2],    // ABC
+                vec![0, 1, 2, 3], // ABCD
+                vec![1, 3],       // BD
+            ],
+        )
+    }
+
+    #[test]
+    fn construction_and_shapes() {
+        let db = small();
+        assert_eq!(db.n_items(), 4);
+        assert_eq!(db.n_rows(), 3);
+        assert_eq!(db.columns()[0].to_vec(), vec![0, 1]); // A in t0, t1
+        assert_eq!(db.columns()[3].to_vec(), vec![1, 2]); // D in t1, t2
+    }
+
+    #[test]
+    fn support_vertical_equals_horizontal() {
+        let db = small();
+        for bits in 0..16usize {
+            let x = AttrSet::from_indices(4, (0..4).filter(|i| bits >> i & 1 == 1));
+            assert_eq!(db.support(&x), db.support_horizontal(&x), "{x:?}");
+        }
+    }
+
+    #[test]
+    fn support_values() {
+        let db = small();
+        assert_eq!(db.support(&AttrSet::empty(4)), 3);
+        assert_eq!(db.support(&AttrSet::from_indices(4, [1])), 3); // B everywhere
+        assert_eq!(db.support(&AttrSet::from_indices(4, [0, 1, 2])), 2); // ABC
+        assert_eq!(db.support(&AttrSet::from_indices(4, [1, 3])), 2); // BD
+        assert_eq!(db.support(&AttrSet::from_indices(4, [0, 3])), 1); // AD
+        assert_eq!(db.support(&AttrSet::full(4)), 1);
+    }
+
+    #[test]
+    fn frequency_and_empty_db() {
+        let db = small();
+        assert!((db.frequency(&AttrSet::from_indices(4, [1])) - 1.0).abs() < 1e-12);
+        let empty = TransactionDb::new(4, vec![]);
+        assert_eq!(empty.support(&AttrSet::empty(4)), 0);
+        assert_eq!(empty.frequency(&AttrSet::empty(4)), 0.0);
+    }
+
+    #[test]
+    fn tidset_of_empty_is_all_rows() {
+        let db = small();
+        assert_eq!(db.tidset(&AttrSet::empty(4)).len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "row universe")]
+    fn row_universe_checked() {
+        TransactionDb::new(4, vec![AttrSet::empty(5)]);
+    }
+}

@@ -1,0 +1,153 @@
+//! Property tests: Apriori against brute force on random databases, and
+//! rule statistics against direct recomputation.
+
+use dualminer_bitset::{AttrSet, SubsetsOfSize};
+use dualminer_mining::apriori::apriori;
+use dualminer_mining::maximal::{maximal_frequent_sets, MaximalStrategy};
+use dualminer_mining::rules::association_rules;
+use dualminer_mining::TransactionDb;
+use dualminer_hypergraph::TrAlgorithm;
+use proptest::prelude::*;
+
+const N: usize = 6;
+
+fn arb_db() -> impl Strategy<Value = TransactionDb> {
+    proptest::collection::vec(proptest::collection::vec(0..N, 0..N), 0..12)
+        .prop_map(|rows| TransactionDb::from_index_rows(N, rows))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn apriori_matches_brute_force(db in arb_db(), sigma in 1usize..4) {
+        let fs = apriori(&db, sigma);
+        let mut expected: Vec<(AttrSet, usize)> = Vec::new();
+        for k in 0..=N {
+            for s in SubsetsOfSize::new(N, k) {
+                let supp = db.support_horizontal(&s);
+                if supp >= sigma {
+                    expected.push((s, supp));
+                }
+            }
+        }
+        prop_assert_eq!(fs.itemsets, expected);
+    }
+
+    #[test]
+    fn vertical_equals_horizontal_support(db in arb_db(), items in proptest::collection::vec(0..N, 0..N)) {
+        let x = AttrSet::from_indices(N, items);
+        prop_assert_eq!(db.support(&x), db.support_horizontal(&x));
+        prop_assert_eq!(db.tidset(&x).len(), db.support(&x));
+    }
+
+    #[test]
+    fn maximal_strategies_agree(db in arb_db(), sigma in 1usize..4) {
+        let reference = maximal_frequent_sets(&db, sigma, MaximalStrategy::Levelwise);
+        for algo in [TrAlgorithm::Berge, TrAlgorithm::FkJointGeneration] {
+            let run = maximal_frequent_sets(&db, sigma, MaximalStrategy::DualizeAdvance(algo));
+            prop_assert_eq!(run.maximal, reference.maximal.clone());
+            prop_assert_eq!(run.negative_border, reference.negative_border.clone());
+        }
+    }
+
+    #[test]
+    fn maximal_sets_are_frequent_antichain(db in arb_db(), sigma in 1usize..4) {
+        let run = maximal_frequent_sets(&db, sigma, MaximalStrategy::Levelwise);
+        for (i, m) in run.maximal.iter().enumerate() {
+            prop_assert!(db.support_horizontal(m) >= sigma);
+            for other in &run.maximal[i + 1..] {
+                prop_assert!(!m.is_subset(other) && !other.is_subset(m));
+            }
+        }
+        for b in &run.negative_border {
+            prop_assert!(db.support_horizontal(b) < sigma);
+            for sub in dualminer_bitset::ImmediateSubsets::new(b) {
+                prop_assert!(db.support_horizontal(&sub) >= sigma);
+            }
+        }
+    }
+
+    #[test]
+    fn rule_statistics_recompute(db in arb_db(), sigma in 1usize..3) {
+        let fs = apriori(&db, sigma);
+        for rule in association_rules(&fs, 0.0) {
+            let mut z = rule.antecedent.clone();
+            z.insert(rule.consequent);
+            prop_assert_eq!(rule.support, db.support_horizontal(&z));
+            let denom = db.support_horizontal(&rule.antecedent);
+            prop_assert!((rule.confidence - rule.support as f64 / denom as f64).abs() < 1e-12);
+            prop_assert!(rule.confidence > 0.0 && rule.confidence <= 1.0);
+        }
+    }
+
+    #[test]
+    fn sample_then_certify_complete(db in arb_db(), sigma in 1usize..3, seed in any::<u64>()) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let reference = maximal_frequent_sets(&db, sigma, MaximalStrategy::Levelwise);
+        let run = dualminer_mining::maximal::sample_then_certify(
+            &db, sigma, 3, TrAlgorithm::Berge, &mut rng,
+        );
+        prop_assert_eq!(run.maximal, reference.maximal);
+        prop_assert_eq!(run.negative_border, reference.negative_border);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn closed_sets_reconstruct_all_supports(db in arb_db(), sigma in 1usize..3) {
+        use dualminer_mining::closed::{closed_sets, closure, support_from_closed};
+        let fs = dualminer_mining::apriori::apriori(&db, sigma);
+        let closed = closed_sets(&fs);
+        for (set, support) in &fs.itemsets {
+            prop_assert_eq!(support_from_closed(&closed, set), Some(*support));
+        }
+        for c in &closed {
+            prop_assert_eq!(closure(&db, &c.set), c.set.clone());
+        }
+        prop_assert!(closed.len() <= fs.itemsets.len());
+    }
+
+    #[test]
+    fn sampling_always_exact(db in arb_db(), sigma in 1usize..3, seed in any::<u64>()) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let exact = dualminer_mining::apriori::apriori(&db, sigma);
+        let sampled = dualminer_mining::sampling::sample_then_verify(&db, sigma, 4, 0.7, &mut rng);
+        prop_assert_eq!(sampled.itemsets, exact.itemsets);
+    }
+
+    #[test]
+    fn incremental_matches_scratch(
+        db in arb_db(),
+        extra in proptest::collection::vec(proptest::collection::vec(0..N, 0..N), 0..6),
+        sigma in 1usize..3,
+    ) {
+        use dualminer_bitset::AttrSet;
+        let old = dualminer_mining::apriori::apriori(&db, sigma);
+        let extra_rows: Vec<AttrSet> = extra
+            .into_iter()
+            .map(|r| AttrSet::from_indices(N, r))
+            .collect();
+        let update = dualminer_mining::incremental::append_rows(&db, &old, extra_rows);
+        let fresh = dualminer_mining::apriori::apriori(&update.db, sigma);
+        prop_assert_eq!(update.frequent.itemsets, fresh.itemsets);
+        prop_assert_eq!(update.frequent.maximal, fresh.maximal);
+        prop_assert_eq!(update.frequent.negative_border, fresh.negative_border);
+    }
+
+    #[test]
+    fn batch_strategy_agrees(db in arb_db(), sigma in 1usize..3) {
+        let reference = maximal_frequent_sets(&db, sigma, MaximalStrategy::Levelwise);
+        let batch = maximal_frequent_sets(
+            &db,
+            sigma,
+            MaximalStrategy::DualizeAdvanceBatch(TrAlgorithm::Berge),
+        );
+        prop_assert_eq!(batch.maximal, reference.maximal);
+        prop_assert_eq!(batch.negative_border, reference.negative_border);
+    }
+}

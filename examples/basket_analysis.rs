@@ -1,0 +1,83 @@
+//! Basket analysis on an IBM-Quest-style synthetic workload: mine with
+//! both of the paper's algorithms, compare their `Is-interesting` query
+//! bills, and print the strongest rules.
+//!
+//! This is the scenario the paper's introduction motivates — association
+//! rules over market baskets — with the levelwise/Dualize&Advance
+//! trade-off made visible: levelwise pays for the whole theory
+//! (Theorem 10), Dualize & Advance only for the borders (Theorem 21).
+//!
+//! Run with: `cargo run --release --example basket_analysis`
+
+use dualminer::bitset::Universe;
+use dualminer::mining::apriori::apriori;
+use dualminer::mining::gen::{quest, QuestParams};
+use dualminer::mining::maximal::{maximal_frequent_sets, MaximalStrategy};
+use dualminer::mining::rules::association_rules;
+use dualminer::hypergraph::TrAlgorithm;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(20260706);
+    let params = QuestParams {
+        n_items: 20,
+        n_transactions: 1000,
+        avg_transaction_size: 7,
+        avg_pattern_size: 4,
+        n_patterns: 10,
+        corruption: 0.25,
+    };
+    let db = quest(&params, &mut rng);
+    let universe = Universe::letters(params.n_items);
+    let sigma = 150; // 15 % relative support
+
+    println!(
+        "Quest workload: {} items, {} baskets, σ = {} ({}%)\n",
+        params.n_items,
+        params.n_transactions,
+        sigma,
+        100 * sigma / params.n_transactions
+    );
+
+    // Full mining pass (levelwise / Apriori).
+    let frequent = apriori(&db, sigma);
+    println!(
+        "Levelwise mined {} frequent sets; |MTh| = {}, |Bd⁻| = {}, largest set k = {}",
+        frequent.itemsets.len(),
+        frequent.maximal.len(),
+        frequent.negative_border.len(),
+        frequent.itemsets.iter().map(|(s, _)| s.len()).max().unwrap_or(0)
+    );
+
+    // Query-bill comparison: Theorem 10 vs Theorem 21 in action.
+    let lw = maximal_frequent_sets(&db, sigma, MaximalStrategy::Levelwise);
+    let da = maximal_frequent_sets(
+        &db,
+        sigma,
+        MaximalStrategy::DualizeAdvance(TrAlgorithm::Berge),
+    );
+    assert_eq!(lw.maximal, da.maximal);
+    println!("\nIs-interesting queries to find MTh:");
+    println!("  levelwise (Theorem 10: |Th ∪ Bd⁻|):                  {}", lw.queries);
+    println!("  dualize & advance (Theorem 21: |MTh|·(|Bd⁻|+rank·n)): {}", da.queries);
+    println!(
+        "  → {} wins here: frequent sets are short (k small), which is\n    exactly when the paper says the levelwise algorithm is optimal;\n    see `cargo run --example long_patterns` for the opposite regime.",
+        if lw.queries <= da.queries { "levelwise" } else { "dualize & advance" }
+    );
+
+    println!("\nMaximal frequent sets:");
+    for m in &da.maximal {
+        println!("  {}", universe.display(m));
+    }
+
+    let rules = association_rules(&frequent, 0.9);
+    println!("\nTop rules (confidence ≥ 0.9, best 10):");
+    for rule in rules.iter().take(10) {
+        println!(
+            "  {}  [freq {:.1}%]",
+            rule.display(&universe),
+            100.0 * rule.frequency(db.n_rows())
+        );
+    }
+}

@@ -1,0 +1,49 @@
+//! The regime Dualize & Advance was invented for: **long** maximal
+//! itemsets. Levelwise must walk through every one of the `2ᵏ` subsets of
+//! each maximal set (Theorem 12's `dc(k) = 2ᵏ` factor); Dualize & Advance
+//! jumps straight between maximal sets and only pays for the borders
+//! (Theorem 21), so its bill is independent of `k`.
+//!
+//! Run with: `cargo run --release --example long_patterns`
+
+use dualminer::bitset::AttrSet;
+use dualminer::hypergraph::TrAlgorithm;
+use dualminer::mining::gen::planted;
+use dualminer::mining::maximal::{maximal_frequent_sets, MaximalStrategy};
+
+fn main() {
+    let n = 24;
+    println!("Planted workloads over {n} items: 3 maximal sets of size k\n");
+    println!("{:>3} | {:>16} | {:>18} | ratio", "k", "levelwise queries", "dualize&advance");
+    println!("----+------------------+--------------------+------");
+    for k in [4usize, 6, 8, 10, 12, 14, 16] {
+        // Three overlapping maximal sets of size k.
+        let plants = vec![
+            AttrSet::from_indices(n, 0..k),
+            AttrSet::from_indices(n, 4..4 + k),
+            AttrSet::from_indices(n, 8..8 + k),
+        ];
+        let db = planted(n, &plants, 2);
+
+        let lw = maximal_frequent_sets(&db, 2, MaximalStrategy::Levelwise);
+        let da = maximal_frequent_sets(
+            &db,
+            2,
+            MaximalStrategy::DualizeAdvance(TrAlgorithm::Berge),
+        );
+        assert_eq!(lw.maximal, da.maximal);
+        println!(
+            "{:>3} | {:>16} | {:>18} | {:>5.1}×",
+            k,
+            lw.queries,
+            da.queries,
+            lw.queries as f64 / da.queries as f64
+        );
+    }
+    println!(
+        "\nLevelwise grows like 2ᵏ (it enumerates every frequent subset);\n\
+         Dualize & Advance stays flat — the paper's Section 5 motivation:\n\
+         \"it can be used even in the cases where not all interesting\n\
+         sentences are small.\""
+    );
+}
