@@ -5,7 +5,23 @@
 use dualminer_bench::{run_experiment, ALL_EXPERIMENTS};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // `--threads N` (0 = all cores) applies to every experiment that has a
+    // parallel hot path; outputs are identical for every value.
+    if let Some(pos) = args.iter().position(|a| a == "--threads") {
+        let Some(v) = args.get(pos + 1) else {
+            eprintln!("--threads needs a value (integer ≥ 0; 0 = auto)");
+            std::process::exit(1);
+        };
+        match v.parse::<usize>() {
+            Ok(t) => dualminer_bench::set_threads(t),
+            Err(_) => {
+                eprintln!("invalid --threads value {v:?}");
+                std::process::exit(1);
+            }
+        }
+        args.drain(pos..=pos + 1);
+    }
     let ids: Vec<String> = if args.is_empty() || args.iter().any(|a| a == "all") {
         ALL_EXPERIMENTS.iter().map(|s| s.to_string()).collect()
     } else {

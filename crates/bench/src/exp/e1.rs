@@ -12,7 +12,7 @@ use dualminer_core::oracle::CountingOracle;
 use dualminer_hypergraph::{berge, Hypergraph, TrAlgorithm};
 use dualminer_learning::learn::learn_monotone_dualize;
 use dualminer_learning::{FuncMq, MonotoneDnf};
-use dualminer_mining::apriori::apriori;
+use dualminer_mining::apriori::apriori_par;
 use dualminer_mining::{FrequencyOracle, TransactionDb};
 
 /// Runs E1 and prints the traces.
@@ -86,7 +86,7 @@ pub fn run() {
     assert_eq!(learned.dnf, target);
 
     // Cross-check against mining output.
-    let fs = apriori(&db, 2);
+    let fs = apriori_par(&db, 2, crate::threads());
     assert_eq!(learned.dnf.terms(), fs.negative_border.as_slice());
     println!("\nAll Figure 1 artifacts reproduced exactly. ✓\n");
 }

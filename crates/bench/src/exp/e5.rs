@@ -38,11 +38,11 @@ pub fn run() {
         let t_level = t0.elapsed();
 
         let t0 = Instant::now();
-        let tr_b = berge::transversals(&h);
+        let tr_b = berge::transversals_par(&h, crate::threads());
         let t_berge = t0.elapsed();
 
         let t0 = Instant::now();
-        let tr_j = joint_gen::transversals(&h);
+        let tr_j = joint_gen::transversals_par(&h, crate::threads());
         let t_joint = t0.elapsed();
 
         assert_eq!(tr_l, tr_b);

@@ -22,6 +22,23 @@
 pub mod exp;
 pub mod table;
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Worker-thread budget the experiments pass to the parallel hot paths
+/// (`0` = available parallelism, `1` = sequential). Results are identical
+/// for every value; only wall-clock time changes.
+static THREADS: AtomicUsize = AtomicUsize::new(1);
+
+/// Sets the thread budget for subsequent experiments (`--threads` flag).
+pub fn set_threads(threads: usize) {
+    THREADS.store(threads, Ordering::Relaxed);
+}
+
+/// The thread budget experiments should pass to parallel entry points.
+pub fn threads() -> usize {
+    THREADS.load(Ordering::Relaxed)
+}
+
 /// All experiment ids, in presentation order.
 pub const ALL_EXPERIMENTS: [&str; 14] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",

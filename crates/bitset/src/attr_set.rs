@@ -235,6 +235,49 @@ impl AttrSet {
         s
     }
 
+    /// Writes `self ∩ other` into `out`, reusing its allocation.
+    ///
+    /// The borrow-based counterpart of [`intersection`](AttrSet::intersection)
+    /// for hot loops that keep a scratch set per worker instead of
+    /// allocating a fresh set per operation.
+    ///
+    /// # Panics
+    /// Panics if the three sets do not share one universe.
+    #[inline]
+    pub fn intersection_into(&self, other: &AttrSet, out: &mut AttrSet) {
+        self.check_same_universe(other);
+        self.check_same_universe(out);
+        for ((o, a), b) in out.blocks.iter_mut().zip(&self.blocks).zip(&other.blocks) {
+            *o = a & b;
+        }
+    }
+
+    /// Writes `self ∪ other` into `out`, reusing its allocation.
+    ///
+    /// # Panics
+    /// Panics if the three sets do not share one universe.
+    #[inline]
+    pub fn union_into(&self, other: &AttrSet, out: &mut AttrSet) {
+        self.check_same_universe(other);
+        self.check_same_universe(out);
+        for ((o, a), b) in out.blocks.iter_mut().zip(&self.blocks).zip(&other.blocks) {
+            *o = a | b;
+        }
+    }
+
+    /// Writes `self \ other` into `out`, reusing its allocation.
+    ///
+    /// # Panics
+    /// Panics if the three sets do not share one universe.
+    #[inline]
+    pub fn difference_into(&self, other: &AttrSet, out: &mut AttrSet) {
+        self.check_same_universe(other);
+        self.check_same_universe(out);
+        for ((o, a), b) in out.blocks.iter_mut().zip(&self.blocks).zip(&other.blocks) {
+            *o = a & !b;
+        }
+    }
+
     /// `self ∩ other` as a new set.
     pub fn intersection(&self, other: &AttrSet) -> AttrSet {
         let mut s = self.clone();
@@ -590,5 +633,40 @@ mod tests {
         s.clear();
         assert!(s.is_empty());
         assert_eq!(s.universe_size(), 65);
+    }
+
+    #[test]
+    fn borrowed_kernels_match_allocating_ops() {
+        let a = AttrSet::from_indices(130, [0, 63, 64, 129]);
+        let b = AttrSet::from_indices(130, [63, 64, 100]);
+        let mut out = AttrSet::empty(130);
+        a.intersection_into(&b, &mut out);
+        assert_eq!(out, a.intersection(&b));
+        a.union_into(&b, &mut out);
+        assert_eq!(out, a.union(&b));
+        a.difference_into(&b, &mut out);
+        assert_eq!(out, a.difference(&b));
+        // `out` may alias an operand's value after prior writes: the loop
+        // reads operands only, so reusing the same scratch is sound.
+        let mut scratch = a.clone();
+        a.intersection_into(&b, &mut scratch);
+        assert_eq!(scratch, a.intersection(&b));
+    }
+
+    #[test]
+    #[should_panic(expected = "universe mismatch")]
+    fn borrowed_kernel_checks_out_universe() {
+        let a = AttrSet::empty(5);
+        let mut out = AttrSet::empty(6);
+        a.intersection_into(&a.clone(), &mut out);
+    }
+
+    #[test]
+    fn attr_set_is_send_and_sync() {
+        // Compile-time assertion that the parallel layer can share and move
+        // AttrSets across scoped worker threads.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<AttrSet>();
+        assert_send_sync::<Vec<AttrSet>>();
     }
 }

@@ -8,8 +8,10 @@ dualminer — data mining, hypergraph transversals, and machine learning (PODS 1
 
 USAGE:
     dualminer mine <baskets.txt> --min-support <N|0.x> [--rules <conf>] [--maximal]
+                   [--threads <T>]
     dualminer keys <relation.csv> [--fds]
     dualminer transversals <hypergraph.txt> [--algo berge|fk|levelwise|mmcs]
+                   [--threads <T>]
     dualminer episodes <events.txt> --window <W> --min-freq <0.x> [--serial|--parallel]
     dualminer --help
 
@@ -21,6 +23,11 @@ SUBCOMMANDS:
                   dependencies for every right-hand side
     transversals  the minimal-transversal hypergraph Tr(H)
     episodes      frequent serial/parallel episodes over sliding windows
+
+OPTIONS:
+    --threads <T>  worker threads for the parallel hot paths (support
+                   counting / transversal search); 0 = all available cores;
+                   default 1 (sequential). Output is identical for every T.
 
 FILE FORMATS:
     baskets.txt     one transaction per line, whitespace-separated items
@@ -41,6 +48,8 @@ pub enum Command {
         rules: Option<f64>,
         /// Also print the maximal sets + negative border.
         maximal: bool,
+        /// Worker threads for support counting (0 = auto, 1 = sequential).
+        threads: usize,
     },
     /// `keys` subcommand.
     Keys {
@@ -55,6 +64,8 @@ pub enum Command {
         path: String,
         /// Engine selection.
         algo: TrAlgorithm,
+        /// Worker threads for the search (0 = auto, 1 = sequential).
+        threads: usize,
     },
     /// `episodes` subcommand.
     Episodes {
@@ -90,6 +101,11 @@ impl Support {
     }
 }
 
+fn parse_threads(s: &str) -> Result<usize, String> {
+    s.parse::<usize>()
+        .map_err(|_| format!("invalid --threads value {s:?} (want integer ≥ 0; 0 = auto)"))
+}
+
 fn parse_support(s: &str) -> Result<Support, String> {
     if let Ok(n) = s.parse::<usize>() {
         if n == 0 {
@@ -116,11 +132,16 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             let mut min_support = None;
             let mut rules = None;
             let mut maximal = false;
+            let mut threads = 1;
             while let Some(flag) = it.next() {
                 match flag.as_str() {
                     "--min-support" => {
                         let v = it.next().ok_or("--min-support needs a value")?;
                         min_support = Some(parse_support(v)?);
+                    }
+                    "--threads" => {
+                        let v = it.next().ok_or("--threads needs a value")?;
+                        threads = parse_threads(v)?;
                     }
                     "--rules" => {
                         let v = it.next().ok_or("--rules needs a confidence value")?;
@@ -141,6 +162,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 min_support: min_support.ok_or("mine: --min-support is required")?,
                 rules,
                 maximal,
+                threads,
             })
         }
         "keys" => {
@@ -157,8 +179,13 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
         "transversals" => {
             let path = it.next().ok_or("transversals: missing input file")?.clone();
             let mut algo = TrAlgorithm::Berge;
+            let mut threads = 1;
             while let Some(flag) = it.next() {
                 match flag.as_str() {
+                    "--threads" => {
+                        let v = it.next().ok_or("--threads needs a value")?;
+                        threads = parse_threads(v)?;
+                    }
                     "--algo" => {
                         let v = it.next().ok_or("--algo needs a value")?;
                         algo = match v.as_str() {
@@ -172,7 +199,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                     other => return Err(format!("transversals: unknown flag {other:?}")),
                 }
             }
-            Ok(Command::Transversals { path, algo })
+            Ok(Command::Transversals { path, algo, threads })
         }
         "episodes" => {
             let path = it.next().ok_or("episodes: missing input file")?.clone();
@@ -242,6 +269,7 @@ mod tests {
                 min_support: Support::Relative(0.1),
                 rules: Some(0.8),
                 maximal: true,
+                threads: 1,
             }
         );
     }
@@ -250,13 +278,25 @@ mod tests {
     fn parse_mine_absolute_support() {
         let cmd = parse(&v(&["mine", "b.txt", "--min-support", "5"])).unwrap();
         match cmd {
-            Command::Mine { min_support, rules, maximal, .. } => {
+            Command::Mine { min_support, rules, maximal, threads, .. } => {
                 assert_eq!(min_support, Support::Absolute(5));
                 assert_eq!(rules, None);
                 assert!(!maximal);
+                assert_eq!(threads, 1);
             }
             _ => panic!("wrong command"),
         }
+    }
+
+    #[test]
+    fn parse_threads_flag() {
+        let cmd =
+            parse(&v(&["mine", "b.txt", "--min-support", "2", "--threads", "4"])).unwrap();
+        assert!(matches!(cmd, Command::Mine { threads: 4, .. }));
+        let cmd = parse(&v(&["transversals", "h.txt", "--threads", "0"])).unwrap();
+        assert!(matches!(cmd, Command::Transversals { threads: 0, .. }));
+        assert!(parse(&v(&["mine", "b.txt", "--min-support", "2", "--threads"])).is_err());
+        assert!(parse(&v(&["transversals", "h.txt", "--threads", "x"])).is_err());
     }
 
     #[test]
@@ -276,7 +316,8 @@ mod tests {
             parse(&v(&["transversals", "h.txt", "--algo", "mmcs"])).unwrap(),
             Command::Transversals {
                 path: "h.txt".into(),
-                algo: TrAlgorithm::Mmcs
+                algo: TrAlgorithm::Mmcs,
+                threads: 1,
             }
         );
         assert!(parse(&v(&["transversals", "h.txt", "--algo", "zzz"])).is_err());

@@ -4,8 +4,8 @@ use dualminer_core::border::verify_maxth;
 use dualminer_core::oracle::CountingOracle;
 use dualminer_fdep::fd::minimal_fd_lhs_via_agree_sets;
 use dualminer_fdep::keys::minimal_keys_via_agree_sets;
-use dualminer_hypergraph::transversals_with;
-use dualminer_mining::apriori::apriori;
+use dualminer_hypergraph::transversals_with_threads;
+use dualminer_mining::apriori::apriori_par;
 use dualminer_mining::rules::association_rules;
 use dualminer_mining::FrequencyOracle;
 
@@ -24,6 +24,7 @@ pub fn run(cmd: Command) -> Result<(), String> {
             min_support,
             rules,
             maximal,
+            threads,
         } => {
             let text = read(&path)?;
             let (universe, db) = formats::parse_baskets(&text)?;
@@ -34,7 +35,7 @@ pub fn run(cmd: Command) -> Result<(), String> {
                 db.n_items(),
                 sigma
             );
-            let fs = apriori(&db, sigma);
+            let fs = apriori_par(&db, sigma, threads);
             println!("\n{} frequent itemsets:", fs.itemsets.len());
             for (set, support) in &fs.itemsets {
                 if set.is_empty() {
@@ -160,7 +161,7 @@ pub fn run(cmd: Command) -> Result<(), String> {
             }
             Ok(())
         }
-        Command::Transversals { path, algo } => {
+        Command::Transversals { path, algo, threads } => {
             let text = read(&path)?;
             let (universe, h) = formats::parse_hypergraph(&text)?;
             println!(
@@ -170,7 +171,7 @@ pub fn run(cmd: Command) -> Result<(), String> {
                 h.is_simple()
             );
             let started = std::time::Instant::now();
-            let tr = transversals_with(&h, algo);
+            let tr = transversals_with_threads(&h, algo, threads);
             println!(
                 "\nTr(H) with {algo:?}: {} minimal transversals in {:.2?}:",
                 tr.len(),

@@ -23,7 +23,7 @@ use std::collections::HashSet;
 
 use dualminer_bitset::AttrSet;
 
-use crate::oracle::InterestOracle;
+use crate::oracle::{InterestOracle, SyncInterestOracle};
 
 /// Complete output of one levelwise run.
 #[derive(Clone, Debug)]
@@ -87,46 +87,156 @@ pub fn levelwise<O: InterestOracle>(oracle: &mut O) -> LevelwiseRun {
     while !level.is_empty() && card < n {
         card += 1;
         let members: HashSet<&[usize]> = level.iter().map(Vec::as_slice).collect();
-        let mut next: Vec<Vec<usize>> = Vec::new();
-        let mut tested = 0usize;
-        for x in &level {
-            let lo = x.last().map_or(0, |&m| m + 1);
-            'ext: for a in lo..n {
-                let mut cand = x.clone();
-                cand.push(a);
-                if card >= 2 {
-                    let mut sub = Vec::with_capacity(card - 1);
-                    for drop in 0..cand.len() - 1 {
-                        sub.clear();
-                        sub.extend(
-                            cand.iter()
-                                .enumerate()
-                                .filter_map(|(i, &v)| (i != drop).then_some(v)),
-                        );
-                        if !members.contains(sub.as_slice()) {
-                            continue 'ext;
-                        }
-                    }
-                }
-                tested += 1;
-                queries += 1;
-                let cand_set = AttrSet::from_indices(n, cand.iter().copied());
-                if oracle.is_interesting(&cand_set) {
-                    theory.push(cand_set);
-                    next.push(cand);
-                } else {
-                    negative.push(cand_set);
-                }
-            }
+        let cands = next_level_candidates(n, card, &level, &members);
+        queries += cands.len() as u64;
+        if !cands.is_empty() {
+            candidates_per_level.push(cands.len());
         }
-        if tested > 0 {
-            candidates_per_level.push(tested);
+        let mut next: Vec<Vec<usize>> = Vec::new();
+        for cand in cands {
+            let cand_set = AttrSet::from_indices(n, cand.iter().copied());
+            if oracle.is_interesting(&cand_set) {
+                theory.push(cand_set);
+                next.push(cand);
+            } else {
+                negative.push(cand_set);
+            }
         }
         level = next;
     }
 
     // Positive border: theory members with no interesting immediate
     // superset. (No database access — computable from Th alone.)
+    let member_set: HashSet<&AttrSet> = theory.iter().collect();
+    let positive_border: Vec<AttrSet> = theory
+        .iter()
+        .filter(|t| {
+            dualminer_bitset::ImmediateSupersets::new(t).all(|s| !member_set.contains(&s))
+        })
+        .cloned()
+        .collect();
+
+    negative.sort_by(|a, b| a.cmp_card_lex(b));
+
+    LevelwiseRun {
+        theory,
+        positive_border,
+        negative_border: negative,
+        candidates_per_level,
+        queries,
+    }
+}
+
+/// Generates level-`card` candidates from the previous level `level`,
+/// in the exact order the sequential loop evaluates them: parents in level
+/// order, extensions by ascending attribute, pruned unless every immediate
+/// subset is a level member.
+fn next_level_candidates(
+    n: usize,
+    card: usize,
+    level: &[Vec<usize>],
+    members: &HashSet<&[usize]>,
+) -> Vec<Vec<usize>> {
+    let mut cands: Vec<Vec<usize>> = Vec::new();
+    for x in level {
+        let lo = x.last().map_or(0, |&m| m + 1);
+        'ext: for a in lo..n {
+            let mut cand = x.clone();
+            cand.push(a);
+            if card >= 2 {
+                let mut sub = Vec::with_capacity(card - 1);
+                for drop in 0..cand.len() - 1 {
+                    sub.clear();
+                    sub.extend(
+                        cand.iter()
+                            .enumerate()
+                            .filter_map(|(i, &v)| (i != drop).then_some(v)),
+                    );
+                    if !members.contains(sub.as_slice()) {
+                        continue 'ext;
+                    }
+                }
+            }
+            cands.push(cand);
+        }
+    }
+    cands
+}
+
+/// [`levelwise`] with each level's candidate batch evaluated on up to
+/// `threads` scoped worker threads (`0` = available parallelism).
+///
+/// Requires a [`SyncInterestOracle`]: one oracle value is shared by all
+/// workers, so the oracle must answer through `&self`. Candidate
+/// *generation* stays sequential (it is pure lattice bookkeeping, no
+/// database access); only the `Is-interesting` evaluations — the paper's
+/// unit of cost — fan out.
+///
+/// Determinism: candidates are generated in the sequential order, split
+/// into contiguous chunks, and the per-chunk verdicts are concatenated in
+/// chunk order, so the returned [`LevelwiseRun`] — theory, borders,
+/// per-level candidate counts, and the `queries` total — is bit-identical
+/// to [`levelwise`] on the same (pure) oracle for every thread count.
+pub fn levelwise_par<O: SyncInterestOracle>(oracle: &O, threads: usize) -> LevelwiseRun {
+    let n = oracle.universe_size();
+    let mut theory: Vec<AttrSet> = Vec::new();
+    let mut negative: Vec<AttrSet> = Vec::new();
+    let mut candidates_per_level: Vec<usize> = Vec::new();
+    let mut queries = 0u64;
+
+    // Level 0: the single most general sentence, ∅.
+    let empty = AttrSet::empty(n);
+    candidates_per_level.push(1);
+    queries += 1;
+    if !oracle.is_interesting(&empty) {
+        return LevelwiseRun {
+            theory,
+            positive_border: vec![],
+            negative_border: vec![empty],
+            candidates_per_level,
+            queries,
+        };
+    }
+    theory.push(empty);
+
+    let mut level: Vec<Vec<usize>> = vec![vec![]];
+    let mut card = 0usize;
+    while !level.is_empty() && card < n {
+        card += 1;
+        let members: HashSet<&[usize]> = level.iter().map(Vec::as_slice).collect();
+        let cands = next_level_candidates(n, card, &level, &members);
+
+        // Evaluate the whole batch in parallel; chunk-order concatenation
+        // reproduces the sequential evaluation order exactly.
+        let verdicts: Vec<(AttrSet, bool)> =
+            dualminer_parallel::par_chunks(threads, 4, &cands, |chunk| {
+                chunk
+                    .iter()
+                    .map(|cand| {
+                        let set = AttrSet::from_indices(n, cand.iter().copied());
+                        let interesting = oracle.is_interesting(&set);
+                        (set, interesting)
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .concat();
+
+        queries += cands.len() as u64;
+        if !cands.is_empty() {
+            candidates_per_level.push(cands.len());
+        }
+        let mut next: Vec<Vec<usize>> = Vec::new();
+        for (cand, (set, interesting)) in cands.into_iter().zip(verdicts) {
+            if interesting {
+                theory.push(set);
+                next.push(cand);
+            } else {
+                negative.push(set);
+            }
+        }
+        level = next;
+    }
+
     let member_set: HashSet<&AttrSet> = theory.iter().collect();
     let positive_border: Vec<AttrSet> = theory
         .iter()
@@ -229,6 +339,37 @@ mod tests {
             dualminer_hypergraph::TrAlgorithm::Berge,
         );
         assert_eq!(run.negative_border, via_tr);
+    }
+
+    #[test]
+    fn parallel_is_bit_identical_to_sequential() {
+        let u = Universe::letters(4);
+        let family = FamilyOracle::new(
+            4,
+            vec![u.parse("ABC").unwrap(), u.parse("BD").unwrap()],
+        );
+        let seq = levelwise(&mut family.clone());
+        for threads in [0, 1, 2, 3, 8] {
+            let par = levelwise_par(&family, threads);
+            assert_eq!(par.theory, seq.theory, "threads={threads}");
+            assert_eq!(par.positive_border, seq.positive_border);
+            assert_eq!(par.negative_border, seq.negative_border);
+            assert_eq!(par.candidates_per_level, seq.candidates_per_level);
+            assert_eq!(par.queries, seq.queries);
+        }
+    }
+
+    #[test]
+    fn parallel_empty_and_full_theories() {
+        let empty = levelwise_par(&FnOracle::new(4, |_: &AttrSet| false), 3);
+        assert!(empty.theory.is_empty());
+        assert_eq!(empty.negative_border, vec![AttrSet::empty(4)]);
+        assert_eq!(empty.queries, 1);
+
+        let full = levelwise_par(&FnOracle::new(3, |_: &AttrSet| true), 3);
+        assert_eq!(full.theory.len(), 8);
+        assert_eq!(full.positive_border, vec![AttrSet::full(3)]);
+        assert_eq!(full.queries, 8);
     }
 
     #[test]

@@ -39,6 +39,37 @@ impl<T: InterestOracle + ?Sized> InterestOracle for &mut T {
     }
 }
 
+/// A *shared-state* `Is-interesting` oracle: the same predicate as
+/// [`InterestOracle`], but answerable through `&self` and safe to query from
+/// several threads at once.
+///
+/// The parallel levelwise evaluator
+/// ([`crate::levelwise::levelwise_par`]) requires this trait: one oracle
+/// value is shared by every scoped worker, so queries cannot take `&mut
+/// self`. Stateless oracles (a planted family, a support threshold over an
+/// immutable database) implement it directly; oracles that must count or
+/// memoize stay on the `&mut self` trait and the sequential driver.
+///
+/// The query *semantics* must match the sequential trait: for any oracle
+/// implementing both, `is_interesting` must agree regardless of which trait
+/// is used — the parallel/sequential equivalence properties rely on it.
+pub trait SyncInterestOracle: Sync {
+    /// Number of attributes in the universe `R`.
+    fn universe_size(&self) -> usize;
+
+    /// The `Is-interesting` query through a shared reference.
+    fn is_interesting(&self, x: &AttrSet) -> bool;
+}
+
+impl<T: SyncInterestOracle + ?Sized> SyncInterestOracle for &T {
+    fn universe_size(&self) -> usize {
+        (**self).universe_size()
+    }
+    fn is_interesting(&self, x: &AttrSet) -> bool {
+        (**self).is_interesting(x)
+    }
+}
+
 /// Wraps an oracle with query counting and memoization.
 ///
 /// The paper's theorems count *distinct* `Is-interesting` evaluations
@@ -148,17 +179,30 @@ impl InterestOracle for FamilyOracle {
     }
 }
 
+impl SyncInterestOracle for FamilyOracle {
+    fn universe_size(&self) -> usize {
+        self.n
+    }
+
+    fn is_interesting(&self, x: &AttrSet) -> bool {
+        self.maximal.iter().any(|m| x.is_subset(m))
+    }
+}
+
 /// An oracle wrapping a plain closure — handy in tests.
 pub struct FnOracle<F> {
     n: usize,
     f: F,
 }
 
-impl<F: FnMut(&AttrSet) -> bool> FnOracle<F> {
+impl<F> FnOracle<F> {
     /// Builds an oracle over `n` attributes from the closure `f`.
     ///
     /// The closure must implement a monotone predicate; this is not
-    /// checked (use [`check_monotone`] in tests).
+    /// checked (use [`check_monotone`] in tests). No bound here: an
+    /// `FnMut` closure yields an [`InterestOracle`], an `Fn + Sync` one
+    /// additionally a [`SyncInterestOracle`] — a bound on the constructor
+    /// would pin closure-kind inference to `FnMut` and lose the latter.
     pub fn new(n: usize, f: F) -> Self {
         FnOracle { n, f }
     }
@@ -170,6 +214,16 @@ impl<F: FnMut(&AttrSet) -> bool> InterestOracle for FnOracle<F> {
     }
 
     fn is_interesting(&mut self, x: &AttrSet) -> bool {
+        (self.f)(x)
+    }
+}
+
+impl<F: Fn(&AttrSet) -> bool + Sync> SyncInterestOracle for FnOracle<F> {
+    fn universe_size(&self) -> usize {
+        self.n
+    }
+
+    fn is_interesting(&self, x: &AttrSet) -> bool {
         (self.f)(x)
     }
 }
@@ -202,7 +256,7 @@ mod tests {
 
     #[test]
     fn family_oracle_semantics() {
-        let mut o = FamilyOracle::new(4, vec![s(&[0, 1, 2]), s(&[1, 3])]);
+        let o = FamilyOracle::new(4, vec![s(&[0, 1, 2]), s(&[1, 3])]);
         assert!(o.is_interesting(&s(&[])));
         assert!(o.is_interesting(&s(&[0, 1])));
         assert!(o.is_interesting(&s(&[1, 3])));
@@ -248,5 +302,21 @@ mod tests {
     #[should_panic(expected = "member outside universe")]
     fn family_oracle_universe_checked() {
         FamilyOracle::new(4, vec![AttrSet::empty(5)]);
+    }
+
+    #[test]
+    fn sync_oracle_agrees_with_mut_trait() {
+        let mut o = FamilyOracle::new(4, vec![s(&[0, 1, 2]), s(&[1, 3])]);
+        for bits in 0..16usize {
+            let x = AttrSet::from_indices(4, (0..4).filter(|i| bits >> i & 1 == 1));
+            let shared = SyncInterestOracle::is_interesting(&o, &x);
+            assert_eq!(shared, InterestOracle::is_interesting(&mut o, &x), "{x:?}");
+        }
+        // Shared closures qualify too (and through &O).
+        let f = FnOracle::new(4, |x: &AttrSet| x.len() <= 1);
+        let by_ref: &dyn SyncInterestOracle = &f;
+        assert!(by_ref.is_interesting(&s(&[2])));
+        assert!(!by_ref.is_interesting(&s(&[1, 2])));
+        assert_eq!(by_ref.universe_size(), 4);
     }
 }

@@ -47,6 +47,19 @@ proptest! {
     }
 
     #[test]
+    fn parallel_levelwise_is_bit_identical(family in arb_family()) {
+        let mut oracle = FamilyOracle::new(N, family.clone());
+        let seq = levelwise(&mut oracle);
+        let shared = FamilyOracle::new(N, family);
+        let par = dualminer_core::levelwise::levelwise_par(&shared, 3);
+        prop_assert_eq!(par.theory, seq.theory);
+        prop_assert_eq!(par.positive_border, seq.positive_border);
+        prop_assert_eq!(par.negative_border, seq.negative_border);
+        prop_assert_eq!(par.candidates_per_level, seq.candidates_per_level);
+        prop_assert_eq!(par.queries, seq.queries);
+    }
+
+    #[test]
     fn levelwise_borders_are_correct(family in arb_family()) {
         let mut oracle = FamilyOracle::new(N, family.clone());
         let run = levelwise(&mut oracle);

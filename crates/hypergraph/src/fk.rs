@@ -53,6 +53,31 @@ pub fn duality_witness(f: &Hypergraph, g: &Hypergraph) -> Option<AttrSet> {
 
 /// [`duality_witness`] plus recursion statistics.
 pub fn duality_witness_counted(f: &Hypergraph, g: &Hypergraph) -> (Option<AttrSet>, FkStats) {
+    duality_witness_counted_par(f, g, 1)
+}
+
+/// Minimum combined family size (`|F| + |G|`) of a frequency split before
+/// its two recursive sub-problems are evaluated on separate threads.
+/// Below it, spawn overhead dwarfs the sub-problem cost.
+pub const FK_PAR_CUTOFF: usize = 16;
+
+/// [`duality_witness_counted`] with the two sub-problems of each frequency
+/// split evaluated on separate scoped threads while a thread budget
+/// remains (`threads` ≥ 2 halves down the recursion; `0` = available
+/// parallelism) and the split is big enough ([`FK_PAR_CUTOFF`]).
+///
+/// The returned *witness* is bit-identical to the sequential check: the
+/// first branch's witness is preferred, and when the first branch is dual
+/// the sequential check evaluates the second branch too. The returned
+/// [`FkStats`] differ in one documented way: both branches are evaluated
+/// *eagerly*, so on non-dual inputs whose witness lives in the first
+/// branch, `calls`/`max_depth` may exceed the sequential count (which
+/// short-circuits the second branch). On dual inputs the stats coincide.
+pub fn duality_witness_counted_par(
+    f: &Hypergraph,
+    g: &Hypergraph,
+    threads: usize,
+) -> (Option<AttrSet>, FkStats) {
     assert_eq!(
         f.universe_size(),
         g.universe_size(),
@@ -64,6 +89,7 @@ pub fn duality_witness_counted(f: &Hypergraph, g: &Hypergraph) -> (Option<AttrSe
         f.minimized().edges().to_vec(),
         g.minimized().edges().to_vec(),
         1,
+        dualminer_parallel::effective_threads(threads),
         &mut stats,
     );
     if let Some(ref w) = w {
@@ -80,6 +106,12 @@ pub fn are_dual(f: &Hypergraph, g: &Hypergraph) -> bool {
     duality_witness(f, g).is_none()
 }
 
+/// [`are_dual`] with a thread budget for the recursion
+/// (see [`duality_witness_counted_par`]).
+pub fn are_dual_par(f: &Hypergraph, g: &Hypergraph, threads: usize) -> bool {
+    duality_witness_counted_par(f, g, threads).0.is_none()
+}
+
 /// Whether `h` is self-dual: `Tr(h) = min(h)`.
 pub fn is_self_dual(h: &Hypergraph) -> bool {
     let m = h.minimized();
@@ -93,13 +125,15 @@ fn eval(edges: &[AttrSet], x: &AttrSet) -> bool {
     edges.iter().any(|e| e.is_subset(x))
 }
 
-/// Core recursion. `f` and `g` are minimal antichains over universe `n`.
+/// Core recursion. `f` and `g` are minimal antichains over universe `n`;
+/// `threads` is the remaining fork budget (1 = fully sequential).
 /// Returns `None` iff the pair is dual.
 fn check(
     n: usize,
     f: Vec<AttrSet>,
     g: Vec<AttrSet>,
     depth: u32,
+    threads: usize,
     stats: &mut FkStats,
 ) -> Option<AttrSet> {
     stats.calls += 1;
@@ -187,11 +221,41 @@ fn check(
     let g1 = contract(&g, v);
 
     // dual(f, g) ⟺ dual(f₁, g₀) ∧ dual(f₀, g₁); witnesses lift by fixing v.
-    if let Some(mut w) = check(n, f1, g0, depth + 1, stats) {
+    if threads >= 2 && f.len() + g.len() >= FK_PAR_CUTOFF {
+        // Fork: evaluate both sub-problems eagerly on two threads, giving
+        // each half of the remaining budget; prefer the first branch's
+        // witness so the answer matches the sequential order.
+        let (ta, tb) = (threads - threads / 2, threads / 2);
+        let ((wa, sa), (wb, sb)) = dualminer_parallel::join(
+            true,
+            move || {
+                let mut s = FkStats::default();
+                let w = check(n, f1, g0, depth + 1, ta, &mut s);
+                (w, s)
+            },
+            move || {
+                let mut s = FkStats::default();
+                let w = check(n, f0, g1, depth + 1, tb, &mut s);
+                (w, s)
+            },
+        );
+        stats.calls += sa.calls + sb.calls;
+        stats.max_depth = stats.max_depth.max(sa.max_depth).max(sb.max_depth);
+        if let Some(mut w) = wa {
+            w.insert(v);
+            return Some(w);
+        }
+        if let Some(mut w) = wb {
+            w.remove(v);
+            return Some(w);
+        }
+        return None;
+    }
+    if let Some(mut w) = check(n, f1, g0, depth + 1, threads, stats) {
         w.insert(v);
         return Some(w);
     }
-    if let Some(mut w) = check(n, f0, g1, depth + 1, stats) {
+    if let Some(mut w) = check(n, f0, g1, depth + 1, threads, stats) {
         w.remove(v);
         return Some(w);
     }
@@ -445,6 +509,64 @@ mod tests {
         assert!(w.is_none());
         assert!(stats.calls >= 1);
         assert!(stats.max_depth >= 1);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(55);
+        for _ in 0..30 {
+            let n: usize = rng.gen_range(3..10);
+            let m = rng.gen_range(1..8);
+            let edges: Vec<Vec<usize>> = (0..m)
+                .map(|_| {
+                    let k = rng.gen_range(1..=n.min(4));
+                    (0..k).map(|_| rng.gen_range(0..n)).collect()
+                })
+                .collect();
+            let hg = Hypergraph::from_index_edges(n, edges).minimized();
+            let tr = berge::transversals(&hg);
+            for threads in [0, 2, 4] {
+                // Dual pair: same verdict AND same stats (no branch is
+                // ever skipped on dual inputs).
+                let (w_seq, s_seq) = duality_witness_counted(&hg, &tr);
+                let (w_par, s_par) = duality_witness_counted_par(&hg, &tr, threads);
+                assert_eq!(w_seq, w_par, "{hg:?} threads={threads}");
+                assert_eq!(s_seq, s_par, "{hg:?} threads={threads}");
+                // Broken pair: identical witness (stats may legitimately
+                // differ — the parallel check is eager).
+                if !tr.is_empty() {
+                    let mut broken = tr.edges().to_vec();
+                    broken.pop();
+                    let gb = Hypergraph::from_edges(n, broken).unwrap();
+                    assert_eq!(
+                        duality_witness(&hg, &gb),
+                        duality_witness_counted_par(&hg, &gb, threads).0,
+                        "{hg:?} vs {gb:?} threads={threads}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_on_wide_self_dual_instance() {
+        // A matching is big enough to cross FK_PAR_CUTOFF: Tr has 2^(n/2)
+        // edges, so |F| + |G| = k + 2^k with k pairs.
+        let k = 5;
+        let f = Hypergraph::from_index_edges(2 * k, (0..k).map(|i| vec![2 * i, 2 * i + 1]));
+        let tr = berge::transversals(&f);
+        assert!(f.len() + tr.len() >= FK_PAR_CUTOFF);
+        for threads in [1, 2, 4, 8] {
+            assert!(are_dual_par(&f, &tr, threads), "threads={threads}");
+        }
+        let mut broken = tr.edges().to_vec();
+        broken.pop();
+        let gb = Hypergraph::from_edges(2 * k, broken).unwrap();
+        assert_eq!(
+            duality_witness(&f, &gb),
+            duality_witness_counted_par(&f, &gb, 4).0
+        );
     }
 
     #[test]

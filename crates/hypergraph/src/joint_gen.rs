@@ -27,8 +27,23 @@ pub fn transversals(h: &Hypergraph) -> Hypergraph {
     transversals_traced(h).0
 }
 
+/// [`transversals`] with each duality check's recursion forked across up
+/// to `threads` scoped worker threads (`0` = available parallelism); see
+/// [`fk::duality_witness_counted_par`]. The emitted transversals are
+/// bit-identical to the sequential enumeration (witnesses are), though the
+/// per-step FK call counts may differ on the non-final checks because the
+/// parallel recursion is eager.
+pub fn transversals_par(h: &Hypergraph, threads: usize) -> Hypergraph {
+    transversals_traced_par(h, threads).0
+}
+
 /// [`transversals`] plus the per-step FK effort trace.
 pub fn transversals_traced(h: &Hypergraph) -> (Hypergraph, JointGenTrace) {
+    transversals_traced_par(h, 1)
+}
+
+/// [`transversals_traced`] with a thread budget per duality check.
+pub fn transversals_traced_par(h: &Hypergraph, threads: usize) -> (Hypergraph, JointGenTrace) {
     let n = h.universe_size();
     let hm = h.minimized();
     let mut trace = JointGenTrace::default();
@@ -46,7 +61,7 @@ pub fn transversals_traced(h: &Hypergraph) -> (Hypergraph, JointGenTrace) {
 
     let mut g = Hypergraph::empty(n);
     loop {
-        let (witness, stats) = fk::duality_witness_counted(&hm, &g);
+        let (witness, stats) = fk::duality_witness_counted_par(&hm, &g, threads);
         trace.fk_calls_per_step.push(stats.calls);
         let Some(w) = witness else {
             return (g, trace);
@@ -101,6 +116,27 @@ mod tests {
                 .collect();
             let hg = Hypergraph::from_index_edges(n, edges);
             assert_eq!(transversals(&hg), berge::transversals(&hg), "{hg:?}");
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(91);
+        for _ in 0..20 {
+            let n = rng.gen_range(3..9);
+            let m = rng.gen_range(1..7);
+            let edges: Vec<Vec<usize>> = (0..m)
+                .map(|_| {
+                    let k = rng.gen_range(1..=n.min(4));
+                    (0..k).map(|_| rng.gen_range(0..n)).collect()
+                })
+                .collect();
+            let hg = Hypergraph::from_index_edges(n, edges);
+            let seq = transversals(&hg);
+            for threads in [0, 2, 3, 8] {
+                assert_eq!(transversals_par(&hg, threads), seq, "{hg:?} threads={threads}");
+            }
         }
     }
 

@@ -94,10 +94,19 @@ pub enum TrAlgorithm {
 /// All strategies return the same minimal-transversal hypergraph; they
 /// differ only in running time.
 pub fn transversals_with(h: &Hypergraph, algo: TrAlgorithm) -> Hypergraph {
+    transversals_with_threads(h, algo, 1)
+}
+
+/// [`transversals_with`] with a thread budget (`0` = available
+/// parallelism): the per-edge multiplication step (Berge), the search-tree
+/// frontier (MMCS), and the FK recursion (joint generation) are spread over
+/// scoped worker threads. Every strategy stays bit-identical to its
+/// sequential counterpart for every thread count.
+pub fn transversals_with_threads(h: &Hypergraph, algo: TrAlgorithm, threads: usize) -> Hypergraph {
     match algo {
-        TrAlgorithm::Berge => berge::transversals(h),
-        TrAlgorithm::FkJointGeneration => joint_gen::transversals(h),
-        TrAlgorithm::Mmcs => mmcs::transversals(h),
+        TrAlgorithm::Berge => berge::transversals_par(h, threads),
+        TrAlgorithm::FkJointGeneration => joint_gen::transversals_par(h, threads),
+        TrAlgorithm::Mmcs => mmcs::transversals_par(h, threads),
         TrAlgorithm::LevelwiseLargeEdges => {
             let n = h.universe_size();
             let max_complement = h.edges().iter().map(|e| n - e.len()).max().unwrap_or(0);
@@ -107,7 +116,7 @@ pub fn transversals_with(h: &Hypergraph, algo: TrAlgorithm) -> Hypergraph {
             if max_complement <= log2n + 2 {
                 levelwise_tr::transversals_large_edges(h)
             } else {
-                berge::transversals(h)
+                berge::transversals_par(h, threads)
             }
         }
     }

@@ -21,6 +21,21 @@ use crate::Hypergraph;
 
 /// Computes `Tr(H)` with MMCS.
 pub fn transversals(h: &Hypergraph) -> Hypergraph {
+    transversals_par(h, 1)
+}
+
+/// [`transversals`] with the top of the branch tree explored on up to
+/// `threads` scoped worker threads (`0` = available parallelism).
+///
+/// The DFS root is expanded — always leftmost-first, so frontier order is
+/// DFS order — into an ordered frontier of independent subtree tasks until
+/// there are enough to keep every worker busy; each worker then runs the
+/// ordinary sequential recursion on its subtrees with a private output
+/// buffer. Per-task outputs are concatenated in frontier order (= the
+/// sequential emission order) and canonicalized by the card-lex sort of
+/// [`Hypergraph::from_edges`], so the result is bit-identical to the
+/// sequential engine for every thread count.
+pub fn transversals_par(h: &Hypergraph, threads: usize) -> Hypergraph {
     let n = h.universe_size();
     let hm = h.minimized();
     if hm.is_empty() {
@@ -30,19 +45,88 @@ pub fn transversals(h: &Hypergraph) -> Hypergraph {
         return Hypergraph::empty(n);
     }
 
-    let mut out: Vec<AttrSet> = Vec::new();
-    let mut state = Search {
+    let state = Search {
         edges: hm.edges().to_vec(),
         n,
     };
-    let uncov: Vec<usize> = (0..state.edges.len()).collect();
-    let cand = state.relevant_vertices();
-    let mut s = AttrSet::empty(n);
-    // crit[v] = indices of edges critically hit by v (meaningful for v∈S).
-    let mut crit: Vec<Vec<usize>> = vec![Vec::new(); n];
-    state.recurse(&mut s, cand, uncov, &mut crit, &mut out);
+    let root = Node {
+        s: AttrSet::empty(n),
+        cand: state.relevant_vertices(),
+        uncov: (0..state.edges.len()).collect(),
+        // crit[v] = indices of edges critically hit by v (for v ∈ S).
+        crit: vec![Vec::new(); n],
+    };
+
+    let threads = dualminer_parallel::effective_threads(threads);
+    if threads <= 1 {
+        let mut out: Vec<AttrSet> = Vec::new();
+        state.run_from(root, &mut out);
+        return Hypergraph::from_edges(n, out).expect("in universe");
+    }
+
+    // Expand the leftmost expandable frontier node until the frontier can
+    // feed all workers. Leaves (completed transversals) stay in place so
+    // the frontier keeps the DFS emission order. Thin trees (long 1-child
+    // chains) may never reach the target width — the expansion budget stops
+    // us from shredding such trees node by node with the clone-based
+    // `expand`, which is far costlier than the undo-log recursion.
+    let target = threads * 4;
+    let mut budget = target * 8;
+    let mut frontier: Vec<Task> = vec![Task::Explore(root)];
+    loop {
+        let explore_count = frontier
+            .iter()
+            .filter(|t| matches!(t, Task::Explore(_)))
+            .count();
+        if explore_count == 0 || explore_count >= target || budget == 0 {
+            break;
+        }
+        budget -= 1;
+        let Some(pos) = frontier
+            .iter()
+            .position(|t| matches!(t, Task::Explore(_)))
+        else {
+            break;
+        };
+        let Task::Explore(node) = frontier.remove(pos) else {
+            unreachable!("position() matched an Explore task");
+        };
+        let children = state.expand(node);
+        frontier.splice(pos..pos, children);
+    }
+
+    let out: Vec<AttrSet> = dualminer_parallel::par_map(threads, &frontier, |_, task| {
+        match task {
+            Task::Emit(t) => vec![t.clone()],
+            Task::Explore(node) => {
+                let mut local: Vec<AttrSet> = Vec::new();
+                state.run_from(node.clone(), &mut local);
+                local
+            }
+        }
+    })
+    .concat();
 
     Hypergraph::from_edges(n, out).expect("in universe")
+}
+
+/// One independent unit of MMCS work: either a finished minimal transversal
+/// (a DFS leaf reached during frontier expansion) or an unexplored subtree.
+enum Task {
+    Emit(AttrSet),
+    Explore(Node),
+}
+
+/// A self-contained DFS node: the partial hitting set, the candidate
+/// vertices still allowed, the uncovered edge indices, and the per-vertex
+/// critical-edge lists. Owning the state (no undo log) makes nodes movable
+/// across threads.
+#[derive(Clone)]
+struct Node {
+    s: AttrSet,
+    cand: AttrSet,
+    uncov: Vec<usize>,
+    crit: Vec<Vec<usize>>,
 }
 
 struct Search {
@@ -59,8 +143,81 @@ impl Search {
         v
     }
 
+    /// Runs the sequential recursion from an owned node state.
+    fn run_from(&self, node: Node, out: &mut Vec<AttrSet>) {
+        let Node {
+            mut s,
+            cand,
+            uncov,
+            mut crit,
+        } = node;
+        self.recurse(&mut s, cand, uncov, &mut crit, out);
+    }
+
+    /// Expands one node into its ordered children — the same branching
+    /// step as [`Search::recurse`], but producing owned child states
+    /// instead of recursing, so the children can run on different threads.
+    /// Child order equals the recursion's visit order.
+    fn expand(&self, node: Node) -> Vec<Task> {
+        let Node {
+            s,
+            mut cand,
+            uncov,
+            crit,
+        } = node;
+        let Some(&pick) = uncov
+            .iter()
+            .min_by_key(|&&ei| self.edges[ei].intersection_len(&cand))
+        else {
+            return vec![Task::Emit(s)];
+        };
+        let branch = self.edges[pick].intersection(&cand);
+        if branch.is_empty() {
+            return Vec::new(); // the chosen edge cannot be covered any more
+        }
+        cand.difference_with(&branch);
+
+        let mut children: Vec<Task> = Vec::new();
+        for v in branch.iter() {
+            let mut new_uncov = Vec::with_capacity(uncov.len());
+            let mut new_crit_v: Vec<usize> = Vec::new();
+            for &ei in &uncov {
+                if self.edges[ei].contains(v) {
+                    new_crit_v.push(ei);
+                } else {
+                    new_uncov.push(ei);
+                }
+            }
+            let mut child_crit = crit.clone();
+            let mut still_minimal = true;
+            for w in s.iter() {
+                let list = &mut child_crit[w];
+                list.retain(|&ei| !self.edges[ei].contains(v));
+                if list.is_empty() {
+                    still_minimal = false;
+                    break;
+                }
+            }
+            if still_minimal {
+                let mut child_s = s.clone();
+                child_s.insert(v);
+                child_crit[v] = new_crit_v;
+                children.push(Task::Explore(Node {
+                    s: child_s,
+                    cand: cand.clone(),
+                    uncov: new_uncov,
+                    crit: child_crit,
+                }));
+            }
+            // v becomes available again for deeper levels of later
+            // siblings (the MMCS re-insertion step).
+            cand.insert(v);
+        }
+        children
+    }
+
     fn recurse(
-        &mut self,
+        &self,
         s: &mut AttrSet,
         mut cand: AttrSet,
         uncov: Vec<usize>,
@@ -175,6 +332,39 @@ mod tests {
             let h = Hypergraph::from_index_edges(n, edges);
             assert_eq!(transversals(&h), naive::transversals(&h), "{h:?}");
         }
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(123);
+        for _ in 0..30 {
+            let n: usize = rng.gen_range(3..9);
+            let m = rng.gen_range(0..8);
+            let edges: Vec<Vec<usize>> = (0..m)
+                .map(|_| {
+                    let k = rng.gen_range(1..=n.min(4));
+                    (0..k).map(|_| rng.gen_range(0..n)).collect()
+                })
+                .collect();
+            let h = Hypergraph::from_index_edges(n, edges);
+            let seq = transversals(&h);
+            for threads in [0, 2, 3, 8] {
+                assert_eq!(transversals_par(&h, threads), seq, "{h:?} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_constants() {
+        let tr = transversals_par(&Hypergraph::empty(3), 4);
+        assert_eq!(tr.len(), 1);
+        assert!(tr.edges()[0].is_empty());
+        let falsum = Hypergraph::from_index_edges(3, [Vec::<usize>::new()]);
+        assert!(transversals_par(&falsum, 4).is_empty());
+        // A frontier wider than the whole tree must still work.
+        let single = Hypergraph::from_index_edges(4, [vec![1, 3]]);
+        assert_eq!(transversals_par(&single, 64), transversals(&single));
     }
 
     #[test]

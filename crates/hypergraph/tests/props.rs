@@ -26,6 +26,32 @@ proptest! {
     }
 
     #[test]
+    fn parallel_algorithms_are_bit_identical(h in arb_hypergraph()) {
+        let seq_mmcs = mmcs::transversals(&h);
+        prop_assert_eq!(mmcs::transversals_par(&h, 3), seq_mmcs);
+        let seq_berge = berge::transversals(&h);
+        prop_assert_eq!(berge::transversals_par(&h, 3), seq_berge);
+        let seq_joint = joint_gen::transversals(&h);
+        prop_assert_eq!(joint_gen::transversals_par(&h, 3), seq_joint);
+    }
+
+    #[test]
+    fn parallel_fk_agrees(h in arb_hypergraph()) {
+        let hm = h.minimized();
+        let tr = berge::transversals(&hm);
+        prop_assert!(fk::are_dual_par(&hm, &tr, 3));
+        if tr.len() >= 2 {
+            let mut edges = tr.edges().to_vec();
+            edges.pop();
+            let broken = Hypergraph::from_edges(N, edges).unwrap();
+            prop_assert_eq!(
+                fk::duality_witness_counted_par(&hm, &broken, 3).0,
+                fk::duality_witness(&hm, &broken)
+            );
+        }
+    }
+
+    #[test]
     fn outputs_are_minimal_transversals(h in arb_hypergraph()) {
         let tr = berge::transversals(&h);
         prop_assert!(tr.is_simple() || tr.is_empty() || tr.edges() == [AttrSet::empty(N)]);

@@ -55,9 +55,22 @@ impl FrequentSets {
         self.n_rows
     }
 
-    /// Support lookup map.
-    pub fn support_map(&self) -> HashMap<AttrSet, usize> {
-        self.itemsets.iter().cloned().collect()
+    /// Support of `x`, or `None` if `x` is not frequent.
+    ///
+    /// Borrow-based: a binary search over the card-lex-sorted `itemsets`
+    /// vector, no cloning. `O(log m)` per lookup with `m = itemsets.len()`.
+    pub fn support_of(&self, x: &AttrSet) -> Option<usize> {
+        self.itemsets
+            .binary_search_by(|(s, _)| s.cmp_card_lex(x))
+            .ok()
+            .map(|i| self.itemsets[i].1)
+    }
+
+    /// Support lookup table borrowing the stored itemsets — for callers
+    /// doing many lookups, `O(1)` each after one `O(m)` build, still
+    /// without cloning any set.
+    pub fn support_index(&self) -> HashMap<&AttrSet, usize> {
+        self.itemsets.iter().map(|(s, supp)| (s, *supp)).collect()
     }
 
     /// Total support-counting operations performed (Theorem 10's count).
@@ -71,6 +84,61 @@ impl FrequentSets {
 /// # Panics
 /// Panics if `min_support` is 0 (see [`crate::FrequencyOracle::new`]).
 pub fn apriori(db: &TransactionDb, min_support: usize) -> FrequentSets {
+    apriori_par(db, min_support, 1)
+}
+
+/// One unit of support-counting work: `(parent index, candidate indices)`.
+/// The candidate's tidset is `level[parent].1 ∩ column[last item]` — the
+/// Eclat refinement — so a worker needs only a shared borrow of the level.
+type CandidateUnit = (usize, Vec<usize>);
+
+/// Generates the level-`card` candidate units in the sequential evaluation
+/// order: parents in level order, extensions by ascending item, pruned
+/// unless every immediate sub-itemset is frequent at the current level.
+fn next_level_units(
+    n: usize,
+    card: usize,
+    level: &[(Vec<usize>, AttrSet)],
+    members: &HashSet<&[usize]>,
+) -> Vec<CandidateUnit> {
+    let mut units: Vec<CandidateUnit> = Vec::new();
+    for (p, (x, _)) in level.iter().enumerate() {
+        let lo = x.last().map_or(0, |&m| m + 1);
+        'ext: for a in lo..n {
+            let mut cand = x.clone();
+            cand.push(a);
+            if card >= 2 {
+                let mut sub = Vec::with_capacity(card - 1);
+                for drop in 0..cand.len() - 1 {
+                    sub.clear();
+                    sub.extend(
+                        cand.iter()
+                            .enumerate()
+                            .filter_map(|(i, &v)| (i != drop).then_some(v)),
+                    );
+                    if !members.contains(sub.as_slice()) {
+                        continue 'ext;
+                    }
+                }
+            }
+            units.push((p, cand));
+        }
+    }
+    units
+}
+
+/// [`apriori`] with each level's support counting spread over up to
+/// `threads` scoped worker threads (`0` = available parallelism).
+///
+/// Work splits by candidate: every candidate's tidset is still one bitset
+/// intersection with its *parent's* tidset (the Eclat reuse is intact —
+/// parents are shared read-only across workers). Chunks are contiguous
+/// runs of the sequential candidate order and per-chunk results merge in
+/// chunk order, so the returned [`FrequentSets`] — itemsets with supports,
+/// maximal family, negative border, per-level candidate counts, and
+/// therefore [`FrequentSets::queries`] — is bit-identical to the
+/// sequential miner for every thread count.
+pub fn apriori_par(db: &TransactionDb, min_support: usize, threads: usize) -> FrequentSets {
     assert!(min_support > 0, "min_support must be positive");
     let n = db.n_items();
     let mut itemsets: Vec<(AttrSet, usize)> = Vec::new();
@@ -100,41 +168,42 @@ pub fn apriori(db: &TransactionDb, min_support: usize) -> FrequentSets {
     while !level.is_empty() && card < n {
         card += 1;
         let members: HashSet<&[usize]> = level.iter().map(|(v, _)| v.as_slice()).collect();
+        let units = next_level_units(n, card, &level, &members);
+
+        // Count supports for the whole candidate batch in parallel. Each
+        // worker keeps one scratch tidset and clones it only for frequent
+        // candidates (the ones the next level keeps).
+        let level_ref = &level;
+        let counted: Vec<(AttrSet, usize, Option<AttrSet>)> =
+            dualminer_parallel::par_chunks(threads, 4, &units, |chunk| {
+                let mut scratch = AttrSet::empty(db.n_rows());
+                chunk
+                    .iter()
+                    .map(|(p, cand)| {
+                        let parent_tids = &level_ref[*p].1;
+                        let item = *cand.last().expect("candidates are nonempty");
+                        parent_tids.intersection_into(&db.columns()[item], &mut scratch);
+                        let support = scratch.len();
+                        let cand_set = AttrSet::from_indices(n, cand.iter().copied());
+                        let tids = (support >= min_support).then(|| scratch.clone());
+                        (cand_set, support, tids)
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .concat();
+
+        if !units.is_empty() {
+            candidates_per_level.push(units.len());
+        }
         let mut next: Vec<(Vec<usize>, AttrSet)> = Vec::new();
-        let mut tested = 0usize;
-        for (x, tids) in &level {
-            let lo = x.last().map_or(0, |&m| m + 1);
-            'ext: for a in lo..n {
-                let mut cand = x.clone();
-                cand.push(a);
-                if card >= 2 {
-                    let mut sub = Vec::with_capacity(card - 1);
-                    for drop in 0..cand.len() - 1 {
-                        sub.clear();
-                        sub.extend(
-                            cand.iter()
-                                .enumerate()
-                                .filter_map(|(i, &v)| (i != drop).then_some(v)),
-                        );
-                        if !members.contains(sub.as_slice()) {
-                            continue 'ext;
-                        }
-                    }
-                }
-                tested += 1;
-                let cand_tids = tids.intersection(&db.columns()[a]);
-                let support = cand_tids.len();
-                let cand_set = AttrSet::from_indices(n, cand.iter().copied());
-                if support >= min_support {
+        for ((_, cand), (cand_set, support, tids)) in units.into_iter().zip(counted) {
+            match tids {
+                Some(cand_tids) => {
                     itemsets.push((cand_set, support));
                     next.push((cand, cand_tids));
-                } else {
-                    negative.push(cand_set);
                 }
+                None => negative.push(cand_set),
             }
-        }
-        if tested > 0 {
-            candidates_per_level.push(tested);
         }
         level = next;
     }
@@ -182,10 +251,40 @@ mod tests {
         assert_eq!(u.display_family(fs.negative_border.iter()), "{AD, CD}");
         // Theory: ∅,A,B,C,D,AB,AC,BC,BD,ABC = 10.
         assert_eq!(fs.itemsets.len(), 10);
-        let supports = fs.support_map();
-        assert_eq!(supports[&u.parse("B").unwrap()], 3);
-        assert_eq!(supports[&u.parse("ABC").unwrap()], 2);
-        assert_eq!(supports[&u.parse("BD").unwrap()], 2);
+        assert_eq!(fs.support_of(&u.parse("B").unwrap()), Some(3));
+        assert_eq!(fs.support_of(&u.parse("ABC").unwrap()), Some(2));
+        assert_eq!(fs.support_of(&u.parse("BD").unwrap()), Some(2));
+        assert_eq!(fs.support_of(&u.parse("AD").unwrap()), None);
+        let index = fs.support_index();
+        assert_eq!(index.len(), fs.itemsets.len());
+        assert_eq!(index[&u.parse("B").unwrap()], 3);
+    }
+
+    #[test]
+    fn support_of_agrees_with_stored_itemsets() {
+        let db = fig1_db();
+        let fs = apriori(&db, 2);
+        for (set, support) in &fs.itemsets {
+            assert_eq!(fs.support_of(set), Some(*support), "{set:?}");
+        }
+        // Infrequent (support 1 < σ): not in the theory, so no lookup hit.
+        assert_eq!(fs.support_of(&AttrSet::from_indices(4, [0, 1, 2, 3])), None);
+    }
+
+    #[test]
+    fn parallel_is_bit_identical_to_sequential() {
+        let db = fig1_db();
+        for sigma in 1..=4usize {
+            let seq = apriori(&db, sigma);
+            for threads in [0, 2, 3, 8] {
+                let par = apriori_par(&db, sigma, threads);
+                assert_eq!(par.itemsets, seq.itemsets, "σ={sigma} threads={threads}");
+                assert_eq!(par.maximal, seq.maximal);
+                assert_eq!(par.negative_border, seq.negative_border);
+                assert_eq!(par.candidates_per_level, seq.candidates_per_level);
+                assert_eq!(par.queries(), seq.queries());
+            }
+        }
     }
 
     #[test]

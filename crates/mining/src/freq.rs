@@ -1,7 +1,7 @@
 //! The frequency predicate as an `Is-interesting` oracle.
 
 use dualminer_bitset::AttrSet;
-use dualminer_core::oracle::InterestOracle;
+use dualminer_core::oracle::{InterestOracle, SyncInterestOracle};
 
 use crate::TransactionDb;
 
@@ -55,6 +55,19 @@ impl InterestOracle for FrequencyOracle<'_> {
     }
 }
 
+/// The frequency predicate is stateless over an immutable database, so it
+/// also serves as the shared-state oracle the parallel levelwise driver
+/// ([`dualminer_core::levelwise::levelwise_par`]) requires.
+impl SyncInterestOracle for FrequencyOracle<'_> {
+    fn universe_size(&self) -> usize {
+        self.db.n_items()
+    }
+
+    fn is_interesting(&self, x: &AttrSet) -> bool {
+        self.db.support(x) >= self.min_support
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -70,7 +83,7 @@ mod tests {
     #[test]
     fn oracle_thresholds() {
         let db = fig1_db();
-        let mut o = FrequencyOracle::new(&db, 2);
+        let o = FrequencyOracle::new(&db, 2);
         assert!(o.is_interesting(&AttrSet::from_indices(4, [0, 1, 2])));
         assert!(!o.is_interesting(&AttrSet::from_indices(4, [0, 3])));
         assert!(o.is_interesting(&AttrSet::empty(4)));

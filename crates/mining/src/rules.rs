@@ -69,9 +69,10 @@ pub fn association_rules(frequent: &FrequentSets, min_confidence: f64) -> Vec<As
         (0.0..=1.0).contains(&min_confidence),
         "confidence threshold must be in [0, 1]"
     );
-    let supports = frequent.support_map();
+    let supports = frequent.support_index();
     let mut rules = Vec::new();
-    for (z, &support) in supports.iter() {
+    for (z, support) in &frequent.itemsets {
+        let support = *support;
         if z.is_empty() {
             continue;
         }

@@ -35,6 +35,17 @@ proptest! {
     }
 
     #[test]
+    fn parallel_apriori_is_bit_identical(db in arb_db(), sigma in 1usize..4) {
+        let seq = apriori(&db, sigma);
+        let par = dualminer_mining::apriori::apriori_par(&db, sigma, 3);
+        prop_assert_eq!(par.itemsets, seq.itemsets);
+        prop_assert_eq!(par.maximal, seq.maximal);
+        prop_assert_eq!(par.negative_border, seq.negative_border);
+        prop_assert_eq!(par.candidates_per_level, seq.candidates_per_level);
+        prop_assert_eq!(par.queries(), seq.queries());
+    }
+
+    #[test]
     fn vertical_equals_horizontal_support(db in arb_db(), items in proptest::collection::vec(0..N, 0..N)) {
         let x = AttrSet::from_indices(N, items);
         prop_assert_eq!(db.support(&x), db.support_horizontal(&x));

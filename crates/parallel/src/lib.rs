@@ -1,0 +1,220 @@
+//! # dualminer-parallel
+//!
+//! Scoped-thread work splitting for the workspace's three hot paths:
+//! levelwise support counting, minimal-transversal branch exploration, and
+//! the Fredman–Khachiyan duality-check recursion.
+//!
+//! Design constraints (DESIGN.md §2: std scoped threads suffice — no
+//! external dependencies):
+//!
+//! * **Determinism.** Every combinator returns results in the *input
+//!   order* of the work items, regardless of which worker ran which item
+//!   and in which interleaving. Callers that merge per-item outputs by
+//!   simple concatenation therefore produce output bit-identical to the
+//!   sequential loop.
+//! * **Zero-cost opt-out.** `threads == 1` (or fewer than two work items)
+//!   runs the plain sequential loop on the calling thread — no spawns, no
+//!   allocation beyond the output vector — so sequential entry points can
+//!   delegate to the parallel ones without a performance tax.
+//! * **`threads == 0` means auto:** [`effective_threads`] resolves 0 to
+//!   [`std::thread::available_parallelism`].
+//!
+//! Scheduling is dynamic: workers pull item indices from a shared atomic
+//! cursor, so uneven item costs (ragged transversal subtrees, skewed
+//! prefix groups) balance without any cost model. Results carry their item
+//! index and are re-assembled in order afterwards.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread;
+
+/// Resolves a `threads` knob: `0` becomes the machine's available
+/// parallelism (at least 1), any other value is used as given.
+pub fn effective_threads(threads: usize) -> usize {
+    if threads == 0 {
+        thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        threads
+    }
+}
+
+/// Maps `f` over `items` on up to `threads` scoped worker threads,
+/// returning the results **in item order**.
+///
+/// `f` receives `(item_index, &item)`. Work is distributed dynamically
+/// (atomic cursor); determinism comes from re-assembling results by item
+/// index, not from the schedule. With `threads <= 1` or fewer than two
+/// items this is a plain sequential `map` on the calling thread.
+pub fn par_map<T: Sync, R: Send>(
+    threads: usize,
+    items: &[T],
+    f: impl Fn(usize, &T) -> R + Sync,
+) -> Vec<R> {
+    let threads = effective_threads(threads).min(items.len());
+    if threads <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let mut buckets: Vec<Vec<(usize, R)>> = thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        local.push((i, f(i, &items[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel worker panicked"))
+            .collect()
+    });
+
+    // Re-assemble in item order. Each worker's bucket is already sorted by
+    // index (the cursor is monotone), so a k-way merge by sorting the
+    // concatenation is O(m log m) on small constants and obviously correct.
+    let mut indexed: Vec<(usize, R)> = Vec::with_capacity(items.len());
+    for bucket in &mut buckets {
+        indexed.append(bucket);
+    }
+    indexed.sort_by_key(|&(i, _)| i);
+    debug_assert_eq!(indexed.len(), items.len());
+    indexed.into_iter().map(|(_, r)| r).collect()
+}
+
+/// [`par_map`] over contiguous chunks: splits `items` into at most
+/// `threads * oversubscribe` contiguous chunks, maps `f` over each chunk
+/// on worker threads, and returns the per-chunk results **in chunk
+/// order** (so `Vec::concat` of per-chunk output vectors reproduces the
+/// sequential iteration order exactly).
+///
+/// Use this when per-item work is small — chunking amortizes the
+/// scheduling overhead — or when the caller's merge step wants
+/// slice-granular results (e.g. one output buffer per prefix group).
+pub fn par_chunks<T: Sync, R: Send>(
+    threads: usize,
+    oversubscribe: usize,
+    items: &[T],
+    f: impl Fn(&[T]) -> R + Sync,
+) -> Vec<R> {
+    let threads = effective_threads(threads).min(items.len());
+    if threads <= 1 {
+        if items.is_empty() {
+            return Vec::new();
+        }
+        return vec![f(items)];
+    }
+    let n_chunks = (threads * oversubscribe.max(1)).min(items.len());
+    let chunk_len = items.len().div_ceil(n_chunks);
+    let chunks: Vec<&[T]> = items.chunks(chunk_len).collect();
+    par_map(threads, &chunks, |_, chunk| f(chunk))
+}
+
+/// Runs two closures, on two scoped threads when `parallel` is true, and
+/// returns both results. The FK duality check uses this for its two
+/// recursive sub-problems; `parallel == false` degenerates to plain
+/// sequential calls on the current thread.
+pub fn join<RA: Send, RB: Send>(
+    parallel: bool,
+    a: impl FnOnce() -> RA + Send,
+    b: impl FnOnce() -> RB + Send,
+) -> (RA, RB) {
+    if !parallel {
+        return (a(), b());
+    }
+    thread::scope(|scope| {
+        let hb = scope.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("parallel worker panicked"))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::Mutex;
+
+    #[test]
+    fn effective_threads_resolves_zero() {
+        assert!(effective_threads(0) >= 1);
+        assert_eq!(effective_threads(3), 3);
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<usize> = (0..997).collect();
+        for threads in [1, 2, 3, 8] {
+            let out = par_map(threads, &items, |i, &x| {
+                assert_eq!(i, x);
+                x * 2
+            });
+            assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn par_map_runs_on_multiple_threads() {
+        let items: Vec<usize> = (0..64).collect();
+        let seen = Mutex::new(HashSet::new());
+        par_map(4, &items, |_, _| {
+            // Slow the items down a little so the scheduler actually
+            // spreads them; thread-id collection proves multi-threading
+            // (on a single-core box all four workers still exist).
+            std::thread::sleep(std::time::Duration::from_micros(100));
+            seen.lock().unwrap().insert(std::thread::current().id());
+        });
+        assert!(seen.lock().unwrap().len() >= 2);
+    }
+
+    #[test]
+    fn par_map_empty_and_singleton() {
+        let empty: Vec<u32> = vec![];
+        assert!(par_map(4, &empty, |_, &x| x).is_empty());
+        assert_eq!(par_map(4, &[7u32], |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn par_chunks_concat_matches_sequential() {
+        let items: Vec<u32> = (0..1000).collect();
+        for threads in [1, 2, 5] {
+            let chunked = par_chunks(threads, 4, &items, |chunk| {
+                chunk.iter().map(|x| x + 1).collect::<Vec<_>>()
+            });
+            let flat: Vec<u32> = chunked.concat();
+            assert_eq!(flat, items.iter().map(|x| x + 1).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn par_chunks_empty() {
+        let empty: Vec<u32> = vec![];
+        assert!(par_chunks(4, 4, &empty, |c| c.len()).is_empty());
+    }
+
+    #[test]
+    fn join_returns_both() {
+        for parallel in [false, true] {
+            let (a, b) = join(parallel, || 1 + 1, || "x".to_string());
+            assert_eq!(a, 2);
+            assert_eq!(b, "x");
+        }
+    }
+
+    #[test]
+    fn join_borrows_environment() {
+        let data = [1, 2, 3];
+        let (s, l) = join(true, || data.iter().sum::<i32>(), || data.len());
+        assert_eq!((s, l), (6, 3));
+    }
+}

@@ -1,0 +1,391 @@
+//! Offline stand-in for the [`criterion`](https://docs.rs/criterion/0.5)
+//! crate.
+//!
+//! The build environment has no access to crates.io, so this in-tree crate
+//! implements the criterion 0.5 API subset the workspace's benches use —
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`] /
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`], [`black_box`],
+//! [`criterion_group!`] / [`criterion_main!`] — as a *real* measuring
+//! harness: it warms up, auto-calibrates an iteration count, takes the
+//! configured number of wall-clock samples, and reports min/median/mean
+//! per-iteration times.
+//!
+//! Extras over upstream (used by this repo's tooling):
+//!
+//! * `CRITERION_JSON=<path>` appends one JSON object per benchmark
+//!   (`{"group","bench","median_ns","mean_ns","min_ns","samples","iters"}`)
+//!   to `<path>` — how `BENCH_baseline.json` snapshots are produced.
+//! * positional CLI arguments act as substring filters on
+//!   `group/bench` ids (same convention as upstream); `--flag` style
+//!   arguments that cargo-bench forwards are ignored.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// The benchmark manager: holds CLI filters and collects results.
+pub struct Criterion {
+    filters: Vec<String>,
+    results: Vec<SampleResult>,
+}
+
+struct SampleResult {
+    group: String,
+    bench: String,
+    min_ns: f64,
+    median_ns: f64,
+    mean_ns: f64,
+    samples: usize,
+    iters: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let filters = std::env::args()
+            .skip(1)
+            .filter(|a| !a.starts_with('-') && a != "bench")
+            .collect();
+        Criterion {
+            filters,
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(1),
+            sample_size: 10,
+        }
+    }
+
+    /// Benchmarks `f` outside any group (group name `""`).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl IdLike, mut f: F) {
+        let mut group = self.benchmark_group("");
+        group.bench_function(id, &mut f);
+        group.finish();
+    }
+
+    fn record(&mut self, r: SampleResult) {
+        let id = format!(
+            "{}{}{}",
+            r.group,
+            if r.group.is_empty() { "" } else { "/" },
+            r.bench
+        );
+        println!(
+            "{id:<56} time: [{} {} {}]  ({} samples × {} iters)",
+            fmt_ns(r.min_ns),
+            fmt_ns(r.median_ns),
+            fmt_ns(r.mean_ns),
+            r.samples,
+            r.iters,
+        );
+        self.results.push(r);
+    }
+
+    fn matches(&self, group: &str, bench: &str) -> bool {
+        if self.filters.is_empty() {
+            return true;
+        }
+        let id = format!("{group}/{bench}");
+        self.filters.iter().any(|f| id.contains(f.as_str()))
+    }
+
+    /// Writes collected results as JSON lines to `CRITERION_JSON`, if set.
+    /// Called automatically by [`criterion_main!`].
+    pub fn final_summary(&self) {
+        let Ok(path) = std::env::var("CRITERION_JSON") else {
+            return;
+        };
+        if path.is_empty() {
+            return;
+        }
+        let mut out = String::new();
+        for r in &self.results {
+            let _ = writeln!(
+                out,
+                "{{\"group\":\"{}\",\"bench\":\"{}\",\"median_ns\":{:.1},\"mean_ns\":{:.1},\"min_ns\":{:.1},\"samples\":{},\"iters\":{}}}",
+                r.group, r.bench, r.median_ns, r.mean_ns, r.min_ns, r.samples, r.iters,
+            );
+        }
+        let written = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .and_then(|mut f| f.write_all(out.as_bytes()));
+        if let Err(e) = written {
+            eprintln!("criterion: cannot write {path}: {e}");
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// A group of benchmarks sharing timing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the warm-up duration (spent calibrating the iteration count).
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Sets the total measurement budget for each benchmark in the group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Sets how many timed samples to take per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs a benchmark: `f` receives a [`Bencher`] and must call
+    /// [`Bencher::iter`].
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl IdLike, mut f: F) {
+        let bench = id.into_id();
+        if !self.criterion.matches(&self.name, &bench) {
+            return;
+        }
+        let r = run_bench(self.warm_up, self.measurement, self.sample_size, |b| f(b));
+        self.criterion.record(SampleResult {
+            group: self.name.clone(),
+            bench,
+            min_ns: r.0,
+            median_ns: r.1,
+            mean_ns: r.2,
+            samples: self.sample_size,
+            iters: r.3,
+        });
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl IdLike,
+        input: &I,
+        mut f: F,
+    ) {
+        self.bench_function(id, |b| f(b, input));
+    }
+
+    /// Ends the group (kept for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// `(min_ns, median_ns, mean_ns, iters_per_sample)`.
+fn run_bench(
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    mut f: impl FnMut(&mut Bencher),
+) -> (f64, f64, f64, u64) {
+    // Calibrate: run with growing iteration counts until one invocation
+    // costs ≥ ~warm_up/5, then derive iters for the per-sample budget.
+    let mut iters = 1u64;
+    let per_probe = warm_up.as_secs_f64() / 5.0;
+    let mut last = measure(&mut f, iters);
+    let calibration_start = Instant::now();
+    while last.as_secs_f64() < per_probe
+        && calibration_start.elapsed() < warm_up.mul_f64(2.0)
+        && iters < 1 << 40
+    {
+        iters *= 2;
+        last = measure(&mut f, iters);
+    }
+    let per_iter = last.as_secs_f64() / iters as f64;
+    let per_sample_budget = measurement.as_secs_f64() / sample_size as f64;
+    let iters_per_sample = ((per_sample_budget / per_iter.max(1e-12)) as u64).clamp(1, 1 << 40);
+
+    let mut samples_ns: Vec<f64> = (0..sample_size)
+        .map(|_| measure(&mut f, iters_per_sample).as_secs_f64() * 1e9 / iters_per_sample as f64)
+        .collect();
+    samples_ns.sort_by(f64::total_cmp);
+    let min = samples_ns[0];
+    let median = samples_ns[samples_ns.len() / 2];
+    let mean = samples_ns.iter().sum::<f64>() / samples_ns.len() as f64;
+    (min, median, mean, iters_per_sample)
+}
+
+fn measure(f: &mut impl FnMut(&mut Bencher), iters: u64) -> Duration {
+    let mut b = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    b.elapsed
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] times the routine.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the harness-chosen number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// A benchmark id with an optional parameter part, e.g.
+/// `BenchmarkId::new("mmcs", "n12")` → `mmcs/n12`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id from a function name and a parameter rendered with `Display`.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id from a parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion into a benchmark-id string (accepts `&str`, `String`, and
+/// [`BenchmarkId`]).
+pub trait IdLike {
+    /// The final id string.
+    fn into_id(self) -> String;
+}
+
+impl IdLike for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IdLike for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IdLike for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Declares a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declares the bench `main` that runs the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let (min, median, mean, iters) = run_bench(
+            Duration::from_millis(10),
+            Duration::from_millis(50),
+            5,
+            |b| b.iter(|| black_box((0..100u64).sum::<u64>())),
+        );
+        assert!(min > 0.0 && median >= min && mean > 0.0);
+        assert!(iters >= 1);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("algo", 12).into_id(), "algo/12");
+        assert_eq!(BenchmarkId::from_parameter("x").into_id(), "x");
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion {
+            filters: vec![],
+            results: vec![],
+        };
+        let mut g = c.benchmark_group("g");
+        g.warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(20))
+            .sample_size(3);
+        g.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        g.bench_with_input(BenchmarkId::new("with_input", 3), &3u64, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        g.finish();
+        assert_eq!(c.results.len(), 2);
+    }
+
+    #[test]
+    fn filters_select_benches() {
+        let mut c = Criterion {
+            filters: vec!["keep".into()],
+            results: vec![],
+        };
+        let mut g = c.benchmark_group("g");
+        g.warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5))
+            .sample_size(2);
+        g.bench_function("keep_this", |b| b.iter(|| black_box(0)));
+        g.bench_function("skip_this", |b| b.iter(|| black_box(0)));
+        g.finish();
+        assert_eq!(c.results.len(), 1);
+        assert_eq!(c.results[0].bench, "keep_this");
+    }
+}
