@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Full local CI gate: build, tests, lints, formatting.
+# Usage: ./ci.sh
+set -euo pipefail
+cd "$(dirname "$0")"
+
+cargo build --release
+cargo test -q
+cargo clippy --workspace --all-targets -- -D warnings
+cargo fmt --check
+
+echo "ci.sh: all checks passed"

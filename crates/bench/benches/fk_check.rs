@@ -47,9 +47,11 @@ fn bench_fk_witness(c: &mut Criterion) {
         let mut edges = tr.edges().to_vec();
         edges.pop();
         let g = dualminer_hypergraph::Hypergraph::from_edges(n, edges).unwrap();
-        group.bench_with_input(BenchmarkId::new("matching_minus_one", n), &(f, g), |b, (f, g)| {
-            b.iter(|| assert!(fk::duality_witness(f, g).is_some()))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("matching_minus_one", n),
+            &(f, g),
+            |b, (f, g)| b.iter(|| assert!(fk::duality_witness(f, g).is_some())),
+        );
     }
     group.finish();
 }

@@ -45,11 +45,9 @@ fn bench_learners(c: &mut Criterion) {
                 })
             },
         );
-        group.bench_with_input(
-            BenchmarkId::new("levelwise", label),
-            target,
-            |b, target| b.iter(|| learn_monotone_levelwise(FuncMq::new(target.clone()))),
-        );
+        group.bench_with_input(BenchmarkId::new("levelwise", label), target, |b, target| {
+            b.iter(|| learn_monotone_levelwise(FuncMq::new(target.clone())))
+        });
     }
     group.finish();
 }

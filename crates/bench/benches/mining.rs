@@ -36,9 +36,7 @@ fn bench_support_counting(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(2));
     let db = quest_db(40, 10_000);
     let x = AttrSet::from_indices(40, [1, 5, 9]);
-    group.bench_function("vertical_bitmap", |b| {
-        b.iter(|| db.support(black_box(&x)))
-    });
+    group.bench_function("vertical_bitmap", |b| b.iter(|| db.support(black_box(&x))));
     group.bench_function("horizontal_scan", |b| {
         b.iter(|| db.support_horizontal(black_box(&x)))
     });

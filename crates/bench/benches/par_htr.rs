@@ -23,9 +23,11 @@ fn bench_mmcs_threads(c: &mut Criterion) {
     group.sample_size(10);
     let h = random_instance(24, 3, 40, 13);
     for threads in THREAD_SWEEP {
-        group.bench_with_input(BenchmarkId::new("n24_k3_m40", threads), &threads, |b, &t| {
-            b.iter(|| mmcs::transversals_par(&h, t))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("n24_k3_m40", threads),
+            &threads,
+            |b, &t| b.iter(|| mmcs::transversals_par(&h, t)),
+        );
     }
     group.finish();
 }
@@ -39,9 +41,11 @@ fn bench_berge_threads(c: &mut Criterion) {
     // families, the regime where the per-edge split pays off.
     let h = generators::matching(20);
     for threads in THREAD_SWEEP {
-        group.bench_with_input(BenchmarkId::new("matching_n20", threads), &threads, |b, &t| {
-            b.iter(|| berge::transversals_par(&h, t))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("matching_n20", threads),
+            &threads,
+            |b, &t| b.iter(|| berge::transversals_par(&h, t)),
+        );
     }
     group.finish();
 }
@@ -57,15 +61,24 @@ fn bench_fk_threads(c: &mut Criterion) {
     let f = generators::matching(18);
     let g = berge::transversals(&f);
     for threads in THREAD_SWEEP {
-        group.bench_with_input(BenchmarkId::new("matching_n18_dual", threads), &threads, |b, &t| {
-            b.iter(|| {
-                let (w, _) = fk::duality_witness_counted_par(&f, &g, t);
-                assert!(w.is_none());
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("matching_n18_dual", threads),
+            &threads,
+            |b, &t| {
+                b.iter(|| {
+                    let (w, _) = fk::duality_witness_counted_par(&f, &g, t);
+                    assert!(w.is_none());
+                })
+            },
+        );
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_mmcs_threads, bench_berge_threads, bench_fk_threads);
+criterion_group!(
+    benches,
+    bench_mmcs_threads,
+    bench_berge_threads,
+    bench_fk_threads
+);
 criterion_main!(benches);

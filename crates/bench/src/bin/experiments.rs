@@ -1,27 +1,98 @@
 //! The experiment harness: regenerates every reproducible artifact of the
 //! paper. `cargo run -p dualminer-bench --release --bin experiments`
 //! runs all twelve experiments; pass ids (`e1 e5 …`) for a subset.
+//!
+//! Budget flags mirror the `dualminer` CLI: `--timeout <D>`,
+//! `--max-queries <N>`, `--max-transversals <N>` arm a harness-wide
+//! budget checked between experiments (the wall-clock deadline is the
+//! binding limit at this granularity — experiments that finish are never
+//! cut short, but once the budget trips the remaining ids are skipped and
+//! reported). `--stats json` prints one machine-readable stats line —
+//! per-experiment wall times, thread count, cpus — as the final line of
+//! stdout, the same artifact schema the CLI emits. `--progress` narrates
+//! experiment boundaries on stderr.
 
-use dualminer_bench::{run_experiment, ALL_EXPERIMENTS};
+use std::time::Duration;
+
+use dualminer_bench::{meter, run_experiment, set_budget, ALL_EXPERIMENTS};
+use dualminer_obs::{available_cpus, Budget, MiningObserver, StatsCollector};
+
+fn parse_duration(s: &str) -> Result<Duration, String> {
+    let (digits, unit) = match s.find(|c: char| !c.is_ascii_digit()) {
+        Some(i) => s.split_at(i),
+        None => (s, "s"),
+    };
+    let n: u64 = digits
+        .parse()
+        .map_err(|_| format!("invalid duration {s:?}"))?;
+    match unit {
+        "ns" => Ok(Duration::from_nanos(n)),
+        "us" | "µs" => Ok(Duration::from_micros(n)),
+        "ms" => Ok(Duration::from_millis(n)),
+        "s" => Ok(Duration::from_secs(n)),
+        "m" => Ok(Duration::from_secs(n * 60)),
+        _ => Err(format!("invalid duration {s:?} (try 500ms, 2s, 1m)")),
+    }
+}
+
+/// Removes `flag <value>` from `args`, returning the parsed value.
+fn take_value<T>(
+    args: &mut Vec<String>,
+    flag: &str,
+    parse: impl Fn(&str) -> Result<T, String>,
+) -> Option<T> {
+    let pos = args.iter().position(|a| a == flag)?;
+    let Some(v) = args.get(pos + 1) else {
+        eprintln!("{flag} needs a value");
+        std::process::exit(1);
+    };
+    match parse(v) {
+        Ok(t) => {
+            args.drain(pos..=pos + 1);
+            Some(t)
+        }
+        Err(e) => {
+            eprintln!("{flag}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     // `--threads N` (0 = all cores) applies to every experiment that has a
     // parallel hot path; outputs are identical for every value.
-    if let Some(pos) = args.iter().position(|a| a == "--threads") {
-        let Some(v) = args.get(pos + 1) else {
-            eprintln!("--threads needs a value (integer ≥ 0; 0 = auto)");
-            std::process::exit(1);
-        };
-        match v.parse::<usize>() {
-            Ok(t) => dualminer_bench::set_threads(t),
-            Err(_) => {
-                eprintln!("invalid --threads value {v:?}");
-                std::process::exit(1);
-            }
-        }
-        args.drain(pos..=pos + 1);
+    if let Some(t) = take_value(&mut args, "--threads", |v| {
+        v.parse::<usize>()
+            .map_err(|_| format!("invalid --threads value {v:?} (integer ≥ 0; 0 = auto)"))
+    }) {
+        dualminer_bench::set_threads(t);
     }
+    let budget = Budget {
+        timeout: take_value(&mut args, "--timeout", parse_duration),
+        max_queries: take_value(&mut args, "--max-queries", |v| {
+            v.parse::<u64>().map_err(|_| format!("invalid count {v:?}"))
+        }),
+        max_transversals: take_value(&mut args, "--max-transversals", |v| {
+            v.parse::<u64>().map_err(|_| format!("invalid count {v:?}"))
+        }),
+    };
+    set_budget(budget);
+    let stats_json = match take_value(&mut args, "--stats", |v| Ok::<_, String>(v.to_string())) {
+        Some(v) if v == "json" => true,
+        Some(v) => {
+            eprintln!("unsupported stats format {v:?} (only `json`)");
+            std::process::exit(1);
+        }
+        None => false,
+    };
+    let progress = if let Some(pos) = args.iter().position(|a| a == "--progress") {
+        args.remove(pos);
+        true
+    } else {
+        false
+    };
+
     let ids: Vec<String> = if args.is_empty() || args.iter().any(|a| a == "all") {
         ALL_EXPERIMENTS.iter().map(|s| s.to_string()).collect()
     } else {
@@ -35,19 +106,49 @@ fn main() {
          EXPERIMENTS.md.\n"
     );
 
+    let stats = StatsCollector::new();
+    let threads = dualminer_bench::threads();
+    stats.set_threads(if threads == 0 {
+        available_cpus()
+    } else {
+        threads
+    });
+
     let started = std::time::Instant::now();
+    let mut completed = 0usize;
+    let mut tripped = None;
     for id in &ids {
-        if !run_experiment(id) {
+        if let Some(reason) = meter().exceeded() {
+            println!(
+                "budget exceeded ({reason}) after {completed} experiment(s); skipping: {}",
+                ids[completed..].join(", ")
+            );
+            tripped = Some(reason);
+            break;
+        }
+        if progress {
+            eprintln!("[progress] {id} started ({}/{})", completed + 1, ids.len());
+        }
+        stats.on_phase_start(id);
+        let known = run_experiment(id);
+        stats.on_phase_end(id);
+        if progress {
+            eprintln!("[progress] {id} finished");
+        }
+        if !known {
             eprintln!(
                 "unknown experiment {id:?}; available: {}",
                 ALL_EXPERIMENTS.join(", ")
             );
             std::process::exit(1);
         }
+        completed += 1;
     }
     println!(
-        "Completed {} experiment(s) in {:.1}s.",
-        ids.len(),
+        "Completed {completed} experiment(s) in {:.1}s.",
         started.elapsed().as_secs_f64()
     );
+    if stats_json {
+        println!("{}", stats.to_json(meter(), tripped));
+    }
 }

@@ -28,8 +28,14 @@ pub fn run() {
     let h = Hypergraph::from_edges(4, s.iter().map(AttrSet::complement).collect()).unwrap();
     let tr = berge::transversals(&h);
     println!("Example 8:  S        = {}", u.display_family(s.iter()));
-    println!("            H(S)     = {}   (paper: {{D, AC}})", h.display(&u));
-    println!("            Tr(H(S)) = {}   (paper: {{AD, CD}})", tr.display(&u));
+    println!(
+        "            H(S)     = {}   (paper: {{D, AC}})",
+        h.display(&u)
+    );
+    println!(
+        "            Tr(H(S)) = {}   (paper: {{AD, CD}})",
+        tr.display(&u)
+    );
     assert_eq!(tr.display(&u), "{AD, CD}");
     assert_eq!(
         negative_border_via_transversals(4, &s, TrAlgorithm::Berge),
@@ -41,10 +47,19 @@ pub fn run() {
     let mut oracle = CountingOracle::new(FrequencyOracle::new(&db, 2));
     let run = levelwise(&mut oracle);
     println!("Example 11 (levelwise):");
-    println!("            candidates per level: {:?} (∅; A,B,C,D; all 6 pairs; ABC)", run.candidates_per_level);
+    println!(
+        "            candidates per level: {:?} (∅; A,B,C,D; all 6 pairs; ABC)",
+        run.candidates_per_level
+    );
     println!("            Th  = {}", u.display_family(run.theory.iter()));
-    println!("            MTh = {}   (paper: {{ABC, BD}})", u.display_family(run.positive_border.iter()));
-    println!("            Bd⁻ = {}   (paper: {{AD, CD}})", u.display_family(run.negative_border.iter()));
+    println!(
+        "            MTh = {}   (paper: {{ABC, BD}})",
+        u.display_family(run.positive_border.iter())
+    );
+    println!(
+        "            Bd⁻ = {}   (paper: {{AD, CD}})",
+        u.display_family(run.negative_border.iter())
+    );
     println!(
         "            queries = {} = |Th ∪ Bd⁻| = {} (Theorem 10; paper counts {} without the ∅ level)",
         run.queries,
@@ -72,17 +87,25 @@ pub fn run() {
             ),
         }
     }
-    println!("            MTh = {}, Bd⁻(MTh) = {}",
+    println!(
+        "            MTh = {}, Bd⁻(MTh) = {}",
         u.display_family(da.maximal.iter()),
-        u.display_family(da.negative_border.iter()));
+        u.display_family(da.negative_border.iter())
+    );
     assert_eq!(da.maximal, run.positive_border);
 
     // --- Example 25: the learning view ---------------------------------
     let target = MonotoneDnf::new(4, vec![u.parse("AD").unwrap(), u.parse("CD").unwrap()]);
     let learned = learn_monotone_dualize(FuncMq::new(target.clone()), TrAlgorithm::Berge);
     println!("\nExample 25 (learning view):");
-    println!("            f (DNF) = {}   (paper: AD ∨ CD — the Bd⁻ elements)", learned.dnf.display(&u));
-    println!("            f (CNF) = {}  (paper: (A ∨ C)(D) — complements of MTh)", learned.cnf.display(&u));
+    println!(
+        "            f (DNF) = {}   (paper: AD ∨ CD — the Bd⁻ elements)",
+        learned.dnf.display(&u)
+    );
+    println!(
+        "            f (CNF) = {}  (paper: (A ∨ C)(D) — complements of MTh)",
+        learned.cnf.display(&u)
+    );
     assert_eq!(learned.dnf, target);
 
     // Cross-check against mining output.

@@ -8,10 +8,10 @@ use std::time::Instant;
 
 use dualminer_core::bounds::corollary29_query_bound;
 use dualminer_hypergraph::TrAlgorithm;
-use dualminer_learning::gen::{long_clause_cnf, random_dnf};
-use dualminer_learning::learn::{learn_monotone_dualize, learn_monotone_levelwise};
 use dualminer_learning::angluin::{learn_monotone_mq_eq, FuncEq};
 use dualminer_learning::gen::matching_dnf;
+use dualminer_learning::gen::{long_clause_cnf, random_dnf};
+use dualminer_learning::learn::{learn_monotone_dualize, learn_monotone_levelwise};
 use dualminer_learning::FuncMq;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -36,10 +36,8 @@ pub fn run() {
     for m_terms in [2usize, 4, 8, 12, 16] {
         let target = random_dnf(14, m_terms, 4, &mut rng);
         let t0 = Instant::now();
-        let learned = learn_monotone_dualize(
-            FuncMq::new(target.clone()),
-            TrAlgorithm::FkJointGeneration,
-        );
+        let learned =
+            learn_monotone_dualize(FuncMq::new(target.clone()), TrAlgorithm::FkJointGeneration);
         let elapsed = t0.elapsed();
         assert_eq!(learned.dnf, target);
         let floor = learned.corollary27_lower_bound();
@@ -59,7 +57,15 @@ pub fn run() {
     table.print();
 
     println!("\n(b) levelwise learner on long-clause CNFs (Cor 26), clauses of size n−k:");
-    let mut table = Table::new(["n", "k", "|CNF|", "|DNF|", "queries", "poly C(n,≤k+1)·…", "time"]);
+    let mut table = Table::new([
+        "n",
+        "k",
+        "|CNF|",
+        "|DNF|",
+        "queries",
+        "poly C(n,≤k+1)·…",
+        "time",
+    ]);
     for n in [12usize, 16, 20] {
         for k in [1usize, 2, 3] {
             let cnf = long_clause_cnf(n, k, 5, &mut rng);
@@ -100,11 +106,9 @@ pub fn run() {
     ]);
     for n in [8usize, 12, 16] {
         let target = matching_dnf(n);
-        let mq_only = learn_monotone_dualize(
-            FuncMq::new(target.clone()),
-            TrAlgorithm::Berge,
-        );
-        let angluin = learn_monotone_mq_eq(FuncMq::new(target.clone()), FuncEq::new(target.clone()));
+        let mq_only = learn_monotone_dualize(FuncMq::new(target.clone()), TrAlgorithm::Berge);
+        let angluin =
+            learn_monotone_mq_eq(FuncMq::new(target.clone()), FuncEq::new(target.clone()));
         assert_eq!(angluin.dnf, target);
         assert_eq!(angluin.equivalence_queries, target.len() as u64 + 1);
         table.row([

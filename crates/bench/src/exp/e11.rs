@@ -84,7 +84,10 @@ pub fn run() {
     println!("(b) Corollary 30 — transversals through the learner:");
     let mut table = Table::new(["instance", "|H|", "|Tr|", "learner = direct"]);
     for (name, h) in [
-        ("triangle", Hypergraph::from_index_edges(3, [vec![0, 1], vec![1, 2], vec![0, 2]])),
+        (
+            "triangle",
+            Hypergraph::from_index_edges(3, [vec![0, 1], vec![1, 2], vec![0, 2]]),
+        ),
         ("cycle C7", generators::cycle(7)),
         ("matching n=10", generators::matching(10)),
         (

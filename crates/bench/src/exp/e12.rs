@@ -69,7 +69,8 @@ pub fn run() {
                 direct.minimal_keys.len().to_string(),
                 direct.queries.to_string(),
                 da.queries.to_string(),
-                lw.as_ref().map_or("~2ⁿ (skipped)".into(), |(l, _)| l.queries.to_string()),
+                lw.as_ref()
+                    .map_or("~2ⁿ (skipped)".into(), |(l, _)| l.queries.to_string()),
                 fmt_duration(t_direct),
                 fmt_duration(t_da),
                 lw.as_ref().map_or("—".into(), |(_, t)| fmt_duration(*t)),

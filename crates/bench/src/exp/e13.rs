@@ -37,7 +37,12 @@ pub fn run() {
             m.to_string(),
             cap.to_string(),
             ob.sentence_count.to_string(),
-            if ob.count_is_power_of_two { "yes" } else { "no" }.to_string(),
+            if ob.count_is_power_of_two {
+                "yes"
+            } else {
+                "no"
+            }
+            .to_string(),
             ob.bottom_successors.to_string(),
             ob.rank1_successors.to_string(),
             format!("{} (= succ(∅) − 1)", ob.bottom_successors.saturating_sub(1)),

@@ -75,14 +75,21 @@ pub fn run() {
         ("descending", ExtensionOrder::Descending),
         (
             "custom (odd-first)",
-            ExtensionOrder::Custom((0..n).filter(|i| i % 2 == 1).chain((0..n).filter(|i| i % 2 == 0)).collect()),
+            ExtensionOrder::Custom(
+                (0..n)
+                    .filter(|i| i % 2 == 1)
+                    .chain((0..n).filter(|i| i % 2 == 0))
+                    .collect(),
+            ),
         ),
     ] {
         let mut oracle = CountingOracle::new(FamilyOracle::new(n, plants.clone()));
         let run = dualize_advance_with_config(
             &mut oracle,
             TrAlgorithm::Berge,
-            &DualizeAdvanceConfig { extension_order: order },
+            &DualizeAdvanceConfig {
+                extension_order: order,
+            },
         );
         let equal = match &reference {
             None => {

@@ -16,7 +16,15 @@ pub fn run() {
     println!("== E2: Theorem 10 — queries = |Th ∪ Bd⁻(Th)| exactly ==\n");
     let mut rng = StdRng::seed_from_u64(2);
     let mut table = Table::new([
-        "n", "k", "|MTh|", "|Th|", "|Bd⁻|", "queries", "|Th|+|Bd⁻|", "equal", "raw=distinct",
+        "n",
+        "k",
+        "|MTh|",
+        "|Th|",
+        "|Bd⁻|",
+        "queries",
+        "|Th|+|Bd⁻|",
+        "equal",
+        "raw=distinct",
     ]);
     let mut all_equal = true;
     for n in [10usize, 15, 20, 25] {
@@ -46,7 +54,11 @@ pub fn run() {
     table.print();
     println!(
         "\nTheorem 10 identity {} on every instance.\n",
-        if all_equal { "holds with equality" } else { "FAILED" }
+        if all_equal {
+            "holds with equality"
+        } else {
+            "FAILED"
+        }
     );
     assert!(all_equal);
 }

@@ -17,7 +17,15 @@ use crate::table::Table;
 pub fn run() {
     println!("== E3: Theorem 12 / Corollary 13 — queries ≤ 2ᵏ·n·|MTh| ==\n");
     let mut rng = StdRng::seed_from_u64(3);
-    let mut table = Table::new(["workload", "n", "k", "|MTh|", "queries", "bound 2ᵏ·n·|MTh|", "ratio"]);
+    let mut table = Table::new([
+        "workload",
+        "n",
+        "k",
+        "|MTh|",
+        "queries",
+        "bound 2ᵏ·n·|MTh|",
+        "ratio",
+    ]);
     let mut worst: f64 = 0.0;
 
     for n in [12usize, 18, 24] {

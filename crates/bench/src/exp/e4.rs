@@ -19,14 +19,25 @@ pub fn run() {
     let mut rng = StdRng::seed_from_u64(4);
 
     println!("(i) fixed k = 3, growing n — polynomial border:");
-    let mut table = Table::new(["n", "|MTh|", "|Bd⁻| measured", "bound C(n,≤4)", "max border rank"]);
+    let mut table = Table::new([
+        "n",
+        "|MTh|",
+        "|Bd⁻| measured",
+        "bound C(n,≤4)",
+        "max border rank",
+    ]);
     let mut measured: Vec<(usize, usize)> = Vec::new();
     for n in [10usize, 15, 20, 25, 30, 40] {
         let plants = random_antichain(n, 8, 3, &mut rng);
         let mut oracle = CountingOracle::new(FamilyOracle::new(n, plants));
         let run = levelwise(&mut oracle);
         let bound = corollary14_bound(3, n);
-        let max_rank = run.negative_border.iter().map(|s| s.len()).max().unwrap_or(0);
+        let max_rank = run
+            .negative_border
+            .iter()
+            .map(|s| s.len())
+            .max()
+            .unwrap_or(0);
         assert!((run.negative_border.len() as u128) <= bound);
         assert!(max_rank <= 4);
         measured.push((n, run.negative_border.len()));
@@ -48,7 +59,14 @@ pub fn run() {
     assert!(exponent <= 4.1);
 
     println!("(ii) k = ⌈log₂ n⌉ — the n^O(k) regime:");
-    let mut table = Table::new(["n", "k=⌈log₂n⌉", "|MTh|", "|Bd⁻|", "bound C(n,≤k+1)", "within"]);
+    let mut table = Table::new([
+        "n",
+        "k=⌈log₂n⌉",
+        "|MTh|",
+        "|Bd⁻|",
+        "bound C(n,≤k+1)",
+        "within",
+    ]);
     for n in [8usize, 12, 16, 24] {
         let k = (n as f64).log2().ceil() as usize;
         let plants = random_antichain(n, 6, k, &mut rng);

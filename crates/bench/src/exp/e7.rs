@@ -33,10 +33,10 @@ pub fn run() {
     let mut worst: f64 = 0.0;
 
     let record = |name: String,
-                      n: usize,
-                      run: dualminer_core::dualize_advance::DualizeAdvanceRun,
-                      queries: u64,
-                      table: &mut Table| {
+                  n: usize,
+                  run: dualminer_core::dualize_advance::DualizeAdvanceRun,
+                  queries: u64,
+                  table: &mut Table| {
         let bd = run.negative_border.len();
         let max_tested = run.max_transversals_tested();
         assert!(max_tested <= bd + 1, "{name}: Lemma 20 violated");

@@ -49,7 +49,11 @@ pub fn run() {
 
         assert_eq!(lw.positive_border, da.maximal);
         let (lq, dq) = (o1.distinct_queries(), o2.distinct_queries());
-        let winner = if lq <= dq { "levelwise" } else { "dualize&advance" };
+        let winner = if lq <= dq {
+            "levelwise"
+        } else {
+            "dualize&advance"
+        };
         if crossover.is_none() && dq < lq {
             crossover = Some(k);
         }

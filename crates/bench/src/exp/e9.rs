@@ -47,7 +47,13 @@ pub fn run() {
     table.print();
 
     println!("\n(b) computation runs never beat the floor (Theorem 2):");
-    let mut table = Table::new(["algorithm", "n", "floor |Bd⁺|+|Bd⁻|", "queries", "queries/floor"]);
+    let mut table = Table::new([
+        "algorithm",
+        "n",
+        "floor |Bd⁺|+|Bd⁻|",
+        "queries",
+        "queries/floor",
+    ]);
     for n in [12usize, 18] {
         let plants = random_antichain(n, 8, 5, &mut rng);
         let mut o1 = CountingOracle::new(FamilyOracle::new(n, plants.clone()));

@@ -23,6 +23,9 @@ pub mod exp;
 pub mod table;
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+use dualminer_obs::{Budget, Meter};
 
 /// Worker-thread budget the experiments pass to the parallel hot paths
 /// (`0` = available parallelism, `1` = sequential). Results are identical
@@ -37,6 +40,23 @@ pub fn set_threads(threads: usize) {
 /// The thread budget experiments should pass to parallel entry points.
 pub fn threads() -> usize {
     THREADS.load(Ordering::Relaxed)
+}
+
+/// The harness-wide resource budget (`--timeout` / `--max-queries` /
+/// `--max-transversals` flags). Unlimited unless [`set_budget`] ran first.
+static METER: OnceLock<Meter> = OnceLock::new();
+
+/// Starts the harness budget. Call once, before any experiment; later
+/// calls are ignored (the meter is already ticking).
+pub fn set_budget(budget: Budget) {
+    let _ = METER.set(budget.start());
+}
+
+/// The started meter the harness checks between experiments. Experiments
+/// that thread it into `*_ctl` entry points also charge their queries and
+/// transversal emissions against it.
+pub fn meter() -> &'static Meter {
+    METER.get_or_init(Meter::unlimited)
 }
 
 /// All experiment ids, in presentation order.

@@ -343,7 +343,10 @@ impl AttrSet {
     #[inline]
     pub fn intersects(&self, other: &AttrSet) -> bool {
         self.check_same_universe(other);
-        self.blocks.iter().zip(&other.blocks).any(|(a, b)| a & b != 0)
+        self.blocks
+            .iter()
+            .zip(&other.blocks)
+            .any(|(a, b)| a & b != 0)
     }
 
     /// Whether the sets are disjoint.
@@ -471,12 +474,9 @@ impl Hash for AttrSet {
 /// stays consistent with `Eq` even across universes.
 impl Ord for AttrSet {
     fn cmp(&self, other: &Self) -> Ordering {
-        self.nbits.cmp(&other.nbits).then_with(|| {
-            self.blocks
-                .iter()
-                .rev()
-                .cmp(other.blocks.iter().rev())
-        })
+        self.nbits
+            .cmp(&other.nbits)
+            .then_with(|| self.blocks.iter().rev().cmp(other.blocks.iter().rev()))
     }
 }
 

@@ -7,8 +7,7 @@ use proptest::prelude::*;
 const UNIVERSE: usize = 130; // spans three u64 blocks
 
 fn arb_set() -> impl Strategy<Value = AttrSet> {
-    proptest::collection::vec(0..UNIVERSE, 0..40)
-        .prop_map(|v| AttrSet::from_indices(UNIVERSE, v))
+    proptest::collection::vec(0..UNIVERSE, 0..40).prop_map(|v| AttrSet::from_indices(UNIVERSE, v))
 }
 
 proptest! {

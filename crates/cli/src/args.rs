@@ -1,5 +1,7 @@
 //! Hand-rolled argument parsing (no external dependencies).
 
+use std::time::Duration;
+
 use dualminer_hypergraph::TrAlgorithm;
 
 /// Usage text shown on parse errors and `--help`.
@@ -8,11 +10,12 @@ dualminer — data mining, hypergraph transversals, and machine learning (PODS 1
 
 USAGE:
     dualminer mine <baskets.txt> --min-support <N|0.x> [--rules <conf>] [--maximal]
-                   [--threads <T>]
-    dualminer keys <relation.csv> [--fds]
+                   [--threads <T>] [RUN OPTIONS]
+    dualminer keys <relation.csv> [--fds] [RUN OPTIONS]
     dualminer transversals <hypergraph.txt> [--algo berge|fk|levelwise|mmcs]
-                   [--threads <T>]
+                   [--threads <T>] [RUN OPTIONS]
     dualminer episodes <events.txt> --window <W> --min-freq <0.x> [--serial|--parallel]
+                   [RUN OPTIONS]
     dualminer --help
 
 SUBCOMMANDS:
@@ -29,11 +32,51 @@ OPTIONS:
                    counting / transversal search); 0 = all available cores;
                    default 1 (sequential). Output is identical for every T.
 
+RUN OPTIONS (budget and observability, accepted by every subcommand):
+    --timeout <D>           wall-clock budget, e.g. 500ms, 2s, 1m (bare
+                            number = seconds). On expiry the run stops
+                            cooperatively and reports its partial result.
+    --max-queries <N>       stop after N oracle queries / candidate
+                            evaluations
+    --max-transversals <N>  stop after N enumerated minimal transversals
+    --progress              print per-level / per-iteration progress to
+                            stderr while the run advances
+    --stats json            print one machine-readable JSON stats line
+                            (queries, candidates, transversals, per-phase
+                            wall time, thread count) as the final line of
+                            stdout
+
 FILE FORMATS:
     baskets.txt     one transaction per line, whitespace-separated items
     relation.csv    header row of attribute names, then comma-separated rows
     hypergraph.txt  one edge per line, whitespace-separated vertex names
     events.txt      one event per line: <time> <type-name>";
+
+/// Budget and observability options shared by every subcommand.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RunOpts {
+    /// Wall-clock budget (`None` = unlimited).
+    pub timeout: Option<Duration>,
+    /// Oracle-query / candidate-evaluation budget.
+    pub max_queries: Option<u64>,
+    /// Enumerated-transversal budget.
+    pub max_transversals: Option<u64>,
+    /// Print progress events to stderr.
+    pub progress: bool,
+    /// Print a JSON stats line as the final line of stdout.
+    pub stats_json: bool,
+}
+
+impl RunOpts {
+    /// The declarative budget these options describe.
+    pub fn budget(&self) -> dualminer_obs::Budget {
+        dualminer_obs::Budget {
+            timeout: self.timeout,
+            max_queries: self.max_queries,
+            max_transversals: self.max_transversals,
+        }
+    }
+}
 
 /// A parsed command line.
 #[derive(Clone, Debug, PartialEq)]
@@ -50,6 +93,8 @@ pub enum Command {
         maximal: bool,
         /// Worker threads for support counting (0 = auto, 1 = sequential).
         threads: usize,
+        /// Budget / observability options.
+        run: RunOpts,
     },
     /// `keys` subcommand.
     Keys {
@@ -57,6 +102,8 @@ pub enum Command {
         path: String,
         /// Also derive minimal FDs per attribute.
         fds: bool,
+        /// Budget / observability options.
+        run: RunOpts,
     },
     /// `transversals` subcommand.
     Transversals {
@@ -66,6 +113,8 @@ pub enum Command {
         algo: TrAlgorithm,
         /// Worker threads for the search (0 = auto, 1 = sequential).
         threads: usize,
+        /// Budget / observability options.
+        run: RunOpts,
     },
     /// `episodes` subcommand.
     Episodes {
@@ -77,6 +126,8 @@ pub enum Command {
         min_freq: f64,
         /// Mine serial (ordered) episodes instead of parallel ones.
         serial: bool,
+        /// Budget / observability options.
+        run: RunOpts,
     },
     /// `--help`.
     Help,
@@ -106,6 +157,72 @@ fn parse_threads(s: &str) -> Result<usize, String> {
         .map_err(|_| format!("invalid --threads value {s:?} (want integer ≥ 0; 0 = auto)"))
 }
 
+/// Parses a duration: a number with an optional unit suffix (`ns`, `us`,
+/// `ms`, `s`, `m`); a bare number means seconds. `0` (any unit) is a
+/// valid, already-expired budget.
+fn parse_duration(s: &str) -> Result<Duration, String> {
+    let s = s.trim();
+    let split = s
+        .find(|c: char| !(c.is_ascii_digit() || c == '.'))
+        .unwrap_or(s.len());
+    let (num, unit) = s.split_at(split);
+    let value: f64 = num
+        .parse()
+        .map_err(|_| format!("invalid duration {s:?} (want e.g. 500ms, 2s, 1m)"))?;
+    if !value.is_finite() || value < 0.0 {
+        return Err(format!("invalid duration {s:?}"));
+    }
+    let nanos = match unit {
+        "ns" => value,
+        "us" | "µs" => value * 1e3,
+        "ms" => value * 1e6,
+        "s" | "" => value * 1e9,
+        "m" => value * 60.0 * 1e9,
+        other => return Err(format!("unknown duration unit {other:?} in {s:?}")),
+    };
+    Ok(Duration::from_nanos(nanos as u64))
+}
+
+/// Tries to consume one of the shared RUN OPTIONS flags. Returns
+/// `Ok(true)` when `flag` was one of them (its value, if any, has been
+/// consumed from `it`), `Ok(false)` when the caller should handle it.
+fn parse_run_flag<'a, I: Iterator<Item = &'a String>>(
+    flag: &str,
+    it: &mut I,
+    run: &mut RunOpts,
+) -> Result<bool, String> {
+    match flag {
+        "--timeout" => {
+            let v = it.next().ok_or("--timeout needs a duration")?;
+            run.timeout = Some(parse_duration(v)?);
+        }
+        "--max-queries" => {
+            let v = it.next().ok_or("--max-queries needs a value")?;
+            run.max_queries = Some(
+                v.parse::<u64>()
+                    .map_err(|_| format!("invalid --max-queries value {v:?}"))?,
+            );
+        }
+        "--max-transversals" => {
+            let v = it.next().ok_or("--max-transversals needs a value")?;
+            run.max_transversals = Some(
+                v.parse::<u64>()
+                    .map_err(|_| format!("invalid --max-transversals value {v:?}"))?,
+            );
+        }
+        "--progress" => run.progress = true,
+        "--stats" => {
+            let v = it.next().ok_or("--stats needs a format (json)")?;
+            if v != "json" {
+                return Err(format!("unknown --stats format {v:?} (only json)"));
+            }
+            run.stats_json = true;
+        }
+        _ => return Ok(false),
+    }
+    Ok(true)
+}
+
 fn parse_support(s: &str) -> Result<Support, String> {
     if let Ok(n) = s.parse::<usize>() {
         if n == 0 {
@@ -115,7 +232,9 @@ fn parse_support(s: &str) -> Result<Support, String> {
     }
     match s.parse::<f64>() {
         Ok(f) if f > 0.0 && f <= 1.0 => Ok(Support::Relative(f)),
-        _ => Err(format!("invalid --min-support value {s:?} (want integer ≥ 1 or fraction in (0,1])")),
+        _ => Err(format!(
+            "invalid --min-support value {s:?} (want integer ≥ 1 or fraction in (0,1])"
+        )),
     }
 }
 
@@ -133,7 +252,11 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             let mut rules = None;
             let mut maximal = false;
             let mut threads = 1;
+            let mut run = RunOpts::default();
             while let Some(flag) = it.next() {
+                if parse_run_flag(flag, &mut it, &mut run)? {
+                    continue;
+                }
                 match flag.as_str() {
                     "--min-support" => {
                         let v = it.next().ok_or("--min-support needs a value")?;
@@ -145,9 +268,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                     }
                     "--rules" => {
                         let v = it.next().ok_or("--rules needs a confidence value")?;
-                        let c: f64 = v
-                            .parse()
-                            .map_err(|_| format!("invalid confidence {v:?}"))?;
+                        let c: f64 = v.parse().map_err(|_| format!("invalid confidence {v:?}"))?;
                         if !(0.0..=1.0).contains(&c) {
                             return Err("confidence must be in [0, 1]".into());
                         }
@@ -163,24 +284,33 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 rules,
                 maximal,
                 threads,
+                run,
             })
         }
         "keys" => {
             let path = it.next().ok_or("keys: missing input file")?.clone();
             let mut fds = false;
-            for flag in it.by_ref() {
+            let mut run = RunOpts::default();
+            while let Some(flag) = it.next() {
+                if parse_run_flag(flag, &mut it, &mut run)? {
+                    continue;
+                }
                 match flag.as_str() {
                     "--fds" => fds = true,
                     other => return Err(format!("keys: unknown flag {other:?}")),
                 }
             }
-            Ok(Command::Keys { path, fds })
+            Ok(Command::Keys { path, fds, run })
         }
         "transversals" => {
             let path = it.next().ok_or("transversals: missing input file")?.clone();
             let mut algo = TrAlgorithm::Berge;
             let mut threads = 1;
+            let mut run = RunOpts::default();
             while let Some(flag) = it.next() {
+                if parse_run_flag(flag, &mut it, &mut run)? {
+                    continue;
+                }
                 match flag.as_str() {
                     "--threads" => {
                         let v = it.next().ok_or("--threads needs a value")?;
@@ -199,19 +329,27 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                     other => return Err(format!("transversals: unknown flag {other:?}")),
                 }
             }
-            Ok(Command::Transversals { path, algo, threads })
+            Ok(Command::Transversals {
+                path,
+                algo,
+                threads,
+                run,
+            })
         }
         "episodes" => {
             let path = it.next().ok_or("episodes: missing input file")?.clone();
             let mut window = None;
             let mut min_freq = None;
             let mut serial = false;
+            let mut run = RunOpts::default();
             while let Some(flag) = it.next() {
+                if parse_run_flag(flag, &mut it, &mut run)? {
+                    continue;
+                }
                 match flag.as_str() {
                     "--window" => {
                         let v = it.next().ok_or("--window needs a value")?;
-                        let w: u64 =
-                            v.parse().map_err(|_| format!("invalid window {v:?}"))?;
+                        let w: u64 = v.parse().map_err(|_| format!("invalid window {v:?}"))?;
                         if w == 0 {
                             return Err("--window must be positive".into());
                         }
@@ -219,8 +357,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                     }
                     "--min-freq" => {
                         let v = it.next().ok_or("--min-freq needs a value")?;
-                        let f: f64 =
-                            v.parse().map_err(|_| format!("invalid frequency {v:?}"))?;
+                        let f: f64 = v.parse().map_err(|_| format!("invalid frequency {v:?}"))?;
                         if !(f > 0.0 && f <= 1.0) {
                             return Err("--min-freq must be in (0, 1]".into());
                         }
@@ -236,6 +373,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 window: window.ok_or("episodes: --window is required")?,
                 min_freq: min_freq.ok_or("episodes: --min-freq is required")?,
                 serial,
+                run,
             })
         }
         other => Err(format!("unknown subcommand {other:?}")),
@@ -270,15 +408,72 @@ mod tests {
                 rules: Some(0.8),
                 maximal: true,
                 threads: 1,
+                run: RunOpts::default(),
             }
         );
+    }
+
+    #[test]
+    fn parse_run_options_on_every_subcommand() {
+        let run = RunOpts {
+            timeout: Some(Duration::from_millis(500)),
+            max_queries: Some(1000),
+            max_transversals: Some(64),
+            progress: true,
+            stats_json: true,
+        };
+        let shared = [
+            "--timeout",
+            "500ms",
+            "--max-queries",
+            "1000",
+            "--max-transversals",
+            "64",
+            "--progress",
+            "--stats",
+            "json",
+        ];
+        let mut mine = v(&["mine", "b.txt", "--min-support", "2"]);
+        mine.extend(shared.iter().map(|s| s.to_string()));
+        assert!(matches!(parse(&mine).unwrap(), Command::Mine { run: r, .. } if r == run));
+        let mut keys = v(&["keys", "r.csv"]);
+        keys.extend(shared.iter().map(|s| s.to_string()));
+        assert!(matches!(parse(&keys).unwrap(), Command::Keys { run: r, .. } if r == run));
+        let mut tr = v(&["transversals", "h.txt"]);
+        tr.extend(shared.iter().map(|s| s.to_string()));
+        assert!(matches!(parse(&tr).unwrap(), Command::Transversals { run: r, .. } if r == run));
+        let mut ep = v(&["episodes", "e.txt", "--window", "5", "--min-freq", "0.2"]);
+        ep.extend(shared.iter().map(|s| s.to_string()));
+        assert!(matches!(parse(&ep).unwrap(), Command::Episodes { run: r, .. } if r == run));
+    }
+
+    #[test]
+    fn durations() {
+        assert_eq!(parse_duration("500ms").unwrap(), Duration::from_millis(500));
+        assert_eq!(parse_duration("2s").unwrap(), Duration::from_secs(2));
+        assert_eq!(parse_duration("3").unwrap(), Duration::from_secs(3));
+        assert_eq!(parse_duration("1m").unwrap(), Duration::from_secs(60));
+        assert_eq!(parse_duration("250us").unwrap(), Duration::from_micros(250));
+        assert_eq!(parse_duration("0").unwrap(), Duration::ZERO);
+        assert_eq!(parse_duration("1.5s").unwrap(), Duration::from_millis(1500));
+        assert!(parse_duration("abc").is_err());
+        assert!(parse_duration("5h").is_err());
+        assert!(parse(&v(&["keys", "r.csv", "--timeout", "xx"])).is_err());
+        assert!(parse(&v(&["keys", "r.csv", "--stats", "xml"])).is_err());
+        assert!(parse(&v(&["keys", "r.csv", "--stats"])).is_err());
     }
 
     #[test]
     fn parse_mine_absolute_support() {
         let cmd = parse(&v(&["mine", "b.txt", "--min-support", "5"])).unwrap();
         match cmd {
-            Command::Mine { min_support, rules, maximal, threads, .. } => {
+            Command::Mine {
+                min_support,
+                rules,
+                maximal,
+                threads,
+                ..
+            } => {
                 assert_eq!(min_support, Support::Absolute(5));
                 assert_eq!(rules, None);
                 assert!(!maximal);
@@ -290,8 +485,15 @@ mod tests {
 
     #[test]
     fn parse_threads_flag() {
-        let cmd =
-            parse(&v(&["mine", "b.txt", "--min-support", "2", "--threads", "4"])).unwrap();
+        let cmd = parse(&v(&[
+            "mine",
+            "b.txt",
+            "--min-support",
+            "2",
+            "--threads",
+            "4",
+        ]))
+        .unwrap();
         assert!(matches!(cmd, Command::Mine { threads: 4, .. }));
         let cmd = parse(&v(&["transversals", "h.txt", "--threads", "0"])).unwrap();
         assert!(matches!(cmd, Command::Transversals { threads: 0, .. }));
@@ -310,7 +512,11 @@ mod tests {
     fn parse_keys_and_transversals() {
         assert_eq!(
             parse(&v(&["keys", "r.csv", "--fds"])).unwrap(),
-            Command::Keys { path: "r.csv".into(), fds: true }
+            Command::Keys {
+                path: "r.csv".into(),
+                fds: true,
+                run: RunOpts::default(),
+            }
         );
         assert_eq!(
             parse(&v(&["transversals", "h.txt", "--algo", "mmcs"])).unwrap(),
@@ -318,6 +524,7 @@ mod tests {
                 path: "h.txt".into(),
                 algo: TrAlgorithm::Mmcs,
                 threads: 1,
+                run: RunOpts::default(),
             }
         );
         assert!(parse(&v(&["transversals", "h.txt", "--algo", "zzz"])).is_err());
@@ -326,7 +533,13 @@ mod tests {
     #[test]
     fn parse_episodes() {
         let cmd = parse(&v(&[
-            "episodes", "e.txt", "--window", "5", "--min-freq", "0.2", "--serial",
+            "episodes",
+            "e.txt",
+            "--window",
+            "5",
+            "--min-freq",
+            "0.2",
+            "--serial",
         ]))
         .unwrap();
         assert_eq!(
@@ -335,12 +548,29 @@ mod tests {
                 path: "e.txt".into(),
                 window: 5,
                 min_freq: 0.2,
-                serial: true
+                serial: true,
+                run: RunOpts::default(),
             }
         );
         assert!(parse(&v(&["episodes", "e.txt", "--window", "5"])).is_err());
-        assert!(parse(&v(&["episodes", "e.txt", "--window", "0", "--min-freq", "0.2"])).is_err());
-        assert!(parse(&v(&["episodes", "e.txt", "--window", "5", "--min-freq", "2"])).is_err());
+        assert!(parse(&v(&[
+            "episodes",
+            "e.txt",
+            "--window",
+            "0",
+            "--min-freq",
+            "0.2"
+        ]))
+        .is_err());
+        assert!(parse(&v(&[
+            "episodes",
+            "e.txt",
+            "--window",
+            "5",
+            "--min-freq",
+            "2"
+        ]))
+        .is_err());
     }
 
     #[test]

@@ -4,13 +4,130 @@ use dualminer_core::border::verify_maxth;
 use dualminer_core::oracle::CountingOracle;
 use dualminer_fdep::fd::minimal_fd_lhs_via_agree_sets;
 use dualminer_fdep::keys::minimal_keys_via_agree_sets;
-use dualminer_hypergraph::transversals_with_threads;
-use dualminer_mining::apriori::apriori_par;
+use dualminer_mining::apriori::apriori_par_ctl;
 use dualminer_mining::rules::association_rules;
 use dualminer_mining::FrequencyOracle;
+use dualminer_obs::{available_cpus, BudgetReason, Meter, MiningObserver, RunCtl, StatsCollector};
 
-use crate::args::{Command, USAGE};
+use crate::args::{Command, RunOpts, USAGE};
 use crate::formats;
+
+/// The CLI's standard observer: always feeds the [`StatsCollector`] (so
+/// `--stats json` has data even when progress is off) and, with
+/// `--progress`, narrates per-level / per-iteration events on stderr so
+/// stdout stays machine-parsable.
+struct CliObserver {
+    stats: StatsCollector,
+    progress: bool,
+}
+
+impl CliObserver {
+    fn new(progress: bool) -> Self {
+        CliObserver {
+            stats: StatsCollector::new(),
+            progress,
+        }
+    }
+}
+
+impl MiningObserver for CliObserver {
+    fn on_phase_start(&self, name: &str) {
+        self.stats.on_phase_start(name);
+        if self.progress {
+            eprintln!("[progress] phase {name} started");
+        }
+    }
+
+    fn on_phase_end(&self, name: &str) {
+        self.stats.on_phase_end(name);
+        if self.progress {
+            eprintln!("[progress] phase {name} finished");
+        }
+    }
+
+    fn on_level(&self, level: usize, candidates: usize, interesting: usize) {
+        self.stats.on_level(level, candidates, interesting);
+        if self.progress {
+            eprintln!(
+                "[progress] level {level}: {candidates} candidates, {interesting} interesting"
+            );
+        }
+    }
+
+    fn on_iteration(&self, iteration: usize, transversals_tested: usize, counterexample: bool) {
+        self.stats
+            .on_iteration(iteration, transversals_tested, counterexample);
+        if self.progress {
+            eprintln!(
+                "[progress] iteration {iteration}: {transversals_tested} transversals tested, \
+                 counterexample: {counterexample}"
+            );
+        }
+    }
+
+    fn on_fk_calls(&self, count: u64) {
+        self.stats.on_fk_calls(count);
+    }
+
+    fn on_transversals(&self, count: u64) {
+        self.stats.on_transversals(count);
+    }
+
+    fn on_nodes(&self, count: u64) {
+        self.stats.on_nodes(count);
+    }
+}
+
+/// One budgeted run: the started meter plus the collecting observer.
+struct Session {
+    meter: Meter,
+    observer: CliObserver,
+    stats_json: bool,
+}
+
+impl Session {
+    fn new(run: &RunOpts, threads: usize) -> Session {
+        let meter = run.budget().start();
+        let observer = CliObserver::new(run.progress);
+        observer.stats.set_threads(if threads == 0 {
+            available_cpus()
+        } else {
+            threads
+        });
+        Session {
+            meter,
+            observer,
+            stats_json: run.stats_json,
+        }
+    }
+
+    fn ctl(&self) -> RunCtl<'_> {
+        RunCtl::new(&self.meter, &self.observer)
+    }
+
+    /// Uniform pre-flight: with `--timeout 0` (or an already-spent
+    /// budget), every subcommand reports cleanly before doing any work.
+    fn preflight(&self) -> Option<BudgetReason> {
+        self.meter.exceeded()
+    }
+
+    /// Reports an early exit and, if requested, the stats line.
+    fn finish_early(&self, reason: BudgetReason) {
+        println!("budget exceeded ({reason}) before any work was performed");
+        self.finish(Some(reason));
+    }
+
+    /// Prints the JSON stats artifact as the final stdout line.
+    fn finish(&self, reason: Option<BudgetReason>) {
+        if self.stats_json {
+            println!("{}", self.observer.stats.to_json(&self.meter, reason));
+        }
+    }
+}
+
+fn note_partial(reason: BudgetReason) {
+    println!("\nNOTE: budget exceeded ({reason}); results below are the partial prefix computed before the limit.");
+}
 
 /// Executes a parsed command.
 pub fn run(cmd: Command) -> Result<(), String> {
@@ -25,7 +142,13 @@ pub fn run(cmd: Command) -> Result<(), String> {
             rules,
             maximal,
             threads,
+            run,
         } => {
+            let session = Session::new(&run, threads);
+            if let Some(reason) = session.preflight() {
+                session.finish_early(reason);
+                return Ok(());
+            }
             let text = read(&path)?;
             let (universe, db) = formats::parse_baskets(&text)?;
             let sigma = min_support.resolve(db.n_rows());
@@ -35,7 +158,12 @@ pub fn run(cmd: Command) -> Result<(), String> {
                 db.n_items(),
                 sigma
             );
-            let fs = apriori_par(&db, sigma, threads);
+            session.observer.on_phase_start("mine");
+            let (fs, reason) = apriori_par_ctl(&db, sigma, threads, &session.ctl()).into_parts();
+            session.observer.on_phase_end("mine");
+            if let Some(r) = reason {
+                note_partial(r);
+            }
             println!("\n{} frequent itemsets:", fs.itemsets.len());
             for (set, support) in &fs.itemsets {
                 if set.is_empty() {
@@ -57,33 +185,50 @@ pub fn run(cmd: Command) -> Result<(), String> {
                 for b in &fs.negative_border {
                     println!("  {}", universe.display(b));
                 }
-                // Verify with Corollary 4 — belt and braces for the user.
-                let mut oracle = CountingOracle::new(FrequencyOracle::new(&db, sigma));
-                let out = verify_maxth(
-                    &mut oracle,
-                    &fs.maximal,
-                    dualminer_hypergraph::TrAlgorithm::Berge,
-                );
-                println!(
-                    "Verified: {} ({} oracle queries = |Bd⁺|+|Bd⁻|)",
-                    out.is_maxth, out.queries
-                );
-            }
-            if let Some(conf) = rules {
-                let rules = association_rules(&fs, conf);
-                println!("\n{} association rules (confidence ≥ {conf}):", rules.len());
-                for r in &rules {
-                    println!("  {}", r.display(&universe));
+                if reason.is_none() {
+                    // Verify with Corollary 4 — belt and braces for the user.
+                    let mut oracle = CountingOracle::new(FrequencyOracle::new(&db, sigma));
+                    let out = verify_maxth(
+                        &mut oracle,
+                        &fs.maximal,
+                        dualminer_hypergraph::TrAlgorithm::Berge,
+                    );
+                    println!(
+                        "Verified: {} ({} oracle queries = |Bd⁺|+|Bd⁻|)",
+                        out.is_maxth, out.queries
+                    );
+                } else {
+                    println!("(not verified: run was cut short, the family is maximal only within the mined prefix)");
                 }
             }
+            if let Some(conf) = rules {
+                if reason.is_none() {
+                    let rules = association_rules(&fs, conf);
+                    println!("\n{} association rules (confidence ≥ {conf}):", rules.len());
+                    for r in &rules {
+                        println!("  {}", r.display(&universe));
+                    }
+                } else {
+                    println!(
+                        "\n(association rules skipped: supports are incomplete on a partial run)"
+                    );
+                }
+            }
+            session.finish(reason);
             Ok(())
         }
-        Command::Keys { path, fds } => {
+        Command::Keys { path, fds, run } => {
+            let session = Session::new(&run, 1);
+            if let Some(reason) = session.preflight() {
+                session.finish_early(reason);
+                return Ok(());
+            }
             let text = read(&path)?;
             let (universe, rel) = formats::parse_relation(&text)?;
             println!("{} rows × {} attributes", rel.n_rows(), rel.n_attrs());
-            let keys =
-                minimal_keys_via_agree_sets(&rel, dualminer_hypergraph::TrAlgorithm::Berge);
+            session.observer.on_phase_start("keys");
+            let keys = minimal_keys_via_agree_sets(&rel, dualminer_hypergraph::TrAlgorithm::Berge);
+            session.observer.on_phase_end("keys");
             if keys.minimal_keys.is_empty() {
                 println!("\nNo keys: the relation contains duplicate rows.");
             } else {
@@ -107,13 +252,18 @@ pub fn run(cmd: Command) -> Result<(), String> {
                     );
                     for lhs in &d.minimal_lhs {
                         any = true;
-                        println!("  {{{}}} → {}", names(&universe, lhs), universe.name(target));
+                        println!(
+                            "  {{{}}} → {}",
+                            names(&universe, lhs),
+                            universe.name(target)
+                        );
                     }
                 }
                 if !any {
                     println!("  (none)");
                 }
             }
+            session.finish(None);
             Ok(())
         }
         Command::Episodes {
@@ -121,7 +271,13 @@ pub fn run(cmd: Command) -> Result<(), String> {
             window,
             min_freq,
             serial,
+            run,
         } => {
+            let session = Session::new(&run, 1);
+            if let Some(reason) = session.preflight() {
+                session.finish_early(reason);
+                return Ok(());
+            }
             let text = read(&path)?;
             let (names, seq) = formats::parse_events(&text)?;
             let class = if serial {
@@ -134,12 +290,18 @@ pub fn run(cmd: Command) -> Result<(), String> {
                 seq.len(),
                 seq.alphabet()
             );
-            let run = dualminer_episodes::mine::mine_episodes(&seq, class, window, min_freq);
+            session.observer.on_phase_start("episodes");
+            let episodes_run =
+                dualminer_episodes::mine::mine_episodes(&seq, class, window, min_freq);
+            session.observer.on_phase_end("episodes");
             let render = |e: &dualminer_episodes::Episode| -> String {
                 match e {
                     dualminer_episodes::Episode::Parallel(v) => format!(
                         "{{{}}}",
-                        v.iter().map(|k| names[*k].as_str()).collect::<Vec<_>>().join(", ")
+                        v.iter()
+                            .map(|k| names[*k].as_str())
+                            .collect::<Vec<_>>()
+                            .join(", ")
                     ),
                     dualminer_episodes::Episode::Serial(v) => v
                         .iter()
@@ -148,20 +310,31 @@ pub fn run(cmd: Command) -> Result<(), String> {
                         .join(" → "),
                 }
             };
-            println!("\n{} frequent episodes:", run.frequent.len());
-            for (e, f) in &run.frequent {
+            println!("\n{} frequent episodes:", episodes_run.frequent.len());
+            for (e, f) in &episodes_run.frequent {
                 if e.rank() == 0 {
                     continue;
                 }
                 println!("  {:<40} {:.1}%", render(e), 100.0 * f);
             }
             println!("\nMaximal frequent episodes:");
-            for e in &run.maximal {
+            for e in &episodes_run.maximal {
                 println!("  {}", render(e));
             }
+            session.finish(None);
             Ok(())
         }
-        Command::Transversals { path, algo, threads } => {
+        Command::Transversals {
+            path,
+            algo,
+            threads,
+            run,
+        } => {
+            let session = Session::new(&run, threads);
+            if let Some(reason) = session.preflight() {
+                session.finish_early(reason);
+                return Ok(());
+            }
             let text = read(&path)?;
             let (universe, h) = formats::parse_hypergraph(&text)?;
             println!(
@@ -171,7 +344,14 @@ pub fn run(cmd: Command) -> Result<(), String> {
                 h.is_simple()
             );
             let started = std::time::Instant::now();
-            let tr = transversals_with_threads(&h, algo, threads);
+            session.observer.on_phase_start("transversals");
+            let (tr, reason) =
+                dualminer_hypergraph::transversals_with_ctl(&h, algo, threads, &session.ctl())
+                    .into_parts();
+            session.observer.on_phase_end("transversals");
+            if let Some(r) = reason {
+                note_partial(r);
+            }
             println!(
                 "\nTr(H) with {algo:?}: {} minimal transversals in {:.2?}:",
                 tr.len(),
@@ -180,6 +360,7 @@ pub fn run(cmd: Command) -> Result<(), String> {
             for t in tr.edges() {
                 println!("  {{{}}}", names(&universe, t));
             }
+            session.finish(reason);
             Ok(())
         }
     }

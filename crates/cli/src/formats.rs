@@ -43,9 +43,15 @@ pub fn parse_baskets(text: &str) -> Result<(Universe, TransactionDb), String> {
 
 /// Parses a CSV relation: first line is the header of attribute names,
 /// remaining lines are comma-separated values (treated as opaque strings,
-/// dictionary-coded per column).
+/// dictionary-coded per column). Unlike the whitespace formats, `#` only
+/// introduces a comment when it starts a line — data cells may
+/// legitimately contain `#` (part numbers, anchors, …), so inline
+/// stripping would silently corrupt them.
 pub fn parse_relation(text: &str) -> Result<(Universe, Relation), String> {
-    let mut lines = text.lines().map(strip_comment).filter(|l| !l.trim().is_empty());
+    let mut lines = text
+        .lines()
+        .map(strip_whole_line_comment)
+        .filter(|l| !l.trim().is_empty());
     let header = lines.next().ok_or("empty relation file")?;
     let names: Vec<String> = header.split(',').map(|s| s.trim().to_string()).collect();
     let n = names.len();
@@ -153,6 +159,16 @@ fn strip_comment(line: &str) -> &str {
     }
 }
 
+/// Blanks the line only when its first non-whitespace character is `#`;
+/// used by CSV parsing, where `#` inside a cell is data.
+fn strip_whole_line_comment(line: &str) -> &str {
+    if line.trim_start().starts_with('#') {
+        ""
+    } else {
+        line
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -180,6 +196,22 @@ mod tests {
         // dept column: sales=0, eng=1.
         assert_eq!(rel.rows()[0][0], rel.rows()[1][0]);
         assert_ne!(rel.rows()[0][0], rel.rows()[2][0]);
+    }
+
+    #[test]
+    fn relation_hash_in_cell_is_data() {
+        // Regression: a `#` inside a CSV cell used to be treated as an
+        // inline comment, truncating the row to a ragged (or silently
+        // wrong) record. Only a line-leading `#` marks a comment now.
+        let csv = "part,bin\nA#1,top\nA#2,bin#4\n# a whole-line comment\nA#1,top\n";
+        let (u, rel) = parse_relation(csv).unwrap();
+        assert_eq!(u.size(), 2);
+        assert_eq!(rel.n_rows(), 3);
+        // `A#1` rows dictionary-code identically; `A#2` differs.
+        assert_eq!(rel.rows()[0][0], rel.rows()[2][0]);
+        assert_ne!(rel.rows()[0][0], rel.rows()[1][0]);
+        // `bin#4` survives intact as a distinct value in column 1.
+        assert_ne!(rel.rows()[1][1], rel.rows()[0][1]);
     }
 
     #[test]

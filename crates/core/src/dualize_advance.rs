@@ -31,7 +31,8 @@
 //! interesting) come out right.
 
 use dualminer_bitset::AttrSet;
-use dualminer_hypergraph::{transversals_with, Hypergraph, TrAlgorithm};
+use dualminer_hypergraph::{transversals_with_ctl, Hypergraph, TrAlgorithm};
+use dualminer_obs::{BudgetReason, Meter, NoopObserver, Outcome, RunCtl};
 
 use crate::oracle::InterestOracle;
 
@@ -126,10 +127,7 @@ pub struct DualizeAdvanceConfig {
 /// assumes. The other strategies materialize the full transversal
 /// hypergraph per iteration first (cheaper on small borders, exponentially
 /// worse on instances like Example 19).
-pub fn dualize_advance<O: InterestOracle>(
-    oracle: &mut O,
-    algo: TrAlgorithm,
-) -> DualizeAdvanceRun {
+pub fn dualize_advance<O: InterestOracle>(oracle: &mut O, algo: TrAlgorithm) -> DualizeAdvanceRun {
     dualize_advance_with_config(oracle, algo, &DualizeAdvanceConfig::default())
 }
 
@@ -139,37 +137,107 @@ pub fn dualize_advance_with_config<O: InterestOracle>(
     algo: TrAlgorithm,
     config: &DualizeAdvanceConfig,
 ) -> DualizeAdvanceRun {
+    let meter = Meter::unlimited();
+    dualize_advance_with_config_ctl(oracle, algo, config, 1, &RunCtl::new(&meter, &NoopObserver))
+        .expect_complete()
+}
+
+/// [`dualize_advance`] under a budget and an observer (default tunables,
+/// sequential transversal subroutine).
+pub fn dualize_advance_ctl<O: InterestOracle>(
+    oracle: &mut O,
+    algo: TrAlgorithm,
+    ctl: &RunCtl<'_>,
+) -> Outcome<DualizeAdvanceRun> {
+    dualize_advance_with_config_ctl(oracle, algo, &DualizeAdvanceConfig::default(), 1, ctl)
+}
+
+/// Sorts the partial collections so budget-exceeded results are as
+/// presentable as complete ones.
+fn partial_run(
+    mut maximal: Vec<AttrSet>,
+    mut certificate: Vec<AttrSet>,
+    iterations: Vec<DualizeAdvanceIteration>,
+    queries: u64,
+) -> DualizeAdvanceRun {
+    maximal.sort_by(|a, b| a.cmp_card_lex(b));
+    certificate.sort_by(|a, b| a.cmp_card_lex(b));
+    DualizeAdvanceRun {
+        maximal,
+        negative_border: certificate,
+        iterations,
+        queries,
+    }
+}
+
+/// [`dualize_advance_with_config`] under a budget and an observer, with a
+/// thread budget for the transversal subroutine (`0` = available
+/// parallelism).
+///
+/// Every `Is-interesting` query records one metered query (so does each
+/// inner FK recursive call when `algo` is
+/// [`TrAlgorithm::FkJointGeneration`]), each enumerated transversal
+/// records one transversal event, and each outer round fires
+/// `on_iteration`. On a budget trip the partial result holds a *genuine
+/// subset of `MTh`* — only verified-maximal sets are ever added — and
+/// `negative_border` holds the transversals verified uninteresting in the
+/// interrupted round (members of `Bd⁻(Cᵢ)`, not necessarily of the final
+/// `Bd⁻(MTh)`).
+pub fn dualize_advance_with_config_ctl<O: InterestOracle>(
+    oracle: &mut O,
+    algo: TrAlgorithm,
+    config: &DualizeAdvanceConfig,
+    threads: usize,
+    ctl: &RunCtl<'_>,
+) -> Outcome<DualizeAdvanceRun> {
     let n = oracle.universe_size();
     let ext_order = config.extension_order.materialize(n);
     let mut maximal: Vec<AttrSet> = Vec::new();
     let mut iterations: Vec<DualizeAdvanceIteration> = Vec::new();
     let mut queries = 0u64;
 
+    if let Some(reason) = ctl.meter.exceeded() {
+        return Outcome::BudgetExceeded {
+            partial: partial_run(maximal, Vec::new(), iterations, queries),
+            reason,
+        };
+    }
+
     // Seed: is anything interesting at all?
     queries += 1;
+    ctl.meter.record_query();
     if !oracle.is_interesting(&AttrSet::empty(n)) {
-        return DualizeAdvanceRun {
+        return Outcome::Complete(DualizeAdvanceRun {
             maximal,
             negative_border: vec![AttrSet::empty(n)],
             iterations,
             queries,
+        });
+    }
+    let (first, ext_q, tripped) = greedy_extend_ctl(oracle, AttrSet::empty(n), &ext_order, ctl);
+    queries += ext_q;
+    if let Some(reason) = tripped {
+        // The extension was interrupted, so `first` is interesting but not
+        // verified maximal — it is NOT part of the MTh prefix.
+        return Outcome::BudgetExceeded {
+            partial: partial_run(maximal, Vec::new(), iterations, queries),
+            reason,
         };
     }
-    let (first, ext_q) =
-        greedy_maximize_with_order(oracle, AttrSet::empty(n), Some(&ext_order));
-    queries += ext_q;
     iterations.push(DualizeAdvanceIteration {
         transversals_tested: 0,
         counterexample: Some(AttrSet::empty(n)),
         maximal_found: Some(first.clone()),
         extension_queries: ext_q,
     });
+    ctl.observer.on_iteration(iterations.len(), 0, true);
     maximal.push(first);
 
     loop {
         // Dualize: E = complements of Cᵢ; Tr(E) = Bd⁻(Cᵢ) by Theorem 7.
-        let complements = Hypergraph::from_edges(n, maximal.iter().map(AttrSet::complement).collect())
-            .expect("complements stay in universe");
+        let complements =
+            Hypergraph::from_edges(n, maximal.iter().map(AttrSet::complement).collect())
+                .expect("complements stay in universe");
 
         let mut tested = 0usize;
         let mut counterexample: Option<AttrSet> = None;
@@ -182,7 +250,28 @@ pub fn dualize_advance_with_config<O: InterestOracle>(
                 // is queried immediately.
                 let mut g = Hypergraph::empty(n);
                 loop {
-                    match dualminer_hypergraph::fk::duality_witness(&complements, &g) {
+                    let witness = match dualminer_hypergraph::fk::duality_witness_counted_par_ctl(
+                        &complements,
+                        &g,
+                        threads,
+                        ctl,
+                    ) {
+                        Outcome::Complete((w, _)) => w,
+                        Outcome::BudgetExceeded { reason, .. } => {
+                            iterations.push(DualizeAdvanceIteration {
+                                transversals_tested: tested,
+                                counterexample: None,
+                                maximal_found: None,
+                                extension_queries: 0,
+                            });
+                            ctl.observer.on_iteration(iterations.len(), tested, false);
+                            return Outcome::BudgetExceeded {
+                                partial: partial_run(maximal, certificate, iterations, queries),
+                                reason,
+                            };
+                        }
+                    };
+                    match witness {
                         None => break,
                         Some(w) => {
                             let t = dualminer_hypergraph::oracle::minimize_transversal(
@@ -192,6 +281,9 @@ pub fn dualize_advance_with_config<O: InterestOracle>(
                             .expect("witness complement is a transversal");
                             tested += 1;
                             queries += 1;
+                            ctl.meter.record_query();
+                            ctl.meter.record_transversal();
+                            ctl.observer.on_transversals(1);
                             if oracle.is_interesting(&t) {
                                 counterexample = Some(t);
                                 break;
@@ -203,10 +295,42 @@ pub fn dualize_advance_with_config<O: InterestOracle>(
                 }
             }
             TrAlgorithm::Berge | TrAlgorithm::LevelwiseLargeEdges | TrAlgorithm::Mmcs => {
-                let tr = transversals_with(&complements, algo);
+                let tr = match transversals_with_ctl(&complements, algo, threads, ctl) {
+                    Outcome::Complete(tr) => tr,
+                    Outcome::BudgetExceeded { reason, .. } => {
+                        // The materialized border is incomplete (and for
+                        // Berge not even a set of transversals), so the
+                        // round is abandoned untested.
+                        iterations.push(DualizeAdvanceIteration {
+                            transversals_tested: 0,
+                            counterexample: None,
+                            maximal_found: None,
+                            extension_queries: 0,
+                        });
+                        ctl.observer.on_iteration(iterations.len(), 0, false);
+                        return Outcome::BudgetExceeded {
+                            partial: partial_run(maximal, Vec::new(), iterations, queries),
+                            reason,
+                        };
+                    }
+                };
                 for t in tr.edges() {
+                    if let Some(reason) = ctl.meter.exceeded() {
+                        iterations.push(DualizeAdvanceIteration {
+                            transversals_tested: tested,
+                            counterexample: None,
+                            maximal_found: None,
+                            extension_queries: 0,
+                        });
+                        ctl.observer.on_iteration(iterations.len(), tested, false);
+                        return Outcome::BudgetExceeded {
+                            partial: partial_run(maximal, certificate, iterations, queries),
+                            reason,
+                        };
+                    }
                     tested += 1;
                     queries += 1;
+                    ctl.meter.record_query();
                     if oracle.is_interesting(t) {
                         counterexample = Some(t.clone());
                         break;
@@ -225,19 +349,32 @@ pub fn dualize_advance_with_config<O: InterestOracle>(
                     maximal_found: None,
                     extension_queries: 0,
                 });
+                ctl.observer.on_iteration(iterations.len(), tested, false);
                 maximal.sort_by(|a, b| a.cmp_card_lex(b));
                 certificate.sort_by(|a, b| a.cmp_card_lex(b));
-                return DualizeAdvanceRun {
+                return Outcome::Complete(DualizeAdvanceRun {
                     maximal,
                     negative_border: certificate,
                     iterations,
                     queries,
-                };
+                });
             }
             Some(x) => {
-                let (y, ext_q) =
-                    greedy_maximize_with_order(oracle, x.clone(), Some(&ext_order));
+                let (y, ext_q, tripped) = greedy_extend_ctl(oracle, x.clone(), &ext_order, ctl);
                 queries += ext_q;
+                if let Some(reason) = tripped {
+                    iterations.push(DualizeAdvanceIteration {
+                        transversals_tested: tested,
+                        counterexample: Some(x),
+                        maximal_found: None,
+                        extension_queries: ext_q,
+                    });
+                    ctl.observer.on_iteration(iterations.len(), tested, true);
+                    return Outcome::BudgetExceeded {
+                        partial: partial_run(maximal, certificate, iterations, queries),
+                        reason,
+                    };
+                }
                 debug_assert!(!maximal.contains(&y));
                 iterations.push(DualizeAdvanceIteration {
                     transversals_tested: tested,
@@ -245,6 +382,7 @@ pub fn dualize_advance_with_config<O: InterestOracle>(
                     maximal_found: Some(y.clone()),
                     extension_queries: ext_q,
                 });
+                ctl.observer.on_iteration(iterations.len(), tested, true);
                 maximal.push(y);
             }
         }
@@ -268,24 +406,46 @@ pub fn greedy_maximize<O: InterestOracle>(oracle: &mut O, x: AttrSet) -> (AttrSe
 /// maximality — the DESIGN.md §5 ablation knob.
 pub fn greedy_maximize_with_order<O: InterestOracle>(
     oracle: &mut O,
-    mut x: AttrSet,
+    x: AttrSet,
     order: Option<&[usize]>,
 ) -> (AttrSet, u64) {
     let n = oracle.universe_size();
     let default: Vec<usize> = (0..n).collect();
-    let order = order.unwrap_or(&default);
+    let meter = Meter::unlimited();
+    let (y, queries, _) = greedy_extend_ctl(
+        oracle,
+        x,
+        order.unwrap_or(&default),
+        &RunCtl::new(&meter, &NoopObserver),
+    );
+    (y, queries)
+}
+
+/// Budget-aware greedy extension: polls the meter before every query and
+/// bails with the trip reason; the returned set is then interesting but
+/// not verified maximal, so callers must not add it to the MTh prefix.
+fn greedy_extend_ctl<O: InterestOracle>(
+    oracle: &mut O,
+    mut x: AttrSet,
+    order: &[usize],
+    ctl: &RunCtl<'_>,
+) -> (AttrSet, u64, Option<BudgetReason>) {
     let mut queries = 0u64;
     for &v in order {
         if x.contains(v) {
             continue;
         }
+        if let Some(reason) = ctl.meter.exceeded() {
+            return (x, queries, Some(reason));
+        }
         x.insert(v);
         queries += 1;
+        ctl.meter.record_query();
         if !oracle.is_interesting(&x) {
             x.remove(v);
         }
     }
-    (x, queries)
+    (x, queries, None)
 }
 
 #[cfg(test)]
@@ -333,7 +493,11 @@ mod tests {
             let mut oracle = fig1_oracle();
             let run = dualize_advance(&mut oracle, algo);
             let u = Universe::letters(4);
-            assert_eq!(u.display_family(run.maximal.iter()), "{BD, ABC}", "{algo:?}");
+            assert_eq!(
+                u.display_family(run.maximal.iter()),
+                "{BD, ABC}",
+                "{algo:?}"
+            );
             assert_eq!(
                 u.display_family(run.negative_border.iter()),
                 "{AD, CD}",
@@ -401,7 +565,7 @@ mod tests {
         let u = Universe::letters(4);
         assert_eq!(y, u.parse("ABC").unwrap());
         assert_eq!(q, 4); // one query per attribute
-        // Reverse order reaches the other maximal set.
+                          // Reverse order reaches the other maximal set.
         let (y2, _) =
             greedy_maximize_with_order(&mut oracle, AttrSet::empty(4), Some(&[3, 2, 1, 0]));
         assert_eq!(y2, u.parse("BD").unwrap());
@@ -434,7 +598,9 @@ mod config_tests {
             let run = dualize_advance_with_config(
                 &mut oracle,
                 TrAlgorithm::Berge,
-                &DualizeAdvanceConfig { extension_order: order },
+                &DualizeAdvanceConfig {
+                    extension_order: order,
+                },
             );
             runs.push(run);
         }
@@ -483,50 +649,108 @@ pub fn dualize_advance_batch<O: InterestOracle>(
     oracle: &mut O,
     algo: TrAlgorithm,
 ) -> DualizeAdvanceRun {
+    let meter = Meter::unlimited();
+    dualize_advance_batch_ctl(oracle, algo, 1, &RunCtl::new(&meter, &NoopObserver))
+        .expect_complete()
+}
+
+/// [`dualize_advance_batch`] under a budget and an observer, with a thread
+/// budget for the transversal subroutine (`0` = available parallelism).
+///
+/// Metering follows [`dualize_advance_with_config_ctl`]; the partial
+/// result on a trip is again a genuine subset of `MTh` (sets are added
+/// only after their greedy extension completes un-interrupted).
+pub fn dualize_advance_batch_ctl<O: InterestOracle>(
+    oracle: &mut O,
+    algo: TrAlgorithm,
+    threads: usize,
+    ctl: &RunCtl<'_>,
+) -> Outcome<DualizeAdvanceRun> {
     let n = oracle.universe_size();
     let mut maximal: Vec<AttrSet> = Vec::new();
     let mut iterations: Vec<DualizeAdvanceIteration> = Vec::new();
     let mut queries = 0u64;
 
+    if let Some(reason) = ctl.meter.exceeded() {
+        return Outcome::BudgetExceeded {
+            partial: partial_run(maximal, Vec::new(), iterations, queries),
+            reason,
+        };
+    }
+
     queries += 1;
+    ctl.meter.record_query();
     if !oracle.is_interesting(&AttrSet::empty(n)) {
-        return DualizeAdvanceRun {
+        return Outcome::Complete(DualizeAdvanceRun {
             maximal,
             negative_border: vec![AttrSet::empty(n)],
             iterations,
             queries,
+        });
+    }
+    let order: Vec<usize> = (0..n).collect();
+    let (first, ext_q, tripped) = greedy_extend_ctl(oracle, AttrSet::empty(n), &order, ctl);
+    queries += ext_q;
+    if let Some(reason) = tripped {
+        return Outcome::BudgetExceeded {
+            partial: partial_run(maximal, Vec::new(), iterations, queries),
+            reason,
         };
     }
-    let (first, ext_q) = greedy_maximize(oracle, AttrSet::empty(n));
-    queries += ext_q;
     iterations.push(DualizeAdvanceIteration {
         transversals_tested: 0,
         counterexample: Some(AttrSet::empty(n)),
         maximal_found: Some(first.clone()),
         extension_queries: ext_q,
     });
+    ctl.observer.on_iteration(iterations.len(), 0, true);
     maximal.push(first);
 
     loop {
         let complements =
             Hypergraph::from_edges(n, maximal.iter().map(AttrSet::complement).collect())
                 .expect("complements stay in universe");
-        let tr = transversals_with(&complements, algo);
+        let tr = match transversals_with_ctl(&complements, algo, threads, ctl) {
+            Outcome::Complete(tr) => tr,
+            Outcome::BudgetExceeded { reason, .. } => {
+                iterations.push(DualizeAdvanceIteration {
+                    transversals_tested: 0,
+                    counterexample: None,
+                    maximal_found: None,
+                    extension_queries: 0,
+                });
+                ctl.observer.on_iteration(iterations.len(), 0, false);
+                return Outcome::BudgetExceeded {
+                    partial: partial_run(maximal, Vec::new(), iterations, queries),
+                    reason,
+                };
+            }
+        };
         let mut tested = 0usize;
         let mut ext_queries = 0u64;
         let mut found_any = false;
         let mut certificate: Vec<AttrSet> = Vec::new();
         let mut last_counterexample = None;
         let mut last_maximal = None;
+        let mut trip: Option<BudgetReason> = None;
         for t in tr.edges() {
+            if let Some(reason) = ctl.meter.exceeded() {
+                trip = Some(reason);
+                break;
+            }
             tested += 1;
             queries += 1;
+            ctl.meter.record_query();
             if oracle.is_interesting(t) {
                 found_any = true;
-                let (y, q) = greedy_maximize(oracle, t.clone());
+                let (y, q, tripped) = greedy_extend_ctl(oracle, t.clone(), &order, ctl);
                 queries += q;
                 ext_queries += q;
                 last_counterexample = Some(t.clone());
+                if let Some(reason) = tripped {
+                    trip = Some(reason);
+                    break;
+                }
                 if !maximal.contains(&y) {
                     last_maximal = Some(y.clone());
                     maximal.push(y);
@@ -541,15 +765,23 @@ pub fn dualize_advance_batch<O: InterestOracle>(
             maximal_found: last_maximal,
             extension_queries: ext_queries,
         });
+        ctl.observer
+            .on_iteration(iterations.len(), tested, found_any);
+        if let Some(reason) = trip {
+            return Outcome::BudgetExceeded {
+                partial: partial_run(maximal, certificate, iterations, queries),
+                reason,
+            };
+        }
         if !found_any {
             maximal.sort_by(|a, b| a.cmp_card_lex(b));
             certificate.sort_by(|a, b| a.cmp_card_lex(b));
-            return DualizeAdvanceRun {
+            return Outcome::Complete(DualizeAdvanceRun {
                 maximal,
                 negative_border: certificate,
                 iterations,
                 queries,
-            };
+            });
         }
     }
 }

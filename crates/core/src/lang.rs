@@ -125,7 +125,10 @@ mod tests {
         assert_eq!(rank(&AttrSet::full(4)), 4);
         assert_eq!(rank_of_family(&[]), 0);
         assert_eq!(
-            rank_of_family(&[AttrSet::from_indices(4, [0]), AttrSet::from_indices(4, [1, 2, 3])]),
+            rank_of_family(&[
+                AttrSet::from_indices(4, [0]),
+                AttrSet::from_indices(4, [1, 2, 3])
+            ]),
             3
         );
         assert_eq!(subset_lattice_width(7), 7);

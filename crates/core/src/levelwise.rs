@@ -22,6 +22,7 @@
 use std::collections::HashSet;
 
 use dualminer_bitset::AttrSet;
+use dualminer_obs::{Meter, NoopObserver, Outcome, RunCtl};
 
 use crate::oracle::{InterestOracle, SyncInterestOracle};
 
@@ -60,24 +61,74 @@ impl LevelwiseRun {
 /// level (lower-level members of the border were already candidates at
 /// their own level).
 pub fn levelwise<O: InterestOracle>(oracle: &mut O) -> LevelwiseRun {
+    let meter = Meter::unlimited();
+    levelwise_ctl(oracle, &RunCtl::new(&meter, &NoopObserver)).expect_complete()
+}
+
+/// Assembles a [`LevelwiseRun`] from the accumulated theory and negative
+/// border: derives `Bd⁺` from the theory alone (no database access) and
+/// card-lex-sorts `Bd⁻`. Also correct on a truncated (budget-tripped)
+/// theory prefix: the positive border is then the border *of the prefix*.
+fn finish_run(
+    theory: Vec<AttrSet>,
+    mut negative: Vec<AttrSet>,
+    candidates_per_level: Vec<usize>,
+    queries: u64,
+) -> LevelwiseRun {
+    let member_set: HashSet<&AttrSet> = theory.iter().collect();
+    let positive_border: Vec<AttrSet> = theory
+        .iter()
+        .filter(|t| dualminer_bitset::ImmediateSupersets::new(t).all(|s| !member_set.contains(&s)))
+        .cloned()
+        .collect();
+    negative.sort_by(|a, b| a.cmp_card_lex(b));
+    LevelwiseRun {
+        theory,
+        positive_border,
+        negative_border: negative,
+        candidates_per_level,
+        queries,
+    }
+}
+
+/// [`levelwise`] under a budget and an observer.
+///
+/// Each candidate evaluation records one oracle query; each completed
+/// level fires `on_level` with its candidate and interesting counts. The
+/// budget is polled before every evaluation, so a tripped limit stops
+/// the walk mid-level. The partial result is a *genuine prefix* of the
+/// levelwise enumeration: the theory and negative border restricted to
+/// the sentences evaluated so far, with `positive_border` derived from
+/// that prefix (a valid `Bd⁺` of the truncated theory, not of `Th`).
+pub fn levelwise_ctl<O: InterestOracle>(oracle: &mut O, ctl: &RunCtl<'_>) -> Outcome<LevelwiseRun> {
     let n = oracle.universe_size();
     let mut theory: Vec<AttrSet> = Vec::new();
     let mut negative: Vec<AttrSet> = Vec::new();
     let mut candidates_per_level: Vec<usize> = Vec::new();
     let mut queries = 0u64;
 
+    if let Some(reason) = ctl.meter.exceeded() {
+        return Outcome::BudgetExceeded {
+            partial: finish_run(theory, negative, candidates_per_level, queries),
+            reason,
+        };
+    }
+
     // Level 0: the single most general sentence, ∅.
     let empty = AttrSet::empty(n);
     candidates_per_level.push(1);
     queries += 1;
-    if !oracle.is_interesting(&empty) {
-        return LevelwiseRun {
+    ctl.meter.record_query();
+    let empty_interesting = oracle.is_interesting(&empty);
+    ctl.observer.on_level(0, 1, usize::from(empty_interesting));
+    if !empty_interesting {
+        return Outcome::Complete(LevelwiseRun {
             theory,
             positive_border: vec![],
             negative_border: vec![empty],
             candidates_per_level,
             queries,
-        };
+        });
     }
     theory.push(empty);
 
@@ -88,43 +139,39 @@ pub fn levelwise<O: InterestOracle>(oracle: &mut O) -> LevelwiseRun {
         card += 1;
         let members: HashSet<&[usize]> = level.iter().map(Vec::as_slice).collect();
         let cands = next_level_candidates(n, card, &level, &members);
-        queries += cands.len() as u64;
-        if !cands.is_empty() {
-            candidates_per_level.push(cands.len());
-        }
         let mut next: Vec<Vec<usize>> = Vec::new();
+        let mut tested = 0usize;
+        let mut interesting_count = 0usize;
         for cand in cands {
+            if let Some(reason) = ctl.meter.exceeded() {
+                if tested > 0 {
+                    candidates_per_level.push(tested);
+                }
+                return Outcome::BudgetExceeded {
+                    partial: finish_run(theory, negative, candidates_per_level, queries),
+                    reason,
+                };
+            }
+            tested += 1;
+            queries += 1;
+            ctl.meter.record_query();
             let cand_set = AttrSet::from_indices(n, cand.iter().copied());
             if oracle.is_interesting(&cand_set) {
+                interesting_count += 1;
                 theory.push(cand_set);
                 next.push(cand);
             } else {
                 negative.push(cand_set);
             }
         }
+        if tested > 0 {
+            candidates_per_level.push(tested);
+        }
+        ctl.observer.on_level(card, tested, interesting_count);
         level = next;
     }
 
-    // Positive border: theory members with no interesting immediate
-    // superset. (No database access — computable from Th alone.)
-    let member_set: HashSet<&AttrSet> = theory.iter().collect();
-    let positive_border: Vec<AttrSet> = theory
-        .iter()
-        .filter(|t| {
-            dualminer_bitset::ImmediateSupersets::new(t).all(|s| !member_set.contains(&s))
-        })
-        .cloned()
-        .collect();
-
-    negative.sort_by(|a, b| a.cmp_card_lex(b));
-
-    LevelwiseRun {
-        theory,
-        positive_border,
-        negative_border: negative,
-        candidates_per_level,
-        queries,
-    }
+    Outcome::Complete(finish_run(theory, negative, candidates_per_level, queries))
 }
 
 /// Generates level-`card` candidates from the previous level `level`,
@@ -178,24 +225,50 @@ fn next_level_candidates(
 /// per-level candidate counts, and the `queries` total — is bit-identical
 /// to [`levelwise`] on the same (pure) oracle for every thread count.
 pub fn levelwise_par<O: SyncInterestOracle>(oracle: &O, threads: usize) -> LevelwiseRun {
+    let meter = Meter::unlimited();
+    levelwise_par_ctl(oracle, threads, &RunCtl::new(&meter, &NoopObserver)).expect_complete()
+}
+
+/// [`levelwise_par`] under a budget and an observer.
+///
+/// Like [`levelwise_ctl`], but the per-candidate budget poll happens on
+/// the worker threads: a worker that observes the tripped budget skips
+/// its remaining candidates, and the merged verdict list is truncated at
+/// the first skipped candidate (in sequential order) so the partial
+/// theory is still a genuine prefix of the levelwise enumeration.
+pub fn levelwise_par_ctl<O: SyncInterestOracle>(
+    oracle: &O,
+    threads: usize,
+    ctl: &RunCtl<'_>,
+) -> Outcome<LevelwiseRun> {
     let n = oracle.universe_size();
     let mut theory: Vec<AttrSet> = Vec::new();
     let mut negative: Vec<AttrSet> = Vec::new();
     let mut candidates_per_level: Vec<usize> = Vec::new();
     let mut queries = 0u64;
 
+    if let Some(reason) = ctl.meter.exceeded() {
+        return Outcome::BudgetExceeded {
+            partial: finish_run(theory, negative, candidates_per_level, queries),
+            reason,
+        };
+    }
+
     // Level 0: the single most general sentence, ∅.
     let empty = AttrSet::empty(n);
     candidates_per_level.push(1);
     queries += 1;
-    if !oracle.is_interesting(&empty) {
-        return LevelwiseRun {
+    ctl.meter.record_query();
+    let empty_interesting = oracle.is_interesting(&empty);
+    ctl.observer.on_level(0, 1, usize::from(empty_interesting));
+    if !empty_interesting {
+        return Outcome::Complete(LevelwiseRun {
             theory,
             positive_border: vec![],
             negative_border: vec![empty],
             candidates_per_level,
             queries,
-        };
+        });
     }
     theory.push(empty);
 
@@ -207,54 +280,62 @@ pub fn levelwise_par<O: SyncInterestOracle>(oracle: &O, threads: usize) -> Level
         let cands = next_level_candidates(n, card, &level, &members);
 
         // Evaluate the whole batch in parallel; chunk-order concatenation
-        // reproduces the sequential evaluation order exactly.
-        let verdicts: Vec<(AttrSet, bool)> =
+        // reproduces the sequential evaluation order exactly. `None`
+        // marks a candidate skipped because the budget tripped.
+        let verdicts: Vec<Option<(AttrSet, bool)>> =
             dualminer_parallel::par_chunks(threads, 4, &cands, |chunk| {
                 chunk
                     .iter()
                     .map(|cand| {
+                        if ctl.meter.exceeded().is_some() {
+                            return None;
+                        }
+                        ctl.meter.record_query();
                         let set = AttrSet::from_indices(n, cand.iter().copied());
                         let interesting = oracle.is_interesting(&set);
-                        (set, interesting)
+                        Some((set, interesting))
                     })
                     .collect::<Vec<_>>()
             })
             .concat();
 
-        queries += cands.len() as u64;
-        if !cands.is_empty() {
-            candidates_per_level.push(cands.len());
-        }
         let mut next: Vec<Vec<usize>> = Vec::new();
-        for (cand, (set, interesting)) in cands.into_iter().zip(verdicts) {
+        let mut tested = 0usize;
+        let mut interesting_count = 0usize;
+        let mut tripped = false;
+        for (cand, verdict) in cands.into_iter().zip(verdicts) {
+            let Some((set, interesting)) = verdict else {
+                tripped = true;
+                break;
+            };
+            tested += 1;
+            queries += 1;
             if interesting {
+                interesting_count += 1;
                 theory.push(set);
                 next.push(cand);
             } else {
                 negative.push(set);
             }
         }
+        if tested > 0 {
+            candidates_per_level.push(tested);
+        }
+        ctl.observer.on_level(card, tested, interesting_count);
+        if tripped {
+            let reason = ctl
+                .meter
+                .exceeded()
+                .unwrap_or(dualminer_obs::BudgetReason::Cancelled);
+            return Outcome::BudgetExceeded {
+                partial: finish_run(theory, negative, candidates_per_level, queries),
+                reason,
+            };
+        }
         level = next;
     }
 
-    let member_set: HashSet<&AttrSet> = theory.iter().collect();
-    let positive_border: Vec<AttrSet> = theory
-        .iter()
-        .filter(|t| {
-            dualminer_bitset::ImmediateSupersets::new(t).all(|s| !member_set.contains(&s))
-        })
-        .cloned()
-        .collect();
-
-    negative.sort_by(|a, b| a.cmp_card_lex(b));
-
-    LevelwiseRun {
-        theory,
-        positive_border,
-        negative_border: negative,
-        candidates_per_level,
-        queries,
-    }
+    Outcome::Complete(finish_run(theory, negative, candidates_per_level, queries))
 }
 
 #[cfg(test)]
@@ -344,10 +425,7 @@ mod tests {
     #[test]
     fn parallel_is_bit_identical_to_sequential() {
         let u = Universe::letters(4);
-        let family = FamilyOracle::new(
-            4,
-            vec![u.parse("ABC").unwrap(), u.parse("BD").unwrap()],
-        );
+        let family = FamilyOracle::new(4, vec![u.parse("ABC").unwrap(), u.parse("BD").unwrap()]);
         let seq = levelwise(&mut family.clone());
         for threads in [0, 1, 2, 3, 8] {
             let par = levelwise_par(&family, threads);

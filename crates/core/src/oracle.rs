@@ -11,6 +11,7 @@
 use std::collections::HashMap;
 
 use dualminer_bitset::AttrSet;
+use dualminer_obs::Meter;
 
 /// An interestingness predicate `q(r, ·)` over a fixed attribute universe.
 ///
@@ -135,6 +136,60 @@ impl<O: InterestOracle> InterestOracle for CountingOracle<O> {
         let v = self.inner.is_interesting(x);
         self.cache.insert(x.clone(), v);
         v
+    }
+}
+
+/// Wraps an oracle so every `Is-interesting` call records one query on a
+/// shared [`Meter`].
+///
+/// This is the glue between oracle-level accounting and the budget layer
+/// for algorithms driven through the plain (non-`_ctl`) entry points, and
+/// for callers who want `max_queries` to bound *database evaluations*
+/// rather than algorithm-level events. The wrapper only records; the
+/// algorithm must still poll [`Meter::exceeded`] (the `_ctl` entry points
+/// do) for the budget to actually stop the run.
+#[derive(Debug)]
+pub struct MeteredOracle<'a, O> {
+    inner: O,
+    meter: &'a Meter,
+}
+
+impl<'a, O> MeteredOracle<'a, O> {
+    /// Wraps `inner`, recording each query on `meter`.
+    pub fn new(inner: O, meter: &'a Meter) -> Self {
+        MeteredOracle { inner, meter }
+    }
+
+    /// The wrapped oracle.
+    pub fn inner(&self) -> &O {
+        &self.inner
+    }
+
+    /// Consumes the wrapper, returning the wrapped oracle.
+    pub fn into_inner(self) -> O {
+        self.inner
+    }
+}
+
+impl<O: InterestOracle> InterestOracle for MeteredOracle<'_, O> {
+    fn universe_size(&self) -> usize {
+        self.inner.universe_size()
+    }
+
+    fn is_interesting(&mut self, x: &AttrSet) -> bool {
+        self.meter.record_query();
+        self.inner.is_interesting(x)
+    }
+}
+
+impl<O: SyncInterestOracle> SyncInterestOracle for MeteredOracle<'_, O> {
+    fn universe_size(&self) -> usize {
+        self.inner.universe_size()
+    }
+
+    fn is_interesting(&self, x: &AttrSet) -> bool {
+        self.meter.record_query();
+        self.inner.is_interesting(x)
     }
 }
 
@@ -302,6 +357,17 @@ mod tests {
     #[should_panic(expected = "member outside universe")]
     fn family_oracle_universe_checked() {
         FamilyOracle::new(4, vec![AttrSet::empty(5)]);
+    }
+
+    #[test]
+    fn metered_oracle_records_on_both_traits() {
+        let meter = Meter::unlimited();
+        let mut o = MeteredOracle::new(FamilyOracle::new(4, vec![s(&[0, 1])]), &meter);
+        assert!(InterestOracle::is_interesting(&mut o, &s(&[0])));
+        assert!(!SyncInterestOracle::is_interesting(&o, &s(&[2])));
+        assert_eq!(meter.queries(), 2);
+        assert_eq!(o.inner().maximal().len(), 1);
+        assert_eq!(o.into_inner().maximal().len(), 1);
     }
 
     #[test]

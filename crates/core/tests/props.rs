@@ -18,8 +18,11 @@ use proptest::prelude::*;
 const N: usize = 7;
 
 fn arb_family() -> impl Strategy<Value = Vec<AttrSet>> {
-    proptest::collection::vec(proptest::collection::vec(0..N, 0..N), 1..5)
-        .prop_map(|sets| sets.into_iter().map(|s| AttrSet::from_indices(N, s)).collect())
+    proptest::collection::vec(proptest::collection::vec(0..N, 0..N), 1..5).prop_map(|sets| {
+        sets.into_iter()
+            .map(|s| AttrSet::from_indices(N, s))
+            .collect()
+    })
 }
 
 /// Brute-force theory: every subset tested directly.

@@ -57,9 +57,7 @@ impl Episode {
     /// window).
     pub fn occurs_in(&self, window: &[Event]) -> bool {
         match self {
-            Episode::Parallel(kinds) => kinds
-                .iter()
-                .all(|k| window.iter().any(|e| e.kind == *k)),
+            Episode::Parallel(kinds) => kinds.iter().all(|k| window.iter().any(|e| e.kind == *k)),
             Episode::Serial(kinds) => {
                 // Greedy subsequence matching with strictly increasing
                 // times: after matching at time t, the next event must

@@ -75,7 +75,10 @@ pub fn mine_episodes(
     win: u64,
     min_fr: f64,
 ) -> EpisodeMining {
-    assert!((0.0..=1.0).contains(&min_fr) && min_fr > 0.0, "min_fr in (0,1]");
+    assert!(
+        (0.0..=1.0).contains(&min_fr) && min_fr > 0.0,
+        "min_fr in (0,1]"
+    );
     let m = seq.alphabet();
     let mut frequent: Vec<(Episode, f64)> = Vec::new();
     let mut negative: Vec<Episode> = Vec::new();
@@ -209,18 +212,7 @@ mod tests {
 
     /// A sequence where A is always followed by B within 2 ticks.
     fn ab_seq() -> EventSequence {
-        EventSequence::from_pairs(
-            3,
-            [
-                (0, 0),
-                (1, 1),
-                (4, 0),
-                (5, 1),
-                (8, 0),
-                (9, 1),
-                (12, 2),
-            ],
-        )
+        EventSequence::from_pairs(3, [(0, 0), (1, 1), (4, 0), (5, 1), (8, 0), (9, 1), (12, 2)])
     }
 
     #[test]
@@ -253,7 +245,7 @@ mod tests {
     }
 
     #[test]
-    fn frequencies_match_direct_count(){
+    fn frequencies_match_direct_count() {
         let seq = ab_seq();
         let run = mine_episodes(&seq, EpisodeClass::Serial, 3, 0.1);
         for (e, f) in &run.frequent {

@@ -181,11 +181,7 @@ pub struct MinepiMining {
 
 /// Levelwise mining under the MINEPI measure: serial episodes whose
 /// bounded-span minimal-occurrence count is ≥ `min_count`.
-pub fn mine_episodes_minepi(
-    seq: &EventSequence,
-    max_span: u64,
-    min_count: usize,
-) -> MinepiMining {
+pub fn mine_episodes_minepi(seq: &EventSequence, max_span: u64, min_count: usize) -> MinepiMining {
     assert!(min_count > 0, "min_count must be positive");
     let m = seq.alphabet();
     let mut frequent: Vec<(Episode, usize)> = Vec::new();
@@ -212,7 +208,9 @@ pub fn mine_episodes_minepi(
         let members: HashSet<&Episode> = level.iter().collect();
         let mut next = Vec::new();
         for base in &level {
-            let Episode::Serial(v) = base else { unreachable!() };
+            let Episode::Serial(v) = base else {
+                unreachable!()
+            };
             for t in 0..m {
                 let mut w = v.clone();
                 w.push(t);
@@ -318,12 +316,24 @@ mod tests {
                     .collect();
                 assert!(e.occurs_in(&window), "{e} not in {o:?}");
                 // …but not when either endpoint is trimmed off.
-                let trimmed_left: Vec<_> =
-                    window.iter().copied().filter(|ev| ev.time > o.start).collect();
-                let trimmed_right: Vec<_> =
-                    window.iter().copied().filter(|ev| ev.time < o.end).collect();
-                assert!(!e.occurs_in(&trimmed_left), "{e} still in left-trim of {o:?}");
-                assert!(!e.occurs_in(&trimmed_right), "{e} still in right-trim of {o:?}");
+                let trimmed_left: Vec<_> = window
+                    .iter()
+                    .copied()
+                    .filter(|ev| ev.time > o.start)
+                    .collect();
+                let trimmed_right: Vec<_> = window
+                    .iter()
+                    .copied()
+                    .filter(|ev| ev.time < o.end)
+                    .collect();
+                assert!(
+                    !e.occurs_in(&trimmed_left),
+                    "{e} still in left-trim of {o:?}"
+                );
+                assert!(
+                    !e.occurs_in(&trimmed_right),
+                    "{e} still in right-trim of {o:?}"
+                );
             }
         }
     }
@@ -336,7 +346,10 @@ mod tests {
         }
         let s = EventSequence::from_pairs(3, rng_seq);
         let run = mine_episodes_minepi(&s, 4, 5);
-        assert_eq!(run.queries, (run.frequent.len() + run.negative_border.len()) as u64);
+        assert_eq!(
+            run.queries,
+            (run.frequent.len() + run.negative_border.len()) as u64
+        );
         for (e, supp) in &run.frequent {
             assert_eq!(minepi_support(&s, e, 4), *supp, "{e}");
             assert!(*supp >= 5);
@@ -356,10 +369,8 @@ mod tests {
         // The levelwise prune assumes MINEPI support is anti-monotone
         // under the subepisode order; verify completeness by brute force
         // over all serial episodes of size ≤ 3.
-        let s = EventSequence::from_pairs(
-            2,
-            [(0, 0), (1, 1), (2, 0), (5, 1), (6, 0), (7, 1), (9, 0)],
-        );
+        let s =
+            EventSequence::from_pairs(2, [(0, 0), (1, 1), (2, 0), (5, 1), (6, 0), (7, 1), (9, 0)]);
         let (max_span, min_count) = (3u64, 2usize);
         let run = mine_episodes_minepi(&s, max_span, min_count);
         let mined: HashSet<&Episode> = run.frequent.iter().map(|(e, _)| e).collect();
@@ -374,7 +385,11 @@ mod tests {
                 }
             }
             all.extend(next.clone());
-            all = all.into_iter().collect::<HashSet<_>>().into_iter().collect();
+            all = all
+                .into_iter()
+                .collect::<HashSet<_>>()
+                .into_iter()
+                .collect();
         }
         for kinds in all {
             let e = Episode::serial(kinds);

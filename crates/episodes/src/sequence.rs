@@ -73,9 +73,7 @@ impl EventSequence {
     /// Empty for an empty sequence or `win = 0`.
     pub fn windows(&self, win: u64) -> Windows<'_> {
         let (lo, hi) = match (self.events.first(), self.events.last()) {
-            (Some(f), Some(l)) if win > 0 => {
-                (f.time.saturating_sub(win - 1) as i64, l.time as i64)
-            }
+            (Some(f), Some(l)) if win > 0 => (f.time.saturating_sub(win - 1) as i64, l.time as i64),
             _ => (0, -1),
         };
         Windows {

@@ -77,7 +77,9 @@ impl SetRepresentation for FdLhsRepresentation {
         );
         AttrSet::from_indices(
             self.n - 1,
-            sentence.iter().map(|a| self.to_reduced(a).expect("not target")),
+            sentence
+                .iter()
+                .map(|a| self.to_reduced(a).expect("not target")),
         )
     }
 
@@ -157,7 +159,10 @@ pub fn minimal_fd_lhs_via_agree_sets(
     // Transversals in the reduced universe, decoded back (Theorem 7's f⁻¹).
     let reduced_complements = Hypergraph::from_edges(
         rel.n_attrs() - 1,
-        maximal.iter().map(|m| repr.encode(m).complement()).collect(),
+        maximal
+            .iter()
+            .map(|m| repr.encode(m).complement())
+            .collect(),
     )
     .expect("reduced sets in reduced universe");
     let tr = transversals_with(&reduced_complements, algo);
@@ -202,10 +207,7 @@ mod tests {
     use dualminer_bitset::Universe;
 
     fn toy() -> Relation {
-        Relation::new(
-            3,
-            vec![vec![0, 0, 0], vec![0, 1, 1], vec![1, 1, 0]],
-        )
+        Relation::new(3, vec![vec![0, 0, 0], vec![0, 1, 1], vec![1, 1, 0]])
     }
 
     #[test]

@@ -77,11 +77,7 @@ pub struct IndDiscovery {
 }
 
 /// Discovers the maximal satisfied INDs with Dualize & Advance.
-pub fn maximal_inds_dualize_advance(
-    r: &Relation,
-    s: &Relation,
-    algo: TrAlgorithm,
-) -> IndDiscovery {
+pub fn maximal_inds_dualize_advance(r: &Relation, s: &Relation, algo: TrAlgorithm) -> IndDiscovery {
     let mut oracle = CountingOracle::new(InclusionOracle::new(r, s));
     let run = dualize_advance(&mut oracle, algo);
     IndDiscovery {
@@ -174,7 +170,10 @@ mod tests {
         let samples: Vec<AttrSet> = (0..8usize)
             .map(|b| AttrSet::from_indices(3, (0..3).filter(|i| b >> i & 1 == 1)))
             .collect();
-        assert_eq!(dualminer_core::oracle::check_monotone(&mut o, &samples), None);
+        assert_eq!(
+            dualminer_core::oracle::check_monotone(&mut o, &samples),
+            None
+        );
     }
 
     #[test]

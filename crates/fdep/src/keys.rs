@@ -104,10 +104,7 @@ mod tests {
     use dualminer_bitset::Universe;
 
     fn toy() -> Relation {
-        Relation::new(
-            3,
-            vec![vec![0, 0, 0], vec![0, 1, 1], vec![1, 1, 0]],
-        )
+        Relation::new(3, vec![vec![0, 0, 0], vec![0, 1, 1], vec![1, 1, 0]])
     }
 
     #[test]

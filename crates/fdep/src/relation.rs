@@ -169,10 +169,7 @@ mod tests {
 
     fn toy() -> Relation {
         // A B C
-        Relation::new(
-            3,
-            vec![vec![0, 0, 0], vec![0, 1, 1], vec![1, 1, 0]],
-        )
+        Relation::new(3, vec![vec![0, 0, 0], vec![0, 1, 1], vec![1, 1, 0]])
     }
 
     #[test]
@@ -233,14 +230,11 @@ mod tests {
 
     #[test]
     fn to_transactions_encoding() {
-        let r = Relation::new(
-            2,
-            vec![vec![0, 5], vec![0, 6], vec![1, 5]],
-        );
+        let r = Relation::new(2, vec![vec![0, 5], vec![0, 6], vec![1, 5]]);
         let (rows, items) = r.to_transactions();
         assert_eq!(rows.len(), 3);
         assert_eq!(items.len(), 4); // (0,0), (1,5), (0,1)... distinct pairs
-        // Every row has one item per attribute.
+                                    // Every row has one item per attribute.
         assert!(rows.iter().all(|row| row.len() == 2));
         // Rows 0 and 1 share the item for (attr 0, value 0).
         let shared = rows[0].intersection(&rows[1]);

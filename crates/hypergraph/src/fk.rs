@@ -26,7 +26,10 @@
 //! `(|F|+|G|)^{O(log²(|F|+|G|))}` — the quasi-polynomial bound the paper's
 //! Corollaries 22 and 29 quote as `t(n) = n^{o(log n)}`-class behaviour.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+
 use dualminer_bitset::AttrSet;
+use dualminer_obs::{BudgetReason, Meter, NoopObserver, Outcome, RunCtl};
 
 use crate::{minimize_family, Hypergraph};
 
@@ -66,24 +69,52 @@ pub const FK_PAR_CUTOFF: usize = 16;
 /// remains (`threads` ≥ 2 halves down the recursion; `0` = available
 /// parallelism) and the split is big enough ([`FK_PAR_CUTOFF`]).
 ///
-/// The returned *witness* is bit-identical to the sequential check: the
-/// first branch's witness is preferred, and when the first branch is dual
-/// the sequential check evaluates the second branch too. The returned
-/// [`FkStats`] differ in one documented way: both branches are evaluated
-/// *eagerly*, so on non-dual inputs whose witness lives in the first
-/// branch, `calls`/`max_depth` may exceed the sequential count (which
-/// short-circuits the second branch). On dual inputs the stats coincide.
+/// Both the *witness* and the [`FkStats`] are bit-identical to the
+/// sequential check for every input and thread count (DESIGN §6). The
+/// second branch of a fork runs speculatively; when the first branch
+/// yields a witness the sibling is cancelled cooperatively and its
+/// counters are discarded, reproducing the sequential short-circuit
+/// exactly — a cancelled subtree's statistics are only ever merged into
+/// totals that are themselves discarded.
 pub fn duality_witness_counted_par(
     f: &Hypergraph,
     g: &Hypergraph,
     threads: usize,
 ) -> (Option<AttrSet>, FkStats) {
+    let meter = Meter::unlimited();
+    duality_witness_counted_par_ctl(f, g, threads, &RunCtl::new(&meter, &NoopObserver))
+        .expect_complete()
+}
+
+/// [`duality_witness_counted_par`] under a budget and an observer.
+///
+/// Each recursive call records one oracle query on `ctl.meter` and one
+/// [`dualminer_obs::MiningObserver::on_fk_calls`] event; the budget is
+/// polled at every call entry, so a tripped deadline/query limit aborts
+/// the recursion cooperatively. On a trip the verdict is *undetermined*:
+/// the partial value carries `None` for the witness and the statistics
+/// accumulated so far, under [`Outcome::BudgetExceeded`] so it cannot be
+/// mistaken for a completed "dual" verdict. Observer `on_fk_calls`
+/// events count *all* work performed, including speculatively evaluated
+/// sibling branches; the returned [`FkStats`] remain
+/// sequential-equivalent.
+pub fn duality_witness_counted_par_ctl(
+    f: &Hypergraph,
+    g: &Hypergraph,
+    threads: usize,
+    ctl: &RunCtl<'_>,
+) -> Outcome<(Option<AttrSet>, FkStats)> {
     assert_eq!(
         f.universe_size(),
         g.universe_size(),
         "duality check requires a common universe"
     );
     let mut stats = FkStats::default();
+    let tripped = AtomicBool::new(false);
+    let ctx = Ctx {
+        ctl,
+        tripped: &tripped,
+    };
     let w = check(
         f.universe_size(),
         f.minimized().edges().to_vec(),
@@ -91,14 +122,23 @@ pub fn duality_witness_counted_par(
         1,
         dualminer_parallel::effective_threads(threads),
         &mut stats,
+        &ctx,
+        None,
     );
+    if tripped.load(Ordering::Relaxed) {
+        let reason = ctl.meter.exceeded().unwrap_or(BudgetReason::Cancelled);
+        return Outcome::BudgetExceeded {
+            partial: (w, stats),
+            reason,
+        };
+    }
     if let Some(ref w) = w {
         debug_assert!(
             eval(f.minimized().edges(), w) == eval(g.minimized().edges(), &w.complement()),
             "FK produced an invalid witness"
         );
     }
-    (w, stats)
+    Outcome::Complete((w, stats))
 }
 
 /// Convenience wrapper: `true` iff `g = Tr(f)`.
@@ -125,9 +165,41 @@ fn eval(edges: &[AttrSet], x: &AttrSet) -> bool {
     edges.iter().any(|e| e.is_subset(x))
 }
 
+/// Shared recursion context: the run control handle plus the sticky
+/// "budget tripped somewhere in the tree" flag.
+#[derive(Clone, Copy)]
+struct Ctx<'a> {
+    ctl: &'a RunCtl<'a>,
+    tripped: &'a AtomicBool,
+}
+
+/// Cooperative cancellation chain for speculative sibling branches. Each
+/// fork gives its second branch a fresh flag linked to the enclosing
+/// chain, so a subtree observes both its own sibling's win and any
+/// ancestor's: the flag of *every* enclosing fork whose first branch
+/// found a witness.
+struct SiblingCancel<'a> {
+    flag: &'a AtomicBool,
+    parent: Option<&'a SiblingCancel<'a>>,
+}
+
+impl SiblingCancel<'_> {
+    fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed) || self.parent.is_some_and(|p| p.is_cancelled())
+    }
+}
+
 /// Core recursion. `f` and `g` are minimal antichains over universe `n`;
 /// `threads` is the remaining fork budget (1 = fully sequential).
 /// Returns `None` iff the pair is dual.
+///
+/// Early exits (a cancelled speculative sibling, or a tripped budget)
+/// return `None` *before* counting the call, so the counters a caller
+/// keeps are exactly the sequential ones: a sibling is only cancelled
+/// when the first branch's witness makes the fork discard the sibling's
+/// counters anyway, and a budget trip downgrades the whole run to
+/// [`Outcome::BudgetExceeded`], which makes no determinism claim.
+#[allow(clippy::too_many_arguments)]
 fn check(
     n: usize,
     f: Vec<AttrSet>,
@@ -135,7 +207,19 @@ fn check(
     depth: u32,
     threads: usize,
     stats: &mut FkStats,
+    ctx: &Ctx<'_>,
+    cancel: Option<&SiblingCancel<'_>>,
 ) -> Option<AttrSet> {
+    if cancel.is_some_and(|c| c.is_cancelled()) {
+        // Speculative branch whose result the winning sibling discards.
+        return None;
+    }
+    if ctx.ctl.meter.exceeded().is_some() {
+        ctx.tripped.store(true, Ordering::Relaxed);
+        return None;
+    }
+    ctx.ctl.meter.record_query();
+    ctx.ctl.observer.on_fk_calls(1);
     stats.calls += 1;
     stats.max_depth = stats.max_depth.max(depth);
 
@@ -222,25 +306,44 @@ fn check(
 
     // dual(f, g) ⟺ dual(f₁, g₀) ∧ dual(f₀, g₁); witnesses lift by fixing v.
     if threads >= 2 && f.len() + g.len() >= FK_PAR_CUTOFF {
-        // Fork: evaluate both sub-problems eagerly on two threads, giving
-        // each half of the remaining budget; prefer the first branch's
-        // witness so the answer matches the sequential order.
+        // Fork: the first branch runs authoritatively on the current
+        // thread; the second runs speculatively on a worker. When the
+        // first branch yields a witness it raises `cancel_b`, the
+        // speculative sibling drains cooperatively, and its counters are
+        // discarded — exactly what the sequential short-circuit does.
+        // The first branch is never cancelled by the second (sequential
+        // evaluation always completes it), only by enclosing forks via
+        // the inherited `cancel` chain.
         let (ta, tb) = (threads - threads / 2, threads / 2);
+        let cancel_b = AtomicBool::new(false);
         let ((wa, sa), (wb, sb)) = dualminer_parallel::join(
             true,
-            move || {
+            || {
                 let mut s = FkStats::default();
-                let w = check(n, f1, g0, depth + 1, ta, &mut s);
+                let w = check(n, f1, g0, depth + 1, ta, &mut s, ctx, cancel);
+                if w.is_some() {
+                    cancel_b.store(true, Ordering::Relaxed);
+                }
                 (w, s)
             },
-            move || {
+            || {
+                let chain = SiblingCancel {
+                    flag: &cancel_b,
+                    parent: cancel,
+                };
                 let mut s = FkStats::default();
-                let w = check(n, f0, g1, depth + 1, tb, &mut s);
+                let w = check(n, f0, g1, depth + 1, tb, &mut s, ctx, Some(&chain));
                 (w, s)
             },
         );
-        stats.calls += sa.calls + sb.calls;
-        stats.max_depth = stats.max_depth.max(sa.max_depth).max(sb.max_depth);
+        // Sequential-equivalent counters: the sequential check evaluates
+        // the second branch only when the first found no witness.
+        stats.calls += sa.calls;
+        stats.max_depth = stats.max_depth.max(sa.max_depth);
+        if wa.is_none() {
+            stats.calls += sb.calls;
+            stats.max_depth = stats.max_depth.max(sb.max_depth);
+        }
         if let Some(mut w) = wa {
             w.insert(v);
             return Some(w);
@@ -251,11 +354,11 @@ fn check(
         }
         return None;
     }
-    if let Some(mut w) = check(n, f1, g0, depth + 1, threads, stats) {
+    if let Some(mut w) = check(n, f1, g0, depth + 1, threads, stats, ctx, cancel) {
         w.insert(v);
         return Some(w);
     }
-    if let Some(mut w) = check(n, f0, g1, depth + 1, threads, stats) {
+    if let Some(mut w) = check(n, f0, g1, depth + 1, threads, stats, ctx, cancel) {
         w.remove(v);
         return Some(w);
     }
@@ -326,11 +429,17 @@ fn conditional_expectation_witness(n: usize, f: &[AttrSet], g: &[AttrSet]) -> At
     }
     let mut fs: Vec<EdgeState> = f
         .iter()
-        .map(|e| EdgeState { alive: true, remaining: e.len() as u32 })
+        .map(|e| EdgeState {
+            alive: true,
+            remaining: e.len() as u32,
+        })
         .collect();
     let mut gs: Vec<EdgeState> = g
         .iter()
-        .map(|t| EdgeState { alive: true, remaining: t.len() as u32 })
+        .map(|t| EdgeState {
+            alive: true,
+            remaining: t.len() as u32,
+        })
         .collect();
 
     let mut relevant = AttrSet::empty(n);
@@ -527,21 +636,22 @@ mod tests {
             let hg = Hypergraph::from_index_edges(n, edges).minimized();
             let tr = berge::transversals(&hg);
             for threads in [0, 2, 4] {
-                // Dual pair: same verdict AND same stats (no branch is
-                // ever skipped on dual inputs).
+                // Dual pair: same verdict AND same stats.
                 let (w_seq, s_seq) = duality_witness_counted(&hg, &tr);
                 let (w_par, s_par) = duality_witness_counted_par(&hg, &tr, threads);
                 assert_eq!(w_seq, w_par, "{hg:?} threads={threads}");
                 assert_eq!(s_seq, s_par, "{hg:?} threads={threads}");
-                // Broken pair: identical witness (stats may legitimately
-                // differ — the parallel check is eager).
+                // Broken (non-dual) pair: identical witness AND identical
+                // stats — the speculative sibling's counters are dropped
+                // whenever the sequential check would have short-circuited
+                // it (DESIGN §6 determinism invariant).
                 if !tr.is_empty() {
                     let mut broken = tr.edges().to_vec();
                     broken.pop();
                     let gb = Hypergraph::from_edges(n, broken).unwrap();
                     assert_eq!(
-                        duality_witness(&hg, &gb),
-                        duality_witness_counted_par(&hg, &gb, threads).0,
+                        duality_witness_counted(&hg, &gb),
+                        duality_witness_counted_par(&hg, &gb, threads),
                         "{hg:?} vs {gb:?} threads={threads}"
                     );
                 }
@@ -563,10 +673,53 @@ mod tests {
         let mut broken = tr.edges().to_vec();
         broken.pop();
         let gb = Hypergraph::from_edges(2 * k, broken).unwrap();
-        assert_eq!(
-            duality_witness(&f, &gb),
-            duality_witness_counted_par(&f, &gb, 4).0
-        );
+        let seq = duality_witness_counted(&f, &gb);
+        for threads in [2, 4, 8] {
+            assert_eq!(
+                seq,
+                duality_witness_counted_par(&f, &gb, threads),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn budget_trips_and_reports_undetermined() {
+        use dualminer_obs::{Budget, BudgetReason, Outcome, RunCtl, StatsCollector};
+        // A matching instance big enough that the recursion needs far
+        // more than 2 calls.
+        let k = 6;
+        let f = Hypergraph::from_index_edges(2 * k, (0..k).map(|i| vec![2 * i, 2 * i + 1]));
+        let tr = berge::transversals(&f);
+        let budget = Budget {
+            max_queries: Some(2),
+            ..Budget::default()
+        };
+        let meter = budget.start();
+        let collector = StatsCollector::new();
+        let ctl = RunCtl::new(&meter, &collector);
+        match duality_witness_counted_par_ctl(&f, &tr, 1, &ctl) {
+            Outcome::BudgetExceeded { partial, reason } => {
+                assert_eq!(reason, BudgetReason::MaxQueries);
+                assert!(partial.1.calls <= 2, "stopped early: {:?}", partial.1);
+            }
+            Outcome::Complete(_) => panic!("2-query budget cannot complete this instance"),
+        }
+        assert!(meter.queries() >= 2);
+        assert!(collector.fk_calls() >= 1);
+    }
+
+    #[test]
+    fn unlimited_ctl_matches_plain_run() {
+        use dualminer_obs::{Meter, NoopObserver, RunCtl};
+        let f = h(6, &[&[0, 1], &[2, 3], &[4, 5]]);
+        let tr = berge::transversals(&f);
+        let meter = Meter::unlimited();
+        let ctl = RunCtl::new(&meter, &NoopObserver);
+        let out = duality_witness_counted_par_ctl(&f, &tr, 2, &ctl).expect_complete();
+        assert_eq!(out, duality_witness_counted(&f, &tr));
+        // Every recursive call is metered as one oracle query.
+        assert_eq!(meter.queries(), out.1.calls);
     }
 
     #[test]

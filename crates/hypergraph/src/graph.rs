@@ -22,7 +22,10 @@ impl fmt::Display for EdgeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             EdgeError::UniverseMismatch { expected, found } => {
-                write!(f, "edge universe {found} does not match hypergraph universe {expected}")
+                write!(
+                    f,
+                    "edge universe {found} does not match hypergraph universe {expected}"
+                )
             }
         }
     }
@@ -263,7 +266,13 @@ mod tests {
     fn universe_mismatch_rejected() {
         let e = AttrSet::empty(5);
         let err = Hypergraph::from_edges(4, vec![e]).unwrap_err();
-        assert_eq!(err, EdgeError::UniverseMismatch { expected: 4, found: 5 });
+        assert_eq!(
+            err,
+            EdgeError::UniverseMismatch {
+                expected: 4,
+                found: 5
+            }
+        );
     }
 
     #[test]

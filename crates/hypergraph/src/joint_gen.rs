@@ -10,6 +10,7 @@
 //! a pair of size `(|F|, i)` — quasi-polynomial incremental time.
 
 use dualminer_bitset::AttrSet;
+use dualminer_obs::{Meter, NoopObserver, Outcome, RunCtl};
 
 use crate::oracle::{is_transversal, minimize_transversal};
 use crate::{fk, Hypergraph};
@@ -29,10 +30,10 @@ pub fn transversals(h: &Hypergraph) -> Hypergraph {
 
 /// [`transversals`] with each duality check's recursion forked across up
 /// to `threads` scoped worker threads (`0` = available parallelism); see
-/// [`fk::duality_witness_counted_par`]. The emitted transversals are
-/// bit-identical to the sequential enumeration (witnesses are), though the
-/// per-step FK call counts may differ on the non-final checks because the
-/// parallel recursion is eager.
+/// [`fk::duality_witness_counted_par`]. Both the emitted transversals and
+/// the per-step FK call counts are bit-identical to the sequential
+/// enumeration (the parallel FK recursion reports sequential-equivalent
+/// counters, DESIGN §6).
 pub fn transversals_par(h: &Hypergraph, threads: usize) -> Hypergraph {
     transversals_traced_par(h, threads).0
 }
@@ -44,35 +45,73 @@ pub fn transversals_traced(h: &Hypergraph) -> (Hypergraph, JointGenTrace) {
 
 /// [`transversals_traced`] with a thread budget per duality check.
 pub fn transversals_traced_par(h: &Hypergraph, threads: usize) -> (Hypergraph, JointGenTrace) {
+    let meter = Meter::unlimited();
+    transversals_traced_par_ctl(h, threads, &RunCtl::new(&meter, &NoopObserver)).expect_complete()
+}
+
+/// [`transversals_traced_par`] under a budget and an observer.
+///
+/// The budget is shared with the inner Fredman–Khachiyan checks (each FK
+/// recursive call is one metered query), and each emitted minimal
+/// transversal records one transversal event, so both `max_queries` and
+/// `max_transversals` bound the enumeration. Joint generation is
+/// incremental, so the partial result on a trip is a *genuine prefix of
+/// the `Tr(H)` enumeration* — every member is a true minimal transversal
+/// of `H`.
+pub fn transversals_traced_par_ctl(
+    h: &Hypergraph,
+    threads: usize,
+    ctl: &RunCtl<'_>,
+) -> Outcome<(Hypergraph, JointGenTrace)> {
     let n = h.universe_size();
     let hm = h.minimized();
     let mut trace = JointGenTrace::default();
 
     // Constant corner cases mirror `berge::transversals`.
     if hm.is_empty() {
-        return (
+        return Outcome::Complete((
             Hypergraph::from_edges(n, vec![AttrSet::empty(n)]).expect("in universe"),
             trace,
-        );
+        ));
     }
     if hm.edges().iter().any(|e| e.is_empty()) {
-        return (Hypergraph::empty(n), trace);
+        return Outcome::Complete((Hypergraph::empty(n), trace));
     }
 
     let mut g = Hypergraph::empty(n);
     loop {
-        let (witness, stats) = fk::duality_witness_counted_par(&hm, &g, threads);
+        if let Some(reason) = ctl.meter.exceeded() {
+            return Outcome::BudgetExceeded {
+                partial: (g, trace),
+                reason,
+            };
+        }
+        let (witness, stats) = match fk::duality_witness_counted_par_ctl(&hm, &g, threads, ctl) {
+            Outcome::Complete(out) => out,
+            Outcome::BudgetExceeded {
+                partial: (_, stats),
+                reason,
+            } => {
+                trace.fk_calls_per_step.push(stats.calls);
+                return Outcome::BudgetExceeded {
+                    partial: (g, trace),
+                    reason,
+                };
+            }
+        };
         trace.fk_calls_per_step.push(stats.calls);
         let Some(w) = witness else {
-            return (g, trace);
+            return Outcome::Complete((g, trace));
         };
         // Invariant: G ⊆ Tr(F) and pairwise intersecting, so the witness
         // always has f(w) = 0 = g(w̄): w̄ is a transversal not containing
         // any already-found minimal transversal.
         let t = w.complement();
         debug_assert!(is_transversal(&hm, &t));
-        let t_min = minimize_transversal(&hm, &t)
-            .expect("FK witness complement must be a transversal");
+        let t_min =
+            minimize_transversal(&hm, &t).expect("FK witness complement must be a transversal");
+        ctl.meter.record_transversal();
+        ctl.observer.on_transversals(1);
         let added = g.add_edge(t_min);
         assert!(added, "joint generation produced a duplicate transversal");
     }
@@ -135,7 +174,11 @@ mod tests {
             let hg = Hypergraph::from_index_edges(n, edges);
             let seq = transversals(&hg);
             for threads in [0, 2, 3, 8] {
-                assert_eq!(transversals_par(&hg, threads), seq, "{hg:?} threads={threads}");
+                assert_eq!(
+                    transversals_par(&hg, threads),
+                    seq,
+                    "{hg:?} threads={threads}"
+                );
             }
         }
     }

@@ -24,6 +24,7 @@
 use std::collections::HashSet;
 
 use dualminer_bitset::AttrSet;
+use dualminer_obs::{Meter, NoopObserver, Outcome, RunCtl};
 
 use crate::oracle::is_transversal;
 use crate::Hypergraph;
@@ -44,12 +45,29 @@ pub fn transversals_large_edges(h: &Hypergraph) -> Hypergraph {
 
 /// [`transversals_large_edges`] plus per-level statistics.
 pub fn transversals_large_edges_traced(h: &Hypergraph) -> (Hypergraph, LevelwiseTrStats) {
+    let meter = Meter::unlimited();
+    transversals_large_edges_traced_ctl(h, &RunCtl::new(&meter, &NoopObserver)).expect_complete()
+}
+
+/// [`transversals_large_edges_traced`] under a budget and an observer.
+///
+/// Each candidate "is transversal?" test records one oracle query; each
+/// discovered minimal transversal records one transversal event; each
+/// completed level fires `on_level` with its candidate/transversal
+/// counts. The budget is polled once per level and once per candidate,
+/// so runaway instances (small edges force deep levels) stop promptly.
+/// The partial result is a genuine subset of `Tr(H)`: the minimal
+/// transversals found on fully or partially explored levels.
+pub fn transversals_large_edges_traced_ctl(
+    h: &Hypergraph,
+    ctl: &RunCtl<'_>,
+) -> Outcome<(Hypergraph, LevelwiseTrStats)> {
     let n = h.universe_size();
     let hm = h.minimized();
     let mut stats = LevelwiseTrStats::default();
 
     if hm.edges().iter().any(|e| e.is_empty()) {
-        return (Hypergraph::empty(n), stats);
+        return Outcome::Complete((Hypergraph::empty(n), stats));
     }
 
     let mut minimal_transversals: Vec<AttrSet> = Vec::new();
@@ -58,11 +76,15 @@ pub fn transversals_large_edges_traced(h: &Hypergraph) -> (Hypergraph, Levelwise
     // hypergraph, in which case Tr(H) = {∅}.
     stats.candidates_per_level.push(1);
     stats.evaluations += 1;
+    ctl.meter.record_query();
+    ctl.observer.on_nodes(1);
     if is_transversal(&hm, &AttrSet::empty(n)) {
-        return (
+        ctl.meter.record_transversal();
+        ctl.observer.on_transversals(1);
+        return Outcome::Complete((
             Hypergraph::from_edges(n, vec![AttrSet::empty(n)]).expect("in universe"),
             stats,
-        );
+        ));
     }
 
     // `level`: the non-transversals of the current cardinality, as sorted
@@ -80,9 +102,21 @@ pub fn transversals_large_edges_traced(h: &Hypergraph) -> (Hypergraph, Levelwise
         let member: HashSet<&[usize]> = level.iter().map(Vec::as_slice).collect();
         let mut next: Vec<Vec<usize>> = Vec::new();
         let mut tested = 0usize;
+        let mut found_this_level = 0usize;
         for x in &level {
             let lo = x.last().map_or(0, |&m| m + 1);
             'ext: for a in lo..n {
+                if let Some(reason) = ctl.meter.exceeded() {
+                    stats.candidates_per_level.push(tested);
+                    stats.evaluations += tested;
+                    return Outcome::BudgetExceeded {
+                        partial: (
+                            Hypergraph::from_edges(n, minimal_transversals).expect("in universe"),
+                            stats,
+                        ),
+                        reason,
+                    };
+                }
                 let mut cand = x.clone();
                 cand.push(a);
                 // Prune: every immediate subset must be a non-transversal.
@@ -90,19 +124,26 @@ pub fn transversals_large_edges_traced(h: &Hypergraph) -> (Hypergraph, Levelwise
                     let mut sub = Vec::with_capacity(card - 1);
                     for drop in 0..cand.len() - 1 {
                         sub.clear();
-                        sub.extend(cand.iter().enumerate().filter_map(|(i, &v)| {
-                            (i != drop).then_some(v)
-                        }));
+                        sub.extend(
+                            cand.iter()
+                                .enumerate()
+                                .filter_map(|(i, &v)| (i != drop).then_some(v)),
+                        );
                         if !member.contains(sub.as_slice()) {
                             continue 'ext;
                         }
                     }
                 }
                 tested += 1;
+                ctl.meter.record_query();
+                ctl.observer.on_nodes(1);
                 let cand_set = AttrSet::from_indices(n, cand.iter().copied());
                 if is_transversal(&hm, &cand_set) {
                     // All proper subsets are non-transversals ⇒ minimal.
                     minimal_transversals.push(cand_set);
+                    found_this_level += 1;
+                    ctl.meter.record_transversal();
+                    ctl.observer.on_transversals(1);
                 } else {
                     next.push(cand);
                 }
@@ -110,13 +151,14 @@ pub fn transversals_large_edges_traced(h: &Hypergraph) -> (Hypergraph, Levelwise
         }
         stats.candidates_per_level.push(tested);
         stats.evaluations += tested;
+        ctl.observer.on_level(card, tested, found_this_level);
         level = next;
     }
 
-    (
+    Outcome::Complete((
         Hypergraph::from_edges(n, minimal_transversals).expect("in universe"),
         stats,
-    )
+    ))
 }
 
 #[cfg(test)]

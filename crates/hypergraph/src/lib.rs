@@ -103,10 +103,40 @@ pub fn transversals_with(h: &Hypergraph, algo: TrAlgorithm) -> Hypergraph {
 /// scoped worker threads. Every strategy stays bit-identical to its
 /// sequential counterpart for every thread count.
 pub fn transversals_with_threads(h: &Hypergraph, algo: TrAlgorithm, threads: usize) -> Hypergraph {
+    let meter = dualminer_obs::Meter::unlimited();
+    transversals_with_ctl(
+        h,
+        algo,
+        threads,
+        &dualminer_obs::RunCtl::new(&meter, &dualminer_obs::NoopObserver),
+    )
+    .expect_complete()
+}
+
+/// [`transversals_with_threads`] under a budget and an observer: the
+/// strategy-generic budgeted entry point.
+///
+/// Every engine records candidate/node evaluations as oracle queries and
+/// emitted minimal transversals as transversal events on `ctl.meter`, so
+/// `max_queries`, `max_transversals`, and the deadline all bound the run
+/// regardless of the chosen strategy. What the partial result means on a
+/// trip differs per engine (see each engine's `_ctl` documentation):
+/// a genuine subset of `Tr(H)` for MMCS / joint generation / levelwise,
+/// or `Tr` of the processed edge prefix for Berge.
+pub fn transversals_with_ctl(
+    h: &Hypergraph,
+    algo: TrAlgorithm,
+    threads: usize,
+    ctl: &dualminer_obs::RunCtl<'_>,
+) -> dualminer_obs::Outcome<Hypergraph> {
     match algo {
-        TrAlgorithm::Berge => berge::transversals_par(h, threads),
-        TrAlgorithm::FkJointGeneration => joint_gen::transversals_par(h, threads),
-        TrAlgorithm::Mmcs => mmcs::transversals_par(h, threads),
+        TrAlgorithm::Berge => {
+            berge::transversals_with_order_par_ctl(h, berge::EdgeOrder::LargestFirst, threads, ctl)
+        }
+        TrAlgorithm::FkJointGeneration => {
+            joint_gen::transversals_traced_par_ctl(h, threads, ctl).map(|(tr, _)| tr)
+        }
+        TrAlgorithm::Mmcs => mmcs::transversals_par_ctl(h, threads, ctl),
         TrAlgorithm::LevelwiseLargeEdges => {
             let n = h.universe_size();
             let max_complement = h.edges().iter().map(|e| n - e.len()).max().unwrap_or(0);
@@ -114,9 +144,14 @@ pub fn transversals_with_threads(h: &Hypergraph, algo: TrAlgorithm, threads: usi
             // the safer general-purpose choice.
             let log2n = usize::BITS as usize - n.max(1).leading_zeros() as usize;
             if max_complement <= log2n + 2 {
-                levelwise_tr::transversals_large_edges(h)
+                levelwise_tr::transversals_large_edges_traced_ctl(h, ctl).map(|(tr, _)| tr)
             } else {
-                berge::transversals_par(h, threads)
+                berge::transversals_with_order_par_ctl(
+                    h,
+                    berge::EdgeOrder::LargestFirst,
+                    threads,
+                    ctl,
+                )
             }
         }
     }

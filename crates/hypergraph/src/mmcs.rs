@@ -15,7 +15,10 @@
 //! still has a critical edge. Each minimal transversal is output exactly
 //! once.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+
 use dualminer_bitset::AttrSet;
+use dualminer_obs::{BudgetReason, Meter, NoopObserver, Outcome, RunCtl};
 
 use crate::Hypergraph;
 
@@ -36,18 +39,39 @@ pub fn transversals(h: &Hypergraph) -> Hypergraph {
 /// [`Hypergraph::from_edges`], so the result is bit-identical to the
 /// sequential engine for every thread count.
 pub fn transversals_par(h: &Hypergraph, threads: usize) -> Hypergraph {
+    let meter = Meter::unlimited();
+    transversals_par_ctl(h, threads, &RunCtl::new(&meter, &NoopObserver)).expect_complete()
+}
+
+/// [`transversals_par`] under a budget and an observer.
+///
+/// Every DFS node records one oracle query (candidate evaluation) on
+/// `ctl.meter` and one `on_nodes` event; every emitted minimal
+/// transversal records one transversal. The budget is polled at each
+/// node, so a tripped limit stops the search cooperatively. The partial
+/// result is a *genuine subset of `Tr(H)`* — every emitted set is a
+/// bona-fide minimal transversal (in DFS-prefix order when sequential).
+pub fn transversals_par_ctl(
+    h: &Hypergraph,
+    threads: usize,
+    ctl: &RunCtl<'_>,
+) -> Outcome<Hypergraph> {
     let n = h.universe_size();
     let hm = h.minimized();
     if hm.is_empty() {
-        return Hypergraph::from_edges(n, vec![AttrSet::empty(n)]).expect("in universe");
+        return Outcome::Complete(
+            Hypergraph::from_edges(n, vec![AttrSet::empty(n)]).expect("in universe"),
+        );
     }
     if hm.edges().iter().any(|e| e.is_empty()) {
-        return Hypergraph::empty(n);
+        return Outcome::Complete(Hypergraph::empty(n));
     }
 
     let state = Search {
         edges: hm.edges().to_vec(),
         n,
+        ctl: *ctl,
+        tripped: AtomicBool::new(false),
     };
     let root = Node {
         s: AttrSet::empty(n),
@@ -61,7 +85,7 @@ pub fn transversals_par(h: &Hypergraph, threads: usize) -> Hypergraph {
     if threads <= 1 {
         let mut out: Vec<AttrSet> = Vec::new();
         state.run_from(root, &mut out);
-        return Hypergraph::from_edges(n, out).expect("in universe");
+        return state.outcome(Hypergraph::from_edges(n, out).expect("in universe"));
     }
 
     // Expand the leftmost expandable frontier node until the frontier can
@@ -82,10 +106,7 @@ pub fn transversals_par(h: &Hypergraph, threads: usize) -> Hypergraph {
             break;
         }
         budget -= 1;
-        let Some(pos) = frontier
-            .iter()
-            .position(|t| matches!(t, Task::Explore(_)))
-        else {
+        let Some(pos) = frontier.iter().position(|t| matches!(t, Task::Explore(_))) else {
             break;
         };
         let Task::Explore(node) = frontier.remove(pos) else {
@@ -95,19 +116,20 @@ pub fn transversals_par(h: &Hypergraph, threads: usize) -> Hypergraph {
         frontier.splice(pos..pos, children);
     }
 
-    let out: Vec<AttrSet> = dualminer_parallel::par_map(threads, &frontier, |_, task| {
-        match task {
-            Task::Emit(t) => vec![t.clone()],
-            Task::Explore(node) => {
-                let mut local: Vec<AttrSet> = Vec::new();
-                state.run_from(node.clone(), &mut local);
-                local
-            }
+    let out: Vec<AttrSet> = dualminer_parallel::par_map(threads, &frontier, |_, task| match task {
+        Task::Emit(t) => {
+            state.emit();
+            vec![t.clone()]
+        }
+        Task::Explore(node) => {
+            let mut local: Vec<AttrSet> = Vec::new();
+            state.run_from(node.clone(), &mut local);
+            local
         }
     })
     .concat();
 
-    Hypergraph::from_edges(n, out).expect("in universe")
+    state.outcome(Hypergraph::from_edges(n, out).expect("in universe"))
 }
 
 /// One independent unit of MMCS work: either a finished minimal transversal
@@ -129,12 +151,44 @@ struct Node {
     crit: Vec<Vec<usize>>,
 }
 
-struct Search {
+struct Search<'a> {
     edges: Vec<AttrSet>,
     n: usize,
+    ctl: RunCtl<'a>,
+    tripped: AtomicBool,
 }
 
-impl Search {
+impl Search<'_> {
+    /// Accounts one DFS node (query + observer event); `false` when the
+    /// budget has tripped and the search should unwind.
+    fn enter_node(&self) -> bool {
+        if self.ctl.meter.exceeded().is_some() {
+            self.tripped.store(true, Ordering::Relaxed);
+            return false;
+        }
+        self.ctl.meter.record_query();
+        self.ctl.observer.on_nodes(1);
+        true
+    }
+
+    /// Accounts one emitted minimal transversal.
+    fn emit(&self) {
+        self.ctl.meter.record_transversal();
+        self.ctl.observer.on_transversals(1);
+    }
+
+    /// Wraps the assembled result according to whether the budget tripped.
+    fn outcome(&self, h: Hypergraph) -> Outcome<Hypergraph> {
+        if self.tripped.load(Ordering::Relaxed) {
+            Outcome::BudgetExceeded {
+                partial: h,
+                reason: self.ctl.meter.exceeded().unwrap_or(BudgetReason::Cancelled),
+            }
+        } else {
+            Outcome::Complete(h)
+        }
+    }
+
     fn relevant_vertices(&self) -> AttrSet {
         let mut v = AttrSet::empty(self.n);
         for e in &self.edges {
@@ -159,6 +213,9 @@ impl Search {
     /// instead of recursing, so the children can run on different threads.
     /// Child order equals the recursion's visit order.
     fn expand(&self, node: Node) -> Vec<Task> {
+        if !self.enter_node() {
+            return Vec::new();
+        }
         let Node {
             s,
             mut cand,
@@ -224,11 +281,15 @@ impl Search {
         crit: &mut Vec<Vec<usize>>,
         out: &mut Vec<AttrSet>,
     ) {
+        if !self.enter_node() {
+            return;
+        }
         let Some(&pick) = uncov
             .iter()
             .min_by_key(|&&ei| self.edges[ei].intersection_len(&cand))
         else {
             out.push(s.clone());
+            self.emit();
             return;
         };
         let branch = self.edges[pick].intersection(&cand);
@@ -350,7 +411,11 @@ mod tests {
             let h = Hypergraph::from_index_edges(n, edges);
             let seq = transversals(&h);
             for threads in [0, 2, 3, 8] {
-                assert_eq!(transversals_par(&h, threads), seq, "{h:?} threads={threads}");
+                assert_eq!(
+                    transversals_par(&h, threads),
+                    seq,
+                    "{h:?} threads={threads}"
+                );
             }
         }
     }

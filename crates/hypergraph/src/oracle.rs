@@ -84,7 +84,11 @@ pub fn is_minimal_transversal(h: &Hypergraph, t: &AttrSet) -> bool {
 /// non-redundancy; completeness requires a duality check, see
 /// [`crate::fk::duality_witness`].
 pub fn all_minimal_transversals(h: &Hypergraph, candidate: &Hypergraph) -> bool {
-    candidate.is_simple() && candidate.edges().iter().all(|t| is_minimal_transversal(h, t))
+    candidate.is_simple()
+        && candidate
+            .edges()
+            .iter()
+            .all(|t| is_minimal_transversal(h, t))
 }
 
 #[cfg(test)]
@@ -132,7 +136,10 @@ mod tests {
     #[test]
     fn minimize_rejects_non_transversal() {
         let h = triangle();
-        assert_eq!(minimize_transversal(&h, &AttrSet::from_indices(3, [0])), None);
+        assert_eq!(
+            minimize_transversal(&h, &AttrSet::from_indices(3, [0])),
+            None
+        );
     }
 
     #[test]
@@ -151,7 +158,10 @@ mod tests {
     #[test]
     fn minimality_needs_private_edges() {
         let h = triangle();
-        assert!(is_minimal_transversal(&h, &AttrSet::from_indices(3, [0, 1])));
+        assert!(is_minimal_transversal(
+            &h,
+            &AttrSet::from_indices(3, [0, 1])
+        ));
         assert!(!is_minimal_transversal(&h, &AttrSet::full(3)));
         assert!(!is_minimal_transversal(&h, &AttrSet::from_indices(3, [0])));
     }

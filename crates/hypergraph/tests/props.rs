@@ -52,6 +52,27 @@ proptest! {
     }
 
     #[test]
+    fn parallel_fk_stats_sequential_equivalent_on_non_dual(h in arb_hypergraph()) {
+        // DESIGN §6 determinism invariant: on non-dual inputs the parallel
+        // FK check must report the same witness AND the same call counters
+        // as the sequential short-circuiting check, for every thread count.
+        let hm = h.minimized();
+        let tr = berge::transversals(&hm);
+        if tr.len() >= 2 {
+            let mut edges = tr.edges().to_vec();
+            edges.pop();
+            let broken = Hypergraph::from_edges(N, edges).unwrap();
+            let (w_seq, s_seq) = fk::duality_witness_counted(&hm, &broken);
+            prop_assert!(w_seq.is_some(), "strict sub-family of Tr cannot be dual");
+            for threads in [1usize, 2, 4, 8] {
+                let (w_par, s_par) = fk::duality_witness_counted_par(&hm, &broken, threads);
+                prop_assert_eq!(w_seq.clone(), w_par, "witness, threads={}", threads);
+                prop_assert_eq!(s_seq, s_par, "stats, threads={}", threads);
+            }
+        }
+    }
+
+    #[test]
     fn outputs_are_minimal_transversals(h in arb_hypergraph()) {
         let tr = berge::transversals(&h);
         prop_assert!(tr.is_simple() || tr.is_empty() || tr.edges() == [AttrSet::empty(N)]);

@@ -204,7 +204,10 @@ mod tests {
     fn eq_oracle_counterexamples_are_genuine() {
         let target = MonotoneDnf::new(
             4,
-            vec![AttrSet::from_indices(4, [0, 1]), AttrSet::from_indices(4, [2])],
+            vec![
+                AttrSet::from_indices(4, [0, 1]),
+                AttrSet::from_indices(4, [2]),
+            ],
         );
         let mut eq = FuncEq::new(target.clone());
         let wrong = MonotoneDnf::new(4, vec![AttrSet::from_indices(4, [0, 1])]);

@@ -98,7 +98,13 @@ impl MonotoneDnf {
         }
         self.terms
             .iter()
-            .map(|t| if t.is_empty() { "⊤".into() } else { u.display(t) })
+            .map(|t| {
+                if t.is_empty() {
+                    "⊤".into()
+                } else {
+                    u.display(t)
+                }
+            })
             .collect::<Vec<_>>()
             .join(" ∨ ")
     }

@@ -48,12 +48,7 @@ pub fn threshold_dnf(n: usize, k: usize) -> MonotoneDnf {
 
 /// A CNF with clauses of size exactly `n − k` (the Corollary 26 regime:
 /// all clauses large). The clauses are `m` random co-`k`-sets.
-pub fn long_clause_cnf<R: Rng + ?Sized>(
-    n: usize,
-    k: usize,
-    m: usize,
-    rng: &mut R,
-) -> MonotoneCnf {
+pub fn long_clause_cnf<R: Rng + ?Sized>(n: usize, k: usize, m: usize, rng: &mut R) -> MonotoneCnf {
     assert!(k >= 1 && k < n, "need 1 ≤ k < n");
     let mut vars: Vec<usize> = (0..n).collect();
     let mut clauses = Vec::with_capacity(m);

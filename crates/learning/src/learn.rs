@@ -38,10 +38,7 @@ impl LearnedFunction {
 /// with [`TrAlgorithm::FkJointGeneration`] the running time is
 /// sub-exponential in `|DNF| + |CNF|` (the paper's `t(m) = m^{o(log m)}`
 /// class).
-pub fn learn_monotone_dualize<M: MembershipOracle>(
-    mq: M,
-    algo: TrAlgorithm,
-) -> LearnedFunction {
+pub fn learn_monotone_dualize<M: MembershipOracle>(mq: M, algo: TrAlgorithm) -> LearnedFunction {
     let n = mq.n_vars();
     let mut oracle = CountingOracle::new(MqAsInterest(CountingMq::new(mq)));
     let run = dualize_advance(&mut oracle, algo);
@@ -68,7 +65,10 @@ pub fn learn_monotone_levelwise<M: MembershipOracle>(mq: M) -> LearnedFunction {
     let run = levelwise(&mut oracle);
     let cnf = MonotoneCnf::new(
         n,
-        run.positive_border.iter().map(AttrSet::complement).collect(),
+        run.positive_border
+            .iter()
+            .map(AttrSet::complement)
+            .collect(),
     );
     let dnf = MonotoneDnf::new(n, run.negative_border);
     LearnedFunction {
@@ -191,8 +191,7 @@ mod tests {
                 })
                 .collect();
             let target = MonotoneDnf::new(n, terms);
-            let learned =
-                learn_monotone_dualize(FuncMq::new(target.clone()), TrAlgorithm::Berge);
+            let learned = learn_monotone_dualize(FuncMq::new(target.clone()), TrAlgorithm::Berge);
             assert_eq!(learned.dnf, target);
             assert_eq!(learned.cnf, target.to_cnf());
         }

@@ -181,7 +181,7 @@ mod tests {
         let mut f = InterestAsMq(q);
         assert!(!f.query(&s(&[0, 1])));
         assert!(f.query(&s(&[0, 3]))); // AD is not under any maximal set
-        // And back: MqAsInterest(InterestAsMq(q)) ≡ q.
+                                       // And back: MqAsInterest(InterestAsMq(q)) ≡ q.
         let mut q2 = MqAsInterest(f);
         assert!(q2.is_interesting(&s(&[0, 1])));
         assert!(!q2.is_interesting(&s(&[0, 3])));

@@ -15,13 +15,15 @@ use proptest::prelude::*;
 const N: usize = 6;
 
 fn arb_dnf() -> impl Strategy<Value = MonotoneDnf> {
-    proptest::collection::vec(proptest::collection::vec(0..N, 0..N), 0..5)
-        .prop_map(|terms| {
-            MonotoneDnf::new(
-                N,
-                terms.into_iter().map(|t| AttrSet::from_indices(N, t)).collect(),
-            )
-        })
+    proptest::collection::vec(proptest::collection::vec(0..N, 0..N), 0..5).prop_map(|terms| {
+        MonotoneDnf::new(
+            N,
+            terms
+                .into_iter()
+                .map(|t| AttrSet::from_indices(N, t))
+                .collect(),
+        )
+    })
 }
 
 proptest! {

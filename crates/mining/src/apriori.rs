@@ -19,6 +19,7 @@
 use std::collections::{HashMap, HashSet};
 
 use dualminer_bitset::AttrSet;
+use dualminer_obs::{Meter, NoopObserver, Outcome, RunCtl};
 
 use crate::TransactionDb;
 
@@ -139,17 +140,83 @@ fn next_level_units(
 /// therefore [`FrequentSets::queries`] — is bit-identical to the
 /// sequential miner for every thread count.
 pub fn apriori_par(db: &TransactionDb, min_support: usize, threads: usize) -> FrequentSets {
+    let meter = Meter::unlimited();
+    apriori_par_ctl(
+        db,
+        min_support,
+        threads,
+        &RunCtl::new(&meter, &NoopObserver),
+    )
+    .expect_complete()
+}
+
+/// Derives the maximal family, sorts the negative border, and assembles the
+/// result — shared by complete and budget-exceeded exits so partial results
+/// carry the maximal sets *of the mined prefix*.
+fn finish_sets(
+    db: &TransactionDb,
+    min_support: usize,
+    itemsets: Vec<(AttrSet, usize)>,
+    mut negative: Vec<AttrSet>,
+    candidates_per_level: Vec<usize>,
+) -> FrequentSets {
+    let member_set: HashSet<&AttrSet> = itemsets.iter().map(|(s, _)| s).collect();
+    let maximal: Vec<AttrSet> = itemsets
+        .iter()
+        .map(|(s, _)| s)
+        .filter(|s| dualminer_bitset::ImmediateSupersets::new(s).all(|t| !member_set.contains(&t)))
+        .cloned()
+        .collect();
+    negative.sort_by(|a, b| a.cmp_card_lex(b));
+
+    FrequentSets {
+        n_items: db.n_items(),
+        min_support,
+        n_rows: db.n_rows(),
+        itemsets,
+        maximal,
+        negative_border: negative,
+        candidates_per_level,
+    }
+}
+
+/// [`apriori_par`] under a budget and an observer.
+///
+/// Each candidate support count records one metered query (matching
+/// [`FrequentSets::queries`] on a complete run), and each completed level
+/// fires `on_level` with its candidate/frequent counts. Workers poll the
+/// budget per candidate; on a trip the merged verdicts are truncated at
+/// the first skipped candidate, so the partial [`FrequentSets`] holds a
+/// *genuine prefix* of the sequential enumeration — every reported
+/// itemset is truly frequent with its exact support, and `maximal` is the
+/// maximal family of that prefix.
+pub fn apriori_par_ctl(
+    db: &TransactionDb,
+    min_support: usize,
+    threads: usize,
+    ctl: &RunCtl<'_>,
+) -> Outcome<FrequentSets> {
     assert!(min_support > 0, "min_support must be positive");
     let n = db.n_items();
     let mut itemsets: Vec<(AttrSet, usize)> = Vec::new();
     let mut negative: Vec<AttrSet> = Vec::new();
     let mut candidates_per_level: Vec<usize> = Vec::new();
 
+    if let Some(reason) = ctl.meter.exceeded() {
+        return Outcome::BudgetExceeded {
+            partial: finish_sets(db, min_support, itemsets, negative, candidates_per_level),
+            reason,
+        };
+    }
+
     // Level 0: ∅ with support |r|.
     candidates_per_level.push(1);
+    ctl.meter.record_query();
     let empty_support = db.n_rows();
-    if empty_support < min_support {
-        return FrequentSets {
+    let empty_frequent = empty_support >= min_support;
+    ctl.observer.on_level(0, 1, usize::from(empty_frequent));
+    if !empty_frequent {
+        return Outcome::Complete(FrequentSets {
             n_items: n,
             min_support,
             n_rows: db.n_rows(),
@@ -157,7 +224,7 @@ pub fn apriori_par(db: &TransactionDb, min_support: usize, threads: usize) -> Fr
             maximal: vec![],
             negative_border: vec![AttrSet::empty(n)],
             candidates_per_level,
-        };
+        });
     }
     itemsets.push((AttrSet::empty(n), empty_support));
 
@@ -172,60 +239,74 @@ pub fn apriori_par(db: &TransactionDb, min_support: usize, threads: usize) -> Fr
 
         // Count supports for the whole candidate batch in parallel. Each
         // worker keeps one scratch tidset and clones it only for frequent
-        // candidates (the ones the next level keeps).
+        // candidates (the ones the next level keeps). `None` marks a
+        // candidate skipped because the budget tripped.
         let level_ref = &level;
-        let counted: Vec<(AttrSet, usize, Option<AttrSet>)> =
+        let counted: Vec<Option<(AttrSet, usize, Option<AttrSet>)>> =
             dualminer_parallel::par_chunks(threads, 4, &units, |chunk| {
                 let mut scratch = AttrSet::empty(db.n_rows());
                 chunk
                     .iter()
                     .map(|(p, cand)| {
+                        if ctl.meter.exceeded().is_some() {
+                            return None;
+                        }
+                        ctl.meter.record_query();
                         let parent_tids = &level_ref[*p].1;
                         let item = *cand.last().expect("candidates are nonempty");
                         parent_tids.intersection_into(&db.columns()[item], &mut scratch);
                         let support = scratch.len();
                         let cand_set = AttrSet::from_indices(n, cand.iter().copied());
                         let tids = (support >= min_support).then(|| scratch.clone());
-                        (cand_set, support, tids)
+                        Some((cand_set, support, tids))
                     })
                     .collect::<Vec<_>>()
             })
             .concat();
 
-        if !units.is_empty() {
-            candidates_per_level.push(units.len());
-        }
         let mut next: Vec<(Vec<usize>, AttrSet)> = Vec::new();
-        for ((_, cand), (cand_set, support, tids)) in units.into_iter().zip(counted) {
+        let mut tested = 0usize;
+        let mut frequent_count = 0usize;
+        let mut tripped = false;
+        for ((_, cand), verdict) in units.into_iter().zip(counted) {
+            let Some((cand_set, support, tids)) = verdict else {
+                tripped = true;
+                break;
+            };
+            tested += 1;
             match tids {
                 Some(cand_tids) => {
+                    frequent_count += 1;
                     itemsets.push((cand_set, support));
                     next.push((cand, cand_tids));
                 }
                 None => negative.push(cand_set),
             }
         }
+        if tested > 0 {
+            candidates_per_level.push(tested);
+        }
+        ctl.observer.on_level(card, tested, frequent_count);
+        if tripped {
+            let reason = ctl
+                .meter
+                .exceeded()
+                .unwrap_or(dualminer_obs::BudgetReason::Cancelled);
+            return Outcome::BudgetExceeded {
+                partial: finish_sets(db, min_support, itemsets, negative, candidates_per_level),
+                reason,
+            };
+        }
         level = next;
     }
 
-    let member_set: HashSet<&AttrSet> = itemsets.iter().map(|(s, _)| s).collect();
-    let maximal: Vec<AttrSet> = itemsets
-        .iter()
-        .map(|(s, _)| s)
-        .filter(|s| dualminer_bitset::ImmediateSupersets::new(s).all(|t| !member_set.contains(&t)))
-        .cloned()
-        .collect();
-    negative.sort_by(|a, b| a.cmp_card_lex(b));
-
-    FrequentSets {
-        n_items: n,
+    Outcome::Complete(finish_sets(
+        db,
         min_support,
-        n_rows: db.n_rows(),
         itemsets,
-        maximal,
-        negative_border: negative,
+        negative,
         candidates_per_level,
-    }
+    ))
 }
 
 #[cfg(test)]
@@ -236,10 +317,7 @@ mod tests {
     use dualminer_core::levelwise::levelwise;
 
     fn fig1_db() -> TransactionDb {
-        TransactionDb::from_index_rows(
-            4,
-            [vec![0, 1, 2], vec![0, 1, 2, 3], vec![1, 3]],
-        )
+        TransactionDb::from_index_rows(4, [vec![0, 1, 2], vec![0, 1, 2, 3], vec![1, 3]])
     }
 
     #[test]
@@ -298,7 +376,10 @@ mod tests {
             assert_eq!(theory, run.theory, "σ={sigma}");
             assert_eq!(fs.maximal, run.positive_border, "σ={sigma}");
             assert_eq!(fs.negative_border, run.negative_border, "σ={sigma}");
-            assert_eq!(fs.candidates_per_level, run.candidates_per_level, "σ={sigma}");
+            assert_eq!(
+                fs.candidates_per_level, run.candidates_per_level,
+                "σ={sigma}"
+            );
             assert_eq!(fs.queries(), run.queries, "σ={sigma}");
         }
     }

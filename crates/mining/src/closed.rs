@@ -76,10 +76,7 @@ mod tests {
     use crate::apriori::apriori;
 
     fn fig1_db() -> TransactionDb {
-        TransactionDb::from_index_rows(
-            4,
-            [vec![0, 1, 2], vec![0, 1, 2, 3], vec![1, 3]],
-        )
+        TransactionDb::from_index_rows(4, [vec![0, 1, 2], vec![0, 1, 2, 3], vec![1, 3]])
     }
 
     #[test]
@@ -93,7 +90,9 @@ mod tests {
             .map(|c| (format!("{:?}", c.set), c.support))
             .collect();
         assert_eq!(closed.len(), 4, "{sets:?}");
-        assert!(closed.iter().any(|c| c.set == AttrSet::from_indices(4, [1]) && c.support == 3));
+        assert!(closed
+            .iter()
+            .any(|c| c.set == AttrSet::from_indices(4, [1]) && c.support == 3));
         assert!(closed
             .iter()
             .any(|c| c.set == AttrSet::from_indices(4, [0, 1, 2]) && c.support == 2));
@@ -129,11 +128,7 @@ mod tests {
         let fs = apriori(&db, 1);
         let closed = closed_sets(&fs);
         for (set, support) in &fs.itemsets {
-            assert_eq!(
-                support_from_closed(&closed, set),
-                Some(*support),
-                "{set:?}"
-            );
+            assert_eq!(support_from_closed(&closed, set), Some(*support), "{set:?}");
         }
         // An infrequent set has no closed superset.
         assert_eq!(

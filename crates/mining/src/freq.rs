@@ -1,7 +1,8 @@
 //! The frequency predicate as an `Is-interesting` oracle.
 
 use dualminer_bitset::AttrSet;
-use dualminer_core::oracle::{InterestOracle, SyncInterestOracle};
+use dualminer_core::oracle::{InterestOracle, MeteredOracle, SyncInterestOracle};
+use dualminer_obs::Meter;
 
 use crate::TransactionDb;
 
@@ -43,6 +44,14 @@ impl<'a> FrequencyOracle<'a> {
     pub fn db(&self) -> &TransactionDb {
         self.db
     }
+
+    /// Wraps this oracle so every support evaluation records one query on
+    /// `meter` — the budget layer then sees *database evaluations*, which
+    /// is what the paper's theorems count. Works through both oracle
+    /// traits; see [`MeteredOracle`].
+    pub fn metered<'m>(self, meter: &'m Meter) -> MeteredOracle<'m, Self> {
+        MeteredOracle::new(self, meter)
+    }
 }
 
 impl InterestOracle for FrequencyOracle<'_> {
@@ -74,10 +83,7 @@ mod tests {
     use dualminer_core::oracle::check_monotone;
 
     fn fig1_db() -> TransactionDb {
-        TransactionDb::from_index_rows(
-            4,
-            [vec![0, 1, 2], vec![0, 1, 2, 3], vec![1, 3]],
-        )
+        TransactionDb::from_index_rows(4, [vec![0, 1, 2], vec![0, 1, 2, 3], vec![1, 3]])
     }
 
     #[test]
@@ -106,6 +112,15 @@ mod tests {
             .map(|b| AttrSet::from_indices(4, (0..4).filter(|i| b >> i & 1 == 1)))
             .collect();
         assert_eq!(check_monotone(&mut o, &samples), None);
+    }
+
+    #[test]
+    fn metered_records_database_evaluations() {
+        let db = fig1_db();
+        let meter = Meter::unlimited();
+        let mut o = FrequencyOracle::new(&db, 2).metered(&meter);
+        let run = dualminer_core::levelwise::levelwise(&mut o);
+        assert_eq!(meter.queries(), run.queries);
     }
 
     #[test]

@@ -109,9 +109,7 @@ pub fn quest<R: Rng + ?Sized>(params: &QuestParams, rng: &mut R) -> TransactionD
         })
         .collect();
     // Geometric-ish popularity: earlier patterns picked more often.
-    let weights: Vec<f64> = (0..patterns.len())
-        .map(|i| 0.8f64.powi(i as i32))
-        .collect();
+    let weights: Vec<f64> = (0..patterns.len()).map(|i| 0.8f64.powi(i as i32)).collect();
     let total_weight: f64 = weights.iter().sum();
 
     let rows = (0..params.n_transactions)
@@ -216,8 +214,7 @@ mod tests {
         let db = quest(&params, &mut rng);
         assert_eq!(db.n_rows(), 200);
         assert_eq!(db.n_items(), 30);
-        let avg: f64 =
-            db.rows().iter().map(|r| r.len() as f64).sum::<f64>() / db.n_rows() as f64;
+        let avg: f64 = db.rows().iter().map(|r| r.len() as f64).sum::<f64>() / db.n_rows() as f64;
         assert!(avg > 2.0 && avg < 25.0, "suspicious avg basket size {avg}");
     }
 

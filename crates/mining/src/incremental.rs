@@ -20,6 +20,7 @@
 use std::collections::{HashMap, HashSet};
 
 use dualminer_bitset::AttrSet;
+use dualminer_obs::{Meter, NoopObserver, Outcome, RunCtl};
 
 use crate::apriori::FrequentSets;
 use crate::TransactionDb;
@@ -49,70 +50,22 @@ pub fn append_rows(
     db: &TransactionDb,
     old: &FrequentSets,
     new_rows: Vec<AttrSet>,
-    ) -> IncrementalUpdate {
-    let n = db.n_items();
-    assert_eq!(old.n_items(), n, "mined collection from a different schema");
-    let sigma = old.min_support();
-    let delta = TransactionDb::new(n, new_rows);
-    let mut all_rows = db.rows().to_vec();
-    all_rows.extend(delta.rows().iter().cloned());
-    let merged = TransactionDb::new(n, all_rows);
+) -> IncrementalUpdate {
+    let meter = Meter::unlimited();
+    append_rows_ctl(db, old, new_rows, &RunCtl::new(&meter, &NoopObserver)).expect_complete()
+}
 
-    let mut merged_evaluations = 0usize;
-
-    // 1. Old theory: supports only grow; add the delta support. These
-    // passes touch only the appended rows.
-    let mut supports: HashMap<AttrSet, usize> = old
-        .itemsets
-        .iter()
-        .map(|(s, supp)| (s.clone(), supp + delta.support(s)))
-        .collect();
-    let delta_evaluations = old.itemsets.len();
-
-    // 2 + 3. Promote border sets that crossed the threshold, resuming the
-    // levelwise walk above them.
-    let mut frontier: Vec<AttrSet> = Vec::new();
-    for b in &old.negative_border {
-        merged_evaluations += 1;
-        let supp = merged.support(b);
-        if supp >= sigma {
-            supports.insert(b.clone(), supp);
-            frontier.push(b.clone());
-        }
-    }
-    let mut negative: HashSet<AttrSet> = old
-        .negative_border
-        .iter()
-        .filter(|b| !supports.contains_key(*b))
-        .cloned()
-        .collect();
-
-    // Resume: extend newly frequent sets; a candidate is evaluated when
-    // all its immediate subsets are (now) frequent.
-    while let Some(x) = frontier.pop() {
-        for cand in dualminer_bitset::ImmediateSupersets::new(&x) {
-            if supports.contains_key(&cand) || negative.contains(&cand) {
-                continue;
-            }
-            let all_subs_frequent = dualminer_bitset::ImmediateSubsets::new(&cand)
-                .all(|s| supports.contains_key(&s));
-            if !all_subs_frequent {
-                continue;
-            }
-            merged_evaluations += 1;
-            let supp = merged.support(&cand);
-            if supp >= sigma {
-                supports.insert(cand.clone(), supp);
-                frontier.push(cand);
-            } else {
-                negative.insert(cand);
-            }
-        }
-    }
-
-    // Assemble a FrequentSets equal to a fresh mining run. The easy,
-    // obviously-correct route is to sort what we have; borders recompute
-    // locally from membership.
+/// Sorts and re-derives borders from a support map — the assembly step
+/// shared by complete and budget-exceeded exits.
+fn assemble(
+    merged: TransactionDb,
+    sigma: usize,
+    supports: HashMap<AttrSet, usize>,
+    negative: HashSet<AttrSet>,
+    delta_evaluations: usize,
+    merged_evaluations: usize,
+) -> IncrementalUpdate {
+    let n = merged.n_items();
     let mut itemsets: Vec<(AttrSet, usize)> = supports.into_iter().collect();
     itemsets.sort_by(|(a, _), (b, _)| a.cmp_card_lex(b));
     let members: HashSet<&AttrSet> = itemsets.iter().map(|(s, _)| s).collect();
@@ -126,15 +79,21 @@ pub fn append_rows(
     negative.sort_by(|a, b| a.cmp_card_lex(b));
 
     // Candidate-per-level bookkeeping is not meaningful for an
-    // incremental run; recompute level sizes from the theory itself.
-    let mut candidates_per_level = vec![0usize; 0];
-    let max_level = itemsets.iter().map(|(s, _)| s.len()).max().unwrap_or(0);
+    // incremental run; recompute level sizes from the evaluated family.
+    // The top level is often border-only (the border sits one level above
+    // the longest frequent set), so the maximum must range over both
+    // collections.
+    let max_level = itemsets
+        .iter()
+        .map(|(s, _)| s.len())
+        .chain(negative.iter().map(AttrSet::len))
+        .max()
+        .unwrap_or(0);
+    let mut candidates_per_level = Vec::with_capacity(max_level + 1);
     for level in 0..=max_level {
         let count = itemsets.iter().filter(|(s, _)| s.len() == level).count()
             + negative.iter().filter(|s| s.len() == level).count();
-        if count > 0 {
-            candidates_per_level.push(count);
-        }
+        candidates_per_level.push(count);
     }
 
     let frequent = FrequentSets {
@@ -152,6 +111,138 @@ pub fn append_rows(
         delta_evaluations,
         merged_evaluations,
     }
+}
+
+/// [`append_rows`] under a budget and an observer.
+///
+/// Every support evaluation (delta refresh, border re-check, resumed
+/// walk) records one metered query; the three stages fire phase events.
+/// On a trip the partial update still contains only sets whose merged
+/// support was actually verified ≥ σ, but it may miss part of the theory
+/// growth — unlike a complete run it is *not* guaranteed to equal a
+/// from-scratch mining of the merged database.
+pub fn append_rows_ctl(
+    db: &TransactionDb,
+    old: &FrequentSets,
+    new_rows: Vec<AttrSet>,
+    ctl: &RunCtl<'_>,
+) -> Outcome<IncrementalUpdate> {
+    let n = db.n_items();
+    assert_eq!(old.n_items(), n, "mined collection from a different schema");
+    let sigma = old.min_support();
+    let delta = TransactionDb::new(n, new_rows);
+    let mut all_rows = db.rows().to_vec();
+    all_rows.extend(delta.rows().iter().cloned());
+    let merged = TransactionDb::new(n, all_rows);
+
+    let mut merged_evaluations = 0usize;
+    let mut delta_evaluations = 0usize;
+
+    // 1. Old theory: supports only grow; add the delta support. These
+    // passes touch only the appended rows.
+    ctl.observer.on_phase_start("incremental-delta-refresh");
+    let mut supports: HashMap<AttrSet, usize> = HashMap::with_capacity(old.itemsets.len());
+    for (s, supp) in &old.itemsets {
+        if let Some(reason) = ctl.meter.exceeded() {
+            ctl.observer.on_phase_end("incremental-delta-refresh");
+            return Outcome::BudgetExceeded {
+                partial: assemble(
+                    merged,
+                    sigma,
+                    supports,
+                    HashSet::new(),
+                    delta_evaluations,
+                    merged_evaluations,
+                ),
+                reason,
+            };
+        }
+        delta_evaluations += 1;
+        ctl.meter.record_query();
+        supports.insert(s.clone(), supp + delta.support(s));
+    }
+    ctl.observer.on_phase_end("incremental-delta-refresh");
+
+    // 2 + 3. Promote border sets that crossed the threshold, resuming the
+    // levelwise walk above them.
+    ctl.observer.on_phase_start("incremental-border-recheck");
+    let mut frontier: Vec<AttrSet> = Vec::new();
+    let mut negative: HashSet<AttrSet> = HashSet::new();
+    for b in &old.negative_border {
+        if let Some(reason) = ctl.meter.exceeded() {
+            ctl.observer.on_phase_end("incremental-border-recheck");
+            return Outcome::BudgetExceeded {
+                partial: assemble(
+                    merged,
+                    sigma,
+                    supports,
+                    negative,
+                    delta_evaluations,
+                    merged_evaluations,
+                ),
+                reason,
+            };
+        }
+        merged_evaluations += 1;
+        ctl.meter.record_query();
+        let supp = merged.support(b);
+        if supp >= sigma {
+            supports.insert(b.clone(), supp);
+            frontier.push(b.clone());
+        } else {
+            negative.insert(b.clone());
+        }
+    }
+    ctl.observer.on_phase_end("incremental-border-recheck");
+
+    // Resume: extend newly frequent sets; a candidate is evaluated when
+    // all its immediate subsets are (now) frequent.
+    ctl.observer.on_phase_start("incremental-resume");
+    while let Some(x) = frontier.pop() {
+        for cand in dualminer_bitset::ImmediateSupersets::new(&x) {
+            if supports.contains_key(&cand) || negative.contains(&cand) {
+                continue;
+            }
+            let all_subs_frequent =
+                dualminer_bitset::ImmediateSubsets::new(&cand).all(|s| supports.contains_key(&s));
+            if !all_subs_frequent {
+                continue;
+            }
+            if let Some(reason) = ctl.meter.exceeded() {
+                ctl.observer.on_phase_end("incremental-resume");
+                return Outcome::BudgetExceeded {
+                    partial: assemble(
+                        merged,
+                        sigma,
+                        supports,
+                        negative,
+                        delta_evaluations,
+                        merged_evaluations,
+                    ),
+                    reason,
+                };
+            }
+            merged_evaluations += 1;
+            ctl.meter.record_query();
+            let supp = merged.support(&cand);
+            if supp >= sigma {
+                supports.insert(cand.clone(), supp);
+                frontier.push(cand);
+            } else {
+                negative.insert(cand);
+            }
+        }
+    }
+    ctl.observer.on_phase_end("incremental-resume");
+
+    Outcome::Complete(assemble(
+        merged,
+        sigma,
+        supports,
+        negative,
+        delta_evaluations,
+        merged_evaluations,
+    ))
 }
 
 #[cfg(test)]
@@ -187,6 +278,13 @@ mod tests {
         assert_eq!(update.frequent.itemsets, fresh.itemsets);
         assert_eq!(update.frequent.maximal, fresh.maximal);
         assert_eq!(update.frequent.negative_border, fresh.negative_border);
+        // The reconstructed per-level counts must include the top,
+        // border-only level, making the Theorem 10 query count agree too.
+        assert_eq!(
+            update.frequent.candidates_per_level,
+            fresh.candidates_per_level
+        );
+        assert_eq!(update.frequent.queries(), fresh.queries());
     }
 
     #[test]
@@ -224,16 +322,11 @@ mod tests {
     fn growth_through_border_is_found() {
         // Base: AB frequent, ABC on the border; delta pushes ABC (and
         // ABCD) over the threshold.
-        let base = TransactionDb::from_index_rows(
-            4,
-            [vec![0, 1], vec![0, 1], vec![0, 1, 2]],
-        );
+        let base = TransactionDb::from_index_rows(4, [vec![0, 1], vec![0, 1], vec![0, 1, 2]]);
         let old = apriori(&base, 2);
         // C and D are infrequent singletons — the whole upper lattice is
         // hidden behind them on the border.
-        assert!(old
-            .negative_border
-            .contains(&AttrSet::from_indices(4, [2])));
+        assert!(old.negative_border.contains(&AttrSet::from_indices(4, [2])));
         let delta = vec![
             AttrSet::from_indices(4, [0, 1, 2, 3]),
             AttrSet::from_indices(4, [0, 1, 2, 3]),

@@ -148,10 +148,7 @@ mod tests {
     use rand::{rngs::StdRng, SeedableRng};
 
     fn fig1_db() -> TransactionDb {
-        TransactionDb::from_index_rows(
-            4,
-            [vec![0, 1, 2], vec![0, 1, 2, 3], vec![1, 3]],
-        )
+        TransactionDb::from_index_rows(4, [vec![0, 1, 2], vec![0, 1, 2, 3], vec![1, 3]])
     }
 
     #[test]

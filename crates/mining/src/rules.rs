@@ -108,10 +108,7 @@ mod tests {
     use crate::TransactionDb;
 
     fn fig1_mined() -> FrequentSets {
-        let db = TransactionDb::from_index_rows(
-            4,
-            [vec![0, 1, 2], vec![0, 1, 2, 3], vec![1, 3]],
-        );
+        let db = TransactionDb::from_index_rows(4, [vec![0, 1, 2], vec![0, 1, 2, 3], vec![1, 3]]);
         apriori(&db, 2)
     }
 
@@ -148,11 +145,7 @@ mod tests {
     fn rule_count_matches_enumeration() {
         // Every (frequent Z, A ∈ Z) pair yields exactly one candidate rule.
         let fs = fig1_mined();
-        let expected: usize = fs
-            .itemsets
-            .iter()
-            .map(|(z, _)| z.len())
-            .sum();
+        let expected: usize = fs.itemsets.iter().map(|(z, _)| z.len()).sum();
         assert_eq!(association_rules(&fs, 0.0).len(), expected);
     }
 
@@ -170,7 +163,9 @@ mod tests {
         let fs = fig1_mined();
         let u = Universe::letters(4);
         let rules = association_rules(&fs, 1.0);
-        assert!(rules.iter().any(|r| r.display(&u) == "A ⇒ B (supp 2, conf 1.00)"));
+        assert!(rules
+            .iter()
+            .any(|r| r.display(&u) == "A ⇒ B (supp 2, conf 1.00)"));
     }
 
     #[test]

@@ -21,9 +21,10 @@
 use std::collections::HashSet;
 
 use dualminer_bitset::AttrSet;
+use dualminer_obs::{Meter, NoopObserver, Outcome, RunCtl};
 use rand::Rng;
 
-use crate::apriori::apriori;
+use crate::apriori::apriori_par_ctl;
 use crate::TransactionDb;
 
 /// Result of one sample-then-verify run.
@@ -49,30 +50,89 @@ pub struct SampledMining {
 pub fn sample_then_verify<R: Rng + ?Sized>(
     db: &TransactionDb,
     min_support: usize,
-    mut sample_rows: usize,
+    sample_rows: usize,
     margin: f64,
     rng: &mut R,
 ) -> SampledMining {
+    let meter = Meter::unlimited();
+    sample_then_verify_ctl(
+        db,
+        min_support,
+        sample_rows,
+        margin,
+        rng,
+        &RunCtl::new(&meter, &NoopObserver),
+    )
+    .expect_complete()
+}
+
+/// [`sample_then_verify`] under a budget and an observer.
+///
+/// Sample mining runs through the budgeted Apriori (its support counts
+/// record metered queries against the *sample*), and each full-database
+/// verification pass records one query per evaluated set. On a trip the
+/// partial result holds only sets whose full-database support was already
+/// verified ≥ σ — a true subset of the exact theory, without the
+/// completeness certificate.
+pub fn sample_then_verify_ctl<R: Rng + ?Sized>(
+    db: &TransactionDb,
+    min_support: usize,
+    mut sample_rows: usize,
+    margin: f64,
+    rng: &mut R,
+    ctl: &RunCtl<'_>,
+) -> Outcome<SampledMining> {
     assert!(min_support > 0, "min_support must be positive");
-    assert!((0.0..=1.0).contains(&margin) && margin > 0.0, "margin in (0,1]");
+    assert!(
+        (0.0..=1.0).contains(&margin) && margin > 0.0,
+        "margin in (0,1]"
+    );
     let n_rows = db.n_rows();
     let mut rounds = 0usize;
     let mut full_data_evaluations = 0usize;
 
     loop {
         rounds += 1;
+        if let Some(reason) = ctl.meter.exceeded() {
+            return Outcome::BudgetExceeded {
+                partial: SampledMining {
+                    itemsets: Vec::new(),
+                    rounds,
+                    full_data_evaluations,
+                },
+                reason,
+            };
+        }
         if sample_rows >= n_rows || n_rows == 0 {
             // Degenerate: just mine exactly.
-            let fs = apriori(db, min_support);
-            let evaluations = fs.itemsets.len() + fs.negative_border.len();
-            return SampledMining {
-                itemsets: fs.itemsets,
-                rounds,
-                full_data_evaluations: full_data_evaluations + evaluations,
+            return match apriori_par_ctl(db, min_support, 1, ctl) {
+                Outcome::Complete(fs) => {
+                    let evaluations = fs.itemsets.len() + fs.negative_border.len();
+                    Outcome::Complete(SampledMining {
+                        itemsets: fs.itemsets,
+                        rounds,
+                        full_data_evaluations: full_data_evaluations + evaluations,
+                    })
+                }
+                Outcome::BudgetExceeded {
+                    partial: fs,
+                    reason,
+                } => {
+                    let evaluations = fs.itemsets.len() + fs.negative_border.len();
+                    Outcome::BudgetExceeded {
+                        partial: SampledMining {
+                            itemsets: fs.itemsets,
+                            rounds,
+                            full_data_evaluations: full_data_evaluations + evaluations,
+                        },
+                        reason,
+                    }
+                }
             };
         }
 
         // Draw the sample and mine it at the lowered threshold.
+        ctl.observer.on_phase_start("sample-mine");
         let sample = TransactionDb::new(
             db.n_items(),
             (0..sample_rows)
@@ -81,37 +141,84 @@ pub fn sample_then_verify<R: Rng + ?Sized>(
         );
         let scaled = (min_support as f64) * (sample_rows as f64) / (n_rows as f64);
         let lowered = ((scaled * margin).floor() as usize).max(1);
-        let fs = apriori(&sample, lowered);
+        let fs = match apriori_par_ctl(&sample, lowered, 1, ctl) {
+            Outcome::Complete(fs) => fs,
+            Outcome::BudgetExceeded { reason, .. } => {
+                // A partially mined sample certifies nothing; report no
+                // verified sets.
+                ctl.observer.on_phase_end("sample-mine");
+                return Outcome::BudgetExceeded {
+                    partial: SampledMining {
+                        itemsets: Vec::new(),
+                        rounds,
+                        full_data_evaluations,
+                    },
+                    reason,
+                };
+            }
+        };
+        ctl.observer.on_phase_end("sample-mine");
 
         // One pass over the full database: evaluate Th(sample) ∪ Bd⁻(sample).
+        ctl.observer.on_phase_start("sample-verify");
         let mut exact: Vec<(AttrSet, usize)> = Vec::new();
         let mut frequent_border = false;
         let theory_members: HashSet<&AttrSet> = fs.itemsets.iter().map(|(s, _)| s).collect();
         for (set, _) in &fs.itemsets {
+            if let Some(reason) = ctl.meter.exceeded() {
+                ctl.observer.on_phase_end("sample-verify");
+                exact.sort_by(|(a, _), (b, _)| a.cmp_card_lex(b));
+                return Outcome::BudgetExceeded {
+                    partial: SampledMining {
+                        itemsets: exact,
+                        rounds,
+                        full_data_evaluations,
+                    },
+                    reason,
+                };
+            }
             full_data_evaluations += 1;
+            ctl.meter.record_query();
             let support = db.support(set);
             if support >= min_support {
                 exact.push((set.clone(), support));
             }
         }
         for border_set in &fs.negative_border {
+            if let Some(reason) = ctl.meter.exceeded() {
+                ctl.observer.on_phase_end("sample-verify");
+                exact.sort_by(|(a, _), (b, _)| a.cmp_card_lex(b));
+                return Outcome::BudgetExceeded {
+                    partial: SampledMining {
+                        itemsets: exact,
+                        rounds,
+                        full_data_evaluations,
+                    },
+                    reason,
+                };
+            }
             full_data_evaluations += 1;
+            ctl.meter.record_query();
             if db.support(border_set) >= min_support {
                 frequent_border = true;
                 break;
             }
         }
-        debug_assert!(fs.negative_border.iter().all(|b| !theory_members.contains(b)));
+        debug_assert!(fs
+            .negative_border
+            .iter()
+            .all(|b| !theory_members.contains(b)));
+        ctl.observer.on_phase_end("sample-verify");
 
         if !frequent_border {
             // Certified: every full-data frequent set is inside the
             // evaluated downward-closed family.
             exact.sort_by(|(a, _), (b, _)| a.cmp_card_lex(b));
-            return SampledMining {
+            return Outcome::Complete(SampledMining {
                 itemsets: exact,
                 rounds,
                 full_data_evaluations,
-            };
+            });
         }
         sample_rows *= 2; // failure: enlarge the sample and retry
     }
@@ -120,6 +227,7 @@ pub fn sample_then_verify<R: Rng + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::apriori::apriori;
     use crate::gen::{quest, QuestParams};
     use rand::{rngs::StdRng, SeedableRng};
 

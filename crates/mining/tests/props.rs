@@ -2,11 +2,11 @@
 //! rule statistics against direct recomputation.
 
 use dualminer_bitset::{AttrSet, SubsetsOfSize};
+use dualminer_hypergraph::TrAlgorithm;
 use dualminer_mining::apriori::apriori;
 use dualminer_mining::maximal::{maximal_frequent_sets, MaximalStrategy};
 use dualminer_mining::rules::association_rules;
 use dualminer_mining::TransactionDb;
-use dualminer_hypergraph::TrAlgorithm;
 use proptest::prelude::*;
 
 const N: usize = 6;

@@ -10,11 +10,11 @@
 //! Run with: `cargo run --release --example basket_analysis`
 
 use dualminer::bitset::Universe;
+use dualminer::hypergraph::TrAlgorithm;
 use dualminer::mining::apriori::apriori;
 use dualminer::mining::gen::{quest, QuestParams};
 use dualminer::mining::maximal::{maximal_frequent_sets, MaximalStrategy};
 use dualminer::mining::rules::association_rules;
-use dualminer::hypergraph::TrAlgorithm;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -47,7 +47,12 @@ fn main() {
         frequent.itemsets.len(),
         frequent.maximal.len(),
         frequent.negative_border.len(),
-        frequent.itemsets.iter().map(|(s, _)| s.len()).max().unwrap_or(0)
+        frequent
+            .itemsets
+            .iter()
+            .map(|(s, _)| s.len())
+            .max()
+            .unwrap_or(0)
     );
 
     // Query-bill comparison: Theorem 10 vs Theorem 21 in action.
@@ -59,8 +64,14 @@ fn main() {
     );
     assert_eq!(lw.maximal, da.maximal);
     println!("\nIs-interesting queries to find MTh:");
-    println!("  levelwise (Theorem 10: |Th ∪ Bd⁻|):                  {}", lw.queries);
-    println!("  dualize & advance (Theorem 21: |MTh|·(|Bd⁻|+rank·n)): {}", da.queries);
+    println!(
+        "  levelwise (Theorem 10: |Th ∪ Bd⁻|):                  {}",
+        lw.queries
+    );
+    println!(
+        "  dualize & advance (Theorem 21: |MTh|·(|Bd⁻|+rank·n)): {}",
+        da.queries
+    );
     println!(
         "  → {} wins here: frequent sets are short (k small), which is\n    exactly when the paper says the levelwise algorithm is optimal;\n    see `cargo run --example long_patterns` for the opposite regime.",
         if lw.queries <= da.queries { "levelwise" } else { "dualize & advance" }

@@ -33,7 +33,11 @@ fn main() {
             vec![0, 2, 101, 13, 5],
         ],
     );
-    println!("Relation: {} attributes × {} rows\n", rel.n_attrs(), rel.n_rows());
+    println!(
+        "Relation: {} attributes × {} rows\n",
+        rel.n_attrs(),
+        rel.n_rows()
+    );
 
     // The maximal agree sets = the maximal non-superkeys = MTh.
     let max_ag = maximal_agree_sets(&rel);
@@ -54,9 +58,18 @@ fn main() {
         println!("  {{{}}}", universe.display(k).replace(',', ", "));
     }
     println!("\nIs-interesting queries spent:");
-    println!("  agree sets + one HTR run (full data access): {}", direct.queries);
-    println!("  dualize & advance (oracle access only):      {}", da.queries);
-    println!("  levelwise (oracle access only):              {}", lw.queries);
+    println!(
+        "  agree sets + one HTR run (full data access): {}",
+        direct.queries
+    );
+    println!(
+        "  dualize & advance (oracle access only):      {}",
+        da.queries
+    );
+    println!(
+        "  levelwise (oracle access only):              {}",
+        lw.queries
+    );
 
     // FDs with fixed right-hand sides.
     println!("\nMinimal functional dependencies:");

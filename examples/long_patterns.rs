@@ -14,7 +14,10 @@ use dualminer::mining::maximal::{maximal_frequent_sets, MaximalStrategy};
 fn main() {
     let n = 24;
     println!("Planted workloads over {n} items: 3 maximal sets of size k\n");
-    println!("{:>3} | {:>16} | {:>18} | ratio", "k", "levelwise queries", "dualize&advance");
+    println!(
+        "{:>3} | {:>16} | {:>18} | ratio",
+        "k", "levelwise queries", "dualize&advance"
+    );
     println!("----+------------------+--------------------+------");
     for k in [4usize, 6, 8, 10, 12, 14, 16] {
         // Three overlapping maximal sets of size k.
@@ -26,11 +29,7 @@ fn main() {
         let db = planted(n, &plants, 2);
 
         let lw = maximal_frequent_sets(&db, 2, MaximalStrategy::Levelwise);
-        let da = maximal_frequent_sets(
-            &db,
-            2,
-            MaximalStrategy::DualizeAdvance(TrAlgorithm::Berge),
-        );
+        let da = maximal_frequent_sets(&db, 2, MaximalStrategy::DualizeAdvance(TrAlgorithm::Berge));
         assert_eq!(lw.maximal, da.maximal);
         println!(
             "{:>3} | {:>16} | {:>18} | {:>5.1}×",

@@ -28,10 +28,8 @@ fn main() {
     println!("Hidden function (the learner never sees this):");
     println!("  f = {}\n", secret.display(&universe));
 
-    let learned = learn_monotone_dualize(
-        FuncMq::new(secret.clone()),
-        TrAlgorithm::FkJointGeneration,
-    );
+    let learned =
+        learn_monotone_dualize(FuncMq::new(secret.clone()), TrAlgorithm::FkJointGeneration);
     println!("Learned with membership queries only:");
     println!("  DNF: {}", learned.dnf.display(&universe));
     println!("  CNF: {}", learned.cnf.display(&universe));

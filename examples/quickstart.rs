@@ -24,7 +24,11 @@ fn main() {
             vec![1, 3],       // basket 3: B, D
         ],
     );
-    println!("Database ({} rows):\n{}\n", db.n_rows(), db.display(&universe));
+    println!(
+        "Database ({} rows):\n{}\n",
+        db.n_rows(),
+        db.display(&universe)
+    );
 
     // 1. Mine all frequent itemsets at absolute support 2.
     let frequent = apriori(&db, 2);

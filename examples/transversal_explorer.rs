@@ -7,9 +7,7 @@
 use std::time::Instant;
 
 use dualminer::bitset::Universe;
-use dualminer::hypergraph::{
-    berge, fk, generators, joint_gen, levelwise_tr, mmcs, Hypergraph,
-};
+use dualminer::hypergraph::{berge, fk, generators, joint_gen, levelwise_tr, mmcs, Hypergraph};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 

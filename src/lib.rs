@@ -25,6 +25,10 @@
 //!   paper's example of a language **not** representable as sets.
 //! * [`learning`] — exact learning of monotone Boolean functions with
 //!   membership queries (Section 6's equivalence).
+//! * [`obs`] — observability and resource governance: [`obs::Budget`]
+//!   (wall-clock / query / transversal limits), [`obs::MiningObserver`]
+//!   event hooks, and the [`obs::Outcome`] typed partial result every
+//!   budgeted `*_ctl` entry point returns.
 //!
 //! ## Quickstart
 //!
@@ -57,3 +61,4 @@ pub use dualminer_fdep as fdep;
 pub use dualminer_hypergraph as hypergraph;
 pub use dualminer_learning as learning;
 pub use dualminer_mining as mining;
+pub use dualminer_obs as obs;

@@ -53,10 +53,8 @@ fn mining_and_learning_instances_correspond() {
         // of MTh and DNF terms = Bd⁻.
         let cnf = MonotoneCnf::new(N, plants.iter().map(AttrSet::complement).collect());
         let target = cnf.to_dnf();
-        let learned = learn_monotone_dualize(
-            FuncMq::new(target.clone()),
-            TrAlgorithm::FkJointGeneration,
-        );
+        let learned =
+            learn_monotone_dualize(FuncMq::new(target.clone()), TrAlgorithm::FkJointGeneration);
         assert_eq!(learned.dnf.terms(), mining.negative_border.as_slice());
         let mut clause_complements: Vec<AttrSet> = learned
             .cnf

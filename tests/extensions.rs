@@ -125,11 +125,13 @@ fn episode_and_itemset_views_of_one_dataset() {
     };
     assert!(has(&[0, 1, 2])); // ABC co-occurs (sessions 1, 2)
     assert!(has(&[1, 3])); // BD co-occurs (sessions 2, 3)
-    assert!(!has(&[0, 3]) || {
-        // AD co-occurs only inside session 2's window; with the tiny
-        // threshold it may squeak in — then ABCD must too (same window).
-        has(&[0, 1, 2, 3])
-    });
+    assert!(
+        !has(&[0, 3]) || {
+            // AD co-occurs only inside session 2's window; with the tiny
+            // threshold it may squeak in — then ABCD must too (same window).
+            has(&[0, 1, 2, 3])
+        }
+    );
     // Theorem 10 on this lattice.
     assert_eq!(run.queries, run.theorem10_count());
 }

@@ -75,10 +75,7 @@ fn example_25_learning_view_of_figure1() {
     // The mining problem of Figure 1 maps to learning f = AD ∨ CD with
     // CNF (D)(A ∨ C): DNF terms = Bd⁻, CNF clauses = complements of MTh.
     let u = Universe::letters(4);
-    let target = MonotoneDnf::new(
-        4,
-        vec![u.parse("AD").unwrap(), u.parse("CD").unwrap()],
-    );
+    let target = MonotoneDnf::new(4, vec![u.parse("AD").unwrap(), u.parse("CD").unwrap()]);
     let learned = learn_monotone_dualize(FuncMq::new(target.clone()), TrAlgorithm::Berge);
     assert_eq!(learned.dnf.display(&u), "AD ∨ CD");
     assert_eq!(learned.cnf.display(&u), "(D)(A ∨ C)");
@@ -87,8 +84,12 @@ fn example_25_learning_view_of_figure1() {
     let db = figure1_db();
     let fs = apriori(&db, 2);
     assert_eq!(learned.dnf.terms(), fs.negative_border.as_slice());
-    let clause_complements: Vec<AttrSet> =
-        learned.cnf.clauses().iter().map(AttrSet::complement).collect();
+    let clause_complements: Vec<AttrSet> = learned
+        .cnf
+        .clauses()
+        .iter()
+        .map(AttrSet::complement)
+        .collect();
     let mut expected = fs.maximal.clone();
     expected.sort_by(|a, b| a.cmp_card_lex(b));
     let mut got = clause_complements;

@@ -99,7 +99,13 @@ fn dense_noise_pipeline() {
     );
     let lower = (run.maximal.len() + run.negative_border.len()) as u64;
     assert!(oracle.distinct_queries() >= lower);
-    let rank = run.maximal.iter().map(AttrSet::len).max().unwrap_or(0).max(1);
+    let rank = run
+        .maximal
+        .iter()
+        .map(AttrSet::len)
+        .max()
+        .unwrap_or(0)
+        .max(1);
     let upper = dualminer::core::bounds::theorem21_bound(
         run.maximal.len(),
         run.negative_border.len(),

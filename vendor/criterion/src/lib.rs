@@ -110,12 +110,22 @@ impl Criterion {
         if path.is_empty() {
             return;
         }
+        // Stamp host parallelism into every line so baseline artifacts are
+        // self-describing (a flat thread sweep on a 1-CPU host is expected,
+        // not a regression). `threads` is the sweep parameter when the
+        // bench id carries one (`…/8`), otherwise 1 (sequential bench).
+        let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
         let mut out = String::new();
         for r in &self.results {
+            let threads = r
+                .bench
+                .rsplit_once('/')
+                .and_then(|(_, t)| t.parse::<usize>().ok())
+                .unwrap_or(1);
             let _ = writeln!(
                 out,
-                "{{\"group\":\"{}\",\"bench\":\"{}\",\"median_ns\":{:.1},\"mean_ns\":{:.1},\"min_ns\":{:.1},\"samples\":{},\"iters\":{}}}",
-                r.group, r.bench, r.median_ns, r.mean_ns, r.min_ns, r.samples, r.iters,
+                "{{\"group\":\"{}\",\"bench\":\"{}\",\"median_ns\":{:.1},\"mean_ns\":{:.1},\"min_ns\":{:.1},\"samples\":{},\"iters\":{},\"threads\":{},\"cpus\":{}}}",
+                r.group, r.bench, r.median_ns, r.mean_ns, r.min_ns, r.samples, r.iters, threads, cpus,
             );
         }
         let written = std::fs::OpenOptions::new()
@@ -370,6 +380,50 @@ mod tests {
         });
         g.finish();
         assert_eq!(c.results.len(), 2);
+    }
+
+    #[test]
+    fn json_lines_stamp_threads_and_cpus() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("criterion-json-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        std::env::set_var("CRITERION_JSON", &path);
+        let c = Criterion {
+            filters: vec![],
+            results: vec![
+                SampleResult {
+                    group: "par".into(),
+                    bench: "case/8".into(),
+                    min_ns: 1.0,
+                    median_ns: 2.0,
+                    mean_ns: 2.0,
+                    samples: 1,
+                    iters: 1,
+                },
+                SampleResult {
+                    group: "seq".into(),
+                    bench: "case".into(),
+                    min_ns: 1.0,
+                    median_ns: 2.0,
+                    mean_ns: 2.0,
+                    samples: 1,
+                    iters: 1,
+                },
+            ],
+        };
+        c.final_summary();
+        std::env::remove_var("CRITERION_JSON");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        // Thread-sweep suffix becomes the threads field; plain benches are 1.
+        assert!(lines[0].contains("\"threads\":8"), "{}", lines[0]);
+        assert!(lines[1].contains("\"threads\":1"), "{}", lines[1]);
+        let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+        for line in &lines {
+            assert!(line.contains(&format!("\"cpus\":{cpus}")), "{line}");
+        }
     }
 
     #[test]

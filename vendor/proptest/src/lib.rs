@@ -223,11 +223,11 @@ pub mod strategy {
         };
     }
 
-    impl_tuple_strategy!(A/a);
-    impl_tuple_strategy!(A/a, B/b);
-    impl_tuple_strategy!(A/a, B/b, C/c);
-    impl_tuple_strategy!(A/a, B/b, C/c, D/d);
-    impl_tuple_strategy!(A/a, B/b, C/c, D/d, E/e);
+    impl_tuple_strategy!(A / a);
+    impl_tuple_strategy!(A / a, B / b);
+    impl_tuple_strategy!(A / a, B / b, C / c);
+    impl_tuple_strategy!(A / a, B / b, C / c, D / d);
+    impl_tuple_strategy!(A / a, B / b, C / c, D / d, E / e);
 
     /// Types usable with [`any`].
     pub trait Arbitrary {
@@ -459,7 +459,9 @@ macro_rules! prop_assert_ne {
         $crate::prop_assert!(
             left != right,
             "assertion failed: `{} != {}`\n  both: {:?}",
-            ::core::stringify!($left), ::core::stringify!($right), left,
+            ::core::stringify!($left),
+            ::core::stringify!($right),
+            left,
         );
     }};
 }
