@@ -9,4 +9,9 @@ cargo test -q
 cargo clippy --workspace --all-targets -- -D warnings
 cargo fmt --check
 
+# Bench smoke: all bench targets compile, and one microbench group runs
+# end-to-end (a single fast id, so the gate stays quick).
+cargo bench -q -p dualminer-bench --no-run
+cargo bench -q -p dualminer-bench --bench bitset_kernels -- "is_disjoint/100" >/dev/null
+
 echo "ci.sh: all checks passed"

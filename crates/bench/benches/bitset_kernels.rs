@@ -1,0 +1,54 @@
+//! Microbenchmarks for the non-materializing counting kernels and the
+//! inline small-set layout (DESIGN.md §9): the primitives the PR 3
+//! hot-path rewrite leans on, measured on both sides of the 128-bit
+//! inline/heap boundary.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dualminer_bitset::AttrSet;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_set(n: usize, density: f64, rng: &mut StdRng) -> AttrSet {
+    AttrSet::from_indices(n, (0..n).filter(|_| rng.gen_bool(density)))
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bitset_kernels");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    // 100: inline (2 blocks, zero-alloc); 200: the smallest spilled tier;
+    // 4096: deep multi-block slices where the loop kernels dominate.
+    for n in [100usize, 200, 4096] {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = random_set(n, 0.3, &mut rng);
+        let b = random_set(n, 0.3, &mut rng);
+        let d = random_set(n, 0.3, &mut rng);
+
+        group.bench_with_input(BenchmarkId::new("intersection_len3", n), &n, |bch, _| {
+            bch.iter(|| black_box(&a).intersection_len_with(black_box(&b), black_box(&d)))
+        });
+        group.bench_with_input(BenchmarkId::new("is_disjoint", n), &n, |bch, _| {
+            bch.iter(|| black_box(&a).is_disjoint(black_box(&b)))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("intersect_returning_len", n),
+            &n,
+            |bch, _| {
+                bch.iter(|| {
+                    let mut acc = black_box(&a).clone();
+                    acc.intersect_with_returning_len(black_box(&b))
+                })
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("clone", n), &n, |bch, _| {
+            bch.iter(|| black_box(&a).clone())
+        });
+        group.bench_with_input(BenchmarkId::new("cmp_lex", n), &n, |bch, _| {
+            bch.iter(|| black_box(&a).cmp_lex(black_box(&b)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

@@ -4,7 +4,25 @@ use std::cmp::Ordering;
 use std::fmt;
 use std::hash::{Hash, Hasher};
 
-use crate::{blocks_for, BLOCK_BITS};
+use crate::ops;
+use crate::{blocks_for, BLOCK_BITS, INLINE_BITS, INLINE_BLOCKS};
+
+/// Storage for an [`AttrSet`]'s bit blocks.
+///
+/// Universes of at most [`INLINE_BITS`] bits keep their blocks inline —
+/// constructing, cloning, and combining such sets never touches the heap.
+/// Larger universes spill to a heap vector. The variant is a function of
+/// the universe size alone, so two sets over the same universe always have
+/// the same representation and binary operations never need a mixed path.
+///
+/// Invariant: every bit at position `>= nbits` is zero, *including* whole
+/// inline blocks beyond `blocks_for(nbits)`. This lets the inline fast
+/// paths operate on both words unconditionally.
+#[derive(Clone, PartialEq, Eq)]
+enum Repr {
+    Inline([u64; INLINE_BLOCKS]),
+    Spilled(Vec<u64>),
+}
 
 /// A set of attributes drawn from a fixed universe `{0, …, n−1}`.
 ///
@@ -14,27 +32,59 @@ use crate::{blocks_for, BLOCK_BITS};
 /// This mirrors the paper's setting, where every sentence of the language is
 /// a subset of the same attribute set `R`.
 ///
-/// Storage is a packed vector of `u64` blocks, so every set operation runs
-/// in `O(n / 64)` word operations.
+/// Storage is a packed sequence of `u64` blocks with a hybrid layout:
+/// universes of at most 128 bits are stored **inline** (no heap
+/// allocation — covering every paper-scale workload), larger universes
+/// spill to a heap vector. Every set operation runs in `O(n / 64)` word
+/// operations either way; see DESIGN.md §9 for the layout rules.
 #[derive(Clone, Eq)]
 pub struct AttrSet {
     nbits: usize,
-    blocks: Vec<u64>,
+    repr: Repr,
+}
+
+/// Generates the four in-place binary block operations: the both-inline arm
+/// is fully unrolled over the two words (the tail-zero invariant makes the
+/// second word a no-op for sub-64-bit universes), the spilled arm delegates
+/// to the slice kernel in [`crate::ops`].
+macro_rules! inplace_binop {
+    ($(#[$doc:meta])* $name:ident, $kernel:ident, $op:tt, $rhs:tt) => {
+        $(#[$doc])*
+        #[inline]
+        pub fn $name(&mut self, other: &AttrSet) {
+            self.check_same_universe(other);
+            match (&mut self.repr, &other.repr) {
+                (Repr::Inline(a), Repr::Inline(b)) => {
+                    a[0] $op inplace_binop!(@rhs $rhs b[0]);
+                    a[1] $op inplace_binop!(@rhs $rhs b[1]);
+                }
+                (Repr::Spilled(a), Repr::Spilled(b)) => ops::$kernel(a, b),
+                _ => unreachable!("same universe implies same representation"),
+            }
+        }
+    };
+    (@rhs id $e:expr) => { $e };
+    (@rhs not $e:expr) => { !$e };
 }
 
 impl AttrSet {
     /// The empty set over a universe of `nbits` attributes.
+    ///
+    /// Allocation-free for `nbits ≤ 128` (the inline representation).
+    #[inline]
     pub fn empty(nbits: usize) -> Self {
-        AttrSet {
-            nbits,
-            blocks: vec![0; blocks_for(nbits)],
-        }
+        let repr = if nbits <= INLINE_BITS {
+            Repr::Inline([0; INLINE_BLOCKS])
+        } else {
+            Repr::Spilled(vec![0; blocks_for(nbits)])
+        };
+        AttrSet { nbits, repr }
     }
 
     /// The full set `{0, …, nbits−1}`.
     pub fn full(nbits: usize) -> Self {
         let mut s = Self::empty(nbits);
-        for b in &mut s.blocks {
+        for b in s.blocks_mut() {
             *b = u64::MAX;
         }
         s.trim_tail();
@@ -69,13 +119,45 @@ impl AttrSet {
         self.nbits
     }
 
-    /// Clears bits beyond `nbits` in the last block (internal invariant).
+    /// Whether this set uses the inline (allocation-free) representation —
+    /// true exactly when the universe is at most 128 bits.
+    #[inline]
+    pub fn is_inline(&self) -> bool {
+        matches!(self.repr, Repr::Inline(_))
+    }
+
+    /// The logical storage blocks, `blocks_for(nbits)` of them.
+    #[inline]
+    fn blocks_ref(&self) -> &[u64] {
+        match &self.repr {
+            Repr::Inline(a) => &a[..blocks_for(self.nbits)],
+            Repr::Spilled(v) => v,
+        }
+    }
+
+    /// Mutable logical storage blocks.
+    #[inline]
+    fn blocks_mut(&mut self) -> &mut [u64] {
+        let nb = blocks_for(self.nbits);
+        match &mut self.repr {
+            Repr::Inline(a) => &mut a[..nb],
+            Repr::Spilled(v) => v,
+        }
+    }
+
+    /// Clears bits beyond `nbits` (internal invariant: trailing bits of the
+    /// last logical block and any unused inline block are always zero).
     #[inline]
     fn trim_tail(&mut self) {
         let used = self.nbits % BLOCK_BITS;
         if used != 0 {
-            if let Some(last) = self.blocks.last_mut() {
+            if let Some(last) = self.blocks_mut().last_mut() {
                 *last &= (1u64 << used) - 1;
+            }
+        }
+        if let Repr::Inline(a) = &mut self.repr {
+            for b in &mut a[blocks_for(self.nbits)..] {
+                *b = 0;
             }
         }
     }
@@ -107,8 +189,9 @@ impl AttrSet {
     pub fn insert(&mut self, attr: usize) -> bool {
         self.check_attr(attr);
         let (b, m) = (attr / BLOCK_BITS, 1u64 << (attr % BLOCK_BITS));
-        let fresh = self.blocks[b] & m == 0;
-        self.blocks[b] |= m;
+        let word = &mut self.blocks_mut()[b];
+        let fresh = *word & m == 0;
+        *word |= m;
         fresh
     }
 
@@ -120,8 +203,9 @@ impl AttrSet {
     pub fn remove(&mut self, attr: usize) -> bool {
         self.check_attr(attr);
         let (b, m) = (attr / BLOCK_BITS, 1u64 << (attr % BLOCK_BITS));
-        let present = self.blocks[b] & m != 0;
-        self.blocks[b] &= !m;
+        let word = &mut self.blocks_mut()[b];
+        let present = *word & m != 0;
+        *word &= !m;
         present
     }
 
@@ -129,19 +213,26 @@ impl AttrSet {
     /// never members.
     #[inline]
     pub fn contains(&self, attr: usize) -> bool {
-        attr < self.nbits && self.blocks[attr / BLOCK_BITS] & (1u64 << (attr % BLOCK_BITS)) != 0
+        attr < self.nbits
+            && self.blocks_ref()[attr / BLOCK_BITS] & (1u64 << (attr % BLOCK_BITS)) != 0
     }
 
     /// Cardinality (number of attributes in the set).
     #[inline]
     pub fn len(&self) -> usize {
-        self.blocks.iter().map(|b| b.count_ones() as usize).sum()
+        match &self.repr {
+            Repr::Inline(a) => (a[0].count_ones() + a[1].count_ones()) as usize,
+            Repr::Spilled(v) => v.iter().map(|b| b.count_ones() as usize).sum(),
+        }
     }
 
     /// Whether the set is empty.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.blocks.iter().all(|&b| b == 0)
+        match &self.repr {
+            Repr::Inline(a) => a[0] | a[1] == 0,
+            Repr::Spilled(v) => v.iter().all(|&b| b == 0),
+        }
     }
 
     /// Whether the set equals the whole universe.
@@ -152,7 +243,7 @@ impl AttrSet {
 
     /// The smallest attribute in the set, if any.
     pub fn first(&self) -> Option<usize> {
-        for (i, &b) in self.blocks.iter().enumerate() {
+        for (i, &b) in self.blocks_ref().iter().enumerate() {
             if b != 0 {
                 return Some(i * BLOCK_BITS + b.trailing_zeros() as usize);
             }
@@ -162,7 +253,7 @@ impl AttrSet {
 
     /// The largest attribute in the set, if any.
     pub fn last(&self) -> Option<usize> {
-        for (i, &b) in self.blocks.iter().enumerate().rev() {
+        for (i, &b) in self.blocks_ref().iter().enumerate().rev() {
             if b != 0 {
                 return Some(i * BLOCK_BITS + (BLOCK_BITS - 1 - b.leading_zeros() as usize));
             }
@@ -172,57 +263,42 @@ impl AttrSet {
 
     /// Removes all attributes.
     pub fn clear(&mut self) {
-        for b in &mut self.blocks {
-            *b = 0;
+        match &mut self.repr {
+            Repr::Inline(a) => *a = [0; INLINE_BLOCKS],
+            Repr::Spilled(v) => v.iter_mut().for_each(|b| *b = 0),
         }
     }
 
     // --- set algebra -----------------------------------------------------
 
-    /// In-place union: `self ∪= other`.
-    ///
-    /// # Panics
-    /// Panics on universe mismatch (also true of every binary operation
-    /// below).
-    #[inline]
-    pub fn union_with(&mut self, other: &AttrSet) {
-        self.check_same_universe(other);
-        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
-            *a |= b;
-        }
+    inplace_binop! {
+        /// In-place union: `self ∪= other`.
+        ///
+        /// # Panics
+        /// Panics on universe mismatch (also true of every binary operation
+        /// below).
+        union_with, union_blocks, |=, id
     }
 
-    /// In-place intersection: `self ∩= other`.
-    #[inline]
-    pub fn intersect_with(&mut self, other: &AttrSet) {
-        self.check_same_universe(other);
-        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
-            *a &= b;
-        }
+    inplace_binop! {
+        /// In-place intersection: `self ∩= other`.
+        intersect_with, intersect_blocks, &=, id
     }
 
-    /// In-place difference: `self \= other`.
-    #[inline]
-    pub fn difference_with(&mut self, other: &AttrSet) {
-        self.check_same_universe(other);
-        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
-            *a &= !b;
-        }
+    inplace_binop! {
+        /// In-place difference: `self \= other`.
+        difference_with, difference_blocks, &=, not
     }
 
-    /// In-place symmetric difference: `self Δ= other`.
-    #[inline]
-    pub fn symmetric_difference_with(&mut self, other: &AttrSet) {
-        self.check_same_universe(other);
-        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
-            *a ^= b;
-        }
+    inplace_binop! {
+        /// In-place symmetric difference: `self Δ= other`.
+        symmetric_difference_with, symmetric_difference_blocks, ^=, id
     }
 
     /// In-place complement within the universe.
     #[inline]
     pub fn complement_in_place(&mut self) {
-        for b in &mut self.blocks {
+        for b in self.blocks_mut() {
             *b = !*b;
         }
         self.trim_tail();
@@ -247,7 +323,12 @@ impl AttrSet {
     pub fn intersection_into(&self, other: &AttrSet, out: &mut AttrSet) {
         self.check_same_universe(other);
         self.check_same_universe(out);
-        for ((o, a), b) in out.blocks.iter_mut().zip(&self.blocks).zip(&other.blocks) {
+        for ((o, a), b) in out
+            .blocks_mut()
+            .iter_mut()
+            .zip(self.blocks_ref())
+            .zip(other.blocks_ref())
+        {
             *o = a & b;
         }
     }
@@ -260,7 +341,12 @@ impl AttrSet {
     pub fn union_into(&self, other: &AttrSet, out: &mut AttrSet) {
         self.check_same_universe(other);
         self.check_same_universe(out);
-        for ((o, a), b) in out.blocks.iter_mut().zip(&self.blocks).zip(&other.blocks) {
+        for ((o, a), b) in out
+            .blocks_mut()
+            .iter_mut()
+            .zip(self.blocks_ref())
+            .zip(other.blocks_ref())
+        {
             *o = a | b;
         }
     }
@@ -273,7 +359,12 @@ impl AttrSet {
     pub fn difference_into(&self, other: &AttrSet, out: &mut AttrSet) {
         self.check_same_universe(other);
         self.check_same_universe(out);
-        for ((o, a), b) in out.blocks.iter_mut().zip(&self.blocks).zip(&other.blocks) {
+        for ((o, a), b) in out
+            .blocks_mut()
+            .iter_mut()
+            .zip(self.blocks_ref())
+            .zip(other.blocks_ref())
+        {
             *o = a & !b;
         }
     }
@@ -312,10 +403,11 @@ impl AttrSet {
     #[inline]
     pub fn is_subset(&self, other: &AttrSet) -> bool {
         self.check_same_universe(other);
-        self.blocks
-            .iter()
-            .zip(&other.blocks)
-            .all(|(a, b)| a & !b == 0)
+        match (&self.repr, &other.repr) {
+            (Repr::Inline(a), Repr::Inline(b)) => (a[0] & !b[0]) | (a[1] & !b[1]) == 0,
+            (Repr::Spilled(a), Repr::Spilled(b)) => ops::is_subset_blocks(a, b),
+            _ => unreachable!("same universe implies same representation"),
+        }
     }
 
     /// Whether `self ⊇ other`.
@@ -343,10 +435,11 @@ impl AttrSet {
     #[inline]
     pub fn intersects(&self, other: &AttrSet) -> bool {
         self.check_same_universe(other);
-        self.blocks
-            .iter()
-            .zip(&other.blocks)
-            .any(|(a, b)| a & b != 0)
+        match (&self.repr, &other.repr) {
+            (Repr::Inline(a), Repr::Inline(b)) => (a[0] & b[0]) | (a[1] & b[1]) != 0,
+            (Repr::Spilled(a), Repr::Spilled(b)) => !ops::is_disjoint_blocks(a, b),
+            _ => unreachable!("same universe implies same representation"),
+        }
     }
 
     /// Whether the sets are disjoint.
@@ -355,25 +448,72 @@ impl AttrSet {
         !self.intersects(other)
     }
 
-    /// Cardinality of `self ∩ other` without allocating.
+    // --- non-materializing kernels ----------------------------------------
+    //
+    // Counting variants of the set algebra: they answer "how big would the
+    // result be?" without building it, so the hot counting loops (support
+    // queries, MMCS branching, FK frequency tests) do zero heap traffic.
+    // The slice-level implementations live in `ops`.
+
+    /// Cardinality of `self ∩ other` without materializing the
+    /// intersection.
     #[inline]
     pub fn intersection_len(&self, other: &AttrSet) -> usize {
         self.check_same_universe(other);
-        self.blocks
-            .iter()
-            .zip(&other.blocks)
-            .map(|(a, b)| (a & b).count_ones() as usize)
-            .sum()
+        match (&self.repr, &other.repr) {
+            (Repr::Inline(a), Repr::Inline(b)) => {
+                ((a[0] & b[0]).count_ones() + (a[1] & b[1]).count_ones()) as usize
+            }
+            (Repr::Spilled(a), Repr::Spilled(b)) => ops::intersection_len_blocks(a, b),
+            _ => unreachable!("same universe implies same representation"),
+        }
+    }
+
+    /// Cardinality of the three-way intersection `self ∩ b ∩ c` without
+    /// materializing any intermediate set.
+    ///
+    /// # Panics
+    /// Panics if the three sets do not share one universe.
+    #[inline]
+    pub fn intersection_len_with(&self, b: &AttrSet, c: &AttrSet) -> usize {
+        self.check_same_universe(b);
+        self.check_same_universe(c);
+        match (&self.repr, &b.repr, &c.repr) {
+            (Repr::Inline(x), Repr::Inline(y), Repr::Inline(z)) => {
+                ((x[0] & y[0] & z[0]).count_ones() + (x[1] & y[1] & z[1]).count_ones()) as usize
+            }
+            (Repr::Spilled(x), Repr::Spilled(y), Repr::Spilled(z)) => {
+                ops::intersection_len3_blocks(x, y, z)
+            }
+            _ => unreachable!("same universe implies same representation"),
+        }
+    }
+
+    /// Fused in-place intersection that also returns the cardinality of the
+    /// result: `self ∩= other; self.len()` in a single pass.
+    #[inline]
+    pub fn intersect_with_returning_len(&mut self, other: &AttrSet) -> usize {
+        self.check_same_universe(other);
+        match (&mut self.repr, &other.repr) {
+            (Repr::Inline(a), Repr::Inline(b)) => {
+                a[0] &= b[0];
+                a[1] &= b[1];
+                (a[0].count_ones() + a[1].count_ones()) as usize
+            }
+            (Repr::Spilled(a), Repr::Spilled(b)) => ops::intersect_returning_len_blocks(a, b),
+            _ => unreachable!("same universe implies same representation"),
+        }
     }
 
     // --- iteration & conversion ------------------------------------------
 
     /// Iterates over member attributes in ascending order.
     pub fn iter(&self) -> Iter<'_> {
+        let blocks = self.blocks_ref();
         Iter {
-            set: self,
+            blocks,
             block: 0,
-            bits: self.blocks.first().copied().unwrap_or(0),
+            bits: blocks.first().copied().unwrap_or(0),
         }
     }
 
@@ -384,7 +524,7 @@ impl AttrSet {
 
     /// Raw storage blocks (low attribute indices in low blocks/bits).
     pub fn blocks(&self) -> &[u64] {
-        &self.blocks
+        self.blocks_ref()
     }
 
     /// Compares two sets by cardinality first, then lexicographically by
@@ -399,26 +539,18 @@ impl AttrSet {
     /// Compares two sets lexicographically by ascending attribute indices
     /// (`{A,B} < {A,C} < {B}`), i.e. dictionary order of the paper's
     /// shorthand strings.
+    ///
+    /// Runs block-wise: at the lowest differing bit `i`, the set containing
+    /// `i` is lexicographically smaller unless the other set has no member
+    /// above `i` at all (then it is a proper prefix, hence smaller).
     pub fn cmp_lex(&self, other: &AttrSet) -> Ordering {
-        let mut a = self.iter();
-        let mut b = other.iter();
-        loop {
-            match (a.next(), b.next()) {
-                (None, None) => return Ordering::Equal,
-                (None, Some(_)) => return Ordering::Less,
-                (Some(_), None) => return Ordering::Greater,
-                (Some(x), Some(y)) => match x.cmp(&y) {
-                    Ordering::Equal => continue,
-                    ord => return ord,
-                },
-            }
-        }
+        ops::cmp_lex_blocks(self.blocks_ref(), other.blocks_ref())
     }
 }
 
 /// Ascending-index iterator over an [`AttrSet`]'s members.
 pub struct Iter<'a> {
-    set: &'a AttrSet,
+    blocks: &'a [u64],
     block: usize,
     bits: u64,
 }
@@ -434,10 +566,10 @@ impl Iterator for Iter<'_> {
                 return Some(self.block * BLOCK_BITS + tz);
             }
             self.block += 1;
-            if self.block >= self.set.blocks.len() {
+            if self.block >= self.blocks.len() {
                 return None;
             }
-            self.bits = self.set.blocks[self.block];
+            self.bits = self.blocks[self.block];
         }
     }
 }
@@ -453,14 +585,21 @@ impl<'a> IntoIterator for &'a AttrSet {
 
 impl PartialEq for AttrSet {
     fn eq(&self, other: &Self) -> bool {
-        self.nbits == other.nbits && self.blocks == other.blocks
+        if self.nbits != other.nbits {
+            return false;
+        }
+        match (&self.repr, &other.repr) {
+            (Repr::Inline(a), Repr::Inline(b)) => a == b,
+            (Repr::Spilled(a), Repr::Spilled(b)) => a == b,
+            _ => unreachable!("same universe implies same representation"),
+        }
     }
 }
 
 impl Hash for AttrSet {
     fn hash<H: Hasher>(&self, state: &mut H) {
         self.nbits.hash(state);
-        self.blocks.hash(state);
+        self.blocks_ref().hash(state);
     }
 }
 
@@ -474,9 +613,16 @@ impl Hash for AttrSet {
 /// stays consistent with `Eq` even across universes.
 impl Ord for AttrSet {
     fn cmp(&self, other: &Self) -> Ordering {
-        self.nbits
-            .cmp(&other.nbits)
-            .then_with(|| self.blocks.iter().rev().cmp(other.blocks.iter().rev()))
+        self.nbits.cmp(&other.nbits).then_with(|| {
+            match (&self.repr, &other.repr) {
+                // Tail blocks are zero in both, so comparing the full
+                // inline array high-word-first equals comparing the
+                // logical blocks.
+                (Repr::Inline(a), Repr::Inline(b)) => a[1].cmp(&b[1]).then_with(|| a[0].cmp(&b[0])),
+                (Repr::Spilled(a), Repr::Spilled(b)) => a.iter().rev().cmp(b.iter().rev()),
+                _ => unreachable!("same universe implies same representation"),
+            }
+        })
     }
 }
 
@@ -522,6 +668,22 @@ mod tests {
         assert_eq!(f.len(), 70);
         assert_eq!(f.last(), Some(69));
         assert!(!f.contains(70));
+    }
+
+    #[test]
+    fn inline_heap_boundary() {
+        for nbits in [1usize, 63, 64, 65, 127, 128] {
+            let f = AttrSet::full(nbits);
+            assert!(f.is_inline(), "nbits={nbits}");
+            assert_eq!(f.len(), nbits);
+            assert_eq!(f.blocks().len(), crate::blocks_for(nbits));
+        }
+        for nbits in [129usize, 200, 1000] {
+            let f = AttrSet::full(nbits);
+            assert!(!f.is_inline(), "nbits={nbits}");
+            assert_eq!(f.len(), nbits);
+            assert_eq!(f.blocks().len(), crate::blocks_for(nbits));
+        }
     }
 
     #[test]
@@ -586,6 +748,24 @@ mod tests {
     }
 
     #[test]
+    fn counting_kernels_match_materialized() {
+        for n in [60usize, 128, 200] {
+            let a = AttrSet::from_indices(n, (0..n).step_by(2));
+            let b = AttrSet::from_indices(n, (0..n).step_by(3));
+            let c = AttrSet::from_indices(n, (0..n).step_by(5));
+            assert_eq!(a.intersection_len(&b), a.intersection(&b).len());
+            assert_eq!(
+                a.intersection_len_with(&b, &c),
+                a.intersection(&b).intersection(&c).len()
+            );
+            let mut fused = a.clone();
+            let len = fused.intersect_with_returning_len(&b);
+            assert_eq!(fused, a.intersection(&b));
+            assert_eq!(len, fused.len());
+        }
+    }
+
+    #[test]
     fn first_last() {
         let s = AttrSet::from_indices(200, [5, 77, 191]);
         assert_eq!(s.first(), Some(5));
@@ -611,6 +791,19 @@ mod tests {
         assert_eq!(ac.cmp_lex(&b), Ordering::Less);
         assert_eq!(b.cmp_card_lex(&ab), Ordering::Less); // smaller first
         assert_eq!(ab.cmp_lex(&ab), Ordering::Equal);
+    }
+
+    #[test]
+    fn cmp_lex_prefix_is_smaller() {
+        // {0} < {0,1}: a proper lexicographic prefix sorts first.
+        let a = AttrSet::from_indices(130, [0]);
+        let b = AttrSet::from_indices(130, [0, 1]);
+        assert_eq!(a.cmp_lex(&b), Ordering::Less);
+        assert_eq!(b.cmp_lex(&a), Ordering::Greater);
+        // Across blocks: {5} vs {5, 100}.
+        let c = AttrSet::from_indices(130, [5]);
+        let d = AttrSet::from_indices(130, [5, 100]);
+        assert_eq!(c.cmp_lex(&d), Ordering::Less);
     }
 
     #[test]

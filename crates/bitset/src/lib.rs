@@ -50,6 +50,15 @@ pub use universe::{ParseSetError, Universe};
 /// Number of bits in one storage block of an [`AttrSet`].
 pub(crate) const BLOCK_BITS: usize = 64;
 
+/// Number of blocks an [`AttrSet`] stores inline (without heap allocation).
+pub(crate) const INLINE_BLOCKS: usize = 2;
+
+/// Largest universe size (in bits) that [`AttrSet`] stores inline: sets
+/// over at most this many attributes are created, cloned, and combined
+/// with **zero heap allocations**. Larger universes spill to a heap
+/// vector with identical semantics.
+pub const INLINE_BITS: usize = INLINE_BLOCKS * BLOCK_BITS;
+
 /// Number of `u64` blocks needed to store `nbits` bits.
 #[inline]
 pub(crate) fn blocks_for(nbits: usize) -> usize {

@@ -130,3 +130,96 @@ proptest! {
         }
     }
 }
+
+/// Universe sizes straddling the inline/heap boundary ([`INLINE_BITS`] =
+/// 128): both inline variants, the exact boundary, and spilled sizes.
+const SIZES: [usize; 5] = [64, 127, 128, 129, 200];
+
+/// Three index pools plus a universe size chosen from [`SIZES`]; indices
+/// are folded into the universe by `% n`.
+fn arb_sized_triple() -> impl Strategy<Value = (usize, Vec<usize>, Vec<usize>, Vec<usize>)> {
+    let pool = || proptest::collection::vec(0usize..200, 0..40);
+    (0usize..SIZES.len(), pool(), pool(), pool()).prop_map(|(i, a, b, c)| (SIZES[i], a, b, c))
+}
+
+fn fold(n: usize, raw: &[usize]) -> AttrSet {
+    AttrSet::from_indices(n, raw.iter().map(|i| i % n))
+}
+
+proptest! {
+    /// The non-materializing counting kernels answer exactly what the
+    /// materialized set algebra answers, on both sides of the inline/heap
+    /// boundary.
+    #[test]
+    fn counting_kernels_equal_materialized((n, ra, rb, rc) in arb_sized_triple()) {
+        let a = fold(n, &ra);
+        let b = fold(n, &rb);
+        let c = fold(n, &rc);
+        prop_assert_eq!(a.is_inline(), n <= dualminer_bitset::INLINE_BITS);
+
+        prop_assert_eq!(a.intersection_len(&b), a.intersection(&b).len());
+        prop_assert_eq!(
+            a.intersection_len_with(&b, &c),
+            a.intersection(&b).intersection(&c).len()
+        );
+        prop_assert_eq!(a.is_disjoint(&b), a.intersection(&b).is_empty());
+        prop_assert_eq!(a.is_disjoint(&b), !a.intersects(&b));
+
+        let mut fused = a.clone();
+        let len = fused.intersect_with_returning_len(&b);
+        let reference = a.intersection(&b);
+        prop_assert_eq!(len, reference.len());
+        prop_assert_eq!(fused, reference);
+    }
+
+    /// The same logical sets built over an inline universe (≤ 128 bits) and
+    /// a spilled one behave identically: same members, same algebra, same
+    /// orderings, equal cross-universe cmp_lex.
+    #[test]
+    fn inline_and_spilled_agree((n, ra, rb, _) in arb_sized_triple()) {
+        const SPILLED: usize = 500;
+        let small_a = fold(n, &ra);
+        let small_b = fold(n, &rb);
+        let big_a = AttrSet::from_indices(SPILLED, small_a.iter());
+        let big_b = AttrSet::from_indices(SPILLED, small_b.iter());
+        prop_assert!(!big_a.is_inline());
+
+        prop_assert_eq!(
+            small_a.union(&small_b).to_vec(),
+            big_a.union(&big_b).to_vec()
+        );
+        prop_assert_eq!(
+            small_a.intersection(&small_b).to_vec(),
+            big_a.intersection(&big_b).to_vec()
+        );
+        prop_assert_eq!(
+            small_a.difference(&small_b).to_vec(),
+            big_a.difference(&big_b).to_vec()
+        );
+        prop_assert_eq!(
+            small_a.symmetric_difference(&small_b).to_vec(),
+            big_a.symmetric_difference(&big_b).to_vec()
+        );
+        prop_assert_eq!(small_a.is_subset(&small_b), big_a.is_subset(&big_b));
+        prop_assert_eq!(small_a.intersects(&small_b), big_a.intersects(&big_b));
+        prop_assert_eq!(
+            small_a.intersection_len(&small_b),
+            big_a.intersection_len(&big_b)
+        );
+        prop_assert_eq!(small_a.len(), big_a.len());
+        prop_assert_eq!(small_a.first(), big_a.first());
+
+        // Orderings agree between representations; cmp_lex also works
+        // *across* them (it never required equal universes).
+        prop_assert_eq!(
+            small_a.cmp_lex(&small_b),
+            big_a.cmp_lex(&big_b)
+        );
+        prop_assert_eq!(
+            small_a.cmp_card_lex(&small_b),
+            big_a.cmp_card_lex(&big_b)
+        );
+        prop_assert_eq!(small_a.cmp_lex(&big_a), std::cmp::Ordering::Equal);
+        prop_assert_eq!(small_a.cmp_lex(&big_b), big_a.cmp_lex(&small_b));
+    }
+}

@@ -159,14 +159,24 @@ pub fn transversals_with_ctl(
 
 /// Removes non-minimal sets from a family: returns the ⊆-minimal antichain.
 ///
-/// Used by every algorithm in this crate; `O(m² · n/64)` with an early
-/// cardinality sort so each set is only compared against smaller ones.
+/// Used by every algorithm in this crate; worst-case `O(m² · n/64)`, but
+/// after the card-lex sort and dedup two sets of *equal* cardinality are
+/// distinct and so cannot contain one another — each candidate is only
+/// compared against the kept prefix of strictly smaller sets. Families
+/// concentrated on few cardinalities (Berge extension batches, matching
+/// transversals) minimize in near-linear time.
 pub fn minimize_family(mut sets: Vec<AttrSet>) -> Vec<AttrSet> {
     sets.sort_by(|a, b| a.cmp_card_lex(b));
     sets.dedup();
     let mut kept: Vec<AttrSet> = Vec::with_capacity(sets.len());
+    let mut card = 0usize;
+    let mut smaller_end = 0usize; // kept[..smaller_end] have len() < card
     'outer: for s in sets {
-        for k in &kept {
+        if s.len() > card {
+            card = s.len();
+            smaller_end = kept.len();
+        }
+        for k in &kept[..smaller_end] {
             if k.is_subset(&s) {
                 continue 'outer;
             }
@@ -177,12 +187,21 @@ pub fn minimize_family(mut sets: Vec<AttrSet>) -> Vec<AttrSet> {
 }
 
 /// Removes non-maximal sets from a family: returns the ⊆-maximal antichain.
+///
+/// Mirror of [`minimize_family`]: descending cardinality, each candidate
+/// compared only against the kept prefix of strictly larger sets.
 pub fn maximize_family(mut sets: Vec<AttrSet>) -> Vec<AttrSet> {
     sets.sort_by(|a, b| b.cmp_card_lex(a));
     sets.dedup();
     let mut kept: Vec<AttrSet> = Vec::with_capacity(sets.len());
+    let mut card = usize::MAX;
+    let mut larger_end = 0usize; // kept[..larger_end] have len() > card
     'outer: for s in sets {
-        for k in &kept {
+        if s.len() < card {
+            card = s.len();
+            larger_end = kept.len();
+        }
+        for k in &kept[..larger_end] {
             if s.is_subset(k) {
                 continue 'outer;
             }

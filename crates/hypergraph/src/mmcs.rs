@@ -15,6 +15,7 @@
 //! still has a critical edge. Each minimal transversal is output exactly
 //! once.
 
+use std::mem;
 use std::sync::atomic::{AtomicBool, Ordering};
 
 use dualminer_bitset::AttrSet;
@@ -158,6 +159,38 @@ struct Search<'a> {
     tripped: AtomicBool,
 }
 
+/// Depth-indexed buffer pool for the sequential recursion: one
+/// uncovered-edge split buffer and one criticality undo log per DFS depth.
+/// Each frame takes its slot's buffers, reuses them across every branch
+/// vertex, and returns them on exit, so a warmed-up DFS performs **no**
+/// per-node vector allocations (DESIGN.md §9).
+#[derive(Default)]
+struct Scratch {
+    uncov: Vec<Vec<usize>>,
+    removed: Vec<Vec<(usize, usize)>>,
+}
+
+impl Scratch {
+    /// Takes the buffers for `depth`, growing the pool on first visit.
+    fn take(&mut self, depth: usize) -> (Vec<usize>, Vec<(usize, usize)>) {
+        while self.uncov.len() <= depth {
+            self.uncov.push(Vec::new());
+            self.removed.push(Vec::new());
+        }
+        (
+            mem::take(&mut self.uncov[depth]),
+            mem::take(&mut self.removed[depth]),
+        )
+    }
+
+    /// Returns the buffers taken for `depth` so the next sibling frame at
+    /// this depth reuses their capacity.
+    fn restore(&mut self, depth: usize, uncov: Vec<usize>, removed: Vec<(usize, usize)>) {
+        self.uncov[depth] = uncov;
+        self.removed[depth] = removed;
+    }
+}
+
 impl Search<'_> {
     /// Accounts one DFS node (query + observer event); `false` when the
     /// budget has tripped and the search should unwind.
@@ -205,7 +238,8 @@ impl Search<'_> {
             uncov,
             mut crit,
         } = node;
-        self.recurse(&mut s, cand, uncov, &mut crit, out);
+        let mut scratch = Scratch::default();
+        self.recurse(&mut s, cand, &uncov, 0, &mut crit, &mut scratch, out);
     }
 
     /// Expands one node into its ordered children — the same branching
@@ -273,12 +307,15 @@ impl Search<'_> {
         children
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn recurse(
         &self,
         s: &mut AttrSet,
         mut cand: AttrSet,
-        uncov: Vec<usize>,
+        uncov: &[usize],
+        depth: usize,
         crit: &mut Vec<Vec<usize>>,
+        scratch: &mut Scratch,
         out: &mut Vec<AttrSet>,
     ) {
         if !self.enter_node() {
@@ -298,21 +335,23 @@ impl Search<'_> {
         }
         cand.difference_with(&branch);
 
+        let (mut new_uncov, mut removed) = scratch.take(depth);
         for v in branch.iter() {
             // Tentatively add v: split uncov into covered-by-v / still
-            // uncovered, and update criticality.
-            let mut new_uncov = Vec::with_capacity(uncov.len());
-            let mut new_crit_v: Vec<usize> = Vec::new();
-            for &ei in &uncov {
+            // uncovered. The covered part lands in crit[v] directly —
+            // v ∉ S, so its slot is empty (cleared below on every path).
+            new_uncov.clear();
+            debug_assert!(crit[v].is_empty());
+            for &ei in uncov {
                 if self.edges[ei].contains(v) {
-                    new_crit_v.push(ei); // v is its only S∪{v} member
+                    crit[v].push(ei); // v is its only S∪{v} member
                 } else {
                     new_uncov.push(ei);
                 }
             }
             // Edges previously critical for some w ∈ S that contain v stop
             // being critical. Record removals for undo.
-            let mut removed: Vec<(usize, usize)> = Vec::new(); // (w, edge)
+            removed.clear();
             let mut still_minimal = true;
             for w in s.iter() {
                 let list = &mut crit[w];
@@ -334,18 +373,18 @@ impl Search<'_> {
 
             if still_minimal {
                 s.insert(v);
-                crit[v] = new_crit_v;
-                self.recurse(s, cand.clone(), new_uncov, crit, out);
-                crit[v].clear();
+                self.recurse(s, cand.clone(), &new_uncov, depth + 1, crit, scratch, out);
                 s.remove(v);
             }
-            for (w, ei) in removed {
+            crit[v].clear();
+            for &(w, ei) in &removed {
                 crit[w].push(ei);
             }
             // v becomes available again for deeper levels of later
             // siblings (the MMCS re-insertion step).
             cand.insert(v);
         }
+        scratch.restore(depth, new_uncov, removed);
     }
 }
 

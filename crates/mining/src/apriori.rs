@@ -17,6 +17,7 @@
 //! the generic algorithm applies verbatim to this miner.
 
 use std::collections::{HashMap, HashSet};
+use std::sync::OnceLock;
 
 use dualminer_bitset::AttrSet;
 use dualminer_obs::{Meter, NoopObserver, Outcome, RunCtl};
@@ -38,6 +39,9 @@ pub struct FrequentSets {
     pub negative_border: Vec<AttrSet>,
     /// Candidates evaluated per level (level = cardinality).
     pub candidates_per_level: Vec<usize>,
+    /// Lazily built support lookup table (see
+    /// [`support_index`](Self::support_index)).
+    pub(crate) support_index: OnceLock<HashMap<AttrSet, usize>>,
 }
 
 impl FrequentSets {
@@ -67,11 +71,21 @@ impl FrequentSets {
             .map(|i| self.itemsets[i].1)
     }
 
-    /// Support lookup table borrowing the stored itemsets — for callers
-    /// doing many lookups, `O(1)` each after one `O(m)` build, still
-    /// without cloning any set.
-    pub fn support_index(&self) -> HashMap<&AttrSet, usize> {
-        self.itemsets.iter().map(|(s, supp)| (s, *supp)).collect()
+    /// Support lookup table — `O(1)` per lookup after a one-time `O(m)`
+    /// build that is **cached**: repeated rule-mining passes share one
+    /// table instead of re-hashing the whole theory per call.
+    ///
+    /// The cache keys are clones of the stored itemsets (allocation-free
+    /// for universes ≤ 128 bits). Mutating the public `itemsets` field
+    /// after the first call leaves the cached table stale; use
+    /// [`support_of`](Self::support_of) when the collection is in flux.
+    pub fn support_index(&self) -> &HashMap<AttrSet, usize> {
+        self.support_index.get_or_init(|| {
+            self.itemsets
+                .iter()
+                .map(|(s, supp)| (s.clone(), *supp))
+                .collect()
+        })
     }
 
     /// Total support-counting operations performed (Theorem 10's count).
@@ -177,6 +191,7 @@ fn finish_sets(
         maximal,
         negative_border: negative,
         candidates_per_level,
+        support_index: OnceLock::new(),
     }
 }
 
@@ -224,6 +239,7 @@ pub fn apriori_par_ctl(
             maximal: vec![],
             negative_border: vec![AttrSet::empty(n)],
             candidates_per_level,
+            support_index: OnceLock::new(),
         });
     }
     itemsets.push((AttrSet::empty(n), empty_support));
@@ -237,14 +253,15 @@ pub fn apriori_par_ctl(
         let members: HashSet<&[usize]> = level.iter().map(|(v, _)| v.as_slice()).collect();
         let units = next_level_units(n, card, &level, &members);
 
-        // Count supports for the whole candidate batch in parallel. Each
-        // worker keeps one scratch tidset and clones it only for frequent
-        // candidates (the ones the next level keeps). `None` marks a
+        // Count supports for the whole candidate batch in parallel.
+        // Counting is non-materializing (`intersection_len` popcounts the
+        // parent tidset against the item column in one read-only pass); a
+        // tidset is materialized only for candidates that pass the
+        // threshold — the ones the next level keeps. `None` marks a
         // candidate skipped because the budget tripped.
         let level_ref = &level;
         let counted: Vec<Option<(AttrSet, usize, Option<AttrSet>)>> =
             dualminer_parallel::par_chunks(threads, 4, &units, |chunk| {
-                let mut scratch = AttrSet::empty(db.n_rows());
                 chunk
                     .iter()
                     .map(|(p, cand)| {
@@ -253,11 +270,14 @@ pub fn apriori_par_ctl(
                         }
                         ctl.meter.record_query();
                         let parent_tids = &level_ref[*p].1;
-                        let item = *cand.last().expect("candidates are nonempty");
-                        parent_tids.intersection_into(&db.columns()[item], &mut scratch);
-                        let support = scratch.len();
+                        let column = &db.columns()[*cand.last().expect("candidates are nonempty")];
+                        let support = parent_tids.intersection_len(column);
                         let cand_set = AttrSet::from_indices(n, cand.iter().copied());
-                        let tids = (support >= min_support).then(|| scratch.clone());
+                        let tids = (support >= min_support).then(|| {
+                            let mut tids = parent_tids.clone();
+                            tids.intersect_with(column);
+                            tids
+                        });
                         Some((cand_set, support, tids))
                     })
                     .collect::<Vec<_>>()

@@ -14,6 +14,8 @@
 //! * [`example19_db`] — the regime of the paper's Example 19: `MTh` is all
 //!   `(n−2)`-sets, so levelwise pays `~2ⁿ` while `|Bd⁻|` stays tiny.
 
+use std::collections::HashSet;
+
 use dualminer_bitset::{AttrSet, SubsetsOfSize};
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -39,6 +41,11 @@ pub fn planted(n_items: usize, plants: &[AttrSet], copies: usize) -> Transaction
 
 /// Draws a random antichain of `count` sets of cardinality exactly `k`
 /// (distinct; same-size sets are automatically an antichain).
+///
+/// Emission order is the draw order: the returned vector lists the sets
+/// in the order their first occurrence was drawn, so a seeded rng gives a
+/// deterministic plant. Dedup is `O(1)` per draw via a hash set rather
+/// than a scan of everything drawn so far.
 pub fn random_antichain<R: Rng + ?Sized>(
     n: usize,
     count: usize,
@@ -47,13 +54,14 @@ pub fn random_antichain<R: Rng + ?Sized>(
 ) -> Vec<AttrSet> {
     assert!(k <= n, "set size exceeds universe");
     let mut items: Vec<usize> = (0..n).collect();
+    let mut seen: HashSet<AttrSet> = HashSet::with_capacity(count);
     let mut plants: Vec<AttrSet> = Vec::with_capacity(count);
     let mut attempts = 0usize;
     while plants.len() < count && attempts < count * 30 + 100 {
         attempts += 1;
         items.shuffle(rng);
         let s = AttrSet::from_indices(n, items[..k].iter().copied());
-        if !plants.contains(&s) {
+        if seen.insert(s.clone()) {
             plants.push(s);
         }
     }

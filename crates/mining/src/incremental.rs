@@ -18,6 +18,7 @@
 //! makes verification cheap.
 
 use std::collections::{HashMap, HashSet};
+use std::sync::OnceLock;
 
 use dualminer_bitset::AttrSet;
 use dualminer_obs::{Meter, NoopObserver, Outcome, RunCtl};
@@ -104,6 +105,7 @@ fn assemble(
         maximal,
         negative_border: negative,
         candidates_per_level,
+        support_index: OnceLock::new(),
     };
     IncrementalUpdate {
         db: merged,

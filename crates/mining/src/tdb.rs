@@ -81,10 +81,15 @@ impl TransactionDb {
 
     /// The tidset of an itemset: rows containing **all** items of `x`.
     ///
-    /// `tidset(∅)` is all rows. `O(|x| · n_rows/64)`.
+    /// `tidset(∅)` is all rows. `O(|x| · n_rows/64)`, starting from the
+    /// first item's column so only `|x| − 1` intersection passes run.
     pub fn tidset(&self, x: &AttrSet) -> AttrSet {
-        let mut acc = AttrSet::full(self.n_rows());
-        for item in x {
+        let mut items = x.iter();
+        let Some(first) = items.next() else {
+            return AttrSet::full(self.n_rows());
+        };
+        let mut acc = self.columns[first].clone();
+        for item in items {
             acc.intersect_with(&self.columns[item]);
         }
         acc
@@ -92,12 +97,33 @@ impl TransactionDb {
 
     /// Absolute support: number of rows containing all of `x` (vertical
     /// counting).
+    ///
+    /// Never materializes the tidset for `|x| ≤ 3` (the popcount kernels
+    /// answer directly), and materializes exactly one accumulator beyond
+    /// that — which stays allocation-free when the row universe fits the
+    /// inline layout (`n_rows ≤ 128`).
     pub fn support(&self, x: &AttrSet) -> usize {
-        // Avoid materializing the tidset when x is a single column.
-        match x.len() {
-            0 => self.n_rows(),
-            1 => self.columns[x.first().expect("len 1")].len(),
-            _ => self.tidset(x).len(),
+        let mut items = x.iter();
+        let (Some(a), Some(b)) = (items.next(), items.next()) else {
+            return match x.first() {
+                None => self.n_rows(),
+                Some(item) => self.columns[item].len(),
+            };
+        };
+        match (items.next(), items.next()) {
+            (None, _) => self.columns[a].intersection_len(&self.columns[b]),
+            (Some(c), None) => {
+                self.columns[a].intersection_len_with(&self.columns[b], &self.columns[c])
+            }
+            (Some(c), Some(d)) => {
+                let mut acc = self.columns[a].intersection(&self.columns[b]);
+                acc.intersect_with(&self.columns[c]);
+                let mut len = acc.intersect_with_returning_len(&self.columns[d]);
+                for item in items {
+                    len = acc.intersect_with_returning_len(&self.columns[item]);
+                }
+                len
+            }
         }
     }
 

@@ -1,0 +1,104 @@
+//! Proof of the DESIGN.md §9 allocation discipline: support counting over
+//! inline universes (items and rows both ≤ `INLINE_BITS` = 128) performs
+//! **zero** heap allocations per query.
+//!
+//! A counting global allocator wraps the system allocator; the counter is
+//! thread-local so the libtest harness threads cannot perturb the
+//! measurement. This file deliberately holds a single `#[test]` — a
+//! `#[global_allocator]` is process-wide, and keeping the binary
+//! single-purpose keeps the measurement honest.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+use dualminer_bitset::AttrSet;
+use dualminer_mining::TransactionDb;
+
+thread_local! {
+    static ALLOCS: Cell<usize> = const { Cell::new(0) };
+}
+
+struct CountingAlloc;
+
+// SAFETY: pure pass-through to `System`; the counter is a thread-local
+// `Cell<usize>` touched via `try_with` so TLS teardown cannot panic.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+/// Runs `f` and returns its result plus the number of heap allocations it
+/// performed on this thread.
+fn counting<R>(f: impl FnOnce() -> R) -> (R, usize) {
+    let before = ALLOCS.with(|c| c.get());
+    let out = f();
+    (out, ALLOCS.with(|c| c.get()) - before)
+}
+
+#[test]
+fn support_counting_inner_loop_is_allocation_free() {
+    // 30 items × 100 rows: both universes fit the inline layout, so every
+    // column tidset and every accumulator is a stack-resident AttrSet.
+    let n_items = 30usize;
+    let n_rows = 100usize;
+    let rows: Vec<Vec<usize>> = (0..n_rows)
+        .map(|t| (0..n_items).filter(|i| (t * 7 + i * 13) % 3 != 0).collect())
+        .collect();
+    let db = TransactionDb::from_index_rows(n_items, rows);
+
+    // Candidates of every arity the `support` dispatch distinguishes:
+    // 0, 1, 2 (pairwise kernel), 3 (three-way kernel), 4 and 6 (fused
+    // accumulator loop).
+    let candidates: Vec<AttrSet> = [
+        vec![],
+        vec![0],
+        vec![1, 4],
+        vec![2, 5, 9],
+        vec![0, 3, 7, 11],
+        vec![1, 2, 8, 13, 21, 27],
+    ]
+    .into_iter()
+    .map(|v| AttrSet::from_indices(n_items, v))
+    .collect();
+    let expected: Vec<usize> = candidates
+        .iter()
+        .map(|x| db.support_horizontal(x))
+        .collect();
+
+    // The apriori inner loop: parent tidset ∩ item column, counted without
+    // materializing (the count-then-materialize refinement counts first and
+    // only clones for frequent candidates).
+    let parent = db.tidset(&candidates[2]);
+
+    let ((supports, pair_counts), allocs) = counting(|| {
+        let supports: Vec<usize> = candidates.iter().map(|x| db.support(x)).collect();
+        let mut pair_counts = 0usize;
+        for col in db.columns() {
+            pair_counts += parent.intersection_len(col);
+        }
+        (supports, pair_counts)
+    });
+
+    assert_eq!(supports, expected);
+    assert!(pair_counts > 0, "degenerate fixture");
+    // The `supports` Vec itself is one allocation; nothing else may touch
+    // the heap.
+    assert_eq!(
+        allocs, 1,
+        "support counting on an inline universe must not allocate"
+    );
+}
