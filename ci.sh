@@ -9,9 +9,11 @@ cargo test -q
 cargo clippy --workspace --all-targets -- -D warnings
 cargo fmt --check
 
-# Bench smoke: all bench targets compile, and one microbench group runs
-# end-to-end (a single fast id, so the gate stays quick).
+# Bench smoke: all bench targets compile, and two microbench groups run
+# end-to-end (single fast ids, so the gate stays quick). The settrie id
+# also cross-checks trie-vs-pairwise minimization agreement at startup.
 cargo bench -q -p dualminer-bench --no-run
 cargo bench -q -p dualminer-bench --bench bitset_kernels -- "is_disjoint/100" >/dev/null
+cargo bench -q -p dualminer-bench --bench settrie -- "minimize_family/trie/250" >/dev/null
 
 echo "ci.sh: all checks passed"

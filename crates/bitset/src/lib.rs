@@ -20,6 +20,10 @@
 //! * Enumeration helpers — [`SubsetsOfSize`], immediate subsets/supersets —
 //!   that the levelwise and Dualize-and-Advance algorithms use to walk the
 //!   subset lattice one level at a time.
+//! * [`SetTrie`] — a prefix tree over ascending-index set representations
+//!   answering subset/superset existence queries in output-sensitive time:
+//!   the index behind antichain minimization, prefix-join candidate
+//!   generation, and border derivation.
 //!
 //! # Example
 //!
@@ -41,10 +45,12 @@
 mod attr_set;
 mod enumerate;
 mod ops;
+mod set_trie;
 mod universe;
 
 pub use attr_set::AttrSet;
 pub use enumerate::{ImmediateSubsets, ImmediateSupersets, SubsetsOfSize};
+pub use set_trie::{NodeId, SetTrie, SubsetsOf};
 pub use universe::{ParseSetError, Universe};
 
 /// Number of bits in one storage block of an [`AttrSet`].

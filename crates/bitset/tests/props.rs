@@ -1,7 +1,9 @@
 //! Property-based tests for the `AttrSet` algebra: the Boolean-lattice laws
 //! every downstream algorithm silently relies on.
 
-use dualminer_bitset::{AttrSet, ImmediateSubsets, ImmediateSupersets, SubsetsOfSize, Universe};
+use dualminer_bitset::{
+    AttrSet, ImmediateSubsets, ImmediateSupersets, SetTrie, SubsetsOfSize, Universe,
+};
 use proptest::prelude::*;
 
 const UNIVERSE: usize = 130; // spans three u64 blocks
@@ -221,5 +223,65 @@ proptest! {
         );
         prop_assert_eq!(small_a.cmp_lex(&big_a), std::cmp::Ordering::Equal);
         prop_assert_eq!(small_a.cmp_lex(&big_b), big_a.cmp_lex(&small_b));
+    }
+}
+
+/// A universe size from [`SIZES`], a family of index pools, and three
+/// query pools — the raw material for the set-trie reference checks.
+fn arb_sized_family() -> impl Strategy<Value = (usize, Vec<Vec<usize>>, Vec<Vec<usize>>)> {
+    let pool = || proptest::collection::vec(0usize..200, 0..12);
+    (
+        0usize..SIZES.len(),
+        proptest::collection::vec(pool(), 0..20),
+        proptest::collection::vec(pool(), 3),
+    )
+        .prop_map(|(i, fam, qs)| (SIZES[i], fam, qs))
+}
+
+proptest! {
+    /// Every [`SetTrie`] query answers exactly what the naive pairwise
+    /// scan over the family answers, on both sides of the inline/heap
+    /// `AttrSet` boundary. Family members double as queries so the
+    /// equal-set edge cases (`contains` vs `has_subset_of` vs
+    /// `has_proper_superset_of`) are always exercised.
+    #[test]
+    fn set_trie_matches_naive_reference((n, fam, qs) in arb_sized_family()) {
+        let family: Vec<AttrSet> = fam.iter().map(|p| fold(n, p)).collect();
+        let mut trie = SetTrie::new();
+        for s in &family {
+            trie.insert(s);
+        }
+        let mut distinct = family.clone();
+        distinct.sort_by(|a, b| a.cmp_lex(b));
+        distinct.dedup();
+        prop_assert_eq!(trie.len(), distinct.len());
+
+        let queries: Vec<AttrSet> =
+            qs.iter().map(|p| fold(n, p)).chain(family.iter().cloned()).collect();
+        for q in &queries {
+            prop_assert_eq!(trie.contains(q), family.contains(q));
+            prop_assert_eq!(
+                trie.has_subset_of(q),
+                family.iter().any(|s| s.is_subset(q)),
+                "has_subset_of {:?}", q
+            );
+            prop_assert_eq!(
+                trie.has_superset_of(q),
+                family.iter().any(|s| q.is_subset(s)),
+                "has_superset_of {:?}", q
+            );
+            prop_assert_eq!(
+                trie.has_proper_superset_of(q),
+                family.iter().any(|s| q.is_proper_subset(s)),
+                "has_proper_superset_of {:?}", q
+            );
+            let listed: Vec<AttrSet> = trie.subsets_of(q).collect();
+            let expected: Vec<AttrSet> = distinct
+                .iter()
+                .filter(|s| s.is_subset(q))
+                .cloned()
+                .collect();
+            prop_assert_eq!(listed, expected, "subsets_of {:?}", q);
+        }
     }
 }

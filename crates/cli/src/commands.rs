@@ -164,8 +164,8 @@ pub fn run(cmd: Command) -> Result<(), String> {
             if let Some(r) = reason {
                 note_partial(r);
             }
-            println!("\n{} frequent itemsets:", fs.itemsets.len());
-            for (set, support) in &fs.itemsets {
+            println!("\n{} frequent itemsets:", fs.itemsets().len());
+            for (set, support) in fs.itemsets() {
                 if set.is_empty() {
                     continue;
                 }

@@ -14,7 +14,7 @@
 
 use std::collections::HashSet;
 
-use dualminer_bitset::AttrSet;
+use dualminer_bitset::{AttrSet, SetTrie};
 use dualminer_hypergraph::{maximize_family, transversals_with, Hypergraph, TrAlgorithm};
 
 use crate::oracle::InterestOracle;
@@ -53,24 +53,49 @@ pub fn negative_border_via_transversals(
 /// immediate subset is in the theory but which are not themselves members.
 ///
 /// Used as the independent cross-check of Theorem 7 in tests and in
-/// experiment E1. `O(|Th| · n)` hash probes.
+/// experiment E1. `O(|Th| · n)` candidate probes, each answered by a
+/// [`SetTrie`] descent over the candidate's index vector — no per-probe
+/// set materialization or hashing.
 pub fn negative_border_definition(n: usize, theory: &[AttrSet]) -> Vec<AttrSet> {
-    let members: HashSet<&AttrSet> = theory.iter().collect();
+    let mut members = SetTrie::new();
+    for t in theory {
+        members.insert(t);
+    }
     // ∅ is the unique minimal set; if even it is missing, Bd⁻ = {∅}.
     let empty = AttrSet::empty(n);
     if !members.contains(&empty) {
         return vec![empty];
     }
     let mut border: Vec<AttrSet> = Vec::new();
-    let mut seen: HashSet<AttrSet> = HashSet::new();
+    let mut seen = SetTrie::new();
     for t in theory {
-        for cand in dualminer_bitset::ImmediateSupersets::new(t) {
-            if members.contains(&cand) || seen.contains(&cand) {
+        let base = t.to_vec();
+        let mut cand = Vec::with_capacity(base.len() + 1);
+        for a in 0..n {
+            if t.contains(a) {
                 continue;
             }
-            if dualminer_bitset::ImmediateSubsets::new(&cand).all(|s| members.contains(&s)) {
-                seen.insert(cand.clone());
-                border.push(cand);
+            // cand = t ∪ {a}, as ascending indices.
+            cand.clear();
+            let split = base.partition_point(|&v| v < a);
+            cand.extend_from_slice(&base[..split]);
+            cand.push(a);
+            cand.extend_from_slice(&base[split..]);
+            if members.contains_ascending(cand.iter().copied())
+                || seen.contains_ascending(cand.iter().copied())
+            {
+                continue;
+            }
+            let all_subsets_member = (0..cand.len()).all(|drop| {
+                members.contains_ascending(
+                    cand.iter()
+                        .enumerate()
+                        .filter_map(|(i, &v)| (i != drop).then_some(v)),
+                )
+            });
+            if all_subsets_member {
+                seen.insert_ascending(cand.iter().copied());
+                border.push(AttrSet::from_indices(n, cand.iter().copied()));
             }
         }
     }

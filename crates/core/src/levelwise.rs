@@ -19,11 +19,10 @@
 //! representable (`MTh = ∅`, `Bd⁻ = {∅}`). Experiment E1 reports the count
 //! both ways.
 
-use std::collections::HashSet;
-
-use dualminer_bitset::AttrSet;
+use dualminer_bitset::{AttrSet, SetTrie};
 use dualminer_obs::{Meter, NoopObserver, Outcome, RunCtl};
 
+use crate::candidates::prefix_join_units;
 use crate::oracle::{InterestOracle, SyncInterestOracle};
 
 /// Complete output of one levelwise run.
@@ -75,10 +74,18 @@ fn finish_run(
     candidates_per_level: Vec<usize>,
     queries: u64,
 ) -> LevelwiseRun {
-    let member_set: HashSet<&AttrSet> = theory.iter().collect();
+    // A theory member is maximal iff the theory holds no proper superset
+    // of it. Candidate pruning keeps every theory prefix closed under
+    // immediate subsets, so "some proper superset is a member" and "some
+    // *immediate* superset is a member" coincide — one pruned trie query
+    // per member instead of materializing and hashing n supersets.
+    let mut member_trie = SetTrie::new();
+    for t in &theory {
+        member_trie.insert(t);
+    }
     let positive_border: Vec<AttrSet> = theory
         .iter()
-        .filter(|t| dualminer_bitset::ImmediateSupersets::new(t).all(|s| !member_set.contains(&s)))
+        .filter(|t| !member_trie.has_proper_superset_of(t))
         .cloned()
         .collect();
     negative.sort_by(|a, b| a.cmp_card_lex(b));
@@ -137,12 +144,11 @@ pub fn levelwise_ctl<O: InterestOracle>(oracle: &mut O, ctl: &RunCtl<'_>) -> Out
     let mut card = 0usize;
     while !level.is_empty() && card < n {
         card += 1;
-        let members: HashSet<&[usize]> = level.iter().map(Vec::as_slice).collect();
-        let cands = next_level_candidates(n, card, &level, &members);
+        let units = prefix_join_units(n, card, &level, Vec::as_slice);
         let mut next: Vec<Vec<usize>> = Vec::new();
         let mut tested = 0usize;
         let mut interesting_count = 0usize;
-        for cand in cands {
+        for (_, cand) in units {
             if let Some(reason) = ctl.meter.exceeded() {
                 if tested > 0 {
                     candidates_per_level.push(tested);
@@ -172,42 +178,6 @@ pub fn levelwise_ctl<O: InterestOracle>(oracle: &mut O, ctl: &RunCtl<'_>) -> Out
     }
 
     Outcome::Complete(finish_run(theory, negative, candidates_per_level, queries))
-}
-
-/// Generates level-`card` candidates from the previous level `level`,
-/// in the exact order the sequential loop evaluates them: parents in level
-/// order, extensions by ascending attribute, pruned unless every immediate
-/// subset is a level member.
-fn next_level_candidates(
-    n: usize,
-    card: usize,
-    level: &[Vec<usize>],
-    members: &HashSet<&[usize]>,
-) -> Vec<Vec<usize>> {
-    let mut cands: Vec<Vec<usize>> = Vec::new();
-    for x in level {
-        let lo = x.last().map_or(0, |&m| m + 1);
-        'ext: for a in lo..n {
-            let mut cand = x.clone();
-            cand.push(a);
-            if card >= 2 {
-                let mut sub = Vec::with_capacity(card - 1);
-                for drop in 0..cand.len() - 1 {
-                    sub.clear();
-                    sub.extend(
-                        cand.iter()
-                            .enumerate()
-                            .filter_map(|(i, &v)| (i != drop).then_some(v)),
-                    );
-                    if !members.contains(sub.as_slice()) {
-                        continue 'ext;
-                    }
-                }
-            }
-            cands.push(cand);
-        }
-    }
-    cands
 }
 
 /// [`levelwise`] with each level's candidate batch evaluated on up to
@@ -276,17 +246,16 @@ pub fn levelwise_par_ctl<O: SyncInterestOracle>(
     let mut card = 0usize;
     while !level.is_empty() && card < n {
         card += 1;
-        let members: HashSet<&[usize]> = level.iter().map(Vec::as_slice).collect();
-        let cands = next_level_candidates(n, card, &level, &members);
+        let units = prefix_join_units(n, card, &level, Vec::as_slice);
 
         // Evaluate the whole batch in parallel; chunk-order concatenation
         // reproduces the sequential evaluation order exactly. `None`
         // marks a candidate skipped because the budget tripped.
         let verdicts: Vec<Option<(AttrSet, bool)>> =
-            dualminer_parallel::par_chunks(threads, 4, &cands, |chunk| {
+            dualminer_parallel::par_chunks(threads, 4, &units, |chunk| {
                 chunk
                     .iter()
-                    .map(|cand| {
+                    .map(|(_, cand)| {
                         if ctl.meter.exceeded().is_some() {
                             return None;
                         }
@@ -303,7 +272,7 @@ pub fn levelwise_par_ctl<O: SyncInterestOracle>(
         let mut tested = 0usize;
         let mut interesting_count = 0usize;
         let mut tripped = false;
-        for (cand, verdict) in cands.into_iter().zip(verdicts) {
+        for ((_, cand), verdict) in units.into_iter().zip(verdicts) {
             let Some((set, interesting)) = verdict else {
                 tripped = true;
                 break;

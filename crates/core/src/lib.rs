@@ -61,6 +61,7 @@
 
 pub mod border;
 pub mod bounds;
+pub mod candidates;
 pub mod dualize_advance;
 pub mod lang;
 pub mod levelwise;

@@ -66,7 +66,7 @@ pub mod oracle;
 
 pub use graph::{EdgeError, Hypergraph};
 
-use dualminer_bitset::AttrSet;
+use dualminer_bitset::{AttrSet, SetTrie};
 
 /// The transversal-computation strategies offered by this crate, so callers
 /// (notably Dualize-and-Advance in `dualminer-core`) can select a subroutine
@@ -159,29 +159,35 @@ pub fn transversals_with_ctl(
 
 /// Removes non-minimal sets from a family: returns the ⊆-minimal antichain.
 ///
-/// Used by every algorithm in this crate; worst-case `O(m² · n/64)`, but
-/// after the card-lex sort and dedup two sets of *equal* cardinality are
-/// distinct and so cannot contain one another — each candidate is only
-/// compared against the kept prefix of strictly smaller sets. Families
-/// concentrated on few cardinalities (Berge extension batches, matching
-/// transversals) minimize in near-linear time.
+/// Trie-backed: after the card-lex sort and dedup, a set is kept iff the
+/// [`SetTrie`] of *strictly smaller* kept sets holds no subset of it (two
+/// distinct sets of equal cardinality cannot contain one another, so
+/// same-card siblings never need checking — they are flushed into the trie
+/// only when a larger cardinality begins). Each `has_subset_of` is a
+/// pruned depth-first search that only descends edges labelled by the
+/// query's own members, so minimization is near-linear in family size
+/// instead of the pairwise `O(m²)` scan — the Example 19 blowup inside
+/// Berge's per-edge re-minimization. A family concentrated on a single
+/// cardinality (matching transversals, Berge extension batches) never
+/// touches the trie at all.
 pub fn minimize_family(mut sets: Vec<AttrSet>) -> Vec<AttrSet> {
     sets.sort_by(|a, b| a.cmp_card_lex(b));
     sets.dedup();
+    let mut trie = SetTrie::new();
     let mut kept: Vec<AttrSet> = Vec::with_capacity(sets.len());
     let mut card = 0usize;
-    let mut smaller_end = 0usize; // kept[..smaller_end] have len() < card
-    'outer: for s in sets {
+    let mut flushed = 0usize; // kept[..flushed] are in the trie
+    for s in sets {
         if s.len() > card {
             card = s.len();
-            smaller_end = kept.len();
-        }
-        for k in &kept[..smaller_end] {
-            if k.is_subset(&s) {
-                continue 'outer;
+            for k in &kept[flushed..] {
+                trie.insert(k);
             }
+            flushed = kept.len();
         }
-        kept.push(s);
+        if !trie.has_subset_of(&s) {
+            kept.push(s);
+        }
     }
     kept
 }
@@ -189,24 +195,26 @@ pub fn minimize_family(mut sets: Vec<AttrSet>) -> Vec<AttrSet> {
 /// Removes non-maximal sets from a family: returns the ⊆-maximal antichain.
 ///
 /// Mirror of [`minimize_family`]: descending cardinality, each candidate
-/// compared only against the kept prefix of strictly larger sets.
+/// checked via `has_superset_of` against the trie of strictly larger kept
+/// sets.
 pub fn maximize_family(mut sets: Vec<AttrSet>) -> Vec<AttrSet> {
     sets.sort_by(|a, b| b.cmp_card_lex(a));
     sets.dedup();
+    let mut trie = SetTrie::new();
     let mut kept: Vec<AttrSet> = Vec::with_capacity(sets.len());
     let mut card = usize::MAX;
-    let mut larger_end = 0usize; // kept[..larger_end] have len() > card
-    'outer: for s in sets {
+    let mut flushed = 0usize; // kept[..flushed] are in the trie
+    for s in sets {
         if s.len() < card {
             card = s.len();
-            larger_end = kept.len();
-        }
-        for k in &kept[..larger_end] {
-            if s.is_subset(k) {
-                continue 'outer;
+            for k in &kept[flushed..] {
+                trie.insert(k);
             }
+            flushed = kept.len();
         }
-        kept.push(s);
+        if !trie.has_superset_of(&s) {
+            kept.push(s);
+        }
     }
     kept
 }

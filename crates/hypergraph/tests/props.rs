@@ -133,3 +133,67 @@ proptest! {
         prop_assert_eq!(is_transversal(&h, &xs), is_transversal(&h.minimized(), &xs));
     }
 }
+
+/// Pairwise O(m²) reference for [`minimize_family`]: keep a set iff no
+/// *other distinct* set is a subset of it.
+fn naive_minimize(sets: &[AttrSet]) -> Vec<AttrSet> {
+    let mut kept: Vec<AttrSet> = sets
+        .iter()
+        .filter(|x| !sets.iter().any(|s| s != *x && s.is_subset(x)))
+        .cloned()
+        .collect();
+    kept.sort_by(|a, b| a.cmp_card_lex(b));
+    kept.dedup();
+    kept
+}
+
+/// Pairwise reference for [`maximize_family`], mirrored (descending
+/// card-lex order, matching the production function).
+fn naive_maximize(sets: &[AttrSet]) -> Vec<AttrSet> {
+    let mut kept: Vec<AttrSet> = sets
+        .iter()
+        .filter(|x| !sets.iter().any(|s| s != *x && x.is_subset(s)))
+        .cloned()
+        .collect();
+    kept.sort_by(|a, b| b.cmp_card_lex(a));
+    kept.dedup();
+    kept
+}
+
+/// Families over universes straddling the inline/heap `AttrSet`
+/// boundary, including larger universes than the transversal tests use.
+/// Raw indices are folded into the chosen universe by `% n`.
+fn arb_family() -> impl Strategy<Value = Vec<AttrSet>> {
+    const SIZES: [usize; 5] = [64, 127, 128, 129, 200];
+    (
+        0usize..SIZES.len(),
+        proptest::collection::vec(proptest::collection::vec(0usize..200, 0..6), 0..16),
+    )
+        .prop_map(|(i, fam)| {
+            let n = SIZES[i];
+            fam.into_iter()
+                .map(|v| AttrSet::from_indices(n, v.into_iter().map(|x| x % n)))
+                .collect()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The trie-backed family minimization/maximization returns exactly
+    /// the pairwise-scan reference: same members, same `cmp_card_lex`
+    /// order, duplicates collapsed.
+    #[test]
+    fn family_minimize_maximize_match_naive(fam in arb_family()) {
+        let min = dualminer_hypergraph::minimize_family(fam.clone());
+        prop_assert_eq!(min.clone(), naive_minimize(&fam));
+        for (i, m) in min.iter().enumerate() {
+            for other in &min[i + 1..] {
+                prop_assert!(!m.is_subset(other) && !other.is_subset(m));
+            }
+        }
+
+        let max = dualminer_hypergraph::maximize_family(fam.clone());
+        prop_assert_eq!(max, naive_maximize(&fam));
+    }
+}

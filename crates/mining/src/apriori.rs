@@ -16,10 +16,11 @@
 //! borders, and candidate counts — so every Theorem 10/12 statement about
 //! the generic algorithm applies verbatim to this miner.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 use std::sync::OnceLock;
 
-use dualminer_bitset::AttrSet;
+use dualminer_bitset::{AttrSet, SetTrie};
+use dualminer_core::candidates::prefix_join_units;
 use dualminer_obs::{Meter, NoopObserver, Outcome, RunCtl};
 
 use crate::TransactionDb;
@@ -30,8 +31,11 @@ pub struct FrequentSets {
     pub(crate) n_items: usize,
     pub(crate) min_support: usize,
     pub(crate) n_rows: usize,
-    /// Frequent sets, card-lex sorted, with absolute supports.
-    pub itemsets: Vec<(AttrSet, usize)>,
+    /// Frequent sets, card-lex sorted, with absolute supports. Read-only
+    /// behind [`itemsets`](Self::itemsets): the cached
+    /// [`support_index`](Self::support_index) is derived from this vector,
+    /// and public mutability would let the two silently diverge.
+    pub(crate) itemsets: Vec<(AttrSet, usize)>,
     /// The maximal frequent sets (`MTh`).
     pub maximal: Vec<AttrSet>,
     /// The negative border: infrequent candidates all of whose subsets are
@@ -60,6 +64,15 @@ impl FrequentSets {
         self.n_rows
     }
 
+    /// The frequent sets, card-lex sorted, with absolute supports.
+    ///
+    /// Read-only: [`support_index`](Self::support_index) caches a lookup
+    /// table built from this vector on first use, so exposing the field
+    /// mutably would allow the cache to go stale.
+    pub fn itemsets(&self) -> &[(AttrSet, usize)] {
+        &self.itemsets
+    }
+
     /// Support of `x`, or `None` if `x` is not frequent.
     ///
     /// Borrow-based: a binary search over the card-lex-sorted `itemsets`
@@ -76,9 +89,9 @@ impl FrequentSets {
     /// table instead of re-hashing the whole theory per call.
     ///
     /// The cache keys are clones of the stored itemsets (allocation-free
-    /// for universes ≤ 128 bits). Mutating the public `itemsets` field
-    /// after the first call leaves the cached table stale; use
-    /// [`support_of`](Self::support_of) when the collection is in flux.
+    /// for universes ≤ 128 bits). The itemset collection is immutable
+    /// after mining (see [`itemsets`](Self::itemsets)), so the cached
+    /// table can never go stale.
     pub fn support_index(&self) -> &HashMap<AttrSet, usize> {
         self.support_index.get_or_init(|| {
             self.itemsets
@@ -100,46 +113,6 @@ impl FrequentSets {
 /// Panics if `min_support` is 0 (see [`crate::FrequencyOracle::new`]).
 pub fn apriori(db: &TransactionDb, min_support: usize) -> FrequentSets {
     apriori_par(db, min_support, 1)
-}
-
-/// One unit of support-counting work: `(parent index, candidate indices)`.
-/// The candidate's tidset is `level[parent].1 ∩ column[last item]` — the
-/// Eclat refinement — so a worker needs only a shared borrow of the level.
-type CandidateUnit = (usize, Vec<usize>);
-
-/// Generates the level-`card` candidate units in the sequential evaluation
-/// order: parents in level order, extensions by ascending item, pruned
-/// unless every immediate sub-itemset is frequent at the current level.
-fn next_level_units(
-    n: usize,
-    card: usize,
-    level: &[(Vec<usize>, AttrSet)],
-    members: &HashSet<&[usize]>,
-) -> Vec<CandidateUnit> {
-    let mut units: Vec<CandidateUnit> = Vec::new();
-    for (p, (x, _)) in level.iter().enumerate() {
-        let lo = x.last().map_or(0, |&m| m + 1);
-        'ext: for a in lo..n {
-            let mut cand = x.clone();
-            cand.push(a);
-            if card >= 2 {
-                let mut sub = Vec::with_capacity(card - 1);
-                for drop in 0..cand.len() - 1 {
-                    sub.clear();
-                    sub.extend(
-                        cand.iter()
-                            .enumerate()
-                            .filter_map(|(i, &v)| (i != drop).then_some(v)),
-                    );
-                    if !members.contains(sub.as_slice()) {
-                        continue 'ext;
-                    }
-                }
-            }
-            units.push((p, cand));
-        }
-    }
-    units
 }
 
 /// [`apriori`] with each level's support counting spread over up to
@@ -174,11 +147,18 @@ fn finish_sets(
     mut negative: Vec<AttrSet>,
     candidates_per_level: Vec<usize>,
 ) -> FrequentSets {
-    let member_set: HashSet<&AttrSet> = itemsets.iter().map(|(s, _)| s).collect();
+    // Maximal iff no proper frequent superset exists. The mined prefix is
+    // closed under immediate subsets (candidate pruning guarantees it), so
+    // the proper-superset trie query agrees with the immediate-superset
+    // scan — without cloning and hashing n supersets per itemset.
+    let mut member_trie = SetTrie::new();
+    for (s, _) in &itemsets {
+        member_trie.insert(s);
+    }
     let maximal: Vec<AttrSet> = itemsets
         .iter()
         .map(|(s, _)| s)
-        .filter(|s| dualminer_bitset::ImmediateSupersets::new(s).all(|t| !member_set.contains(&t)))
+        .filter(|s| !member_trie.has_proper_superset_of(s))
         .cloned()
         .collect();
     negative.sort_by(|a, b| a.cmp_card_lex(b));
@@ -250,8 +230,9 @@ pub fn apriori_par_ctl(
     let mut card = 0usize;
     while !level.is_empty() && card < n {
         card += 1;
-        let members: HashSet<&[usize]> = level.iter().map(|(v, _)| v.as_slice()).collect();
-        let units = next_level_units(n, card, &level, &members);
+        // Shared prefix-join engine; the `(parent, candidate)` unit shape
+        // is what the Eclat tidset reuse below needs.
+        let units = prefix_join_units(n, card, &level, |(v, _)| v.as_slice());
 
         // Count supports for the whole candidate batch in parallel.
         // Counting is non-materializing (`intersection_len` popcounts the
@@ -367,6 +348,25 @@ mod tests {
         }
         // Infrequent (support 1 < σ): not in the theory, so no lookup hit.
         assert_eq!(fs.support_of(&AttrSet::from_indices(4, [0, 1, 2, 3])), None);
+    }
+
+    #[test]
+    fn support_index_cannot_go_stale() {
+        // Regression: `itemsets` used to be a public field, so callers
+        // could mutate it after `support_index()` had cached its lookup
+        // table and the two views would silently diverge. The field is
+        // now read-only behind `itemsets()`; the cached table is built
+        // once and always agrees with the stored itemsets.
+        let db = fig1_db();
+        let fs = apriori(&db, 2);
+        let first: *const HashMap<AttrSet, usize> = fs.support_index();
+        for (set, supp) in fs.itemsets() {
+            assert_eq!(fs.support_index().get(set), Some(supp));
+            assert_eq!(fs.support_of(set), Some(*supp));
+        }
+        assert_eq!(fs.support_index().len(), fs.itemsets().len());
+        // Repeated calls return the same cached table, never a rebuild.
+        assert!(std::ptr::eq(first, fs.support_index()));
     }
 
     #[test]

@@ -39,6 +39,31 @@ pub fn planted(n_items: usize, plants: &[AttrSet], copies: usize) -> Transaction
     TransactionDb::new(n_items, rows)
 }
 
+/// Failure of [`try_random_antichain`]: the attempt cap tripped before
+/// `count` distinct sets were drawn — either `C(n, k) < count` (impossible
+/// request) or the space is so nearly exhausted that rejection sampling
+/// stalled.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AntichainShortfall {
+    /// How many distinct sets were requested.
+    pub requested: usize,
+    /// How many distinct sets the attempt budget produced.
+    pub drawn: usize,
+}
+
+impl std::fmt::Display for AntichainShortfall {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "random_antichain drew only {} of {} requested sets before the \
+             attempt cap; the k-subset space is exhausted or nearly so",
+            self.drawn, self.requested
+        )
+    }
+}
+
+impl std::error::Error for AntichainShortfall {}
+
 /// Draws a random antichain of `count` sets of cardinality exactly `k`
 /// (distinct; same-size sets are automatically an antichain).
 ///
@@ -46,12 +71,17 @@ pub fn planted(n_items: usize, plants: &[AttrSet], copies: usize) -> Transaction
 /// in the order their first occurrence was drawn, so a seeded rng gives a
 /// deterministic plant. Dedup is `O(1)` per draw via a hash set rather
 /// than a scan of everything drawn so far.
-pub fn random_antichain<R: Rng + ?Sized>(
+///
+/// Rejection sampling is capped at `count · 30 + 100` attempts; if the cap
+/// trips — in particular whenever `C(n, k) < count`, which makes the
+/// request impossible — the shortfall is reported as an error instead of a
+/// silently shorter vector.
+pub fn try_random_antichain<R: Rng + ?Sized>(
     n: usize,
     count: usize,
     k: usize,
     rng: &mut R,
-) -> Vec<AttrSet> {
+) -> Result<Vec<AttrSet>, AntichainShortfall> {
     assert!(k <= n, "set size exceeds universe");
     let mut items: Vec<usize> = (0..n).collect();
     let mut seen: HashSet<AttrSet> = HashSet::with_capacity(count);
@@ -65,7 +95,31 @@ pub fn random_antichain<R: Rng + ?Sized>(
             plants.push(s);
         }
     }
-    plants
+    if plants.len() < count {
+        return Err(AntichainShortfall {
+            requested: count,
+            drawn: plants.len(),
+        });
+    }
+    Ok(plants)
+}
+
+/// [`try_random_antichain`], panicking on a shortfall.
+///
+/// # Panics
+/// Panics if the attempt cap trips before `count` distinct `k`-sets are
+/// drawn (always the case when `C(n, k) < count`). Use
+/// [`try_random_antichain`] to handle the shortfall instead.
+pub fn random_antichain<R: Rng + ?Sized>(
+    n: usize,
+    count: usize,
+    k: usize,
+    rng: &mut R,
+) -> Vec<AttrSet> {
+    match try_random_antichain(n, count, k, rng) {
+        Ok(plants) => plants,
+        Err(err) => panic!("{err}"),
+    }
 }
 
 /// Parameters of the Quest-style generator (Agrawal–Srikant conventions:
@@ -209,6 +263,33 @@ mod tests {
         let mut dedup = plants.clone();
         dedup.dedup();
         assert_eq!(dedup.len(), plants.len());
+    }
+
+    #[test]
+    fn antichain_shortfall_is_explicit_at_the_counting_boundary() {
+        // C(5, 2) = 10: requesting 11 distinct 2-sets is impossible.
+        let mut rng = StdRng::seed_from_u64(3);
+        let err = try_random_antichain(5, 11, 2, &mut rng).unwrap_err();
+        assert_eq!(err.requested, 11);
+        assert!(err.drawn <= 10);
+        assert!(err.to_string().contains("11 requested"));
+
+        // Exactly C(5, 2) = 10 is feasible and the cap (400 attempts) is
+        // generous enough for the coupon-collector tail.
+        let mut rng = StdRng::seed_from_u64(3);
+        let plants = try_random_antichain(5, 10, 2, &mut rng).unwrap();
+        assert_eq!(plants.len(), 10);
+        let mut uniq = plants.clone();
+        uniq.sort();
+        uniq.dedup();
+        assert_eq!(uniq.len(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "random_antichain drew only")]
+    fn antichain_shortfall_panics_in_the_infallible_wrapper() {
+        let mut rng = StdRng::seed_from_u64(4);
+        random_antichain(4, 100, 2, &mut rng); // C(4,2) = 6 < 100
     }
 
     #[test]

@@ -31,14 +31,14 @@ proptest! {
                 }
             }
         }
-        prop_assert_eq!(fs.itemsets, expected);
+        prop_assert_eq!(fs.itemsets(), expected);
     }
 
     #[test]
     fn parallel_apriori_is_bit_identical(db in arb_db(), sigma in 1usize..4) {
         let seq = apriori(&db, sigma);
         let par = dualminer_mining::apriori::apriori_par(&db, sigma, 3);
-        prop_assert_eq!(par.itemsets, seq.itemsets);
+        prop_assert_eq!(par.itemsets(), seq.itemsets());
         prop_assert_eq!(par.maximal, seq.maximal);
         prop_assert_eq!(par.negative_border, seq.negative_border);
         prop_assert_eq!(par.candidates_per_level, seq.candidates_per_level);
@@ -113,13 +113,13 @@ proptest! {
         use dualminer_mining::closed::{closed_sets, closure, support_from_closed};
         let fs = dualminer_mining::apriori::apriori(&db, sigma);
         let closed = closed_sets(&fs);
-        for (set, support) in &fs.itemsets {
+        for (set, support) in fs.itemsets() {
             prop_assert_eq!(support_from_closed(&closed, set), Some(*support));
         }
         for c in &closed {
             prop_assert_eq!(closure(&db, &c.set), c.set.clone());
         }
-        prop_assert!(closed.len() <= fs.itemsets.len());
+        prop_assert!(closed.len() <= fs.itemsets().len());
     }
 
     #[test]
@@ -128,7 +128,7 @@ proptest! {
         let mut rng = StdRng::seed_from_u64(seed);
         let exact = dualminer_mining::apriori::apriori(&db, sigma);
         let sampled = dualminer_mining::sampling::sample_then_verify(&db, sigma, 4, 0.7, &mut rng);
-        prop_assert_eq!(sampled.itemsets, exact.itemsets);
+        prop_assert_eq!(sampled.itemsets, exact.itemsets());
     }
 
     #[test]
@@ -145,7 +145,7 @@ proptest! {
             .collect();
         let update = dualminer_mining::incremental::append_rows(&db, &old, extra_rows);
         let fresh = dualminer_mining::apriori::apriori(&update.db, sigma);
-        prop_assert_eq!(update.frequent.itemsets, fresh.itemsets);
+        prop_assert_eq!(update.frequent.itemsets(), fresh.itemsets());
         prop_assert_eq!(update.frequent.maximal, fresh.maximal);
         prop_assert_eq!(update.frequent.negative_border, fresh.negative_border);
     }
@@ -160,5 +160,111 @@ proptest! {
         );
         prop_assert_eq!(batch.maximal, reference.maximal);
         prop_assert_eq!(batch.negative_border, reference.negative_border);
+    }
+}
+
+/// The pre-PR-4 candidate generator, kept verbatim as a reference: for
+/// each level member, try every extension above its maximum and keep
+/// the candidate iff all immediate subsets (other than the parent
+/// itself) are level members. Emission order is parents in level order,
+/// extensions ascending — the order [`prefix_join_units`] must match
+/// bit for bit.
+fn naive_units(n: usize, card: usize, level: &[Vec<usize>]) -> Vec<(usize, Vec<usize>)> {
+    use std::collections::HashSet;
+    let members: HashSet<&[usize]> = level.iter().map(Vec::as_slice).collect();
+    let mut units = Vec::new();
+    for (pi, x) in level.iter().enumerate() {
+        let lo = x.last().map_or(0, |&m| m + 1);
+        'ext: for a in lo..n {
+            let mut cand = x.clone();
+            cand.push(a);
+            if card >= 2 {
+                for drop in 0..cand.len() - 1 {
+                    let sub: Vec<usize> = cand
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(i, &v)| (i != drop).then_some(v))
+                        .collect();
+                    if !members.contains(sub.as_slice()) {
+                        continue 'ext;
+                    }
+                }
+            }
+            units.push((pi, cand));
+        }
+    }
+    units
+}
+
+/// Replay every level of a finished mining run through both candidate
+/// generators and assert the unit sequences — parent indices, candidate
+/// sets, and order — are identical.
+fn assert_candidate_sequences_match(db: &TransactionDb, sigma: usize) {
+    let n = db.n_items();
+    let fs = apriori(db, sigma);
+    let max_card = fs
+        .itemsets()
+        .iter()
+        .map(|(s, _)| s.len())
+        .max()
+        .unwrap_or(0);
+    for card in 1..=max_card + 1 {
+        let level: Vec<Vec<usize>> = fs
+            .itemsets()
+            .iter()
+            .filter(|(s, _)| s.len() == card - 1)
+            .map(|(s, _)| s.to_vec())
+            .collect();
+        let new = dualminer_core::candidates::prefix_join_units(n, card, &level, Vec::as_slice);
+        assert_eq!(new, naive_units(n, card, &level), "card {card}");
+    }
+}
+
+#[test]
+fn candidate_sequences_bit_identical_on_seeded_quest() {
+    use dualminer_mining::gen::{quest, QuestParams};
+    use rand::{rngs::StdRng, SeedableRng};
+    let params = QuestParams {
+        n_items: 24,
+        n_transactions: 300,
+        avg_transaction_size: 8,
+        avg_pattern_size: 4,
+        n_patterns: 8,
+        corruption: 0.3,
+    };
+    for seed in [7u64, 42, 20260806] {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let db = quest(&params, &mut rng);
+        for sigma in [20, 45, 90] {
+            assert_candidate_sequences_match(&db, sigma);
+        }
+    }
+}
+
+#[test]
+fn candidate_sequences_bit_identical_on_planted() {
+    use dualminer_mining::gen::planted;
+    let n = 16;
+    let plants = vec![
+        AttrSet::from_indices(n, [0, 1, 2, 3, 4]),
+        AttrSet::from_indices(n, [3, 4, 5, 6]),
+        AttrSet::from_indices(n, [6, 7, 8, 9, 10]),
+        AttrSet::from_indices(n, [0, 10, 11, 12]),
+        AttrSet::from_indices(n, [13, 14, 15]),
+    ];
+    let db = planted(n, &plants, 4);
+    for sigma in [1, 2, 4, 5] {
+        assert_candidate_sequences_match(&db, sigma);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The prefix-join engine agrees with the reference generator on
+    /// arbitrary small databases too, not just the seeded workloads.
+    #[test]
+    fn candidate_sequences_bit_identical_on_random_dbs(db in arb_db(), sigma in 1usize..4) {
+        assert_candidate_sequences_match(&db, sigma);
     }
 }

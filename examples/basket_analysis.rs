@@ -44,11 +44,11 @@ fn main() {
     let frequent = apriori(&db, sigma);
     println!(
         "Levelwise mined {} frequent sets; |MTh| = {}, |Bd⁻| = {}, largest set k = {}",
-        frequent.itemsets.len(),
+        frequent.itemsets().len(),
         frequent.maximal.len(),
         frequent.negative_border.len(),
         frequent
-            .itemsets
+            .itemsets()
             .iter()
             .map(|(s, _)| s.len())
             .max()

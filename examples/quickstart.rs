@@ -33,7 +33,7 @@ fn main() {
     // 1. Mine all frequent itemsets at absolute support 2.
     let frequent = apriori(&db, 2);
     println!("Frequent itemsets (support ≥ 2):");
-    for (set, support) in &frequent.itemsets {
+    for (set, support) in frequent.itemsets() {
         println!("  {:<5} support {}", universe.display(set), support);
     }
 

@@ -44,7 +44,7 @@ fn main() {
         boot.rounds
     );
     let exact0 = apriori(&day0, sigma);
-    assert_eq!(boot.itemsets, exact0.itemsets);
+    assert_eq!(boot.itemsets, exact0.itemsets());
     println!(
         "        certified exact: would have cost {} evaluations from scratch",
         exact0.queries()
@@ -65,13 +65,13 @@ fn main() {
         );
         let update = append_rows(&db, &fs, batch.rows().to_vec());
         let scratch = apriori(&update.db, sigma);
-        assert_eq!(update.frequent.itemsets, scratch.itemsets);
+        assert_eq!(update.frequent.itemsets(), scratch.itemsets());
         println!(
             "Day {day}: +{} baskets → {} frequent sets; incremental cost: {} \
              full-database evaluations (plus {} delta-only refreshes) vs {} \
              full-database evaluations from scratch",
             batch.n_rows(),
-            update.frequent.itemsets.len(),
+            update.frequent.itemsets().len(),
             update.merged_evaluations,
             update.delta_evaluations,
             scratch.queries(),

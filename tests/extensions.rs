@@ -33,10 +33,10 @@ fn closed_sets_compress_losslessly() {
     let db = quest_db(50);
     let fs = apriori(&db, 60);
     let closed = closed_sets(&fs);
-    assert!(closed.len() <= fs.itemsets.len());
+    assert!(closed.len() <= fs.itemsets().len());
     assert!(closed.len() >= fs.maximal.len());
     // Lossless: every frequent support reconstructible.
-    for (set, support) in &fs.itemsets {
+    for (set, support) in fs.itemsets() {
         assert_eq!(support_from_closed(&closed, set), Some(*support));
     }
     // Closure operator fixes every closed set.
@@ -52,7 +52,7 @@ fn sampling_certifies_exact_theory_via_negative_border() {
     let exact = apriori(&db, sigma);
     let mut rng = StdRng::seed_from_u64(7);
     let sampled = sample_then_verify(&db, sigma, 100, 0.75, &mut rng);
-    assert_eq!(sampled.itemsets, exact.itemsets);
+    assert_eq!(sampled.itemsets, exact.itemsets());
     // Full-data work comparable to one exact pass (same order of
     // magnitude; retries can exceed it).
     assert!(sampled.full_data_evaluations > 0);

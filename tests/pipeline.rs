@@ -34,7 +34,7 @@ fn quest_pipeline_mine_rules_verify() {
     let db = quest_db(42);
     let sigma = 60; // 20 % of 300 rows
     let fs = apriori(&db, sigma);
-    assert!(!fs.itemsets.is_empty(), "workload too sparse");
+    assert!(!fs.itemsets().is_empty(), "workload too sparse");
 
     // Rules: statistics recomputed from the raw database.
     let rules = association_rules(&fs, 0.8);
@@ -79,7 +79,7 @@ fn dense_noise_pipeline() {
 
     // Every frequent set really is frequent; every border set is not and
     // is minimal.
-    for (s, supp) in &fs.itemsets {
+    for (s, supp) in fs.itemsets() {
         assert!(*supp >= sigma);
         assert_eq!(*supp, db.support_horizontal(s));
     }
