@@ -6,6 +6,7 @@ cd "$(dirname "$0")"
 
 cargo build --release
 cargo test -q
+cargo test -q --workspace
 cargo clippy --workspace --all-targets -- -D warnings
 cargo fmt --check
 
@@ -15,5 +16,33 @@ cargo fmt --check
 cargo bench -q -p dualminer-bench --no-run
 cargo bench -q -p dualminer-bench --bench bitset_kernels -- "is_disjoint/100" >/dev/null
 cargo bench -q -p dualminer-bench --bench settrie -- "minimize_family/trie/250" >/dev/null
+
+# Fault-tolerance smoke (DESIGN.md §11): a seeded transient schedule
+# absorbed by retries must not change the mined output, and a run killed
+# by an injected permanent fault must resume from its checkpoint to the
+# same output an undisturbed run prints.
+cargo build --release -p dualminer-cli
+DM=target/release/dualminer
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+printf 'milk bread\nbread butter\nmilk butter bread\nmilk\nbread eggs\n' > "$TMP/baskets.txt"
+
+"$DM" mine "$TMP/baskets.txt" --min-support 2 > "$TMP/plain.out"
+"$DM" mine "$TMP/baskets.txt" --min-support 2 \
+    --fault-inject seed=7,transient=0.3 --retry 3 > "$TMP/transient.out"
+diff "$TMP/plain.out" "$TMP/transient.out"
+
+# Kill mid-run (exit 5), then resume (exit 0) to identical output.
+set +e
+"$DM" mine "$TMP/baskets.txt" --min-support 2 \
+    --fault-inject permanent=5 --checkpoint "$TMP/mine.ckpt" \
+    --checkpoint-every 1 > /dev/null 2> "$TMP/kill.err"
+code=$?
+set -e
+[ "$code" -eq 5 ] || { echo "expected exit 5 from injected fault, got $code"; exit 1; }
+grep -q -- '--resume' "$TMP/kill.err"
+"$DM" mine "$TMP/baskets.txt" --min-support 2 \
+    --checkpoint "$TMP/mine.ckpt" --resume > "$TMP/resumed.out" 2> /dev/null
+diff "$TMP/plain.out" "$TMP/resumed.out"
 
 echo "ci.sh: all checks passed"

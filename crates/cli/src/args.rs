@@ -42,9 +42,32 @@ RUN OPTIONS (budget and observability, accepted by every subcommand):
     --progress              print per-level / per-iteration progress to
                             stderr while the run advances
     --stats json            print one machine-readable JSON stats line
-                            (queries, candidates, transversals, per-phase
-                            wall time, thread count) as the final line of
-                            stdout
+                            (queries, candidates, transversals, retries,
+                            faults, checkpoints, per-phase wall time,
+                            thread count) as the final line of stdout
+
+FAULT TOLERANCE (accepted by every subcommand; any of these routes the run
+through the fallible engines — `episodes` warns and ignores them):
+    --retry <N>             retry a transiently failing oracle query up to
+                            N times (deterministic, jitter-free backoff);
+                            retries are metered separately and never count
+                            against the Theorem 10/21 query totals
+    --checkpoint <path>     save crash-safe progress snapshots to <path>
+                            (atomic tmp-file + rename); resuming a killed
+                            run reproduces the from-scratch result
+                            bit-identically, query accounting included
+    --checkpoint-every <N>  save at the first safe point after every N
+                            queries (default 64)
+    --resume                load <path> and continue from the last safe
+                            point (requires --checkpoint; a missing file
+                            starts from scratch)
+    --fault-inject <spec>   seeded deterministic fault harness for testing,
+                            e.g. seed=7,transient=0.1,burst=3@0,
+                            permanent=42,latency=1ms
+
+EXIT CODES:
+    0 success   2 usage   3 input parse   4 I/O or bad checkpoint
+    5 oracle fault survived the retry budget   6 budget exceeded
 
 FILE FORMATS:
     baskets.txt     one transaction per line, whitespace-separated items
@@ -65,6 +88,16 @@ pub struct RunOpts {
     pub progress: bool,
     /// Print a JSON stats line as the final line of stdout.
     pub stats_json: bool,
+    /// Deterministic fault-injection schedule (`--fault-inject`).
+    pub fault_inject: Option<dualminer_obs::FaultSpec>,
+    /// Max deterministic retries per transiently failing query (`--retry`).
+    pub retry: u32,
+    /// Checkpoint file for crash-safe snapshots (`--checkpoint`).
+    pub checkpoint: Option<String>,
+    /// Queries between checkpoint saves (`--checkpoint-every`).
+    pub checkpoint_every: Option<u64>,
+    /// Resume from the checkpoint file (`--resume`).
+    pub resume: bool,
 }
 
 impl RunOpts {
@@ -75,6 +108,24 @@ impl RunOpts {
             max_queries: self.max_queries,
             max_transversals: self.max_transversals,
         }
+    }
+
+    /// Whether any fault-tolerance option was given. Subcommands route
+    /// through the fallible engines only then, so plain runs keep their
+    /// specialized fast paths (and their exact output) untouched.
+    pub fn fault_tolerant(&self) -> bool {
+        self.fault_inject.is_some() || self.retry > 0 || self.checkpoint.is_some() || self.resume
+    }
+
+    /// The retry policy these options describe (zero-backoff: the CLI's
+    /// transient faults are injected, not waiting on a real resource).
+    pub fn retry_policy(&self) -> dualminer_obs::RetryPolicy {
+        dualminer_obs::RetryPolicy::retries(self.retry)
+    }
+
+    /// Checkpoint save cadence in queries (`--checkpoint-every`, ≥ 1).
+    pub fn checkpoint_cadence(&self) -> u64 {
+        self.checkpoint_every.unwrap_or(64).max(1)
     }
 }
 
@@ -131,6 +182,19 @@ pub enum Command {
     },
     /// `--help`.
     Help,
+}
+
+impl Command {
+    /// The shared run options, for every subcommand that carries them.
+    pub fn run_opts(&self) -> Option<&RunOpts> {
+        match self {
+            Command::Mine { run, .. }
+            | Command::Keys { run, .. }
+            | Command::Transversals { run, .. }
+            | Command::Episodes { run, .. } => Some(run),
+            Command::Help => None,
+        }
+    }
 }
 
 /// Support threshold: absolute row count or relative fraction.
@@ -218,9 +282,47 @@ fn parse_run_flag<'a, I: Iterator<Item = &'a String>>(
             }
             run.stats_json = true;
         }
+        "--fault-inject" => {
+            let v = it
+                .next()
+                .ok_or("--fault-inject needs a spec (e.g. seed=7,transient=0.1)")?;
+            run.fault_inject = Some(dualminer_obs::FaultSpec::parse(v)?);
+        }
+        "--retry" => {
+            let v = it.next().ok_or("--retry needs a count")?;
+            run.retry = v
+                .parse::<u32>()
+                .map_err(|_| format!("invalid --retry value {v:?} (want integer ≥ 0)"))?;
+        }
+        "--checkpoint" => {
+            let v = it.next().ok_or("--checkpoint needs a file path")?;
+            run.checkpoint = Some(v.clone());
+        }
+        "--checkpoint-every" => {
+            let v = it.next().ok_or("--checkpoint-every needs a value")?;
+            let every = v
+                .parse::<u64>()
+                .map_err(|_| format!("invalid --checkpoint-every value {v:?}"))?;
+            if every == 0 {
+                return Err("--checkpoint-every must be ≥ 1".into());
+            }
+            run.checkpoint_every = Some(every);
+        }
+        "--resume" => run.resume = true,
         _ => return Ok(false),
     }
     Ok(true)
+}
+
+/// Cross-flag validation shared by every subcommand.
+fn validate_run(run: &RunOpts) -> Result<(), String> {
+    if run.resume && run.checkpoint.is_none() {
+        return Err("--resume requires --checkpoint <path>".into());
+    }
+    if run.checkpoint_every.is_some() && run.checkpoint.is_none() {
+        return Err("--checkpoint-every requires --checkpoint <path>".into());
+    }
+    Ok(())
 }
 
 fn parse_support(s: &str) -> Result<Support, String> {
@@ -240,6 +342,14 @@ fn parse_support(s: &str) -> Result<Support, String> {
 
 /// Parses an argument vector (without the program name).
 pub fn parse(argv: &[String]) -> Result<Command, String> {
+    let cmd = parse_inner(argv)?;
+    if let Some(run) = cmd.run_opts() {
+        validate_run(run)?;
+    }
+    Ok(cmd)
+}
+
+fn parse_inner(argv: &[String]) -> Result<Command, String> {
     let mut it = argv.iter().peekable();
     let sub = it.next().ok_or("missing subcommand")?;
     if sub == "--help" || sub == "-h" || sub == "help" {
@@ -421,6 +531,7 @@ mod tests {
             max_transversals: Some(64),
             progress: true,
             stats_json: true,
+            ..RunOpts::default()
         };
         let shared = [
             "--timeout",
@@ -571,6 +682,81 @@ mod tests {
             "2"
         ]))
         .is_err());
+    }
+
+    #[test]
+    fn parse_fault_tolerance_flags() {
+        let cmd = parse(&v(&[
+            "mine",
+            "b.txt",
+            "--min-support",
+            "2",
+            "--retry",
+            "3",
+            "--checkpoint",
+            "run.ckpt",
+            "--checkpoint-every",
+            "5",
+            "--resume",
+            "--fault-inject",
+            "seed=7,transient=0.1",
+        ]))
+        .unwrap();
+        let Command::Mine { run, .. } = cmd else {
+            panic!("wrong command");
+        };
+        assert!(run.fault_tolerant());
+        assert_eq!(run.retry, 3);
+        assert_eq!(run.retry_policy().max_retries, 3);
+        assert_eq!(run.checkpoint.as_deref(), Some("run.ckpt"));
+        assert_eq!(run.checkpoint_cadence(), 5);
+        assert!(run.resume);
+        let spec = run.fault_inject.unwrap();
+        assert_eq!(spec.seed, 7);
+        assert!((spec.transient_prob - 0.1).abs() < 1e-12);
+
+        // Defaults: not fault-tolerant, cadence 64.
+        let plain = RunOpts::default();
+        assert!(!plain.fault_tolerant());
+        assert_eq!(plain.checkpoint_cadence(), 64);
+        assert_eq!(plain.retry_policy().max_retries, 0);
+    }
+
+    #[test]
+    fn fault_tolerance_flags_on_every_subcommand() {
+        let shared = ["--retry", "2", "--checkpoint", "c.ckpt"];
+        for base in [
+            v(&["mine", "b.txt", "--min-support", "2"]),
+            v(&["keys", "r.csv"]),
+            v(&["transversals", "h.txt"]),
+            v(&["episodes", "e.txt", "--window", "5", "--min-freq", "0.2"]),
+        ] {
+            let mut argv = base;
+            argv.extend(shared.iter().map(|s| s.to_string()));
+            let cmd = parse(&argv).unwrap();
+            let run = cmd.run_opts().unwrap();
+            assert!(run.fault_tolerant());
+            assert_eq!(run.retry, 2);
+        }
+    }
+
+    #[test]
+    fn fault_tolerance_flag_errors() {
+        assert!(parse(&v(&["keys", "r.csv", "--retry", "x"])).is_err());
+        assert!(parse(&v(&["keys", "r.csv", "--retry"])).is_err());
+        assert!(parse(&v(&["keys", "r.csv", "--fault-inject", "seed=zz"])).is_err());
+        assert!(parse(&v(&[
+            "keys",
+            "r.csv",
+            "--checkpoint-every",
+            "0",
+            "--checkpoint",
+            "c"
+        ]))
+        .is_err());
+        // --resume / --checkpoint-every without --checkpoint are usage errors.
+        assert!(parse(&v(&["keys", "r.csv", "--resume"])).is_err());
+        assert!(parse(&v(&["keys", "r.csv", "--checkpoint-every", "4"])).is_err());
     }
 
     #[test]

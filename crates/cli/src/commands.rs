@@ -1,16 +1,73 @@
 //! Command implementations.
 
+use std::fmt;
+
 use dualminer_core::border::verify_maxth;
-use dualminer_core::oracle::CountingOracle;
+use dualminer_core::checkpoint::{
+    Aborted, FaultCtl, ResumeState, DUALIZE_ADVANCE_KIND, LEVELWISE_KIND,
+};
+use dualminer_core::dualize_advance::{dualize_advance_try_ctl, DualizeAdvanceConfig};
+use dualminer_core::fallible::FaultyOracle;
+use dualminer_core::levelwise::levelwise_par_try_ctl;
+use dualminer_core::oracle::{CountingOracle, FamilyOracle};
 use dualminer_fdep::fd::minimal_fd_lhs_via_agree_sets;
-use dualminer_fdep::keys::minimal_keys_via_agree_sets;
-use dualminer_mining::apriori::apriori_par_ctl;
+use dualminer_fdep::keys::{minimal_keys_via_agree_sets, KeyDiscovery, NonSuperkeyOracle};
+use dualminer_mining::apriori::{apriori_par_ctl, FrequentSets};
 use dualminer_mining::rules::association_rules;
 use dualminer_mining::FrequencyOracle;
-use dualminer_obs::{available_cpus, BudgetReason, Meter, MiningObserver, RunCtl, StatsCollector};
+use dualminer_obs::{
+    available_cpus, BudgetReason, FileCheckpoint, Meter, MiningObserver, RunCtl, RunError,
+    StatsCollector,
+};
 
 use crate::args::{Command, RunOpts, USAGE};
-use crate::formats;
+use crate::formats::{self, FormatError};
+
+/// A command failure, carrying its process exit code so scripts can tell
+/// the failure classes apart (`main` maps usage errors to 2; these start
+/// at 3).
+#[derive(Clone, Debug, PartialEq)]
+pub enum CliError {
+    /// An input file could not be parsed (exit 3).
+    Format(FormatError),
+    /// File or checkpoint I/O failure, including corrupt or mismatched
+    /// checkpoints (exit 4).
+    Io(String),
+    /// An oracle fault survived the retry budget (exit 5).
+    Fault(String),
+    /// The run tripped its budget; printed results are the partial prefix
+    /// (exit 6).
+    Budget(BudgetReason),
+}
+
+impl CliError {
+    /// The process exit code for this failure class.
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Format(_) => 3,
+            CliError::Io(_) => 4,
+            CliError::Fault(_) => 5,
+            CliError::Budget(_) => 6,
+        }
+    }
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Format(e) => write!(f, "{e}"),
+            CliError::Io(msg) | CliError::Fault(msg) => write!(f, "{msg}"),
+            CliError::Budget(reason) => {
+                write!(
+                    f,
+                    "budget exceeded ({reason}); output is the partial prefix"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
 
 /// The CLI's standard observer: always feeds the [`StatsCollector`] (so
 /// `--stats json` has data even when progress is off) and, with
@@ -76,6 +133,19 @@ impl MiningObserver for CliObserver {
     fn on_nodes(&self, count: u64) {
         self.stats.on_nodes(count);
     }
+
+    fn on_retry(&self, attempt: u32, will_retry: bool) {
+        if self.progress {
+            eprintln!("[progress] oracle fault, attempt {attempt} (retrying: {will_retry})");
+        }
+    }
+
+    fn on_checkpoint(&self, queries_so_far: u64) {
+        self.stats.on_checkpoint(queries_so_far);
+        if self.progress {
+            eprintln!("[progress] checkpoint saved at {queries_so_far} queries");
+        }
+    }
 }
 
 /// One budgeted run: the started meter plus the collecting observer.
@@ -107,14 +177,15 @@ impl Session {
 
     /// Uniform pre-flight: with `--timeout 0` (or an already-spent
     /// budget), every subcommand reports cleanly before doing any work.
-    fn preflight(&self) -> Option<BudgetReason> {
-        self.meter.exceeded()
-    }
-
-    /// Reports an early exit and, if requested, the stats line.
-    fn finish_early(&self, reason: BudgetReason) {
-        println!("budget exceeded ({reason}) before any work was performed");
-        self.finish(Some(reason));
+    fn preflight(&self) -> Result<(), CliError> {
+        match self.meter.exceeded() {
+            Some(reason) => {
+                println!("budget exceeded ({reason}) before any work was performed");
+                self.finish(Some(reason));
+                Err(CliError::Budget(reason))
+            }
+            None => Ok(()),
+        }
     }
 
     /// Prints the JSON stats artifact as the final stdout line.
@@ -123,14 +194,68 @@ impl Session {
             println!("{}", self.observer.stats.to_json(&self.meter, reason));
         }
     }
+
+    /// Stats line, then the budget verdict: a tripped budget is a distinct
+    /// nonzero exit (6) so scripts can tell partial output from complete.
+    fn close(&self, reason: Option<BudgetReason>) -> Result<(), CliError> {
+        self.finish(reason);
+        match reason {
+            Some(r) => Err(CliError::Budget(r)),
+            None => Ok(()),
+        }
+    }
 }
 
 fn note_partial(reason: BudgetReason) {
     println!("\nNOTE: budget exceeded ({reason}); results below are the partial prefix computed before the limit.");
 }
 
+/// Loads and validates the resume state when `--resume` was given. A
+/// missing checkpoint file starts from scratch (so the same command line
+/// works for the first run and every rerun); a corrupt file or a
+/// checkpoint from a different engine is an error, never silent data loss.
+fn load_resume(run: &RunOpts, expect_kind: &str) -> Result<Option<ResumeState>, CliError> {
+    if !run.resume {
+        return Ok(None);
+    }
+    // parse() enforces --resume ⇒ --checkpoint; defend without panicking.
+    let Some(path) = run.checkpoint.as_deref() else {
+        return Err(CliError::Io("--resume requires --checkpoint".into()));
+    };
+    let file = FileCheckpoint::new(path);
+    let Some(envelope) = file.load().map_err(|e| CliError::Io(e.to_string()))? else {
+        eprintln!("note: checkpoint {path:?} not found; starting from scratch");
+        return Ok(None);
+    };
+    let state = ResumeState::from_envelope(&envelope).map_err(|e| CliError::Io(e.to_string()))?;
+    if state.kind() != expect_kind {
+        return Err(CliError::Io(format!(
+            "checkpoint {path:?} holds a {} run, expected {}",
+            state.kind(),
+            expect_kind
+        )));
+    }
+    eprintln!("note: resuming from checkpoint {path:?}");
+    Ok(Some(state))
+}
+
+/// Converts an aborted fallible run into the CLI error for its cause,
+/// pointing the user at `--resume` when a safe point was persisted.
+fn abort_error(aborted: Aborted, checkpoint: Option<&str>) -> CliError {
+    let Aborted { error, resume } = aborted;
+    match error {
+        RunError::Oracle(e) => {
+            if let (Some(path), true) = (checkpoint, resume.is_some()) {
+                eprintln!("note: progress saved to {path:?}; re-run with --resume to continue");
+            }
+            CliError::Fault(e.to_string())
+        }
+        RunError::Checkpoint(msg) => CliError::Io(msg),
+    }
+}
+
 /// Executes a parsed command.
-pub fn run(cmd: Command) -> Result<(), String> {
+pub fn run(cmd: Command) -> Result<(), CliError> {
     match cmd {
         Command::Help => {
             println!("{USAGE}");
@@ -145,12 +270,10 @@ pub fn run(cmd: Command) -> Result<(), String> {
             run,
         } => {
             let session = Session::new(&run, threads);
-            if let Some(reason) = session.preflight() {
-                session.finish_early(reason);
-                return Ok(());
-            }
+            session.preflight()?;
             let text = read(&path)?;
-            let (universe, db) = formats::parse_baskets(&text)?;
+            let (universe, db) =
+                formats::parse_baskets(&text).map_err(|e| CliError::Format(e.in_file(&path)))?;
             let sigma = min_support.resolve(db.n_rows());
             println!(
                 "{} transactions, {} items, min support {} rows",
@@ -159,7 +282,38 @@ pub fn run(cmd: Command) -> Result<(), String> {
                 sigma
             );
             session.observer.on_phase_start("mine");
-            let (fs, reason) = apriori_par_ctl(&db, sigma, threads, &session.ctl()).into_parts();
+            let (fs, reason) = if run.fault_tolerant() {
+                // Fault-tolerant route: the generic levelwise engine over a
+                // (possibly fault-injected) frequency oracle — retries,
+                // checkpoint/resume — then exact supports recomputed from
+                // the database. Bit-identical to apriori on the same input.
+                let resume = match load_resume(&run, LEVELWISE_KIND)? {
+                    Some(ResumeState::Levelwise(state)) => Some(state),
+                    _ => None,
+                };
+                let sink = run.checkpoint.as_deref().map(FileCheckpoint::new);
+                let fault = match &sink {
+                    Some(s) => {
+                        FaultCtl::checkpointed(run.retry_policy(), s, run.checkpoint_cadence())
+                    }
+                    None => FaultCtl::with_retry(run.retry_policy()),
+                };
+                let spec = run.fault_inject.clone().unwrap_or_default();
+                let oracle = FaultyOracle::new(FrequencyOracle::new(&db, sigma), &spec);
+                match levelwise_par_try_ctl(&oracle, threads, &session.ctl(), &fault, resume) {
+                    Ok(outcome) => {
+                        let (lw, reason) = outcome.into_parts();
+                        (FrequentSets::from_levelwise(&db, sigma, &lw), reason)
+                    }
+                    Err(aborted) => {
+                        session.observer.on_phase_end("mine");
+                        session.finish(None);
+                        return Err(abort_error(aborted, run.checkpoint.as_deref()));
+                    }
+                }
+            } else {
+                apriori_par_ctl(&db, sigma, threads, &session.ctl()).into_parts()
+            };
             session.observer.on_phase_end("mine");
             if let Some(r) = reason {
                 note_partial(r);
@@ -214,22 +368,70 @@ pub fn run(cmd: Command) -> Result<(), String> {
                     );
                 }
             }
-            session.finish(reason);
-            Ok(())
+            session.close(reason)
         }
         Command::Keys { path, fds, run } => {
             let session = Session::new(&run, 1);
-            if let Some(reason) = session.preflight() {
-                session.finish_early(reason);
-                return Ok(());
-            }
+            session.preflight()?;
             let text = read(&path)?;
-            let (universe, rel) = formats::parse_relation(&text)?;
+            let (universe, rel) =
+                formats::parse_relation(&text).map_err(|e| CliError::Format(e.in_file(&path)))?;
             println!("{} rows × {} attributes", rel.n_rows(), rel.n_attrs());
             session.observer.on_phase_start("keys");
-            let keys = minimal_keys_via_agree_sets(&rel, dualminer_hypergraph::TrAlgorithm::Berge);
+            let (keys, reason) = if run.fault_tolerant() {
+                // Fault-tolerant route: Dualize & Advance under the
+                // restricted Is-interesting model (non-superkey oracle) —
+                // MTh = maximal agree sets, Bd⁻ = minimal keys.
+                let resume = match load_resume(&run, DUALIZE_ADVANCE_KIND)? {
+                    Some(ResumeState::DualizeAdvance(state)) => Some(state),
+                    _ => None,
+                };
+                let sink = run.checkpoint.as_deref().map(FileCheckpoint::new);
+                let fault = match &sink {
+                    Some(s) => {
+                        FaultCtl::checkpointed(run.retry_policy(), s, run.checkpoint_cadence())
+                    }
+                    None => FaultCtl::with_retry(run.retry_policy()),
+                };
+                let spec = run.fault_inject.clone().unwrap_or_default();
+                let mut oracle = FaultyOracle::new(NonSuperkeyOracle::new(&rel), &spec);
+                match dualize_advance_try_ctl(
+                    &mut oracle,
+                    dualminer_hypergraph::TrAlgorithm::Berge,
+                    &DualizeAdvanceConfig::default(),
+                    1,
+                    &session.ctl(),
+                    &fault,
+                    resume,
+                ) {
+                    Ok(outcome) => {
+                        let (da, reason) = outcome.into_parts();
+                        (
+                            KeyDiscovery {
+                                minimal_keys: da.negative_border,
+                                maximal_non_superkeys: da.maximal,
+                                queries: da.queries,
+                            },
+                            reason,
+                        )
+                    }
+                    Err(aborted) => {
+                        session.observer.on_phase_end("keys");
+                        session.finish(None);
+                        return Err(abort_error(aborted, run.checkpoint.as_deref()));
+                    }
+                }
+            } else {
+                (
+                    minimal_keys_via_agree_sets(&rel, dualminer_hypergraph::TrAlgorithm::Berge),
+                    None,
+                )
+            };
             session.observer.on_phase_end("keys");
-            if keys.minimal_keys.is_empty() {
+            if let Some(r) = reason {
+                note_partial(r);
+            }
+            if keys.minimal_keys.is_empty() && reason.is_none() {
                 println!("\nNo keys: the relation contains duplicate rows.");
             } else {
                 println!("\nMinimal keys:");
@@ -263,8 +465,7 @@ pub fn run(cmd: Command) -> Result<(), String> {
                     println!("  (none)");
                 }
             }
-            session.finish(None);
-            Ok(())
+            session.close(reason)
         }
         Command::Episodes {
             path,
@@ -273,13 +474,17 @@ pub fn run(cmd: Command) -> Result<(), String> {
             serial,
             run,
         } => {
-            let session = Session::new(&run, 1);
-            if let Some(reason) = session.preflight() {
-                session.finish_early(reason);
-                return Ok(());
+            if run.fault_tolerant() {
+                eprintln!(
+                    "warning: fault-tolerance options (--retry/--checkpoint/--resume/--fault-inject) \
+                     are ignored by `episodes` (in-memory sliding-window miner)"
+                );
             }
+            let session = Session::new(&run, 1);
+            session.preflight()?;
             let text = read(&path)?;
-            let (names, seq) = formats::parse_events(&text)?;
+            let (names, seq) =
+                formats::parse_events(&text).map_err(|e| CliError::Format(e.in_file(&path)))?;
             let class = if serial {
                 dualminer_episodes::mine::EpisodeClass::Serial
             } else {
@@ -321,8 +526,7 @@ pub fn run(cmd: Command) -> Result<(), String> {
             for e in &episodes_run.maximal {
                 println!("  {}", render(e));
             }
-            session.finish(None);
-            Ok(())
+            session.close(None)
         }
         Command::Transversals {
             path,
@@ -331,12 +535,10 @@ pub fn run(cmd: Command) -> Result<(), String> {
             run,
         } => {
             let session = Session::new(&run, threads);
-            if let Some(reason) = session.preflight() {
-                session.finish_early(reason);
-                return Ok(());
-            }
+            session.preflight()?;
             let text = read(&path)?;
-            let (universe, h) = formats::parse_hypergraph(&text)?;
+            let (universe, h) =
+                formats::parse_hypergraph(&text).map_err(|e| CliError::Format(e.in_file(&path)))?;
             println!(
                 "hypergraph: {} vertices, {} edges (simple: {})",
                 h.universe_size(),
@@ -345,23 +547,67 @@ pub fn run(cmd: Command) -> Result<(), String> {
             );
             let started = std::time::Instant::now();
             session.observer.on_phase_start("transversals");
-            let (tr, reason) =
-                dualminer_hypergraph::transversals_with_ctl(&h, algo, threads, &session.ctl())
-                    .into_parts();
+            let (edges, reason) = if run.fault_tolerant() {
+                // Fault-tolerant route via Theorem 7: against the family
+                // oracle of edge complements, "uninteresting" = transversal,
+                // so a Dualize & Advance run delivers Bd⁻ = Tr(H).
+                let resume = match load_resume(&run, DUALIZE_ADVANCE_KIND)? {
+                    Some(ResumeState::DualizeAdvance(state)) => Some(state),
+                    _ => None,
+                };
+                let sink = run.checkpoint.as_deref().map(FileCheckpoint::new);
+                let fault = match &sink {
+                    Some(s) => {
+                        FaultCtl::checkpointed(run.retry_policy(), s, run.checkpoint_cadence())
+                    }
+                    None => FaultCtl::with_retry(run.retry_policy()),
+                };
+                let spec = run.fault_inject.clone().unwrap_or_default();
+                let complements: Vec<_> = h
+                    .edges()
+                    .iter()
+                    .map(dualminer_bitset::AttrSet::complement)
+                    .collect();
+                let mut oracle =
+                    FaultyOracle::new(FamilyOracle::new(h.universe_size(), complements), &spec);
+                match dualize_advance_try_ctl(
+                    &mut oracle,
+                    algo,
+                    &DualizeAdvanceConfig::default(),
+                    threads,
+                    &session.ctl(),
+                    &fault,
+                    resume,
+                ) {
+                    Ok(outcome) => {
+                        let (da, reason) = outcome.into_parts();
+                        (da.negative_border, reason)
+                    }
+                    Err(aborted) => {
+                        session.observer.on_phase_end("transversals");
+                        session.finish(None);
+                        return Err(abort_error(aborted, run.checkpoint.as_deref()));
+                    }
+                }
+            } else {
+                let (tr, reason) =
+                    dualminer_hypergraph::transversals_with_ctl(&h, algo, threads, &session.ctl())
+                        .into_parts();
+                (tr.edges().to_vec(), reason)
+            };
             session.observer.on_phase_end("transversals");
             if let Some(r) = reason {
                 note_partial(r);
             }
             println!(
                 "\nTr(H) with {algo:?}: {} minimal transversals in {:.2?}:",
-                tr.len(),
+                edges.len(),
                 started.elapsed()
             );
-            for t in tr.edges() {
+            for t in &edges {
                 println!("  {{{}}}", names(&universe, t));
             }
-            session.finish(reason);
-            Ok(())
+            session.close(reason)
         }
     }
 }
@@ -373,6 +619,6 @@ fn names(universe: &dualminer_bitset::Universe, set: &dualminer_bitset::AttrSet)
         .join(", ")
 }
 
-fn read(path: &str) -> Result<String, String> {
-    std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))
+fn read(path: &str) -> Result<String, CliError> {
+    std::fs::read_to_string(path).map_err(|e| CliError::Io(format!("cannot read {path:?}: {e}")))
 }

@@ -1,6 +1,7 @@
 //! Input-file parsers: baskets, CSV relations, hypergraphs.
 
 use std::collections::HashMap;
+use std::fmt;
 
 use dualminer_bitset::{AttrSet, Universe};
 use dualminer_episodes::EventSequence;
@@ -8,11 +9,84 @@ use dualminer_fdep::Relation;
 use dualminer_hypergraph::Hypergraph;
 use dualminer_mining::TransactionDb;
 
+/// A typed input-file parse error: what went wrong and where.
+///
+/// The parsers see only text, so `file` starts empty and the CLI layer
+/// attaches it with [`FormatError::in_file`]. Line numbers count *physical*
+/// lines of the input (1-based), comments and blanks included, so the
+/// reported location matches what an editor shows. Renders as the
+/// conventional `file:line:column: message`, dropping whichever location
+/// parts are unknown.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FormatError {
+    /// Input file, once attached by the caller.
+    pub file: Option<String>,
+    /// 1-based physical line of the offending input, when known.
+    pub line: Option<usize>,
+    /// 1-based column of the offending token, when known.
+    pub column: Option<usize>,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl FormatError {
+    fn new(message: impl Into<String>) -> FormatError {
+        FormatError {
+            file: None,
+            line: None,
+            column: None,
+            message: message.into(),
+        }
+    }
+
+    fn at_line(line: usize, message: impl Into<String>) -> FormatError {
+        FormatError {
+            line: Some(line),
+            ..FormatError::new(message)
+        }
+    }
+
+    fn at(line: usize, column: usize, message: impl Into<String>) -> FormatError {
+        FormatError {
+            line: Some(line),
+            column: Some(column),
+            ..FormatError::new(message)
+        }
+    }
+
+    /// Attaches the source file name for `file:line:column` rendering.
+    #[must_use]
+    pub fn in_file(mut self, path: &str) -> FormatError {
+        self.file = Some(path.to_string());
+        self
+    }
+}
+
+impl fmt::Display for FormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(file) = &self.file {
+            write!(f, "{file}:")?;
+        }
+        if let Some(line) = self.line {
+            write!(f, "{line}:")?;
+            if let Some(column) = self.column {
+                write!(f, "{column}:")?;
+            }
+        }
+        if self.file.is_some() || self.line.is_some() {
+            write!(f, " ")?;
+        }
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for FormatError {}
+
 /// Parses a basket file: one transaction per line, whitespace-separated
 /// item names; `#` starts a comment; blank lines are empty transactions
 /// and are skipped. Item indices are assigned in order of first
 /// appearance.
-pub fn parse_baskets(text: &str) -> Result<(Universe, TransactionDb), String> {
+pub fn parse_baskets(text: &str) -> Result<(Universe, TransactionDb), FormatError> {
     let mut names: Vec<String> = Vec::new();
     let mut index: HashMap<String, usize> = HashMap::new();
     let mut raw_rows: Vec<Vec<usize>> = Vec::new();
@@ -33,7 +107,7 @@ pub fn parse_baskets(text: &str) -> Result<(Universe, TransactionDb), String> {
         raw_rows.push(row);
     }
     if raw_rows.is_empty() {
-        return Err("no transactions found".into());
+        return Err(FormatError::new("no transactions found"));
     }
     let n = names.len();
     let universe = Universe::new(names);
@@ -47,27 +121,28 @@ pub fn parse_baskets(text: &str) -> Result<(Universe, TransactionDb), String> {
 /// introduces a comment when it starts a line — data cells may
 /// legitimately contain `#` (part numbers, anchors, …), so inline
 /// stripping would silently corrupt them.
-pub fn parse_relation(text: &str) -> Result<(Universe, Relation), String> {
+pub fn parse_relation(text: &str) -> Result<(Universe, Relation), FormatError> {
     let mut lines = text
         .lines()
-        .map(strip_whole_line_comment)
-        .filter(|l| !l.trim().is_empty());
-    let header = lines.next().ok_or("empty relation file")?;
+        .enumerate()
+        .map(|(i, l)| (i + 1, strip_whole_line_comment(l)))
+        .filter(|(_, l)| !l.trim().is_empty());
+    let (header_lineno, header) = lines
+        .next()
+        .ok_or_else(|| FormatError::new("empty relation file"))?;
     let names: Vec<String> = header.split(',').map(|s| s.trim().to_string()).collect();
     let n = names.len();
     if n == 0 || names.iter().any(String::is_empty) {
-        return Err("invalid header row".into());
+        return Err(FormatError::at_line(header_lineno, "invalid header row"));
     }
     let mut dictionaries: Vec<HashMap<String, u32>> = vec![HashMap::new(); n];
     let mut rows: Vec<Vec<u32>> = Vec::new();
-    for (lineno, line) in lines.enumerate() {
+    for (lineno, line) in lines {
         let cells: Vec<&str> = line.split(',').map(str::trim).collect();
         if cells.len() != n {
-            return Err(format!(
-                "row {} has {} cells, expected {}",
-                lineno + 2,
-                cells.len(),
-                n
+            return Err(FormatError::at_line(
+                lineno,
+                format!("row has {} cells, expected {}", cells.len(), n),
             ));
         }
         let row = cells
@@ -86,7 +161,7 @@ pub fn parse_relation(text: &str) -> Result<(Universe, Relation), String> {
 
 /// Parses a hypergraph file: one edge per line, whitespace-separated
 /// vertex names; vertex indices assigned in order of first appearance.
-pub fn parse_hypergraph(text: &str) -> Result<(Universe, Hypergraph), String> {
+pub fn parse_hypergraph(text: &str) -> Result<(Universe, Hypergraph), FormatError> {
     let mut names: Vec<String> = Vec::new();
     let mut index: HashMap<String, usize> = HashMap::new();
     let mut raw_edges: Vec<Vec<usize>> = Vec::new();
@@ -107,7 +182,7 @@ pub fn parse_hypergraph(text: &str) -> Result<(Universe, Hypergraph), String> {
         raw_edges.push(edge);
     }
     if raw_edges.is_empty() {
-        return Err("no edges found".into());
+        return Err(FormatError::new("no edges found"));
     }
     let n = names.len();
     let universe = Universe::new(names);
@@ -115,30 +190,34 @@ pub fn parse_hypergraph(text: &str) -> Result<(Universe, Hypergraph), String> {
         .into_iter()
         .map(|e| AttrSet::from_indices(n, e))
         .collect();
-    let h = Hypergraph::from_edges(n, edges).map_err(|e| e.to_string())?;
+    let h = Hypergraph::from_edges(n, edges).map_err(|e| FormatError::new(e.to_string()))?;
     Ok((universe, h))
 }
 
 /// Parses an event file: one event per line as `<time> <type-name>`;
 /// comments/blank lines as elsewhere. Event-type indices are assigned in
 /// order of first appearance.
-pub fn parse_events(text: &str) -> Result<(Vec<String>, EventSequence), String> {
+pub fn parse_events(text: &str) -> Result<(Vec<String>, EventSequence), FormatError> {
     let mut names: Vec<String> = Vec::new();
     let mut index: HashMap<String, usize> = HashMap::new();
     let mut pairs: Vec<(u64, usize)> = Vec::new();
     for (lineno, line) in text.lines().enumerate() {
+        let lineno = lineno + 1;
         let line = strip_comment(line);
         let mut parts = line.split_whitespace();
         let Some(time) = parts.next() else { continue };
         let kind = parts
             .next()
-            .ok_or_else(|| format!("line {}: expected `<time> <type>`", lineno + 1))?;
+            .ok_or_else(|| FormatError::at_line(lineno, "expected `<time> <type>`"))?;
         if parts.next().is_some() {
-            return Err(format!("line {}: too many fields", lineno + 1));
+            return Err(FormatError::at_line(lineno, "too many fields"));
         }
+        // The time token is the first on the line, so its column is the
+        // leading whitespace width plus one.
+        let column = line.len() - line.trim_start().len() + 1;
         let time: u64 = time
             .parse()
-            .map_err(|_| format!("line {}: invalid time {time:?}", lineno + 1))?;
+            .map_err(|_| FormatError::at(lineno, column, format!("invalid time {time:?}")))?;
         let id = *index.entry(kind.to_string()).or_insert_with(|| {
             names.push(kind.to_string());
             names.len() - 1
@@ -146,7 +225,7 @@ pub fn parse_events(text: &str) -> Result<(Vec<String>, EventSequence), String> 
         pairs.push((time, id));
     }
     if pairs.is_empty() {
-        return Err("no events found".into());
+        return Err(FormatError::new("no events found"));
     }
     let alphabet = names.len();
     Ok((names, EventSequence::from_pairs(alphabet, pairs)))
@@ -245,8 +324,91 @@ mod tests {
     }
 
     #[test]
+    fn errors_carry_locations() {
+        // Ragged CSV row: physical line number, comments/blanks included.
+        let err = parse_relation("a,b\n# note\n\n1,2\n3\n").unwrap_err();
+        assert_eq!(err.line, Some(5));
+        assert_eq!(err.column, None);
+        assert_eq!(err.to_string(), "5: row has 1 cells, expected 2");
+        assert_eq!(
+            err.in_file("r.csv").to_string(),
+            "r.csv:5: row has 1 cells, expected 2"
+        );
+
+        // Bad event time: line and column of the offending token.
+        let err = parse_events("0 login\n  zz search\n").unwrap_err();
+        assert_eq!((err.line, err.column), (Some(2), Some(3)));
+        assert_eq!(
+            err.clone().in_file("e.txt").to_string(),
+            "e.txt:2:3: invalid time \"zz\""
+        );
+
+        // Whole-file errors render with no location prefix.
+        let err = parse_baskets("# empty\n").unwrap_err();
+        assert_eq!((err.line, err.column), (None, None));
+        assert_eq!(err.to_string(), "no transactions found");
+    }
+
+    #[test]
     fn comment_stripping() {
         assert_eq!(strip_comment("a b # c"), "a b ");
         assert_eq!(strip_comment("plain"), "plain");
+    }
+}
+
+/// Never-panic property tests: every parser must return `Ok` or a typed
+/// [`FormatError`] on *arbitrary* input — panics are format bugs.
+#[cfg(test)]
+mod props {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Arbitrary text biased toward the parsers' own structure: format
+    /// delimiters, comments, digits, and a sprinkling of arbitrary
+    /// codepoints (including NUL and multi-byte characters).
+    fn arb_text() -> impl Strategy<Value = String> {
+        proptest::collection::vec(0u32..4096, 0..160).prop_map(|codes| {
+            const PALETTE: &[char] = &[
+                ' ', '\t', '\n', ',', '#', '0', '1', '9', '.', '-', 'a', 'Z', '_', '"',
+            ];
+            codes
+                .into_iter()
+                .map(|c| {
+                    if (c as usize) < 4 * PALETTE.len() {
+                        PALETTE[c as usize % PALETTE.len()]
+                    } else {
+                        char::from_u32(c).unwrap_or('\u{fffd}')
+                    }
+                })
+                .collect()
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(192))]
+
+        #[test]
+        fn parse_baskets_never_panics(text in arb_text()) {
+            let _ = parse_baskets(&text);
+        }
+
+        #[test]
+        fn parse_relation_never_panics(text in arb_text()) {
+            let _ = parse_relation(&text);
+        }
+
+        #[test]
+        fn parse_hypergraph_never_panics(text in arb_text()) {
+            let _ = parse_hypergraph(&text);
+        }
+
+        #[test]
+        fn parse_events_never_panics(text in arb_text()) {
+            if let Err(e) = parse_events(&text) {
+                // Locations, when present, are 1-based.
+                prop_assert!(e.line.is_none_or(|l| l >= 1));
+                prop_assert!(e.column.is_none_or(|c| c >= 1));
+            }
+        }
     }
 }

@@ -17,20 +17,43 @@ mod formats;
 
 use std::process::ExitCode;
 
+/// Restores the default `SIGPIPE` disposition so `dualminer ... | head`
+/// dies quietly like other Unix filters instead of panicking when stdout
+/// closes (Rust ignores `SIGPIPE` by default, turning `EPIPE` into a
+/// `println!` panic).
+#[cfg(unix)]
+fn restore_sigpipe() {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGPIPE: i32 = 13;
+    const SIG_DFL: usize = 0;
+    unsafe {
+        signal(SIGPIPE, SIG_DFL);
+    }
+}
+
+#[cfg(not(unix))]
+fn restore_sigpipe() {}
+
+/// Exit codes: 0 success, 2 usage, 3 input parse, 4 I/O (including bad
+/// checkpoints), 5 oracle fault survived the retry budget, 6 budget
+/// exceeded (partial output was printed). See `CliError::exit_code`.
 fn main() -> ExitCode {
+    restore_sigpipe();
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match args::parse(&argv) {
         Ok(cmd) => match commands::run(cmd) {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => {
                 eprintln!("error: {e}");
-                ExitCode::FAILURE
+                ExitCode::from(e.exit_code())
             }
         },
         Err(e) => {
             eprintln!("error: {e}\n");
             eprintln!("{}", args::USAGE);
-            ExitCode::FAILURE
+            ExitCode::from(2)
         }
     }
 }

@@ -1,6 +1,10 @@
 //! End-to-end budget behaviour of the `dualminer` binary: `--timeout 0`
-//! must exit cleanly on every subcommand, and budgeted runs must emit the
-//! JSON stats artifact with a typed outcome.
+//! must exit with the dedicated budget code (6) on every subcommand after
+//! printing its partial output, and budgeted runs must emit the JSON stats
+//! artifact with a typed outcome.
+
+/// The exit code for a tripped budget (`CliError::Budget`).
+const EXIT_BUDGET: i32 = 6;
 
 use std::fs;
 use std::path::PathBuf;
@@ -82,7 +86,11 @@ fn timeout_zero_exits_cleanly_on_every_subcommand() {
             "json".into(),
         ]);
         let out = bin().args(&args).output().expect("spawn dualminer binary");
-        assert!(out.status.success(), "{sub}: non-zero exit: {out:?}");
+        assert_eq!(
+            out.status.code(),
+            Some(EXIT_BUDGET),
+            "{sub}: wrong exit code: {out:?}"
+        );
         let text = stdout(&out);
         assert!(
             text.contains("budget exceeded (deadline)"),
@@ -110,15 +118,17 @@ fn mine_with_tiny_timeout_emits_valid_stats_json() {
         "--stats",
         "json",
     ]);
-    assert!(out.status.success(), "{out:?}");
     let json = last_line(&out);
     assert!(json.starts_with('{') && json.ends_with('}'), "{json:?}");
-    // The run either completed inside the millisecond or reports the
-    // deadline — both are typed outcomes with the full stats schema.
-    assert!(
-        json.contains("\"outcome\":\"complete\"") || json.contains("\"outcome\":\"deadline\""),
-        "{json:?}"
-    );
+    // The run either completed inside the millisecond (exit 0) or reports
+    // the deadline (exit 6) — both are typed outcomes with the full stats
+    // schema, and the exit code must match the reported outcome.
+    if out.status.success() {
+        assert!(json.contains("\"outcome\":\"complete\""), "{json:?}");
+    } else {
+        assert_eq!(out.status.code(), Some(EXIT_BUDGET), "{out:?}");
+        assert!(json.contains("\"outcome\":\"deadline\""), "{json:?}");
+    }
     for key in [
         "\"queries\":",
         "\"candidates\":",
@@ -143,7 +153,7 @@ fn transversals_max_queries_trips_with_partial_prefix() {
         "--stats",
         "json",
     ]);
-    assert!(out.status.success(), "{out:?}");
+    assert_eq!(out.status.code(), Some(EXIT_BUDGET), "{out:?}");
     let text = stdout(&out);
     assert!(
         text.contains("budget exceeded (max_queries)"),
@@ -166,7 +176,7 @@ fn transversals_max_transversals_trips_with_partial_prefix() {
         "--stats",
         "json",
     ]);
-    assert!(out.status.success(), "{out:?}");
+    assert_eq!(out.status.code(), Some(EXIT_BUDGET), "{out:?}");
     let text = stdout(&out);
     assert!(
         text.contains("budget exceeded (max_transversals)"),

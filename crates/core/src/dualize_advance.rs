@@ -32,8 +32,10 @@
 
 use dualminer_bitset::AttrSet;
 use dualminer_hypergraph::{transversals_with_ctl, Hypergraph, TrAlgorithm};
-use dualminer_obs::{BudgetReason, Meter, NoopObserver, Outcome, RunCtl};
+use dualminer_obs::{BudgetReason, Meter, NoopObserver, OracleError, Outcome, RunCtl, RunError};
 
+use crate::checkpoint::{Aborted, DaState, FaultCtl, ResumeState, DUALIZE_ADVANCE_KIND};
+use crate::fallible::{query_with_retry, TryInterestOracle};
 use crate::oracle::InterestOracle;
 
 /// Trace of one outer iteration (one new maximal set, or the final
@@ -190,65 +192,241 @@ pub fn dualize_advance_with_config_ctl<O: InterestOracle>(
     threads: usize,
     ctl: &RunCtl<'_>,
 ) -> Outcome<DualizeAdvanceRun> {
+    let mut infallible: &mut O = oracle;
+    match dualize_advance_try_ctl(
+        &mut infallible,
+        algo,
+        config,
+        threads,
+        ctl,
+        &FaultCtl::none(),
+        None,
+    ) {
+        Ok(outcome) => outcome,
+        Err(aborted) => unreachable!("infallible oracle cannot abort: {aborted}"),
+    }
+}
+
+/// Checkpoint bookkeeping for the fault-tolerant Dualize-and-Advance
+/// driver. Unlike levelwise, `maximal` and the round certificate mutate
+/// **only at safe points** (the greedy extension is atomic), so the abort
+/// state is always just the current collections plus the query count as
+/// of the last safe point.
+struct DaCkpt {
+    safe_queries: u64,
+    last_saved: u64,
+}
+
+impl DaCkpt {
+    fn state(&self, n: usize, maximal: &[AttrSet], certificate: &[AttrSet]) -> DaState {
+        DaState {
+            n,
+            maximal: maximal.to_vec(),
+            round_certificate: certificate.to_vec(),
+            queries: self.safe_queries,
+        }
+    }
+
+    /// Marks a safe point and persists per cadence; a failed save aborts.
+    fn at_safe_point(
+        &mut self,
+        n: usize,
+        maximal: &[AttrSet],
+        certificate: &[AttrSet],
+        queries: u64,
+        ctl: &RunCtl<'_>,
+        fault: &FaultCtl<'_>,
+    ) -> Result<(), Aborted> {
+        self.safe_queries = queries;
+        let Some(cfg) = fault.checkpoint else {
+            return Ok(());
+        };
+        if queries.saturating_sub(self.last_saved) < cfg.every {
+            return Ok(());
+        }
+        let state = self.state(n, maximal, certificate);
+        if let Err(e) = cfg.sink.save(DUALIZE_ADVANCE_KIND, &state.to_json()) {
+            return Err(Aborted {
+                error: RunError::Checkpoint(e.to_string()),
+                resume: Some(Box::new(ResumeState::DualizeAdvance(state))),
+            });
+        }
+        ctl.observer.on_checkpoint(queries);
+        self.last_saved = queries;
+        Ok(())
+    }
+
+    /// The abort value for an oracle failure: state as of the last safe
+    /// point, persisted best-effort (the oracle error stays primary).
+    fn abort(
+        &self,
+        error: OracleError,
+        n: usize,
+        maximal: &[AttrSet],
+        certificate: &[AttrSet],
+        fault: &FaultCtl<'_>,
+    ) -> Aborted {
+        if maximal.is_empty() {
+            // Still in the seed phase: nothing durable yet.
+            return Aborted {
+                error: RunError::Oracle(error),
+                resume: None,
+            };
+        }
+        let state = self.state(n, maximal, certificate);
+        if let Some(cfg) = fault.checkpoint {
+            let _ = cfg.sink.save(DUALIZE_ADVANCE_KIND, &state.to_json());
+        }
+        Aborted {
+            error: RunError::Oracle(error),
+            resume: Some(Box::new(ResumeState::DualizeAdvance(state))),
+        }
+    }
+}
+
+/// The fault-tolerant Dualize-and-Advance driver:
+/// [`dualize_advance_with_config_ctl`] over a *fallible* oracle, with
+/// deterministic retry, optional crash-safe checkpointing, and resume.
+///
+/// Safe points are (a) after each enumerated transversal is verified
+/// uninteresting — the `round_certificate` cursor the checkpoint
+/// serializes — and (b) each iteration boundary, after a counterexample's
+/// greedy extension installs a new verified-maximal set. A fault inside
+/// an extension rolls back to the last safe point; the resumed run
+/// re-issues the counterexample query and the extension from scratch, so
+/// its query total matches an uninterrupted run exactly.
+///
+/// On resume, the complement hypergraph is rebuilt from `maximal` in
+/// discovery order and the round's transversal enumeration replays
+/// deterministically: the materializing strategies skip (and verify)
+/// the first `round_certificate.len()` transversals; the incremental FK
+/// strategy seeds its growing hypergraph `g` with the certificate and
+/// continues emitting where it left off. A resumed run's `maximal`,
+/// `negative_border` and `queries` are bit-identical to an uninterrupted
+/// run; only the `iterations` trace restarts at the resume point (the
+/// `iterations.len() == maximal.len() + 1` invariant holds for
+/// un-resumed runs only).
+#[allow(clippy::too_many_arguments)]
+pub fn dualize_advance_try_ctl<O: TryInterestOracle>(
+    oracle: &mut O,
+    algo: TrAlgorithm,
+    config: &DualizeAdvanceConfig,
+    threads: usize,
+    ctl: &RunCtl<'_>,
+    fault: &FaultCtl<'_>,
+    resume: Option<DaState>,
+) -> Result<Outcome<DualizeAdvanceRun>, Aborted> {
     let n = oracle.universe_size();
     let ext_order = config.extension_order.materialize(n);
     let mut maximal: Vec<AttrSet> = Vec::new();
     let mut iterations: Vec<DualizeAdvanceIteration> = Vec::new();
     let mut queries = 0u64;
+    // Certificate carried into the first (resumed) round; later rounds
+    // start empty.
+    let mut pending_certificate: Vec<AttrSet> = Vec::new();
+    let mut ckpt = DaCkpt {
+        safe_queries: 0,
+        last_saved: 0,
+    };
 
     if let Some(reason) = ctl.meter.exceeded() {
-        return Outcome::BudgetExceeded {
+        return Ok(Outcome::BudgetExceeded {
             partial: partial_run(maximal, Vec::new(), iterations, queries),
             reason,
-        };
-    }
-
-    // Seed: is anything interesting at all?
-    queries += 1;
-    ctl.meter.record_query();
-    if !oracle.is_interesting(&AttrSet::empty(n)) {
-        return Outcome::Complete(DualizeAdvanceRun {
-            maximal,
-            negative_border: vec![AttrSet::empty(n)],
-            iterations,
-            queries,
         });
     }
-    let (first, ext_q, tripped) = greedy_extend_ctl(oracle, AttrSet::empty(n), &ext_order, ctl);
-    queries += ext_q;
-    if let Some(reason) = tripped {
-        // The extension was interrupted, so `first` is interesting but not
-        // verified maximal — it is NOT part of the MTh prefix.
-        return Outcome::BudgetExceeded {
-            partial: partial_run(maximal, Vec::new(), iterations, queries),
-            reason,
-        };
+
+    if let Some(state) = resume {
+        if state.n != n {
+            return Err(Aborted {
+                error: RunError::Checkpoint(format!(
+                    "checkpoint universe size {} does not match oracle universe size {n}",
+                    state.n
+                )),
+                resume: None,
+            });
+        }
+        maximal = state.maximal;
+        pending_certificate = state.round_certificate;
+        queries = state.queries;
+        ckpt.safe_queries = queries;
+        ckpt.last_saved = queries;
     }
-    iterations.push(DualizeAdvanceIteration {
-        transversals_tested: 0,
-        counterexample: Some(AttrSet::empty(n)),
-        maximal_found: Some(first.clone()),
-        extension_queries: ext_q,
-    });
-    ctl.observer.on_iteration(iterations.len(), 0, true);
-    maximal.push(first);
+
+    if maximal.is_empty() {
+        // Seed: is anything interesting at all?
+        queries += 1;
+        ctl.meter.record_query();
+        let empty_interesting =
+            match query_with_retry(oracle, &AttrSet::empty(n), &fault.retry, ctl) {
+                Ok(v) => v,
+                Err(e) => {
+                    return Err(Aborted {
+                        error: RunError::Oracle(e),
+                        resume: None,
+                    })
+                }
+            };
+        if !empty_interesting {
+            return Ok(Outcome::Complete(DualizeAdvanceRun {
+                maximal,
+                negative_border: vec![AttrSet::empty(n)],
+                iterations,
+                queries,
+            }));
+        }
+        let (first, ext_q, tripped) =
+            match greedy_extend_try_ctl(oracle, AttrSet::empty(n), &ext_order, ctl, fault) {
+                Ok(v) => v,
+                Err(e) => {
+                    return Err(Aborted {
+                        error: RunError::Oracle(e),
+                        resume: None,
+                    })
+                }
+            };
+        queries += ext_q;
+        if let Some(reason) = tripped {
+            // The extension was interrupted, so `first` is interesting but
+            // not verified maximal — it is NOT part of the MTh prefix.
+            return Ok(Outcome::BudgetExceeded {
+                partial: partial_run(maximal, Vec::new(), iterations, queries),
+                reason,
+            });
+        }
+        iterations.push(DualizeAdvanceIteration {
+            transversals_tested: 0,
+            counterexample: Some(AttrSet::empty(n)),
+            maximal_found: Some(first.clone()),
+            extension_queries: ext_q,
+        });
+        ctl.observer.on_iteration(iterations.len(), 0, true);
+        maximal.push(first);
+        ckpt.at_safe_point(n, &maximal, &[], queries, ctl, fault)?;
+    }
 
     loop {
         // Dualize: E = complements of Cᵢ; Tr(E) = Bd⁻(Cᵢ) by Theorem 7.
+        // Discovery order, never sorted mid-run: a resumed run must
+        // rebuild the identical hypergraph for the identical enumeration.
         let complements =
             Hypergraph::from_edges(n, maximal.iter().map(AttrSet::complement).collect())
                 .expect("complements stay in universe");
 
-        let mut tested = 0usize;
+        let mut certificate: Vec<AttrSet> = std::mem::take(&mut pending_certificate);
+        let mut tested = certificate.len();
         let mut counterexample: Option<AttrSet> = None;
-        let mut certificate: Vec<AttrSet> = Vec::new();
 
         match algo {
             TrAlgorithm::FkJointGeneration => {
                 // Incremental enumeration with early exit: re-implement the
                 // joint-generation loop inline so each emitted transversal
-                // is queried immediately.
+                // is queried immediately. On resume, seeding `g` with the
+                // certificate continues the enumeration where it stopped.
                 let mut g = Hypergraph::empty(n);
+                for t in &certificate {
+                    g.add_edge(t.clone());
+                }
                 loop {
                     let witness = match dualminer_hypergraph::fk::duality_witness_counted_par_ctl(
                         &complements,
@@ -265,10 +443,10 @@ pub fn dualize_advance_with_config_ctl<O: InterestOracle>(
                                 extension_queries: 0,
                             });
                             ctl.observer.on_iteration(iterations.len(), tested, false);
-                            return Outcome::BudgetExceeded {
+                            return Ok(Outcome::BudgetExceeded {
                                 partial: partial_run(maximal, certificate, iterations, queries),
                                 reason,
-                            };
+                            });
                         }
                     };
                     match witness {
@@ -284,12 +462,27 @@ pub fn dualize_advance_with_config_ctl<O: InterestOracle>(
                             ctl.meter.record_query();
                             ctl.meter.record_transversal();
                             ctl.observer.on_transversals(1);
-                            if oracle.is_interesting(&t) {
-                                counterexample = Some(t);
-                                break;
+                            match query_with_retry(oracle, &t, &fault.retry, ctl) {
+                                Ok(true) => {
+                                    counterexample = Some(t);
+                                    break;
+                                }
+                                Ok(false) => {
+                                    certificate.push(t.clone());
+                                    g.add_edge(t);
+                                    ckpt.at_safe_point(
+                                        n,
+                                        &maximal,
+                                        &certificate,
+                                        queries,
+                                        ctl,
+                                        fault,
+                                    )?;
+                                }
+                                Err(e) => {
+                                    return Err(ckpt.abort(e, n, &maximal, &certificate, fault))
+                                }
                             }
-                            certificate.push(t.clone());
-                            g.add_edge(t);
                         }
                     }
                 }
@@ -308,13 +501,30 @@ pub fn dualize_advance_with_config_ctl<O: InterestOracle>(
                             extension_queries: 0,
                         });
                         ctl.observer.on_iteration(iterations.len(), 0, false);
-                        return Outcome::BudgetExceeded {
+                        return Ok(Outcome::BudgetExceeded {
                             partial: partial_run(maximal, Vec::new(), iterations, queries),
                             reason,
-                        };
+                        });
                     }
                 };
-                for t in tr.edges() {
+                // On resume, the first `certificate.len()` transversals
+                // were already verified uninteresting: skip them, but
+                // check they really are the ones the checkpoint recorded —
+                // a mismatch means the checkpoint belongs to a different
+                // input and resuming would corrupt the run.
+                for (i, t) in tr.edges().iter().enumerate() {
+                    if i < certificate.len() {
+                        if *t != certificate[i] {
+                            return Err(Aborted {
+                                error: RunError::Checkpoint(format!(
+                                    "checkpoint cursor mismatch at transversal {i}: \
+                                     the checkpoint does not match this input"
+                                )),
+                                resume: None,
+                            });
+                        }
+                        continue;
+                    }
                     if let Some(reason) = ctl.meter.exceeded() {
                         iterations.push(DualizeAdvanceIteration {
                             transversals_tested: tested,
@@ -323,19 +533,25 @@ pub fn dualize_advance_with_config_ctl<O: InterestOracle>(
                             extension_queries: 0,
                         });
                         ctl.observer.on_iteration(iterations.len(), tested, false);
-                        return Outcome::BudgetExceeded {
+                        return Ok(Outcome::BudgetExceeded {
                             partial: partial_run(maximal, certificate, iterations, queries),
                             reason,
-                        };
+                        });
                     }
                     tested += 1;
                     queries += 1;
                     ctl.meter.record_query();
-                    if oracle.is_interesting(t) {
-                        counterexample = Some(t.clone());
-                        break;
+                    match query_with_retry(oracle, t, &fault.retry, ctl) {
+                        Ok(true) => {
+                            counterexample = Some(t.clone());
+                            break;
+                        }
+                        Ok(false) => {
+                            certificate.push(t.clone());
+                            ckpt.at_safe_point(n, &maximal, &certificate, queries, ctl, fault)?;
+                        }
+                        Err(e) => return Err(ckpt.abort(e, n, &maximal, &certificate, fault)),
                     }
-                    certificate.push(t.clone());
                 }
             }
         }
@@ -352,15 +568,24 @@ pub fn dualize_advance_with_config_ctl<O: InterestOracle>(
                 ctl.observer.on_iteration(iterations.len(), tested, false);
                 maximal.sort_by(|a, b| a.cmp_card_lex(b));
                 certificate.sort_by(|a, b| a.cmp_card_lex(b));
-                return Outcome::Complete(DualizeAdvanceRun {
+                return Ok(Outcome::Complete(DualizeAdvanceRun {
                     maximal,
                     negative_border: certificate,
                     iterations,
                     queries,
-                });
+                }));
             }
             Some(x) => {
-                let (y, ext_q, tripped) = greedy_extend_ctl(oracle, x.clone(), &ext_order, ctl);
+                let (y, ext_q, tripped) =
+                    match greedy_extend_try_ctl(oracle, x.clone(), &ext_order, ctl, fault) {
+                        Ok(v) => v,
+                        Err(e) => {
+                            // Roll back to the last safe point: the
+                            // counterexample query and any extension
+                            // queries are re-issued on resume.
+                            return Err(ckpt.abort(e, n, &maximal, &certificate, fault));
+                        }
+                    };
                 queries += ext_q;
                 if let Some(reason) = tripped {
                     iterations.push(DualizeAdvanceIteration {
@@ -370,10 +595,10 @@ pub fn dualize_advance_with_config_ctl<O: InterestOracle>(
                         extension_queries: ext_q,
                     });
                     ctl.observer.on_iteration(iterations.len(), tested, true);
-                    return Outcome::BudgetExceeded {
+                    return Ok(Outcome::BudgetExceeded {
                         partial: partial_run(maximal, certificate, iterations, queries),
                         reason,
-                    };
+                    });
                 }
                 debug_assert!(!maximal.contains(&y));
                 iterations.push(DualizeAdvanceIteration {
@@ -384,6 +609,8 @@ pub fn dualize_advance_with_config_ctl<O: InterestOracle>(
                 });
                 ctl.observer.on_iteration(iterations.len(), tested, true);
                 maximal.push(y);
+                ckpt.at_safe_point(n, &maximal, &[], queries, ctl, fault)?;
+                pending_certificate = Vec::new();
             }
         }
     }
@@ -409,7 +636,7 @@ pub fn greedy_maximize_with_order<O: InterestOracle>(
     x: AttrSet,
     order: Option<&[usize]>,
 ) -> (AttrSet, u64) {
-    let n = oracle.universe_size();
+    let n = InterestOracle::universe_size(oracle);
     let default: Vec<usize> = (0..n).collect();
     let meter = Meter::unlimited();
     let (y, queries, _) = greedy_extend_ctl(
@@ -426,26 +653,44 @@ pub fn greedy_maximize_with_order<O: InterestOracle>(
 /// not verified maximal, so callers must not add it to the MTh prefix.
 fn greedy_extend_ctl<O: InterestOracle>(
     oracle: &mut O,
-    mut x: AttrSet,
+    x: AttrSet,
     order: &[usize],
     ctl: &RunCtl<'_>,
 ) -> (AttrSet, u64, Option<BudgetReason>) {
+    let mut infallible: &mut O = oracle;
+    match greedy_extend_try_ctl(&mut infallible, x, order, ctl, &FaultCtl::none()) {
+        Ok(v) => v,
+        Err(e) => unreachable!("infallible oracle cannot fail: {e}"),
+    }
+}
+
+/// [`greedy_extend_ctl`] over a fallible oracle. The extension is
+/// *atomic* with respect to checkpointing: an oracle error (after
+/// retries) discards the whole extension and the caller rolls back to
+/// its last safe point — partial extensions are never persisted.
+fn greedy_extend_try_ctl<O: TryInterestOracle>(
+    oracle: &mut O,
+    mut x: AttrSet,
+    order: &[usize],
+    ctl: &RunCtl<'_>,
+    fault: &FaultCtl<'_>,
+) -> Result<(AttrSet, u64, Option<BudgetReason>), OracleError> {
     let mut queries = 0u64;
     for &v in order {
         if x.contains(v) {
             continue;
         }
         if let Some(reason) = ctl.meter.exceeded() {
-            return (x, queries, Some(reason));
+            return Ok((x, queries, Some(reason)));
         }
         x.insert(v);
         queries += 1;
         ctl.meter.record_query();
-        if !oracle.is_interesting(&x) {
+        if !query_with_retry(oracle, &x, &fault.retry, ctl)? {
             x.remove(v);
         }
     }
-    (x, queries, None)
+    Ok((x, queries, None))
 }
 
 #[cfg(test)]
@@ -666,7 +911,7 @@ pub fn dualize_advance_batch_ctl<O: InterestOracle>(
     threads: usize,
     ctl: &RunCtl<'_>,
 ) -> Outcome<DualizeAdvanceRun> {
-    let n = oracle.universe_size();
+    let n = InterestOracle::universe_size(oracle);
     let mut maximal: Vec<AttrSet> = Vec::new();
     let mut iterations: Vec<DualizeAdvanceIteration> = Vec::new();
     let mut queries = 0u64;

@@ -20,9 +20,13 @@
 //! both ways.
 
 use dualminer_bitset::{AttrSet, SetTrie};
-use dualminer_obs::{Meter, NoopObserver, Outcome, RunCtl};
+use dualminer_obs::{Meter, NoopObserver, OracleError, Outcome, RunCtl, RunError};
 
 use crate::candidates::prefix_join_units;
+use crate::checkpoint::{Aborted, FaultCtl, LevelwiseState, ResumeState, LEVELWISE_KIND};
+use crate::fallible::{
+    query_with_retry, sync_query_with_retry, TryInterestOracle, TrySyncInterestOracle,
+};
 use crate::oracle::{InterestOracle, SyncInterestOracle};
 
 /// Complete output of one levelwise run.
@@ -108,40 +112,246 @@ fn finish_run(
 /// the sentences evaluated so far, with `positive_border` derived from
 /// that prefix (a valid `Bd⁺` of the truncated theory, not of `Th`).
 pub fn levelwise_ctl<O: InterestOracle>(oracle: &mut O, ctl: &RunCtl<'_>) -> Outcome<LevelwiseRun> {
+    let mut infallible: &mut O = oracle;
+    match levelwise_try_ctl(&mut infallible, ctl, &FaultCtl::none(), None) {
+        Ok(outcome) => outcome,
+        Err(aborted) => unreachable!("infallible oracle cannot abort: {aborted}"),
+    }
+}
+
+/// Bookkeeping shared by the two fault-tolerant levelwise drivers: the
+/// state at the last level boundary (the trim point for abort-time
+/// checkpoints) plus the save cadence.
+struct LevelwiseCkpt {
+    boundary_theory: usize,
+    boundary_negative: usize,
+    boundary_levels: usize,
+    boundary_queries: u64,
+    last_saved: u64,
+}
+
+impl LevelwiseCkpt {
+    fn fresh() -> LevelwiseCkpt {
+        LevelwiseCkpt {
+            boundary_theory: 0,
+            boundary_negative: 0,
+            boundary_levels: 0,
+            boundary_queries: 0,
+            last_saved: 0,
+        }
+    }
+
+    /// State trimmed to the last completed level boundary.
+    fn state(
+        &self,
+        n: usize,
+        theory: &[AttrSet],
+        negative: &[AttrSet],
+        candidates_per_level: &[usize],
+    ) -> LevelwiseState {
+        LevelwiseState {
+            n,
+            theory: theory[..self.boundary_theory].to_vec(),
+            negative: negative[..self.boundary_negative].to_vec(),
+            candidates_per_level: candidates_per_level[..self.boundary_levels].to_vec(),
+            queries: self.boundary_queries,
+        }
+    }
+
+    /// Marks a level boundary and, if a sink is configured and the
+    /// cadence is due, persists the state. A failed save aborts the run
+    /// (continuing un-checkpointed would silently void the crash-safety
+    /// contract the caller asked for).
+    #[allow(clippy::too_many_arguments)]
+    fn at_boundary(
+        &mut self,
+        n: usize,
+        theory: &[AttrSet],
+        negative: &[AttrSet],
+        candidates_per_level: &[usize],
+        queries: u64,
+        ctl: &RunCtl<'_>,
+        fault: &FaultCtl<'_>,
+    ) -> Result<(), Aborted> {
+        self.boundary_theory = theory.len();
+        self.boundary_negative = negative.len();
+        self.boundary_levels = candidates_per_level.len();
+        self.boundary_queries = queries;
+        let Some(cfg) = fault.checkpoint else {
+            return Ok(());
+        };
+        if queries.saturating_sub(self.last_saved) < cfg.every {
+            return Ok(());
+        }
+        let state = self.state(n, theory, negative, candidates_per_level);
+        if let Err(e) = cfg.sink.save(LEVELWISE_KIND, &state.to_json()) {
+            return Err(Aborted {
+                error: RunError::Checkpoint(e.to_string()),
+                resume: Some(Box::new(ResumeState::Levelwise(state))),
+            });
+        }
+        ctl.observer.on_checkpoint(queries);
+        self.last_saved = queries;
+        Ok(())
+    }
+
+    /// Builds the abort value for a mid-level oracle failure: persists
+    /// the trimmed boundary state (best effort — the oracle error stays
+    /// primary) and hands it back in memory.
+    fn abort(
+        &self,
+        error: OracleError,
+        n: usize,
+        theory: &[AttrSet],
+        negative: &[AttrSet],
+        candidates_per_level: &[usize],
+        fault: &FaultCtl<'_>,
+    ) -> Aborted {
+        let state = self.state(n, theory, negative, candidates_per_level);
+        let resume = if state.candidates_per_level.is_empty() {
+            None // aborted before the first boundary: nothing to resume
+        } else {
+            if let Some(cfg) = fault.checkpoint {
+                let _ = cfg.sink.save(LEVELWISE_KIND, &state.to_json());
+            }
+            Some(Box::new(ResumeState::Levelwise(state)))
+        };
+        Aborted {
+            error: RunError::Oracle(error),
+            resume,
+        }
+    }
+}
+
+/// Validates a resume state against the oracle and unpacks it into the
+/// driver's working variables `(theory, negative, candidates_per_level,
+/// queries, frontier, card)`.
+type LevelwiseVars = (
+    Vec<AttrSet>,
+    Vec<AttrSet>,
+    Vec<usize>,
+    u64,
+    Vec<Vec<usize>>,
+    usize,
+);
+
+fn unpack_resume(state: LevelwiseState, n: usize) -> Result<LevelwiseVars, Aborted> {
+    let corrupt = |msg: String| Aborted {
+        error: RunError::Checkpoint(msg),
+        resume: None,
+    };
+    if state.n != n {
+        return Err(corrupt(format!(
+            "checkpoint universe size {} does not match oracle universe size {n}",
+            state.n
+        )));
+    }
+    if state.candidates_per_level.is_empty() {
+        return Err(corrupt("checkpoint has no completed levels".into()));
+    }
+    let frontier = state.frontier();
+    let card = state.candidates_per_level.len() - 1;
+    Ok((
+        state.theory,
+        state.negative,
+        state.candidates_per_level,
+        state.queries,
+        frontier,
+        card,
+    ))
+}
+
+/// The fault-tolerant levelwise driver: [`levelwise_ctl`] over a
+/// *fallible* oracle, with deterministic retry, optional crash-safe
+/// checkpointing, and resume.
+///
+/// * Transient oracle errors are retried per `fault.retry`; a permanent
+///   error (or an exhausted retry budget) aborts with the state trimmed
+///   to the last completed level, persisted through the checkpoint sink
+///   when one is configured and returned in [`Aborted::resume`].
+/// * With checkpointing on, state is saved at level boundaries whenever
+///   at least `every` logical queries accumulated since the last save.
+/// * Passing `resume` continues a prior run: the walk restarts at the
+///   first unfinished level and replays exactly the suffix a
+///   from-scratch run would execute, so `Th`/`Bd⁺`/`Bd⁻`,
+///   `candidates_per_level` and `queries` are bit-identical to an
+///   uninterrupted run.
+///
+/// Retries and faults are metered on [`Meter::retries`] /
+/// [`Meter::faults`]; `record_query` still fires exactly once per
+/// logical query, keeping the Theorem 10 identity intact.
+pub fn levelwise_try_ctl<O: TryInterestOracle>(
+    oracle: &mut O,
+    ctl: &RunCtl<'_>,
+    fault: &FaultCtl<'_>,
+    resume: Option<LevelwiseState>,
+) -> Result<Outcome<LevelwiseRun>, Aborted> {
     let n = oracle.universe_size();
-    let mut theory: Vec<AttrSet> = Vec::new();
-    let mut negative: Vec<AttrSet> = Vec::new();
-    let mut candidates_per_level: Vec<usize> = Vec::new();
-    let mut queries = 0u64;
+    let mut theory: Vec<AttrSet>;
+    let mut negative: Vec<AttrSet>;
+    let mut candidates_per_level: Vec<usize>;
+    let mut queries: u64;
+    let mut level: Vec<Vec<usize>>;
+    let mut card: usize;
+    let mut ckpt = LevelwiseCkpt::fresh();
 
     if let Some(reason) = ctl.meter.exceeded() {
-        return Outcome::BudgetExceeded {
-            partial: finish_run(theory, negative, candidates_per_level, queries),
+        return Ok(Outcome::BudgetExceeded {
+            partial: finish_run(Vec::new(), Vec::new(), Vec::new(), 0),
             reason,
-        };
-    }
-
-    // Level 0: the single most general sentence, ∅.
-    let empty = AttrSet::empty(n);
-    candidates_per_level.push(1);
-    queries += 1;
-    ctl.meter.record_query();
-    let empty_interesting = oracle.is_interesting(&empty);
-    ctl.observer.on_level(0, 1, usize::from(empty_interesting));
-    if !empty_interesting {
-        return Outcome::Complete(LevelwiseRun {
-            theory,
-            positive_border: vec![],
-            negative_border: vec![empty],
-            candidates_per_level,
-            queries,
         });
     }
-    theory.push(empty);
 
-    // `level` holds L_i as sorted index vectors for prefix extension.
-    let mut level: Vec<Vec<usize>> = vec![vec![]];
-    let mut card = 0usize;
+    if let Some(state) = resume {
+        (theory, negative, candidates_per_level, queries, level, card) = unpack_resume(state, n)?;
+        ckpt.boundary_theory = theory.len();
+        ckpt.boundary_negative = negative.len();
+        ckpt.boundary_levels = candidates_per_level.len();
+        ckpt.boundary_queries = queries;
+        ckpt.last_saved = queries;
+    } else {
+        theory = Vec::new();
+        negative = Vec::new();
+        candidates_per_level = Vec::new();
+
+        // Level 0: the single most general sentence, ∅.
+        let empty = AttrSet::empty(n);
+        candidates_per_level.push(1);
+        queries = 1;
+        ctl.meter.record_query();
+        let empty_interesting = match query_with_retry(oracle, &empty, &fault.retry, ctl) {
+            Ok(v) => v,
+            Err(e) => {
+                return Err(Aborted {
+                    error: RunError::Oracle(e),
+                    resume: None,
+                })
+            }
+        };
+        ctl.observer.on_level(0, 1, usize::from(empty_interesting));
+        if !empty_interesting {
+            return Ok(Outcome::Complete(LevelwiseRun {
+                theory,
+                positive_border: vec![],
+                negative_border: vec![empty],
+                candidates_per_level,
+                queries,
+            }));
+        }
+        theory.push(empty);
+        level = vec![vec![]];
+        card = 0;
+        ckpt.at_boundary(
+            n,
+            &theory,
+            &negative,
+            &candidates_per_level,
+            queries,
+            ctl,
+            fault,
+        )?;
+    }
+
     while !level.is_empty() && card < n {
         card += 1;
         let units = prefix_join_units(n, card, &level, Vec::as_slice);
@@ -153,21 +363,25 @@ pub fn levelwise_ctl<O: InterestOracle>(oracle: &mut O, ctl: &RunCtl<'_>) -> Out
                 if tested > 0 {
                     candidates_per_level.push(tested);
                 }
-                return Outcome::BudgetExceeded {
+                return Ok(Outcome::BudgetExceeded {
                     partial: finish_run(theory, negative, candidates_per_level, queries),
                     reason,
-                };
+                });
             }
             tested += 1;
             queries += 1;
             ctl.meter.record_query();
             let cand_set = AttrSet::from_indices(n, cand.iter().copied());
-            if oracle.is_interesting(&cand_set) {
-                interesting_count += 1;
-                theory.push(cand_set);
-                next.push(cand);
-            } else {
-                negative.push(cand_set);
+            match query_with_retry(oracle, &cand_set, &fault.retry, ctl) {
+                Ok(true) => {
+                    interesting_count += 1;
+                    theory.push(cand_set);
+                    next.push(cand);
+                }
+                Ok(false) => negative.push(cand_set),
+                Err(e) => {
+                    return Err(ckpt.abort(e, n, &theory, &negative, &candidates_per_level, fault))
+                }
             }
         }
         if tested > 0 {
@@ -175,9 +389,23 @@ pub fn levelwise_ctl<O: InterestOracle>(oracle: &mut O, ctl: &RunCtl<'_>) -> Out
         }
         ctl.observer.on_level(card, tested, interesting_count);
         level = next;
+        ckpt.at_boundary(
+            n,
+            &theory,
+            &negative,
+            &candidates_per_level,
+            queries,
+            ctl,
+            fault,
+        )?;
     }
 
-    Outcome::Complete(finish_run(theory, negative, candidates_per_level, queries))
+    Ok(Outcome::Complete(finish_run(
+        theory,
+        negative,
+        candidates_per_level,
+        queries,
+    )))
 }
 
 /// [`levelwise`] with each level's candidate batch evaluated on up to
@@ -211,72 +439,155 @@ pub fn levelwise_par_ctl<O: SyncInterestOracle>(
     threads: usize,
     ctl: &RunCtl<'_>,
 ) -> Outcome<LevelwiseRun> {
+    let infallible: &O = oracle;
+    match levelwise_par_try_ctl(&infallible, threads, ctl, &FaultCtl::none(), None) {
+        Ok(outcome) => outcome,
+        Err(aborted) => unreachable!("infallible oracle cannot abort: {aborted}"),
+    }
+}
+
+/// The fault-tolerant parallel levelwise driver: [`levelwise_par_ctl`]
+/// over a fallible shared-state oracle, with deterministic retry,
+/// optional crash-safe checkpointing, and resume — the parallel mirror
+/// of [`levelwise_try_ctl`].
+///
+/// Workers retry transient errors independently (the retry counters are
+/// shared atomics, so totals match the sequential driver when the fault
+/// schedule is content-keyed). A query that still fails raises a shared
+/// [`dualminer_parallel::AbortFlag`] so sibling chunks stop early; the
+/// merge then picks the **first error in sequential candidate order**,
+/// making the abort — and the trimmed, level-boundary checkpoint it
+/// produces — deterministic for every thread count.
+pub fn levelwise_par_try_ctl<O: TrySyncInterestOracle>(
+    oracle: &O,
+    threads: usize,
+    ctl: &RunCtl<'_>,
+    fault: &FaultCtl<'_>,
+    resume: Option<LevelwiseState>,
+) -> Result<Outcome<LevelwiseRun>, Aborted> {
     let n = oracle.universe_size();
-    let mut theory: Vec<AttrSet> = Vec::new();
-    let mut negative: Vec<AttrSet> = Vec::new();
-    let mut candidates_per_level: Vec<usize> = Vec::new();
-    let mut queries = 0u64;
+    let mut theory: Vec<AttrSet>;
+    let mut negative: Vec<AttrSet>;
+    let mut candidates_per_level: Vec<usize>;
+    let mut queries: u64;
+    let mut level: Vec<Vec<usize>>;
+    let mut card: usize;
+    let mut ckpt = LevelwiseCkpt::fresh();
 
     if let Some(reason) = ctl.meter.exceeded() {
-        return Outcome::BudgetExceeded {
-            partial: finish_run(theory, negative, candidates_per_level, queries),
+        return Ok(Outcome::BudgetExceeded {
+            partial: finish_run(Vec::new(), Vec::new(), Vec::new(), 0),
             reason,
-        };
-    }
-
-    // Level 0: the single most general sentence, ∅.
-    let empty = AttrSet::empty(n);
-    candidates_per_level.push(1);
-    queries += 1;
-    ctl.meter.record_query();
-    let empty_interesting = oracle.is_interesting(&empty);
-    ctl.observer.on_level(0, 1, usize::from(empty_interesting));
-    if !empty_interesting {
-        return Outcome::Complete(LevelwiseRun {
-            theory,
-            positive_border: vec![],
-            negative_border: vec![empty],
-            candidates_per_level,
-            queries,
         });
     }
-    theory.push(empty);
 
-    let mut level: Vec<Vec<usize>> = vec![vec![]];
-    let mut card = 0usize;
+    if let Some(state) = resume {
+        (theory, negative, candidates_per_level, queries, level, card) = unpack_resume(state, n)?;
+        ckpt.boundary_theory = theory.len();
+        ckpt.boundary_negative = negative.len();
+        ckpt.boundary_levels = candidates_per_level.len();
+        ckpt.boundary_queries = queries;
+        ckpt.last_saved = queries;
+    } else {
+        theory = Vec::new();
+        negative = Vec::new();
+        candidates_per_level = Vec::new();
+
+        // Level 0: the single most general sentence, ∅.
+        let empty = AttrSet::empty(n);
+        candidates_per_level.push(1);
+        queries = 1;
+        ctl.meter.record_query();
+        let empty_interesting = match sync_query_with_retry(oracle, &empty, &fault.retry, ctl) {
+            Ok(v) => v,
+            Err(e) => {
+                return Err(Aborted {
+                    error: RunError::Oracle(e),
+                    resume: None,
+                })
+            }
+        };
+        ctl.observer.on_level(0, 1, usize::from(empty_interesting));
+        if !empty_interesting {
+            return Ok(Outcome::Complete(LevelwiseRun {
+                theory,
+                positive_border: vec![],
+                negative_border: vec![empty],
+                candidates_per_level,
+                queries,
+            }));
+        }
+        theory.push(empty);
+        level = vec![vec![]];
+        card = 0;
+        ckpt.at_boundary(
+            n,
+            &theory,
+            &negative,
+            &candidates_per_level,
+            queries,
+            ctl,
+            fault,
+        )?;
+    }
+
     while !level.is_empty() && card < n {
         card += 1;
         let units = prefix_join_units(n, card, &level, Vec::as_slice);
 
         // Evaluate the whole batch in parallel; chunk-order concatenation
         // reproduces the sequential evaluation order exactly. `None`
-        // marks a candidate skipped because the budget tripped.
-        let verdicts: Vec<Option<(AttrSet, bool)>> =
-            dualminer_parallel::par_chunks(threads, 4, &units, |chunk| {
-                chunk
-                    .iter()
-                    .map(|(_, cand)| {
-                        if ctl.meter.exceeded().is_some() {
-                            return None;
-                        }
-                        ctl.meter.record_query();
-                        let set = AttrSet::from_indices(n, cand.iter().copied());
-                        let interesting = oracle.is_interesting(&set);
-                        Some((set, interesting))
-                    })
-                    .collect::<Vec<_>>()
-            })
-            .concat();
+        // marks a candidate skipped (budget trip, or a sibling chunk's
+        // fault raised the abort flag); `Some(Err(_))` a failed query.
+        let abort = dualminer_parallel::AbortFlag::new();
+        type Verdict = Option<(AttrSet, Result<bool, OracleError>)>;
+        let verdicts: Vec<Verdict> = dualminer_parallel::par_chunks(threads, 4, &units, |chunk| {
+            chunk
+                .iter()
+                .map(|(_, cand)| {
+                    if abort.is_set() || ctl.meter.exceeded().is_some() {
+                        return None;
+                    }
+                    ctl.meter.record_query();
+                    let set = AttrSet::from_indices(n, cand.iter().copied());
+                    let got = sync_query_with_retry(oracle, &set, &fault.retry, ctl);
+                    if got.is_err() {
+                        abort.raise();
+                    }
+                    Some((set, got))
+                })
+                .collect::<Vec<_>>()
+        })
+        .concat();
+
+        // A fault anywhere in the level aborts it wholesale — the first
+        // error in sequential order wins, independent of which worker
+        // hit it first on the clock.
+        if let Some(e) = verdicts
+            .iter()
+            .flatten()
+            .find_map(|(_, r)| r.as_ref().err())
+        {
+            return Err(ckpt.abort(
+                e.clone(),
+                n,
+                &theory,
+                &negative,
+                &candidates_per_level,
+                fault,
+            ));
+        }
 
         let mut next: Vec<Vec<usize>> = Vec::new();
         let mut tested = 0usize;
         let mut interesting_count = 0usize;
         let mut tripped = false;
         for ((_, cand), verdict) in units.into_iter().zip(verdicts) {
-            let Some((set, interesting)) = verdict else {
+            let Some((set, got)) = verdict else {
                 tripped = true;
                 break;
             };
+            let interesting = got.expect("errors were handled above");
             tested += 1;
             queries += 1;
             if interesting {
@@ -296,15 +607,29 @@ pub fn levelwise_par_ctl<O: SyncInterestOracle>(
                 .meter
                 .exceeded()
                 .unwrap_or(dualminer_obs::BudgetReason::Cancelled);
-            return Outcome::BudgetExceeded {
+            return Ok(Outcome::BudgetExceeded {
                 partial: finish_run(theory, negative, candidates_per_level, queries),
                 reason,
-            };
+            });
         }
         level = next;
+        ckpt.at_boundary(
+            n,
+            &theory,
+            &negative,
+            &candidates_per_level,
+            queries,
+            ctl,
+            fault,
+        )?;
     }
 
-    Outcome::Complete(finish_run(theory, negative, candidates_per_level, queries))
+    Ok(Outcome::Complete(finish_run(
+        theory,
+        negative,
+        candidates_per_level,
+        queries,
+    )))
 }
 
 #[cfg(test)]

@@ -62,7 +62,9 @@
 pub mod border;
 pub mod bounds;
 pub mod candidates;
+pub mod checkpoint;
 pub mod dualize_advance;
+pub mod fallible;
 pub mod lang;
 pub mod levelwise;
 pub mod oracle;

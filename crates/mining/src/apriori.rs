@@ -105,6 +105,39 @@ impl FrequentSets {
     pub fn queries(&self) -> u64 {
         (self.itemsets.len() + self.negative_border.len()) as u64
     }
+
+    /// Assembles a [`FrequentSets`] from a generic levelwise run over `db`,
+    /// recomputing each theory member's exact support from the database.
+    ///
+    /// The fault-tolerant mining path drives the *generic*
+    /// [`dualminer_core::levelwise`] engine (which supports retries and
+    /// checkpoint/resume but knows nothing about supports) against a
+    /// [`crate::FrequencyOracle`], then converts the completed run with
+    /// this helper. `run.theory` is card-lex sorted — the invariant
+    /// [`support_of`](Self::support_of) binary-searches on — and for a run
+    /// mined from `db` at the same threshold the result is bit-identical
+    /// to [`apriori`] (asserted by the unit tests).
+    pub fn from_levelwise(
+        db: &TransactionDb,
+        min_support: usize,
+        run: &dualminer_core::levelwise::LevelwiseRun,
+    ) -> FrequentSets {
+        let itemsets: Vec<(AttrSet, usize)> = run
+            .theory
+            .iter()
+            .map(|s| (s.clone(), db.support(s)))
+            .collect();
+        FrequentSets {
+            n_items: db.n_items(),
+            min_support,
+            n_rows: db.n_rows(),
+            itemsets,
+            maximal: run.positive_border.clone(),
+            negative_border: run.negative_border.clone(),
+            candidates_per_level: run.candidates_per_level.clone(),
+            support_index: OnceLock::new(),
+        }
+    }
 }
 
 /// Mines all frequent itemsets of `db` at absolute threshold `min_support`.
@@ -401,6 +434,31 @@ mod tests {
                 "σ={sigma}"
             );
             assert_eq!(fs.queries(), run.queries, "σ={sigma}");
+        }
+    }
+
+    #[test]
+    fn from_levelwise_matches_apriori() {
+        let db = fig1_db();
+        for sigma in 1..=4usize {
+            let direct = apriori(&db, sigma);
+            let mut oracle = FrequencyOracle::new(&db, sigma);
+            let run = levelwise(&mut oracle);
+            let converted = FrequentSets::from_levelwise(&db, sigma, &run);
+            assert_eq!(converted.itemsets, direct.itemsets, "σ={sigma}");
+            assert_eq!(converted.maximal, direct.maximal, "σ={sigma}");
+            assert_eq!(
+                converted.negative_border, direct.negative_border,
+                "σ={sigma}"
+            );
+            assert_eq!(
+                converted.candidates_per_level, direct.candidates_per_level,
+                "σ={sigma}"
+            );
+            assert_eq!(converted.queries(), direct.queries(), "σ={sigma}");
+            assert_eq!(converted.n_items(), direct.n_items());
+            assert_eq!(converted.n_rows(), direct.n_rows());
+            assert_eq!(converted.min_support(), direct.min_support());
         }
     }
 

@@ -35,6 +35,18 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
+pub mod checkpoint;
+pub mod error;
+pub mod fault;
+pub mod json;
+
+pub use checkpoint::{
+    CheckpointError, CheckpointSink, Envelope, FileCheckpoint, MemoryCheckpoints,
+};
+pub use error::{ErrorClass, OracleError, RetryPolicy, RunError};
+pub use fault::{fnv1a64, FaultPlan, FaultSpec};
+pub use json::{Json, JsonError};
+
 // ---------------------------------------------------------------------------
 // Budgets
 // ---------------------------------------------------------------------------
@@ -72,6 +84,8 @@ impl Budget {
             max_transversals: self.max_transversals,
             queries: AtomicU64::new(0),
             transversals: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            faults: AtomicU64::new(0),
             cancelled: AtomicBool::new(false),
         }
     }
@@ -119,6 +133,8 @@ pub struct Meter {
     max_transversals: Option<u64>,
     queries: AtomicU64,
     transversals: AtomicU64,
+    retries: AtomicU64,
+    faults: AtomicU64,
     cancelled: AtomicBool,
 }
 
@@ -171,6 +187,30 @@ impl Meter {
     /// Total transversals recorded so far.
     pub fn transversals(&self) -> u64 {
         self.transversals.load(Ordering::Relaxed)
+    }
+
+    /// Records one oracle retry. Retries are metered *separately* from
+    /// [`Meter::record_query`] so the Theorem-10/21 query accounting —
+    /// one count per **logical** query — is unchanged by fault recovery.
+    #[inline]
+    pub fn record_retry(&self) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one observed oracle fault (transient or permanent).
+    #[inline]
+    pub fn record_fault(&self) {
+        self.faults.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total oracle retries recorded so far.
+    pub fn retries(&self) -> u64 {
+        self.retries.load(Ordering::Relaxed)
+    }
+
+    /// Total oracle faults recorded so far.
+    pub fn faults(&self) -> u64 {
+        self.faults.load(Ordering::Relaxed)
     }
 
     /// Requests cooperative cancellation; the next [`Meter::exceeded`]
@@ -318,6 +358,12 @@ pub trait MiningObserver: Sync {
     /// `count` search nodes (MMCS recursion nodes, Berge edge-merge
     /// products, levelwise-Tr candidates) were expanded.
     fn on_nodes(&self, _count: u64) {}
+    /// A transient oracle fault triggered retry `attempt` (1-based) of a
+    /// logical query; `will_retry` is false when the retry budget is
+    /// exhausted and the run is about to abort.
+    fn on_retry(&self, _attempt: u32, _will_retry: bool) {}
+    /// A checkpoint was written at a safe point.
+    fn on_checkpoint(&self, _queries_so_far: u64) {}
 }
 
 /// The do-nothing observer.
@@ -381,6 +427,7 @@ pub struct StatsCollector {
     fk_calls: AtomicU64,
     transversals: AtomicU64,
     nodes: AtomicU64,
+    checkpoints: AtomicU64,
     threads: AtomicU64,
     inner: Mutex<StatsInner>,
 }
@@ -399,6 +446,7 @@ impl StatsCollector {
             fk_calls: AtomicU64::new(0),
             transversals: AtomicU64::new(0),
             nodes: AtomicU64::new(0),
+            checkpoints: AtomicU64::new(0),
             threads: AtomicU64::new(1),
             inner: Mutex::new(StatsInner::default()),
         }
@@ -445,6 +493,13 @@ impl StatsCollector {
         let candidates: usize = inner.levels.iter().map(|&(c, _)| c).sum();
         push_u64_field(&mut out, "candidates", candidates as u64);
         push_u64_field(&mut out, "transversals", meter.transversals());
+        push_u64_field(&mut out, "retries", meter.retries());
+        push_u64_field(&mut out, "faults", meter.faults());
+        push_u64_field(
+            &mut out,
+            "checkpoints",
+            self.checkpoints.load(Ordering::Relaxed),
+        );
         push_u64_field(&mut out, "fk_calls", self.fk_calls.load(Ordering::Relaxed));
         push_u64_field(&mut out, "nodes", self.nodes.load(Ordering::Relaxed));
         push_u64_field(&mut out, "iterations", inner.iterations as u64);
@@ -525,6 +580,10 @@ impl MiningObserver for StatsCollector {
 
     fn on_nodes(&self, count: u64) {
         self.nodes.fetch_add(count, Ordering::Relaxed);
+    }
+
+    fn on_checkpoint(&self, _queries_so_far: u64) {
+        self.checkpoints.fetch_add(1, Ordering::Relaxed);
     }
 }
 

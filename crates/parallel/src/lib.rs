@@ -27,8 +27,42 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::thread;
+
+/// A cooperative early-exit signal shared by the workers of one parallel
+/// batch: when one worker hits a terminal condition (e.g. a permanent
+/// oracle fault in the fault-tolerant levelwise driver), it raises the
+/// flag and siblings skip their remaining items instead of burning work
+/// — and, under injected latency, wall-clock — on a doomed level.
+///
+/// This is purely an optimization signal: results for items evaluated
+/// before the raise are still returned in item order, so callers that
+/// resolve conflicts in *sequential* order (first error wins) stay
+/// deterministic regardless of which worker raised first.
+#[derive(Debug, Default)]
+pub struct AbortFlag {
+    raised: AtomicBool,
+}
+
+impl AbortFlag {
+    /// A lowered flag.
+    pub fn new() -> AbortFlag {
+        AbortFlag::default()
+    }
+
+    /// Signals siblings to stop picking up new items.
+    #[inline]
+    pub fn raise(&self) {
+        self.raised.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether some worker has raised the flag.
+    #[inline]
+    pub fn is_set(&self) -> bool {
+        self.raised.load(Ordering::Relaxed)
+    }
+}
 
 /// Resolves a `threads` knob: `0` becomes the machine's available
 /// parallelism (at least 1), any other value is used as given.
@@ -216,5 +250,22 @@ mod tests {
         let data = [1, 2, 3];
         let (s, l) = join(true, || data.iter().sum::<i32>(), || data.len());
         assert_eq!((s, l), (6, 3));
+    }
+
+    #[test]
+    fn abort_flag_is_sticky_and_shareable() {
+        let flag = AbortFlag::new();
+        assert!(!flag.is_set());
+        let items: Vec<usize> = (0..64).collect();
+        let seen = par_map(4, &items, |_, &i| {
+            if i == 7 {
+                flag.raise();
+            }
+            flag.is_set()
+        });
+        assert_eq!(seen.len(), 64);
+        assert!(flag.is_set());
+        flag.raise(); // idempotent
+        assert!(flag.is_set());
     }
 }
