@@ -16,6 +16,7 @@ cargo fmt --check
 cargo bench -q -p dualminer-bench --no-run
 cargo bench -q -p dualminer-bench --bench bitset_kernels -- "is_disjoint/100" >/dev/null
 cargo bench -q -p dualminer-bench --bench settrie -- "minimize_family/trie/250" >/dev/null
+cargo bench -q -p dualminer-bench --bench vstore -- "support_sparse" >/dev/null
 
 # Fault-tolerance smoke (DESIGN.md §11): a seeded transient schedule
 # absorbed by retries must not change the mined output, and a run killed
@@ -44,5 +45,34 @@ grep -q -- '--resume' "$TMP/kill.err"
 "$DM" mine "$TMP/baskets.txt" --min-support 2 \
     --checkpoint "$TMP/mine.ckpt" --resume > "$TMP/resumed.out" 2> /dev/null
 diff "$TMP/plain.out" "$TMP/resumed.out"
+
+# Out-of-core smoke (DESIGN.md §12): a ~100k-row basket file mined with
+# tiny row segments must print exactly what the default segmentation
+# prints, and a run interrupted at a segment safe point (--max-queries,
+# exit 6) must --resume on the segment-major engine to the same output.
+awk 'BEGIN {
+    srand(11);
+    for (r = 0; r < 100000; r++) {
+        line = "";
+        for (i = 0; i < 24; i++)
+            if (rand() < 0.25) line = line " it" i;
+        if (line == "") line = " it0";
+        print substr(line, 2);
+    }
+}' > "$TMP/big.txt"
+"$DM" mine "$TMP/big.txt" --min-support 0.05 > "$TMP/big_plain.out"
+"$DM" mine "$TMP/big.txt" --min-support 0.05 --segment-rows 512 > "$TMP/big_seg.out"
+diff "$TMP/big_plain.out" "$TMP/big_seg.out"
+set +e
+"$DM" mine "$TMP/big.txt" --min-support 0.05 --segment-rows 512 \
+    --checkpoint "$TMP/seg.ckpt" --checkpoint-every 1 \
+    --max-queries 40 > /dev/null 2> /dev/null
+code=$?
+set -e
+[ "$code" -eq 6 ] || { echo "expected exit 6 from tripped budget, got $code"; exit 1; }
+grep -q '"kind":"apriori-seg"' "$TMP/seg.ckpt"
+"$DM" mine "$TMP/big.txt" --min-support 0.05 --segment-rows 512 \
+    --checkpoint "$TMP/seg.ckpt" --resume > "$TMP/big_resumed.out" 2> /dev/null
+diff "$TMP/big_plain.out" "$TMP/big_resumed.out"
 
 echo "ci.sh: all checks passed"

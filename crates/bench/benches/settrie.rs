@@ -137,7 +137,10 @@ fn bench_candidate_gen(c: &mut Criterion) {
     group.sample_size(10);
     let (n, level) = sparse_level(2000);
     assert_eq!(
-        prefix_join_units(n, 4, &level, Vec::as_slice),
+        prefix_join_units(n, 4, &level, Vec::as_slice)
+            .into_iter()
+            .map(|(parent, _, cand)| (parent, cand))
+            .collect::<Vec<_>>(),
         naive_units(n, 4, &level),
         "prefix-join and naive generation must agree before timing them"
     );

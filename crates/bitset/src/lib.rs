@@ -44,6 +44,7 @@
 
 mod attr_set;
 mod enumerate;
+pub mod kernels;
 mod ops;
 mod set_trie;
 mod universe;

@@ -10,7 +10,7 @@ dualminer — data mining, hypergraph transversals, and machine learning (PODS 1
 
 USAGE:
     dualminer mine <baskets.txt> --min-support <N|0.x> [--rules <conf>] [--maximal]
-                   [--threads <T>] [RUN OPTIONS]
+                   [--threads <T>] [--segment-rows <N>] [RUN OPTIONS]
     dualminer keys <relation.csv> [--fds] [RUN OPTIONS]
     dualminer transversals <hypergraph.txt> [--algo berge|fk|levelwise|mmcs]
                    [--threads <T>] [RUN OPTIONS]
@@ -31,6 +31,11 @@ OPTIONS:
     --threads <T>  worker threads for the parallel hot paths (support
                    counting / transversal search); 0 = all available cores;
                    default 1 (sequential). Output is identical for every T.
+    --segment-rows <N>  (mine) cap vertical-store row segments at N rows
+                   (default 1024). Small caps bound resident memory for
+                   out-of-core mining and tighten the checkpoint cadence
+                   (one safe point per segment); output is identical for
+                   every N.
 
 RUN OPTIONS (budget and observability, accepted by every subcommand):
     --timeout <D>           wall-clock budget, e.g. 500ms, 2s, 1m (bare
@@ -144,6 +149,8 @@ pub enum Command {
         maximal: bool,
         /// Worker threads for support counting (0 = auto, 1 = sequential).
         threads: usize,
+        /// Vertical-store segment row cap (`--segment-rows`, default 1024).
+        segment_rows: Option<usize>,
         /// Budget / observability options.
         run: RunOpts,
     },
@@ -362,6 +369,7 @@ fn parse_inner(argv: &[String]) -> Result<Command, String> {
             let mut rules = None;
             let mut maximal = false;
             let mut threads = 1;
+            let mut segment_rows = None;
             let mut run = RunOpts::default();
             while let Some(flag) = it.next() {
                 if parse_run_flag(flag, &mut it, &mut run)? {
@@ -375,6 +383,16 @@ fn parse_inner(argv: &[String]) -> Result<Command, String> {
                     "--threads" => {
                         let v = it.next().ok_or("--threads needs a value")?;
                         threads = parse_threads(v)?;
+                    }
+                    "--segment-rows" => {
+                        let v = it.next().ok_or("--segment-rows needs a value")?;
+                        let rows = v.parse::<usize>().map_err(|_| {
+                            format!("invalid --segment-rows value {v:?} (want integer ≥ 1)")
+                        })?;
+                        if rows == 0 {
+                            return Err("--segment-rows must be ≥ 1".into());
+                        }
+                        segment_rows = Some(rows);
                     }
                     "--rules" => {
                         let v = it.next().ok_or("--rules needs a confidence value")?;
@@ -394,6 +412,7 @@ fn parse_inner(argv: &[String]) -> Result<Command, String> {
                 rules,
                 maximal,
                 threads,
+                segment_rows,
                 run,
             })
         }
@@ -518,6 +537,7 @@ mod tests {
                 rules: Some(0.8),
                 maximal: true,
                 threads: 1,
+                segment_rows: None,
                 run: RunOpts::default(),
             }
         );
@@ -608,6 +628,40 @@ mod tests {
         assert!(matches!(cmd, Command::Mine { threads: 4, .. }));
         let cmd = parse(&v(&["transversals", "h.txt", "--threads", "0"])).unwrap();
         assert!(matches!(cmd, Command::Transversals { threads: 0, .. }));
+        let cmd = parse(&v(&[
+            "mine",
+            "b.txt",
+            "--min-support",
+            "2",
+            "--segment-rows",
+            "128",
+        ]))
+        .unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Mine {
+                segment_rows: Some(128),
+                ..
+            }
+        ));
+        assert!(parse(&v(&[
+            "mine",
+            "b.txt",
+            "--min-support",
+            "2",
+            "--segment-rows",
+            "0"
+        ]))
+        .is_err());
+        assert!(parse(&v(&[
+            "mine",
+            "b.txt",
+            "--min-support",
+            "2",
+            "--segment-rows",
+            "x"
+        ]))
+        .is_err());
         assert!(parse(&v(&["mine", "b.txt", "--min-support", "2", "--threads"])).is_err());
         assert!(parse(&v(&["transversals", "h.txt", "--threads", "x"])).is_err());
     }

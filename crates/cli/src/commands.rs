@@ -4,7 +4,7 @@ use std::fmt;
 
 use dualminer_core::border::verify_maxth;
 use dualminer_core::checkpoint::{
-    Aborted, FaultCtl, ResumeState, DUALIZE_ADVANCE_KIND, LEVELWISE_KIND,
+    Aborted, CheckpointCfg, FaultCtl, ResumeState, DUALIZE_ADVANCE_KIND, LEVELWISE_KIND,
 };
 use dualminer_core::dualize_advance::{dualize_advance_try_ctl, DualizeAdvanceConfig};
 use dualminer_core::fallible::FaultyOracle;
@@ -14,7 +14,8 @@ use dualminer_fdep::fd::minimal_fd_lhs_via_agree_sets;
 use dualminer_fdep::keys::{minimal_keys_via_agree_sets, KeyDiscovery, NonSuperkeyOracle};
 use dualminer_mining::apriori::{apriori_par_ctl, FrequentSets};
 use dualminer_mining::rules::association_rules;
-use dualminer_mining::FrequencyOracle;
+use dualminer_mining::seg::{apriori_par_seg_ctl, AprioriSegState, APRIORI_SEG_KIND};
+use dualminer_mining::{EclatCfg, FrequencyOracle, DEFAULT_SEGMENT_ROWS};
 use dualminer_obs::{
     available_cpus, BudgetReason, FileCheckpoint, Meter, MiningObserver, RunCtl, RunError,
     StatsCollector,
@@ -239,6 +240,50 @@ fn load_resume(run: &RunOpts, expect_kind: &str) -> Result<Option<ResumeState>, 
     Ok(Some(state))
 }
 
+/// Peeks at the checkpoint file's envelope kind when `--resume` was
+/// given, without deserializing the state. `mine` routes by this: a
+/// checkpoint written by the fault-tolerant levelwise engine resumes on
+/// that engine even when the rerun passes no fault flags, and a
+/// segment-major checkpoint resumes on the segment engine.
+fn resume_kind(run: &RunOpts) -> Result<Option<String>, CliError> {
+    if !run.resume {
+        return Ok(None);
+    }
+    let Some(path) = run.checkpoint.as_deref() else {
+        return Ok(None);
+    };
+    let file = FileCheckpoint::new(path);
+    let envelope = file.load().map_err(|e| CliError::Io(e.to_string()))?;
+    Ok(envelope.map(|e| e.kind))
+}
+
+/// Loads the segment-engine resume state when `--resume` was given. Same
+/// contract as [`load_resume`]: a missing file starts from scratch, a
+/// corrupt or foreign-engine file is an error.
+fn load_seg_resume(run: &RunOpts) -> Result<Option<AprioriSegState>, CliError> {
+    if !run.resume {
+        return Ok(None);
+    }
+    let Some(path) = run.checkpoint.as_deref() else {
+        return Err(CliError::Io("--resume requires --checkpoint".into()));
+    };
+    let file = FileCheckpoint::new(path);
+    let Some(envelope) = file.load().map_err(|e| CliError::Io(e.to_string()))? else {
+        eprintln!("note: checkpoint {path:?} not found; starting from scratch");
+        return Ok(None);
+    };
+    if envelope.kind != APRIORI_SEG_KIND {
+        return Err(CliError::Io(format!(
+            "checkpoint {path:?} holds a {} run, expected {APRIORI_SEG_KIND}",
+            envelope.kind
+        )));
+    }
+    let state =
+        AprioriSegState::from_json(&envelope.payload).map_err(|e| CliError::Io(e.to_string()))?;
+    eprintln!("note: resuming from checkpoint {path:?}");
+    Ok(Some(state))
+}
+
 /// Converts an aborted fallible run into the CLI error for its cause,
 /// pointing the user at `--resume` when a safe point was persisted.
 fn abort_error(aborted: Aborted, checkpoint: Option<&str>) -> CliError {
@@ -267,13 +312,17 @@ pub fn run(cmd: Command) -> Result<(), CliError> {
             rules,
             maximal,
             threads,
+            segment_rows,
             run,
         } => {
             let session = Session::new(&run, threads);
             session.preflight()?;
-            let text = read(&path)?;
-            let (universe, db) =
-                formats::parse_baskets(&text).map_err(|e| CliError::Format(e.in_file(&path)))?;
+            let file = open(&path)?;
+            let (universe, db) = formats::parse_baskets_reader(
+                std::io::BufReader::new(file),
+                segment_rows.unwrap_or(DEFAULT_SEGMENT_ROWS),
+            )
+            .map_err(|e| CliError::Format(e.in_file(&path)))?;
             let sigma = min_support.resolve(db.n_rows());
             println!(
                 "{} transactions, {} items, min support {} rows",
@@ -282,7 +331,16 @@ pub fn run(cmd: Command) -> Result<(), CliError> {
                 sigma
             );
             session.observer.on_phase_start("mine");
-            let (fs, reason) = if run.fault_tolerant() {
+            // Route: injected faults or retries need the fallible oracle
+            // engine; so does resuming one of its checkpoints (the rerun
+            // may legitimately drop the fault flags). Otherwise a
+            // --checkpoint run uses the segment-major engine — safe points
+            // every row segment instead of every level — and a plain run
+            // keeps the specialized fast path.
+            let fallible = run.fault_inject.is_some()
+                || run.retry > 0
+                || resume_kind(&run)?.as_deref() == Some(LEVELWISE_KIND);
+            let (fs, reason) = if fallible {
                 // Fault-tolerant route: the generic levelwise engine over a
                 // (possibly fault-injected) frequency oracle — retries,
                 // checkpoint/resume — then exact supports recomputed from
@@ -309,6 +367,37 @@ pub fn run(cmd: Command) -> Result<(), CliError> {
                         session.observer.on_phase_end("mine");
                         session.finish(None);
                         return Err(abort_error(aborted, run.checkpoint.as_deref()));
+                    }
+                }
+            } else if run.fault_tolerant() {
+                // Checkpointed (or resumed) but fault-free: the
+                // segment-major engine, bit-identical to apriori with
+                // per-segment safe points.
+                let resume = load_seg_resume(&run)?;
+                let sink = run.checkpoint.as_deref().map(FileCheckpoint::new);
+                let ckpt = sink.as_ref().map(|s| CheckpointCfg {
+                    sink: s,
+                    every: run.checkpoint_cadence(),
+                });
+                match apriori_par_seg_ctl(
+                    &db,
+                    sigma,
+                    threads,
+                    &session.ctl(),
+                    ckpt.as_ref(),
+                    resume,
+                    &EclatCfg::default(),
+                ) {
+                    Ok(outcome) => outcome.into_parts(),
+                    Err(RunError::Checkpoint(msg)) => {
+                        session.observer.on_phase_end("mine");
+                        session.finish(None);
+                        return Err(CliError::Io(msg));
+                    }
+                    Err(RunError::Oracle(e)) => {
+                        session.observer.on_phase_end("mine");
+                        session.finish(None);
+                        return Err(CliError::Fault(e.to_string()));
                     }
                 }
             } else {
@@ -373,9 +462,9 @@ pub fn run(cmd: Command) -> Result<(), CliError> {
         Command::Keys { path, fds, run } => {
             let session = Session::new(&run, 1);
             session.preflight()?;
-            let text = read(&path)?;
-            let (universe, rel) =
-                formats::parse_relation(&text).map_err(|e| CliError::Format(e.in_file(&path)))?;
+            let file = open(&path)?;
+            let (universe, rel) = formats::parse_relation_reader(std::io::BufReader::new(file))
+                .map_err(|e| CliError::Format(e.in_file(&path)))?;
             println!("{} rows × {} attributes", rel.n_rows(), rel.n_attrs());
             session.observer.on_phase_start("keys");
             let (keys, reason) = if run.fault_tolerant() {
@@ -621,4 +710,8 @@ fn names(universe: &dualminer_bitset::Universe, set: &dualminer_bitset::AttrSet)
 
 fn read(path: &str) -> Result<String, CliError> {
     std::fs::read_to_string(path).map_err(|e| CliError::Io(format!("cannot read {path:?}: {e}")))
+}
+
+fn open(path: &str) -> Result<std::fs::File, CliError> {
+    std::fs::File::open(path).map_err(|e| CliError::Io(format!("cannot read {path:?}: {e}")))
 }

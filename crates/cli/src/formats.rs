@@ -1,13 +1,21 @@
 //! Input-file parsers: baskets, CSV relations, hypergraphs.
+//!
+//! The high-volume formats (baskets, CSV relations) parse from any
+//! [`BufRead`] source one line at a time — basket rows stream straight
+//! into a segmented [`VStoreBuilder`], so a database larger than memory
+//! would ever hold as text materializes only its compact vertical form.
+//! The `&str` entry points are thin [`Cursor`] wrappers kept for tests
+//! and small inputs.
 
 use std::collections::HashMap;
 use std::fmt;
+use std::io::{BufRead, Cursor};
 
 use dualminer_bitset::{AttrSet, Universe};
 use dualminer_episodes::EventSequence;
 use dualminer_fdep::Relation;
 use dualminer_hypergraph::Hypergraph;
-use dualminer_mining::TransactionDb;
+use dualminer_mining::{TransactionDb, VStoreBuilder, DEFAULT_SEGMENT_ROWS};
 
 /// A typed input-file parse error: what went wrong and where.
 ///
@@ -86,32 +94,54 @@ impl std::error::Error for FormatError {}
 /// item names; `#` starts a comment; blank lines are empty transactions
 /// and are skipped. Item indices are assigned in order of first
 /// appearance.
+///
+/// Thin wrapper over [`parse_baskets_reader`] at the default segment
+/// size. The CLI itself always streams from the file, so outside of
+/// tests this wrapper has no callers.
+#[cfg_attr(not(test), allow(dead_code))]
 pub fn parse_baskets(text: &str) -> Result<(Universe, TransactionDb), FormatError> {
+    parse_baskets_reader(Cursor::new(text), DEFAULT_SEGMENT_ROWS)
+}
+
+/// Streaming [`parse_baskets`]: reads transactions line by line from any
+/// [`BufRead`] source, pushing each row into a [`VStoreBuilder`] with row
+/// segments capped at `segment_rows`. Only the dictionary and the compact
+/// vertical segments are ever resident — neither the input text nor an
+/// index-row copy of the database is materialized, so this is the
+/// out-of-core ingestion path (`--segment-rows` on the CLI).
+///
+/// I/O failures (including invalid UTF-8) surface as a [`FormatError`] at
+/// the offending physical line.
+pub fn parse_baskets_reader(
+    reader: impl BufRead,
+    segment_rows: usize,
+) -> Result<(Universe, TransactionDb), FormatError> {
     let mut names: Vec<String> = Vec::new();
     let mut index: HashMap<String, usize> = HashMap::new();
-    let mut raw_rows: Vec<Vec<usize>> = Vec::new();
-    for line in text.lines() {
-        let line = strip_comment(line);
-        let items: Vec<&str> = line.split_whitespace().collect();
-        if items.is_empty() {
-            continue;
-        }
-        let mut row = Vec::with_capacity(items.len());
-        for item in items {
+    let mut builder = VStoreBuilder::new(segment_rows);
+    let mut row: Vec<usize> = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line =
+            line.map_err(|e| FormatError::at_line(lineno + 1, format!("read error: {e}")))?;
+        let line = strip_comment(&line);
+        row.clear();
+        for item in line.split_whitespace() {
             let id = *index.entry(item.to_string()).or_insert_with(|| {
                 names.push(item.to_string());
                 names.len() - 1
             });
             row.push(id);
         }
-        raw_rows.push(row);
+        if row.is_empty() {
+            continue;
+        }
+        builder.push_row(row.iter().copied());
     }
-    if raw_rows.is_empty() {
+    if builder.n_rows() == 0 {
         return Err(FormatError::new("no transactions found"));
     }
-    let n = names.len();
     let universe = Universe::new(names);
-    let db = TransactionDb::from_index_rows(n, raw_rows);
+    let db = TransactionDb::from_vstore(builder.finish());
     Ok((universe, db))
 }
 
@@ -121,23 +151,37 @@ pub fn parse_baskets(text: &str) -> Result<(Universe, TransactionDb), FormatErro
 /// introduces a comment when it starts a line — data cells may
 /// legitimately contain `#` (part numbers, anchors, …), so inline
 /// stripping would silently corrupt them.
+#[cfg_attr(not(test), allow(dead_code))]
 pub fn parse_relation(text: &str) -> Result<(Universe, Relation), FormatError> {
-    let mut lines = text
-        .lines()
-        .enumerate()
-        .map(|(i, l)| (i + 1, strip_whole_line_comment(l)))
-        .filter(|(_, l)| !l.trim().is_empty());
-    let (header_lineno, header) = lines
-        .next()
-        .ok_or_else(|| FormatError::new("empty relation file"))?;
-    let names: Vec<String> = header.split(',').map(|s| s.trim().to_string()).collect();
-    let n = names.len();
-    if n == 0 || names.iter().any(String::is_empty) {
-        return Err(FormatError::at_line(header_lineno, "invalid header row"));
-    }
-    let mut dictionaries: Vec<HashMap<String, u32>> = vec![HashMap::new(); n];
+    parse_relation_reader(Cursor::new(text))
+}
+
+/// Streaming [`parse_relation`]: reads the CSV from any [`BufRead`]
+/// source one line at a time, dictionary-coding cells as they arrive, so
+/// only the coded rows and per-column dictionaries are resident. I/O
+/// failures (including invalid UTF-8) surface as a [`FormatError`] at the
+/// offending physical line.
+pub fn parse_relation_reader(reader: impl BufRead) -> Result<(Universe, Relation), FormatError> {
+    let mut names: Vec<String> = Vec::new();
+    let mut dictionaries: Vec<HashMap<String, u32>> = Vec::new();
     let mut rows: Vec<Vec<u32>> = Vec::new();
-    for (lineno, line) in lines {
+    for (lineno, line) in reader.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = line.map_err(|e| FormatError::at_line(lineno, format!("read error: {e}")))?;
+        let line = strip_whole_line_comment(&line);
+        if line.trim().is_empty() {
+            continue;
+        }
+        if names.is_empty() {
+            // First data line is the header.
+            names = line.split(',').map(|s| s.trim().to_string()).collect();
+            if names.iter().any(String::is_empty) {
+                return Err(FormatError::at_line(lineno, "invalid header row"));
+            }
+            dictionaries = vec![HashMap::new(); names.len()];
+            continue;
+        }
+        let n = names.len();
         let cells: Vec<&str> = line.split(',').map(str::trim).collect();
         if cells.len() != n {
             return Err(FormatError::at_line(
@@ -156,6 +200,10 @@ pub fn parse_relation(text: &str) -> Result<(Universe, Relation), FormatError> {
             .collect();
         rows.push(row);
     }
+    if names.is_empty() {
+        return Err(FormatError::new("empty relation file"));
+    }
+    let n = names.len();
     Ok((Universe::new(names), Relation::new(n, rows)))
 }
 
@@ -264,6 +312,48 @@ mod tests {
     #[test]
     fn baskets_empty_file_rejected() {
         assert!(parse_baskets("# only comments\n").is_err());
+    }
+
+    #[test]
+    fn baskets_reader_matches_text_at_every_segment_size() {
+        let text = "milk bread\nbread butter # breakfast\n\nmilk\nbutter eggs milk\n";
+        let (u_ref, db_ref) = parse_baskets(text).unwrap();
+        for segment_rows in [1, 2, 3, 4, 1024] {
+            let (u, db) = parse_baskets_reader(Cursor::new(text), segment_rows).unwrap();
+            assert_eq!(u.size(), u_ref.size(), "segment_rows={segment_rows}");
+            for i in 0..u.size() {
+                assert_eq!(u.name(i), u_ref.name(i));
+            }
+            assert_eq!(db.n_items(), db_ref.n_items());
+            assert_eq!(db.n_rows(), db_ref.n_rows());
+            assert_eq!(db.rows(), db_ref.rows(), "segment_rows={segment_rows}");
+        }
+    }
+
+    #[test]
+    fn reader_io_errors_are_format_errors() {
+        // Invalid UTF-8 on physical line 2 surfaces as a located
+        // FormatError, not a panic or a silent truncation.
+        let bytes: &[u8] = b"milk bread\n\xff\xfe\n";
+        let err = parse_baskets_reader(Cursor::new(bytes), 4).unwrap_err();
+        assert_eq!(err.line, Some(2));
+        assert!(err.message.contains("read error"), "{err}");
+
+        let csv: &[u8] = b"a,b\n\xff,2\n";
+        let err = parse_relation_reader(Cursor::new(csv)).unwrap_err();
+        assert_eq!(err.line, Some(2));
+    }
+
+    #[test]
+    fn relation_reader_matches_text() {
+        let csv = "dept,role\nsales,mgr\n# note\nsales,ic\neng,ic\n";
+        let (u_ref, rel_ref) = parse_relation(csv).unwrap();
+        let (u, rel) = parse_relation_reader(Cursor::new(csv)).unwrap();
+        assert_eq!(u.size(), u_ref.size());
+        for i in 0..u.size() {
+            assert_eq!(u.name(i), u_ref.name(i));
+        }
+        assert_eq!(rel.rows(), rel_ref.rows());
     }
 
     #[test]
@@ -395,6 +485,54 @@ mod props {
         #[test]
         fn parse_relation_never_panics(text in arb_text()) {
             let _ = parse_relation(&text);
+        }
+
+        /// The reader paths agree with the text paths on every input —
+        /// same parse, same error — at any segment size, and never panic
+        /// (the text functions are wrappers, but this pins the
+        /// equivalence for arbitrary `segment_rows` too).
+        #[test]
+        fn parse_baskets_reader_equals_text(
+            text in arb_text(),
+            segment_rows in 1usize..6,
+        ) {
+            let by_text = parse_baskets(&text);
+            let by_reader =
+                parse_baskets_reader(Cursor::new(text.as_str()), segment_rows);
+            match (by_text, by_reader) {
+                (Ok((u1, db1)), Ok((u2, db2))) => {
+                    prop_assert_eq!(u1.size(), u2.size());
+                    for i in 0..u1.size() {
+                        prop_assert_eq!(u1.name(i), u2.name(i));
+                    }
+                    prop_assert_eq!(db1.rows(), db2.rows());
+                }
+                (Err(_), Err(_)) => {}
+                (a, b) => {
+                    prop_assert!(false, "text {:?} vs reader {:?}",
+                        a.map(|_| ()), b.map(|_| ()));
+                }
+            }
+        }
+
+        #[test]
+        fn parse_relation_reader_never_panics_and_equals_text(text in arb_text()) {
+            let by_text = parse_relation(&text);
+            let by_reader = parse_relation_reader(Cursor::new(text.as_str()));
+            match (by_text, by_reader) {
+                (Ok((u1, r1)), Ok((u2, r2))) => {
+                    prop_assert_eq!(u1.size(), u2.size());
+                    for i in 0..u1.size() {
+                        prop_assert_eq!(u1.name(i), u2.name(i));
+                    }
+                    prop_assert_eq!(r1.rows(), r2.rows());
+                }
+                (Err(e1), Err(e2)) => prop_assert_eq!(e1, e2),
+                (a, b) => {
+                    prop_assert!(false, "text {:?} vs reader {:?}",
+                        a.map(|_| ()), b.map(|_| ()));
+                }
+            }
         }
 
         #[test]

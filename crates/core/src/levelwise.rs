@@ -358,7 +358,7 @@ pub fn levelwise_try_ctl<O: TryInterestOracle>(
         let mut next: Vec<Vec<usize>> = Vec::new();
         let mut tested = 0usize;
         let mut interesting_count = 0usize;
-        for (_, cand) in units {
+        for (_, _, cand) in units {
             if let Some(reason) = ctl.meter.exceeded() {
                 if tested > 0 {
                     candidates_per_level.push(tested);
@@ -544,7 +544,7 @@ pub fn levelwise_par_try_ctl<O: TrySyncInterestOracle>(
         let verdicts: Vec<Verdict> = dualminer_parallel::par_chunks(threads, 4, &units, |chunk| {
             chunk
                 .iter()
-                .map(|(_, cand)| {
+                .map(|(_, _, cand)| {
                     if abort.is_set() || ctl.meter.exceeded().is_some() {
                         return None;
                     }
@@ -582,7 +582,7 @@ pub fn levelwise_par_try_ctl<O: TrySyncInterestOracle>(
         let mut tested = 0usize;
         let mut interesting_count = 0usize;
         let mut tripped = false;
-        for ((_, cand), verdict) in units.into_iter().zip(verdicts) {
+        for ((_, _, cand), verdict) in units.into_iter().zip(verdicts) {
             let Some((set, got)) = verdict else {
                 tripped = true;
                 break;

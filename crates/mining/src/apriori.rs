@@ -6,9 +6,11 @@
 //!
 //! * supports are *recorded*, not just thresholded — association-rule
 //!   generation needs them (Section 2's closing remark);
-//! * support counting reuses the parent's tidset (Eclat-style): a level
-//!   `i+1` candidate is its generating prefix plus one item, so its tidset
-//!   is one bitset intersection instead of `i+1`.
+//! * support counting reuses the parent's tid structure (Eclat/dEclat): a
+//!   level `i+1` candidate is the union of its generating parent and its
+//!   join partner, so its support is one streaming AND (tidsets) or ANDNOT
+//!   (diffsets) pass over the segmented vertical store instead of `i+1`
+//!   intersections — see [`crate::vstore`] for the representation rules.
 //!
 //! The query structure is *identical* to the generic
 //! [`dualminer_core::levelwise::levelwise`] run against a
@@ -20,9 +22,10 @@ use std::collections::HashMap;
 use std::sync::OnceLock;
 
 use dualminer_bitset::{AttrSet, SetTrie};
-use dualminer_core::candidates::prefix_join_units;
+use dualminer_core::candidates::prefix_join_batch;
 use dualminer_obs::{Meter, NoopObserver, Outcome, RunCtl};
 
+use crate::vstore::{EclatCfg, EclatNode};
 use crate::TransactionDb;
 
 /// A mined collection of frequent itemsets with their supports.
@@ -151,9 +154,10 @@ pub fn apriori(db: &TransactionDb, min_support: usize) -> FrequentSets {
 /// [`apriori`] with each level's support counting spread over up to
 /// `threads` scoped worker threads (`0` = available parallelism).
 ///
-/// Work splits by candidate: every candidate's tidset is still one bitset
-/// intersection with its *parent's* tidset (the Eclat reuse is intact —
-/// parents are shared read-only across workers). Chunks are contiguous
+/// Work splits by candidate: every candidate's support is still one
+/// streaming pass over its parent's and join partner's tid structures
+/// (the Eclat/dEclat reuse is intact — level nodes are shared read-only
+/// across workers). Chunks are contiguous
 /// runs of the sequential candidate order and per-chunk results merge in
 /// chunk order, so the returned [`FrequentSets`] — itemsets with supports,
 /// maximal family, negative border, per-level candidate counts, and
@@ -170,30 +174,62 @@ pub fn apriori_par(db: &TransactionDb, min_support: usize, threads: usize) -> Fr
     .expect_complete()
 }
 
+/// The maximal family of a mined (downward-closed) itemset collection, by
+/// proper-superset queries against a trie of the members.
+fn trie_maximal(itemsets: &[(AttrSet, usize)]) -> Vec<AttrSet> {
+    let mut member_trie = SetTrie::new();
+    for (s, _) in itemsets {
+        member_trie.insert(s);
+    }
+    itemsets
+        .iter()
+        .map(|(s, _)| s)
+        .filter(|s| !member_trie.has_proper_superset_of(s))
+        .cloned()
+        .collect()
+}
+
 /// Derives the maximal family, sorts the negative border, and assembles the
 /// result — shared by complete and budget-exceeded exits so partial results
 /// carry the maximal sets *of the mined prefix*.
-fn finish_sets(
+pub(crate) fn finish_sets(
     db: &TransactionDb,
     min_support: usize,
     itemsets: Vec<(AttrSet, usize)>,
-    mut negative: Vec<AttrSet>,
+    negative: Vec<AttrSet>,
     candidates_per_level: Vec<usize>,
 ) -> FrequentSets {
     // Maximal iff no proper frequent superset exists. The mined prefix is
     // closed under immediate subsets (candidate pruning guarantees it), so
     // the proper-superset trie query agrees with the immediate-superset
     // scan — without cloning and hashing n supersets per itemset.
-    let mut member_trie = SetTrie::new();
-    for (s, _) in &itemsets {
-        member_trie.insert(s);
-    }
-    let maximal: Vec<AttrSet> = itemsets
-        .iter()
-        .map(|(s, _)| s)
-        .filter(|s| !member_trie.has_proper_superset_of(s))
-        .cloned()
-        .collect();
+    let maximal = trie_maximal(&itemsets);
+    finish_sets_with_maximal(
+        db,
+        min_support,
+        itemsets,
+        maximal,
+        negative,
+        candidates_per_level,
+    )
+}
+
+/// [`finish_sets`] for callers that already know the maximal family —
+/// the in-memory miner derives it incrementally from its per-level
+/// subset marks instead of paying for a trie over the whole collection.
+pub(crate) fn finish_sets_with_maximal(
+    db: &TransactionDb,
+    min_support: usize,
+    itemsets: Vec<(AttrSet, usize)>,
+    maximal: Vec<AttrSet>,
+    mut negative: Vec<AttrSet>,
+    candidates_per_level: Vec<usize>,
+) -> FrequentSets {
+    debug_assert_eq!(
+        maximal,
+        trie_maximal(&itemsets),
+        "incremental maximal marking must agree with the trie scan"
+    );
     negative.sort_by(|a, b| a.cmp_card_lex(b));
 
     FrequentSets {
@@ -223,6 +259,21 @@ pub fn apriori_par_ctl(
     min_support: usize,
     threads: usize,
     ctl: &RunCtl<'_>,
+) -> Outcome<FrequentSets> {
+    apriori_par_ctl_cfg(db, min_support, threads, ctl, &EclatCfg::default())
+}
+
+/// [`apriori_par_ctl`] with an explicit tidset↔diffset switching
+/// configuration. The configuration affects only the shape of the
+/// intermediate tid structures — every support is exact either way, so
+/// output is bit-identical across settings (the equivalence tests run
+/// [`EclatCfg::tidset_only`] against [`EclatCfg::diffset_always`]).
+pub fn apriori_par_ctl_cfg(
+    db: &TransactionDb,
+    min_support: usize,
+    threads: usize,
+    ctl: &RunCtl<'_>,
+    cfg: &EclatCfg,
 ) -> Outcome<FrequentSets> {
     assert!(min_support > 0, "min_support must be positive");
     let n = db.n_items();
@@ -257,62 +308,94 @@ pub fn apriori_par_ctl(
     }
     itemsets.push((AttrSet::empty(n), empty_support));
 
-    // Level entries carry (sorted index vector, tidset) so a child's
-    // tidset is parent ∩ column.
-    let mut level: Vec<(Vec<usize>, AttrSet)> = vec![(vec![], db.tidset(&AttrSet::empty(n)))];
+    // Level entries carry (sorted index vector, dEclat node). A level-0
+    // placeholder node is never read: cardinality-1 candidates are item
+    // columns, gathered straight from the store.
+    let vstore = db.vstore();
+    let mut level: Vec<(Vec<usize>, Option<EclatNode>)> = vec![(vec![], None)];
+    // The maximal family accrues level by level: a member is maximal iff
+    // no frequent immediate superset marks it while its extensions are
+    // counted (the mined family is downward closed, so immediate
+    // supersets decide proper-superset-freeness). `level_start` indexes
+    // the current level's first member in `itemsets` — level and itemsets
+    // push in lockstep, so level[m]'s set is itemsets[level_start + m].
+    let mut maximal: Vec<AttrSet> = Vec::new();
+    let mut level_start = 0usize;
     let mut card = 0usize;
     while !level.is_empty() && card < n {
         card += 1;
-        // Shared prefix-join engine; the `(parent, candidate)` unit shape
-        // is what the Eclat tidset reuse below needs.
-        let units = prefix_join_units(n, card, &level, |(v, _)| v.as_slice());
+        // Shared prefix-join engine; the flat batch carries, per
+        // candidate, its `(parent, partner)` level indices (the dEclat
+        // sibling reuse below) and the level indices of its remaining
+        // immediate subsets (the maximal-family marking below).
+        let batch = prefix_join_batch(n, card, &level, |(v, _)| v.as_slice());
 
         // Count supports for the whole candidate batch in parallel.
-        // Counting is non-materializing (`intersection_len` popcounts the
-        // parent tidset against the item column in one read-only pass); a
-        // tidset is materialized only for candidates that pass the
+        // Counting is non-materializing (`count_pair` is one contiguous
+        // read-only AND/ANDNOT-popcount over the sibling structures); a
+        // child node is materialized only for candidates that pass the
         // threshold — the ones the next level keeps. `None` marks a
         // candidate skipped because the budget tripped.
         let level_ref = &level;
-        let counted: Vec<Option<(AttrSet, usize, Option<AttrSet>)>> =
-            dualminer_parallel::par_chunks(threads, 4, &units, |chunk| {
-                chunk
-                    .iter()
-                    .map(|(p, cand)| {
-                        if ctl.meter.exceeded().is_some() {
-                            return None;
-                        }
-                        ctl.meter.record_query();
-                        let parent_tids = &level_ref[*p].1;
-                        let column = &db.columns()[*cand.last().expect("candidates are nonempty")];
-                        let support = parent_tids.intersection_len(column);
-                        let cand_set = AttrSet::from_indices(n, cand.iter().copied());
-                        let tids = (support >= min_support).then(|| {
-                            let mut tids = parent_tids.clone();
-                            tids.intersect_with(column);
-                            tids
-                        });
-                        Some((cand_set, support, tids))
-                    })
-                    .collect::<Vec<_>>()
-            })
-            .concat();
+        let batch_ref = &batch;
+        let counted: Vec<Option<(AttrSet, usize, Option<EclatNode>)>> =
+            dualminer_parallel::par_map(threads, batch.pairs(), |idx, &(p, q)| {
+                if ctl.meter.exceeded().is_some() {
+                    return None;
+                }
+                ctl.meter.record_query();
+                let cand = batch_ref.cand(idx);
+                let cand_set = AttrSet::from_indices(n, cand.iter().copied());
+                let (support, node) = if card == 1 {
+                    let item = cand[0];
+                    let support = vstore.item_support(item);
+                    let node =
+                        (support >= min_support).then(|| vstore.item_node(item, support, cfg));
+                    (support, node)
+                } else {
+                    let x = level_ref[p as usize]
+                        .1
+                        .as_ref()
+                        .expect("level ≥ 1 has nodes");
+                    let y = level_ref[q as usize]
+                        .1
+                        .as_ref()
+                        .expect("level ≥ 1 has nodes");
+                    let support = vstore.count_pair(x, y);
+                    let node =
+                        (support >= min_support).then(|| vstore.make_child(x, y, support, cfg));
+                    (support, node)
+                };
+                Some((cand_set, support, node))
+            });
 
-        let mut next: Vec<(Vec<usize>, AttrSet)> = Vec::new();
+        let next_start = itemsets.len();
+        let mut marks = vec![false; level.len()];
+        let mut next: Vec<(Vec<usize>, Option<EclatNode>)> = Vec::new();
         let mut tested = 0usize;
         let mut frequent_count = 0usize;
         let mut tripped = false;
-        for ((_, cand), verdict) in units.into_iter().zip(counted) {
+        for (idx, verdict) in counted.into_iter().enumerate() {
             let Some((cand_set, support, tids)) = verdict else {
                 tripped = true;
                 break;
             };
             tested += 1;
             match tids {
-                Some(cand_tids) => {
+                Some(cand_node) => {
                     frequent_count += 1;
+                    // A frequent candidate makes every immediate subset
+                    // non-maximal — and the batch already carries all of
+                    // their level indices: parent, join partner, and the
+                    // prefix-dropping subsets the prune step located.
+                    let (p, q) = batch.pair(idx);
+                    marks[p] = true;
+                    marks[q] = true;
+                    for &m in batch.drop_subsets(idx) {
+                        marks[m as usize] = true;
+                    }
                     itemsets.push((cand_set, support));
-                    next.push((cand, cand_tids));
+                    next.push((batch.cand(idx).to_vec(), Some(cand_node)));
                 }
                 None => negative.push(cand_set),
             }
@@ -322,22 +405,49 @@ pub fn apriori_par_ctl(
         }
         ctl.observer.on_level(card, tested, frequent_count);
         if tripped {
+            // The prefix's maximal family: unmarked members of the level
+            // being extended, then every frequent set already emitted at
+            // this level (none of *their* supersets were mined).
+            for (m, &marked) in marks.iter().enumerate() {
+                if !marked {
+                    maximal.push(itemsets[level_start + m].0.clone());
+                }
+            }
+            maximal.extend(itemsets[next_start..].iter().map(|(s, _)| s.clone()));
             let reason = ctl
                 .meter
                 .exceeded()
                 .unwrap_or(dualminer_obs::BudgetReason::Cancelled);
             return Outcome::BudgetExceeded {
-                partial: finish_sets(db, min_support, itemsets, negative, candidates_per_level),
+                partial: finish_sets_with_maximal(
+                    db,
+                    min_support,
+                    itemsets,
+                    maximal,
+                    negative,
+                    candidates_per_level,
+                ),
                 reason,
             };
         }
+        // This level's extensions are all counted: unmarked members are
+        // maximal for good.
+        for (m, &marked) in marks.iter().enumerate() {
+            if !marked {
+                maximal.push(itemsets[level_start + m].0.clone());
+            }
+        }
         level = next;
+        level_start = next_start;
     }
 
-    Outcome::Complete(finish_sets(
+    // Members of the final level were never extended: all maximal.
+    maximal.extend(itemsets[level_start..].iter().map(|(s, _)| s.clone()));
+    Outcome::Complete(finish_sets_with_maximal(
         db,
         min_support,
         itemsets,
+        maximal,
         negative,
         candidates_per_level,
     ))

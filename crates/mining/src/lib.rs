@@ -12,8 +12,10 @@
 //! paper's running example and the identity case of representation as sets
 //! (`f(X) = X`, Example 8).
 //!
-//! * [`TransactionDb`] — rows as bitsets plus a vertical (per-item tidset)
-//!   index; support counting is a block-wise AND + popcount.
+//! * [`TransactionDb`] — a segmented vertical store ([`vstore`]) of
+//!   per-item tidsets with lazily transposed horizontal rows; support
+//!   counting is a streaming AND + popcount over one row segment at a
+//!   time.
 //! * [`FrequencyOracle`] — the `Is-interesting` adapter: *frequent =
 //!   interesting*, monotone by construction.
 //! * [`apriori`] — the specialized levelwise miner that also records
@@ -55,7 +57,10 @@ pub mod incremental;
 pub mod maximal;
 pub mod rules;
 pub mod sampling;
+pub mod seg;
 mod tdb;
+pub mod vstore;
 
 pub use freq::FrequencyOracle;
 pub use tdb::TransactionDb;
+pub use vstore::{EclatCfg, VStore, VStoreBuilder, DEFAULT_SEGMENT_ROWS};

@@ -1,28 +1,57 @@
 //! The 0/1 relation: [`TransactionDb`].
 
+use std::sync::OnceLock;
+
 use dualminer_bitset::{AttrSet, Universe};
+
+use crate::vstore::{VStore, DEFAULT_SEGMENT_ROWS};
 
 /// A transaction database: a 0/1 relation whose rows are item sets.
 ///
-/// Stored twice: *horizontally* (each row an [`AttrSet`] over the item
-/// universe) and *vertically* (each item a *tidset* — the set of row ids
-/// containing it, an [`AttrSet`] over the row universe). The vertical
-/// layout makes `support(X)` an `|X|`-way bitset intersection, the fast
-/// path Apriori/Eclat use; the horizontal layout is kept for row-scan
-/// counting (the DESIGN.md §5 ablation) and display.
-#[derive(Clone, Debug)]
+/// Stored **vertically only**: a segmented [`VStore`] holds per-item
+/// tidsets as contiguous cache-blocked `u64` runs, and `support(X)` is a
+/// streaming `|X|`-way AND-popcount over one segment at a time — the fast
+/// path Apriori/Eclat use. The horizontal rows are *lazy*: the first
+/// row-scan caller ([`rows`](Self::rows), [`support_horizontal`]
+/// (Self::support_horizontal), [`display`](Self::display)) transposes the
+/// store once and caches the result, so mining paths that never row-scan
+/// hold a single copy of the data instead of two.
+#[derive(Debug)]
 pub struct TransactionDb {
     n_items: usize,
-    rows: Vec<AttrSet>,
-    columns: Vec<AttrSet>,
+    n_rows: usize,
+    vstore: VStore,
+    rows: OnceLock<Vec<AttrSet>>,
+}
+
+impl Clone for TransactionDb {
+    fn clone(&self) -> TransactionDb {
+        // Clone the store, not the lazily cached transpose — the clone
+        // re-derives rows if (and only if) it ever row-scans.
+        TransactionDb {
+            n_items: self.n_items,
+            n_rows: self.n_rows,
+            vstore: self.vstore.clone(),
+            rows: OnceLock::new(),
+        }
+    }
 }
 
 impl TransactionDb {
-    /// Builds a database from horizontal rows.
+    /// Builds a database from horizontal rows (converted to the vertical
+    /// store; the row bitsets are dropped after conversion).
     ///
     /// # Panics
     /// Panics if any row's universe differs from `n_items`.
     pub fn new(n_items: usize, rows: Vec<AttrSet>) -> Self {
+        Self::with_segment_rows(n_items, rows, DEFAULT_SEGMENT_ROWS)
+    }
+
+    /// [`new`](Self::new) with an explicit segment row cap.
+    ///
+    /// # Panics
+    /// Panics on a row-universe mismatch or `segment_rows == 0`.
+    pub fn with_segment_rows(n_items: usize, rows: Vec<AttrSet>, segment_rows: usize) -> Self {
         for r in &rows {
             assert_eq!(
                 r.universe_size(),
@@ -30,18 +59,7 @@ impl TransactionDb {
                 "row universe does not match item count"
             );
         }
-        let n_rows = rows.len();
-        let mut columns = vec![AttrSet::empty(n_rows); n_items];
-        for (tid, row) in rows.iter().enumerate() {
-            for item in row {
-                columns[item].insert(tid);
-            }
-        }
-        TransactionDb {
-            n_items,
-            rows,
-            columns,
-        }
+        Self::from_vstore(VStore::from_rows(n_items, &rows, segment_rows))
     }
 
     /// Builds a database from slices of item indices.
@@ -50,11 +68,29 @@ impl TransactionDb {
         I: IntoIterator<Item = J>,
         J: IntoIterator<Item = usize>,
     {
-        let rows = rows
-            .into_iter()
-            .map(|r| AttrSet::from_indices(n_items, r))
-            .collect();
-        Self::new(n_items, rows)
+        let mut builder = crate::vstore::VStoreBuilder::with_items(DEFAULT_SEGMENT_ROWS, n_items);
+        for row in rows {
+            builder.push_row(row);
+        }
+        let vstore = builder.finish();
+        assert_eq!(
+            vstore.n_items(),
+            n_items,
+            "row item index outside the declared universe"
+        );
+        Self::from_vstore(vstore)
+    }
+
+    /// The vertical-only constructor: wraps a finished [`VStore`]
+    /// (typically from a streaming [`crate::vstore::VStoreBuilder`])
+    /// without ever materializing horizontal rows.
+    pub fn from_vstore(vstore: VStore) -> Self {
+        TransactionDb {
+            n_items: vstore.n_items(),
+            n_rows: vstore.n_rows(),
+            vstore,
+            rows: OnceLock::new(),
+        }
     }
 
     /// Number of items (attributes of the relation).
@@ -66,85 +102,71 @@ impl TransactionDb {
     /// Number of rows (transactions).
     #[inline]
     pub fn n_rows(&self) -> usize {
-        self.rows.len()
+        self.n_rows
     }
 
-    /// The horizontal rows.
+    /// The segmented vertical store.
+    #[inline]
+    pub fn vstore(&self) -> &VStore {
+        &self.vstore
+    }
+
+    /// The horizontal rows, transposed from the store on first use and
+    /// cached.
     pub fn rows(&self) -> &[AttrSet] {
-        &self.rows
+        self.rows.get_or_init(|| self.vstore.to_rows())
     }
 
-    /// The vertical index: `columns()[i]` is the tidset of item `i`.
-    pub fn columns(&self) -> &[AttrSet] {
-        &self.columns
+    /// The tidset of item `i`, materialized from its store runs.
+    pub fn column(&self, i: usize) -> AttrSet {
+        self.vstore.column(i)
     }
 
     /// The tidset of an itemset: rows containing **all** items of `x`.
     ///
-    /// `tidset(∅)` is all rows. `O(|x| · n_rows/64)`, starting from the
-    /// first item's column so only `|x| − 1` intersection passes run.
+    /// `tidset(∅)` is all rows. One streaming multi-way AND pass over the
+    /// store (`O(|x| · n_rows/64)`).
     pub fn tidset(&self, x: &AttrSet) -> AttrSet {
-        let mut items = x.iter();
-        let Some(first) = items.next() else {
-            return AttrSet::full(self.n_rows());
-        };
-        let mut acc = self.columns[first].clone();
-        for item in items {
-            acc.intersect_with(&self.columns[item]);
+        if x.is_empty() {
+            return AttrSet::full(self.n_rows);
         }
-        acc
+        let items: Vec<usize> = x.iter().collect();
+        let mut out = AttrSet::empty(self.n_rows);
+        self.vstore.for_each_tid(&items, |tid| {
+            out.insert(tid);
+        });
+        out
     }
 
     /// Absolute support: number of rows containing all of `x` (vertical
     /// counting).
     ///
-    /// Never materializes the tidset for `|x| ≤ 3` (the popcount kernels
-    /// answer directly), and materializes exactly one accumulator beyond
-    /// that — which stays allocation-free when the row universe fits the
-    /// inline layout (`n_rows ≤ 128`).
+    /// A streaming AND-popcount over one segment at a time; never
+    /// materializes an accumulator, and allocation-free for every arity
+    /// up to 64 (a stack buffer holds the item indices).
     pub fn support(&self, x: &AttrSet) -> usize {
-        let mut items = x.iter();
-        let (Some(a), Some(b)) = (items.next(), items.next()) else {
-            return match x.first() {
-                None => self.n_rows(),
-                Some(item) => self.columns[item].len(),
-            };
-        };
-        match (items.next(), items.next()) {
-            (None, _) => self.columns[a].intersection_len(&self.columns[b]),
-            (Some(c), None) => {
-                self.columns[a].intersection_len_with(&self.columns[b], &self.columns[c])
-            }
-            (Some(c), Some(d)) => {
-                let mut acc = self.columns[a].intersection(&self.columns[b]);
-                acc.intersect_with(&self.columns[c]);
-                let mut len = acc.intersect_with_returning_len(&self.columns[d]);
-                for item in items {
-                    len = acc.intersect_with_returning_len(&self.columns[item]);
-                }
-                len
-            }
-        }
+        self.vstore.support(x)
     }
 
     /// Absolute support by a horizontal row scan — semantically identical
-    /// to [`support`](Self::support); exists for the counting ablation.
+    /// to [`support`](Self::support); exists for the counting ablation
+    /// (and forces the lazy rows).
     pub fn support_horizontal(&self, x: &AttrSet) -> usize {
-        self.rows.iter().filter(|r| x.is_subset(r)).count()
+        self.rows().iter().filter(|r| x.is_subset(r)).count()
     }
 
     /// Relative support in `\[0, 1\]`; 0 for an empty database.
     pub fn frequency(&self, x: &AttrSet) -> f64 {
-        if self.rows.is_empty() {
+        if self.n_rows == 0 {
             0.0
         } else {
-            self.support(x) as f64 / self.rows.len() as f64
+            self.support(x) as f64 / self.n_rows as f64
         }
     }
 
     /// Renders the database with item names, one row per line.
     pub fn display(&self, universe: &Universe) -> String {
-        self.rows
+        self.rows()
             .iter()
             .enumerate()
             .map(|(i, r)| format!("t{i}: {}", universe.display(r)))
@@ -174,8 +196,8 @@ mod tests {
         let db = small();
         assert_eq!(db.n_items(), 4);
         assert_eq!(db.n_rows(), 3);
-        assert_eq!(db.columns()[0].to_vec(), vec![0, 1]); // A in t0, t1
-        assert_eq!(db.columns()[3].to_vec(), vec![1, 2]); // D in t1, t2
+        assert_eq!(db.column(0).to_vec(), vec![0, 1]); // A in t0, t1
+        assert_eq!(db.column(3).to_vec(), vec![1, 2]); // D in t1, t2
     }
 
     #[test]
@@ -211,6 +233,38 @@ mod tests {
     fn tidset_of_empty_is_all_rows() {
         let db = small();
         assert_eq!(db.tidset(&AttrSet::empty(4)).len(), 3);
+    }
+
+    #[test]
+    fn lazy_rows_round_trip() {
+        let rows = vec![
+            AttrSet::from_indices(4, [0, 1, 2]),
+            AttrSet::from_indices(4, [0, 1, 2, 3]),
+            AttrSet::from_indices(4, [1, 3]),
+        ];
+        let db = TransactionDb::new(4, rows.clone());
+        assert_eq!(db.rows(), rows.as_slice());
+        let cloned = db.clone();
+        assert_eq!(cloned.rows(), rows.as_slice());
+    }
+
+    #[test]
+    fn segment_size_does_not_change_anything_observable() {
+        let rows = vec![
+            AttrSet::from_indices(4, [0, 1, 2]),
+            AttrSet::from_indices(4, [0, 1, 2, 3]),
+            AttrSet::from_indices(4, [1, 3]),
+        ];
+        let reference = TransactionDb::new(4, rows.clone());
+        for seg in [1, 2, 3, 4, 7] {
+            let db = TransactionDb::with_segment_rows(4, rows.clone(), seg);
+            assert_eq!(db.rows(), reference.rows(), "seg={seg}");
+            for bits in 0..16usize {
+                let x = AttrSet::from_indices(4, (0..4).filter(|i| bits >> i & 1 == 1));
+                assert_eq!(db.support(&x), reference.support(&x), "seg={seg} {x:?}");
+                assert_eq!(db.tidset(&x), reference.tidset(&x), "seg={seg} {x:?}");
+            }
+        }
     }
 
     #[test]

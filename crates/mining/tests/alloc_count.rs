@@ -79,16 +79,16 @@ fn support_counting_inner_loop_is_allocation_free() {
         .map(|x| db.support_horizontal(x))
         .collect();
 
-    // The apriori inner loop: parent tidset ∩ item column, counted without
-    // materializing (the count-then-materialize refinement counts first and
-    // only clones for frequent candidates).
-    let parent = db.tidset(&candidates[2]);
+    // The apriori inner loop: parent itemset extended by each item in
+    // turn, counted by the streaming segment kernels without materializing
+    // any tidset or accumulator.
+    let vstore = db.vstore();
 
     let ((supports, pair_counts), allocs) = counting(|| {
         let supports: Vec<usize> = candidates.iter().map(|x| db.support(x)).collect();
         let mut pair_counts = 0usize;
-        for col in db.columns() {
-            pair_counts += parent.intersection_len(col);
+        for item in 0..n_items {
+            pair_counts += vstore.support_items(&[1, 4, item]);
         }
         (supports, pair_counts)
     });

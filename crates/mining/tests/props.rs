@@ -169,9 +169,13 @@ proptest! {
 /// itself) are level members. Emission order is parents in level order,
 /// extensions ascending — the order [`prefix_join_units`] must match
 /// bit for bit.
-fn naive_units(n: usize, card: usize, level: &[Vec<usize>]) -> Vec<(usize, Vec<usize>)> {
-    use std::collections::HashSet;
-    let members: HashSet<&[usize]> = level.iter().map(Vec::as_slice).collect();
+fn naive_units(n: usize, card: usize, level: &[Vec<usize>]) -> Vec<(usize, usize, Vec<usize>)> {
+    use std::collections::HashMap;
+    let members: HashMap<&[usize], usize> = level
+        .iter()
+        .enumerate()
+        .map(|(i, v)| (v.as_slice(), i))
+        .collect();
     let mut units = Vec::new();
     for (pi, x) in level.iter().enumerate() {
         let lo = x.last().map_or(0, |&m| m + 1);
@@ -185,12 +189,23 @@ fn naive_units(n: usize, card: usize, level: &[Vec<usize>]) -> Vec<(usize, Vec<u
                         .enumerate()
                         .filter_map(|(i, &v)| (i != drop).then_some(v))
                         .collect();
-                    if !members.contains(sub.as_slice()) {
+                    if !members.contains_key(sub.as_slice()) {
                         continue 'ext;
                     }
                 }
             }
-            units.push((pi, cand));
+            // The join partner: the candidate minus its second-largest
+            // element — a level member whenever the candidate survived
+            // (it is the `drop == card − 2` subset above; ∅'s singleton
+            // extensions have no partner and reuse the parent index).
+            let partner = if card >= 2 {
+                let mut key = x[..card - 2].to_vec();
+                key.push(a);
+                members[key.as_slice()]
+            } else {
+                pi
+            };
+            units.push((pi, partner, cand));
         }
     }
     units
@@ -266,5 +281,127 @@ proptest! {
     #[test]
     fn candidate_sequences_bit_identical_on_random_dbs(db in arb_db(), sigma in 1usize..4) {
         assert_candidate_sequences_match(&db, sigma);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Segmentation and representation invariance (PR 6)
+// ---------------------------------------------------------------------------
+
+/// Asserts two mines are bit-identical on every observable axis.
+fn assert_mines_equal(
+    a: &dualminer_mining::apriori::FrequentSets,
+    b: &dualminer_mining::apriori::FrequentSets,
+    ctx: &str,
+) {
+    assert_eq!(a.itemsets(), b.itemsets(), "{ctx}");
+    assert_eq!(a.maximal, b.maximal, "{ctx}");
+    assert_eq!(a.negative_border, b.negative_border, "{ctx}");
+    assert_eq!(a.candidates_per_level, b.candidates_per_level, "{ctx}");
+    assert_eq!(a.queries(), b.queries(), "{ctx}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Mining output is invariant under the vertical store's segment
+    /// partition: caps of 1 (every row its own segment), a small
+    /// non-dividing cap, n−1, n, and an over-large cap all produce the
+    /// same theory, borders, candidate counts, and query totals — with
+    /// both the candidate-major and the segment-major engines.
+    #[test]
+    fn segmented_mining_equals_monolithic(db in arb_db(), sigma in 1usize..4) {
+        use dualminer_mining::apriori::apriori;
+        use dualminer_mining::seg::apriori_par_seg_ctl;
+        use dualminer_mining::EclatCfg;
+        use dualminer_obs::{Meter, NoopObserver, RunCtl};
+
+        let reference = apriori(&db, sigma);
+        let rows = db.rows().to_vec();
+        let n_rows = db.n_rows();
+        let mut caps = vec![1, 7, 5, 1024];
+        if n_rows > 1 {
+            caps.push(n_rows - 1);
+        }
+        if n_rows > 0 {
+            caps.push(n_rows);
+        }
+        for cap in caps {
+            let seg_db = TransactionDb::with_segment_rows(N, rows.clone(), cap);
+            let fs = apriori(&seg_db, sigma);
+            assert_mines_equal(&fs, &reference, &format!("apriori cap={cap}"));
+            let meter = Meter::unlimited();
+            let seg = apriori_par_seg_ctl(
+                &seg_db,
+                sigma,
+                2,
+                &RunCtl::new(&meter, &NoopObserver),
+                None,
+                None,
+                &EclatCfg::default(),
+            )
+            .unwrap()
+            .expect_complete();
+            assert_mines_equal(&seg, &reference, &format!("seg engine cap={cap}"));
+        }
+    }
+}
+
+/// Tidset-only, diffset-always, and the density-switched default mine
+/// bit-identically on row universes straddling the u64 block boundaries
+/// (64/127/128/129) and spanning multiple blocks (200) — the support
+/// identity `support(c) = support(parent) − |diffset|` must hold exactly
+/// at every tail-masking shape.
+#[test]
+fn diffset_equals_tidset_across_row_universes() {
+    use dualminer_mining::apriori::{apriori, apriori_par_ctl_cfg};
+    use dualminer_mining::EclatCfg;
+    use dualminer_obs::{Meter, NoopObserver, RunCtl};
+
+    let n_items = 12usize;
+    for n_rows in [64usize, 127, 128, 129, 200] {
+        // Deterministic quasi-random rows: dense enough that deep levels
+        // exist, varied enough that diffsets and tidsets both win nodes
+        // under the default density rule.
+        let rows: Vec<Vec<usize>> = (0..n_rows)
+            .map(|t| {
+                (0..n_items)
+                    .filter(|i| (t * 7 + i * 13) % 5 != 0 && (t + i) % 3 != 2)
+                    .collect()
+            })
+            .collect();
+        for segment_rows in [64usize, 100, 1024] {
+            let db = TransactionDb::with_segment_rows(
+                n_items,
+                rows.iter()
+                    .map(|r| AttrSet::from_indices(n_items, r.iter().copied()))
+                    .collect(),
+                segment_rows,
+            );
+            let sigma = n_rows / 3;
+            let reference = apriori(&db, sigma);
+            for cfg in [
+                EclatCfg::default(),
+                EclatCfg::tidset_only(),
+                EclatCfg::diffset_always(),
+            ] {
+                for threads in [1, 3] {
+                    let meter = Meter::unlimited();
+                    let fs = apriori_par_ctl_cfg(
+                        &db,
+                        sigma,
+                        threads,
+                        &RunCtl::new(&meter, &NoopObserver),
+                        &cfg,
+                    )
+                    .expect_complete();
+                    assert_mines_equal(
+                        &fs,
+                        &reference,
+                        &format!("rows={n_rows} seg={segment_rows} threads={threads}"),
+                    );
+                }
+            }
+        }
     }
 }

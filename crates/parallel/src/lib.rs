@@ -154,6 +154,70 @@ pub fn par_chunks<T: Sync, R: Send>(
     par_map(threads, &chunks, |_, chunk| f(chunk))
 }
 
+/// [`par_chunks`] over parallel slices: splits `items` and `outs` (which
+/// must have equal lengths) into the *same* contiguous chunk boundaries
+/// and calls `f(offset, item_chunk, out_chunk)` on worker threads —
+/// `offset` is the chunk's starting index in `items`, so `f` can recover
+/// each element's global position — and each worker writes its results
+/// straight into its exclusive slice of the output buffer: no per-chunk
+/// allocation, no merge step. The segment-major support counter uses this
+/// to accumulate per-candidate partial counts in place, one pass per row
+/// segment.
+///
+/// Chunk *assignment* is static (worker `w` takes chunks `w`, `w +
+/// threads`, …) because handing each worker ownership of its `&mut`
+/// output chunks requires deciding the partition up front; `oversubscribe`
+/// still gives late workers smaller strides to balance skew. Each output
+/// element is written by exactly one worker, so the result is
+/// deterministic — identical to the sequential loop — for every thread
+/// count and schedule.
+///
+/// # Panics
+/// Panics if `items.len() != outs.len()`.
+pub fn par_chunks_zip_mut<T: Sync, U: Send>(
+    threads: usize,
+    oversubscribe: usize,
+    items: &[T],
+    outs: &mut [U],
+    f: impl Fn(usize, &[T], &mut [U]) + Sync,
+) {
+    assert_eq!(
+        items.len(),
+        outs.len(),
+        "par_chunks_zip_mut: items and outs must be parallel slices"
+    );
+    let threads = effective_threads(threads).min(items.len());
+    if threads <= 1 {
+        if !items.is_empty() {
+            f(0, items, outs);
+        }
+        return;
+    }
+    let n_chunks = (threads * oversubscribe.max(1)).min(items.len());
+    let chunk_len = items.len().div_ceil(n_chunks);
+    // Striped static assignment: chunk c goes to worker c % threads. Each
+    // worker owns (moves) its list of (offset, &[T], &mut [U]) triples.
+    type Chunk<'a, T, U> = (usize, &'a [T], &'a mut [U]);
+    let mut per_worker: Vec<Vec<Chunk<'_, T, U>>> = (0..threads).map(|_| Vec::new()).collect();
+    for (c, (chunk, out)) in items
+        .chunks(chunk_len)
+        .zip(outs.chunks_mut(chunk_len))
+        .enumerate()
+    {
+        per_worker[c % threads].push((c * chunk_len, chunk, out));
+    }
+    let f = &f;
+    thread::scope(|scope| {
+        for bucket in per_worker {
+            scope.spawn(move || {
+                for (offset, chunk, out) in bucket {
+                    f(offset, chunk, out);
+                }
+            });
+        }
+    });
+}
+
 /// Runs two closures, on two scoped threads when `parallel` is true, and
 /// returns both results. The FK duality check uses this for its two
 /// recursive sub-problems; `parallel == false` degenerates to plain
@@ -234,6 +298,67 @@ mod tests {
     fn par_chunks_empty() {
         let empty: Vec<u32> = vec![];
         assert!(par_chunks(4, 4, &empty, |c| c.len()).is_empty());
+    }
+
+    #[test]
+    fn par_chunks_zip_mut_matches_sequential() {
+        let items: Vec<u32> = (0..997).collect();
+        let expected: Vec<u64> = items.iter().map(|&x| x as u64 * 3 + 1).collect();
+        for threads in [1, 2, 3, 8] {
+            for oversubscribe in [1, 4] {
+                let mut outs = vec![0u64; items.len()];
+                par_chunks_zip_mut(
+                    threads,
+                    oversubscribe,
+                    &items,
+                    &mut outs,
+                    |offset, chunk, out| {
+                        for (k, (x, o)) in chunk.iter().zip(out.iter_mut()).enumerate() {
+                            // The offset recovers the global index.
+                            assert_eq!(offset + k, *x as usize);
+                            *o = *x as u64 * 3 + 1;
+                        }
+                    },
+                );
+                assert_eq!(outs, expected, "threads={threads} over={oversubscribe}");
+            }
+        }
+    }
+
+    #[test]
+    fn par_chunks_zip_mut_accumulates_in_place() {
+        // Two passes add into the same buffer — the segment-major pattern.
+        let items: Vec<u32> = (0..100).collect();
+        let mut outs = vec![0u64; items.len()];
+        for pass in 0..2 {
+            par_chunks_zip_mut(3, 4, &items, &mut outs, |_, chunk, out| {
+                for (x, o) in chunk.iter().zip(out.iter_mut()) {
+                    *o += (*x + pass) as u64;
+                }
+            });
+        }
+        let expected: Vec<u64> = items.iter().map(|&x| (2 * x + 1) as u64).collect();
+        assert_eq!(outs, expected);
+    }
+
+    #[test]
+    fn par_chunks_zip_mut_empty_and_singleton() {
+        let mut outs: Vec<u64> = vec![];
+        par_chunks_zip_mut(4, 4, &[] as &[u32], &mut outs, |_, _, _| {
+            panic!("no chunks")
+        });
+        let mut one = vec![0u64];
+        par_chunks_zip_mut(4, 4, &[7u32], &mut one, |off, c, o| {
+            o[0] = c[0] as u64 + off as u64 + 1
+        });
+        assert_eq!(one, vec![8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "parallel slices")]
+    fn par_chunks_zip_mut_length_mismatch_panics() {
+        let mut outs = vec![0u64; 2];
+        par_chunks_zip_mut(2, 1, &[1u32, 2, 3], &mut outs, |_, _, _| {});
     }
 
     #[test]

@@ -13,13 +13,17 @@
 //! Extras over upstream (used by this repo's tooling):
 //!
 //! * `CRITERION_JSON=<path>` appends one JSON object per benchmark
-//!   (`{"group","bench","median_ns","mean_ns","min_ns","samples","iters"}`)
-//!   to `<path>` — how `BENCH_baseline.json` snapshots are produced.
+//!   (`{"group","bench","median_ns","mean_ns","min_ns","samples","iters",
+//!   "threads","cpus","alloc_bytes","peak_rss_kb"}`) to `<path>` — how
+//!   `BENCH_baseline.json` snapshots are produced. `alloc_bytes` is the
+//!   per-iteration heap traffic measured by [`alloc_track`] (0 unless the
+//!   bench binary installs the [`alloc_track::TrackingAllocator`]);
+//!   `peak_rss_kb` is the process peak RSS (`VmHWM`) at summary time.
 //! * positional CLI arguments act as substring filters on
 //!   `group/bench` ids (same convention as upstream); `--flag` style
 //!   arguments that cargo-bench forwards are ignored.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 
 use std::fmt::Write as _;
 use std::io::Write as _;
@@ -41,6 +45,70 @@ struct SampleResult {
     mean_ns: f64,
     samples: usize,
     iters: u64,
+    /// Heap bytes allocated per iteration during the timed samples
+    /// (0 when the bench binary does not install the tracking allocator).
+    alloc_bytes: u64,
+}
+
+/// Byte-counting global allocator for memory-profiled benchmarks.
+///
+/// A bench binary opts in with
+/// `#[global_allocator] static A: criterion::alloc_track::TrackingAllocator =
+/// criterion::alloc_track::TrackingAllocator;` — the harness then stamps
+/// per-iteration allocated bytes into each JSON line. Without the opt-in
+/// the counter stays 0 and timing is unaffected.
+pub mod alloc_track {
+    #![allow(unsafe_code)]
+
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static ALLOCATED: AtomicU64 = AtomicU64::new(0);
+
+    /// Cumulative bytes requested from the allocator since process start
+    /// (monotone; frees are not subtracted — this measures traffic, not
+    /// footprint). Always 0 unless [`TrackingAllocator`] is installed.
+    pub fn allocated_bytes() -> u64 {
+        ALLOCATED.load(Ordering::Relaxed)
+    }
+
+    /// Pass-through to [`System`] that counts requested bytes.
+    pub struct TrackingAllocator;
+
+    // SAFETY: every method delegates verbatim to `System`; the only
+    // addition is a relaxed atomic counter bump, which cannot affect the
+    // returned memory.
+    unsafe impl GlobalAlloc for TrackingAllocator {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOCATED.fetch_add(layout.size() as u64, Ordering::Relaxed);
+            unsafe { System.alloc(layout) }
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            unsafe { System.dealloc(ptr, layout) }
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            ALLOCATED.fetch_add(new_size as u64, Ordering::Relaxed);
+            unsafe { System.realloc(ptr, layout, new_size) }
+        }
+
+        unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+            ALLOCATED.fetch_add(layout.size() as u64, Ordering::Relaxed);
+            unsafe { System.alloc_zeroed(layout) }
+        }
+    }
+}
+
+/// Process peak resident set size in KiB (`VmHWM` from
+/// `/proc/self/status`); `None` on platforms without procfs.
+pub fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status.lines().find_map(|l| {
+        l.strip_prefix("VmHWM:")
+            .and_then(|v| v.split_whitespace().next())
+            .and_then(|v| v.parse().ok())
+    })
 }
 
 impl Default for Criterion {
@@ -115,6 +183,7 @@ impl Criterion {
         // not a regression). `threads` is the sweep parameter when the
         // bench id carries one (`…/8`), otherwise 1 (sequential bench).
         let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let peak_rss = peak_rss_kb().unwrap_or(0);
         let mut out = String::new();
         for r in &self.results {
             let threads = r
@@ -124,8 +193,8 @@ impl Criterion {
                 .unwrap_or(1);
             let _ = writeln!(
                 out,
-                "{{\"group\":\"{}\",\"bench\":\"{}\",\"median_ns\":{:.1},\"mean_ns\":{:.1},\"min_ns\":{:.1},\"samples\":{},\"iters\":{},\"threads\":{},\"cpus\":{}}}",
-                r.group, r.bench, r.median_ns, r.mean_ns, r.min_ns, r.samples, r.iters, threads, cpus,
+                "{{\"group\":\"{}\",\"bench\":\"{}\",\"median_ns\":{:.1},\"mean_ns\":{:.1},\"min_ns\":{:.1},\"samples\":{},\"iters\":{},\"threads\":{},\"cpus\":{},\"alloc_bytes\":{},\"peak_rss_kb\":{}}}",
+                r.group, r.bench, r.median_ns, r.mean_ns, r.min_ns, r.samples, r.iters, threads, cpus, r.alloc_bytes, peak_rss,
             );
         }
         let written = std::fs::OpenOptions::new()
@@ -195,6 +264,7 @@ impl BenchmarkGroup<'_> {
             mean_ns: r.2,
             samples: self.sample_size,
             iters: r.3,
+            alloc_bytes: r.4,
         });
     }
 
@@ -212,13 +282,13 @@ impl BenchmarkGroup<'_> {
     pub fn finish(self) {}
 }
 
-/// `(min_ns, median_ns, mean_ns, iters_per_sample)`.
+/// `(min_ns, median_ns, mean_ns, iters_per_sample, alloc_bytes_per_iter)`.
 fn run_bench(
     warm_up: Duration,
     measurement: Duration,
     sample_size: usize,
     mut f: impl FnMut(&mut Bencher),
-) -> (f64, f64, f64, u64) {
+) -> (f64, f64, f64, u64, u64) {
     // Calibrate: run with growing iteration counts until one invocation
     // costs ≥ ~warm_up/5, then derive iters for the per-sample budget.
     let mut iters = 1u64;
@@ -236,14 +306,17 @@ fn run_bench(
     let per_sample_budget = measurement.as_secs_f64() / sample_size as f64;
     let iters_per_sample = ((per_sample_budget / per_iter.max(1e-12)) as u64).clamp(1, 1 << 40);
 
+    let alloc_before = alloc_track::allocated_bytes();
     let mut samples_ns: Vec<f64> = (0..sample_size)
         .map(|_| measure(&mut f, iters_per_sample).as_secs_f64() * 1e9 / iters_per_sample as f64)
         .collect();
+    let alloc_delta = alloc_track::allocated_bytes().saturating_sub(alloc_before);
+    let alloc_per_iter = alloc_delta / (sample_size as u64 * iters_per_sample).max(1);
     samples_ns.sort_by(f64::total_cmp);
     let min = samples_ns[0];
     let median = samples_ns[samples_ns.len() / 2];
     let mean = samples_ns.iter().sum::<f64>() / samples_ns.len() as f64;
-    (min, median, mean, iters_per_sample)
+    (min, median, mean, iters_per_sample, alloc_per_iter)
 }
 
 fn measure(f: &mut impl FnMut(&mut Bencher), iters: u64) -> Duration {
@@ -348,7 +421,7 @@ mod tests {
 
     #[test]
     fn bencher_measures_something() {
-        let (min, median, mean, iters) = run_bench(
+        let (min, median, mean, iters, _alloc) = run_bench(
             Duration::from_millis(10),
             Duration::from_millis(50),
             5,
@@ -399,6 +472,7 @@ mod tests {
                     mean_ns: 2.0,
                     samples: 1,
                     iters: 1,
+                    alloc_bytes: 4096,
                 },
                 SampleResult {
                     group: "seq".into(),
@@ -408,6 +482,7 @@ mod tests {
                     mean_ns: 2.0,
                     samples: 1,
                     iters: 1,
+                    alloc_bytes: 0,
                 },
             ],
         };
@@ -423,7 +498,32 @@ mod tests {
         let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
         for line in &lines {
             assert!(line.contains(&format!("\"cpus\":{cpus}")), "{line}");
+            assert!(line.contains("\"peak_rss_kb\":"), "{line}");
         }
+        assert!(lines[0].contains("\"alloc_bytes\":4096"), "{}", lines[0]);
+        assert!(lines[1].contains("\"alloc_bytes\":0"), "{}", lines[1]);
+    }
+
+    #[test]
+    fn peak_rss_reads_procfs() {
+        // On Linux VmHWM is always present for a live process; elsewhere
+        // the probe degrades to None and summaries stamp 0.
+        if cfg!(target_os = "linux") {
+            let kb = peak_rss_kb().expect("VmHWM in /proc/self/status");
+            assert!(kb > 0);
+        }
+    }
+
+    #[test]
+    fn alloc_counter_is_monotone() {
+        // Without the tracking allocator installed (lib tests use the
+        // system allocator) the counter is stuck at 0 — the JSON field
+        // degrades gracefully rather than lying.
+        let a = alloc_track::allocated_bytes();
+        let v: Vec<u64> = (0..1000).collect();
+        black_box(&v);
+        let b = alloc_track::allocated_bytes();
+        assert!(b >= a);
     }
 
     #[test]
