@@ -75,4 +75,29 @@ grep -q '"kind":"apriori-seg"' "$TMP/seg.ckpt"
     --checkpoint "$TMP/seg.ckpt" --resume > "$TMP/big_resumed.out" 2> /dev/null
 diff "$TMP/big_plain.out" "$TMP/big_resumed.out"
 
+# Scheduler stress (DESIGN.md §13): hammer the work-stealing scheduler
+# with repeated runs at threads=8 and a fine grain — every repetition and
+# every thread count must print bit-identical output, including under a
+# seeded transient-fault schedule absorbed by retries. This catches
+# schedule-dependent nondeterminism the unit tests' single runs can miss.
+"$DM" mine "$TMP/baskets.txt" --min-support 2 --threads 8 --grain 1 \
+    > "$TMP/ws_ref.out"
+diff "$TMP/plain.out" "$TMP/ws_ref.out"
+for rep in 1 2 3 4 5; do
+    for t in 2 4 8; do
+        "$DM" mine "$TMP/baskets.txt" --min-support 2 \
+            --threads "$t" --grain 1 > "$TMP/ws.out"
+        diff "$TMP/ws_ref.out" "$TMP/ws.out" \
+            || { echo "ws stress: rep=$rep threads=$t diverged"; exit 1; }
+        "$DM" mine "$TMP/baskets.txt" --min-support 2 \
+            --threads "$t" --grain 1 \
+            --fault-inject seed=7,transient=0.3 --retry 3 > "$TMP/ws_fault.out"
+        diff "$TMP/ws_ref.out" "$TMP/ws_fault.out" \
+            || { echo "ws stress (faulty): rep=$rep threads=$t diverged"; exit 1; }
+    done
+done
+# Parallel runs surface scheduler counters in the stats artifact.
+"$DM" mine "$TMP/baskets.txt" --min-support 2 --threads 8 --grain 1 \
+    --stats json | tail -n 1 | grep -q '"ws_tasks":'
+
 echo "ci.sh: all checks passed"

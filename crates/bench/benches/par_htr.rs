@@ -11,12 +11,19 @@ use rand::SeedableRng;
 
 const THREAD_SWEEP: [usize; 4] = [1, 2, 4, 8];
 
+/// Stamps the work-stealing steal count into each JSON line, so baseline
+/// artifacts show how much actual stealing each sweep point did.
+fn scheduler_steals() -> u64 {
+    dualminer_parallel::scheduler_stats().steals
+}
+
 fn random_instance(n: usize, k: usize, m: usize, seed: u64) -> Hypergraph {
     let mut rng = StdRng::seed_from_u64(seed);
     generators::random_uniform(n, m, k..=k, &mut rng)
 }
 
 fn bench_mmcs_threads(c: &mut Criterion) {
+    criterion::steal_track::set_steal_counter(scheduler_steals);
     let mut group = c.benchmark_group("par_mmcs");
     group.warm_up_time(std::time::Duration::from_millis(500));
     group.measurement_time(std::time::Duration::from_secs(2));

@@ -36,6 +36,11 @@ OPTIONS:
                    out-of-core mining and tighten the checkpoint cadence
                    (one safe point per segment); output is identical for
                    every N.
+    --grain <G>    smallest index range a work-stealing task is split down
+                   to (default 0 = adaptive: len/(threads*8)). Smaller
+                   grains improve load balance on skewed workloads at the
+                   cost of scheduling overhead; output is identical for
+                   every G.
 
 RUN OPTIONS (budget and observability, accepted by every subcommand):
     --timeout <D>           wall-clock budget, e.g. 500ms, 2s, 1m (bare
@@ -103,6 +108,11 @@ pub struct RunOpts {
     pub checkpoint_every: Option<u64>,
     /// Resume from the checkpoint file (`--resume`).
     pub resume: bool,
+    /// Work-stealing task grain (`--grain`): smallest index range a
+    /// scheduler task is split down to. `None` leaves the process
+    /// default; `Some(0)` selects the adaptive auto grain explicitly.
+    /// Output is identical for every grain.
+    pub grain: Option<usize>,
 }
 
 impl RunOpts {
@@ -314,6 +324,12 @@ fn parse_run_flag<'a, I: Iterator<Item = &'a String>>(
                 return Err("--checkpoint-every must be ≥ 1".into());
             }
             run.checkpoint_every = Some(every);
+        }
+        "--grain" => {
+            let v = it.next().ok_or("--grain needs a value")?;
+            run.grain = Some(v.parse::<usize>().map_err(|_| {
+                format!("invalid --grain value {v:?} (want integer ≥ 0; 0 = auto)")
+            })?);
         }
         "--resume" => run.resume = true,
         _ => return Ok(false),
@@ -664,6 +680,65 @@ mod tests {
         .is_err());
         assert!(parse(&v(&["mine", "b.txt", "--min-support", "2", "--threads"])).is_err());
         assert!(parse(&v(&["transversals", "h.txt", "--threads", "x"])).is_err());
+    }
+
+    #[test]
+    fn segment_rows_zero_is_a_usage_error() {
+        // Degenerate segmentation must die at the flag parser (exit 2 in
+        // main), never deep inside the vertical store.
+        let err = parse(&v(&[
+            "mine",
+            "b.txt",
+            "--min-support",
+            "2",
+            "--segment-rows",
+            "0",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("--segment-rows"), "unhelpful error: {err}");
+    }
+
+    #[test]
+    fn parse_grain_flag() {
+        let cmd = parse(&v(&[
+            "mine",
+            "b.txt",
+            "--min-support",
+            "2",
+            "--grain",
+            "16",
+        ]))
+        .unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Mine {
+                run: RunOpts {
+                    grain: Some(16),
+                    ..
+                },
+                ..
+            }
+        ));
+        // 0 is the explicit "adaptive auto" request, distinct from unset.
+        let cmd = parse(&v(&["transversals", "h.txt", "--grain", "0"])).unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Transversals {
+                run: RunOpts { grain: Some(0), .. },
+                ..
+            }
+        ));
+        let cmd = parse(&v(&["keys", "r.csv"])).unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Keys {
+                run: RunOpts { grain: None, .. },
+                ..
+            }
+        ));
+        assert!(parse(&v(&["keys", "r.csv", "--grain"])).is_err());
+        assert!(parse(&v(&["keys", "r.csv", "--grain", "-1"])).is_err());
+        assert!(parse(&v(&["keys", "r.csv", "--grain", "x"])).is_err());
     }
 
     #[test]

@@ -154,21 +154,33 @@ struct Session {
     meter: Meter,
     observer: CliObserver,
     stats_json: bool,
+    /// Resolved thread count; scheduler counters are only stamped into
+    /// the stats artifact when the run was actually parallel, so
+    /// sequential runs keep the historical JSON schema.
+    threads: usize,
 }
 
 impl Session {
     fn new(run: &RunOpts, threads: usize) -> Session {
         let meter = run.budget().start();
         let observer = CliObserver::new(run.progress);
-        observer.stats.set_threads(if threads == 0 {
+        let threads = if threads == 0 {
             available_cpus()
         } else {
             threads
-        });
+        };
+        observer.stats.set_threads(threads);
+        if let Some(grain) = run.grain {
+            dualminer_parallel::set_default_grain(grain);
+        }
+        // Scheduler counters are process-global; zero them so the stats
+        // artifact reflects this run only.
+        dualminer_parallel::reset_scheduler_stats();
         Session {
             meter,
             observer,
             stats_json: run.stats_json,
+            threads,
         }
     }
 
@@ -192,6 +204,16 @@ impl Session {
     /// Prints the JSON stats artifact as the final stdout line.
     fn finish(&self, reason: Option<BudgetReason>) {
         if self.stats_json {
+            let sched = dualminer_parallel::scheduler_stats();
+            if self.threads > 1 && sched.tasks > 0 {
+                self.observer.stats.set_scheduler(
+                    sched.tasks,
+                    sched.steals,
+                    sched.splits,
+                    sched.joins,
+                    sched.per_worker,
+                );
+            }
             println!("{}", self.observer.stats.to_json(&self.meter, reason));
         }
     }

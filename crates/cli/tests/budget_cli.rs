@@ -196,6 +196,46 @@ fn transversals_max_transversals_trips_with_partial_prefix() {
     assert!(json.contains("\"transversals\":"), "{json:?}");
 }
 
+/// Parallel runs stamp work-stealing scheduler counters into the stats
+/// JSON; sequential runs keep the historical schema (no `ws_*` keys).
+#[test]
+fn parallel_stats_json_carries_scheduler_counters() {
+    let baskets = temp_file("ws-baskets.txt", BASKETS);
+    let input = baskets.display().to_string();
+
+    let par = run(&[
+        "mine",
+        &input,
+        "--min-support",
+        "2",
+        "--threads",
+        "4",
+        "--grain",
+        "1",
+        "--stats",
+        "json",
+    ]);
+    assert!(par.status.success(), "{par:?}");
+    let json = last_line(&par);
+    for key in [
+        "\"ws_tasks\":",
+        "\"ws_steals\":",
+        "\"ws_splits\":",
+        "\"ws_joins\":",
+        "\"ws_workers\":[",
+    ] {
+        assert!(json.contains(key), "missing {key} in {json:?}");
+    }
+
+    let seq = run(&["mine", &input, "--min-support", "2", "--stats", "json"]);
+    assert!(seq.status.success(), "{seq:?}");
+    let json = last_line(&seq);
+    assert!(
+        !json.contains("\"ws_tasks\""),
+        "sequential run must not report scheduler counters: {json:?}"
+    );
+}
+
 #[test]
 fn unlimited_run_reports_complete_outcome() {
     let graph = matching_file(4); // |Tr| = 16, instant

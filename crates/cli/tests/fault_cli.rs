@@ -256,6 +256,18 @@ fn exit_code_taxonomy() {
         Some(EXIT_USAGE),
         "--resume sans --checkpoint: {out:?}"
     );
+    // Degenerate segmentation is a usage error at the flag parser, not a
+    // panic deep in the vertical store.
+    let out = run(&["mine", "x.txt", "--min-support", "2", "--segment-rows", "0"]);
+    assert_eq!(
+        out.status.code(),
+        Some(EXIT_USAGE),
+        "--segment-rows 0: {out:?}"
+    );
+    assert!(
+        stderr(&out).contains("--segment-rows"),
+        "unhelpful message: {out:?}"
+    );
 
     // 3: input parse, with file:line location.
     let bad = temp_file("ragged.csv", "a,b\n# note\nonly-one-cell\n");

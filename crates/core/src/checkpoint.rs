@@ -80,6 +80,12 @@ fn uint_field(doc: &Json, key: &str) -> Result<u64, CheckpointError> {
         .ok_or_else(|| CheckpointError::Corrupt(format!("field {key:?} is not a count")))
 }
 
+/// A count field absent from checkpoints written before the field
+/// existed: missing (or non-count) decodes as `0` = unrecorded.
+fn opt_uint_field(doc: &Json, key: &str) -> u64 {
+    doc.get(key).and_then(Json::as_uint).unwrap_or(0)
+}
+
 /// Levelwise state at a level boundary.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct LevelwiseState {
@@ -95,6 +101,12 @@ pub struct LevelwiseState {
     pub candidates_per_level: Vec<usize>,
     /// Logical queries issued up to this boundary.
     pub queries: u64,
+    /// Worker threads of the saving run (`0` = unrecorded, pre-PR-7
+    /// checkpoint). Informational: the ordered-merge contract makes a
+    /// resume bit-identical at **any** thread count, so a mismatch is
+    /// never an error — the field exists so operators can audit which
+    /// configuration produced a checkpoint.
+    pub threads: u64,
 }
 
 impl LevelwiseState {
@@ -114,6 +126,7 @@ impl LevelwiseState {
                 ),
             ),
             ("queries".into(), Json::uint(self.queries)),
+            ("threads".into(), Json::uint(self.threads)),
         ])
     }
 
@@ -136,6 +149,7 @@ impl LevelwiseState {
             negative: family_from_json(field(doc, "negative")?, n)?,
             candidates_per_level,
             queries: uint_field(doc, "queries")?,
+            threads: opt_uint_field(doc, "threads"),
         })
     }
 
@@ -167,6 +181,9 @@ pub struct DaState {
     pub round_certificate: Vec<AttrSet>,
     /// Logical queries issued up to this safe point.
     pub queries: u64,
+    /// Worker threads of the saving run (`0` = unrecorded). Same
+    /// informational contract as [`LevelwiseState::threads`].
+    pub threads: u64,
 }
 
 impl DaState {
@@ -180,6 +197,7 @@ impl DaState {
                 family_to_json(&self.round_certificate),
             ),
             ("queries".into(), Json::uint(self.queries)),
+            ("threads".into(), Json::uint(self.threads)),
         ])
     }
 
@@ -191,6 +209,7 @@ impl DaState {
             maximal: family_from_json(field(doc, "maximal")?, n)?,
             round_certificate: family_from_json(field(doc, "round_certificate")?, n)?,
             queries: uint_field(doc, "queries")?,
+            threads: opt_uint_field(doc, "threads"),
         })
     }
 }
@@ -341,6 +360,7 @@ mod tests {
             negative: vec![AttrSet::from_indices(4, [2])],
             candidates_per_level: vec![1, 4, 1],
             queries: 6,
+            threads: 4,
         }
     }
 
@@ -363,10 +383,24 @@ mod tests {
             ],
             round_certificate: vec![AttrSet::from_indices(5, [3])],
             queries: 11,
+            threads: 2,
         };
         let text = encode(DUALIZE_ADVANCE_KIND, &state.to_json());
         let back = ResumeState::from_envelope(&decode(&text).unwrap()).unwrap();
         assert_eq!(back, ResumeState::DualizeAdvance(state));
+    }
+
+    #[test]
+    fn missing_threads_field_decodes_as_unrecorded() {
+        // A checkpoint written before the `threads` field existed.
+        let mut state = sample_levelwise();
+        let Json::Obj(fields) = state.to_json() else {
+            panic!("payload must be an object");
+        };
+        let legacy = Json::Obj(fields.into_iter().filter(|(k, _)| k != "threads").collect());
+        let back = LevelwiseState::from_json(&legacy).unwrap();
+        state.threads = 0;
+        assert_eq!(back, state);
     }
 
     #[test]

@@ -215,6 +215,8 @@ pub fn dualize_advance_with_config_ctl<O: InterestOracle>(
 struct DaCkpt {
     safe_queries: u64,
     last_saved: u64,
+    /// Worker threads of this run, recorded into saved states.
+    threads: u64,
 }
 
 impl DaCkpt {
@@ -224,6 +226,7 @@ impl DaCkpt {
             maximal: maximal.to_vec(),
             round_certificate: certificate.to_vec(),
             queries: self.safe_queries,
+            threads: self.threads,
         }
     }
 
@@ -327,6 +330,7 @@ pub fn dualize_advance_try_ctl<O: TryInterestOracle>(
     let mut ckpt = DaCkpt {
         safe_queries: 0,
         last_saved: 0,
+        threads: dualminer_parallel::effective_threads(threads) as u64,
     };
 
     if let Some(reason) = ctl.meter.exceeded() {

@@ -35,6 +35,16 @@ pub trait TryInterestOracle {
 
     /// The `Is-interesting` query; `Err` carries the failure class.
     fn try_is_interesting(&mut self, x: &AttrSet) -> Result<bool, OracleError>;
+
+    /// Batched fallible query: one verdict per sentence, **in input
+    /// order**, each element failing independently. The default loops
+    /// the scalar query — each element gets exactly one attempt, so the
+    /// fault schedule sees the same per-query arrival sequence as N
+    /// scalar calls (fault-invariance). Overrides must preserve both the
+    /// order and the one-attempt-per-element accounting.
+    fn try_is_interesting_batch(&mut self, xs: &[AttrSet]) -> Vec<Result<bool, OracleError>> {
+        xs.iter().map(|x| self.try_is_interesting(x)).collect()
+    }
 }
 
 /// A fallible shared-state `Is-interesting` oracle (`&self` queries,
@@ -45,6 +55,12 @@ pub trait TrySyncInterestOracle: Sync {
 
     /// The `Is-interesting` query through a shared reference.
     fn try_is_interesting(&self, x: &AttrSet) -> Result<bool, OracleError>;
+
+    /// Batched fallible query through a shared reference; same contract
+    /// as [`TryInterestOracle::try_is_interesting_batch`].
+    fn try_is_interesting_batch(&self, xs: &[AttrSet]) -> Vec<Result<bool, OracleError>> {
+        xs.iter().map(|x| self.try_is_interesting(x)).collect()
+    }
 }
 
 impl<O: InterestOracle + ?Sized> TryInterestOracle for &mut O {
@@ -54,6 +70,15 @@ impl<O: InterestOracle + ?Sized> TryInterestOracle for &mut O {
     fn try_is_interesting(&mut self, x: &AttrSet) -> Result<bool, OracleError> {
         Ok((**self).is_interesting(x))
     }
+    fn try_is_interesting_batch(&mut self, xs: &[AttrSet]) -> Vec<Result<bool, OracleError>> {
+        // Route through the infallible batch so a vectorized
+        // `is_interesting_batch` override carries into the fallible tier.
+        (**self)
+            .is_interesting_batch(xs)
+            .into_iter()
+            .map(Ok)
+            .collect()
+    }
 }
 
 impl<O: SyncInterestOracle + ?Sized> TrySyncInterestOracle for &O {
@@ -62,6 +87,13 @@ impl<O: SyncInterestOracle + ?Sized> TrySyncInterestOracle for &O {
     }
     fn try_is_interesting(&self, x: &AttrSet) -> Result<bool, OracleError> {
         Ok((**self).is_interesting(x))
+    }
+    fn try_is_interesting_batch(&self, xs: &[AttrSet]) -> Vec<Result<bool, OracleError>> {
+        (**self)
+            .is_interesting_batch(xs)
+            .into_iter()
+            .map(Ok)
+            .collect()
     }
 }
 
@@ -179,6 +211,67 @@ pub fn sync_query_with_retry<O: TrySyncInterestOracle + ?Sized>(
                 }
             }
         }
+    }
+}
+
+/// Drives one logical **batch** to completion under `retry`: the batch
+/// is issued once via [`TrySyncInterestOracle::try_is_interesting_batch`]
+/// (one attempt per element), then each failed element is re-driven
+/// through the same per-item fault bookkeeping as
+/// [`sync_query_with_retry`] — so the meter's fault/retry counters and
+/// the observer callbacks are exactly what N scalar retried queries
+/// would produce. The caller records the N logical queries; verdict
+/// order matches input order.
+pub fn sync_query_batch_with_retry<O: TrySyncInterestOracle + ?Sized>(
+    oracle: &O,
+    xs: &[AttrSet],
+    retry: &RetryPolicy,
+    ctl: &RunCtl<'_>,
+) -> Vec<Result<bool, OracleError>> {
+    let mut out = oracle.try_is_interesting_batch(xs);
+    debug_assert_eq!(out.len(), xs.len());
+    for (x, slot) in xs.iter().zip(out.iter_mut()) {
+        retry_failed_slot(slot, retry, ctl, || oracle.try_is_interesting(x));
+    }
+    out
+}
+
+/// [`sync_query_batch_with_retry`] for exclusive (`&mut self`) oracles.
+pub fn query_batch_with_retry<O: TryInterestOracle + ?Sized>(
+    oracle: &mut O,
+    xs: &[AttrSet],
+    retry: &RetryPolicy,
+    ctl: &RunCtl<'_>,
+) -> Vec<Result<bool, OracleError>> {
+    let mut out = oracle.try_is_interesting_batch(xs);
+    debug_assert_eq!(out.len(), xs.len());
+    for (x, slot) in xs.iter().zip(out.iter_mut()) {
+        retry_failed_slot(slot, retry, ctl, || oracle.try_is_interesting(x));
+    }
+    out
+}
+
+/// Re-drives one already-attempted verdict through the retry loop: the
+/// batch call counts as the initial attempt, `reattempt` issues each
+/// subsequent scalar attempt. Shared by the two batch helpers, which
+/// differ only in oracle mutability (captured by the closure).
+fn retry_failed_slot(
+    slot: &mut Result<bool, OracleError>,
+    retry: &RetryPolicy,
+    ctl: &RunCtl<'_>,
+    mut reattempt: impl FnMut() -> Result<bool, OracleError>,
+) {
+    let mut attempt = 0u32;
+    loop {
+        let e = match slot {
+            Ok(_) => return,
+            Err(e) => e.clone(),
+        };
+        if let Some(e) = note_fault(e, &mut attempt, retry, ctl) {
+            *slot = Err(e);
+            return;
+        }
+        *slot = reattempt();
     }
 }
 
@@ -310,6 +403,76 @@ mod tests {
             &ctl,
         );
         assert!(!got.unwrap_err().is_transient());
+        assert_eq!(meter.retries(), 0);
+        assert_eq!(meter.faults(), 1);
+    }
+
+    #[test]
+    fn batch_default_loops_scalar_in_order() {
+        let spec = FaultSpec::parse("permanent=1").unwrap();
+        let oracle = FaultyOracle::new(FnOracle::new(3, |x: &AttrSet| x.len() <= 1), &spec);
+        let xs = vec![
+            AttrSet::empty(3),
+            AttrSet::from_indices(3, [0]),
+            AttrSet::full(3),
+        ];
+        let got = oracle.try_is_interesting_batch(&xs);
+        // Arrival order within the batch is input order: the fault at
+        // call #1 lands on xs[1], not anywhere else.
+        assert_eq!(got[0], Ok(true));
+        assert!(got[1].is_err());
+        assert_eq!(got[2], Ok(false));
+        assert_eq!(oracle.plan().calls(), 3);
+    }
+
+    #[test]
+    fn blanket_batch_routes_through_infallible_batch() {
+        let family = FamilyOracle::new(3, vec![AttrSet::full(3)]);
+        let shared = &family;
+        let xs = vec![AttrSet::empty(3), AttrSet::full(3)];
+        assert_eq!(
+            shared.try_is_interesting_batch(&xs),
+            vec![Ok(true), Ok(true)]
+        );
+    }
+
+    #[test]
+    fn batch_retry_matches_per_item_retry_accounting() {
+        let xs: Vec<AttrSet> = (0..4).map(|i| AttrSet::from_indices(8, [i])).collect();
+        let spec = FaultSpec::parse("burst=2@1").unwrap();
+        let retry = RetryPolicy::retries(3);
+
+        // Per-item reference run.
+        let seq_meter = Meter::unlimited();
+        let seq_ctl = RunCtl::new(&seq_meter, &NoopObserver);
+        let oracle = FaultyOracle::new(FnOracle::new(8, |_: &AttrSet| true), &spec);
+        let seq: Vec<_> = xs
+            .iter()
+            .map(|x| sync_query_with_retry(&oracle, x, &retry, &seq_ctl))
+            .collect();
+
+        // Batched run over a fresh schedule of the same spec.
+        let batch_meter = Meter::unlimited();
+        let batch_ctl = RunCtl::new(&batch_meter, &NoopObserver);
+        let oracle = FaultyOracle::new(FnOracle::new(8, |_: &AttrSet| true), &spec);
+        let got = sync_query_batch_with_retry(&oracle, &xs, &retry, &batch_ctl);
+
+        assert_eq!(got, seq);
+        assert_eq!(batch_meter.faults(), seq_meter.faults());
+        assert_eq!(batch_meter.retries(), seq_meter.retries());
+        assert!(batch_meter.faults() > 0, "fault schedule must have fired");
+    }
+
+    #[test]
+    fn batch_retry_gives_up_on_permanent_errors() {
+        let meter = Meter::unlimited();
+        let ctl = RunCtl::new(&meter, &NoopObserver);
+        let spec = FaultSpec::parse("permanent=0").unwrap();
+        let mut oracle = FaultyOracle::new(FnOracle::new(3, |_: &AttrSet| true), &spec);
+        let xs = vec![AttrSet::empty(3), AttrSet::full(3)];
+        let got = query_batch_with_retry(&mut oracle, &xs, &RetryPolicy::retries(5), &ctl);
+        assert!(!got[0].clone().unwrap_err().is_transient());
+        assert_eq!(got[1], Ok(true));
         assert_eq!(meter.retries(), 0);
         assert_eq!(meter.faults(), 1);
     }

@@ -25,7 +25,8 @@ use dualminer_obs::{Meter, NoopObserver, OracleError, Outcome, RunCtl, RunError}
 use crate::candidates::prefix_join_units;
 use crate::checkpoint::{Aborted, FaultCtl, LevelwiseState, ResumeState, LEVELWISE_KIND};
 use crate::fallible::{
-    query_with_retry, sync_query_with_retry, TryInterestOracle, TrySyncInterestOracle,
+    query_with_retry, sync_query_batch_with_retry, sync_query_with_retry, TryInterestOracle,
+    TrySyncInterestOracle,
 };
 use crate::oracle::{InterestOracle, SyncInterestOracle};
 
@@ -128,16 +129,19 @@ struct LevelwiseCkpt {
     boundary_levels: usize,
     boundary_queries: u64,
     last_saved: u64,
+    /// Worker threads of this run, recorded into saved states.
+    threads: u64,
 }
 
 impl LevelwiseCkpt {
-    fn fresh() -> LevelwiseCkpt {
+    fn fresh(threads: u64) -> LevelwiseCkpt {
         LevelwiseCkpt {
             boundary_theory: 0,
             boundary_negative: 0,
             boundary_levels: 0,
             boundary_queries: 0,
             last_saved: 0,
+            threads,
         }
     }
 
@@ -155,6 +159,7 @@ impl LevelwiseCkpt {
             negative: negative[..self.boundary_negative].to_vec(),
             candidates_per_level: candidates_per_level[..self.boundary_levels].to_vec(),
             queries: self.boundary_queries,
+            threads: self.threads,
         }
     }
 
@@ -293,7 +298,7 @@ pub fn levelwise_try_ctl<O: TryInterestOracle>(
     let mut queries: u64;
     let mut level: Vec<Vec<usize>>;
     let mut card: usize;
-    let mut ckpt = LevelwiseCkpt::fresh();
+    let mut ckpt = LevelwiseCkpt::fresh(1);
 
     if let Some(reason) = ctl.meter.exceeded() {
         return Ok(Outcome::BudgetExceeded {
@@ -472,7 +477,7 @@ pub fn levelwise_par_try_ctl<O: TrySyncInterestOracle>(
     let mut queries: u64;
     let mut level: Vec<Vec<usize>>;
     let mut card: usize;
-    let mut ckpt = LevelwiseCkpt::fresh();
+    let mut ckpt = LevelwiseCkpt::fresh(dualminer_parallel::effective_threads(threads) as u64);
 
     if let Some(reason) = ctl.meter.exceeded() {
         return Ok(Outcome::BudgetExceeded {
@@ -535,28 +540,30 @@ pub fn levelwise_par_try_ctl<O: TrySyncInterestOracle>(
         card += 1;
         let units = prefix_join_units(n, card, &level, Vec::as_slice);
 
-        // Evaluate the whole batch in parallel; chunk-order concatenation
-        // reproduces the sequential evaluation order exactly. `None`
-        // marks a candidate skipped (budget trip, or a sibling chunk's
-        // fault raised the abort flag); `Some(Err(_))` a failed query.
+        // Evaluate the whole level in parallel; chunk-order concatenation
+        // reproduces the sequential evaluation order exactly. Each chunk
+        // is one batched oracle dispatch ([`sync_query_batch_with_retry`]),
+        // metered as one logical query per element, so the Theorem-21
+        // accounting is batch-invariant. The budget/abort poll sits at
+        // the batch boundary: a worker skips a whole chunk (`None` per
+        // candidate), never part of one, so the merged verdicts still
+        // truncate at a prefix of the sequential enumeration.
         let abort = dualminer_parallel::AbortFlag::new();
         type Verdict = Option<(AttrSet, Result<bool, OracleError>)>;
         let verdicts: Vec<Verdict> = dualminer_parallel::par_chunks(threads, 4, &units, |chunk| {
-            chunk
+            if abort.is_set() || ctl.meter.exceeded().is_some() {
+                return vec![None; chunk.len()];
+            }
+            let sets: Vec<AttrSet> = chunk
                 .iter()
-                .map(|(_, _, cand)| {
-                    if abort.is_set() || ctl.meter.exceeded().is_some() {
-                        return None;
-                    }
-                    ctl.meter.record_query();
-                    let set = AttrSet::from_indices(n, cand.iter().copied());
-                    let got = sync_query_with_retry(oracle, &set, &fault.retry, ctl);
-                    if got.is_err() {
-                        abort.raise();
-                    }
-                    Some((set, got))
-                })
-                .collect::<Vec<_>>()
+                .map(|(_, _, cand)| AttrSet::from_indices(n, cand.iter().copied()))
+                .collect();
+            ctl.meter.record_queries(sets.len() as u64);
+            let got = sync_query_batch_with_retry(oracle, &sets, &fault.retry, ctl);
+            if got.iter().any(Result::is_err) {
+                abort.raise();
+            }
+            sets.into_iter().zip(got).map(Some).collect()
         })
         .concat();
 

@@ -29,6 +29,16 @@ pub trait InterestOracle {
 
     /// The `Is-interesting` query: does `q(r, x)` hold?
     fn is_interesting(&mut self, x: &AttrSet) -> bool;
+
+    /// Batched `Is-interesting`: one verdict per sentence, **in input
+    /// order**. The default loops the scalar query; oracles backed by a
+    /// remote or vectorized evaluator override it to amortize per-call
+    /// overhead. Overrides must be pointwise equal to the scalar loop —
+    /// callers account one logical query per element either way, so the
+    /// Theorem 10/21 query totals are batch-invariant.
+    fn is_interesting_batch(&mut self, xs: &[AttrSet]) -> Vec<bool> {
+        xs.iter().map(|x| self.is_interesting(x)).collect()
+    }
 }
 
 impl<T: InterestOracle + ?Sized> InterestOracle for &mut T {
@@ -37,6 +47,9 @@ impl<T: InterestOracle + ?Sized> InterestOracle for &mut T {
     }
     fn is_interesting(&mut self, x: &AttrSet) -> bool {
         (**self).is_interesting(x)
+    }
+    fn is_interesting_batch(&mut self, xs: &[AttrSet]) -> Vec<bool> {
+        (**self).is_interesting_batch(xs)
     }
 }
 
@@ -60,6 +73,15 @@ pub trait SyncInterestOracle: Sync {
 
     /// The `Is-interesting` query through a shared reference.
     fn is_interesting(&self, x: &AttrSet) -> bool;
+
+    /// Batched `Is-interesting` through a shared reference: one verdict
+    /// per sentence, **in input order**. Same contract as
+    /// [`InterestOracle::is_interesting_batch`]: overrides must be
+    /// pointwise equal to the scalar loop, and callers account one
+    /// logical query per element.
+    fn is_interesting_batch(&self, xs: &[AttrSet]) -> Vec<bool> {
+        xs.iter().map(|x| self.is_interesting(x)).collect()
+    }
 }
 
 impl<T: SyncInterestOracle + ?Sized> SyncInterestOracle for &T {
@@ -68,6 +90,9 @@ impl<T: SyncInterestOracle + ?Sized> SyncInterestOracle for &T {
     }
     fn is_interesting(&self, x: &AttrSet) -> bool {
         (**self).is_interesting(x)
+    }
+    fn is_interesting_batch(&self, xs: &[AttrSet]) -> Vec<bool> {
+        (**self).is_interesting_batch(xs)
     }
 }
 
@@ -180,6 +205,13 @@ impl<O: InterestOracle> InterestOracle for MeteredOracle<'_, O> {
         self.meter.record_query();
         self.inner.is_interesting(x)
     }
+
+    fn is_interesting_batch(&mut self, xs: &[AttrSet]) -> Vec<bool> {
+        // One logical query per element, metered up front so a batched
+        // inner oracle still bills exactly N queries.
+        self.meter.record_queries(xs.len() as u64);
+        self.inner.is_interesting_batch(xs)
+    }
 }
 
 impl<O: SyncInterestOracle> SyncInterestOracle for MeteredOracle<'_, O> {
@@ -190,6 +222,11 @@ impl<O: SyncInterestOracle> SyncInterestOracle for MeteredOracle<'_, O> {
     fn is_interesting(&self, x: &AttrSet) -> bool {
         self.meter.record_query();
         self.inner.is_interesting(x)
+    }
+
+    fn is_interesting_batch(&self, xs: &[AttrSet]) -> Vec<bool> {
+        self.meter.record_queries(xs.len() as u64);
+        self.inner.is_interesting_batch(xs)
     }
 }
 
@@ -368,6 +405,43 @@ mod tests {
         assert_eq!(meter.queries(), 2);
         assert_eq!(o.inner().maximal().len(), 1);
         assert_eq!(o.into_inner().maximal().len(), 1);
+    }
+
+    #[test]
+    fn batch_default_equals_scalar_loop() {
+        let mut o = FamilyOracle::new(4, vec![s(&[0, 1, 2]), s(&[1, 3])]);
+        let xs: Vec<AttrSet> = (0..16usize)
+            .map(|bits| AttrSet::from_indices(4, (0..4).filter(|i| bits >> i & 1 == 1)))
+            .collect();
+        let scalar: Vec<bool> = xs
+            .iter()
+            .map(|x| SyncInterestOracle::is_interesting(&o, x))
+            .collect();
+        assert_eq!(SyncInterestOracle::is_interesting_batch(&o, &xs), scalar);
+        assert_eq!(InterestOracle::is_interesting_batch(&mut o, &xs), scalar);
+        // Forwarding impls carry the batch method too.
+        assert_eq!(
+            SyncInterestOracle::is_interesting_batch(&&o, &xs),
+            scalar,
+            "&T forwarding"
+        );
+    }
+
+    #[test]
+    fn metered_batch_bills_one_query_per_element() {
+        let meter = Meter::unlimited();
+        let mut o = MeteredOracle::new(FamilyOracle::new(4, vec![s(&[0, 1])]), &meter);
+        let xs = vec![s(&[0]), s(&[0, 1]), s(&[2])];
+        assert_eq!(
+            InterestOracle::is_interesting_batch(&mut o, &xs),
+            vec![true, true, false]
+        );
+        assert_eq!(meter.queries(), 3);
+        assert_eq!(
+            SyncInterestOracle::is_interesting_batch(&o, &xs),
+            vec![true, true, false]
+        );
+        assert_eq!(meter.queries(), 6);
     }
 
     #[test]

@@ -161,6 +161,59 @@ fn levelwise_resume_matches_scratch_from_every_checkpoint() {
 }
 
 #[test]
+fn checkpoint_records_thread_count_and_resume_crosses_thread_counts() {
+    let scratch = lw_scratch(&planted());
+
+    // Saving run is parallel at threads = 2; every safe point persisted.
+    let sink = MemoryCheckpoints::new();
+    {
+        let meter = Meter::unlimited();
+        let ctl = RunCtl::new(&meter, &NoopObserver);
+        let fault = FaultCtl::checkpointed(RetryPolicy::none(), &sink, 1);
+        let inner = planted();
+        let fallible = &inner;
+        let run = levelwise_par_try_ctl(&fallible, 2, &ctl, &fault, None)
+            .expect("no faults injected")
+            .expect_complete();
+        assert_lw_eq(&run, &scratch, "saving run");
+    }
+    let saved = sink.all();
+    assert!(!saved.is_empty(), "parallel run must checkpoint");
+
+    for (i, envelope) in saved.iter().enumerate() {
+        let ResumeState::Levelwise(state) =
+            ResumeState::from_envelope(envelope).expect("decodable checkpoint")
+        else {
+            panic!("wrong checkpoint kind");
+        };
+        // The envelope payload records the saving run's worker count …
+        assert_eq!(state.threads, 2, "checkpoint {i} records thread count");
+        // … and a resume at ANY other thread count is bit-identical to
+        // scratch (the ordered-merge contract), never an error.
+        for threads in [1usize, 2, 4, 8] {
+            let meter = Meter::unlimited();
+            let ctl = RunCtl::new(&meter, &NoopObserver);
+            let inner = planted();
+            let fallible = &inner;
+            let resumed = levelwise_par_try_ctl(
+                &fallible,
+                threads,
+                &ctl,
+                &FaultCtl::none(),
+                Some(state.clone()),
+            )
+            .expect("no faults injected")
+            .expect_complete();
+            assert_lw_eq(
+                &resumed,
+                &scratch,
+                &format!("checkpoint {i} saved at 2 threads, resumed at {threads}"),
+            );
+        }
+    }
+}
+
+#[test]
 fn dualize_advance_resume_matches_scratch_from_every_checkpoint() {
     for algo in [TrAlgorithm::Berge, TrAlgorithm::FkJointGeneration] {
         let scratch = da_scratch(&matching(3), algo);
@@ -373,6 +426,53 @@ fn transient_schedule_on_dualize_advance_completes_identically() {
         assert_eq!(meter.queries(), scratch_meter, "{algo:?}");
         assert!(meter.retries() > 0, "{algo:?}");
     }
+}
+
+#[test]
+fn steal_heavy_skew_with_seeded_faults_matches_sequential() {
+    // Adversarial scheduler workload: one giant maximal set — a deep,
+    // wide subtree of interesting candidates — among tiny ones, so the
+    // worker seeded with the giant range holds nearly all the work and
+    // the others must steal. Run at grain 1 to maximize splits/steals,
+    // under a seeded content-keyed transient fault schedule absorbed by
+    // retries: output AND fault/retry totals must match the sequential
+    // run at every thread count.
+    let n = 14;
+    let family = vec![
+        AttrSet::from_indices(n, 0..10),
+        AttrSet::from_indices(n, [10]),
+        AttrSet::from_indices(n, [11]),
+        AttrSet::from_indices(n, [12, 13]),
+    ];
+    let spec = FaultSpec::parse("seed=7,transient=0.05").unwrap();
+    let retry = RetryPolicy::retries(1);
+
+    let seq_meter = Meter::unlimited();
+    let ctl = RunCtl::new(&seq_meter, &NoopObserver);
+    let mut faulty = FaultyOracle::new(FamilyOracle::new(n, family.clone()), &spec);
+    let scratch = levelwise_try_ctl(&mut faulty, &ctl, &FaultCtl::with_retry(retry), None)
+        .expect("transients absorbed by retries")
+        .expect_complete();
+    assert!(seq_meter.faults() > 0, "fault schedule must fire");
+
+    let before = dualminer_parallel::default_grain();
+    dualminer_parallel::set_default_grain(1);
+    for threads in [2usize, 8] {
+        let meter = Meter::unlimited();
+        let ctl = RunCtl::new(&meter, &NoopObserver);
+        let faulty = FaultyOracle::new(FamilyOracle::new(n, family.clone()), &spec);
+        let run = levelwise_par_try_ctl(&faulty, threads, &ctl, &FaultCtl::with_retry(retry), None)
+            .expect("transients absorbed by retries")
+            .expect_complete();
+        assert_lw_eq(
+            &run,
+            &scratch,
+            &format!("steal-heavy skew, threads {threads}"),
+        );
+        assert_eq!(meter.faults(), seq_meter.faults(), "threads {threads}");
+        assert_eq!(meter.retries(), seq_meter.retries(), "threads {threads}");
+    }
+    dualminer_parallel::set_default_grain(before);
 }
 
 #[test]

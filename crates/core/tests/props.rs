@@ -51,15 +51,20 @@ proptest! {
 
     #[test]
     fn parallel_levelwise_is_bit_identical(family in arb_family()) {
+        // Work-stealing determinism contract: Th, both borders,
+        // candidates_per_level and the query total are bit-identical to
+        // sequential at every thread count.
         let mut oracle = FamilyOracle::new(N, family.clone());
         let seq = levelwise(&mut oracle);
         let shared = FamilyOracle::new(N, family);
-        let par = dualminer_core::levelwise::levelwise_par(&shared, 3);
-        prop_assert_eq!(par.theory, seq.theory);
-        prop_assert_eq!(par.positive_border, seq.positive_border);
-        prop_assert_eq!(par.negative_border, seq.negative_border);
-        prop_assert_eq!(par.candidates_per_level, seq.candidates_per_level);
-        prop_assert_eq!(par.queries, seq.queries);
+        for threads in [1usize, 2, 4, 8] {
+            let par = dualminer_core::levelwise::levelwise_par(&shared, threads);
+            prop_assert_eq!(par.theory, seq.theory.clone(), "threads={}", threads);
+            prop_assert_eq!(par.positive_border, seq.positive_border.clone(), "threads={}", threads);
+            prop_assert_eq!(par.negative_border, seq.negative_border.clone(), "threads={}", threads);
+            prop_assert_eq!(par.candidates_per_level, seq.candidates_per_level.clone(), "threads={}", threads);
+            prop_assert_eq!(par.queries, seq.queries, "threads={}", threads);
+        }
     }
 
     #[test]

@@ -27,27 +27,45 @@ proptest! {
 
     #[test]
     fn parallel_algorithms_are_bit_identical(h in arb_hypergraph()) {
+        // The work-stealing scheduler's determinism contract: output is
+        // bit-identical to sequential at every thread count.
         let seq_mmcs = mmcs::transversals(&h);
-        prop_assert_eq!(mmcs::transversals_par(&h, 3), seq_mmcs);
         let seq_berge = berge::transversals(&h);
-        prop_assert_eq!(berge::transversals_par(&h, 3), seq_berge);
         let seq_joint = joint_gen::transversals(&h);
-        prop_assert_eq!(joint_gen::transversals_par(&h, 3), seq_joint);
+        for threads in [1usize, 2, 4, 8] {
+            prop_assert_eq!(
+                mmcs::transversals_par(&h, threads), seq_mmcs.clone(),
+                "mmcs, threads={}", threads
+            );
+            prop_assert_eq!(
+                berge::transversals_par(&h, threads), seq_berge.clone(),
+                "berge, threads={}", threads
+            );
+            prop_assert_eq!(
+                joint_gen::transversals_par(&h, threads), seq_joint.clone(),
+                "joint_gen, threads={}", threads
+            );
+        }
     }
 
     #[test]
     fn parallel_fk_agrees(h in arb_hypergraph()) {
         let hm = h.minimized();
         let tr = berge::transversals(&hm);
-        prop_assert!(fk::are_dual_par(&hm, &tr, 3));
-        if tr.len() >= 2 {
+        let broken = (tr.len() >= 2).then(|| {
             let mut edges = tr.edges().to_vec();
             edges.pop();
-            let broken = Hypergraph::from_edges(N, edges).unwrap();
-            prop_assert_eq!(
-                fk::duality_witness_counted_par(&hm, &broken, 3).0,
-                fk::duality_witness(&hm, &broken)
-            );
+            Hypergraph::from_edges(N, edges).unwrap()
+        });
+        for threads in [1usize, 2, 4, 8] {
+            prop_assert!(fk::are_dual_par(&hm, &tr, threads), "threads={}", threads);
+            if let Some(broken) = &broken {
+                prop_assert_eq!(
+                    fk::duality_witness_counted_par(&hm, broken, threads).0,
+                    fk::duality_witness(&hm, broken),
+                    "threads={}", threads
+                );
+            }
         }
     }
 

@@ -74,6 +74,11 @@ pub struct AprioriSegState {
     pub queries: u64,
     /// Mid-level cursor, absent at level boundaries.
     pub partial: Option<SegPartial>,
+    /// Worker threads of the saving run (`0` = unrecorded, pre-PR-7
+    /// checkpoint). Informational only: per-segment counts merge in
+    /// deterministic candidate order, so a resume is bit-identical at
+    /// any thread count.
+    pub threads: u64,
 }
 
 fn set_to_json(s: &AttrSet) -> Json {
@@ -153,6 +158,7 @@ impl AprioriSegState {
                 ),
             ),
             ("queries".into(), Json::uint(self.queries)),
+            ("threads".into(), Json::uint(self.threads)),
         ];
         if let Some(p) = &self.partial {
             obj.push((
@@ -215,6 +221,8 @@ impl AprioriSegState {
                 .collect(),
             queries: uint_field(doc, "queries")?,
             partial,
+            // Absent from checkpoints written before the field existed.
+            threads: doc.get("threads").and_then(Json::as_uint).unwrap_or(0),
         })
     }
 }
@@ -342,6 +350,7 @@ pub fn apriori_par_seg_ctl(
         candidates_per_level: candidates_per_level.clone(),
         queries,
         partial,
+        threads: dualminer_parallel::effective_threads(threads) as u64,
     };
 
     // Level 0 (∅), only when starting from scratch — a resumable
@@ -722,6 +731,7 @@ mod tests {
             candidates_per_level: vec![1],
             queries: 1,
             partial: None,
+            threads: 1,
         };
         let err = apriori_par_seg_ctl(
             &db,
@@ -750,6 +760,7 @@ mod tests {
                 segs_done: 0,
                 counts: vec![0; 3], // wrong width: level 1 has n_items units
             }),
+            threads: 1,
         };
         let meter = Meter::unlimited();
         let err = apriori_par_seg_ctl(
@@ -799,6 +810,7 @@ mod tests {
                 segs_done: 1,
                 counts: vec![3, 0, 7],
             }),
+            threads: 2,
         };
         let doc = state.to_json();
         assert_eq!(AprioriSegState::from_json(&doc).unwrap(), state);

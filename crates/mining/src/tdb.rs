@@ -272,4 +272,14 @@ mod tests {
     fn row_universe_checked() {
         TransactionDb::new(4, vec![AttrSet::empty(5)]);
     }
+
+    #[test]
+    #[should_panic(expected = "segment_rows must be positive")]
+    fn zero_segment_rows_rejected() {
+        // The documented contract: a zero row cap panics here, at the
+        // constructor, instead of producing a degenerate (0-row-segment)
+        // vertical store. The CLI rejects `--segment-rows 0` at the flag
+        // parser before ever reaching this point.
+        TransactionDb::with_segment_rows(4, vec![AttrSet::empty(4)], 0);
+    }
 }

@@ -36,13 +36,16 @@ proptest! {
 
     #[test]
     fn parallel_apriori_is_bit_identical(db in arb_db(), sigma in 1usize..4) {
+        // Work-stealing determinism contract at every thread count.
         let seq = apriori(&db, sigma);
-        let par = dualminer_mining::apriori::apriori_par(&db, sigma, 3);
-        prop_assert_eq!(par.itemsets(), seq.itemsets());
-        prop_assert_eq!(par.maximal, seq.maximal);
-        prop_assert_eq!(par.negative_border, seq.negative_border);
-        prop_assert_eq!(par.candidates_per_level, seq.candidates_per_level);
-        prop_assert_eq!(par.queries(), seq.queries());
+        for threads in [1usize, 2, 4, 8] {
+            let par = dualminer_mining::apriori::apriori_par(&db, sigma, threads);
+            prop_assert_eq!(par.itemsets(), seq.itemsets(), "threads={}", threads);
+            prop_assert_eq!(par.maximal.clone(), seq.maximal.clone(), "threads={}", threads);
+            prop_assert_eq!(par.negative_border.clone(), seq.negative_border.clone(), "threads={}", threads);
+            prop_assert_eq!(par.candidates_per_level.clone(), seq.candidates_per_level.clone(), "threads={}", threads);
+            prop_assert_eq!(par.queries(), seq.queries(), "threads={}", threads);
+        }
     }
 
     #[test]

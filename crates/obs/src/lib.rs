@@ -416,6 +416,22 @@ struct StatsInner {
     transversals_tested: usize,
     counterexamples: usize,
     phases: Vec<(String, Option<Duration>, Instant)>,
+    /// Work-stealing scheduler counters, injected by the frontend at run
+    /// end (this crate sits below the scheduler and cannot read them
+    /// itself). `None` until [`StatsCollector::set_scheduler`] is called.
+    scheduler: Option<SchedCounters>,
+}
+
+/// Run-total work-stealing scheduler counters plus the per-worker
+/// `(tasks, steals)` table, as injected via
+/// [`StatsCollector::set_scheduler`].
+#[derive(Clone, Debug, Default, PartialEq)]
+struct SchedCounters {
+    tasks: u64,
+    steals: u64,
+    splits: u64,
+    joins: u64,
+    per_worker: Vec<(u64, u64)>,
 }
 
 /// A [`MiningObserver`] that accumulates every event and renders the
@@ -457,6 +473,29 @@ impl StatsCollector {
         self.threads.store(threads as u64, Ordering::Relaxed);
     }
 
+    /// Records the work-stealing scheduler counters for the JSON
+    /// artifact: run totals plus per-worker `(tasks, steals)` pairs. The
+    /// frontend snapshots the scheduler at run end and injects the
+    /// numbers here; until then the artifact omits the `ws_*` keys so
+    /// sequential runs keep their exact historical schema.
+    pub fn set_scheduler(
+        &self,
+        tasks: u64,
+        steals: u64,
+        splits: u64,
+        joins: u64,
+        per_worker: Vec<(u64, u64)>,
+    ) {
+        let mut inner = self.inner.lock().expect("stats mutex poisoned");
+        inner.scheduler = Some(SchedCounters {
+            tasks,
+            steals,
+            splits,
+            joins,
+            per_worker,
+        });
+    }
+
     /// Total transversal events observed.
     pub fn transversals(&self) -> u64 {
         self.transversals.load(Ordering::Relaxed)
@@ -480,6 +519,11 @@ impl StatsCollector {
     /// `{"outcome", "queries", "candidates", "transversals", "fk_calls",
     ///   "nodes", "iterations", "levels": [{"level","candidates","interesting"}],
     ///   "phases": [{"name","ms"}], "threads", "cpus", "wall_ms"}`
+    ///
+    /// When [`StatsCollector::set_scheduler`] was called, the object
+    /// additionally carries `"ws_tasks"`, `"ws_steals"`, `"ws_splits"`,
+    /// `"ws_joins"` and `"ws_workers": [{"worker","tasks","steals"}]`
+    /// between `"phases"` and `"threads"`.
     pub fn to_json(&self, meter: &Meter, outcome: Option<BudgetReason>) -> String {
         let inner = self.inner.lock().expect("stats mutex poisoned");
         let mut out = String::with_capacity(512);
@@ -528,6 +572,20 @@ impl StatsCollector {
             out.push_str(&format!("{{\"name\":\"{}\",\"ms\":{ms:.3}}}", escape(name)));
         }
         out.push_str("],");
+        if let Some(sched) = &inner.scheduler {
+            push_u64_field(&mut out, "ws_tasks", sched.tasks);
+            push_u64_field(&mut out, "ws_steals", sched.steals);
+            push_u64_field(&mut out, "ws_splits", sched.splits);
+            push_u64_field(&mut out, "ws_joins", sched.joins);
+            out.push_str("\"ws_workers\":[");
+            for (i, &(t, s)) in sched.per_worker.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("{{\"worker\":{i},\"tasks\":{t},\"steals\":{s}}}"));
+            }
+            out.push_str("],");
+        }
         push_u64_field(&mut out, "threads", self.threads.load(Ordering::Relaxed));
         push_u64_field(&mut out, "cpus", available_cpus() as u64);
         let wall_ms = self.started.elapsed().as_secs_f64() * 1e3;

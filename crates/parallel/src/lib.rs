@@ -1,34 +1,49 @@
 //! # dualminer-parallel
 //!
-//! Scoped-thread work splitting for the workspace's three hot paths:
+//! Deterministic work-stealing scheduler for the workspace's hot paths:
 //! levelwise support counting, minimal-transversal branch exploration, and
 //! the Fredman–Khachiyan duality-check recursion.
 //!
-//! Design constraints (DESIGN.md §2: std scoped threads suffice — no
-//! external dependencies):
+//! Design constraints (DESIGN.md §6/§13: std threads suffice — no external
+//! dependencies, `forbid(unsafe_code)`):
 //!
 //! * **Determinism.** Every combinator returns results in the *input
-//!   order* of the work items, regardless of which worker ran which item
-//!   and in which interleaving. Callers that merge per-item outputs by
-//!   simple concatenation therefore produce output bit-identical to the
-//!   sequential loop.
+//!   order* of the work items, regardless of which worker ran which item,
+//!   which tasks were stolen, and how ranges were split. Callers that
+//!   merge per-item outputs by simple concatenation therefore produce
+//!   output bit-identical to the sequential loop at every thread count
+//!   and every grain size.
 //! * **Zero-cost opt-out.** `threads == 1` (or fewer than two work items)
 //!   runs the plain sequential loop on the calling thread — no spawns, no
-//!   allocation beyond the output vector — so sequential entry points can
-//!   delegate to the parallel ones without a performance tax.
+//!   deques — so sequential entry points can delegate to the parallel
+//!   ones without a performance tax.
 //! * **`threads == 0` means auto:** [`effective_threads`] resolves 0 to
 //!   [`std::thread::available_parallelism`].
 //!
-//! Scheduling is dynamic: workers pull item indices from a shared atomic
-//! cursor, so uneven item costs (ragged transversal subtrees, skewed
-//! prefix groups) balance without any cost model. Results carry their item
-//! index and are re-assembled in order afterwards.
+//! Scheduling is **work stealing** over per-worker deques of contiguous
+//! index ranges (safe Rust: `Mutex<VecDeque>` per worker plus one
+//! `Condvar` parker — no Chase-Lev unsafe). Each worker is seeded with one
+//! contiguous slice of the items; owners pop from the *back* of their own
+//! deque and split oversized ranges in half down to a tunable grain
+//! ([`set_default_grain`]), pushing the far halves back where thieves can
+//! take them; idle workers steal from the *front* of a victim's deque —
+//! the oldest and therefore largest range. Skewed workloads (one giant
+//! transversal subtree among many trivial ones) thus rebalance without a
+//! cost model, while results re-assemble by item index into exactly the
+//! sequential order.
+//!
+//! The scheduler keeps process-global task/steal/split counters
+//! ([`scheduler_stats`]) which the CLI surfaces in its `--stats json`
+//! artifact and the bench harness stamps into its JSON lines.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
 use std::thread;
+use std::time::Duration;
 
 /// A cooperative early-exit signal shared by the workers of one parallel
 /// batch: when one worker hits a terminal condition (e.g. a permanent
@@ -74,13 +89,251 @@ pub fn effective_threads(threads: usize) -> usize {
     }
 }
 
-/// Maps `f` over `items` on up to `threads` scoped worker threads,
+// ---------------------------------------------------------------------------
+// Grain knob
+// ---------------------------------------------------------------------------
+
+/// Process-global default task grain: `0` = auto (`len / (threads * 8)`,
+/// at least 1). See [`set_default_grain`].
+static DEFAULT_GRAIN: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the scheduler's task grain: ranges are split until at most this
+/// many items remain per task. `0` restores the automatic heuristic
+/// (`len / (threads * 8)`, clamped to ≥ 1), which keeps roughly eight
+/// stealable tasks per worker. The grain is a pure scheduling knob —
+/// output is bit-identical for every value (the CLI exposes it as
+/// `--grain`).
+pub fn set_default_grain(grain: usize) {
+    DEFAULT_GRAIN.store(grain, Ordering::Relaxed);
+}
+
+/// The current default grain (`0` = auto).
+pub fn default_grain() -> usize {
+    DEFAULT_GRAIN.load(Ordering::Relaxed)
+}
+
+fn resolve_grain(len: usize, threads: usize) -> usize {
+    match DEFAULT_GRAIN.load(Ordering::Relaxed) {
+        0 => (len / (threads * 8).max(1)).max(1),
+        g => g,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler statistics
+// ---------------------------------------------------------------------------
+
+static TOTAL_TASKS: AtomicU64 = AtomicU64::new(0);
+static TOTAL_STEALS: AtomicU64 = AtomicU64::new(0);
+static TOTAL_SPLITS: AtomicU64 = AtomicU64::new(0);
+static TOTAL_JOINS: AtomicU64 = AtomicU64::new(0);
+/// Per-worker-slot `(tasks, steals)` accumulated across every scheduled
+/// batch since the last [`reset_scheduler_stats`].
+static PER_WORKER: Mutex<Vec<(u64, u64)>> = Mutex::new(Vec::new());
+
+/// A snapshot of the process-global scheduler counters: total leaf tasks
+/// executed, successful steals, range splits, fork-join pairs, and the
+/// per-worker-slot `(tasks, steals)` breakdown. Counters are cumulative
+/// since process start or the last [`reset_scheduler_stats`]; they are
+/// observability only and never influence scheduling decisions or output.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SchedStats {
+    /// Leaf tasks executed (after splitting down to the grain).
+    pub tasks: u64,
+    /// Successful steals from a sibling's deque.
+    pub steals: u64,
+    /// Range splits performed while narrowing to the grain.
+    pub splits: u64,
+    /// Two-way fork-join invocations ([`join`] with `parallel == true`).
+    pub joins: u64,
+    /// `(tasks, steals)` per worker slot (slot 0 is the seeding worker).
+    pub per_worker: Vec<(u64, u64)>,
+}
+
+/// Snapshots the global scheduler counters.
+pub fn scheduler_stats() -> SchedStats {
+    SchedStats {
+        tasks: TOTAL_TASKS.load(Ordering::Relaxed),
+        steals: TOTAL_STEALS.load(Ordering::Relaxed),
+        splits: TOTAL_SPLITS.load(Ordering::Relaxed),
+        joins: TOTAL_JOINS.load(Ordering::Relaxed),
+        per_worker: PER_WORKER.lock().expect("scheduler stats poisoned").clone(),
+    }
+}
+
+/// Zeroes the global scheduler counters (benchmarks isolate runs with
+/// this).
+pub fn reset_scheduler_stats() {
+    TOTAL_TASKS.store(0, Ordering::Relaxed);
+    TOTAL_STEALS.store(0, Ordering::Relaxed);
+    TOTAL_SPLITS.store(0, Ordering::Relaxed);
+    TOTAL_JOINS.store(0, Ordering::Relaxed);
+    PER_WORKER.lock().expect("scheduler stats poisoned").clear();
+}
+
+fn record_worker(slot: usize, tasks: u64, steals: u64, splits: u64) {
+    TOTAL_TASKS.fetch_add(tasks, Ordering::Relaxed);
+    TOTAL_STEALS.fetch_add(steals, Ordering::Relaxed);
+    TOTAL_SPLITS.fetch_add(splits, Ordering::Relaxed);
+    let mut per = PER_WORKER.lock().expect("scheduler stats poisoned");
+    if per.len() <= slot {
+        per.resize(slot + 1, (0, 0));
+    }
+    per[slot].0 += tasks;
+    per[slot].1 += steals;
+}
+
+// ---------------------------------------------------------------------------
+// The work-stealing core
+// ---------------------------------------------------------------------------
+
+/// Shared state of one scheduled batch: per-worker range deques, the
+/// count of not-yet-processed items (the termination condition), and a
+/// parker so idle thieves block instead of spinning.
+struct WsCore {
+    deques: Vec<Mutex<VecDeque<(usize, usize)>>>,
+    remaining: AtomicUsize,
+    parker_lock: Mutex<()>,
+    parker: Condvar,
+}
+
+impl WsCore {
+    /// Seeds `len` items across `threads` deques as balanced contiguous
+    /// ranges — range order equals item order, so worker `w`'s seed is
+    /// the `w`-th slice of the sequential iteration.
+    fn seed(len: usize, threads: usize) -> WsCore {
+        let base = len / threads;
+        let rem = len % threads;
+        let deques = (0..threads)
+            .map(|w| {
+                let start = w * base + w.min(rem);
+                let stop = start + base + usize::from(w < rem);
+                let mut q = VecDeque::new();
+                if start < stop {
+                    q.push_back((start, stop));
+                }
+                Mutex::new(q)
+            })
+            .collect();
+        WsCore {
+            deques,
+            remaining: AtomicUsize::new(len),
+            parker_lock: Mutex::new(()),
+            parker: Condvar::new(),
+        }
+    }
+
+    fn notify(&self) {
+        // Touch the parker lock so a worker between its `remaining` check
+        // and its wait cannot miss the wake-up.
+        drop(self.parker_lock.lock().expect("parker poisoned"));
+        self.parker.notify_all();
+    }
+
+    /// One worker's scheduling loop: pop own back → steal victim front →
+    /// park. Popped ranges are split in half down to `grain`, far halves
+    /// pushed back for thieves; each leaf range is handed to `process`
+    /// exactly once. `process(worker, start, stop)` must handle items
+    /// `start..stop`.
+    fn run_worker(&self, w: usize, grain: usize, process: &(impl Fn(usize, usize, usize) + Sync)) {
+        let threads = self.deques.len();
+        let mut tasks = 0u64;
+        let mut steals = 0u64;
+        let mut splits = 0u64;
+        loop {
+            // Own deque first (LIFO: the most recently split-off half is
+            // adjacent to what this worker just processed).
+            let mut task = self.deques[w]
+                .lock()
+                .expect("worker deque poisoned")
+                .pop_back();
+            if task.is_none() {
+                // Steal the oldest (largest) range from the first victim
+                // that has one; a contended victim lock is skipped, not
+                // waited on.
+                for k in 1..threads {
+                    let v = (w + k) % threads;
+                    if let Ok(mut q) = self.deques[v].try_lock() {
+                        if let Some(r) = q.pop_front() {
+                            task = Some(r);
+                            steals += 1;
+                            break;
+                        }
+                    }
+                }
+            }
+            match task {
+                Some((start, mut stop)) => {
+                    // Split in half down to the grain, keeping the near
+                    // half and publishing the far half for thieves.
+                    while stop - start > grain {
+                        let mid = start + (stop - start).div_ceil(2);
+                        self.deques[w]
+                            .lock()
+                            .expect("worker deque poisoned")
+                            .push_back((mid, stop));
+                        splits += 1;
+                        stop = mid;
+                        self.notify();
+                    }
+                    process(w, start, stop);
+                    tasks += 1;
+                    if self.remaining.fetch_sub(stop - start, Ordering::SeqCst) == stop - start {
+                        // Last items done: wake every parked worker so the
+                        // batch can retire.
+                        self.notify();
+                    }
+                }
+                None => {
+                    if self.remaining.load(Ordering::SeqCst) == 0 {
+                        break;
+                    }
+                    // Nothing stealable right now but work is still in
+                    // flight (a sibling holds an unsplit range): park
+                    // until a split publishes more, with a timeout as a
+                    // liveness backstop.
+                    let guard = self.parker_lock.lock().expect("parker poisoned");
+                    if self.remaining.load(Ordering::SeqCst) != 0 {
+                        let _ = self
+                            .parker
+                            .wait_timeout(guard, Duration::from_micros(200))
+                            .expect("parker poisoned");
+                    }
+                }
+            }
+        }
+        record_worker(w, tasks, steals, splits);
+    }
+}
+
+/// Runs `process` over the index space `0..len` on `threads` workers via
+/// the work-stealing core. `process(worker, start, stop)` receives each
+/// leaf range exactly once; ranges partition `0..len`.
+fn ws_run(threads: usize, len: usize, grain: usize, process: impl Fn(usize, usize, usize) + Sync) {
+    debug_assert!(threads >= 2 && len >= 2);
+    let core = WsCore::seed(len, threads);
+    let core = &core;
+    let process = &process;
+    thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|w| scope.spawn(move || core.run_worker(w, grain, process)))
+            .collect();
+        for h in handles {
+            h.join().expect("parallel worker panicked");
+        }
+    });
+    debug_assert_eq!(core.remaining.load(Ordering::SeqCst), 0);
+}
+
+/// Maps `f` over `items` on up to `threads` work-stealing workers,
 /// returning the results **in item order**.
 ///
-/// `f` receives `(item_index, &item)`. Work is distributed dynamically
-/// (atomic cursor); determinism comes from re-assembling results by item
-/// index, not from the schedule. With `threads <= 1` or fewer than two
-/// items this is a plain sequential `map` on the calling thread.
+/// `f` receives `(item_index, &item)`. Work is distributed by the
+/// stealing scheduler (contiguous seed ranges, split-on-demand down to
+/// the [grain](set_default_grain)); determinism comes from re-assembling
+/// results by item index, not from the schedule. With `threads <= 1` or
+/// fewer than two items this is a plain sequential `map` on the calling
+/// thread.
 pub fn par_map<T: Sync, R: Send>(
     threads: usize,
     items: &[T],
@@ -88,49 +341,57 @@ pub fn par_map<T: Sync, R: Send>(
 ) -> Vec<R> {
     let threads = effective_threads(threads).min(items.len());
     if threads <= 1 {
+        if !items.is_empty() {
+            TOTAL_TASKS.fetch_add(1, Ordering::Relaxed);
+        }
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
-
-    let cursor = AtomicUsize::new(0);
-    let mut buckets: Vec<Vec<(usize, R)>> = thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                scope.spawn(|| {
-                    let mut local: Vec<(usize, R)> = Vec::new();
-                    loop {
-                        let i = cursor.fetch_add(1, Ordering::Relaxed);
-                        if i >= items.len() {
-                            break;
-                        }
-                        local.push((i, f(i, &items[i])));
-                    }
-                    local
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("parallel worker panicked"))
-            .collect()
+    let grain = resolve_grain(items.len(), threads);
+    let buckets: Vec<Mutex<Vec<(usize, R)>>> =
+        (0..threads).map(|_| Mutex::new(Vec::new())).collect();
+    ws_run(threads, items.len(), grain, |w, start, stop| {
+        // Evaluate the leaf range outside the bucket lock (only this
+        // worker ever locks bucket `w`, but keep the critical section to
+        // the push anyway).
+        let mut out: Vec<(usize, R)> = Vec::with_capacity(stop - start);
+        for (i, item) in items[start..stop].iter().enumerate() {
+            out.push((start + i, f(start + i, item)));
+        }
+        buckets[w]
+            .lock()
+            .expect("result bucket poisoned")
+            .append(&mut out);
     });
-
-    // Re-assemble in item order. Each worker's bucket is already sorted by
-    // index (the cursor is monotone), so a k-way merge by sorting the
-    // concatenation is O(m log m) on small constants and obviously correct.
+    // Ordered merge: leaf ranges partition the index space, so sorting
+    // the concatenation by item index reproduces the sequential order
+    // exactly — the determinism contract every caller builds on.
     let mut indexed: Vec<(usize, R)> = Vec::with_capacity(items.len());
-    for bucket in &mut buckets {
-        indexed.append(bucket);
+    for bucket in buckets {
+        indexed.append(&mut bucket.into_inner().expect("result bucket poisoned"));
     }
     indexed.sort_by_key(|&(i, _)| i);
     debug_assert_eq!(indexed.len(), items.len());
     indexed.into_iter().map(|(_, r)| r).collect()
 }
 
+/// Decides the chunk geometry shared by [`par_chunks`] and
+/// [`par_chunks_zip_mut`]: at most `threads * max(oversubscribe, 1)`
+/// contiguous chunks of equal ceiling length. Note the *actual* chunk
+/// count `ceil(len / chunk_len)` can undershoot the requested `n_chunks`
+/// (e.g. `len = 6`, `n_chunks = 4` → `chunk_len = 2` → 3 chunks); every
+/// chunk except possibly the last has exactly `chunk_len` items and no
+/// chunk is ever empty, so `chunk_index * chunk_len` is always the
+/// chunk's global offset. `oversubscribe = 0` is treated as 1.
+fn chunk_len(threads: usize, oversubscribe: usize, len: usize) -> usize {
+    let n_chunks = (threads * oversubscribe.max(1)).min(len);
+    len.div_ceil(n_chunks)
+}
+
 /// [`par_map`] over contiguous chunks: splits `items` into at most
 /// `threads * oversubscribe` contiguous chunks, maps `f` over each chunk
-/// on worker threads, and returns the per-chunk results **in chunk
-/// order** (so `Vec::concat` of per-chunk output vectors reproduces the
-/// sequential iteration order exactly).
+/// on the work-stealing workers, and returns the per-chunk results **in
+/// chunk order** (so `Vec::concat` of per-chunk output vectors reproduces
+/// the sequential iteration order exactly).
 ///
 /// Use this when per-item work is small — chunking amortizes the
 /// scheduling overhead — or when the caller's merge step wants
@@ -146,11 +407,12 @@ pub fn par_chunks<T: Sync, R: Send>(
         if items.is_empty() {
             return Vec::new();
         }
+        TOTAL_TASKS.fetch_add(1, Ordering::Relaxed);
         return vec![f(items)];
     }
-    let n_chunks = (threads * oversubscribe.max(1)).min(items.len());
-    let chunk_len = items.len().div_ceil(n_chunks);
-    let chunks: Vec<&[T]> = items.chunks(chunk_len).collect();
+    let chunks: Vec<&[T]> = items
+        .chunks(chunk_len(threads, oversubscribe, items.len()))
+        .collect();
     par_map(threads, &chunks, |_, chunk| f(chunk))
 }
 
@@ -164,13 +426,12 @@ pub fn par_chunks<T: Sync, R: Send>(
 /// to accumulate per-candidate partial counts in place, one pass per row
 /// segment.
 ///
-/// Chunk *assignment* is static (worker `w` takes chunks `w`, `w +
-/// threads`, …) because handing each worker ownership of its `&mut`
-/// output chunks requires deciding the partition up front; `oversubscribe`
-/// still gives late workers smaller strides to balance skew. Each output
-/// element is written by exactly one worker, so the result is
-/// deterministic — identical to the sequential loop — for every thread
-/// count and schedule.
+/// Chunks are *stolen*, not statically striped: each `(offset, items,
+/// outs)` triple sits in a take-once slot, and the work-stealing core
+/// hands slot indices to whichever worker is free. Each output element is
+/// written by exactly one worker, so the result is deterministic —
+/// identical to the sequential loop — for every thread count and
+/// schedule.
 ///
 /// # Panics
 /// Panics if `items.len() != outs.len()`.
@@ -189,38 +450,49 @@ pub fn par_chunks_zip_mut<T: Sync, U: Send>(
     let threads = effective_threads(threads).min(items.len());
     if threads <= 1 {
         if !items.is_empty() {
+            TOTAL_TASKS.fetch_add(1, Ordering::Relaxed);
             f(0, items, outs);
         }
         return;
     }
-    let n_chunks = (threads * oversubscribe.max(1)).min(items.len());
-    let chunk_len = items.len().div_ceil(n_chunks);
-    // Striped static assignment: chunk c goes to worker c % threads. Each
-    // worker owns (moves) its list of (offset, &[T], &mut [U]) triples.
+    let cl = chunk_len(threads, oversubscribe, items.len());
+    // Take-once slots transfer ownership of each `&mut` output chunk to
+    // exactly one worker — the safe-Rust route to stealable mutable work.
     type Chunk<'a, T, U> = (usize, &'a [T], &'a mut [U]);
-    let mut per_worker: Vec<Vec<Chunk<'_, T, U>>> = (0..threads).map(|_| Vec::new()).collect();
-    for (c, (chunk, out)) in items
-        .chunks(chunk_len)
-        .zip(outs.chunks_mut(chunk_len))
+    let slots: Vec<Mutex<Option<Chunk<'_, T, U>>>> = items
+        .chunks(cl)
+        .zip(outs.chunks_mut(cl))
         .enumerate()
-    {
-        per_worker[c % threads].push((c * chunk_len, chunk, out));
+        .map(|(c, (chunk, out))| Mutex::new(Some((c * cl, chunk, out))))
+        .collect();
+    if slots.len() < 2 {
+        // One chunk: the scheduler needs two tasks to matter.
+        for slot in slots {
+            if let Some((offset, chunk, out)) = slot.into_inner().expect("chunk slot poisoned") {
+                TOTAL_TASKS.fetch_add(1, Ordering::Relaxed);
+                f(offset, chunk, out);
+            }
+        }
+        return;
     }
-    let f = &f;
-    thread::scope(|scope| {
-        for bucket in per_worker {
-            scope.spawn(move || {
-                for (offset, chunk, out) in bucket {
-                    f(offset, chunk, out);
-                }
-            });
+    let threads = threads.min(slots.len());
+    ws_run(threads, slots.len(), 1, |_, start, stop| {
+        for slot in &slots[start..stop] {
+            let (offset, chunk, out) = slot
+                .lock()
+                .expect("chunk slot poisoned")
+                .take()
+                .expect("chunk slot processed twice");
+            f(offset, chunk, out);
         }
     });
 }
 
 /// Runs two closures, on two scoped threads when `parallel` is true, and
 /// returns both results. The FK duality check uses this for its two
-/// recursive sub-problems; `parallel == false` degenerates to plain
+/// recursive sub-problems (heterogeneous result types keep it off the
+/// homogeneous range deques; it shares the scheduler's stats layer via
+/// the `joins` counter). `parallel == false` degenerates to plain
 /// sequential calls on the current thread.
 pub fn join<RA: Send, RB: Send>(
     parallel: bool,
@@ -230,6 +502,7 @@ pub fn join<RA: Send, RB: Send>(
     if !parallel {
         return (a(), b());
     }
+    TOTAL_JOINS.fetch_add(1, Ordering::Relaxed);
     thread::scope(|scope| {
         let hb = scope.spawn(b);
         let ra = a();
@@ -241,7 +514,6 @@ pub fn join<RA: Send, RB: Send>(
 mod tests {
     use super::*;
     use std::collections::HashSet;
-    use std::sync::Mutex;
 
     #[test]
     fn effective_threads_resolves_zero() {
@@ -259,6 +531,26 @@ mod tests {
             });
             assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
         }
+    }
+
+    /// Serializes the tests that mutate the process-global grain (cargo
+    /// runs tests concurrently; the grain is a scheduling knob shared by
+    /// every batch in the process).
+    static GRAIN_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn par_map_order_is_grain_invariant() {
+        let _g = GRAIN_LOCK.lock().unwrap();
+        let items: Vec<usize> = (0..500).collect();
+        let expected: Vec<usize> = items.iter().map(|x| x * 7 + 1).collect();
+        for grain in [1, 2, 3, 17, 250, 10_000] {
+            set_default_grain(grain);
+            for threads in [2, 4, 8] {
+                let out = par_map(threads, &items, |_, &x| x * 7 + 1);
+                assert_eq!(out, expected, "grain={grain} threads={threads}");
+            }
+        }
+        set_default_grain(0);
     }
 
     #[test]
@@ -283,6 +575,45 @@ mod tests {
     }
 
     #[test]
+    fn steal_heavy_skew_stays_ordered() {
+        // One giant item among many tiny ones — the adversarial shape for
+        // static splitting. The worker that draws item 0 stalls; the
+        // others must steal the rest of its seeded range, and the merge
+        // must still be in item order.
+        let items: Vec<usize> = (0..256).collect();
+        let out = par_map(4, &items, |i, &x| {
+            if i == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            x + 1
+        });
+        assert_eq!(out, (1..=256).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn scheduler_counters_accumulate() {
+        // Sibling tests run concurrently and also bump the global
+        // counters, so every assertion here is a monotone lower bound.
+        let _g = GRAIN_LOCK.lock().unwrap();
+        reset_scheduler_stats();
+        set_default_grain(8);
+        let items: Vec<usize> = (0..512).collect();
+        let _ = par_map(4, &items, |_, &x| x);
+        set_default_grain(0);
+        let stats = scheduler_stats();
+        // 512 items at grain 8 make at least 64 leaves.
+        assert!(stats.tasks >= 64, "tasks={}", stats.tasks);
+        assert!(stats.splits > 0, "splits={}", stats.splits);
+        assert!(!stats.per_worker.is_empty());
+        let per_total: u64 = stats.per_worker.iter().map(|&(t, _)| t).sum();
+        assert!(per_total >= 64, "per-worker tasks={per_total}");
+
+        let before = stats.joins;
+        let _ = join(true, || 1, || 2);
+        assert!(scheduler_stats().joins > before);
+    }
+
+    #[test]
     fn par_chunks_concat_matches_sequential() {
         let items: Vec<u32> = (0..1000).collect();
         for threads in [1, 2, 5] {
@@ -300,12 +631,53 @@ mod tests {
         assert!(par_chunks(4, 4, &empty, |c| c.len()).is_empty());
     }
 
+    /// Satellite audit (ISSUE 7): pin the chunk-boundary arithmetic for
+    /// the off-by-one shapes — `oversubscribe = 0`, `len < threads`, and
+    /// the undershoot case where `ceil(len / chunk_len)` yields fewer
+    /// chunks than requested.
+    #[test]
+    fn par_chunks_boundary_arithmetic() {
+        // oversubscribe = 0 behaves as 1: `threads` chunks.
+        let items: Vec<u32> = (0..8).collect();
+        let sizes = par_chunks(2, 0, &items, |c| c.len());
+        assert_eq!(sizes, vec![4, 4]);
+
+        // len = 6, threads = 2, oversubscribe = 2 → n_chunks = 4,
+        // chunk_len = 2 → only 3 actual chunks, none empty.
+        let items: Vec<u32> = (0..6).collect();
+        let chunks = par_chunks(2, 2, &items, |c| c.to_vec());
+        assert_eq!(chunks, vec![vec![0, 1], vec![2, 3], vec![4, 5]]);
+
+        // len = 5 < threads * oversubscribe: n_chunks clamps to len=5?
+        // threads clamps to len first (5), then n_chunks = min(5*1, 5).
+        let items: Vec<u32> = (0..5).collect();
+        let sizes = par_chunks(8, 1, &items, |c| c.len());
+        assert_eq!(sizes.iter().sum::<usize>(), 5);
+        assert!(sizes.iter().all(|&s| s >= 1));
+
+        // len = 7, threads = 3, oversubscribe = 1 → chunk_len = 3 →
+        // chunks of 3, 3, 1 at offsets 0, 3, 6.
+        let items: Vec<u32> = (0..7).collect();
+        let offsets_seen = Mutex::new(Vec::new());
+        let mut outs = vec![0u8; items.len()];
+        par_chunks_zip_mut(3, 1, &items, &mut outs, |offset, chunk, out| {
+            offsets_seen.lock().unwrap().push((offset, chunk.len()));
+            for (k, o) in out.iter_mut().enumerate() {
+                *o = (offset + k) as u8;
+            }
+        });
+        let mut seen = offsets_seen.into_inner().unwrap();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![(0, 3), (3, 3), (6, 1)]);
+        assert_eq!(outs, (0..7).map(|i| i as u8).collect::<Vec<_>>());
+    }
+
     #[test]
     fn par_chunks_zip_mut_matches_sequential() {
         let items: Vec<u32> = (0..997).collect();
         let expected: Vec<u64> = items.iter().map(|&x| x as u64 * 3 + 1).collect();
         for threads in [1, 2, 3, 8] {
-            for oversubscribe in [1, 4] {
+            for oversubscribe in [0, 1, 4] {
                 let mut outs = vec![0u64; items.len()];
                 par_chunks_zip_mut(
                     threads,

@@ -14,11 +14,14 @@
 //!
 //! * `CRITERION_JSON=<path>` appends one JSON object per benchmark
 //!   (`{"group","bench","median_ns","mean_ns","min_ns","samples","iters",
-//!   "threads","cpus","alloc_bytes","peak_rss_kb"}`) to `<path>` — how
-//!   `BENCH_baseline.json` snapshots are produced. `alloc_bytes` is the
-//!   per-iteration heap traffic measured by [`alloc_track`] (0 unless the
-//!   bench binary installs the [`alloc_track::TrackingAllocator`]);
-//!   `peak_rss_kb` is the process peak RSS (`VmHWM`) at summary time.
+//!   "threads","cpus","alloc_bytes","steals","peak_rss_kb"}`) to `<path>`
+//!   — how `BENCH_baseline.json` snapshots are produced. `alloc_bytes` is
+//!   the per-iteration heap traffic measured by [`alloc_track`] (0 unless
+//!   the bench binary installs the [`alloc_track::TrackingAllocator`]);
+//!   `steals` is the work-steal count over the timed samples reported by
+//!   a [`steal_track`]-registered counter (0 unless the bench binary
+//!   calls [`steal_track::set_steal_counter`]); `peak_rss_kb` is the
+//!   process peak RSS (`VmHWM`) at summary time.
 //! * positional CLI arguments act as substring filters on
 //!   `group/bench` ids (same convention as upstream); `--flag` style
 //!   arguments that cargo-bench forwards are ignored.
@@ -48,6 +51,34 @@ struct SampleResult {
     /// Heap bytes allocated per iteration during the timed samples
     /// (0 when the bench binary does not install the tracking allocator).
     alloc_bytes: u64,
+    /// Work-steal events observed across all timed samples (0 when the
+    /// bench binary does not register a [`steal_track`] counter).
+    steals: u64,
+}
+
+/// Registerable work-steal counter for scheduler-instrumented benchmarks.
+///
+/// A bench binary that exercises a work-stealing scheduler opts in with
+/// `criterion::steal_track::set_steal_counter(|| my_sched::stats().steals)`
+/// — the harness then samples the counter around each benchmark's timed
+/// phase and stamps the delta into the JSON line's `steals` field. Without
+/// the opt-in the field stays 0 and timing is unaffected.
+pub mod steal_track {
+    use std::sync::OnceLock;
+
+    static COUNTER: OnceLock<fn() -> u64> = OnceLock::new();
+
+    /// Registers the monotone steal counter read around each bench. The
+    /// first registration wins; repeats are ignored (benches in one binary
+    /// may each call this defensively).
+    pub fn set_steal_counter(f: fn() -> u64) {
+        let _ = COUNTER.set(f);
+    }
+
+    /// Current steal count, 0 when no counter is registered.
+    pub fn steals() -> u64 {
+        COUNTER.get().map_or(0, |f| f())
+    }
 }
 
 /// Byte-counting global allocator for memory-profiled benchmarks.
@@ -193,8 +224,8 @@ impl Criterion {
                 .unwrap_or(1);
             let _ = writeln!(
                 out,
-                "{{\"group\":\"{}\",\"bench\":\"{}\",\"median_ns\":{:.1},\"mean_ns\":{:.1},\"min_ns\":{:.1},\"samples\":{},\"iters\":{},\"threads\":{},\"cpus\":{},\"alloc_bytes\":{},\"peak_rss_kb\":{}}}",
-                r.group, r.bench, r.median_ns, r.mean_ns, r.min_ns, r.samples, r.iters, threads, cpus, r.alloc_bytes, peak_rss,
+                "{{\"group\":\"{}\",\"bench\":\"{}\",\"median_ns\":{:.1},\"mean_ns\":{:.1},\"min_ns\":{:.1},\"samples\":{},\"iters\":{},\"threads\":{},\"cpus\":{},\"alloc_bytes\":{},\"steals\":{},\"peak_rss_kb\":{}}}",
+                r.group, r.bench, r.median_ns, r.mean_ns, r.min_ns, r.samples, r.iters, threads, cpus, r.alloc_bytes, r.steals, peak_rss,
             );
         }
         let written = std::fs::OpenOptions::new()
@@ -265,6 +296,7 @@ impl BenchmarkGroup<'_> {
             samples: self.sample_size,
             iters: r.3,
             alloc_bytes: r.4,
+            steals: r.5,
         });
     }
 
@@ -282,13 +314,14 @@ impl BenchmarkGroup<'_> {
     pub fn finish(self) {}
 }
 
-/// `(min_ns, median_ns, mean_ns, iters_per_sample, alloc_bytes_per_iter)`.
+/// `(min_ns, median_ns, mean_ns, iters_per_sample, alloc_bytes_per_iter,
+/// steals_over_samples)`.
 fn run_bench(
     warm_up: Duration,
     measurement: Duration,
     sample_size: usize,
     mut f: impl FnMut(&mut Bencher),
-) -> (f64, f64, f64, u64, u64) {
+) -> (f64, f64, f64, u64, u64, u64) {
     // Calibrate: run with growing iteration counts until one invocation
     // costs ≥ ~warm_up/5, then derive iters for the per-sample budget.
     let mut iters = 1u64;
@@ -307,16 +340,25 @@ fn run_bench(
     let iters_per_sample = ((per_sample_budget / per_iter.max(1e-12)) as u64).clamp(1, 1 << 40);
 
     let alloc_before = alloc_track::allocated_bytes();
+    let steals_before = steal_track::steals();
     let mut samples_ns: Vec<f64> = (0..sample_size)
         .map(|_| measure(&mut f, iters_per_sample).as_secs_f64() * 1e9 / iters_per_sample as f64)
         .collect();
     let alloc_delta = alloc_track::allocated_bytes().saturating_sub(alloc_before);
+    let steals_delta = steal_track::steals().saturating_sub(steals_before);
     let alloc_per_iter = alloc_delta / (sample_size as u64 * iters_per_sample).max(1);
     samples_ns.sort_by(f64::total_cmp);
     let min = samples_ns[0];
     let median = samples_ns[samples_ns.len() / 2];
     let mean = samples_ns.iter().sum::<f64>() / samples_ns.len() as f64;
-    (min, median, mean, iters_per_sample, alloc_per_iter)
+    (
+        min,
+        median,
+        mean,
+        iters_per_sample,
+        alloc_per_iter,
+        steals_delta,
+    )
 }
 
 fn measure(f: &mut impl FnMut(&mut Bencher), iters: u64) -> Duration {
@@ -421,7 +463,7 @@ mod tests {
 
     #[test]
     fn bencher_measures_something() {
-        let (min, median, mean, iters, _alloc) = run_bench(
+        let (min, median, mean, iters, _alloc, _steals) = run_bench(
             Duration::from_millis(10),
             Duration::from_millis(50),
             5,
@@ -473,6 +515,7 @@ mod tests {
                     samples: 1,
                     iters: 1,
                     alloc_bytes: 4096,
+                    steals: 17,
                 },
                 SampleResult {
                     group: "seq".into(),
@@ -483,6 +526,7 @@ mod tests {
                     samples: 1,
                     iters: 1,
                     alloc_bytes: 0,
+                    steals: 0,
                 },
             ],
         };
@@ -502,6 +546,25 @@ mod tests {
         }
         assert!(lines[0].contains("\"alloc_bytes\":4096"), "{}", lines[0]);
         assert!(lines[1].contains("\"alloc_bytes\":0"), "{}", lines[1]);
+        assert!(lines[0].contains("\"steals\":17"), "{}", lines[0]);
+        assert!(lines[1].contains("\"steals\":0"), "{}", lines[1]);
+    }
+
+    #[test]
+    fn steal_counter_defaults_to_zero_then_tracks_registered_fn() {
+        // Unregistered: reads are 0 and run_bench stamps a 0 delta.
+        assert_eq!(steal_track::steals(), 0);
+        fn fake_counter() -> u64 {
+            42
+        }
+        steal_track::set_steal_counter(fake_counter);
+        assert_eq!(steal_track::steals(), 42);
+        // Second registration is ignored — first one wins.
+        fn other_counter() -> u64 {
+            7
+        }
+        steal_track::set_steal_counter(other_counter);
+        assert_eq!(steal_track::steals(), 42);
     }
 
     #[test]
