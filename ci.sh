@@ -17,6 +17,7 @@ cargo bench -q -p dualminer-bench --no-run
 cargo bench -q -p dualminer-bench --bench bitset_kernels -- "is_disjoint/100" >/dev/null
 cargo bench -q -p dualminer-bench --bench settrie -- "minimize_family/trie/250" >/dev/null
 cargo bench -q -p dualminer-bench --bench vstore -- "support_sparse" >/dev/null
+cargo bench -q -p dualminer-bench --bench dualize_matrix -- "cosparse40/mmcs" >/dev/null
 
 # Fault-tolerance smoke (DESIGN.md §11): a seeded transient schedule
 # absorbed by retries must not change the mined output, and a run killed

@@ -12,8 +12,10 @@ USAGE:
     dualminer mine <baskets.txt> --min-support <N|0.x> [--rules <conf>] [--maximal]
                    [--threads <T>] [--segment-rows <N>] [RUN OPTIONS]
     dualminer keys <relation.csv> [--fds] [RUN OPTIONS]
-    dualminer transversals <hypergraph.txt> [--algo berge|fk|levelwise|mmcs]
+    dualminer transversals <hypergraph.txt>
+                   [--algo auto|berge|fk|levelwise|mmcs|mu-mmcs|egm]
                    [--threads <T>] [RUN OPTIONS]
+    dualminer verify-dual <f.txt> <g.txt>
     dualminer episodes <events.txt> --window <W> --min-freq <0.x> [--serial|--parallel]
                    [RUN OPTIONS]
     dualminer --help
@@ -25,9 +27,17 @@ SUBCOMMANDS:
                   transversal computation; --fds adds minimal functional
                   dependencies for every right-hand side
     transversals  the minimal-transversal hypergraph Tr(H)
+    verify-dual   decide whether g = Tr(f) without enumerating: prints
+                  \"dual\" (exit 0) or \"not dual\" (exit 1)
     episodes      frequent serial/parallel episodes over sliding windows
 
 OPTIONS:
+    --algo <A>     (transversals) engine selection; default auto, which
+                   inspects the instance shape (edge count, rank, degrees)
+                   and picks the expected winner: berge (few edges /
+                   matchings), levelwise (co-sparse, Corollary 15),
+                   mu-mmcs (dense default), egm (massive skewed families).
+                   Every engine prints the identical canonical output.
     --threads <T>  worker threads for the parallel hot paths (support
                    counting / transversal search); 0 = all available cores;
                    default 1 (sequential). Output is identical for every T.
@@ -76,8 +86,9 @@ through the fallible engines — `episodes` warns and ignores them):
                             permanent=42,latency=1ms
 
 EXIT CODES:
-    0 success   2 usage   3 input parse   4 I/O or bad checkpoint
-    5 oracle fault survived the retry budget   6 budget exceeded
+    0 success   1 verify-dual: not dual   2 usage   3 input parse
+    4 I/O or bad checkpoint   5 oracle fault survived the retry budget
+    6 budget exceeded
 
 FILE FORMATS:
     baskets.txt     one transaction per line, whitespace-separated items
@@ -184,6 +195,13 @@ pub enum Command {
         /// Budget / observability options.
         run: RunOpts,
     },
+    /// `verify-dual` subcommand.
+    VerifyDual {
+        /// First hypergraph file.
+        f_path: String,
+        /// Second hypergraph file (checked to be `Tr` of the first).
+        g_path: String,
+    },
     /// `episodes` subcommand.
     Episodes {
         /// Input events file.
@@ -209,7 +227,7 @@ impl Command {
             | Command::Keys { run, .. }
             | Command::Transversals { run, .. }
             | Command::Episodes { run, .. } => Some(run),
-            Command::Help => None,
+            Command::VerifyDual { .. } | Command::Help => None,
         }
     }
 }
@@ -230,6 +248,24 @@ impl Support {
             Support::Absolute(n) => n,
             Support::Relative(f) => ((f * rows as f64).ceil() as usize).max(1),
         }
+    }
+}
+
+/// Parses a `--algo` value. Unknown names get a usage error listing every
+/// accepted spelling, so the CLI dies with exit 2 and the full usage text
+/// instead of a bare "unknown algorithm".
+fn parse_algo(s: &str) -> Result<TrAlgorithm, String> {
+    match s {
+        "auto" => Ok(TrAlgorithm::Auto),
+        "berge" => Ok(TrAlgorithm::Berge),
+        "fk" => Ok(TrAlgorithm::FkJointGeneration),
+        "levelwise" => Ok(TrAlgorithm::LevelwiseLargeEdges),
+        "mmcs" => Ok(TrAlgorithm::Mmcs),
+        "mu-mmcs" => Ok(TrAlgorithm::MuMmcs),
+        "egm" => Ok(TrAlgorithm::Egm),
+        other => Err(format!(
+            "unknown --algo value {other:?} (want auto, berge, fk, levelwise, mmcs, mu-mmcs, or egm)"
+        )),
     }
 }
 
@@ -449,7 +485,7 @@ fn parse_inner(argv: &[String]) -> Result<Command, String> {
         }
         "transversals" => {
             let path = it.next().ok_or("transversals: missing input file")?.clone();
-            let mut algo = TrAlgorithm::Berge;
+            let mut algo = TrAlgorithm::Auto;
             let mut threads = 1;
             let mut run = RunOpts::default();
             while let Some(flag) = it.next() {
@@ -463,13 +499,7 @@ fn parse_inner(argv: &[String]) -> Result<Command, String> {
                     }
                     "--algo" => {
                         let v = it.next().ok_or("--algo needs a value")?;
-                        algo = match v.as_str() {
-                            "berge" => TrAlgorithm::Berge,
-                            "fk" => TrAlgorithm::FkJointGeneration,
-                            "levelwise" => TrAlgorithm::LevelwiseLargeEdges,
-                            "mmcs" => TrAlgorithm::Mmcs,
-                            other => return Err(format!("unknown algorithm {other:?}")),
-                        };
+                        algo = parse_algo(v)?;
                     }
                     other => return Err(format!("transversals: unknown flag {other:?}")),
                 }
@@ -480,6 +510,14 @@ fn parse_inner(argv: &[String]) -> Result<Command, String> {
                 threads,
                 run,
             })
+        }
+        "verify-dual" => {
+            let f_path = it.next().ok_or("verify-dual: missing first file")?.clone();
+            let g_path = it.next().ok_or("verify-dual: missing second file")?.clone();
+            if let Some(extra) = it.next() {
+                return Err(format!("verify-dual: unexpected argument {extra:?}"));
+            }
+            Ok(Command::VerifyDual { f_path, g_path })
         }
         "episodes" => {
             let path = it.next().ok_or("episodes: missing input file")?.clone();
@@ -768,6 +806,50 @@ mod tests {
             }
         );
         assert!(parse(&v(&["transversals", "h.txt", "--algo", "zzz"])).is_err());
+    }
+
+    #[test]
+    fn transversals_algo_spellings() {
+        // The default is the planner.
+        let cmd = parse(&v(&["transversals", "h.txt"])).unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Transversals {
+                algo: TrAlgorithm::Auto,
+                ..
+            }
+        ));
+        for (name, algo) in [
+            ("auto", TrAlgorithm::Auto),
+            ("berge", TrAlgorithm::Berge),
+            ("fk", TrAlgorithm::FkJointGeneration),
+            ("levelwise", TrAlgorithm::LevelwiseLargeEdges),
+            ("mmcs", TrAlgorithm::Mmcs),
+            ("mu-mmcs", TrAlgorithm::MuMmcs),
+            ("egm", TrAlgorithm::Egm),
+        ] {
+            let cmd = parse(&v(&["transversals", "h.txt", "--algo", name])).unwrap();
+            assert!(
+                matches!(cmd, Command::Transversals { algo: a, .. } if a == algo),
+                "{name}"
+            );
+        }
+        let err = parse(&v(&["transversals", "h.txt", "--algo", "bogus"])).unwrap_err();
+        assert!(err.contains("unknown --algo"), "unhelpful: {err}");
+        assert!(err.contains("mu-mmcs"), "should list spellings: {err}");
+    }
+
+    #[test]
+    fn parse_verify_dual() {
+        assert_eq!(
+            parse(&v(&["verify-dual", "f.txt", "g.txt"])).unwrap(),
+            Command::VerifyDual {
+                f_path: "f.txt".into(),
+                g_path: "g.txt".into(),
+            }
+        );
+        assert!(parse(&v(&["verify-dual", "f.txt"])).is_err());
+        assert!(parse(&v(&["verify-dual", "f.txt", "g.txt", "h.txt"])).is_err());
     }
 
     #[test]

@@ -12,13 +12,14 @@ use dualminer_core::levelwise::levelwise_par_try_ctl;
 use dualminer_core::oracle::{CountingOracle, FamilyOracle};
 use dualminer_fdep::fd::minimal_fd_lhs_via_agree_sets;
 use dualminer_fdep::keys::{minimal_keys_via_agree_sets, KeyDiscovery, NonSuperkeyOracle};
+use dualminer_hypergraph::plan;
 use dualminer_mining::apriori::{apriori_par_ctl, FrequentSets};
 use dualminer_mining::rules::association_rules;
 use dualminer_mining::seg::{apriori_par_seg_ctl, AprioriSegState, APRIORI_SEG_KIND};
 use dualminer_mining::{EclatCfg, FrequencyOracle, DEFAULT_SEGMENT_ROWS};
 use dualminer_obs::{
-    available_cpus, BudgetReason, FileCheckpoint, Meter, MiningObserver, RunCtl, RunError,
-    StatsCollector,
+    available_cpus, BudgetReason, DualizeStats, FileCheckpoint, Meter, MiningObserver, RunCtl,
+    RunError, StatsCollector,
 };
 
 use crate::args::{Command, RunOpts, USAGE};
@@ -29,6 +30,9 @@ use crate::formats::{self, FormatError};
 /// at 3).
 #[derive(Clone, Debug, PartialEq)]
 pub enum CliError {
+    /// `verify-dual` decided the pair is not dual (exit 1). Not a failure
+    /// of the tool — the verdict itself, in grep-able exit-code form.
+    NotDual,
     /// An input file could not be parsed (exit 3).
     Format(FormatError),
     /// File or checkpoint I/O failure, including corrupt or mismatched
@@ -45,17 +49,26 @@ impl CliError {
     /// The process exit code for this failure class.
     pub fn exit_code(&self) -> u8 {
         match self {
+            CliError::NotDual => 1,
             CliError::Format(_) => 3,
             CliError::Io(_) => 4,
             CliError::Fault(_) => 5,
             CliError::Budget(_) => 6,
         }
     }
+
+    /// Whether `main` should print this as an `error:` line on stderr.
+    /// The `NotDual` verdict is already on stdout; repeating it as an
+    /// error would misread a negative answer as a malfunction.
+    pub fn is_silent(&self) -> bool {
+        matches!(self, CliError::NotDual)
+    }
 }
 
 impl fmt::Display for CliError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            CliError::NotDual => write!(f, "not dual"),
             CliError::Format(e) => write!(f, "{e}"),
             CliError::Io(msg) | CliError::Fault(msg) => write!(f, "{msg}"),
             CliError::Budget(reason) => {
@@ -658,7 +671,7 @@ pub fn run(cmd: Command) -> Result<(), CliError> {
             );
             let started = std::time::Instant::now();
             session.observer.on_phase_start("transversals");
-            let (edges, reason) = if run.fault_tolerant() {
+            let (edges, reason, engine) = if run.fault_tolerant() {
                 // Fault-tolerant route via Theorem 7: against the family
                 // oracle of edge complements, "uninteresting" = transversal,
                 // so a Dualize & Advance run delivers Bd⁻ = Tr(H).
@@ -692,7 +705,11 @@ pub fn run(cmd: Command) -> Result<(), CliError> {
                 ) {
                     Ok(outcome) => {
                         let (da, reason) = outcome.into_parts();
-                        (da.negative_border, reason)
+                        (
+                            da.negative_border,
+                            reason,
+                            format!("dualize-advance/{}", plan::algo_name(algo)),
+                        )
                     }
                     Err(aborted) => {
                         session.observer.on_phase_end("transversals");
@@ -701,17 +718,36 @@ pub fn run(cmd: Command) -> Result<(), CliError> {
                     }
                 }
             } else {
-                let (tr, reason) =
-                    dualminer_hypergraph::transversals_with_ctl(&h, algo, threads, &session.ctl())
-                        .into_parts();
-                (tr.edges().to_vec(), reason)
+                // Planner path: `--algo auto` resolves through the
+                // instance-shape planner; the report carries what actually
+                // ran plus the engine's search counters, injected into the
+                // stats artifact from up here (obs sits below hypergraph,
+                // same pattern as the PR 7 scheduler counters).
+                let (outcome, report) = plan::dualize_ctl_report(&h, algo, threads, &session.ctl());
+                session.observer.stats.set_dualize(dualize_stats(&report));
+                let (tr, reason) = outcome.into_parts();
+                let engine = if algo == dualminer_hypergraph::TrAlgorithm::Auto {
+                    format!(
+                        "{} (planner: {})",
+                        report.decision.backend_name(),
+                        report.decision.rule
+                    )
+                } else {
+                    report.decision.backend_name().to_string()
+                };
+                (tr.edges().to_vec(), reason, engine)
             };
             session.observer.on_phase_end("transversals");
             if let Some(r) = reason {
                 note_partial(r);
             }
+            // Engine choice is narration, not results: stderr keeps stdout
+            // bit-identical across engines computing the same Tr(H)
+            // (notably the undisturbed vs. kill-and-resume pair); the
+            // machine-readable copy is the stats JSON `planner_choice`.
+            eprintln!("note: engine {engine}");
             println!(
-                "\nTr(H) with {algo:?}: {} minimal transversals in {:.2?}:",
+                "\nTr(H): {} minimal transversals in {:.2?}:",
                 edges.len(),
                 started.elapsed()
             );
@@ -720,6 +756,50 @@ pub fn run(cmd: Command) -> Result<(), CliError> {
             }
             session.close(reason)
         }
+        Command::VerifyDual { f_path, g_path } => {
+            // Both files parse over one merged vertex dictionary, so the
+            // two families land in the same universe even when each file
+            // mentions only its own vertex names.
+            let f_text = read(&f_path)?;
+            let g_text = read(&g_path)?;
+            let mut vocab: Vec<String> = Vec::new();
+            let mut index = std::collections::HashMap::new();
+            let f_raw = formats::parse_hypergraph_raw(&f_text, &mut vocab, &mut index)
+                .map_err(|e| CliError::Format(e.in_file(&f_path)))?;
+            let g_raw = formats::parse_hypergraph_raw(&g_text, &mut vocab, &mut index)
+                .map_err(|e| CliError::Format(e.in_file(&g_path)))?;
+            let n = vocab.len();
+            let f = formats::hypergraph_from_raw(n, f_raw)
+                .map_err(|e| CliError::Format(e.in_file(&f_path)))?;
+            let g = formats::hypergraph_from_raw(n, g_raw)
+                .map_err(|e| CliError::Format(e.in_file(&g_path)))?;
+            if dualminer_hypergraph::verify_dual(&f, &g) {
+                println!("dual");
+                Ok(())
+            } else {
+                println!("not dual");
+                Err(CliError::NotDual)
+            }
+        }
+    }
+}
+
+/// Flattens a planner report into the stats-artifact record: the executed
+/// backend and rule always, engine counters only where that backend
+/// collects them (so e.g. a Berge run stamps no `tr_nodes`).
+fn dualize_stats(report: &plan::PlanReport) -> DualizeStats {
+    let mu = report.mu.as_ref();
+    DualizeStats {
+        backend: report.decision.backend_name().to_string(),
+        rule: report.decision.rule.to_string(),
+        nodes: mu.map(|m| m.nodes),
+        emitted: mu.map(|m| m.emitted),
+        minimality_prunes: mu.map(|m| m.minimality_prunes),
+        dead_branches: mu.map(|m| m.dead_branches),
+        crit_removals: mu.map(|m| m.crit_removals),
+        crit_restores: mu.map(|m| m.crit_restores),
+        egm_splits: report.egm.as_ref().map(|e| e.splits),
+        egm_leaves: report.egm.as_ref().map(|e| e.leaves),
     }
 }
 

@@ -212,6 +212,25 @@ pub fn parse_relation_reader(reader: impl BufRead) -> Result<(Universe, Relation
 pub fn parse_hypergraph(text: &str) -> Result<(Universe, Hypergraph), FormatError> {
     let mut names: Vec<String> = Vec::new();
     let mut index: HashMap<String, usize> = HashMap::new();
+    let raw_edges = parse_hypergraph_raw(text, &mut names, &mut index)?;
+    let n = names.len();
+    let universe = Universe::new(names);
+    let h = hypergraph_from_raw(n, raw_edges)?;
+    Ok((universe, h))
+}
+
+/// Streams one hypergraph file's edges into a *shared* vertex dictionary.
+///
+/// Building block for `verify-dual`, which must compare two files over one
+/// merged universe: call this once per file with the same `names`/`index`
+/// pair, then materialize each edge list with [`hypergraph_from_raw`] at
+/// the final dictionary size. Indices are assigned in order of first
+/// appearance across all calls.
+pub fn parse_hypergraph_raw(
+    text: &str,
+    names: &mut Vec<String>,
+    index: &mut HashMap<String, usize>,
+) -> Result<Vec<Vec<usize>>, FormatError> {
     let mut raw_edges: Vec<Vec<usize>> = Vec::new();
     for line in text.lines() {
         let line = strip_comment(line);
@@ -232,14 +251,20 @@ pub fn parse_hypergraph(text: &str) -> Result<(Universe, Hypergraph), FormatErro
     if raw_edges.is_empty() {
         return Err(FormatError::new("no edges found"));
     }
-    let n = names.len();
-    let universe = Universe::new(names);
+    Ok(raw_edges)
+}
+
+/// Materializes raw index edges (from [`parse_hypergraph_raw`]) as a
+/// [`Hypergraph`] over a universe of `n` vertices.
+pub fn hypergraph_from_raw(
+    n: usize,
+    raw_edges: Vec<Vec<usize>>,
+) -> Result<Hypergraph, FormatError> {
     let edges = raw_edges
         .into_iter()
         .map(|e| AttrSet::from_indices(n, e))
         .collect();
-    let h = Hypergraph::from_edges(n, edges).map_err(|e| FormatError::new(e.to_string()))?;
-    Ok((universe, h))
+    Hypergraph::from_edges(n, edges).map_err(|e| FormatError::new(e.to_string()))
 }
 
 /// Parses an event file: one event per line as `<time> <type-name>`;

@@ -3,7 +3,8 @@
 //! ```text
 //! dualminer mine <baskets.txt> --min-support <N|0.x> [--rules <conf>] [--maximal]
 //! dualminer keys <relation.csv> [--fds]
-//! dualminer transversals <hypergraph.txt> [--algo berge|fk|levelwise|mmcs]
+//! dualminer transversals <hypergraph.txt> [--algo auto|berge|fk|levelwise|mmcs|mu-mmcs|egm]
+//! dualminer verify-dual <f.txt> <g.txt>
 //! ```
 //!
 //! File formats (see `formats` module): baskets are one transaction per
@@ -36,9 +37,10 @@ fn restore_sigpipe() {
 #[cfg(not(unix))]
 fn restore_sigpipe() {}
 
-/// Exit codes: 0 success, 2 usage, 3 input parse, 4 I/O (including bad
-/// checkpoints), 5 oracle fault survived the retry budget, 6 budget
-/// exceeded (partial output was printed). See `CliError::exit_code`.
+/// Exit codes: 0 success, 1 `verify-dual` answered "not dual", 2 usage,
+/// 3 input parse, 4 I/O (including bad checkpoints), 5 oracle fault
+/// survived the retry budget, 6 budget exceeded (partial output was
+/// printed). See `CliError::exit_code`.
 fn main() -> ExitCode {
     restore_sigpipe();
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -46,7 +48,9 @@ fn main() -> ExitCode {
         Ok(cmd) => match commands::run(cmd) {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => {
-                eprintln!("error: {e}");
+                if !e.is_silent() {
+                    eprintln!("error: {e}");
+                }
                 ExitCode::from(e.exit_code())
             }
         },

@@ -491,7 +491,12 @@ pub fn dualize_advance_try_ctl<O: TryInterestOracle>(
                     }
                 }
             }
-            TrAlgorithm::Berge | TrAlgorithm::LevelwiseLargeEdges | TrAlgorithm::Mmcs => {
+            TrAlgorithm::Auto
+            | TrAlgorithm::Berge
+            | TrAlgorithm::LevelwiseLargeEdges
+            | TrAlgorithm::Mmcs
+            | TrAlgorithm::MuMmcs
+            | TrAlgorithm::Egm => {
                 let tr = match transversals_with_ctl(&complements, algo, threads, ctl) {
                     Outcome::Complete(tr) => tr,
                     Outcome::BudgetExceeded { reason, .. } => {
@@ -735,9 +740,13 @@ mod tests {
     #[test]
     fn all_strategies_agree() {
         for algo in [
+            TrAlgorithm::Auto,
             TrAlgorithm::Berge,
             TrAlgorithm::FkJointGeneration,
             TrAlgorithm::LevelwiseLargeEdges,
+            TrAlgorithm::Mmcs,
+            TrAlgorithm::MuMmcs,
+            TrAlgorithm::Egm,
         ] {
             let mut oracle = fig1_oracle();
             let run = dualize_advance(&mut oracle, algo);

@@ -30,6 +30,16 @@
 //! * [`mmcs::transversals`] — MMCS depth-first enumeration (Murakami–Uno
 //!   2014), the modern baseline the benches compare the 1997-era
 //!   machinery against.
+//! * [`mu_mmcs::transversals`] — MMCS with the full Murakami–Uno
+//!   refinements: incremental critical-vertex bitsets, degree ordering,
+//!   and edge pruning (the dense-instance workhorse).
+//! * [`egm::transversals`] — Eiter–Gottlob–Makino-style decomposition:
+//!   split on a high-degree vertex, recombine via [`minimize_family`].
+//! * [`dualize`] — the planner entry point ([`plan`]): picks a backend
+//!   from the instance's shape; `--algo auto` on the CLI.
+//! * [`verify_dual`] — independent duality verification (Gottlob's
+//!   quadratic-logspace self-reduction), the cross-check oracle for all
+//!   of the above.
 //! * [`naive::transversals`] — exponential brute force, used as the test
 //!   referee.
 //! * [`generators`] — random and adversarial instances, including the
@@ -55,16 +65,22 @@
 #![warn(missing_docs)]
 
 pub mod berge;
+pub mod egm;
 pub mod fk;
 pub mod generators;
 mod graph;
 pub mod joint_gen;
 pub mod levelwise_tr;
 pub mod mmcs;
+pub mod mu_mmcs;
 pub mod naive;
 pub mod oracle;
+pub mod plan;
+pub mod verify;
 
 pub use graph::{EdgeError, Hypergraph};
+pub use plan::{dualize, dualize_ctl, dualize_threads};
+pub use verify::verify_dual;
 
 use dualminer_bitset::{AttrSet, SetTrie};
 
@@ -73,20 +89,30 @@ use dualminer_bitset::{AttrSet, SetTrie};
 /// at run time.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
 pub enum TrAlgorithm {
+    /// Planner-selected backend ([`plan::plan`]): inspects the instance's
+    /// shape and picks whichever concrete strategy below is expected to
+    /// win. The CLI default.
+    #[default]
+    Auto,
     /// Berge sequential multiplication — simple, exact, exponential in the
     /// worst case but very fast on small borders.
-    #[default]
     Berge,
     /// Fredman–Khachiyan joint generation — quasi-polynomial incremental
     /// enumeration (the subroutine behind the paper's Corollary 22).
     FkJointGeneration,
     /// The paper's Corollary 15 levelwise special case — input-polynomial
-    /// when all edges have size ≥ n − O(log n); falls back to Berge when
-    /// the precondition does not hold.
+    /// when all edges have size ≥ n − O(log n); falls back to the planner
+    /// choice when the precondition does not hold.
     LevelwiseLargeEdges,
-    /// MMCS depth-first branch-and-bound (Murakami–Uno 2014) — the modern
-    /// polynomial-space baseline.
+    /// MMCS depth-first branch-and-bound (Murakami–Uno 2014) — the
+    /// list-based baseline the MU refinements are measured against.
     Mmcs,
+    /// MU-MMCS: MMCS with the Murakami–Uno critical-vertex bookkeeping on
+    /// edge-index bitsets, degree vertex ordering, and edge pruning.
+    MuMmcs,
+    /// EGM-style decomposition: split on a high-degree vertex, solve the
+    /// two sub-instances, recombine via [`minimize_family`].
+    Egm,
 }
 
 /// Computes `Tr(H)` with the chosen strategy.
@@ -129,32 +155,10 @@ pub fn transversals_with_ctl(
     threads: usize,
     ctl: &dualminer_obs::RunCtl<'_>,
 ) -> dualminer_obs::Outcome<Hypergraph> {
-    match algo {
-        TrAlgorithm::Berge => {
-            berge::transversals_with_order_par_ctl(h, berge::EdgeOrder::LargestFirst, threads, ctl)
-        }
-        TrAlgorithm::FkJointGeneration => {
-            joint_gen::transversals_traced_par_ctl(h, threads, ctl).map(|(tr, _)| tr)
-        }
-        TrAlgorithm::Mmcs => mmcs::transversals_par_ctl(h, threads, ctl),
-        TrAlgorithm::LevelwiseLargeEdges => {
-            let n = h.universe_size();
-            let max_complement = h.edges().iter().map(|e| n - e.len()).max().unwrap_or(0);
-            // The special case pays ~n^(k+1); past k ≈ log2(n) + 2 Berge is
-            // the safer general-purpose choice.
-            let log2n = usize::BITS as usize - n.max(1).leading_zeros() as usize;
-            if max_complement <= log2n + 2 {
-                levelwise_tr::transversals_large_edges_traced_ctl(h, ctl).map(|(tr, _)| tr)
-            } else {
-                berge::transversals_with_order_par_ctl(
-                    h,
-                    berge::EdgeOrder::LargestFirst,
-                    threads,
-                    ctl,
-                )
-            }
-        }
-    }
+    // One dispatcher for every strategy, shared with the planner entry
+    // points: `Auto` resolves through the instance-shape planner, and the
+    // levelwise precondition fallback also routes through it (plan.rs).
+    plan::dualize_ctl_report(h, algo, threads, ctl).0
 }
 
 /// Removes non-minimal sets from a family: returns the ⊆-minimal antichain.

@@ -420,6 +420,38 @@ struct StatsInner {
     /// end (this crate sits below the scheduler and cannot read them
     /// itself). `None` until [`StatsCollector::set_scheduler`] is called.
     scheduler: Option<SchedCounters>,
+    /// Dualization-planner decision and engine counters, injected by the
+    /// frontend (this crate sits below the hypergraph engines). `None`
+    /// until [`StatsCollector::set_dualize`] is called.
+    dualize: Option<DualizeStats>,
+}
+
+/// Planner decision and per-backend search counters for one transversal
+/// run, injected via [`StatsCollector::set_dualize`]. The numeric fields
+/// are `None` for backends that do not collect the corresponding counter
+/// (only MU-MMCS and EGM do), and the matching JSON keys are then omitted.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DualizeStats {
+    /// Backend that actually ran (CLI `--algo` spelling, e.g. `"mu-mmcs"`).
+    pub backend: String,
+    /// Planner rule that selected it (`"forced"` for an explicit `--algo`).
+    pub rule: String,
+    /// DFS nodes entered.
+    pub nodes: Option<u64>,
+    /// Minimal transversals emitted by the search.
+    pub emitted: Option<u64>,
+    /// Murakami–Uno minimality prunes (an emptied `crit[w]`).
+    pub minimality_prunes: Option<u64>,
+    /// Branches abandoned because the picked edge had no candidates left.
+    pub dead_branches: Option<u64>,
+    /// Critical-edge bits removed while descending.
+    pub crit_removals: Option<u64>,
+    /// Critical-edge bits restored while unwinding.
+    pub crit_restores: Option<u64>,
+    /// EGM vertex splits performed.
+    pub egm_splits: Option<u64>,
+    /// EGM leaf sub-instances handed to MU-MMCS.
+    pub egm_leaves: Option<u64>,
 }
 
 /// Run-total work-stealing scheduler counters plus the per-worker
@@ -496,6 +528,17 @@ impl StatsCollector {
         });
     }
 
+    /// Records the dualization planner's decision and the executed
+    /// backend's search counters for the JSON artifact. The frontend
+    /// injects these after a transversal run (like the scheduler counters,
+    /// they originate above this crate); until then the artifact omits the
+    /// `planner_*`/`tr_*` keys so other run kinds keep their exact
+    /// historical schema.
+    pub fn set_dualize(&self, stats: DualizeStats) {
+        let mut inner = self.inner.lock().expect("stats mutex poisoned");
+        inner.dualize = Some(stats);
+    }
+
     /// Total transversal events observed.
     pub fn transversals(&self) -> u64 {
         self.transversals.load(Ordering::Relaxed)
@@ -523,7 +566,10 @@ impl StatsCollector {
     /// When [`StatsCollector::set_scheduler`] was called, the object
     /// additionally carries `"ws_tasks"`, `"ws_steals"`, `"ws_splits"`,
     /// `"ws_joins"` and `"ws_workers": [{"worker","tasks","steals"}]`
-    /// between `"phases"` and `"threads"`.
+    /// between `"phases"` and `"threads"`. When
+    /// [`StatsCollector::set_dualize`] was called, `"planner_choice"`,
+    /// `"planner_rule"`, and whichever `"tr_*"` counters the executed
+    /// backend collects follow the `ws_*` block.
     pub fn to_json(&self, meter: &Meter, outcome: Option<BudgetReason>) -> String {
         let inner = self.inner.lock().expect("stats mutex poisoned");
         let mut out = String::with_capacity(512);
@@ -585,6 +631,24 @@ impl StatsCollector {
                 out.push_str(&format!("{{\"worker\":{i},\"tasks\":{t},\"steals\":{s}}}"));
             }
             out.push_str("],");
+        }
+        if let Some(d) = &inner.dualize {
+            push_str_field(&mut out, "planner_choice", &d.backend);
+            push_str_field(&mut out, "planner_rule", &d.rule);
+            for (key, val) in [
+                ("tr_nodes", d.nodes),
+                ("tr_emitted", d.emitted),
+                ("tr_minimality_prunes", d.minimality_prunes),
+                ("tr_dead_branches", d.dead_branches),
+                ("tr_crit_removals", d.crit_removals),
+                ("tr_crit_restores", d.crit_restores),
+                ("tr_egm_splits", d.egm_splits),
+                ("tr_egm_leaves", d.egm_leaves),
+            ] {
+                if let Some(v) = val {
+                    push_u64_field(&mut out, key, v);
+                }
+            }
         }
         push_u64_field(&mut out, "threads", self.threads.load(Ordering::Relaxed));
         push_u64_field(&mut out, "cpus", available_cpus() as u64);
@@ -798,6 +862,36 @@ mod tests {
 
         let truncated = collector.to_json(&meter, Some(BudgetReason::Deadline));
         assert!(truncated.contains("\"outcome\":\"deadline\""));
+    }
+
+    #[test]
+    fn dualize_stats_keys_appear_only_when_set() {
+        let collector = StatsCollector::new();
+        let meter = Meter::unlimited();
+        let without = collector.to_json(&meter, None);
+        assert!(!without.contains("planner_choice"));
+        assert!(!without.contains("tr_nodes"));
+
+        collector.set_dualize(DualizeStats {
+            backend: "mu-mmcs".to_string(),
+            rule: "dense-default".to_string(),
+            nodes: Some(12),
+            emitted: Some(5),
+            minimality_prunes: Some(3),
+            dead_branches: None,
+            crit_removals: Some(7),
+            crit_restores: Some(7),
+            egm_splits: None,
+            egm_leaves: None,
+        });
+        let with = collector.to_json(&meter, None);
+        assert!(with.contains("\"planner_choice\":\"mu-mmcs\""));
+        assert!(with.contains("\"planner_rule\":\"dense-default\""));
+        assert!(with.contains("\"tr_nodes\":12"));
+        assert!(with.contains("\"tr_minimality_prunes\":3"));
+        assert!(with.contains("\"tr_crit_restores\":7"));
+        assert!(!with.contains("tr_dead_branches"));
+        assert!(!with.contains("tr_egm_splits"));
     }
 
     #[test]
