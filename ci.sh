@@ -26,7 +26,8 @@ cargo bench -q -p dualminer-bench --bench dualize_matrix -- "cosparse40/mmcs" >/
 cargo build --release -p dualminer-cli
 DM=target/release/dualminer
 TMP="$(mktemp -d)"
-trap 'rm -rf "$TMP"' EXIT
+SRV=""
+trap '[ -n "$SRV" ] && kill "$SRV" 2>/dev/null; rm -rf "$TMP"' EXIT
 printf 'milk bread\nbread butter\nmilk butter bread\nmilk\nbread eggs\n' > "$TMP/baskets.txt"
 
 "$DM" mine "$TMP/baskets.txt" --min-support 2 > "$TMP/plain.out"
@@ -100,5 +101,85 @@ done
 # Parallel runs surface scheduler counters in the stats artifact.
 "$DM" mine "$TMP/baskets.txt" --min-support 2 --threads 8 --grain 1 \
     --stats json | tail -n 1 | grep -q '"ws_tasks":'
+
+# Daemon smoke (DESIGN.md §15): served bodies must be byte-identical to
+# the one-shot CLI's stdout; identical concurrent jobs compute once; a
+# warm repeat is a cache hit; an appended-rows request re-mines
+# incrementally; a budget-killed checkpointing job resumes over the
+# daemon — across a SIGKILL of the server — to the undisturbed output;
+# connection/protocol failures exit 7.
+printf 'milk eggs\nbread milk\n' | cat "$TMP/baskets.txt" - > "$TMP/appended.txt"
+"$DM" mine "$TMP/appended.txt" --min-support 2 > "$TMP/appended_ref.out"
+
+"$DM" serve --listen 127.0.0.1:0 --unix "$TMP/dm.sock" \
+    > "$TMP/serve.out" 2>/dev/null &
+SRV=$!
+for _ in $(seq 100); do [ -s "$TMP/serve.out" ] && break; sleep 0.1; done
+ADDR="$(grep -oE '127\.0\.0\.1:[0-9]+' "$TMP/serve.out")"
+[ -n "$ADDR" ] || { echo "daemon did not come up"; exit 1; }
+
+MINE_REQ='{"op":"mine","id":1,"input":{"path":"'"$TMP/baskets.txt"'"},"min_support":"2"}'
+TR_REQ='{"op":"transversals","id":2,"input":{"inline":"a b\nc\n"}}'
+
+# Three concurrent clients: two identical mine jobs (deduplicated to a
+# single computation) plus a distinct transversals job over the unix
+# socket.
+"$DM" request "$ADDR" --json "$MINE_REQ" > "$TMP/c1.out" 2> "$TMP/c1.err" &
+C1=$!
+"$DM" request "$ADDR" --json "$MINE_REQ" > "$TMP/c2.out" 2> "$TMP/c2.err" &
+C2=$!
+"$DM" request "unix:$TMP/dm.sock" --json "$TR_REQ" > "$TMP/c3.out" 2> "$TMP/c3.err" &
+C3=$!
+wait "$C1" "$C2" "$C3"
+diff "$TMP/plain.out" "$TMP/c1.out"
+diff "$TMP/plain.out" "$TMP/c2.out"
+grep -q 'Tr(H): 2 minimal transversals' "$TMP/c3.out"
+grep -qE 'note: cache (hit|coalesced)' "$TMP/c1.err" "$TMP/c2.err" \
+    || { echo "identical concurrent jobs were not deduplicated"; exit 1; }
+
+# Warm-cache repeat: byte-identical, stamped as a hit.
+"$DM" request "$ADDR" --json "$MINE_REQ" > "$TMP/warm.out" 2> "$TMP/warm.err"
+diff "$TMP/plain.out" "$TMP/warm.out"
+grep -q 'note: cache hit' "$TMP/warm.err"
+
+# Incremental append: re-mines on top of the cached base, byte-identical
+# to the one-shot run over the full appended file.
+APPEND_REQ='{"op":"mine","id":3,"input":{"path":"'"$TMP/appended.txt"'"},"min_support":"2"}'
+"$DM" request "$ADDR" --json "$APPEND_REQ" > "$TMP/inc.out" 2> "$TMP/inc.err"
+diff "$TMP/appended_ref.out" "$TMP/inc.out"
+grep -q 'note: cache incremental' "$TMP/inc.err"
+
+# Kill-and-resume: budget-kill a checkpointing job (exit 6), SIGKILL the
+# server, restart, resume from the persisted envelope to the undisturbed
+# output.
+CKPT_REQ='{"op":"mine","id":4,"input":{"path":"'"$TMP/baskets.txt"'"},"min_support":"2","run":{"checkpoint":"'"$TMP/daemon.ckpt"'","checkpoint_every":1,"max_queries":3}}'
+set +e
+"$DM" request "$ADDR" --json "$CKPT_REQ" > /dev/null 2> /dev/null
+code=$?
+set -e
+[ "$code" -eq 6 ] || { echo "expected exit 6 from budget-killed daemon job, got $code"; exit 1; }
+[ -s "$TMP/daemon.ckpt" ] || { echo "daemon job left no checkpoint"; exit 1; }
+kill -9 "$SRV"
+wait "$SRV" 2>/dev/null || true
+"$DM" serve --listen 127.0.0.1:0 > "$TMP/serve2.out" 2>/dev/null &
+SRV=$!
+for _ in $(seq 100); do [ -s "$TMP/serve2.out" ] && break; sleep 0.1; done
+ADDR="$(grep -oE '127\.0\.0\.1:[0-9]+' "$TMP/serve2.out")"
+RESUME_REQ='{"op":"mine","id":5,"input":{"path":"'"$TMP/baskets.txt"'"},"min_support":"2","run":{"checkpoint":"'"$TMP/daemon.ckpt"'","resume":true}}'
+"$DM" request "$ADDR" --json "$RESUME_REQ" > "$TMP/daemon_resumed.out" 2>/dev/null
+diff "$TMP/plain.out" "$TMP/daemon_resumed.out"
+
+# Connection/protocol failures are exit 7, distinct from every job error.
+set +e
+"$DM" request "$ADDR" --json 'not json' > /dev/null 2> /dev/null
+[ $? -eq 7 ] || { echo "malformed request should exit 7"; exit 1; }
+"$DM" request 127.0.0.1:1 --json "$MINE_REQ" > /dev/null 2> /dev/null
+[ $? -eq 7 ] || { echo "unreachable server should exit 7"; exit 1; }
+set -e
+
+# Clean shutdown over the protocol; the server process exits by itself.
+"$DM" request "$ADDR" --json '{"op":"shutdown","id":9}' > /dev/null
+wait "$SRV"
+SRV=""
 
 echo "ci.sh: all checks passed"

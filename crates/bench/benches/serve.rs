@@ -1,0 +1,271 @@
+//! Daemon benchmarks (DESIGN.md §15): request round-trip latency against
+//! a live in-process `dualminer serve` — cold compute vs warm cache hit
+//! on a deep-lattice mine, incremental re-mining over appended rows vs
+//! from-scratch, and batch completion time at 1/4/16 concurrent clients.
+//!
+//! Every measurement is a full protocol round trip (request line out,
+//! event stream back to the terminal `result`), so the numbers include
+//! the canonicalize-and-fingerprint pass over the input file and the
+//! localhost TCP transport — exactly what a client observes. On a
+//! single-core box the 4/16-client rows measure dispatch and coalescing
+//! overhead, not parallel speedup; see DESIGN.md §15.
+
+use std::fs;
+use std::path::PathBuf;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dualminer_mining::gen::{quest, QuestParams};
+use dualminer_serve::client::{Conn, Event};
+use dualminer_serve::server::{start, ServeConfig, ServerHandle};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Starts an in-process daemon on an ephemeral localhost port with a
+/// cache deep enough that no benchmark loop triggers eviction.
+fn serve(workers: usize) -> (ServerHandle, String) {
+    let handle = start(&ServeConfig {
+        tcp: Some("127.0.0.1:0".into()),
+        unix: None,
+        workers,
+        cache_entries: 8192,
+    })
+    .expect("bind an ephemeral port");
+    let addr = handle.tcp_addr.expect("tcp listener").to_string();
+    (handle, addr)
+}
+
+/// A scratch directory for the generated basket files.
+fn bench_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dualminer_serve_bench_{}", std::process::id()));
+    fs::create_dir_all(&dir).expect("create bench scratch dir");
+    dir
+}
+
+/// Renders a seeded Quest workload as basket text (`it<N>` item names,
+/// one transaction per line).
+fn quest_text(items: usize, rows: usize, avg_size: usize, seed: u64) -> String {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let db = quest(
+        &QuestParams {
+            n_items: items,
+            n_transactions: rows,
+            avg_transaction_size: avg_size,
+            avg_pattern_size: 4,
+            n_patterns: 12,
+            corruption: 0.3,
+        },
+        &mut rng,
+    );
+    let mut text = String::new();
+    for row in db.rows() {
+        let mut first = true;
+        for i in row.iter() {
+            if !first {
+                text.push(' ');
+            }
+            text.push_str("it");
+            text.push_str(&i.to_string());
+            first = false;
+        }
+        if first {
+            text.push_str("it0");
+        }
+        text.push('\n');
+    }
+    text
+}
+
+/// A mine request line over a basket file path. `maximal` additionally
+/// runs the borders + Corollary 4 verification — real work a warm hit
+/// legitimately skips, but a fixed cost that would mask the incremental
+/// route's advantage in the append arms.
+fn mine_line(id: u64, path: &str, sigma: usize, maximal: bool, cache: &str) -> String {
+    format!(
+        r#"{{"op":"mine","id":{id},"input":{{"path":"{path}"}},"min_support":"{sigma}","maximal":{maximal},"cache":"{cache}"}}"#
+    )
+}
+
+/// Asserts the round trip ended in a successful `result` carrying the
+/// expected cache tag, keeping every timed iteration honest.
+fn expect_result(events: &[Event], tag: &str) {
+    let last = events.last().expect("terminal event");
+    assert_eq!(last.kind, "result", "terminal event kind");
+    assert_eq!(last.int_field("exit"), Some(0), "job exit code");
+    assert_eq!(last.str_field("cache"), Some(tag), "cache tag");
+}
+
+/// One row of basket text whose item subset encodes `n` in binary —
+/// distinct content (hence a distinct fingerprint) for every `n`, using
+/// only items the base database already has.
+fn unique_row(n: u64) -> String {
+    let mut row = String::new();
+    for bit in 0..24 {
+        if (n + 1) & (1 << bit) != 0 {
+            if !row.is_empty() {
+                row.push(' ');
+            }
+            row.push_str("it");
+            row.push_str(&bit.to_string());
+        }
+    }
+    row.push('\n');
+    row
+}
+
+/// Cold compute vs warm cache hit on a deep-lattice mine: the cold arm
+/// bypasses the cache and runs the engine every iteration; the warm arm
+/// repeats a cached request, so each round trip is input fingerprinting
+/// plus an O(1) lookup.
+fn bench_cold_vs_warm(c: &mut Criterion) {
+    let dir = bench_dir();
+    let path_buf = dir.join("deep.txt");
+    fs::write(&path_buf, quest_text(26, 400, 13, 21)).expect("write deep baskets");
+    let path = path_buf.to_str().expect("utf-8 temp path");
+    let sigma = 40;
+
+    let (handle, addr) = serve(1);
+    let mut conn = Conn::connect(&addr).expect("connect");
+    let warmup = conn
+        .roundtrip(&mine_line(1, path, sigma, true, "normal"), 1)
+        .expect("prewarm roundtrip");
+    expect_result(&warmup, "miss");
+
+    let mut group = c.benchmark_group("serve");
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    group.sample_size(10);
+    group.bench_function("mine_cold", |b| {
+        b.iter(|| {
+            let events = conn
+                .roundtrip(&mine_line(2, path, sigma, true, "bypass"), 2)
+                .expect("cold roundtrip");
+            expect_result(&events, "miss");
+        })
+    });
+    group.bench_function("mine_warm_hit", |b| {
+        b.iter(|| {
+            let events = conn
+                .roundtrip(&mine_line(3, path, sigma, true, "normal"), 3)
+                .expect("warm roundtrip");
+            expect_result(&events, "hit");
+        })
+    });
+    group.finish();
+
+    drop(conn);
+    handle.shutdown();
+    handle.join();
+}
+
+/// Appended-rows re-mining: both arms mine `base + one fresh row`, the
+/// from-scratch arm with the cache bypassed, the incremental arm routed
+/// through the cached base via the FUP-style update. Every iteration
+/// appends a row no prior iteration used, so the incremental arm never
+/// degenerates into exact-key hits.
+fn bench_incremental_append(c: &mut Criterion) {
+    let dir = bench_dir();
+    let base_buf = dir.join("base.txt");
+    // One full-vocabulary row at the end: the incremental route requires
+    // the appended rows to introduce no new items, and a seeded Quest
+    // draw is not guaranteed to use every item in `unique_row`'s range.
+    let all_items: Vec<String> = (0..26).map(|i| format!("it{i}")).collect();
+    let base_text = format!("{}{}\n", quest_text(26, 20000, 12, 22), all_items.join(" "));
+    fs::write(&base_buf, &base_text).expect("write base baskets");
+    let base_path = base_buf.to_str().expect("utf-8 temp path");
+    let sigma = 1200;
+
+    let (handle, addr) = serve(1);
+    let mut conn = Conn::connect(&addr).expect("connect");
+    let warmup = conn
+        .roundtrip(&mine_line(10, base_path, sigma, false, "normal"), 10)
+        .expect("cache the base");
+    expect_result(&warmup, "miss");
+
+    let appended_buf = dir.join("appended.txt");
+    let appended_path = appended_buf.to_str().expect("utf-8 temp path");
+
+    let mut group = c.benchmark_group("serve");
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    group.sample_size(10);
+    let mut n = 0u64;
+    group.bench_function("append_from_scratch", |b| {
+        b.iter(|| {
+            fs::write(&appended_buf, format!("{base_text}{}", unique_row(n))).expect("append");
+            n += 1;
+            let events = conn
+                .roundtrip(&mine_line(11, appended_path, sigma, false, "bypass"), 11)
+                .expect("from-scratch roundtrip");
+            expect_result(&events, "miss");
+        })
+    });
+    group.bench_function("append_incremental", |b| {
+        b.iter(|| {
+            fs::write(&appended_buf, format!("{base_text}{}", unique_row(n))).expect("append");
+            n += 1;
+            let events = conn
+                .roundtrip(&mine_line(12, appended_path, sigma, false, "normal"), 12)
+                .expect("incremental roundtrip");
+            expect_result(&events, "incremental");
+        })
+    });
+    group.finish();
+
+    drop(conn);
+    handle.shutdown();
+    handle.join();
+}
+
+/// Batch completion time with 1, 4, and 16 concurrent clients, each
+/// holding its own connection and running a cache-bypassed mine — so
+/// every request in the batch is real engine work and the row measures
+/// how the daemon's accept/dispatch/worker pipeline scales with fan-in.
+fn bench_concurrent_clients(c: &mut Criterion) {
+    let dir = bench_dir();
+    let path_buf = dir.join("small.txt");
+    fs::write(&path_buf, quest_text(20, 500, 6, 23)).expect("write small baskets");
+    let path = path_buf.to_str().expect("utf-8 temp path");
+    let sigma = 50;
+
+    let (handle, addr) = serve(16);
+    let mut group = c.benchmark_group("serve");
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    group.sample_size(10);
+    for clients in [1usize, 4, 16] {
+        let mut conns: Vec<Conn> = (0..clients)
+            .map(|_| Conn::connect(&addr).expect("connect"))
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::new("clients_bypass_mine", clients),
+            &clients,
+            |b, _| {
+                b.iter(|| {
+                    std::thread::scope(|scope| {
+                        for (k, conn) in conns.iter_mut().enumerate() {
+                            let id = 100 + k as u64;
+                            let line = mine_line(id, path, sigma, false, "bypass");
+                            scope.spawn(move || {
+                                let events =
+                                    conn.roundtrip(&line, id).expect("concurrent roundtrip");
+                                expect_result(&events, "miss");
+                            });
+                        }
+                    })
+                })
+            },
+        );
+    }
+    group.finish();
+
+    handle.shutdown();
+    handle.join();
+}
+
+criterion_group!(
+    benches,
+    bench_cold_vs_warm,
+    bench_incremental_append,
+    bench_concurrent_clients
+);
+criterion_main!(benches);

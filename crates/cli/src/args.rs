@@ -1,8 +1,14 @@
 //! Hand-rolled argument parsing (no external dependencies).
-
-use std::time::Duration;
+//!
+//! The option *values* — run options, support thresholds, durations,
+//! algorithm spellings — are shared with the daemon's wire protocol via
+//! [`dualminer_serve::job`], so a flag and the corresponding JSON field
+//! accept exactly the same syntax.
 
 use dualminer_hypergraph::TrAlgorithm;
+use dualminer_serve::job::{parse_algo, parse_duration, parse_support, validate_run};
+
+pub use dualminer_serve::job::{RunOpts, Support};
 
 /// Usage text shown on parse errors and `--help`.
 pub const USAGE: &str = "\
@@ -18,6 +24,9 @@ USAGE:
     dualminer verify-dual <f.txt> <g.txt>
     dualminer episodes <events.txt> --window <W> --min-freq <0.x> [--serial|--parallel]
                    [RUN OPTIONS]
+    dualminer serve [--listen <host:port>] [--unix <path>] [--workers <N>]
+                   [--cache-entries <N>]
+    dualminer request <addr> (--json <line> | --json-file <path>) [--stats] [--quiet]
     dualminer --help
 
 SUBCOMMANDS:
@@ -30,6 +39,13 @@ SUBCOMMANDS:
     verify-dual   decide whether g = Tr(f) without enumerating: prints
                   \"dual\" (exit 0) or \"not dual\" (exit 1)
     episodes      frequent serial/parallel episodes over sliding windows
+    serve         long-running mining daemon: concurrent jobs over a
+                  line-oriented JSON protocol (TCP and/or unix socket),
+                  content-fingerprint result cache, incremental re-mining
+                  of appended rows, in-flight request deduplication
+    request       send one protocol line to a running daemon; prints the
+                  result body to stdout (byte-identical to the one-shot
+                  subcommand) and progress/notes to stderr
 
 OPTIONS:
     --algo <A>     (transversals) engine selection; default auto, which
@@ -51,6 +67,21 @@ OPTIONS:
                    grains improve load balance on skewed workloads at the
                    cost of scheduling overhead; output is identical for
                    every G.
+
+SERVE OPTIONS:
+    --listen <host:port>  TCP listen address (port 0 = ephemeral; the
+                          bound address is printed on startup). Default
+                          127.0.0.1:0 when --unix is absent.
+    --unix <path>         also (or only) listen on a unix socket
+    --workers <N>         job worker pool size (0 = available cores)
+    --cache-entries <N>   result-cache capacity in entries (default 256)
+
+REQUEST OPTIONS:
+    --json <line>         the request: one JSON object (see DESIGN.md §15)
+    --json-file <path>    read the request line from a file instead
+    --stats               print the result's stats JSON as a final stdout
+                          line (like --stats json on the one-shot CLI)
+    --quiet               suppress streamed progress/note lines on stderr
 
 RUN OPTIONS (budget and observability, accepted by every subcommand):
     --timeout <D>           wall-clock budget, e.g. 500ms, 2s, 1m (bare
@@ -88,72 +119,13 @@ through the fallible engines — `episodes` warns and ignores them):
 EXIT CODES:
     0 success   1 verify-dual: not dual   2 usage   3 input parse
     4 I/O or bad checkpoint   5 oracle fault survived the retry budget
-    6 budget exceeded
+    6 budget exceeded   7 connection or protocol failure (serve/request)
 
 FILE FORMATS:
     baskets.txt     one transaction per line, whitespace-separated items
     relation.csv    header row of attribute names, then comma-separated rows
     hypergraph.txt  one edge per line, whitespace-separated vertex names
     events.txt      one event per line: <time> <type-name>";
-
-/// Budget and observability options shared by every subcommand.
-#[derive(Clone, Debug, Default, PartialEq)]
-pub struct RunOpts {
-    /// Wall-clock budget (`None` = unlimited).
-    pub timeout: Option<Duration>,
-    /// Oracle-query / candidate-evaluation budget.
-    pub max_queries: Option<u64>,
-    /// Enumerated-transversal budget.
-    pub max_transversals: Option<u64>,
-    /// Print progress events to stderr.
-    pub progress: bool,
-    /// Print a JSON stats line as the final line of stdout.
-    pub stats_json: bool,
-    /// Deterministic fault-injection schedule (`--fault-inject`).
-    pub fault_inject: Option<dualminer_obs::FaultSpec>,
-    /// Max deterministic retries per transiently failing query (`--retry`).
-    pub retry: u32,
-    /// Checkpoint file for crash-safe snapshots (`--checkpoint`).
-    pub checkpoint: Option<String>,
-    /// Queries between checkpoint saves (`--checkpoint-every`).
-    pub checkpoint_every: Option<u64>,
-    /// Resume from the checkpoint file (`--resume`).
-    pub resume: bool,
-    /// Work-stealing task grain (`--grain`): smallest index range a
-    /// scheduler task is split down to. `None` leaves the process
-    /// default; `Some(0)` selects the adaptive auto grain explicitly.
-    /// Output is identical for every grain.
-    pub grain: Option<usize>,
-}
-
-impl RunOpts {
-    /// The declarative budget these options describe.
-    pub fn budget(&self) -> dualminer_obs::Budget {
-        dualminer_obs::Budget {
-            timeout: self.timeout,
-            max_queries: self.max_queries,
-            max_transversals: self.max_transversals,
-        }
-    }
-
-    /// Whether any fault-tolerance option was given. Subcommands route
-    /// through the fallible engines only then, so plain runs keep their
-    /// specialized fast paths (and their exact output) untouched.
-    pub fn fault_tolerant(&self) -> bool {
-        self.fault_inject.is_some() || self.retry > 0 || self.checkpoint.is_some() || self.resume
-    }
-
-    /// The retry policy these options describe (zero-backoff: the CLI's
-    /// transient faults are injected, not waiting on a real resource).
-    pub fn retry_policy(&self) -> dualminer_obs::RetryPolicy {
-        dualminer_obs::RetryPolicy::retries(self.retry)
-    }
-
-    /// Checkpoint save cadence in queries (`--checkpoint-every`, ≥ 1).
-    pub fn checkpoint_cadence(&self) -> u64 {
-        self.checkpoint_every.unwrap_or(64).max(1)
-    }
-}
 
 /// A parsed command line.
 #[derive(Clone, Debug, PartialEq)]
@@ -215,6 +187,31 @@ pub enum Command {
         /// Budget / observability options.
         run: RunOpts,
     },
+    /// `serve` subcommand: the mining daemon.
+    Serve {
+        /// TCP listen address (`--listen`; default 127.0.0.1:0 when no
+        /// unix socket is given).
+        listen: Option<String>,
+        /// Unix socket path (`--unix`).
+        unix: Option<String>,
+        /// Worker-pool size (`--workers`, 0 = available cores).
+        workers: usize,
+        /// Result-cache capacity (`--cache-entries`, 0 = default 256).
+        cache_entries: usize,
+    },
+    /// `request` subcommand: one protocol round trip against a daemon.
+    Request {
+        /// Server address: `host:port`, a socket path, or `unix:<path>`.
+        addr: String,
+        /// The request line (`--json`).
+        json: Option<String>,
+        /// Read the request line from this file (`--json-file`).
+        json_file: Option<String>,
+        /// Print the result's stats JSON as a final stdout line.
+        stats: bool,
+        /// Suppress streamed progress/note lines on stderr.
+        quiet: bool,
+    },
     /// `--help`.
     Help,
 }
@@ -227,77 +224,17 @@ impl Command {
             | Command::Keys { run, .. }
             | Command::Transversals { run, .. }
             | Command::Episodes { run, .. } => Some(run),
-            Command::VerifyDual { .. } | Command::Help => None,
+            Command::VerifyDual { .. }
+            | Command::Serve { .. }
+            | Command::Request { .. }
+            | Command::Help => None,
         }
-    }
-}
-
-/// Support threshold: absolute row count or relative fraction.
-#[derive(Clone, Copy, Debug, PartialEq)]
-pub enum Support {
-    /// At least this many rows.
-    Absolute(usize),
-    /// At least this fraction of rows (exclusive 0, inclusive 1).
-    Relative(f64),
-}
-
-impl Support {
-    /// Resolves to an absolute threshold for a database with `rows` rows.
-    pub fn resolve(&self, rows: usize) -> usize {
-        match *self {
-            Support::Absolute(n) => n,
-            Support::Relative(f) => ((f * rows as f64).ceil() as usize).max(1),
-        }
-    }
-}
-
-/// Parses a `--algo` value. Unknown names get a usage error listing every
-/// accepted spelling, so the CLI dies with exit 2 and the full usage text
-/// instead of a bare "unknown algorithm".
-fn parse_algo(s: &str) -> Result<TrAlgorithm, String> {
-    match s {
-        "auto" => Ok(TrAlgorithm::Auto),
-        "berge" => Ok(TrAlgorithm::Berge),
-        "fk" => Ok(TrAlgorithm::FkJointGeneration),
-        "levelwise" => Ok(TrAlgorithm::LevelwiseLargeEdges),
-        "mmcs" => Ok(TrAlgorithm::Mmcs),
-        "mu-mmcs" => Ok(TrAlgorithm::MuMmcs),
-        "egm" => Ok(TrAlgorithm::Egm),
-        other => Err(format!(
-            "unknown --algo value {other:?} (want auto, berge, fk, levelwise, mmcs, mu-mmcs, or egm)"
-        )),
     }
 }
 
 fn parse_threads(s: &str) -> Result<usize, String> {
     s.parse::<usize>()
         .map_err(|_| format!("invalid --threads value {s:?} (want integer ≥ 0; 0 = auto)"))
-}
-
-/// Parses a duration: a number with an optional unit suffix (`ns`, `us`,
-/// `ms`, `s`, `m`); a bare number means seconds. `0` (any unit) is a
-/// valid, already-expired budget.
-fn parse_duration(s: &str) -> Result<Duration, String> {
-    let s = s.trim();
-    let split = s
-        .find(|c: char| !(c.is_ascii_digit() || c == '.'))
-        .unwrap_or(s.len());
-    let (num, unit) = s.split_at(split);
-    let value: f64 = num
-        .parse()
-        .map_err(|_| format!("invalid duration {s:?} (want e.g. 500ms, 2s, 1m)"))?;
-    if !value.is_finite() || value < 0.0 {
-        return Err(format!("invalid duration {s:?}"));
-    }
-    let nanos = match unit {
-        "ns" => value,
-        "us" | "µs" => value * 1e3,
-        "ms" => value * 1e6,
-        "s" | "" => value * 1e9,
-        "m" => value * 60.0 * 1e9,
-        other => return Err(format!("unknown duration unit {other:?} in {s:?}")),
-    };
-    Ok(Duration::from_nanos(nanos as u64))
 }
 
 /// Tries to consume one of the shared RUN OPTIONS flags. Returns
@@ -371,32 +308,6 @@ fn parse_run_flag<'a, I: Iterator<Item = &'a String>>(
         _ => return Ok(false),
     }
     Ok(true)
-}
-
-/// Cross-flag validation shared by every subcommand.
-fn validate_run(run: &RunOpts) -> Result<(), String> {
-    if run.resume && run.checkpoint.is_none() {
-        return Err("--resume requires --checkpoint <path>".into());
-    }
-    if run.checkpoint_every.is_some() && run.checkpoint.is_none() {
-        return Err("--checkpoint-every requires --checkpoint <path>".into());
-    }
-    Ok(())
-}
-
-fn parse_support(s: &str) -> Result<Support, String> {
-    if let Ok(n) = s.parse::<usize>() {
-        if n == 0 {
-            return Err("--min-support must be positive".into());
-        }
-        return Ok(Support::Absolute(n));
-    }
-    match s.parse::<f64>() {
-        Ok(f) if f > 0.0 && f <= 1.0 => Ok(Support::Relative(f)),
-        _ => Err(format!(
-            "invalid --min-support value {s:?} (want integer ≥ 1 or fraction in (0,1])"
-        )),
-    }
 }
 
 /// Parses an argument vector (without the program name).
@@ -559,6 +470,75 @@ fn parse_inner(argv: &[String]) -> Result<Command, String> {
                 run,
             })
         }
+        "serve" => {
+            let mut listen = None;
+            let mut unix = None;
+            let mut workers = 0;
+            let mut cache_entries = 0;
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--listen" => {
+                        listen = Some(it.next().ok_or("--listen needs an address")?.clone());
+                    }
+                    "--unix" => {
+                        unix = Some(it.next().ok_or("--unix needs a socket path")?.clone());
+                    }
+                    "--workers" => {
+                        let v = it.next().ok_or("--workers needs a value")?;
+                        workers = v.parse::<usize>().map_err(|_| {
+                            format!("invalid --workers value {v:?} (want integer ≥ 0; 0 = auto)")
+                        })?;
+                    }
+                    "--cache-entries" => {
+                        let v = it.next().ok_or("--cache-entries needs a value")?;
+                        let n = v.parse::<usize>().map_err(|_| {
+                            format!("invalid --cache-entries value {v:?} (want integer ≥ 1)")
+                        })?;
+                        if n == 0 {
+                            return Err("--cache-entries must be ≥ 1".into());
+                        }
+                        cache_entries = n;
+                    }
+                    other => return Err(format!("serve: unknown flag {other:?}")),
+                }
+            }
+            Ok(Command::Serve {
+                listen,
+                unix,
+                workers,
+                cache_entries,
+            })
+        }
+        "request" => {
+            let addr = it.next().ok_or("request: missing server address")?.clone();
+            let mut json = None;
+            let mut json_file = None;
+            let mut stats = false;
+            let mut quiet = false;
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--json" => {
+                        json = Some(it.next().ok_or("--json needs a request line")?.clone());
+                    }
+                    "--json-file" => {
+                        json_file = Some(it.next().ok_or("--json-file needs a path")?.clone());
+                    }
+                    "--stats" => stats = true,
+                    "--quiet" => quiet = true,
+                    other => return Err(format!("request: unknown flag {other:?}")),
+                }
+            }
+            if json.is_some() == json_file.is_some() {
+                return Err("request: exactly one of --json or --json-file is required".into());
+            }
+            Ok(Command::Request {
+                addr,
+                json,
+                json_file,
+                stats,
+                quiet,
+            })
+        }
         other => Err(format!("unknown subcommand {other:?}")),
     }
 }
@@ -566,6 +546,7 @@ fn parse_inner(argv: &[String]) -> Result<Command, String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Duration;
 
     fn v(args: &[&str]) -> Vec<String> {
         args.iter().map(|s| s.to_string()).collect()
@@ -893,6 +874,79 @@ mod tests {
             "2"
         ]))
         .is_err());
+    }
+
+    #[test]
+    fn parse_serve() {
+        assert_eq!(
+            parse(&v(&["serve"])).unwrap(),
+            Command::Serve {
+                listen: None,
+                unix: None,
+                workers: 0,
+                cache_entries: 0,
+            }
+        );
+        assert_eq!(
+            parse(&v(&[
+                "serve",
+                "--listen",
+                "127.0.0.1:7878",
+                "--unix",
+                "/tmp/dm.sock",
+                "--workers",
+                "4",
+                "--cache-entries",
+                "128",
+            ]))
+            .unwrap(),
+            Command::Serve {
+                listen: Some("127.0.0.1:7878".into()),
+                unix: Some("/tmp/dm.sock".into()),
+                workers: 4,
+                cache_entries: 128,
+            }
+        );
+        assert!(parse(&v(&["serve", "--listen"])).is_err());
+        assert!(parse(&v(&["serve", "--workers", "x"])).is_err());
+        assert!(parse(&v(&["serve", "--cache-entries", "0"])).is_err());
+        assert!(parse(&v(&["serve", "--bogus"])).is_err());
+    }
+
+    #[test]
+    fn parse_request_subcommand() {
+        assert_eq!(
+            parse(&v(&["request", "127.0.0.1:7878", "--json", "{}"])).unwrap(),
+            Command::Request {
+                addr: "127.0.0.1:7878".into(),
+                json: Some("{}".into()),
+                json_file: None,
+                stats: false,
+                quiet: false,
+            }
+        );
+        assert_eq!(
+            parse(&v(&[
+                "request",
+                "unix:/tmp/dm.sock",
+                "--json-file",
+                "req.json",
+                "--stats",
+                "--quiet",
+            ]))
+            .unwrap(),
+            Command::Request {
+                addr: "unix:/tmp/dm.sock".into(),
+                json: None,
+                json_file: Some("req.json".into()),
+                stats: true,
+                quiet: true,
+            }
+        );
+        // Exactly one request source.
+        assert!(parse(&v(&["request", "a:1"])).is_err());
+        assert!(parse(&v(&["request", "a:1", "--json", "{}", "--json-file", "f"])).is_err());
+        assert!(parse(&v(&["request"])).is_err());
     }
 
     #[test]

@@ -1,29 +1,21 @@
 //! Command implementations.
+//!
+//! Job execution (engine routing, budget handling, checkpoint resume,
+//! output rendering) lives in [`dualminer_serve::exec`], shared with the
+//! daemon so `dualminer mine …` and a served `mine` job produce
+//! byte-identical bodies. This module owns what is CLI-specific: the
+//! process session (meter, observer, stats line), stdout/stderr routing,
+//! exit codes, and the `serve`/`request` frontends.
 
 use std::fmt;
 
-use dualminer_core::border::verify_maxth;
-use dualminer_core::checkpoint::{
-    Aborted, CheckpointCfg, FaultCtl, ResumeState, DUALIZE_ADVANCE_KIND, LEVELWISE_KIND,
-};
-use dualminer_core::dualize_advance::{dualize_advance_try_ctl, DualizeAdvanceConfig};
-use dualminer_core::fallible::FaultyOracle;
-use dualminer_core::levelwise::levelwise_par_try_ctl;
-use dualminer_core::oracle::{CountingOracle, FamilyOracle};
-use dualminer_fdep::fd::minimal_fd_lhs_via_agree_sets;
-use dualminer_fdep::keys::{minimal_keys_via_agree_sets, KeyDiscovery, NonSuperkeyOracle};
-use dualminer_hypergraph::plan;
-use dualminer_mining::apriori::{apriori_par_ctl, FrequentSets};
-use dualminer_mining::rules::association_rules;
-use dualminer_mining::seg::{apriori_par_seg_ctl, AprioriSegState, APRIORI_SEG_KIND};
-use dualminer_mining::{EclatCfg, FrequencyOracle, DEFAULT_SEGMENT_ROWS};
-use dualminer_obs::{
-    available_cpus, BudgetReason, DualizeStats, FileCheckpoint, Meter, MiningObserver, RunCtl,
-    RunError, StatsCollector,
-};
+use dualminer_obs::{available_cpus, BudgetReason, Meter, MiningObserver, StatsCollector};
+use dualminer_serve::exec::{self, ExecCtx, JobError, MineOpts};
+use dualminer_serve::formats::{self, FormatError};
+use dualminer_serve::job::RunOpts;
+use dualminer_serve::{client, proto, server};
 
-use crate::args::{Command, RunOpts, USAGE};
-use crate::formats::{self, FormatError};
+use crate::args::{Command, USAGE};
 
 /// A command failure, carrying its process exit code so scripts can tell
 /// the failure classes apart (`main` maps usage errors to 2; these start
@@ -43,6 +35,19 @@ pub enum CliError {
     /// The run tripped its budget; printed results are the partial prefix
     /// (exit 6).
     Budget(BudgetReason),
+    /// `request`/`serve`: the connection or the protocol itself failed —
+    /// unreachable server, dropped connection, malformed request or event
+    /// line (exit 7).
+    Protocol(String),
+    /// `request`: the *server* reported a job failure. The daemon ships
+    /// the one-shot CLI exit code over the wire; the client process exits
+    /// with that same code so scripts cannot tell the frontends apart.
+    Remote {
+        /// The exit code the equivalent one-shot run would have used.
+        code: u8,
+        /// The server's error message (or budget verdict).
+        message: String,
+    },
 }
 
 impl CliError {
@@ -54,6 +59,8 @@ impl CliError {
             CliError::Io(_) => 4,
             CliError::Fault(_) => 5,
             CliError::Budget(_) => 6,
+            CliError::Protocol(_) => 7,
+            CliError::Remote { code, .. } => *code,
         }
     }
 
@@ -70,7 +77,10 @@ impl fmt::Display for CliError {
         match self {
             CliError::NotDual => write!(f, "not dual"),
             CliError::Format(e) => write!(f, "{e}"),
-            CliError::Io(msg) | CliError::Fault(msg) => write!(f, "{msg}"),
+            CliError::Io(msg) | CliError::Fault(msg) | CliError::Protocol(msg) => {
+                write!(f, "{msg}")
+            }
+            CliError::Remote { message, .. } => write!(f, "{message}"),
             CliError::Budget(reason) => {
                 write!(
                     f,
@@ -82,6 +92,16 @@ impl fmt::Display for CliError {
 }
 
 impl std::error::Error for CliError {}
+
+impl From<JobError> for CliError {
+    fn from(e: JobError) -> CliError {
+        match e {
+            JobError::Format(e) => CliError::Format(e),
+            JobError::Io(msg) => CliError::Io(msg),
+            JobError::Fault(msg) => CliError::Fault(msg),
+        }
+    }
+}
 
 /// The CLI's standard observer: always feeds the [`StatsCollector`] (so
 /// `--stats json` has data even when progress is off) and, with
@@ -197,8 +217,17 @@ impl Session {
         }
     }
 
-    fn ctl(&self) -> RunCtl<'_> {
-        RunCtl::new(&self.meter, &self.observer)
+    /// The shared execution context, borrowing this session's meter,
+    /// observer, and stats sink. Notes (engine choice, checkpoint-resume
+    /// narration) go to stderr, keeping stdout machine-parsable.
+    fn cx<'a>(&'a self, note: &'a dyn Fn(&str)) -> ExecCtx<'a> {
+        ExecCtx {
+            meter: &self.meter,
+            observer: &self.observer,
+            stats: &self.observer.stats,
+            note,
+            threads: self.threads,
+        }
     }
 
     /// Uniform pre-flight: with `--timeout 0` (or an already-spent
@@ -242,96 +271,8 @@ impl Session {
     }
 }
 
-fn note_partial(reason: BudgetReason) {
-    println!("\nNOTE: budget exceeded ({reason}); results below are the partial prefix computed before the limit.");
-}
-
-/// Loads and validates the resume state when `--resume` was given. A
-/// missing checkpoint file starts from scratch (so the same command line
-/// works for the first run and every rerun); a corrupt file or a
-/// checkpoint from a different engine is an error, never silent data loss.
-fn load_resume(run: &RunOpts, expect_kind: &str) -> Result<Option<ResumeState>, CliError> {
-    if !run.resume {
-        return Ok(None);
-    }
-    // parse() enforces --resume ⇒ --checkpoint; defend without panicking.
-    let Some(path) = run.checkpoint.as_deref() else {
-        return Err(CliError::Io("--resume requires --checkpoint".into()));
-    };
-    let file = FileCheckpoint::new(path);
-    let Some(envelope) = file.load().map_err(|e| CliError::Io(e.to_string()))? else {
-        eprintln!("note: checkpoint {path:?} not found; starting from scratch");
-        return Ok(None);
-    };
-    let state = ResumeState::from_envelope(&envelope).map_err(|e| CliError::Io(e.to_string()))?;
-    if state.kind() != expect_kind {
-        return Err(CliError::Io(format!(
-            "checkpoint {path:?} holds a {} run, expected {}",
-            state.kind(),
-            expect_kind
-        )));
-    }
-    eprintln!("note: resuming from checkpoint {path:?}");
-    Ok(Some(state))
-}
-
-/// Peeks at the checkpoint file's envelope kind when `--resume` was
-/// given, without deserializing the state. `mine` routes by this: a
-/// checkpoint written by the fault-tolerant levelwise engine resumes on
-/// that engine even when the rerun passes no fault flags, and a
-/// segment-major checkpoint resumes on the segment engine.
-fn resume_kind(run: &RunOpts) -> Result<Option<String>, CliError> {
-    if !run.resume {
-        return Ok(None);
-    }
-    let Some(path) = run.checkpoint.as_deref() else {
-        return Ok(None);
-    };
-    let file = FileCheckpoint::new(path);
-    let envelope = file.load().map_err(|e| CliError::Io(e.to_string()))?;
-    Ok(envelope.map(|e| e.kind))
-}
-
-/// Loads the segment-engine resume state when `--resume` was given. Same
-/// contract as [`load_resume`]: a missing file starts from scratch, a
-/// corrupt or foreign-engine file is an error.
-fn load_seg_resume(run: &RunOpts) -> Result<Option<AprioriSegState>, CliError> {
-    if !run.resume {
-        return Ok(None);
-    }
-    let Some(path) = run.checkpoint.as_deref() else {
-        return Err(CliError::Io("--resume requires --checkpoint".into()));
-    };
-    let file = FileCheckpoint::new(path);
-    let Some(envelope) = file.load().map_err(|e| CliError::Io(e.to_string()))? else {
-        eprintln!("note: checkpoint {path:?} not found; starting from scratch");
-        return Ok(None);
-    };
-    if envelope.kind != APRIORI_SEG_KIND {
-        return Err(CliError::Io(format!(
-            "checkpoint {path:?} holds a {} run, expected {APRIORI_SEG_KIND}",
-            envelope.kind
-        )));
-    }
-    let state =
-        AprioriSegState::from_json(&envelope.payload).map_err(|e| CliError::Io(e.to_string()))?;
-    eprintln!("note: resuming from checkpoint {path:?}");
-    Ok(Some(state))
-}
-
-/// Converts an aborted fallible run into the CLI error for its cause,
-/// pointing the user at `--resume` when a safe point was persisted.
-fn abort_error(aborted: Aborted, checkpoint: Option<&str>) -> CliError {
-    let Aborted { error, resume } = aborted;
-    match error {
-        RunError::Oracle(e) => {
-            if let (Some(path), true) = (checkpoint, resume.is_some()) {
-                eprintln!("note: progress saved to {path:?}; re-run with --resume to continue");
-            }
-            CliError::Fault(e.to_string())
-        }
-        RunError::Checkpoint(msg) => CliError::Io(msg),
-    }
+fn note_stderr(text: &str) {
+    eprintln!("{text}");
 }
 
 /// Executes a parsed command.
@@ -355,144 +296,28 @@ pub fn run(cmd: Command) -> Result<(), CliError> {
             let file = open(&path)?;
             let (universe, db) = formats::parse_baskets_reader(
                 std::io::BufReader::new(file),
-                segment_rows.unwrap_or(DEFAULT_SEGMENT_ROWS),
+                segment_rows.unwrap_or(dualminer_mining::DEFAULT_SEGMENT_ROWS),
             )
             .map_err(|e| CliError::Format(e.in_file(&path)))?;
             let sigma = min_support.resolve(db.n_rows());
-            println!(
-                "{} transactions, {} items, min support {} rows",
-                db.n_rows(),
-                db.n_items(),
-                sigma
-            );
-            session.observer.on_phase_start("mine");
-            // Route: injected faults or retries need the fallible oracle
-            // engine; so does resuming one of its checkpoints (the rerun
-            // may legitimately drop the fault flags). Otherwise a
-            // --checkpoint run uses the segment-major engine — safe points
-            // every row segment instead of every level — and a plain run
-            // keeps the specialized fast path.
-            let fallible = run.fault_inject.is_some()
-                || run.retry > 0
-                || resume_kind(&run)?.as_deref() == Some(LEVELWISE_KIND);
-            let (fs, reason) = if fallible {
-                // Fault-tolerant route: the generic levelwise engine over a
-                // (possibly fault-injected) frequency oracle — retries,
-                // checkpoint/resume — then exact supports recomputed from
-                // the database. Bit-identical to apriori on the same input.
-                let resume = match load_resume(&run, LEVELWISE_KIND)? {
-                    Some(ResumeState::Levelwise(state)) => Some(state),
-                    _ => None,
-                };
-                let sink = run.checkpoint.as_deref().map(FileCheckpoint::new);
-                let fault = match &sink {
-                    Some(s) => {
-                        FaultCtl::checkpointed(run.retry_policy(), s, run.checkpoint_cadence())
-                    }
-                    None => FaultCtl::with_retry(run.retry_policy()),
-                };
-                let spec = run.fault_inject.clone().unwrap_or_default();
-                let oracle = FaultyOracle::new(FrequencyOracle::new(&db, sigma), &spec);
-                match levelwise_par_try_ctl(&oracle, threads, &session.ctl(), &fault, resume) {
-                    Ok(outcome) => {
-                        let (lw, reason) = outcome.into_parts();
-                        (FrequentSets::from_levelwise(&db, sigma, &lw), reason)
-                    }
-                    Err(aborted) => {
-                        session.observer.on_phase_end("mine");
-                        session.finish(None);
-                        return Err(abort_error(aborted, run.checkpoint.as_deref()));
-                    }
+            let opts = MineOpts { rules, maximal };
+            match exec::mine(
+                &universe,
+                &db,
+                sigma,
+                &opts,
+                &run,
+                &session.cx(&note_stderr),
+            ) {
+                Ok((out, _)) => {
+                    print!("{}", out.body);
+                    session.close(out.reason)
                 }
-            } else if run.fault_tolerant() {
-                // Checkpointed (or resumed) but fault-free: the
-                // segment-major engine, bit-identical to apriori with
-                // per-segment safe points.
-                let resume = load_seg_resume(&run)?;
-                let sink = run.checkpoint.as_deref().map(FileCheckpoint::new);
-                let ckpt = sink.as_ref().map(|s| CheckpointCfg {
-                    sink: s,
-                    every: run.checkpoint_cadence(),
-                });
-                match apriori_par_seg_ctl(
-                    &db,
-                    sigma,
-                    threads,
-                    &session.ctl(),
-                    ckpt.as_ref(),
-                    resume,
-                    &EclatCfg::default(),
-                ) {
-                    Ok(outcome) => outcome.into_parts(),
-                    Err(RunError::Checkpoint(msg)) => {
-                        session.observer.on_phase_end("mine");
-                        session.finish(None);
-                        return Err(CliError::Io(msg));
-                    }
-                    Err(RunError::Oracle(e)) => {
-                        session.observer.on_phase_end("mine");
-                        session.finish(None);
-                        return Err(CliError::Fault(e.to_string()));
-                    }
-                }
-            } else {
-                apriori_par_ctl(&db, sigma, threads, &session.ctl()).into_parts()
-            };
-            session.observer.on_phase_end("mine");
-            if let Some(r) = reason {
-                note_partial(r);
-            }
-            println!("\n{} frequent itemsets:", fs.itemsets().len());
-            for (set, support) in fs.itemsets() {
-                if set.is_empty() {
-                    continue;
-                }
-                println!(
-                    "  {:<30} support {} ({:.1}%)",
-                    universe.display(set),
-                    support,
-                    100.0 * *support as f64 / db.n_rows() as f64
-                );
-            }
-            if maximal {
-                println!("\nMaximal frequent sets (MTh):");
-                for m in &fs.maximal {
-                    println!("  {}", universe.display(m));
-                }
-                println!("Negative border (certificate of completeness):");
-                for b in &fs.negative_border {
-                    println!("  {}", universe.display(b));
-                }
-                if reason.is_none() {
-                    // Verify with Corollary 4 — belt and braces for the user.
-                    let mut oracle = CountingOracle::new(FrequencyOracle::new(&db, sigma));
-                    let out = verify_maxth(
-                        &mut oracle,
-                        &fs.maximal,
-                        dualminer_hypergraph::TrAlgorithm::Berge,
-                    );
-                    println!(
-                        "Verified: {} ({} oracle queries = |Bd⁺|+|Bd⁻|)",
-                        out.is_maxth, out.queries
-                    );
-                } else {
-                    println!("(not verified: run was cut short, the family is maximal only within the mined prefix)");
+                Err(e) => {
+                    session.finish(None);
+                    Err(e.into())
                 }
             }
-            if let Some(conf) = rules {
-                if reason.is_none() {
-                    let rules = association_rules(&fs, conf);
-                    println!("\n{} association rules (confidence ≥ {conf}):", rules.len());
-                    for r in &rules {
-                        println!("  {}", r.display(&universe));
-                    }
-                } else {
-                    println!(
-                        "\n(association rules skipped: supports are incomplete on a partial run)"
-                    );
-                }
-            }
-            session.close(reason)
         }
         Command::Keys { path, fds, run } => {
             let session = Session::new(&run, 1);
@@ -500,96 +325,16 @@ pub fn run(cmd: Command) -> Result<(), CliError> {
             let file = open(&path)?;
             let (universe, rel) = formats::parse_relation_reader(std::io::BufReader::new(file))
                 .map_err(|e| CliError::Format(e.in_file(&path)))?;
-            println!("{} rows × {} attributes", rel.n_rows(), rel.n_attrs());
-            session.observer.on_phase_start("keys");
-            let (keys, reason) = if run.fault_tolerant() {
-                // Fault-tolerant route: Dualize & Advance under the
-                // restricted Is-interesting model (non-superkey oracle) —
-                // MTh = maximal agree sets, Bd⁻ = minimal keys.
-                let resume = match load_resume(&run, DUALIZE_ADVANCE_KIND)? {
-                    Some(ResumeState::DualizeAdvance(state)) => Some(state),
-                    _ => None,
-                };
-                let sink = run.checkpoint.as_deref().map(FileCheckpoint::new);
-                let fault = match &sink {
-                    Some(s) => {
-                        FaultCtl::checkpointed(run.retry_policy(), s, run.checkpoint_cadence())
-                    }
-                    None => FaultCtl::with_retry(run.retry_policy()),
-                };
-                let spec = run.fault_inject.clone().unwrap_or_default();
-                let mut oracle = FaultyOracle::new(NonSuperkeyOracle::new(&rel), &spec);
-                match dualize_advance_try_ctl(
-                    &mut oracle,
-                    dualminer_hypergraph::TrAlgorithm::Berge,
-                    &DualizeAdvanceConfig::default(),
-                    1,
-                    &session.ctl(),
-                    &fault,
-                    resume,
-                ) {
-                    Ok(outcome) => {
-                        let (da, reason) = outcome.into_parts();
-                        (
-                            KeyDiscovery {
-                                minimal_keys: da.negative_border,
-                                maximal_non_superkeys: da.maximal,
-                                queries: da.queries,
-                            },
-                            reason,
-                        )
-                    }
-                    Err(aborted) => {
-                        session.observer.on_phase_end("keys");
-                        session.finish(None);
-                        return Err(abort_error(aborted, run.checkpoint.as_deref()));
-                    }
+            match exec::keys(&universe, &rel, fds, &run, &session.cx(&note_stderr)) {
+                Ok(out) => {
+                    print!("{}", out.body);
+                    session.close(out.reason)
                 }
-            } else {
-                (
-                    minimal_keys_via_agree_sets(&rel, dualminer_hypergraph::TrAlgorithm::Berge),
-                    None,
-                )
-            };
-            session.observer.on_phase_end("keys");
-            if let Some(r) = reason {
-                note_partial(r);
-            }
-            if keys.minimal_keys.is_empty() && reason.is_none() {
-                println!("\nNo keys: the relation contains duplicate rows.");
-            } else {
-                println!("\nMinimal keys:");
-                for k in &keys.minimal_keys {
-                    println!("  {{{}}}", names(&universe, k));
+                Err(e) => {
+                    session.finish(None);
+                    Err(e.into())
                 }
             }
-            println!("Maximal agree sets:");
-            for ag in &keys.maximal_non_superkeys {
-                println!("  {{{}}}", names(&universe, ag));
-            }
-            if fds {
-                println!("\nMinimal functional dependencies:");
-                let mut any = false;
-                for target in 0..rel.n_attrs() {
-                    let d = minimal_fd_lhs_via_agree_sets(
-                        &rel,
-                        target,
-                        dualminer_hypergraph::TrAlgorithm::Berge,
-                    );
-                    for lhs in &d.minimal_lhs {
-                        any = true;
-                        println!(
-                            "  {{{}}} → {}",
-                            names(&universe, lhs),
-                            universe.name(target)
-                        );
-                    }
-                }
-                if !any {
-                    println!("  (none)");
-                }
-            }
-            session.close(reason)
         }
         Command::Episodes {
             path,
@@ -663,151 +408,151 @@ pub fn run(cmd: Command) -> Result<(), CliError> {
             let text = read(&path)?;
             let (universe, h) =
                 formats::parse_hypergraph(&text).map_err(|e| CliError::Format(e.in_file(&path)))?;
-            println!(
-                "hypergraph: {} vertices, {} edges (simple: {})",
-                h.universe_size(),
-                h.len(),
-                h.is_simple()
-            );
-            let started = std::time::Instant::now();
-            session.observer.on_phase_start("transversals");
-            let (edges, reason, engine) = if run.fault_tolerant() {
-                // Fault-tolerant route via Theorem 7: against the family
-                // oracle of edge complements, "uninteresting" = transversal,
-                // so a Dualize & Advance run delivers Bd⁻ = Tr(H).
-                let resume = match load_resume(&run, DUALIZE_ADVANCE_KIND)? {
-                    Some(ResumeState::DualizeAdvance(state)) => Some(state),
-                    _ => None,
-                };
-                let sink = run.checkpoint.as_deref().map(FileCheckpoint::new);
-                let fault = match &sink {
-                    Some(s) => {
-                        FaultCtl::checkpointed(run.retry_policy(), s, run.checkpoint_cadence())
-                    }
-                    None => FaultCtl::with_retry(run.retry_policy()),
-                };
-                let spec = run.fault_inject.clone().unwrap_or_default();
-                let complements: Vec<_> = h
-                    .edges()
-                    .iter()
-                    .map(dualminer_bitset::AttrSet::complement)
-                    .collect();
-                let mut oracle =
-                    FaultyOracle::new(FamilyOracle::new(h.universe_size(), complements), &spec);
-                match dualize_advance_try_ctl(
-                    &mut oracle,
-                    algo,
-                    &DualizeAdvanceConfig::default(),
-                    threads,
-                    &session.ctl(),
-                    &fault,
-                    resume,
-                ) {
-                    Ok(outcome) => {
-                        let (da, reason) = outcome.into_parts();
-                        (
-                            da.negative_border,
-                            reason,
-                            format!("dualize-advance/{}", plan::algo_name(algo)),
-                        )
-                    }
-                    Err(aborted) => {
-                        session.observer.on_phase_end("transversals");
-                        session.finish(None);
-                        return Err(abort_error(aborted, run.checkpoint.as_deref()));
-                    }
+            match exec::transversals(&universe, &h, algo, &run, &session.cx(&note_stderr)) {
+                Ok(out) => {
+                    print!("{}", out.body);
+                    session.close(out.reason)
                 }
-            } else {
-                // Planner path: `--algo auto` resolves through the
-                // instance-shape planner; the report carries what actually
-                // ran plus the engine's search counters, injected into the
-                // stats artifact from up here (obs sits below hypergraph,
-                // same pattern as the PR 7 scheduler counters).
-                let (outcome, report) = plan::dualize_ctl_report(&h, algo, threads, &session.ctl());
-                session.observer.stats.set_dualize(dualize_stats(&report));
-                let (tr, reason) = outcome.into_parts();
-                let engine = if algo == dualminer_hypergraph::TrAlgorithm::Auto {
-                    format!(
-                        "{} (planner: {})",
-                        report.decision.backend_name(),
-                        report.decision.rule
-                    )
-                } else {
-                    report.decision.backend_name().to_string()
-                };
-                (tr.edges().to_vec(), reason, engine)
-            };
-            session.observer.on_phase_end("transversals");
-            if let Some(r) = reason {
-                note_partial(r);
+                Err(e) => {
+                    session.finish(None);
+                    Err(e.into())
+                }
             }
-            // Engine choice is narration, not results: stderr keeps stdout
-            // bit-identical across engines computing the same Tr(H)
-            // (notably the undisturbed vs. kill-and-resume pair); the
-            // machine-readable copy is the stats JSON `planner_choice`.
-            eprintln!("note: engine {engine}");
-            println!(
-                "\nTr(H): {} minimal transversals in {:.2?}:",
-                edges.len(),
-                started.elapsed()
-            );
-            for t in &edges {
-                println!("  {{{}}}", names(&universe, t));
-            }
-            session.close(reason)
         }
         Command::VerifyDual { f_path, g_path } => {
-            // Both files parse over one merged vertex dictionary, so the
-            // two families land in the same universe even when each file
-            // mentions only its own vertex names.
             let f_text = read(&f_path)?;
             let g_text = read(&g_path)?;
-            let mut vocab: Vec<String> = Vec::new();
-            let mut index = std::collections::HashMap::new();
-            let f_raw = formats::parse_hypergraph_raw(&f_text, &mut vocab, &mut index)
-                .map_err(|e| CliError::Format(e.in_file(&f_path)))?;
-            let g_raw = formats::parse_hypergraph_raw(&g_text, &mut vocab, &mut index)
-                .map_err(|e| CliError::Format(e.in_file(&g_path)))?;
-            let n = vocab.len();
-            let f = formats::hypergraph_from_raw(n, f_raw)
-                .map_err(|e| CliError::Format(e.in_file(&f_path)))?;
-            let g = formats::hypergraph_from_raw(n, g_raw)
-                .map_err(|e| CliError::Format(e.in_file(&g_path)))?;
-            if dualminer_hypergraph::verify_dual(&f, &g) {
-                println!("dual");
-                Ok(())
-            } else {
-                println!("not dual");
+            let out = exec::verify_dual_pair(&f_text, &g_text, &f_path, &g_path)?;
+            print!("{}", out.body);
+            if out.not_dual {
                 Err(CliError::NotDual)
+            } else {
+                Ok(())
+            }
+        }
+        Command::Serve {
+            listen,
+            unix,
+            workers,
+            cache_entries,
+        } => {
+            let config = server::ServeConfig {
+                tcp: listen,
+                unix,
+                workers,
+                cache_entries,
+            };
+            let handle = server::start(&config)
+                .map_err(|e| CliError::Protocol(format!("cannot start server: {e}")))?;
+            // The bound addresses go to stdout (port 0 is resolved here),
+            // flushed eagerly so wrappers scraping the port see it before
+            // the first job finishes.
+            if let Some(addr) = handle.tcp_addr {
+                println!("serve: listening on {addr}");
+            }
+            if let Some(path) = &handle.unix_path {
+                println!("serve: listening on unix:{}", path.display());
+            }
+            use std::io::Write as _;
+            let _ = std::io::stdout().flush();
+            handle.join();
+            Ok(())
+        }
+        Command::Request {
+            addr,
+            json,
+            json_file,
+            stats,
+            quiet,
+        } => {
+            let line = match (json, json_file) {
+                (Some(line), None) => line,
+                (None, Some(path)) => read(&path)?.trim_end().to_string(),
+                // parse() enforces exactly-one; defend without panicking.
+                _ => return Err(CliError::Protocol("no request line".into())),
+            };
+            // Validate locally first: a malformed request never leaves the
+            // client, and gets the same exit (7) a server rejection would.
+            let request = proto::parse_request(&line)
+                .map_err(|e| CliError::Protocol(format!("invalid request: {e}")))?;
+            let id = match &request {
+                proto::Request::Job(job) => job.id,
+                proto::Request::Cancel { id, .. }
+                | proto::Request::ServerStats { id }
+                | proto::Request::Shutdown { id } => *id,
+            };
+            let mut conn = client::Conn::connect(&addr)
+                .map_err(|e| CliError::Protocol(format!("cannot connect to {addr}: {e}")))?;
+            conn.send_line(&line)
+                .map_err(|e| CliError::Protocol(format!("cannot send request: {e}")))?;
+            loop {
+                let event = conn
+                    .next_event()
+                    .map_err(|e| CliError::Protocol(e.to_string()))?
+                    .ok_or_else(|| {
+                        CliError::Protocol(
+                            "server closed the connection before a terminal event".into(),
+                        )
+                    })?;
+                if event.id != id {
+                    continue;
+                }
+                match event.kind.as_str() {
+                    "accepted" => {}
+                    "progress" | "note" => {
+                        if !quiet {
+                            eprintln!("{}", event.str_field("text").unwrap_or(""));
+                        }
+                    }
+                    "result" => {
+                        if !quiet {
+                            eprintln!("note: cache {}", event.str_field("cache").unwrap_or("miss"));
+                        }
+                        print!("{}", event.str_field("body").unwrap_or(""));
+                        if stats {
+                            println!("{}", event.str_field("stats").unwrap_or("{}"));
+                        }
+                        let exit = event.int_field("exit").unwrap_or(0);
+                        return match exit {
+                            0 => Ok(()),
+                            1 => Err(CliError::NotDual),
+                            code => {
+                                let outcome = event.str_field("outcome").unwrap_or("");
+                                let message = match outcome.strip_prefix("budget:") {
+                                    Some(reason) => format!(
+                                        "budget exceeded ({reason}); output is the partial prefix"
+                                    ),
+                                    None => format!("job failed with exit {code}"),
+                                };
+                                Err(CliError::Remote {
+                                    code: u8::try_from(code).unwrap_or(7),
+                                    message,
+                                })
+                            }
+                        };
+                    }
+                    "error" => {
+                        let code = event.int_field("code").unwrap_or(7);
+                        return Err(CliError::Remote {
+                            code: u8::try_from(code).unwrap_or(7),
+                            message: event.str_field("message").unwrap_or("job failed").into(),
+                        });
+                    }
+                    // Acknowledgements of control requests: the raw event
+                    // line is the result.
+                    "cancelled" | "server-stats" | "shutdown" => {
+                        println!("{}", event.fields.serialize());
+                        return Ok(());
+                    }
+                    other => {
+                        return Err(CliError::Protocol(format!(
+                            "unexpected server event {other:?}"
+                        )));
+                    }
+                }
             }
         }
     }
-}
-
-/// Flattens a planner report into the stats-artifact record: the executed
-/// backend and rule always, engine counters only where that backend
-/// collects them (so e.g. a Berge run stamps no `tr_nodes`).
-fn dualize_stats(report: &plan::PlanReport) -> DualizeStats {
-    let mu = report.mu.as_ref();
-    DualizeStats {
-        backend: report.decision.backend_name().to_string(),
-        rule: report.decision.rule.to_string(),
-        nodes: mu.map(|m| m.nodes),
-        emitted: mu.map(|m| m.emitted),
-        minimality_prunes: mu.map(|m| m.minimality_prunes),
-        dead_branches: mu.map(|m| m.dead_branches),
-        crit_removals: mu.map(|m| m.crit_removals),
-        crit_restores: mu.map(|m| m.crit_restores),
-        egm_splits: report.egm.as_ref().map(|e| e.splits),
-        egm_leaves: report.egm.as_ref().map(|e| e.leaves),
-    }
-}
-
-fn names(universe: &dualminer_bitset::Universe, set: &dualminer_bitset::AttrSet) -> String {
-    set.iter()
-        .map(|i| universe.name(i))
-        .collect::<Vec<_>>()
-        .join(", ")
 }
 
 fn read(path: &str) -> Result<String, CliError> {

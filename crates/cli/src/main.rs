@@ -5,16 +5,17 @@
 //! dualminer keys <relation.csv> [--fds]
 //! dualminer transversals <hypergraph.txt> [--algo auto|berge|fk|levelwise|mmcs|mu-mmcs|egm]
 //! dualminer verify-dual <f.txt> <g.txt>
+//! dualminer serve [--listen <host:port>] [--unix <path>]
+//! dualminer request <addr> --json <line>
 //! ```
 //!
-//! File formats (see `formats` module): baskets are one transaction per
-//! line with whitespace-separated item names; relations are CSV with a
-//! header row; hypergraphs are one edge per line with whitespace-separated
-//! vertex names.
+//! File formats (see `dualminer_serve::formats`): baskets are one
+//! transaction per line with whitespace-separated item names; relations
+//! are CSV with a header row; hypergraphs are one edge per line with
+//! whitespace-separated vertex names.
 
 mod args;
 mod commands;
-mod formats;
 
 use std::process::ExitCode;
 
@@ -40,7 +41,8 @@ fn restore_sigpipe() {}
 /// Exit codes: 0 success, 1 `verify-dual` answered "not dual", 2 usage,
 /// 3 input parse, 4 I/O (including bad checkpoints), 5 oracle fault
 /// survived the retry budget, 6 budget exceeded (partial output was
-/// printed). See `CliError::exit_code`.
+/// printed), 7 connection or protocol failure (`serve`/`request`). See
+/// `CliError::exit_code`.
 fn main() -> ExitCode {
     restore_sigpipe();
     let argv: Vec<String> = std::env::args().skip(1).collect();

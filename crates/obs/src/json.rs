@@ -288,13 +288,21 @@ impl Parser<'_> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Consume one UTF-8 scalar (input came from &str, so
-                    // boundaries are valid).
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                    // Consume the maximal run up to the next quote or
+                    // escape in one step: validating per character is
+                    // quadratic on megabyte strings (daemon result bodies
+                    // travel as one embedded string). Both delimiters are
+                    // ASCII, so the run ends on a UTF-8 boundary.
+                    let start = self.pos;
+                    while let Some(&b) = self.bytes.get(self.pos) {
+                        if b == b'"' || b == b'\\' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    let chunk = std::str::from_utf8(&self.bytes[start..self.pos])
                         .map_err(|_| self.err("invalid UTF-8"))?;
-                    let c = rest.chars().next().expect("peeked non-empty");
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    out.push_str(chunk);
                 }
             }
         }
@@ -398,6 +406,25 @@ mod tests {
             Some(&[Json::Int(1), Json::Int(2)][..])
         );
         assert_eq!(parsed.get("b").and_then(Json::as_str), Some("A\t"));
+    }
+
+    #[test]
+    fn long_strings_parse_in_linear_time() {
+        // Daemon result bodies travel as one megabyte-scale embedded
+        // string; the chunked scan must round-trip mixed plain runs,
+        // escapes, and multi-byte UTF-8 without quadratic re-validation.
+        let payload = "Tr(H): σ ≥ 2 \"quoted\"\n".repeat(50_000);
+        let doc = Json::Obj(vec![("body".into(), Json::str(&payload))]).serialize();
+        let start = std::time::Instant::now();
+        let parsed = Json::parse(&doc).unwrap();
+        assert_eq!(parsed.get("body").and_then(Json::as_str), Some(&*payload));
+        // Generous bound: linear parsing takes milliseconds even in debug
+        // builds; the old per-character validation took tens of seconds.
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(5),
+            "string parsing is superlinear again: {:?}",
+            start.elapsed()
+        );
     }
 
     #[test]

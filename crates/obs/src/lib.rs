@@ -38,6 +38,7 @@ use std::time::{Duration, Instant};
 pub mod checkpoint;
 pub mod error;
 pub mod fault;
+pub mod fingerprint;
 pub mod json;
 
 pub use checkpoint::{
@@ -45,6 +46,7 @@ pub use checkpoint::{
 };
 pub use error::{ErrorClass, OracleError, RetryPolicy, RunError};
 pub use fault::{fnv1a64, FaultPlan, FaultSpec};
+pub use fingerprint::{FnvStream, RowFingerprint};
 pub use json::{Json, JsonError};
 
 // ---------------------------------------------------------------------------
@@ -723,18 +725,29 @@ fn push_u64_field(out: &mut String, key: &str, value: u64) {
 }
 
 fn escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            '\r' => out.push_str("\\r"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
+    // Copy maximal clean runs with one `push_str` each instead of
+    // re-encoding char by char: daemon result bodies travel as one
+    // multi-megabyte embedded string, and every escape-triggering byte
+    // is ASCII, so runs always end on a UTF-8 boundary.
+    let mut out = String::with_capacity(s.len() + 2);
+    let bytes = s.as_bytes();
+    let mut start = 0;
+    for (i, &b) in bytes.iter().enumerate() {
+        if b != b'"' && b != b'\\' && b >= 0x20 {
+            continue;
         }
+        out.push_str(&s[start..i]);
+        match b {
+            b'"' => out.push_str("\\\""),
+            b'\\' => out.push_str("\\\\"),
+            b'\n' => out.push_str("\\n"),
+            b'\t' => out.push_str("\\t"),
+            b'\r' => out.push_str("\\r"),
+            _ => out.push_str(&format!("\\u{:04x}", b)),
+        }
+        start = i + 1;
     }
+    out.push_str(&s[start..]);
     out
 }
 

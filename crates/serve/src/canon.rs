@@ -1,0 +1,342 @@
+//! Canonical input fingerprints: content addressing for the result cache.
+//!
+//! Every cacheable input format gets a fingerprint of its *parsed,
+//! canonicalized* form — the first-appearance dictionary interleaved with
+//! resolved indices and row boundaries, replayed through
+//! [`RowFingerprint`] — never of the raw bytes. The fingerprint therefore
+//! identifies exactly the information the engines (and the rendered
+//! output) can observe: two files that differ only in whitespace,
+//! comments, blank lines, or (for formats whose value spellings are
+//! dictionary-coded away) cell spellings hash equal, and anything the
+//! output could depend on changes the digest.
+//!
+//! For baskets the canonical form also keeps the per-row *prefix* digests
+//! ([`CanonBaskets::prefix`]): a request whose input extends a cached one
+//! by appended rows only is recognized because the cached content digest
+//! appears verbatim in the new input's prefix ladder, which is what routes
+//! the job through incremental re-mining instead of a cold run.
+
+use std::collections::HashMap;
+
+use dualminer_bitset::{AttrSet, Universe};
+use dualminer_mining::{TransactionDb, VStoreBuilder};
+use dualminer_obs::RowFingerprint;
+
+use crate::formats::{self, FormatError};
+
+/// One rung of the basket prefix ladder: the content digest after row
+/// `k`, plus how many item symbols had been interned by then.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RowMark {
+    /// Fingerprint of the first `k` rows (identical to fingerprinting a
+    /// file holding only those rows).
+    pub digest: u64,
+    /// Symbols interned within the first `k` rows. An appended-rows base
+    /// is usable for incremental re-mining only when this equals the item
+    /// count of the *extended* input: the FUP-style border update works
+    /// over a fixed item universe, so appended rows that introduce new
+    /// items fall back to a cold run.
+    pub n_items: u32,
+}
+
+/// A basket file in canonical form: the first-appearance item dictionary,
+/// the index rows, and the prefix-digest ladder.
+#[derive(Clone, Debug)]
+pub struct CanonBaskets {
+    /// Item names in first-appearance order.
+    pub names: Vec<String>,
+    /// Transactions as item-index rows (empty rows already dropped).
+    pub rows: Vec<Vec<usize>>,
+    /// Prefix digest after each row; `prefix[k-1]` covers rows `0..k`.
+    pub prefix: Vec<RowMark>,
+    /// The whole-input content digest (`prefix.last().digest`).
+    pub fingerprint: u64,
+}
+
+impl CanonBaskets {
+    /// Materializes the universe and database, byte-equal to what
+    /// [`formats::parse_baskets_reader`] builds from the same input at the
+    /// same segment size (mined output is identical at *every* segment
+    /// size; the knob only shapes the vertical layout).
+    pub fn build(&self, segment_rows: usize) -> (Universe, TransactionDb) {
+        let universe = Universe::new(self.names.clone());
+        let mut builder = VStoreBuilder::new(segment_rows);
+        for row in &self.rows {
+            builder.push_row(row.iter().copied());
+        }
+        (universe, TransactionDb::from_vstore(builder.finish()))
+    }
+
+    /// Rows `from..` as [`AttrSet`]s over this input's item universe —
+    /// the `new_rows` argument of
+    /// [`append_rows_ctl`](dualminer_mining::incremental::append_rows_ctl).
+    pub fn rows_from(&self, from: usize) -> Vec<AttrSet> {
+        let n = self.names.len();
+        self.rows[from..]
+            .iter()
+            .map(|row| AttrSet::from_indices(n, row.iter().copied()))
+            .collect()
+    }
+
+    /// Finds the prefix row count whose digest is `digest`, if any — the
+    /// probe behind the appended-rows cache route. Only a *proper* prefix
+    /// qualifies (an exact match is a warm hit, not an append), and the
+    /// prefix must already have interned every item of the full input
+    /// (see [`RowMark::n_items`]).
+    pub fn append_base(&self, digest: u64) -> Option<usize> {
+        let total_items = self.names.len() as u32;
+        self.prefix[..self.prefix.len().saturating_sub(1)]
+            .iter()
+            .position(|mark| mark.digest == digest && mark.n_items == total_items)
+            .map(|i| i + 1)
+    }
+}
+
+/// Parses a basket file into canonical form. Same grammar and dictionary
+/// semantics as [`formats::parse_baskets`]: whitespace-separated item
+/// names, `#` comments, blank/empty lines skipped, indices assigned in
+/// first-appearance order, empty input rejected.
+pub fn canon_baskets(text: &str) -> Result<CanonBaskets, FormatError> {
+    let mut names: Vec<String> = Vec::new();
+    let mut index: HashMap<String, usize> = HashMap::new();
+    let mut rows: Vec<Vec<usize>> = Vec::new();
+    let mut prefix: Vec<RowMark> = Vec::new();
+    let mut fp = RowFingerprint::new();
+    for line in text.lines() {
+        let line = formats::strip_comment(line);
+        let mut row: Vec<usize> = Vec::new();
+        for item in line.split_whitespace() {
+            let id = *index.entry(item.to_string()).or_insert_with(|| {
+                names.push(item.to_string());
+                fp.push_symbol(item);
+                names.len() - 1
+            });
+            fp.push_item(id);
+            row.push(id);
+        }
+        if row.is_empty() {
+            continue;
+        }
+        fp.end_row();
+        prefix.push(RowMark {
+            digest: fp.digest(),
+            n_items: names.len() as u32,
+        });
+        rows.push(row);
+    }
+    if rows.is_empty() {
+        return Err(FormatError::new("no transactions found"));
+    }
+    let fingerprint = fp.digest();
+    Ok(CanonBaskets {
+        names,
+        rows,
+        prefix,
+        fingerprint,
+    })
+}
+
+/// Replays already-parsed shared-dictionary edges (from
+/// [`formats::parse_hypergraph_raw`]) through a [`RowFingerprint`].
+///
+/// Symbol-interning events are reconstructed from the first-appearance
+/// invariant: within one dictionary, index `i` is first used on the edge
+/// where `i` equals the number of symbols seen so far. `seen` carries the
+/// intern count across calls so a merged-vocabulary pair replays exactly
+/// like its parse did. When `with_names` is false the symbol spellings
+/// are canonically irrelevant (nothing downstream prints them) and only
+/// the intern *events* are recorded.
+fn replay_edges(
+    fp: &mut RowFingerprint,
+    edges: &[Vec<usize>],
+    names: &[String],
+    seen: &mut usize,
+    with_names: bool,
+) {
+    for edge in edges {
+        for &v in edge {
+            while *seen <= v {
+                if with_names {
+                    fp.push_symbol(&names[*seen]);
+                } else {
+                    fp.push_symbol("");
+                }
+                *seen += 1;
+            }
+            fp.push_item(v);
+        }
+        fp.end_row();
+    }
+}
+
+/// Canonical fingerprint of a `transversals` input: the parsed
+/// hypergraph's dictionary and edge list. Vertex names are *included* —
+/// they appear in the rendered transversals.
+pub fn fingerprint_hypergraph(text: &str) -> Result<u64, FormatError> {
+    let mut names: Vec<String> = Vec::new();
+    let mut index: HashMap<String, usize> = HashMap::new();
+    let raw = formats::parse_hypergraph_raw(text, &mut names, &mut index)?;
+    let mut fp = RowFingerprint::new();
+    let mut seen = 0;
+    replay_edges(&mut fp, &raw, &names, &mut seen, true);
+    Ok(fp.digest())
+}
+
+/// Canonical fingerprint of a `verify-dual` input pair: both families'
+/// edges over the merged first-appearance vocabulary, separated by a
+/// sentinel symbol no parse can produce (the empty string — vertex tokens
+/// come from `split_whitespace`). Vertex *spellings* are canonically
+/// irrelevant here: the verdict depends only on the two index families,
+/// and no name is ever printed.
+pub fn fingerprint_dual_pair(f_text: &str, g_text: &str) -> Result<u64, FormatError> {
+    let mut names: Vec<String> = Vec::new();
+    let mut index: HashMap<String, usize> = HashMap::new();
+    let f_raw = formats::parse_hypergraph_raw(f_text, &mut names, &mut index)?;
+    let g_raw = formats::parse_hypergraph_raw(g_text, &mut names, &mut index)?;
+    let mut fp = RowFingerprint::new();
+    let mut seen = 0;
+    replay_edges(&mut fp, &f_raw, &names, &mut seen, false);
+    fp.push_symbol("");
+    fp.end_row();
+    replay_edges(&mut fp, &g_raw, &names, &mut seen, false);
+    Ok(fp.digest())
+}
+
+/// Canonical fingerprint of a `keys` input: the header names (they are
+/// printed in every key and FD) plus the dictionary-coded rows. Cell
+/// *spellings* are canonically irrelevant — the relation's agree-set
+/// structure, and therefore every key, FD, and agree set, depends only on
+/// which cells within a column are equal, which is exactly what the
+/// per-column first-appearance codes record.
+pub fn fingerprint_relation(text: &str) -> Result<u64, FormatError> {
+    let (universe, rel) = formats::parse_relation(text)?;
+    let mut fp = RowFingerprint::new();
+    for i in 0..universe.size() {
+        fp.push_symbol(universe.name(i));
+    }
+    fp.end_row();
+    for row in rel.rows() {
+        for &code in row {
+            fp.push_item(code as usize);
+        }
+        fp.end_row();
+    }
+    Ok(fp.digest())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::formats::parse_baskets;
+
+    const BASE: &str = "milk bread\nbread butter\nmilk\n";
+
+    #[test]
+    fn canon_matches_parser() {
+        let canon = canon_baskets(BASE).unwrap();
+        let (u_ref, db_ref) = parse_baskets(BASE).unwrap();
+        let (u, db) = canon.build(dualminer_mining::DEFAULT_SEGMENT_ROWS);
+        assert_eq!(u.size(), u_ref.size());
+        for i in 0..u.size() {
+            assert_eq!(u.name(i), u_ref.name(i));
+        }
+        assert_eq!(db.rows(), db_ref.rows());
+        assert_eq!(canon.prefix.len(), 3);
+        assert_eq!(canon.fingerprint, canon.prefix[2].digest);
+    }
+
+    #[test]
+    fn equivalent_spellings_hash_equal() {
+        // Comments, blank lines, and whitespace are not content.
+        let noisy = "# breakfast data\nmilk   bread\n\nbread butter # inline\n   milk\n";
+        assert_eq!(
+            canon_baskets(BASE).unwrap().fingerprint,
+            canon_baskets(noisy).unwrap().fingerprint
+        );
+    }
+
+    #[test]
+    fn data_changes_change_the_digest() {
+        let base = canon_baskets(BASE).unwrap().fingerprint;
+        for variant in [
+            "milk bread\nbread butter\nmilk butter\n", // changed row
+            "milk bread\nmilk\nbread butter\n",        // reordered rows
+            "milk bread\nbread butter\nmilk\neggs\n",  // appended row
+            "milk loaf\nloaf butter\nmilk\n",          // renamed item
+        ] {
+            assert_ne!(
+                base,
+                canon_baskets(variant).unwrap().fingerprint,
+                "{variant}"
+            );
+        }
+    }
+
+    #[test]
+    fn append_base_is_recognized() {
+        let extended =
+            canon_baskets("milk bread\nbread butter\nmilk\nbread milk\nbutter\n").unwrap();
+        let base = canon_baskets(BASE).unwrap();
+        // The 3-row base is a recognized proper prefix of the 5-row input.
+        assert_eq!(extended.append_base(base.fingerprint), Some(3));
+        // An exact match is not an append base.
+        assert_eq!(extended.append_base(extended.fingerprint), None);
+        // Nor is an unrelated digest.
+        assert_eq!(extended.append_base(0xdead_beef), None);
+        // The appended tail as AttrSets, over the shared universe.
+        let tail = extended.rows_from(3);
+        assert_eq!(tail.len(), 2);
+        assert_eq!(tail[0].len(), 2);
+    }
+
+    #[test]
+    fn append_with_new_items_is_not_a_base() {
+        // `eggs` first appears in the appended tail: the prefix marks top
+        // out below the final item count, so incremental (fixed-universe)
+        // re-mining is correctly refused.
+        let extended = canon_baskets("milk bread\nbread butter\nmilk\neggs milk\n").unwrap();
+        let base = canon_baskets(BASE).unwrap();
+        assert_eq!(extended.append_base(base.fingerprint), None);
+    }
+
+    #[test]
+    fn hypergraph_fingerprints() {
+        let a = fingerprint_hypergraph("x y\ny z\nx z\n").unwrap();
+        let b = fingerprint_hypergraph("# H\nx   y\n\ny z # e2\nx z\n").unwrap();
+        let c = fingerprint_hypergraph("x y\nx z\ny z\n").unwrap();
+        let renamed = fingerprint_hypergraph("p y\ny z\np z\n").unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        // Names are content here: they appear in the output.
+        assert_ne!(a, renamed);
+    }
+
+    #[test]
+    fn dual_pair_fingerprints() {
+        let a = fingerprint_dual_pair("x y\ny z\n", "y\nx z\n").unwrap();
+        // Renaming vertices consistently does not change the verdict and
+        // does not change the fingerprint.
+        let b = fingerprint_dual_pair("p q\nq r\n", "q\np r\n").unwrap();
+        assert_eq!(a, b);
+        // Swapping the families does.
+        let c = fingerprint_dual_pair("y\nx z\n", "x y\ny z\n").unwrap();
+        assert_ne!(a, c);
+        // Moving an edge across the separator does.
+        let d = fingerprint_dual_pair("x y\n", "y z\ny\nx z\n").unwrap();
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn relation_fingerprints() {
+        let base = fingerprint_relation("dept,role\nsales,mgr\nsales,ic\neng,ic\n").unwrap();
+        // Respelled cell values with the same equality structure: equal.
+        let respelled = fingerprint_relation("dept,role\nS,boss\nS,w\nE,w\n").unwrap();
+        assert_eq!(base, respelled);
+        // Renamed header: different (headers are printed).
+        let renamed = fingerprint_relation("team,role\nsales,mgr\nsales,ic\neng,ic\n").unwrap();
+        assert_ne!(base, renamed);
+        // Different equality structure: different.
+        let other = fingerprint_relation("dept,role\nsales,mgr\nsales,ic\nsales,ic\n").unwrap();
+        assert_ne!(base, other);
+    }
+}

@@ -1,0 +1,207 @@
+//! A small blocking client for the `dualminer serve` protocol.
+//!
+//! Used by the `dualminer request` subcommand, the integration tests, and
+//! the benchmarks. One [`Conn`] is one connection; requests are sent as
+//! protocol lines and events come back as parsed [`Event`]s in server
+//! order.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::TcpStream;
+#[cfg(unix)]
+use std::os::unix::net::UnixStream;
+use std::time::Duration;
+
+use dualminer_obs::Json;
+
+/// How long [`Conn::next_event`] waits for one line before giving up.
+/// Generous: a single event line arrives as soon as the job finishes, and
+/// jobs that outlive this are expected to stream progress events.
+const READ_TIMEOUT: Duration = Duration::from_secs(120);
+
+/// One event line from the server, parsed.
+#[derive(Clone, Debug)]
+pub struct Event {
+    /// The event kind (`accepted`, `progress`, `note`, `result`, `error`,
+    /// `cancelled`, `server-stats`, `shutdown`).
+    pub kind: String,
+    /// The request id the event answers.
+    pub id: u64,
+    /// The full parsed object, for kind-specific fields.
+    pub fields: Json,
+}
+
+impl Event {
+    /// A string field of the event, if present.
+    pub fn str_field(&self, key: &str) -> Option<&str> {
+        self.fields.get(key).and_then(Json::as_str)
+    }
+
+    /// An integer field of the event, if present.
+    pub fn int_field(&self, key: &str) -> Option<i64> {
+        self.fields.get(key).and_then(Json::as_int)
+    }
+}
+
+enum Stream {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+/// A blocking client connection.
+pub struct Conn {
+    reader: BufReader<Stream>,
+    writer: Stream,
+}
+
+impl io::Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl io::Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.flush(),
+        }
+    }
+}
+
+impl Conn {
+    /// Connects to a TCP address (`host:port`).
+    pub fn connect_tcp(addr: &str) -> io::Result<Conn> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        stream.set_read_timeout(Some(READ_TIMEOUT))?;
+        let writer = Stream::Tcp(stream.try_clone()?);
+        Ok(Conn {
+            reader: BufReader::new(Stream::Tcp(stream)),
+            writer,
+        })
+    }
+
+    /// Connects to a unix socket path.
+    #[cfg(unix)]
+    pub fn connect_unix(path: &str) -> io::Result<Conn> {
+        let stream = UnixStream::connect(path)?;
+        stream.set_read_timeout(Some(READ_TIMEOUT))?;
+        let writer = Stream::Unix(stream.try_clone()?);
+        Ok(Conn {
+            reader: BufReader::new(Stream::Unix(stream)),
+            writer,
+        })
+    }
+
+    /// Connects to `addr`: a unix socket path when it contains a `/` (or
+    /// is prefixed `unix:`), a TCP `host:port` otherwise.
+    pub fn connect(addr: &str) -> io::Result<Conn> {
+        if let Some(path) = addr.strip_prefix("unix:") {
+            #[cfg(unix)]
+            return Conn::connect_unix(path);
+            #[cfg(not(unix))]
+            {
+                let _ = path;
+                return Err(io::Error::new(
+                    io::ErrorKind::Unsupported,
+                    "unix sockets are not supported on this platform",
+                ));
+            }
+        }
+        #[cfg(unix)]
+        if addr.contains('/') {
+            return Conn::connect_unix(addr);
+        }
+        Conn::connect_tcp(addr)
+    }
+
+    /// Sends one raw request line.
+    pub fn send_line(&mut self, line: &str) -> io::Result<()> {
+        writeln!(self.writer, "{line}")?;
+        self.writer.flush()
+    }
+
+    /// Reads and parses the next event line. `Ok(None)` means the server
+    /// closed the connection.
+    pub fn next_event(&mut self) -> io::Result<Option<Event>> {
+        let mut line = String::new();
+        loop {
+            line.clear();
+            match self.reader.read_line(&mut line) {
+                Ok(0) => return Ok(None),
+                Ok(_) => {}
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    return Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        "timed out waiting for a server event",
+                    ))
+                }
+                Err(e) => return Err(e),
+            }
+            if line.trim().is_empty() {
+                continue;
+            }
+            let fields = Json::parse(line.trim_end()).map_err(|e| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("unparseable server event: {e}"),
+                )
+            })?;
+            let kind = fields
+                .get("event")
+                .and_then(Json::as_str)
+                .unwrap_or("")
+                .to_string();
+            let id = fields.get("id").and_then(Json::as_uint).unwrap_or(0);
+            return Ok(Some(Event { kind, id, fields }));
+        }
+    }
+
+    /// Sends a request line and collects events until the terminal event
+    /// for `id` (`result`, `error`, `cancelled`, `server-stats`, or
+    /// `shutdown`) arrives; returns all events for that id, terminal
+    /// last. Events for other ids (interleaved jobs on this connection)
+    /// are skipped.
+    pub fn roundtrip(&mut self, line: &str, id: u64) -> io::Result<Vec<Event>> {
+        self.send_line(line)?;
+        let mut events = Vec::new();
+        loop {
+            let Some(event) = self.next_event()? else {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "server closed the connection before a terminal event",
+                ));
+            };
+            if event.id != id {
+                continue;
+            }
+            let terminal = matches!(
+                event.kind.as_str(),
+                "result" | "error" | "cancelled" | "server-stats" | "shutdown"
+            );
+            events.push(event);
+            if terminal {
+                return Ok(events);
+            }
+        }
+    }
+}

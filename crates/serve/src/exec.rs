@@ -1,0 +1,706 @@
+//! Job execution and rendering, shared by the CLI and the daemon.
+//!
+//! Each public function here is one subcommand body — engine routing,
+//! fault tolerance, checkpoint resume, budget handling, and output
+//! formatting — turned into a function from parsed input to a rendered
+//! output string. The CLI prints the string to stdout; the daemon ships
+//! it in a `result` event and stores it in the result cache. Because
+//! both frontends run *this* code, a cached daemon answer is byte-equal
+//! to a cold CLI run by construction.
+//!
+//! Nothing here writes to stdout. Narration that the CLI used to
+//! `eprintln!` (checkpoint-resume notes, the engine choice) goes through
+//! [`ExecCtx::note`], which the CLI points at stderr and the daemon at
+//! the client's progress stream.
+
+use std::fmt::Write as _;
+
+use dualminer_bitset::{AttrSet, Universe};
+use dualminer_core::border::verify_maxth;
+use dualminer_core::checkpoint::{
+    Aborted, CheckpointCfg, FaultCtl, ResumeState, DUALIZE_ADVANCE_KIND, LEVELWISE_KIND,
+};
+use dualminer_core::dualize_advance::{dualize_advance_try_ctl, DualizeAdvanceConfig};
+use dualminer_core::fallible::FaultyOracle;
+use dualminer_core::levelwise::levelwise_par_try_ctl;
+use dualminer_core::oracle::{CountingOracle, FamilyOracle};
+use dualminer_fdep::fd::minimal_fd_lhs_via_agree_sets;
+use dualminer_fdep::keys::{minimal_keys_via_agree_sets, KeyDiscovery, NonSuperkeyOracle};
+use dualminer_fdep::Relation;
+use dualminer_hypergraph::{plan, Hypergraph, TrAlgorithm};
+use dualminer_mining::apriori::{apriori_par_ctl, FrequentSets};
+use dualminer_mining::incremental::{append_rows_ctl, IncrementalUpdate};
+use dualminer_mining::rules::association_rules;
+use dualminer_mining::seg::{apriori_par_seg_ctl, AprioriSegState, APRIORI_SEG_KIND};
+use dualminer_mining::{EclatCfg, FrequencyOracle, TransactionDb};
+use dualminer_obs::{
+    BudgetReason, DualizeStats, FileCheckpoint, Meter, MiningObserver, RunCtl, RunError,
+    StatsCollector,
+};
+
+use crate::formats::{self, FormatError};
+use crate::job::RunOpts;
+
+/// A job failure, typed by failure class. Exit codes are assigned by the
+/// frontends (CLI `CliError`, daemon `error` events) but agree: parse
+/// errors are 3, I/O and checkpoint errors 4, surviving oracle faults 5.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JobError {
+    /// An input could not be parsed.
+    Format(FormatError),
+    /// File or checkpoint I/O failure, including corrupt or mismatched
+    /// checkpoints.
+    Io(String),
+    /// An oracle fault survived the retry budget.
+    Fault(String),
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobError::Format(e) => write!(f, "{e}"),
+            JobError::Io(msg) | JobError::Fault(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
+/// Everything a job body needs from its frontend: the live budget meter,
+/// the observer (stats + progress), the stats collector for engine
+/// counter injection, a narration sink, and the worker-thread request.
+pub struct ExecCtx<'a> {
+    /// The started budget.
+    pub meter: &'a Meter,
+    /// Event sink: feeds the stats collector and any progress stream.
+    pub observer: &'a dyn MiningObserver,
+    /// The stats collector behind `observer`, for out-of-band counter
+    /// injection (planner/engine counters on transversal runs).
+    pub stats: &'a StatsCollector,
+    /// Narration sink (`note: …` lines): stderr for the CLI, the
+    /// client's progress stream for the daemon.
+    pub note: &'a dyn Fn(&str),
+    /// Requested worker threads (0 = auto, 1 = sequential).
+    pub threads: usize,
+}
+
+impl ExecCtx<'_> {
+    fn ctl(&self) -> RunCtl<'_> {
+        RunCtl::new(self.meter, self.observer)
+    }
+}
+
+/// A rendered job result.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JobOutput {
+    /// The complete stdout body, byte-equal to what the one-shot CLI
+    /// prints for the same input and flags (stats line excluded).
+    pub body: String,
+    /// Why the run stopped early, if it did (the body then holds the
+    /// partial prefix).
+    pub reason: Option<BudgetReason>,
+    /// `verify-dual` answered "not dual" (exit 1 on the CLI).
+    pub not_dual: bool,
+}
+
+impl JobOutput {
+    fn complete(body: String) -> JobOutput {
+        JobOutput {
+            body,
+            reason: None,
+            not_dual: false,
+        }
+    }
+}
+
+/// `mine` output options.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct MineOpts {
+    /// Minimum confidence for association-rule output (absent = none).
+    pub rules: Option<f64>,
+    /// Also print the maximal sets + negative border.
+    pub maximal: bool,
+}
+
+macro_rules! out {
+    ($body:expr, $($arg:tt)*) => {
+        { let _ = writeln!($body, $($arg)*); }
+    };
+}
+
+fn note_partial(body: &mut String, reason: BudgetReason) {
+    out!(body, "\nNOTE: budget exceeded ({reason}); results below are the partial prefix computed before the limit.");
+}
+
+fn names(universe: &Universe, set: &AttrSet) -> String {
+    set.iter()
+        .map(|i| universe.name(i))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint plumbing
+// ---------------------------------------------------------------------------
+
+/// Loads and validates the resume state when `--resume` was given. A
+/// missing checkpoint file starts from scratch (so the same command line
+/// works for the first run and every rerun); a corrupt file or a
+/// checkpoint from a different engine is an error, never silent data loss.
+fn load_resume(
+    run: &RunOpts,
+    expect_kind: &str,
+    cx: &ExecCtx<'_>,
+) -> Result<Option<ResumeState>, JobError> {
+    if !run.resume {
+        return Ok(None);
+    }
+    // The frontends enforce --resume ⇒ --checkpoint; defend without
+    // panicking.
+    let Some(path) = run.checkpoint.as_deref() else {
+        return Err(JobError::Io("--resume requires --checkpoint".into()));
+    };
+    let file = FileCheckpoint::new(path);
+    let Some(envelope) = file.load().map_err(|e| JobError::Io(e.to_string()))? else {
+        (cx.note)(&format!(
+            "note: checkpoint {path:?} not found; starting from scratch"
+        ));
+        return Ok(None);
+    };
+    let state = ResumeState::from_envelope(&envelope).map_err(|e| JobError::Io(e.to_string()))?;
+    if state.kind() != expect_kind {
+        return Err(JobError::Io(format!(
+            "checkpoint {path:?} holds a {} run, expected {}",
+            state.kind(),
+            expect_kind
+        )));
+    }
+    (cx.note)(&format!("note: resuming from checkpoint {path:?}"));
+    Ok(Some(state))
+}
+
+/// Peeks at the checkpoint file's envelope kind when `--resume` was
+/// given, without deserializing the state. `mine` routes by this: a
+/// checkpoint written by the fault-tolerant levelwise engine resumes on
+/// that engine even when the rerun passes no fault flags, and a
+/// segment-major checkpoint resumes on the segment engine.
+fn resume_kind(run: &RunOpts) -> Result<Option<String>, JobError> {
+    if !run.resume {
+        return Ok(None);
+    }
+    let Some(path) = run.checkpoint.as_deref() else {
+        return Ok(None);
+    };
+    let file = FileCheckpoint::new(path);
+    let envelope = file.load().map_err(|e| JobError::Io(e.to_string()))?;
+    Ok(envelope.map(|e| e.kind))
+}
+
+/// Loads the segment-engine resume state when `--resume` was given. Same
+/// contract as [`load_resume`]: a missing file starts from scratch, a
+/// corrupt or foreign-engine file is an error.
+fn load_seg_resume(run: &RunOpts, cx: &ExecCtx<'_>) -> Result<Option<AprioriSegState>, JobError> {
+    if !run.resume {
+        return Ok(None);
+    }
+    let Some(path) = run.checkpoint.as_deref() else {
+        return Err(JobError::Io("--resume requires --checkpoint".into()));
+    };
+    let file = FileCheckpoint::new(path);
+    let Some(envelope) = file.load().map_err(|e| JobError::Io(e.to_string()))? else {
+        (cx.note)(&format!(
+            "note: checkpoint {path:?} not found; starting from scratch"
+        ));
+        return Ok(None);
+    };
+    if envelope.kind != APRIORI_SEG_KIND {
+        return Err(JobError::Io(format!(
+            "checkpoint {path:?} holds a {} run, expected {APRIORI_SEG_KIND}",
+            envelope.kind
+        )));
+    }
+    let state =
+        AprioriSegState::from_json(&envelope.payload).map_err(|e| JobError::Io(e.to_string()))?;
+    (cx.note)(&format!("note: resuming from checkpoint {path:?}"));
+    Ok(Some(state))
+}
+
+/// Converts an aborted fallible run into the error for its cause,
+/// pointing the user at `--resume` when a safe point was persisted.
+fn abort_error(aborted: Aborted, checkpoint: Option<&str>, cx: &ExecCtx<'_>) -> JobError {
+    let Aborted { error, resume } = aborted;
+    match error {
+        RunError::Oracle(e) => {
+            if let (Some(path), true) = (checkpoint, resume.is_some()) {
+                (cx.note)(&format!(
+                    "note: progress saved to {path:?}; re-run with --resume to continue"
+                ));
+            }
+            JobError::Fault(e.to_string())
+        }
+        RunError::Checkpoint(msg) => JobError::Io(msg),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// mine
+// ---------------------------------------------------------------------------
+
+/// Renders the full `mine` body (header, itemsets, maximal block, rules)
+/// from a mined collection. Shared verbatim by the cold and incremental
+/// paths, so their outputs can only differ if the collections do.
+fn render_mine(
+    universe: &Universe,
+    db: &TransactionDb,
+    sigma: usize,
+    fs: &FrequentSets,
+    opts: &MineOpts,
+    reason: Option<BudgetReason>,
+) -> String {
+    let mut body = String::new();
+    out!(
+        body,
+        "{} transactions, {} items, min support {} rows",
+        db.n_rows(),
+        db.n_items(),
+        sigma
+    );
+    if let Some(r) = reason {
+        note_partial(&mut body, r);
+    }
+    out!(body, "\n{} frequent itemsets:", fs.itemsets().len());
+    for (set, support) in fs.itemsets() {
+        if set.is_empty() {
+            continue;
+        }
+        out!(
+            body,
+            "  {:<30} support {} ({:.1}%)",
+            universe.display(set),
+            support,
+            100.0 * *support as f64 / db.n_rows() as f64
+        );
+    }
+    if opts.maximal {
+        out!(body, "\nMaximal frequent sets (MTh):");
+        for m in &fs.maximal {
+            out!(body, "  {}", universe.display(m));
+        }
+        out!(body, "Negative border (certificate of completeness):");
+        for b in &fs.negative_border {
+            out!(body, "  {}", universe.display(b));
+        }
+        if reason.is_none() {
+            // Verify with Corollary 4 — belt and braces for the user.
+            let mut oracle = CountingOracle::new(FrequencyOracle::new(db, sigma));
+            let out = verify_maxth(&mut oracle, &fs.maximal, TrAlgorithm::Berge);
+            out!(
+                body,
+                "Verified: {} ({} oracle queries = |Bd⁺|+|Bd⁻|)",
+                out.is_maxth,
+                out.queries
+            );
+        } else {
+            out!(body, "(not verified: run was cut short, the family is maximal only within the mined prefix)");
+        }
+    }
+    if let Some(conf) = opts.rules {
+        if reason.is_none() {
+            let rules = association_rules(fs, conf);
+            out!(
+                body,
+                "\n{} association rules (confidence ≥ {conf}):",
+                rules.len()
+            );
+            for r in &rules {
+                out!(body, "  {}", r.display(universe));
+            }
+        } else {
+            out!(
+                body,
+                "\n(association rules skipped: supports are incomplete on a partial run)"
+            );
+        }
+    }
+    body
+}
+
+/// Mines `db` at absolute threshold `sigma` and renders the `mine` body.
+///
+/// Engine routing matches the historical CLI exactly: injected faults or
+/// retries (or resuming a levelwise checkpoint) take the fault-tolerant
+/// levelwise engine; a checkpointed but fault-free run takes the
+/// segment-major engine; plain runs keep the specialized apriori fast
+/// path. All three are bit-identical on complete runs.
+///
+/// Returns the rendered output plus the mined collection (which the
+/// daemon caches to power incremental re-mining; the CLI drops it).
+pub fn mine(
+    universe: &Universe,
+    db: &TransactionDb,
+    sigma: usize,
+    opts: &MineOpts,
+    run: &RunOpts,
+    cx: &ExecCtx<'_>,
+) -> Result<(JobOutput, FrequentSets), JobError> {
+    cx.observer.on_phase_start("mine");
+    let fallible = run.fault_inject.is_some()
+        || run.retry > 0
+        || resume_kind(run)?.as_deref() == Some(LEVELWISE_KIND);
+    let (fs, reason) = if fallible {
+        // Fault-tolerant route: the generic levelwise engine over a
+        // (possibly fault-injected) frequency oracle — retries,
+        // checkpoint/resume — then exact supports recomputed from the
+        // database. Bit-identical to apriori on the same input.
+        let resume = match load_resume(run, LEVELWISE_KIND, cx)? {
+            Some(ResumeState::Levelwise(state)) => Some(state),
+            _ => None,
+        };
+        let sink = run.checkpoint.as_deref().map(FileCheckpoint::new);
+        let fault = match &sink {
+            Some(s) => FaultCtl::checkpointed(run.retry_policy(), s, run.checkpoint_cadence()),
+            None => FaultCtl::with_retry(run.retry_policy()),
+        };
+        let spec = run.fault_inject.clone().unwrap_or_default();
+        let oracle = FaultyOracle::new(FrequencyOracle::new(db, sigma), &spec);
+        match levelwise_par_try_ctl(&oracle, cx.threads, &cx.ctl(), &fault, resume) {
+            Ok(outcome) => {
+                let (lw, reason) = outcome.into_parts();
+                (FrequentSets::from_levelwise(db, sigma, &lw), reason)
+            }
+            Err(aborted) => {
+                cx.observer.on_phase_end("mine");
+                return Err(abort_error(aborted, run.checkpoint.as_deref(), cx));
+            }
+        }
+    } else if run.fault_tolerant() {
+        // Checkpointed (or resumed) but fault-free: the segment-major
+        // engine, bit-identical to apriori with per-segment safe points.
+        let resume = load_seg_resume(run, cx)?;
+        let sink = run.checkpoint.as_deref().map(FileCheckpoint::new);
+        let ckpt = sink.as_ref().map(|s| CheckpointCfg {
+            sink: s,
+            every: run.checkpoint_cadence(),
+        });
+        match apriori_par_seg_ctl(
+            db,
+            sigma,
+            cx.threads,
+            &cx.ctl(),
+            ckpt.as_ref(),
+            resume,
+            &EclatCfg::default(),
+        ) {
+            Ok(outcome) => outcome.into_parts(),
+            Err(RunError::Checkpoint(msg)) => {
+                cx.observer.on_phase_end("mine");
+                return Err(JobError::Io(msg));
+            }
+            Err(RunError::Oracle(e)) => {
+                cx.observer.on_phase_end("mine");
+                return Err(JobError::Fault(e.to_string()));
+            }
+        }
+    } else {
+        apriori_par_ctl(db, sigma, cx.threads, &cx.ctl()).into_parts()
+    };
+    cx.observer.on_phase_end("mine");
+    let body = render_mine(universe, db, sigma, &fs, opts, reason);
+    Ok((
+        JobOutput {
+            body,
+            reason,
+            not_dual: false,
+        },
+        fs,
+    ))
+}
+
+/// Incremental re-mining: extends a cached mined collection by appended
+/// rows through the FUP-style border update instead of from-scratch
+/// work, then renders through the same [`render_mine`] as the cold path.
+///
+/// On a complete run the update is proven bit-identical to mining the
+/// merged database from scratch (itemsets, maximal sets, negative
+/// border, per-level candidate accounting), so the rendered body is
+/// byte-equal to a cold run on the appended input. Returns the merged
+/// database and collection for re-caching under the new fingerprint.
+pub fn mine_incremental(
+    universe: &Universe,
+    old_db: &TransactionDb,
+    old: &FrequentSets,
+    new_rows: Vec<AttrSet>,
+    opts: &MineOpts,
+    cx: &ExecCtx<'_>,
+) -> (JobOutput, IncrementalUpdate) {
+    cx.observer.on_phase_start("mine");
+    let sigma = old.min_support();
+    let (update, reason) = append_rows_ctl(old_db, old, new_rows, &cx.ctl()).into_parts();
+    cx.observer.on_phase_end("mine");
+    let body = render_mine(universe, &update.db, sigma, &update.frequent, opts, reason);
+    (
+        JobOutput {
+            body,
+            reason,
+            not_dual: false,
+        },
+        update,
+    )
+}
+
+// ---------------------------------------------------------------------------
+// keys
+// ---------------------------------------------------------------------------
+
+/// Discovers minimal keys (and optionally minimal FDs) of a relation and
+/// renders the `keys` body.
+pub fn keys(
+    universe: &Universe,
+    rel: &Relation,
+    fds: bool,
+    run: &RunOpts,
+    cx: &ExecCtx<'_>,
+) -> Result<JobOutput, JobError> {
+    let mut body = String::new();
+    out!(body, "{} rows × {} attributes", rel.n_rows(), rel.n_attrs());
+    cx.observer.on_phase_start("keys");
+    let (keys, reason) = if run.fault_tolerant() {
+        // Fault-tolerant route: Dualize & Advance under the restricted
+        // Is-interesting model (non-superkey oracle) — MTh = maximal
+        // agree sets, Bd⁻ = minimal keys.
+        let resume = match load_resume(run, DUALIZE_ADVANCE_KIND, cx)? {
+            Some(ResumeState::DualizeAdvance(state)) => Some(state),
+            _ => None,
+        };
+        let sink = run.checkpoint.as_deref().map(FileCheckpoint::new);
+        let fault = match &sink {
+            Some(s) => FaultCtl::checkpointed(run.retry_policy(), s, run.checkpoint_cadence()),
+            None => FaultCtl::with_retry(run.retry_policy()),
+        };
+        let spec = run.fault_inject.clone().unwrap_or_default();
+        let mut oracle = FaultyOracle::new(NonSuperkeyOracle::new(rel), &spec);
+        match dualize_advance_try_ctl(
+            &mut oracle,
+            TrAlgorithm::Berge,
+            &DualizeAdvanceConfig::default(),
+            1,
+            &cx.ctl(),
+            &fault,
+            resume,
+        ) {
+            Ok(outcome) => {
+                let (da, reason) = outcome.into_parts();
+                (
+                    KeyDiscovery {
+                        minimal_keys: da.negative_border,
+                        maximal_non_superkeys: da.maximal,
+                        queries: da.queries,
+                    },
+                    reason,
+                )
+            }
+            Err(aborted) => {
+                cx.observer.on_phase_end("keys");
+                return Err(abort_error(aborted, run.checkpoint.as_deref(), cx));
+            }
+        }
+    } else {
+        (minimal_keys_via_agree_sets(rel, TrAlgorithm::Berge), None)
+    };
+    cx.observer.on_phase_end("keys");
+    if let Some(r) = reason {
+        note_partial(&mut body, r);
+    }
+    if keys.minimal_keys.is_empty() && reason.is_none() {
+        out!(body, "\nNo keys: the relation contains duplicate rows.");
+    } else {
+        out!(body, "\nMinimal keys:");
+        for k in &keys.minimal_keys {
+            out!(body, "  {{{}}}", names(universe, k));
+        }
+    }
+    out!(body, "Maximal agree sets:");
+    for ag in &keys.maximal_non_superkeys {
+        out!(body, "  {{{}}}", names(universe, ag));
+    }
+    if fds {
+        out!(body, "\nMinimal functional dependencies:");
+        let mut any = false;
+        for target in 0..rel.n_attrs() {
+            let d = minimal_fd_lhs_via_agree_sets(rel, target, TrAlgorithm::Berge);
+            for lhs in &d.minimal_lhs {
+                any = true;
+                out!(
+                    body,
+                    "  {{{}}} → {}",
+                    names(universe, lhs),
+                    universe.name(target)
+                );
+            }
+        }
+        if !any {
+            out!(body, "  (none)");
+        }
+    }
+    Ok(JobOutput {
+        body,
+        reason,
+        not_dual: false,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// transversals
+// ---------------------------------------------------------------------------
+
+/// Flattens a planner report into the stats-artifact record: the executed
+/// backend and rule always, engine counters only where that backend
+/// collects them (so e.g. a Berge run stamps no `tr_nodes`).
+fn dualize_stats(report: &plan::PlanReport) -> DualizeStats {
+    let mu = report.mu.as_ref();
+    DualizeStats {
+        backend: report.decision.backend_name().to_string(),
+        rule: report.decision.rule.to_string(),
+        nodes: mu.map(|m| m.nodes),
+        emitted: mu.map(|m| m.emitted),
+        minimality_prunes: mu.map(|m| m.minimality_prunes),
+        dead_branches: mu.map(|m| m.dead_branches),
+        crit_removals: mu.map(|m| m.crit_removals),
+        crit_restores: mu.map(|m| m.crit_restores),
+        egm_splits: report.egm.as_ref().map(|e| e.splits),
+        egm_leaves: report.egm.as_ref().map(|e| e.leaves),
+    }
+}
+
+/// Computes Tr(H) and renders the `transversals` body.
+pub fn transversals(
+    universe: &Universe,
+    h: &Hypergraph,
+    algo: TrAlgorithm,
+    run: &RunOpts,
+    cx: &ExecCtx<'_>,
+) -> Result<JobOutput, JobError> {
+    let mut body = String::new();
+    out!(
+        body,
+        "hypergraph: {} vertices, {} edges (simple: {})",
+        h.universe_size(),
+        h.len(),
+        h.is_simple()
+    );
+    cx.observer.on_phase_start("transversals");
+    let (edges, reason, engine) = if run.fault_tolerant() {
+        // Fault-tolerant route via Theorem 7: against the family oracle
+        // of edge complements, "uninteresting" = transversal, so a
+        // Dualize & Advance run delivers Bd⁻ = Tr(H).
+        let resume = match load_resume(run, DUALIZE_ADVANCE_KIND, cx)? {
+            Some(ResumeState::DualizeAdvance(state)) => Some(state),
+            _ => None,
+        };
+        let sink = run.checkpoint.as_deref().map(FileCheckpoint::new);
+        let fault = match &sink {
+            Some(s) => FaultCtl::checkpointed(run.retry_policy(), s, run.checkpoint_cadence()),
+            None => FaultCtl::with_retry(run.retry_policy()),
+        };
+        let spec = run.fault_inject.clone().unwrap_or_default();
+        let complements: Vec<_> = h.edges().iter().map(AttrSet::complement).collect();
+        let mut oracle =
+            FaultyOracle::new(FamilyOracle::new(h.universe_size(), complements), &spec);
+        match dualize_advance_try_ctl(
+            &mut oracle,
+            algo,
+            &DualizeAdvanceConfig::default(),
+            cx.threads,
+            &cx.ctl(),
+            &fault,
+            resume,
+        ) {
+            Ok(outcome) => {
+                let (da, reason) = outcome.into_parts();
+                (
+                    da.negative_border,
+                    reason,
+                    format!("dualize-advance/{}", plan::algo_name(algo)),
+                )
+            }
+            Err(aborted) => {
+                cx.observer.on_phase_end("transversals");
+                return Err(abort_error(aborted, run.checkpoint.as_deref(), cx));
+            }
+        }
+    } else {
+        // Planner path: `--algo auto` resolves through the instance-shape
+        // planner; the report carries what actually ran plus the engine's
+        // search counters, injected into the stats artifact from up here
+        // (obs sits below hypergraph, same pattern as the scheduler
+        // counters).
+        let (outcome, report) = plan::dualize_ctl_report(h, algo, cx.threads, &cx.ctl());
+        cx.stats.set_dualize(dualize_stats(&report));
+        let (tr, reason) = outcome.into_parts();
+        let engine = if algo == TrAlgorithm::Auto {
+            format!(
+                "{} (planner: {})",
+                report.decision.backend_name(),
+                report.decision.rule
+            )
+        } else {
+            report.decision.backend_name().to_string()
+        };
+        (tr.edges().to_vec(), reason, engine)
+    };
+    cx.observer.on_phase_end("transversals");
+    if let Some(r) = reason {
+        note_partial(&mut body, r);
+    }
+    // Engine choice is narration, not results: the note channel keeps
+    // the body bit-identical across engines computing the same Tr(H)
+    // (notably a warm cache hit vs. the cold run that filled it); the
+    // machine-readable copy is the stats JSON `planner_choice`.
+    (cx.note)(&format!("note: engine {engine}"));
+    out!(body, "\nTr(H): {} minimal transversals:", edges.len());
+    for t in &edges {
+        out!(body, "  {{{}}}", names(universe, t));
+    }
+    Ok(JobOutput {
+        body,
+        reason,
+        not_dual: false,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// verify-dual
+// ---------------------------------------------------------------------------
+
+/// Decides whether `g = Tr(f)` without enumerating. Parses both texts
+/// over one merged vertex dictionary (so the families land in the same
+/// universe even when each mentions only its own vertex names), then
+/// runs the witness checker. The body is the verdict line; `not_dual`
+/// carries the exit-1 verdict.
+pub fn verify_dual_pair(
+    f_text: &str,
+    g_text: &str,
+    f_label: &str,
+    g_label: &str,
+) -> Result<JobOutput, JobError> {
+    let mut vocab: Vec<String> = Vec::new();
+    let mut index = std::collections::HashMap::new();
+    let f_raw = formats::parse_hypergraph_raw(f_text, &mut vocab, &mut index)
+        .map_err(|e| JobError::Format(e.in_file(f_label)))?;
+    let g_raw = formats::parse_hypergraph_raw(g_text, &mut vocab, &mut index)
+        .map_err(|e| JobError::Format(e.in_file(g_label)))?;
+    let n = vocab.len();
+    let f =
+        formats::hypergraph_from_raw(n, f_raw).map_err(|e| JobError::Format(e.in_file(f_label)))?;
+    let g =
+        formats::hypergraph_from_raw(n, g_raw).map_err(|e| JobError::Format(e.in_file(g_label)))?;
+    if dualminer_hypergraph::verify_dual(&f, &g) {
+        Ok(JobOutput::complete("dual\n".to_string()))
+    } else {
+        Ok(JobOutput {
+            body: "not dual\n".to_string(),
+            reason: None,
+            not_dual: true,
+        })
+    }
+}

@@ -38,7 +38,7 @@ pub struct FormatError {
 }
 
 impl FormatError {
-    fn new(message: impl Into<String>) -> FormatError {
+    pub(crate) fn new(message: impl Into<String>) -> FormatError {
         FormatError {
             file: None,
             line: None,
@@ -96,9 +96,8 @@ impl std::error::Error for FormatError {}
 /// appearance.
 ///
 /// Thin wrapper over [`parse_baskets_reader`] at the default segment
-/// size. The CLI itself always streams from the file, so outside of
-/// tests this wrapper has no callers.
-#[cfg_attr(not(test), allow(dead_code))]
+/// size. The CLI itself always streams from the file; the daemon parses
+/// in-memory request payloads through here.
 pub fn parse_baskets(text: &str) -> Result<(Universe, TransactionDb), FormatError> {
     parse_baskets_reader(Cursor::new(text), DEFAULT_SEGMENT_ROWS)
 }
@@ -151,7 +150,6 @@ pub fn parse_baskets_reader(
 /// introduces a comment when it starts a line — data cells may
 /// legitimately contain `#` (part numbers, anchors, …), so inline
 /// stripping would silently corrupt them.
-#[cfg_attr(not(test), allow(dead_code))]
 pub fn parse_relation(text: &str) -> Result<(Universe, Relation), FormatError> {
     parse_relation_reader(Cursor::new(text))
 }
@@ -304,7 +302,7 @@ pub fn parse_events(text: &str) -> Result<(Vec<String>, EventSequence), FormatEr
     Ok((names, EventSequence::from_pairs(alphabet, pairs)))
 }
 
-fn strip_comment(line: &str) -> &str {
+pub(crate) fn strip_comment(line: &str) -> &str {
     match line.find('#') {
         Some(i) => &line[..i],
         None => line,

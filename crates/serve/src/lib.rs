@@ -1,0 +1,46 @@
+//! # dualminer-serve
+//!
+//! The mining-as-a-service runtime behind `dualminer serve`: everything a
+//! long-lived daemon needs that a one-shot CLI run does not, split out of
+//! the CLI so both frontends execute jobs through the *same* code and
+//! therefore produce byte-identical results.
+//!
+//! The layering, bottom-up:
+//!
+//! * [`formats`] — the input-file parsers (baskets, CSV relations,
+//!   hypergraphs, events), moved here from the CLI so both frontends
+//!   share one parse.
+//! * [`job`] — the job vocabulary: [`job::RunOpts`] (budgets, fault
+//!   tolerance, checkpointing), [`job::Support`], and the flag-value
+//!   parsers (`--timeout` durations, `--algo` spellings, support
+//!   thresholds) reused by the CLI parser and the wire protocol.
+//! * [`exec`] — job execution and rendering: each subcommand body
+//!   (engine routing, budget handling, checkpoint resume, output
+//!   formatting) as a function from parsed input to an output string.
+//!   The CLI prints that string; the daemon caches and ships it.
+//! * [`canon`] — canonical input fingerprinting on top of
+//!   [`dualminer_obs::fingerprint`]: whitespace/comment-equivalent
+//!   inputs hash equal, and basket inputs record per-row prefix digests
+//!   so appended-rows near-misses are recognized.
+//! * [`cache`] — the bounded, sharded, LRU result cache keyed by
+//!   (params fingerprint, content fingerprint), holding rendered bodies,
+//!   stats artifacts, and the mined collections that power incremental
+//!   re-mining.
+//! * [`proto`] — the line-oriented JSON wire protocol: request parsing
+//!   and response-event builders.
+//! * [`server`] — the daemon: listeners, the bounded worker pool,
+//!   in-flight deduplication, cancellation, and clean shutdown.
+//! * [`client`] — a small blocking client used by `dualminer request`,
+//!   the integration tests, and the benchmarks.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod canon;
+pub mod client;
+pub mod exec;
+pub mod formats;
+pub mod job;
+pub mod proto;
+pub mod server;

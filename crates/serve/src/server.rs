@@ -1,0 +1,1066 @@
+//! The `dualminer serve` daemon.
+//!
+//! A long-lived process accepting concurrent clients over TCP and/or a
+//! unix socket, speaking the line-oriented JSON protocol of
+//! [`crate::proto`]. Each connection gets a reader thread; jobs are
+//! multiplexed onto a bounded worker pool (the engines underneath fan
+//! out further through the deterministic work-stealing scheduler, so the
+//! pool bounds *jobs*, not parallelism).
+//!
+//! The perf core is the flow in [`serve_job`]:
+//!
+//! 1. canonical content fingerprint (input equivalence, not bytes),
+//! 2. exact-key cache lookup — warm hits answer in O(1) with the stored
+//!    body and stats, no engine or oracle work,
+//! 3. appended-rows probe — a mine request extending a cached input
+//!    re-mines incrementally from the cached collection,
+//! 4. in-flight dedup — N identical concurrent requests run the engine
+//!    once; the rest wait on the flight and share its result,
+//! 5. a fresh computation through [`crate::exec`] otherwise.
+//!
+//! Jobs are cancellable (`cancel` trips the job's budget meter, so the
+//! engines stop at their next safe point exactly as a `--timeout` would)
+//! and resumable across daemon restarts via the same checkpoint
+//! envelopes the CLI uses. Shutdown drains: the queue closes, workers
+//! finish what they hold, every connection and listener thread joins.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener};
+#[cfg(unix)]
+use std::os::unix::net::UnixListener;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use dualminer_bitset::Universe;
+use dualminer_obs::{available_cpus, BudgetReason, Meter, MiningObserver, StatsCollector};
+
+use crate::cache::{Entry, MineArtifacts, ResultCache};
+use crate::canon;
+use crate::exec::{self, ExecCtx, JobError, MineOpts};
+use crate::formats;
+use crate::job::Support;
+use crate::proto::{self, CacheTag, Input, JobRequest, OpKind, Request, ServerCounters};
+
+/// How long blocking reads and accept polls wait before re-checking the
+/// shutdown flag. Bounds shutdown latency without busy-spinning.
+const POLL: Duration = Duration::from_millis(100);
+
+/// Server configuration (the `serve` subcommand's flags).
+#[derive(Clone, Debug, Default)]
+pub struct ServeConfig {
+    /// TCP listen address (e.g. `"127.0.0.1:0"`). When both this and
+    /// `unix` are `None`, defaults to an ephemeral localhost TCP port.
+    pub tcp: Option<String>,
+    /// Unix socket path to listen on.
+    pub unix: Option<String>,
+    /// Worker-pool size (0 = available CPUs).
+    pub workers: usize,
+    /// Result-cache capacity in entries (0 = default 256).
+    pub cache_entries: usize,
+}
+
+// ---------------------------------------------------------------------------
+// Connection plumbing
+// ---------------------------------------------------------------------------
+
+/// The write half of one connection. Workers and the reader thread both
+/// emit events here; the mutex makes each line atomic. A failed write
+/// marks the connection dead and later sends become no-ops — a client
+/// that disconnected mid-job just loses its events, the job itself
+/// completes (and populates the cache) regardless.
+struct ConnSink {
+    writer: Mutex<Box<dyn Write + Send>>,
+    alive: AtomicBool,
+}
+
+impl ConnSink {
+    fn new(writer: Box<dyn Write + Send>) -> ConnSink {
+        ConnSink {
+            writer: Mutex::new(writer),
+            alive: AtomicBool::new(true),
+        }
+    }
+
+    fn send(&self, line: &str) {
+        if !self.alive.load(Ordering::Relaxed) {
+            return;
+        }
+        let mut w = self.writer.lock().unwrap();
+        if writeln!(w, "{line}").and_then(|()| w.flush()).is_err() {
+            self.alive.store(false, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Buffered line reading over a raw stream with a read timeout. Unlike
+/// `BufReader::read_line`, a timeout between chunks never discards the
+/// partial line already buffered — it just re-checks the shutdown flag
+/// and keeps reading.
+struct LineReader<R: Read> {
+    inner: R,
+    buf: Vec<u8>,
+}
+
+impl<R: Read> LineReader<R> {
+    fn new(inner: R) -> LineReader<R> {
+        LineReader {
+            inner,
+            buf: Vec::new(),
+        }
+    }
+
+    /// The next complete line, or `None` on EOF, hard error, or shutdown.
+    fn next_line(&mut self, shutdown: &AtomicBool) -> Option<String> {
+        loop {
+            if let Some(pos) = self.buf.iter().position(|&b| b == b'\n') {
+                let mut line: Vec<u8> = self.buf.drain(..=pos).collect();
+                line.pop();
+                if line.last() == Some(&b'\r') {
+                    line.pop();
+                }
+                return Some(String::from_utf8_lossy(&line).into_owned());
+            }
+            if shutdown.load(Ordering::SeqCst) {
+                return None;
+            }
+            let mut chunk = [0u8; 4096];
+            match self.inner.read(&mut chunk) {
+                Ok(0) => return None,
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock
+                            | io::ErrorKind::TimedOut
+                            | io::ErrorKind::Interrupted
+                    ) =>
+                {
+                    continue
+                }
+                Err(_) => return None,
+            }
+        }
+    }
+}
+
+/// Per-job cancellation handle, registered when the request is read so a
+/// `cancel` can reach a job that is still queued. Cancelling trips the
+/// budget meter once the job has one; before that, the flag makes the
+/// worker cancel the meter the moment it is created.
+struct JobCtl {
+    cancel: AtomicBool,
+    meter: Mutex<Option<Arc<Meter>>>,
+}
+
+impl JobCtl {
+    fn new() -> JobCtl {
+        JobCtl {
+            cancel: AtomicBool::new(false),
+            meter: Mutex::new(None),
+        }
+    }
+
+    fn cancel(&self) {
+        self.cancel.store(true, Ordering::SeqCst);
+        if let Some(meter) = self.meter.lock().unwrap().as_ref() {
+            meter.cancel();
+        }
+    }
+}
+
+struct QueuedJob {
+    sink: Arc<ConnSink>,
+    conn_id: u64,
+    ctl: Arc<JobCtl>,
+    req: JobRequest,
+}
+
+// ---------------------------------------------------------------------------
+// In-flight deduplication
+// ---------------------------------------------------------------------------
+
+/// What a finished computation publishes to its coalesced waiters.
+#[derive(Clone)]
+enum FlightResult {
+    Done {
+        body: Arc<str>,
+        stats: Arc<str>,
+        exit: i32,
+        reason: Option<BudgetReason>,
+    },
+    Failed {
+        code: i32,
+        message: String,
+    },
+}
+
+struct Flight {
+    done: Mutex<Option<FlightResult>>,
+    cv: Condvar,
+}
+
+impl Flight {
+    fn new() -> Flight {
+        Flight {
+            done: Mutex::new(None),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn publish(&self, result: FlightResult) {
+        *self.done.lock().unwrap() = Some(result);
+        self.cv.notify_all();
+    }
+
+    fn wait(&self) -> FlightResult {
+        let mut done = self.done.lock().unwrap();
+        loop {
+            if let Some(result) = done.as_ref() {
+                return result.clone();
+            }
+            done = self.cv.wait(done).unwrap();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared server state
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+struct Counters {
+    jobs: AtomicU64,
+    computations: AtomicU64,
+    hits: AtomicU64,
+    coalesced: AtomicU64,
+    incremental: AtomicU64,
+    errors: AtomicU64,
+}
+
+struct Shared {
+    cache: ResultCache,
+    inflight: Mutex<HashMap<(u64, u64), Arc<Flight>>>,
+    queue: Mutex<VecDeque<QueuedJob>>,
+    queue_cv: Condvar,
+    shutdown: AtomicBool,
+    running: Mutex<HashMap<(u64, u64), Arc<JobCtl>>>,
+    conns: Mutex<Vec<JoinHandle<()>>>,
+    counters: Counters,
+    workers: u64,
+    next_conn: AtomicU64,
+}
+
+impl Shared {
+    fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.queue_cv.notify_all();
+    }
+
+    fn server_counters(&self) -> ServerCounters {
+        let cache = self.cache.counters();
+        ServerCounters {
+            jobs: self.counters.jobs.load(Ordering::Relaxed),
+            computations: self.counters.computations.load(Ordering::Relaxed),
+            hits: self.counters.hits.load(Ordering::Relaxed),
+            coalesced: self.counters.coalesced.load(Ordering::Relaxed),
+            incremental: self.counters.incremental.load(Ordering::Relaxed),
+            errors: self.counters.errors.load(Ordering::Relaxed),
+            workers: self.workers,
+            cache_entries: cache.entries,
+            cache_evictions: cache.evictions,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The observer
+// ---------------------------------------------------------------------------
+
+/// The daemon's observer: always feeds a per-job [`StatsCollector`]; with
+/// `"progress": true` additionally streams the same narration lines the
+/// CLI prints to stderr, as `progress` events on the client's connection.
+struct ServeObserver {
+    stats: StatsCollector,
+    progress: Option<(Arc<ConnSink>, u64)>,
+}
+
+impl ServeObserver {
+    fn new(progress: Option<(Arc<ConnSink>, u64)>) -> ServeObserver {
+        ServeObserver {
+            stats: StatsCollector::new(),
+            progress,
+        }
+    }
+
+    fn emit(&self, text: &str) {
+        if let Some((sink, id)) = &self.progress {
+            sink.send(&proto::ev_progress(*id, &format!("[progress] {text}")));
+        }
+    }
+}
+
+impl MiningObserver for ServeObserver {
+    fn on_phase_start(&self, name: &str) {
+        self.stats.on_phase_start(name);
+        self.emit(&format!("phase {name} started"));
+    }
+
+    fn on_phase_end(&self, name: &str) {
+        self.stats.on_phase_end(name);
+        self.emit(&format!("phase {name} finished"));
+    }
+
+    fn on_level(&self, level: usize, candidates: usize, interesting: usize) {
+        self.stats.on_level(level, candidates, interesting);
+        self.emit(&format!(
+            "level {level}: {candidates} candidates, {interesting} interesting"
+        ));
+    }
+
+    fn on_iteration(&self, iteration: usize, transversals_tested: usize, counterexample: bool) {
+        self.stats
+            .on_iteration(iteration, transversals_tested, counterexample);
+        self.emit(&format!(
+            "iteration {iteration}: {transversals_tested} transversals tested, \
+             counterexample: {counterexample}"
+        ));
+    }
+
+    fn on_fk_calls(&self, count: u64) {
+        self.stats.on_fk_calls(count);
+    }
+
+    fn on_transversals(&self, count: u64) {
+        self.stats.on_transversals(count);
+    }
+
+    fn on_nodes(&self, count: u64) {
+        self.stats.on_nodes(count);
+    }
+
+    fn on_retry(&self, attempt: u32, will_retry: bool) {
+        self.emit(&format!(
+            "oracle fault, attempt {attempt} (retrying: {will_retry})"
+        ));
+    }
+
+    fn on_checkpoint(&self, queries_so_far: u64) {
+        self.stats.on_checkpoint(queries_so_far);
+        self.emit(&format!("checkpoint saved at {queries_so_far} queries"));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Job execution
+// ---------------------------------------------------------------------------
+
+/// A job's outcome, ready to serialize as its `result` event.
+struct Served {
+    tag: CacheTag,
+    body: Arc<str>,
+    stats: Arc<str>,
+    exit: i32,
+    reason: Option<BudgetReason>,
+    fingerprint: String,
+}
+
+type JobFailure = (i32, String);
+
+fn read_input(input: &Input) -> Result<String, JobFailure> {
+    match input {
+        Input::Inline(text) => Ok(text.clone()),
+        Input::Path(path) => {
+            std::fs::read_to_string(path).map_err(|e| (4, format!("cannot read {path:?}: {e}")))
+        }
+    }
+}
+
+fn job_error(e: JobError) -> JobFailure {
+    match e {
+        JobError::Format(e) => (3, e.to_string()),
+        JobError::Io(msg) => (4, msg),
+        JobError::Fault(msg) => (5, msg),
+    }
+}
+
+fn exit_for(out: &exec::JobOutput) -> i32 {
+    if out.reason.is_some() {
+        6
+    } else if out.not_dual {
+        1
+    } else {
+        0
+    }
+}
+
+/// Whether a complete result of this request may be stored: plain runs
+/// only. Fault injection, retries, and checkpoint/resume runs are kept
+/// out of the cache — their outputs depend on state beyond the content
+/// fingerprint (checkpoint files on disk) or are exercises whose point is
+/// to run the engine.
+fn storeable(req: &JobRequest) -> bool {
+    req.cache_mode == proto::CacheMode::Normal
+        && req.run.fault_inject.is_none()
+        && req.run.retry == 0
+        && req.run.checkpoint.is_none()
+        && !req.run.resume
+}
+
+/// Whether a mine request may be served by incremental re-mining on top
+/// of a cached base. Stricter than [`storeable`]: the FUP-style update is
+/// proven bit-identical to from-scratch only for *complete* runs over a
+/// fixed absolute threshold, so any budget that could cut the run short
+/// mid-update, and any relative threshold (which resolves differently on
+/// the extended row count), falls back to a cold run.
+fn incremental_ok(req: &JobRequest) -> bool {
+    storeable(req)
+        && req.run.timeout.is_none()
+        && req.run.max_queries.is_none()
+        && req.run.max_transversals.is_none()
+        && matches!(
+            req.op,
+            OpKind::Mine {
+                min_support: Support::Absolute(_),
+                ..
+            }
+        )
+}
+
+/// Runs one job end to end; the caller turns the return value into the
+/// terminal event. This is the cache/dedup flow described in the module
+/// docs.
+fn serve_job(
+    shared: &Shared,
+    req: &JobRequest,
+    meter: &Arc<Meter>,
+    sink: &Arc<ConnSink>,
+) -> Result<Served, JobFailure> {
+    let id = req.id;
+
+    // Read and fingerprint the input. Mine keeps its canonical form for
+    // the appended-rows probe and the (single) parse.
+    let text = read_input(&req.input)?;
+    let (content, mine_canon) = match &req.op {
+        OpKind::Mine { .. } => {
+            let canon = canon::canon_baskets(&text)
+                .map_err(|e| (3, e.in_file(req.input.label()).to_string()))?;
+            (canon.fingerprint, Some(canon))
+        }
+        OpKind::Transversals { .. } => (
+            canon::fingerprint_hypergraph(&text)
+                .map_err(|e| (3, e.in_file(req.input.label()).to_string()))?,
+            None,
+        ),
+        OpKind::Keys { .. } => (
+            canon::fingerprint_relation(&text)
+                .map_err(|e| (3, e.in_file(req.input.label()).to_string()))?,
+            None,
+        ),
+        OpKind::VerifyDual => {
+            let input2 = req.input2.as_ref().expect("parser enforced input2");
+            let g_text = read_input(input2)?;
+            let fp = canon::fingerprint_dual_pair(&text, &g_text).map_err(|e| {
+                // The raw parse error does not say which file; report the
+                // one that fails to parse alone.
+                let label = if formats::parse_hypergraph(&text).is_err() {
+                    req.input.label()
+                } else {
+                    input2.label()
+                };
+                (3, e.in_file(label).to_string())
+            })?;
+            (fp, None)
+        }
+    };
+    let params = req.params_fingerprint();
+    let fingerprint = proto::fingerprint_str(params, content);
+    sink.send(&proto::ev_accepted(id, &fingerprint));
+
+    // Pre-flight, exactly like the CLI: an already-spent (or
+    // already-cancelled) budget reports before any work.
+    if let Some(reason) = meter.exceeded() {
+        let observer = ServeObserver::new(None);
+        observer.stats.set_threads(req.threads.max(1));
+        return Ok(Served {
+            tag: CacheTag::Miss,
+            body: format!("budget exceeded ({reason}) before any work was performed\n").into(),
+            stats: observer.stats.to_json(meter, Some(reason)).into(),
+            exit: 6,
+            reason: Some(reason),
+            fingerprint,
+        });
+    }
+
+    // Warm hit: O(1), no engine, no oracle queries.
+    if req.cache_mode != proto::CacheMode::Bypass {
+        if let Some(entry) = shared.cache.lookup(params, content) {
+            shared.counters.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Served {
+                tag: CacheTag::Hit,
+                body: Arc::clone(&entry.body),
+                stats: Arc::clone(&entry.stats),
+                exit: entry.exit,
+                reason: None,
+                fingerprint,
+            });
+        }
+    }
+
+    // In-flight dedup: identical concurrent requests run once.
+    let flight = if req.cache_mode == proto::CacheMode::Normal {
+        let mut inflight = shared.inflight.lock().unwrap();
+        match inflight.get(&(params, content)) {
+            Some(flight) => {
+                let flight = Arc::clone(flight);
+                drop(inflight);
+                shared.counters.coalesced.fetch_add(1, Ordering::Relaxed);
+                return match flight.wait() {
+                    FlightResult::Done {
+                        body,
+                        stats,
+                        exit,
+                        reason,
+                    } => Ok(Served {
+                        tag: CacheTag::Coalesced,
+                        body,
+                        stats,
+                        exit,
+                        reason,
+                        fingerprint,
+                    }),
+                    FlightResult::Failed { code, message } => Err((code, message)),
+                };
+            }
+            None => {
+                let flight = Arc::new(Flight::new());
+                inflight.insert((params, content), Arc::clone(&flight));
+                Some(flight)
+            }
+        }
+    } else {
+        None
+    };
+
+    let outcome = compute_fresh(shared, req, meter, sink, &text, mine_canon, params, content);
+
+    // Publish to waiters and clear the flight — on every path, including
+    // failure, or coalesced requests would hang.
+    if let Some(flight) = flight {
+        flight.publish(match &outcome {
+            Ok(served) => FlightResult::Done {
+                body: Arc::clone(&served.body),
+                stats: Arc::clone(&served.stats),
+                exit: served.exit,
+                reason: served.reason,
+            },
+            Err((code, message)) => FlightResult::Failed {
+                code: *code,
+                message: message.clone(),
+            },
+        });
+        shared.inflight.lock().unwrap().remove(&(params, content));
+    }
+    outcome
+}
+
+/// Runs the engines for a job that neither the cache nor an in-flight
+/// twin could answer: the incremental route when a cached base covers a
+/// prefix of the input, a cold [`crate::exec`] run otherwise. Complete
+/// results of plain runs are stored for the next request.
+#[allow(clippy::too_many_arguments)]
+fn compute_fresh(
+    shared: &Shared,
+    req: &JobRequest,
+    meter: &Arc<Meter>,
+    sink: &Arc<ConnSink>,
+    text: &str,
+    mine_canon: Option<canon::CanonBaskets>,
+    params: u64,
+    content: u64,
+) -> Result<Served, JobFailure> {
+    let id = req.id;
+    shared.counters.computations.fetch_add(1, Ordering::Relaxed);
+
+    let threads = if req.threads == 0 { 1 } else { req.threads };
+    let observer = ServeObserver::new(req.progress.then(|| (Arc::clone(sink), id)));
+    observer.stats.set_threads(threads);
+    if let Some(grain) = req.run.grain {
+        dualminer_parallel::set_default_grain(grain);
+    }
+    let note = |text: &str| sink.send(&proto::ev_note(id, text));
+    let cx = ExecCtx {
+        meter,
+        observer: &observer,
+        stats: &observer.stats,
+        note: &note,
+        threads,
+    };
+
+    let mut tag = CacheTag::Miss;
+    let mut mine_result: Option<(MineArtifacts, u64)> = None;
+    let out = match &req.op {
+        OpKind::Mine {
+            min_support,
+            rules,
+            maximal,
+            segment_rows,
+        } => {
+            let canon = mine_canon.expect("mine jobs carry their canonical form");
+            let opts = MineOpts {
+                rules: *rules,
+                maximal: *maximal,
+            };
+            let base = incremental_ok(req)
+                .then(|| shared.cache.find_mine_base(params, &canon))
+                .flatten();
+            if let Some((entry, base_rows)) = base {
+                // Incremental re-mining from the cached prefix.
+                tag = CacheTag::Incremental;
+                shared.counters.incremental.fetch_add(1, Ordering::Relaxed);
+                note(&format!(
+                    "note: incremental base covers {base_rows} of {} rows",
+                    canon.rows.len()
+                ));
+                let artifacts = entry.mine.as_ref().expect("mine base carries artifacts");
+                let universe = Universe::new(canon.names.clone());
+                let new_rows = canon.rows_from(base_rows);
+                let (out, update) = exec::mine_incremental(
+                    &universe,
+                    &artifacts.db,
+                    &artifacts.sets,
+                    new_rows,
+                    &opts,
+                    &cx,
+                );
+                mine_result = Some((
+                    MineArtifacts {
+                        db: update.db,
+                        sets: update.frequent,
+                    },
+                    canon.rows.len() as u64,
+                ));
+                out
+            } else {
+                let (universe, db) = canon.build(*segment_rows);
+                let sigma = min_support.resolve(db.n_rows());
+                let (out, sets) =
+                    exec::mine(&universe, &db, sigma, &opts, &req.run, &cx).map_err(job_error)?;
+                mine_result = Some((MineArtifacts { db, sets }, canon.rows.len() as u64));
+                out
+            }
+        }
+        OpKind::Transversals { algo } => {
+            let (universe, h) = formats::parse_hypergraph(text)
+                .map_err(|e| (3, e.in_file(req.input.label()).to_string()))?;
+            exec::transversals(&universe, &h, *algo, &req.run, &cx).map_err(job_error)?
+        }
+        OpKind::Keys { fds } => {
+            let (universe, rel) = formats::parse_relation(text)
+                .map_err(|e| (3, e.in_file(req.input.label()).to_string()))?;
+            exec::keys(&universe, &rel, *fds, &req.run, &cx).map_err(job_error)?
+        }
+        OpKind::VerifyDual => {
+            let input2 = req.input2.as_ref().expect("parser enforced input2");
+            let g_text = read_input(input2)?;
+            exec::verify_dual_pair(text, &g_text, req.input.label(), input2.label())
+                .map_err(job_error)?
+        }
+    };
+
+    let exit = exit_for(&out);
+    let stats: Arc<str> = observer.stats.to_json(meter, out.reason).into();
+    let body: Arc<str> = out.body.into();
+    if storeable(req) && out.reason.is_none() {
+        let (mine, rows) = match mine_result {
+            Some((artifacts, rows)) => (Some(Arc::new(artifacts)), rows),
+            None => (None, 0),
+        };
+        shared.cache.insert(Entry {
+            params,
+            content,
+            rows,
+            body: Arc::clone(&body),
+            stats: Arc::clone(&stats),
+            exit,
+            mine,
+        });
+    }
+    Ok(Served {
+        tag,
+        body,
+        stats,
+        exit,
+        reason: out.reason,
+        fingerprint: proto::fingerprint_str(params, content),
+    })
+}
+
+fn worker_loop(shared: Arc<Shared>) {
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock().unwrap();
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break job;
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                queue = shared.queue_cv.wait(queue).unwrap();
+            }
+        };
+        run_job(&shared, job);
+    }
+}
+
+fn run_job(shared: &Shared, job: QueuedJob) {
+    let QueuedJob {
+        sink,
+        conn_id,
+        ctl,
+        req,
+    } = job;
+    let id = req.id;
+    let meter = Arc::new(req.run.budget().start());
+    *ctl.meter.lock().unwrap() = Some(Arc::clone(&meter));
+    if ctl.cancel.load(Ordering::SeqCst) {
+        meter.cancel();
+    }
+
+    let outcome = serve_job(shared, &req, &meter, &sink);
+
+    // Deregister (only if this registration is still ours — a reused job
+    // id re-registers and must not be unregistered by the older job).
+    let mut running = shared.running.lock().unwrap();
+    if running
+        .get(&(conn_id, id))
+        .is_some_and(|cur| Arc::ptr_eq(cur, &ctl))
+    {
+        running.remove(&(conn_id, id));
+    }
+    drop(running);
+
+    match outcome {
+        Ok(served) => {
+            sink.send(&proto::ev_result(
+                id,
+                served.tag,
+                served.reason,
+                served.exit,
+                &served.fingerprint,
+                &served.body,
+                &served.stats,
+            ));
+        }
+        Err((code, message)) => {
+            shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+            sink.send(&proto::ev_error(id, code, &message));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Listeners and connections
+// ---------------------------------------------------------------------------
+
+fn handle_conn(shared: Arc<Shared>, reader: Box<dyn Read + Send>, writer: Box<dyn Write + Send>) {
+    let conn_id = shared.next_conn.fetch_add(1, Ordering::Relaxed);
+    let sink = Arc::new(ConnSink::new(writer));
+    let mut lines = LineReader::new(reader);
+    while let Some(line) = lines.next_line(&shared.shutdown) {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match proto::parse_request(&line) {
+            Err(e) => {
+                shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+                sink.send(&proto::ev_error(0, 7, &e.message));
+            }
+            Ok(Request::Job(req)) => {
+                shared.counters.jobs.fetch_add(1, Ordering::Relaxed);
+                let ctl = Arc::new(JobCtl::new());
+                shared
+                    .running
+                    .lock()
+                    .unwrap()
+                    .insert((conn_id, req.id), Arc::clone(&ctl));
+                shared.queue.lock().unwrap().push_back(QueuedJob {
+                    sink: Arc::clone(&sink),
+                    conn_id,
+                    ctl,
+                    req: *req,
+                });
+                shared.queue_cv.notify_one();
+            }
+            Ok(Request::Cancel { id, job }) => {
+                let found = {
+                    let running = shared.running.lock().unwrap();
+                    running.get(&(conn_id, job)).map(Arc::clone)
+                };
+                if let Some(ctl) = &found {
+                    ctl.cancel();
+                }
+                sink.send(&proto::ev_cancelled(id, job, found.is_some()));
+            }
+            Ok(Request::ServerStats { id }) => {
+                sink.send(&proto::ev_server_stats(id, &shared.server_counters()));
+            }
+            Ok(Request::Shutdown { id }) => {
+                sink.send(&proto::ev_shutdown(id));
+                shared.begin_shutdown();
+                break;
+            }
+        }
+    }
+    // Client gone (or shutting down): cancel this connection's jobs so
+    // workers are not held by output nobody will read.
+    let running = shared.running.lock().unwrap();
+    for ((conn, _), ctl) in running.iter() {
+        if *conn == conn_id {
+            ctl.cancel();
+        }
+    }
+}
+
+fn accept_loop_tcp(shared: Arc<Shared>, listener: TcpListener) {
+    listener
+        .set_nonblocking(true)
+        .expect("set_nonblocking on TCP listener");
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = stream.set_nodelay(true);
+                stream
+                    .set_read_timeout(Some(POLL))
+                    .expect("set_read_timeout");
+                let writer = stream.try_clone().expect("clone TCP stream");
+                let shared2 = Arc::clone(&shared);
+                let handle = std::thread::spawn(move || {
+                    handle_conn(shared2, Box::new(stream), Box::new(writer))
+                });
+                shared.conns.lock().unwrap().push(handle);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(50)),
+        }
+    }
+}
+
+#[cfg(unix)]
+fn accept_loop_unix(shared: Arc<Shared>, listener: UnixListener) {
+    listener
+        .set_nonblocking(true)
+        .expect("set_nonblocking on unix listener");
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                stream
+                    .set_read_timeout(Some(POLL))
+                    .expect("set_read_timeout");
+                let writer = stream.try_clone().expect("clone unix stream");
+                let shared2 = Arc::clone(&shared);
+                let handle = std::thread::spawn(move || {
+                    handle_conn(shared2, Box::new(stream), Box::new(writer))
+                });
+                shared.conns.lock().unwrap().push(handle);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(50)),
+        }
+    }
+}
+
+/// A running server. Dropping the handle does *not* stop the server; call
+/// [`shutdown`](ServerHandle::shutdown) (or send the `shutdown` op) and
+/// then [`join`](ServerHandle::join).
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    /// The bound TCP address (with the real port when `:0` was requested).
+    pub tcp_addr: Option<SocketAddr>,
+    /// The unix socket path, if one was configured.
+    pub unix_path: Option<PathBuf>,
+    accepters: Vec<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// Begins a drain: no new connections or queue pops block; workers
+    /// finish the jobs they hold and exit.
+    pub fn shutdown(&self) {
+        self.shared.begin_shutdown();
+    }
+
+    /// Waits for the drain to finish: listeners, workers, and every
+    /// connection thread join; the unix socket file is removed. Blocks
+    /// until [`shutdown`](ServerHandle::shutdown) (or a client `shutdown`
+    /// op) has been issued.
+    pub fn join(self) {
+        for h in self.accepters {
+            let _ = h.join();
+        }
+        for h in self.workers {
+            let _ = h.join();
+        }
+        let conns = std::mem::take(&mut *self.shared.conns.lock().unwrap());
+        for h in conns {
+            let _ = h.join();
+        }
+        if let Some(path) = &self.unix_path {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+
+    /// Current server counters (for tests and the CLI banner).
+    pub fn counters(&self) -> ServerCounters {
+        self.shared.server_counters()
+    }
+}
+
+/// Binds the listeners and starts the worker pool.
+pub fn start(config: &ServeConfig) -> io::Result<ServerHandle> {
+    let workers = if config.workers == 0 {
+        available_cpus()
+    } else {
+        config.workers
+    };
+    let cache_entries = if config.cache_entries == 0 {
+        256
+    } else {
+        config.cache_entries
+    };
+    let shared = Arc::new(Shared {
+        cache: ResultCache::new(cache_entries),
+        inflight: Mutex::new(HashMap::new()),
+        queue: Mutex::new(VecDeque::new()),
+        queue_cv: Condvar::new(),
+        shutdown: AtomicBool::new(false),
+        running: Mutex::new(HashMap::new()),
+        conns: Mutex::new(Vec::new()),
+        counters: Counters::default(),
+        workers: workers as u64,
+        next_conn: AtomicU64::new(1),
+    });
+
+    let mut accepters = Vec::new();
+    let mut tcp_addr = None;
+    let default_tcp;
+    let tcp = match (&config.tcp, &config.unix) {
+        (Some(addr), _) => Some(addr.as_str()),
+        (None, None) => {
+            default_tcp = "127.0.0.1:0".to_string();
+            Some(default_tcp.as_str())
+        }
+        (None, Some(_)) => None,
+    };
+    if let Some(addr) = tcp {
+        let listener = TcpListener::bind(addr)?;
+        tcp_addr = Some(listener.local_addr()?);
+        let shared2 = Arc::clone(&shared);
+        accepters.push(std::thread::spawn(move || {
+            accept_loop_tcp(shared2, listener)
+        }));
+    }
+    let mut unix_path = None;
+    if let Some(path) = &config.unix {
+        #[cfg(unix)]
+        {
+            // A stale socket file from a killed daemon blocks the bind;
+            // remove it (connecting to it would have failed anyway).
+            let _ = std::fs::remove_file(path);
+            let listener = UnixListener::bind(path)?;
+            unix_path = Some(PathBuf::from(path));
+            let shared2 = Arc::clone(&shared);
+            accepters.push(std::thread::spawn(move || {
+                accept_loop_unix(shared2, listener)
+            }));
+        }
+        #[cfg(not(unix))]
+        {
+            let _ = path;
+            return Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "unix sockets are not supported on this platform",
+            ));
+        }
+    }
+
+    let worker_handles = (0..workers)
+        .map(|_| {
+            let shared2 = Arc::clone(&shared);
+            std::thread::spawn(move || worker_loop(shared2))
+        })
+        .collect();
+
+    Ok(ServerHandle {
+        shared,
+        tcp_addr,
+        unix_path,
+        accepters,
+        workers: worker_handles,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_reader_splits_and_survives_partial_reads() {
+        // A reader that yields one byte at a time with interleaved
+        // timeouts, as a socket with a read timeout would.
+        struct Trickle {
+            data: Vec<u8>,
+            pos: usize,
+            tick: bool,
+        }
+        impl Read for Trickle {
+            fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+                self.tick = !self.tick;
+                if self.tick {
+                    return Err(io::Error::new(io::ErrorKind::WouldBlock, "poll"));
+                }
+                if self.pos >= self.data.len() {
+                    return Ok(0);
+                }
+                buf[0] = self.data[self.pos];
+                self.pos += 1;
+                Ok(1)
+            }
+        }
+        let shutdown = AtomicBool::new(false);
+        let mut lines = LineReader::new(Trickle {
+            data: b"alpha\r\nbeta\ngamma".to_vec(),
+            pos: 0,
+            tick: false,
+        });
+        assert_eq!(lines.next_line(&shutdown).as_deref(), Some("alpha"));
+        assert_eq!(lines.next_line(&shutdown).as_deref(), Some("beta"));
+        // Trailing data without a newline is dropped at EOF (a client
+        // that dies mid-line never sent a complete request).
+        assert_eq!(lines.next_line(&shutdown), None);
+    }
+
+    #[test]
+    fn job_ctl_cancel_trips_the_meter() {
+        let ctl = JobCtl::new();
+        let meter = Arc::new(dualminer_obs::Budget::default().start());
+        *ctl.meter.lock().unwrap() = Some(Arc::clone(&meter));
+        assert!(meter.exceeded().is_none());
+        ctl.cancel();
+        assert_eq!(meter.exceeded(), Some(BudgetReason::Cancelled));
+    }
+}
