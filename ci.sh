@@ -182,4 +182,86 @@ set -e
 wait "$SRV"
 SRV=""
 
+# Overload/chaos smoke (DESIGN.md §16): a storm of misbehaving clients
+# (garbage frames, mid-frame disconnects) must not take the daemon down
+# or change the answers it still serves; with --cache-snapshot-every 1 a
+# SIGKILL after the reply must leave a loadable snapshot (warm restart);
+# a corrupted snapshot must cold-start with a warning, not a failed
+# boot; and --default-timeout must clamp an unbudgeted job to the typed
+# budget exit 6.
+"$DM" serve --listen 127.0.0.1:0 --workers 2 \
+    --cache-persist "$TMP/cache.snap" --cache-snapshot-every 1 \
+    > "$TMP/serve3.out" 2> "$TMP/serve3.err" &
+SRV=$!
+for _ in $(seq 100); do [ -s "$TMP/serve3.out" ] && break; sleep 0.1; done
+ADDR="$(grep -oE '127\.0\.0\.1:[0-9]+' "$TMP/serve3.out")"
+PORT="${ADDR##*:}"
+STORM=""
+for i in $(seq 8); do
+    (
+        exec 3<>"/dev/tcp/127.0.0.1/$PORT" || exit 0
+        # A garbage line, then a frame dropped mid-JSON (no newline).
+        printf 'not json at all %s\n{"op":"mine","id":%s,"inp' "$i" "$i" >&3
+        exec 3<&-
+    ) &
+    STORM="$STORM $!"
+done
+# An honest request rides through the storm; --retries exercises the
+# client's overload-retry path (not triggered here, but parsed and
+# bounded).
+"$DM" request "$ADDR" --json "$MINE_REQ" --retries 2 --retry-backoff-ms 10 \
+    > "$TMP/chaos.out" 2> /dev/null
+diff "$TMP/plain.out" "$TMP/chaos.out"
+for pid in $STORM; do wait "$pid" || true; done
+# --cache-snapshot-every 1 snapshots before the reply is sent, so the
+# file must already be on disk; SIGKILL (no clean shutdown) and prove
+# the warm cache survived the crash.
+[ -s "$TMP/cache.snap" ] || { echo "periodic snapshot was not written"; exit 1; }
+kill -9 "$SRV"
+wait "$SRV" 2>/dev/null || true
+"$DM" serve --listen 127.0.0.1:0 --cache-persist "$TMP/cache.snap" \
+    > "$TMP/serve4.out" 2> "$TMP/serve4.err" &
+SRV=$!
+for _ in $(seq 100); do [ -s "$TMP/serve4.out" ] && break; sleep 0.1; done
+ADDR="$(grep -oE '127\.0\.0\.1:[0-9]+' "$TMP/serve4.out")"
+"$DM" request "$ADDR" --json "$MINE_REQ" > "$TMP/crash_warm.out" 2> "$TMP/crash_warm.err"
+diff "$TMP/plain.out" "$TMP/crash_warm.out"
+grep -q 'note: cache hit' "$TMP/crash_warm.err" \
+    || { echo "cache did not survive SIGKILL + restart"; exit 1; }
+"$DM" request "$ADDR" --json '{"op":"shutdown","id":9}' > /dev/null
+wait "$SRV"
+SRV=""
+# Corrupt the snapshot: the daemon must boot anyway, warn, and compute
+# the same answer cold.
+printf 'definitely not a checkpoint\n' > "$TMP/cache.snap"
+"$DM" serve --listen 127.0.0.1:0 --cache-persist "$TMP/cache.snap" \
+    > "$TMP/serve5.out" 2> "$TMP/serve5.err" &
+SRV=$!
+for _ in $(seq 100); do [ -s "$TMP/serve5.out" ] && break; sleep 0.1; done
+ADDR="$(grep -oE '127\.0\.0\.1:[0-9]+' "$TMP/serve5.out")"
+grep -q 'cold-starting' "$TMP/serve5.err" \
+    || { echo "corrupted snapshot produced no warning"; exit 1; }
+"$DM" request "$ADDR" --json "$MINE_REQ" > "$TMP/cold.out" 2> "$TMP/cold.err"
+diff "$TMP/plain.out" "$TMP/cold.out"
+grep -q 'note: cache miss' "$TMP/cold.err" \
+    || { echo "corrupted snapshot was not discarded"; exit 1; }
+"$DM" request "$ADDR" --json '{"op":"shutdown","id":9}' > /dev/null
+wait "$SRV"
+SRV=""
+# Server-side deadline: an unbudgeted request is clamped by
+# --default-timeout and comes back as the typed budget result (exit 6).
+"$DM" serve --listen 127.0.0.1:0 --default-timeout 1ns \
+    > "$TMP/serve6.out" 2>/dev/null &
+SRV=$!
+for _ in $(seq 100); do [ -s "$TMP/serve6.out" ] && break; sleep 0.1; done
+ADDR="$(grep -oE '127\.0\.0\.1:[0-9]+' "$TMP/serve6.out")"
+set +e
+"$DM" request "$ADDR" --json "$MINE_REQ" > /dev/null 2> /dev/null
+code=$?
+set -e
+[ "$code" -eq 6 ] || { echo "expected exit 6 from clamped deadline, got $code"; exit 1; }
+"$DM" request "$ADDR" --json '{"op":"shutdown","id":9}' > /dev/null
+wait "$SRV"
+SRV=""
+
 echo "ci.sh: all checks passed"

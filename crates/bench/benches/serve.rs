@@ -23,11 +23,18 @@ use rand::SeedableRng;
 /// Starts an in-process daemon on an ephemeral localhost port with a
 /// cache deep enough that no benchmark loop triggers eviction.
 fn serve(workers: usize) -> (ServerHandle, String) {
+    serve_cfg(ServeConfig {
+        workers,
+        ..ServeConfig::default()
+    })
+}
+
+/// Starts a daemon with full control over the overload knobs.
+fn serve_cfg(config: ServeConfig) -> (ServerHandle, String) {
     let handle = start(&ServeConfig {
         tcp: Some("127.0.0.1:0".into()),
-        unix: None,
-        workers,
         cache_entries: 8192,
+        ..config
     })
     .expect("bind an ephemeral port");
     let addr = handle.tcp_addr.expect("tcp listener").to_string();
@@ -262,10 +269,135 @@ fn bench_concurrent_clients(c: &mut Criterion) {
     handle.join();
 }
 
+/// Overload-path latencies (DESIGN.md §16): how fast a saturated daemon
+/// says *no*, and what the admission-control checks cost a request that
+/// passes them all.
+///
+/// `shed_reply` pins the single worker and fills the one-slot queue with
+/// jobs whose clients never read (the write deadline is set long enough
+/// to outlast the measurement), then times a full round trip that ends
+/// in the typed `overloaded` error — the acceptance bound is well under
+/// 10 ms, since shedding touches no engine and no queue mutation.
+/// `warm_hit_all_limits` repeats a cached mine on a server with every
+/// limit configured but none triggering, so the delta against the plain
+/// `serve/mine_warm_hit` row is the per-request admission overhead.
+fn bench_overload(c: &mut Criterion) {
+    let dir = bench_dir();
+
+    // --- shed_reply ------------------------------------------------------
+    let (handle, addr) = serve_cfg(ServeConfig {
+        workers: 1,
+        max_queue: 1,
+        // Long enough that the stalled pin jobs below outlast the
+        // measurement window instead of being disconnected mid-bench.
+        write_timeout: Some(std::time::Duration::from_secs(600)),
+        ..ServeConfig::default()
+    });
+    // Two connections each send a huge-output job and never read: the
+    // first wedges the worker on a blocked write, the second occupies
+    // the queue slot. Deterministic saturation with no compute racing.
+    let pin_input: String = (0..17).map(|i| format!("a{i} b{i}\\n")).collect();
+    let pin_line = |id: u64| {
+        format!(r#"{{"op":"transversals","id":{id},"input":{{"inline":"{pin_input}"}}}}"#)
+    };
+    let send_pin = |id: u64| {
+        use std::io::Write as _;
+        let mut s = std::net::TcpStream::connect(&addr).expect("connect pin");
+        writeln!(s, "{}", pin_line(id)).expect("send pin job");
+        s.flush().expect("flush pin job");
+        s
+    };
+    let small_buf = dir.join("shed.txt");
+    fs::write(&small_buf, quest_text(20, 500, 6, 24)).expect("write shed baskets");
+    let small = small_buf.to_str().expect("utf-8 temp path");
+    let mut conn = Conn::connect(&addr).expect("connect");
+    let mut wait_stats = |probe_base: u64, pred: &dyn Fn(&Event) -> bool| {
+        for probe in 0..200u64 {
+            let id = probe_base + probe;
+            let events = conn
+                .roundtrip(&format!(r#"{{"op":"server-stats","id":{id}}}"#), id)
+                .expect("stats probe");
+            if pred(events.last().expect("stats event")) {
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(25));
+        }
+        panic!("server never saturated for the shed benchmark");
+    };
+    // Sequence the pins so the second cannot race the worker's pop of
+    // the first (which would shed it and leave the queue slot empty).
+    let pin1 = send_pin(1);
+    wait_stats(900, &|s| s.int_field("busy_workers") == Some(1));
+    let pin2 = send_pin(2);
+    wait_stats(1900, &|s| s.int_field("jobs") == Some(2));
+
+    let mut group = c.benchmark_group("serve_overload");
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    group.sample_size(10);
+    group.bench_function("shed_reply", |b| {
+        b.iter(|| {
+            let events = conn
+                .roundtrip(&mine_line(50, small, 50, false, "normal"), 50)
+                .expect("shed roundtrip");
+            let last = events.last().expect("terminal event");
+            assert_eq!(last.kind, "error", "saturated server must shed");
+            assert_eq!(last.str_field("kind"), Some("overloaded"));
+        })
+    });
+    group.finish();
+    drop(conn);
+    drop((pin1, pin2));
+    handle.shutdown();
+    handle.join();
+
+    // --- warm_hit_all_limits --------------------------------------------
+    let snap = dir.join("bench_cache.snap");
+    let (handle, addr) = serve_cfg(ServeConfig {
+        workers: 1,
+        max_queue: 1024,
+        max_inflight_per_conn: 64,
+        max_frame_bytes: 8 * 1024 * 1024,
+        max_rows: 1_000_000,
+        max_items: 1_000_000,
+        default_timeout: Some(std::time::Duration::from_secs(600)),
+        max_timeout: Some(std::time::Duration::from_secs(3600)),
+        cache_persist: Some(snap.to_string_lossy().into_owned()),
+        ..ServeConfig::default()
+    });
+    let deep_buf = dir.join("deep_limits.txt");
+    fs::write(&deep_buf, quest_text(26, 400, 13, 21)).expect("write deep baskets");
+    let deep = deep_buf.to_str().expect("utf-8 temp path");
+    let mut conn = Conn::connect(&addr).expect("connect");
+    let warmup = conn
+        .roundtrip(&mine_line(60, deep, 40, true, "normal"), 60)
+        .expect("prewarm roundtrip");
+    expect_result(&warmup, "miss");
+
+    let mut group = c.benchmark_group("serve_overload");
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    group.sample_size(10);
+    group.bench_function("warm_hit_all_limits", |b| {
+        b.iter(|| {
+            let events = conn
+                .roundtrip(&mine_line(61, deep, 40, true, "normal"), 61)
+                .expect("warm roundtrip");
+            expect_result(&events, "hit");
+        })
+    });
+    group.finish();
+    drop(conn);
+    handle.shutdown();
+    handle.join();
+    let _ = fs::remove_file(&snap);
+}
+
 criterion_group!(
     benches,
     bench_cold_vs_warm,
     bench_incremental_append,
-    bench_concurrent_clients
+    bench_concurrent_clients,
+    bench_overload
 );
 criterion_main!(benches);

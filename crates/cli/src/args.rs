@@ -5,6 +5,8 @@
 //! [`dualminer_serve::job`], so a flag and the corresponding JSON field
 //! accept exactly the same syntax.
 
+use std::time::Duration;
+
 use dualminer_hypergraph::TrAlgorithm;
 use dualminer_serve::job::{parse_algo, parse_duration, parse_support, validate_run};
 
@@ -25,8 +27,13 @@ USAGE:
     dualminer episodes <events.txt> --window <W> --min-freq <0.x> [--serial|--parallel]
                    [RUN OPTIONS]
     dualminer serve [--listen <host:port>] [--unix <path>] [--workers <N>]
-                   [--cache-entries <N>]
+                   [--cache-entries <N>] [--max-queue <N>]
+                   [--max-inflight-per-conn <N>] [--default-timeout <D>]
+                   [--max-timeout <D>] [--max-frame-bytes <N>]
+                   [--max-rows <N>] [--max-items <N>] [--write-timeout <D>]
+                   [--cache-persist <path>] [--cache-snapshot-every <N>]
     dualminer request <addr> (--json <line> | --json-file <path>) [--stats] [--quiet]
+                   [--timeout <D>] [--retries <N>] [--retry-backoff-ms <N>]
     dualminer --help
 
 SUBCOMMANDS:
@@ -75,6 +82,32 @@ SERVE OPTIONS:
     --unix <path>         also (or only) listen on a unix socket
     --workers <N>         job worker pool size (0 = available cores)
     --cache-entries <N>   result-cache capacity in entries (default 256)
+    --max-queue <N>       bound on queued jobs; past it new jobs are shed
+                          with a typed `overloaded` error carrying a
+                          retry_after_ms hint (default 1024)
+    --max-inflight-per-conn <N>  bound on queued+running jobs from one
+                          connection (default 64)
+    --default-timeout <D> timeout applied to jobs that request none; the
+                          deadline runs from admission, so queue time
+                          counts (default: unlimited)
+    --max-timeout <D>     upper clamp on any job timeout, requested or
+                          defaulted (default: unlimited)
+    --max-frame-bytes <N> bound on one request frame in bytes; an
+                          oversized frame gets a typed `too_large` error
+                          and the connection is closed (default 8 MiB)
+    --max-rows <N>        reject inputs with more than N data rows with a
+                          typed `too_large` error (default: unlimited)
+    --max-items <N>       reject inputs with more than N distinct items
+                          likewise (default: unlimited)
+    --write-timeout <D>   per-connection write deadline; a client that
+                          stops reading this long is disconnected rather
+                          than wedging event emission (default 30s)
+    --cache-persist <path>  snapshot the result cache to <path> on
+                          shutdown (atomic tmp+fsync+rename, checksummed)
+                          and restore it on boot; a corrupt snapshot
+                          cold-starts with a warning
+    --cache-snapshot-every <N>  additionally snapshot after every N
+                          completed computations (0 = shutdown only)
 
 REQUEST OPTIONS:
     --json <line>         the request: one JSON object (see DESIGN.md §15)
@@ -82,6 +115,14 @@ REQUEST OPTIONS:
     --stats               print the result's stats JSON as a final stdout
                           line (like --stats json on the one-shot CLI)
     --quiet               suppress streamed progress/note lines on stderr
+    --timeout <D>         client-side read timeout per event wait; expiry
+                          is a typed timeout error, exit 7 (default 2m)
+    --retries <N>         on a typed `overloaded` error, reconnect and
+                          retry up to N times, sleeping the larger of the
+                          server's retry_after_ms hint and the local
+                          backoff (default 0 = fail immediately)
+    --retry-backoff-ms <N>  base of the deterministic exponential local
+                          backoff used with --retries (default 100)
 
 RUN OPTIONS (budget and observability, accepted by every subcommand):
     --timeout <D>           wall-clock budget, e.g. 500ms, 2s, 1m (bare
@@ -198,6 +239,28 @@ pub enum Command {
         workers: usize,
         /// Result-cache capacity (`--cache-entries`, 0 = default 256).
         cache_entries: usize,
+        /// Queued-job bound (`--max-queue`, 0 = default 1024).
+        max_queue: usize,
+        /// Per-connection in-flight bound (`--max-inflight-per-conn`,
+        /// 0 = default 64).
+        max_inflight_per_conn: usize,
+        /// Timeout for jobs that request none (`--default-timeout`).
+        default_timeout: Option<Duration>,
+        /// Upper clamp on any job timeout (`--max-timeout`).
+        max_timeout: Option<Duration>,
+        /// Request-frame byte bound (`--max-frame-bytes`, 0 = 8 MiB).
+        max_frame_bytes: usize,
+        /// Input row bound (`--max-rows`, 0 = unlimited).
+        max_rows: u64,
+        /// Distinct-item bound (`--max-items`, 0 = unlimited).
+        max_items: u64,
+        /// Per-connection write deadline (`--write-timeout`).
+        write_timeout: Option<Duration>,
+        /// Cache snapshot path (`--cache-persist`).
+        cache_persist: Option<String>,
+        /// Periodic snapshot cadence (`--cache-snapshot-every`,
+        /// 0 = shutdown only).
+        cache_snapshot_every: u64,
     },
     /// `request` subcommand: one protocol round trip against a daemon.
     Request {
@@ -211,6 +274,13 @@ pub enum Command {
         stats: bool,
         /// Suppress streamed progress/note lines on stderr.
         quiet: bool,
+        /// Client-side read timeout (`--timeout`; default 2 minutes).
+        timeout: Option<Duration>,
+        /// Retries on a typed `overloaded` error (`--retries`).
+        retries: u32,
+        /// Base of the local exponential backoff (`--retry-backoff-ms`,
+        /// default 100).
+        retry_backoff_ms: u64,
     },
     /// `--help`.
     Help,
@@ -475,6 +545,34 @@ fn parse_inner(argv: &[String]) -> Result<Command, String> {
             let mut unix = None;
             let mut workers = 0;
             let mut cache_entries = 0;
+            let mut max_queue = 0;
+            let mut max_inflight_per_conn = 0;
+            let mut default_timeout = None;
+            let mut max_timeout = None;
+            let mut max_frame_bytes = 0;
+            let mut max_rows = 0;
+            let mut max_items = 0;
+            let mut write_timeout = None;
+            let mut cache_persist = None;
+            let mut cache_snapshot_every = 0;
+            // Counted flags where 0 would disable the protection entirely
+            // are rejected; "unlimited" is expressed by omitting the flag.
+            let positive = |flag: &str, v: &str| -> Result<usize, String> {
+                let n = v
+                    .parse::<usize>()
+                    .map_err(|_| format!("invalid {flag} value {v:?} (want integer ≥ 1)"))?;
+                if n == 0 {
+                    return Err(format!("{flag} must be ≥ 1"));
+                }
+                Ok(n)
+            };
+            let duration = |flag: &str, v: &str| -> Result<Duration, String> {
+                let d = parse_duration(v).map_err(|e| format!("{flag}: {e}"))?;
+                if d.is_zero() {
+                    return Err(format!("{flag} must be nonzero"));
+                }
+                Ok(d)
+            };
             while let Some(flag) = it.next() {
                 match flag.as_str() {
                     "--listen" => {
@@ -491,22 +589,74 @@ fn parse_inner(argv: &[String]) -> Result<Command, String> {
                     }
                     "--cache-entries" => {
                         let v = it.next().ok_or("--cache-entries needs a value")?;
-                        let n = v.parse::<usize>().map_err(|_| {
-                            format!("invalid --cache-entries value {v:?} (want integer ≥ 1)")
+                        cache_entries = positive("--cache-entries", v)?;
+                    }
+                    "--max-queue" => {
+                        let v = it.next().ok_or("--max-queue needs a value")?;
+                        max_queue = positive("--max-queue", v)?;
+                    }
+                    "--max-inflight-per-conn" => {
+                        let v = it.next().ok_or("--max-inflight-per-conn needs a value")?;
+                        max_inflight_per_conn = positive("--max-inflight-per-conn", v)?;
+                    }
+                    "--default-timeout" => {
+                        let v = it.next().ok_or("--default-timeout needs a duration")?;
+                        default_timeout = Some(duration("--default-timeout", v)?);
+                    }
+                    "--max-timeout" => {
+                        let v = it.next().ok_or("--max-timeout needs a duration")?;
+                        max_timeout = Some(duration("--max-timeout", v)?);
+                    }
+                    "--max-frame-bytes" => {
+                        let v = it.next().ok_or("--max-frame-bytes needs a value")?;
+                        max_frame_bytes = positive("--max-frame-bytes", v)?;
+                    }
+                    "--max-rows" => {
+                        let v = it.next().ok_or("--max-rows needs a value")?;
+                        max_rows = positive("--max-rows", v)? as u64;
+                    }
+                    "--max-items" => {
+                        let v = it.next().ok_or("--max-items needs a value")?;
+                        max_items = positive("--max-items", v)? as u64;
+                    }
+                    "--write-timeout" => {
+                        let v = it.next().ok_or("--write-timeout needs a duration")?;
+                        write_timeout = Some(duration("--write-timeout", v)?);
+                    }
+                    "--cache-persist" => {
+                        cache_persist =
+                            Some(it.next().ok_or("--cache-persist needs a path")?.clone());
+                    }
+                    "--cache-snapshot-every" => {
+                        let v = it.next().ok_or("--cache-snapshot-every needs a value")?;
+                        cache_snapshot_every = v.parse::<u64>().map_err(|_| {
+                            format!(
+                                "invalid --cache-snapshot-every value {v:?} \
+                                 (want integer ≥ 0; 0 = shutdown only)"
+                            )
                         })?;
-                        if n == 0 {
-                            return Err("--cache-entries must be ≥ 1".into());
-                        }
-                        cache_entries = n;
                     }
                     other => return Err(format!("serve: unknown flag {other:?}")),
                 }
+            }
+            if cache_snapshot_every > 0 && cache_persist.is_none() {
+                return Err("--cache-snapshot-every requires --cache-persist".into());
             }
             Ok(Command::Serve {
                 listen,
                 unix,
                 workers,
                 cache_entries,
+                max_queue,
+                max_inflight_per_conn,
+                default_timeout,
+                max_timeout,
+                max_frame_bytes,
+                max_rows,
+                max_items,
+                write_timeout,
+                cache_persist,
+                cache_snapshot_every,
             })
         }
         "request" => {
@@ -515,6 +665,9 @@ fn parse_inner(argv: &[String]) -> Result<Command, String> {
             let mut json_file = None;
             let mut stats = false;
             let mut quiet = false;
+            let mut timeout = None;
+            let mut retries = 0;
+            let mut retry_backoff_ms = 100;
             while let Some(flag) = it.next() {
                 match flag.as_str() {
                     "--json" => {
@@ -525,6 +678,26 @@ fn parse_inner(argv: &[String]) -> Result<Command, String> {
                     }
                     "--stats" => stats = true,
                     "--quiet" => quiet = true,
+                    "--timeout" => {
+                        let v = it.next().ok_or("--timeout needs a duration")?;
+                        let d = parse_duration(v).map_err(|e| format!("--timeout: {e}"))?;
+                        if d.is_zero() {
+                            return Err("--timeout must be nonzero".into());
+                        }
+                        timeout = Some(d);
+                    }
+                    "--retries" => {
+                        let v = it.next().ok_or("--retries needs a value")?;
+                        retries = v.parse::<u32>().map_err(|_| {
+                            format!("invalid --retries value {v:?} (want integer ≥ 0)")
+                        })?;
+                    }
+                    "--retry-backoff-ms" => {
+                        let v = it.next().ok_or("--retry-backoff-ms needs a value")?;
+                        retry_backoff_ms = v.parse::<u64>().map_err(|_| {
+                            format!("invalid --retry-backoff-ms value {v:?} (want integer ≥ 0)")
+                        })?;
+                    }
                     other => return Err(format!("request: unknown flag {other:?}")),
                 }
             }
@@ -537,6 +710,9 @@ fn parse_inner(argv: &[String]) -> Result<Command, String> {
                 json_file,
                 stats,
                 quiet,
+                timeout,
+                retries,
+                retry_backoff_ms,
             })
         }
         other => Err(format!("unknown subcommand {other:?}")),
@@ -885,6 +1061,16 @@ mod tests {
                 unix: None,
                 workers: 0,
                 cache_entries: 0,
+                max_queue: 0,
+                max_inflight_per_conn: 0,
+                default_timeout: None,
+                max_timeout: None,
+                max_frame_bytes: 0,
+                max_rows: 0,
+                max_items: 0,
+                write_timeout: None,
+                cache_persist: None,
+                cache_snapshot_every: 0,
             }
         );
         assert_eq!(
@@ -898,6 +1084,26 @@ mod tests {
                 "4",
                 "--cache-entries",
                 "128",
+                "--max-queue",
+                "32",
+                "--max-inflight-per-conn",
+                "8",
+                "--default-timeout",
+                "2s",
+                "--max-timeout",
+                "1m",
+                "--max-frame-bytes",
+                "65536",
+                "--max-rows",
+                "10000",
+                "--max-items",
+                "500",
+                "--write-timeout",
+                "250ms",
+                "--cache-persist",
+                "/tmp/dm.cache",
+                "--cache-snapshot-every",
+                "16",
             ]))
             .unwrap(),
             Command::Serve {
@@ -905,12 +1111,32 @@ mod tests {
                 unix: Some("/tmp/dm.sock".into()),
                 workers: 4,
                 cache_entries: 128,
+                max_queue: 32,
+                max_inflight_per_conn: 8,
+                default_timeout: Some(Duration::from_secs(2)),
+                max_timeout: Some(Duration::from_secs(60)),
+                max_frame_bytes: 65536,
+                max_rows: 10000,
+                max_items: 500,
+                write_timeout: Some(Duration::from_millis(250)),
+                cache_persist: Some("/tmp/dm.cache".into()),
+                cache_snapshot_every: 16,
             }
         );
         assert!(parse(&v(&["serve", "--listen"])).is_err());
         assert!(parse(&v(&["serve", "--workers", "x"])).is_err());
         assert!(parse(&v(&["serve", "--cache-entries", "0"])).is_err());
         assert!(parse(&v(&["serve", "--bogus"])).is_err());
+        // Zero would disable the protection; require omission instead.
+        assert!(parse(&v(&["serve", "--max-queue", "0"])).is_err());
+        assert!(parse(&v(&["serve", "--max-inflight-per-conn", "0"])).is_err());
+        assert!(parse(&v(&["serve", "--max-frame-bytes", "0"])).is_err());
+        assert!(parse(&v(&["serve", "--max-rows", "0"])).is_err());
+        assert!(parse(&v(&["serve", "--default-timeout", "0"])).is_err());
+        assert!(parse(&v(&["serve", "--write-timeout", "0"])).is_err());
+        assert!(parse(&v(&["serve", "--max-timeout", "nope"])).is_err());
+        // Periodic snapshots without a snapshot path make no sense.
+        assert!(parse(&v(&["serve", "--cache-snapshot-every", "4"])).is_err());
     }
 
     #[test]
@@ -923,6 +1149,9 @@ mod tests {
                 json_file: None,
                 stats: false,
                 quiet: false,
+                timeout: None,
+                retries: 0,
+                retry_backoff_ms: 100,
             }
         );
         assert_eq!(
@@ -933,6 +1162,12 @@ mod tests {
                 "req.json",
                 "--stats",
                 "--quiet",
+                "--timeout",
+                "5s",
+                "--retries",
+                "3",
+                "--retry-backoff-ms",
+                "50",
             ]))
             .unwrap(),
             Command::Request {
@@ -941,12 +1176,17 @@ mod tests {
                 json_file: Some("req.json".into()),
                 stats: true,
                 quiet: true,
+                timeout: Some(Duration::from_secs(5)),
+                retries: 3,
+                retry_backoff_ms: 50,
             }
         );
         // Exactly one request source.
         assert!(parse(&v(&["request", "a:1"])).is_err());
         assert!(parse(&v(&["request", "a:1", "--json", "{}", "--json-file", "f"])).is_err());
         assert!(parse(&v(&["request"])).is_err());
+        assert!(parse(&v(&["request", "a:1", "--json", "{}", "--timeout", "0"])).is_err());
+        assert!(parse(&v(&["request", "a:1", "--json", "{}", "--retries", "x"])).is_err());
     }
 
     #[test]

@@ -9,7 +9,9 @@
 
 use std::fmt;
 
-use dualminer_obs::{available_cpus, BudgetReason, Meter, MiningObserver, StatsCollector};
+use dualminer_obs::{
+    available_cpus, BudgetReason, Meter, MiningObserver, RetryPolicy, StatsCollector,
+};
 use dualminer_serve::exec::{self, ExecCtx, JobError, MineOpts};
 use dualminer_serve::formats::{self, FormatError};
 use dualminer_serve::job::RunOpts;
@@ -435,12 +437,32 @@ pub fn run(cmd: Command) -> Result<(), CliError> {
             unix,
             workers,
             cache_entries,
+            max_queue,
+            max_inflight_per_conn,
+            default_timeout,
+            max_timeout,
+            max_frame_bytes,
+            max_rows,
+            max_items,
+            write_timeout,
+            cache_persist,
+            cache_snapshot_every,
         } => {
             let config = server::ServeConfig {
                 tcp: listen,
                 unix,
                 workers,
                 cache_entries,
+                max_queue,
+                max_inflight_per_conn,
+                default_timeout,
+                max_timeout,
+                max_frame_bytes,
+                max_rows,
+                max_items,
+                write_timeout,
+                cache_persist,
+                cache_snapshot_every,
             };
             let handle = server::start(&config)
                 .map_err(|e| CliError::Protocol(format!("cannot start server: {e}")))?;
@@ -464,6 +486,9 @@ pub fn run(cmd: Command) -> Result<(), CliError> {
             json_file,
             stats,
             quiet,
+            timeout,
+            retries,
+            retry_backoff_ms,
         } => {
             let line = match (json, json_file) {
                 (Some(line), None) => line,
@@ -481,73 +506,115 @@ pub fn run(cmd: Command) -> Result<(), CliError> {
                 | proto::Request::ServerStats { id }
                 | proto::Request::Shutdown { id } => *id,
             };
-            let mut conn = client::Conn::connect(&addr)
-                .map_err(|e| CliError::Protocol(format!("cannot connect to {addr}: {e}")))?;
-            conn.send_line(&line)
-                .map_err(|e| CliError::Protocol(format!("cannot send request: {e}")))?;
-            loop {
-                let event = conn
-                    .next_event()
-                    .map_err(|e| CliError::Protocol(e.to_string()))?
-                    .ok_or_else(|| {
-                        CliError::Protocol(
-                            "server closed the connection before a terminal event".into(),
-                        )
-                    })?;
-                if event.id != id {
-                    continue;
+            // Deterministic exponential backoff for shed requests, the
+            // same shape retried oracle queries use (§11). The per-sleep
+            // floor is the server's retry_after_ms hint.
+            let policy = RetryPolicy {
+                max_retries: retries,
+                base_backoff: std::time::Duration::from_millis(retry_backoff_ms),
+                max_backoff: std::time::Duration::from_millis(retry_backoff_ms.saturating_mul(16)),
+            };
+            let mut attempt: u32 = 0;
+            'attempts: loop {
+                let mut conn = client::Conn::connect(&addr)
+                    .map_err(|e| CliError::Protocol(format!("cannot connect to {addr}: {e}")))?;
+                if let Some(timeout) = timeout {
+                    conn.set_read_timeout(timeout)
+                        .map_err(|e| CliError::Protocol(format!("cannot set timeout: {e}")))?;
                 }
-                match event.kind.as_str() {
-                    "accepted" => {}
-                    "progress" | "note" => {
-                        if !quiet {
-                            eprintln!("{}", event.str_field("text").unwrap_or(""));
-                        }
+                conn.send_line(&line)
+                    .map_err(|e| CliError::Protocol(format!("cannot send request: {e}")))?;
+                loop {
+                    let event = conn
+                        .next_event()
+                        .map_err(|e| CliError::Protocol(e.to_string()))?
+                        .ok_or_else(|| {
+                            CliError::Protocol(
+                                "server closed the connection before a terminal event".into(),
+                            )
+                        })?;
+                    if event.id != id {
+                        continue;
                     }
-                    "result" => {
-                        if !quiet {
-                            eprintln!("note: cache {}", event.str_field("cache").unwrap_or("miss"));
-                        }
-                        print!("{}", event.str_field("body").unwrap_or(""));
-                        if stats {
-                            println!("{}", event.str_field("stats").unwrap_or("{}"));
-                        }
-                        let exit = event.int_field("exit").unwrap_or(0);
-                        return match exit {
-                            0 => Ok(()),
-                            1 => Err(CliError::NotDual),
-                            code => {
-                                let outcome = event.str_field("outcome").unwrap_or("");
-                                let message = match outcome.strip_prefix("budget:") {
-                                    Some(reason) => format!(
-                                        "budget exceeded ({reason}); output is the partial prefix"
-                                    ),
-                                    None => format!("job failed with exit {code}"),
-                                };
-                                Err(CliError::Remote {
-                                    code: u8::try_from(code).unwrap_or(7),
-                                    message,
-                                })
+                    match event.kind.as_str() {
+                        "accepted" => {}
+                        "progress" | "note" => {
+                            if !quiet {
+                                eprintln!("{}", event.str_field("text").unwrap_or(""));
                             }
-                        };
-                    }
-                    "error" => {
-                        let code = event.int_field("code").unwrap_or(7);
-                        return Err(CliError::Remote {
-                            code: u8::try_from(code).unwrap_or(7),
-                            message: event.str_field("message").unwrap_or("job failed").into(),
-                        });
-                    }
-                    // Acknowledgements of control requests: the raw event
-                    // line is the result.
-                    "cancelled" | "server-stats" | "shutdown" => {
-                        println!("{}", event.fields.serialize());
-                        return Ok(());
-                    }
-                    other => {
-                        return Err(CliError::Protocol(format!(
-                            "unexpected server event {other:?}"
-                        )));
+                        }
+                        "result" => {
+                            if !quiet {
+                                eprintln!(
+                                    "note: cache {}",
+                                    event.str_field("cache").unwrap_or("miss")
+                                );
+                            }
+                            print!("{}", event.str_field("body").unwrap_or(""));
+                            if stats {
+                                println!("{}", event.str_field("stats").unwrap_or("{}"));
+                            }
+                            let exit = event.int_field("exit").unwrap_or(0);
+                            return match exit {
+                                0 => Ok(()),
+                                1 => Err(CliError::NotDual),
+                                code => {
+                                    let outcome = event.str_field("outcome").unwrap_or("");
+                                    let message = match outcome.strip_prefix("budget:") {
+                                        Some(reason) => format!(
+                                            "budget exceeded ({reason}); output is the \
+                                             partial prefix"
+                                        ),
+                                        None => format!("job failed with exit {code}"),
+                                    };
+                                    Err(CliError::Remote {
+                                        code: u8::try_from(code).unwrap_or(7),
+                                        message,
+                                    })
+                                }
+                            };
+                        }
+                        "error" => {
+                            let code = event.int_field("code").unwrap_or(7);
+                            let message = event
+                                .str_field("message")
+                                .unwrap_or("job failed")
+                                .to_string();
+                            if event.str_field("kind") == Some("overloaded") && attempt < retries {
+                                attempt += 1;
+                                let hint = event
+                                    .int_field("retry_after_ms")
+                                    .and_then(|ms| u64::try_from(ms).ok())
+                                    .unwrap_or(0);
+                                let sleep = policy
+                                    .backoff(attempt)
+                                    .max(std::time::Duration::from_millis(hint));
+                                if !quiet {
+                                    eprintln!(
+                                        "note: server overloaded, retry {attempt}/{retries} \
+                                         in {}ms",
+                                        sleep.as_millis()
+                                    );
+                                }
+                                std::thread::sleep(sleep);
+                                continue 'attempts;
+                            }
+                            return Err(CliError::Remote {
+                                code: u8::try_from(code).unwrap_or(7),
+                                message,
+                            });
+                        }
+                        // Acknowledgements of control requests: the raw
+                        // event line is the result.
+                        "cancelled" | "server-stats" | "shutdown" => {
+                            println!("{}", event.fields.serialize());
+                            return Ok(());
+                        }
+                        other => {
+                            return Err(CliError::Protocol(format!(
+                                "unexpected server event {other:?}"
+                            )));
+                        }
                     }
                 }
             }

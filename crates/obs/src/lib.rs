@@ -77,6 +77,21 @@ impl Budget {
         self.timeout.is_none() && self.max_queries.is_none() && self.max_transversals.is_none()
     }
 
+    /// Applies a server-side deadline policy: a budget with no timeout
+    /// inherits `default`, and any timeout (including an inherited one)
+    /// is capped at `max`. Returns the adjusted budget and whether the
+    /// policy changed anything — callers that prove bit-identity only
+    /// for unbudgeted runs (incremental re-mining) must treat a clamped
+    /// budget exactly like a client-requested one.
+    pub fn clamp_timeout(self, default: Option<Duration>, max: Option<Duration>) -> (Budget, bool) {
+        let mut timeout = self.timeout.or(default);
+        if let (Some(t), Some(cap)) = (timeout, max) {
+            timeout = Some(t.min(cap));
+        }
+        let clamped = timeout != self.timeout;
+        (Budget { timeout, ..self }, clamped)
+    }
+
     /// Starts the clock: converts the declarative budget into a live
     /// [`Meter`] whose deadline is `now + timeout`.
     pub fn start(&self) -> Meter {
@@ -765,6 +780,40 @@ mod tests {
         assert_eq!(meter.exceeded(), None);
         assert_eq!(meter.queries(), 1000);
         assert_eq!(meter.transversals(), 1000);
+    }
+
+    #[test]
+    fn clamp_timeout_defaults_and_caps() {
+        let ms = Duration::from_millis;
+        // No policy: nothing changes.
+        assert_eq!(
+            Budget::UNLIMITED.clamp_timeout(None, None),
+            (Budget::UNLIMITED, false)
+        );
+        // A default fills in a missing timeout.
+        let (b, clamped) = Budget::UNLIMITED.clamp_timeout(Some(ms(50)), None);
+        assert_eq!((b.timeout, clamped), (Some(ms(50)), true));
+        // A client timeout under the cap is untouched.
+        let client = Budget {
+            timeout: Some(ms(20)),
+            ..Budget::UNLIMITED
+        };
+        assert_eq!(
+            client.clamp_timeout(Some(ms(50)), Some(ms(100))),
+            (client, false)
+        );
+        // A client timeout over the cap is clamped down.
+        let greedy = Budget {
+            timeout: Some(ms(500)),
+            max_queries: Some(9),
+            ..Budget::UNLIMITED
+        };
+        let (b, clamped) = greedy.clamp_timeout(None, Some(ms(100)));
+        assert_eq!((b.timeout, clamped), (Some(ms(100)), true));
+        assert_eq!(b.max_queries, Some(9), "other axes pass through");
+        // The default itself is subject to the cap.
+        let (b, clamped) = Budget::UNLIMITED.clamp_timeout(Some(ms(500)), Some(ms(100)));
+        assert_eq!((b.timeout, clamped), (Some(ms(100)), true));
     }
 
     #[test]

@@ -190,6 +190,26 @@ impl ResultCache {
         );
     }
 
+    /// Every resident entry, in deterministic `(params, content)` order —
+    /// the snapshot writer's view. Shards are drained one lock at a time,
+    /// so a concurrent insert may or may not appear; the snapshot is a
+    /// point-in-time approximation, which is all crash recovery needs.
+    pub fn export(&self) -> Vec<Arc<Entry>> {
+        let mut entries: Vec<Arc<Entry>> = self
+            .shards
+            .iter()
+            .flat_map(|s| {
+                s.lock()
+                    .unwrap()
+                    .values()
+                    .map(|slot| Arc::clone(&slot.entry))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        entries.sort_by_key(|e| (e.params, e.content));
+        entries
+    }
+
     /// Current occupancy and traffic counters.
     pub fn counters(&self) -> CacheCounters {
         CacheCounters {
@@ -277,6 +297,20 @@ mod tests {
         cache.insert(entry(5, 100));
         let c = cache.counters();
         assert_eq!((c.entries, c.evictions), (1, 0));
+    }
+
+    #[test]
+    fn export_is_deterministically_ordered() {
+        let cache = ResultCache::new(64);
+        for (p, c) in [(3u64, 30u64), (1, 11), (2, 20), (1, 10)] {
+            cache.insert(entry(p, c));
+        }
+        let keys: Vec<(u64, u64)> = cache
+            .export()
+            .iter()
+            .map(|e| (e.params, e.content))
+            .collect();
+        assert_eq!(keys, vec![(1, 10), (1, 11), (2, 20), (3, 30)]);
     }
 
     #[test]

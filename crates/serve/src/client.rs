@@ -13,10 +13,40 @@ use std::time::Duration;
 
 use dualminer_obs::Json;
 
-/// How long [`Conn::next_event`] waits for one line before giving up.
-/// Generous: a single event line arrives as soon as the job finishes, and
-/// jobs that outlive this are expected to stream progress events.
-const READ_TIMEOUT: Duration = Duration::from_secs(120);
+/// How long [`Conn::next_event`] waits for one line before giving up,
+/// unless reconfigured with [`Conn::set_read_timeout`]. Generous: a
+/// single event line arrives as soon as the job finishes, and jobs that
+/// outlive this are expected to stream progress events.
+pub const DEFAULT_READ_TIMEOUT: Duration = Duration::from_secs(120);
+
+/// The typed payload behind a [`Conn::next_event`] timeout: an
+/// [`io::Error`] with kind [`io::ErrorKind::TimedOut`] whose source is
+/// this type, carrying the configured timeout so callers can report it
+/// (and distinguish a client-side wait expiring from any other I/O
+/// failure). Test with [`is_timeout`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TimeoutError {
+    /// The read timeout that expired.
+    pub after: Duration,
+}
+
+impl std::fmt::Display for TimeoutError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "no server event within {:.3}s (client read timeout)",
+            self.after.as_secs_f64()
+        )
+    }
+}
+
+impl std::error::Error for TimeoutError {}
+
+/// Whether `e` is a client-side read timeout from [`Conn::next_event`].
+pub fn is_timeout(e: &io::Error) -> bool {
+    e.kind() == io::ErrorKind::TimedOut
+        && e.get_ref().is_some_and(|inner| inner.is::<TimeoutError>())
+}
 
 /// One event line from the server, parsed.
 #[derive(Clone, Debug)]
@@ -52,6 +82,7 @@ enum Stream {
 pub struct Conn {
     reader: BufReader<Stream>,
     writer: Stream,
+    read_timeout: Duration,
 }
 
 impl io::Read for Stream {
@@ -87,11 +118,12 @@ impl Conn {
     pub fn connect_tcp(addr: &str) -> io::Result<Conn> {
         let stream = TcpStream::connect(addr)?;
         let _ = stream.set_nodelay(true);
-        stream.set_read_timeout(Some(READ_TIMEOUT))?;
+        stream.set_read_timeout(Some(DEFAULT_READ_TIMEOUT))?;
         let writer = Stream::Tcp(stream.try_clone()?);
         Ok(Conn {
             reader: BufReader::new(Stream::Tcp(stream)),
             writer,
+            read_timeout: DEFAULT_READ_TIMEOUT,
         })
     }
 
@@ -99,12 +131,38 @@ impl Conn {
     #[cfg(unix)]
     pub fn connect_unix(path: &str) -> io::Result<Conn> {
         let stream = UnixStream::connect(path)?;
-        stream.set_read_timeout(Some(READ_TIMEOUT))?;
+        stream.set_read_timeout(Some(DEFAULT_READ_TIMEOUT))?;
         let writer = Stream::Unix(stream.try_clone()?);
         Ok(Conn {
             reader: BufReader::new(Stream::Unix(stream)),
             writer,
+            read_timeout: DEFAULT_READ_TIMEOUT,
         })
+    }
+
+    /// Reconfigures how long [`next_event`](Conn::next_event) waits for a
+    /// line before failing with a typed [`TimeoutError`]. A zero duration
+    /// is rejected (the socket layer reserves it for "no timeout", which
+    /// would reintroduce the unbounded wait this bound exists to prevent).
+    pub fn set_read_timeout(&mut self, timeout: Duration) -> io::Result<()> {
+        if timeout.is_zero() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "read timeout must be nonzero",
+            ));
+        }
+        match self.reader.get_ref() {
+            Stream::Tcp(s) => s.set_read_timeout(Some(timeout))?,
+            #[cfg(unix)]
+            Stream::Unix(s) => s.set_read_timeout(Some(timeout))?,
+        }
+        self.read_timeout = timeout;
+        Ok(())
+    }
+
+    /// The currently configured read timeout.
+    pub fn read_timeout(&self) -> Duration {
+        self.read_timeout
     }
 
     /// Connects to `addr`: a unix socket path when it contains a `/` (or
@@ -152,7 +210,9 @@ impl Conn {
                 {
                     return Err(io::Error::new(
                         io::ErrorKind::TimedOut,
-                        "timed out waiting for a server event",
+                        TimeoutError {
+                            after: self.read_timeout,
+                        },
                     ))
                 }
                 Err(e) => return Err(e),
@@ -203,5 +263,25 @@ impl Conn {
                 return Ok(events);
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timeout_errors_are_typed_and_recognizable() {
+        let e = io::Error::new(
+            io::ErrorKind::TimedOut,
+            TimeoutError {
+                after: Duration::from_millis(1500),
+            },
+        );
+        assert!(is_timeout(&e));
+        assert!(e.to_string().contains("1.500s"), "{e}");
+        // A bare TimedOut from the OS is not a client read timeout.
+        assert!(!is_timeout(&io::Error::new(io::ErrorKind::TimedOut, "os")));
+        assert!(!is_timeout(&io::Error::other("nope")));
     }
 }

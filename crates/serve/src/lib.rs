@@ -26,9 +26,13 @@
 //!   (params fingerprint, content fingerprint), holding rendered bodies,
 //!   stats artifacts, and the mined collections that power incremental
 //!   re-mining.
+//! * [`persist`] — crash-safe cache snapshots: the warm cache written
+//!   through the checkpoint crate's atomic envelope on shutdown (and
+//!   periodically) and restored on boot, so a restart keeps its hits.
 //! * [`proto`] — the line-oriented JSON wire protocol: request parsing
 //!   and response-event builders.
 //! * [`server`] — the daemon: listeners, the bounded worker pool,
+//!   admission control and load shedding, server-side deadlines,
 //!   in-flight deduplication, cancellation, and clean shutdown.
 //! * [`client`] — a small blocking client used by `dualminer request`,
 //!   the integration tests, and the benchmarks.
@@ -42,5 +46,6 @@ pub mod client;
 pub mod exec;
 pub mod formats;
 pub mod job;
+pub mod persist;
 pub mod proto;
 pub mod server;

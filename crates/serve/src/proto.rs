@@ -511,10 +511,44 @@ pub fn ev_result(
 /// `error`: the terminal failure event, carrying the CLI exit code
 /// (2 usage, 3 parse, 4 I/O, 5 fault, 7 protocol).
 pub fn ev_error(id: u64, code: i32, message: &str) -> String {
+    ev_error_typed(id, code, None, None, message)
+}
+
+/// `error` with an optional machine-readable `kind` discriminator
+/// (`"overloaded"`, `"too_large"`) and, for `overloaded`, the server's
+/// `retry_after_ms` backoff hint. Plain errors omit both fields, so the
+/// wire shape of pre-existing errors is unchanged.
+pub fn ev_error_typed(
+    id: u64,
+    code: i32,
+    kind: Option<&str>,
+    retry_after_ms: Option<u64>,
+    message: &str,
+) -> String {
     let mut f = event("error", id);
     f.push(("code".into(), Json::Int(i64::from(code))));
+    if let Some(kind) = kind {
+        f.push(("kind".into(), Json::str(kind)));
+    }
+    if let Some(ms) = retry_after_ms {
+        f.push(("retry_after_ms".into(), Json::uint(ms)));
+    }
     f.push(("message".into(), Json::str(message)));
     Json::Obj(f).serialize()
+}
+
+/// `error` of kind `overloaded`: the job was shed at admission (queue or
+/// per-connection limit). Exit code 7 — the service, not the job, failed
+/// — with a deterministic `retry_after_ms` hint sized to the backlog.
+pub fn ev_overloaded(id: u64, retry_after_ms: u64, message: &str) -> String {
+    ev_error_typed(id, 7, Some("overloaded"), Some(retry_after_ms), message)
+}
+
+/// `error` of kind `too_large`: the frame or input exceeded an admission
+/// limit. Exit code 3 (the input was rejected, like a parse failure),
+/// emitted before any canonicalization work.
+pub fn ev_too_large(id: u64, message: &str) -> String {
+    ev_error_typed(id, 3, Some("too_large"), None, message)
 }
 
 /// `cancelled`: acknowledgement of a `cancel` request. `found` says
@@ -548,6 +582,31 @@ pub struct ServerCounters {
     pub errors: u64,
     /// Worker threads in the pool.
     pub workers: u64,
+    /// Workers currently running a job (gauge; 0 when idle).
+    pub busy_workers: u64,
+    /// Connections currently open (gauge).
+    pub open_conns: u64,
+    /// Jobs shed at admission because the queue was full.
+    pub shed_queue_full: u64,
+    /// Jobs shed at admission by the per-connection in-flight limit.
+    pub shed_conn_limit: u64,
+    /// Jobs whose deadline expired while queued (dropped before any
+    /// engine work).
+    pub shed_deadline: u64,
+    /// Jobs whose budget was adjusted by `--default-timeout` /
+    /// `--max-timeout`.
+    pub deadline_clamped: u64,
+    /// Frames or inputs rejected by an admission size limit.
+    pub too_large: u64,
+    /// Event writes abandoned because a client stalled past the write
+    /// deadline.
+    pub write_timeouts: u64,
+    /// Cache snapshots written successfully.
+    pub persist_saves: u64,
+    /// Cache entries restored from a snapshot at boot.
+    pub persist_restored: u64,
+    /// Snapshot save/load failures (corrupt file, I/O).
+    pub persist_errors: u64,
     /// Cache entries resident.
     pub cache_entries: u64,
     /// Cache evictions so far.
@@ -565,6 +624,17 @@ pub fn ev_server_stats(id: u64, c: &ServerCounters) -> String {
         ("incremental", c.incremental),
         ("errors", c.errors),
         ("workers", c.workers),
+        ("busy_workers", c.busy_workers),
+        ("open_conns", c.open_conns),
+        ("shed_queue_full", c.shed_queue_full),
+        ("shed_conn_limit", c.shed_conn_limit),
+        ("shed_deadline", c.shed_deadline),
+        ("deadline_clamped", c.deadline_clamped),
+        ("too_large", c.too_large),
+        ("write_timeouts", c.write_timeouts),
+        ("persist_saves", c.persist_saves),
+        ("persist_restored", c.persist_restored),
+        ("persist_errors", c.persist_errors),
         ("cache_entries", c.cache_entries),
         ("cache_evictions", c.cache_evictions),
     ] {
@@ -774,5 +844,26 @@ mod tests {
         );
         let st = Json::parse(&ev_server_stats(3, &ServerCounters::default())).unwrap();
         assert_eq!(st.get("jobs").and_then(Json::as_uint), Some(0));
+        assert_eq!(st.get("shed_queue_full").and_then(Json::as_uint), Some(0));
+        assert_eq!(st.get("persist_restored").and_then(Json::as_uint), Some(0));
+    }
+
+    #[test]
+    fn typed_errors_carry_kind_and_hint() {
+        let ov = Json::parse(&ev_overloaded(9, 125, "queue full")).unwrap();
+        assert_eq!(ov.get("event").and_then(Json::as_str), Some("error"));
+        assert_eq!(ov.get("code").and_then(Json::as_int), Some(7));
+        assert_eq!(ov.get("kind").and_then(Json::as_str), Some("overloaded"));
+        assert_eq!(ov.get("retry_after_ms").and_then(Json::as_uint), Some(125));
+
+        let tl = Json::parse(&ev_too_large(4, "too many rows")).unwrap();
+        assert_eq!(tl.get("code").and_then(Json::as_int), Some(3));
+        assert_eq!(tl.get("kind").and_then(Json::as_str), Some("too_large"));
+        assert!(tl.get("retry_after_ms").is_none());
+
+        // Plain errors keep the historical shape: no kind, no hint.
+        let plain = Json::parse(&ev_error(1, 7, "bad line")).unwrap();
+        assert!(plain.get("kind").is_none());
+        assert!(plain.get("retry_after_ms").is_none());
     }
 }

@@ -24,7 +24,7 @@
 //! envelopes the CLI uses. Shutdown drains: the queue closes, workers
 //! finish what they hold, every connection and listener thread joins.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener};
 #[cfg(unix)]
@@ -33,21 +33,36 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use dualminer_bitset::Universe;
-use dualminer_obs::{available_cpus, BudgetReason, Meter, MiningObserver, StatsCollector};
+use dualminer_obs::{available_cpus, Budget, BudgetReason, Meter, MiningObserver, StatsCollector};
 
 use crate::cache::{Entry, MineArtifacts, ResultCache};
 use crate::canon;
 use crate::exec::{self, ExecCtx, JobError, MineOpts};
 use crate::formats;
 use crate::job::Support;
+use crate::persist;
 use crate::proto::{self, CacheTag, Input, JobRequest, OpKind, Request, ServerCounters};
 
 /// How long blocking reads and accept polls wait before re-checking the
 /// shutdown flag. Bounds shutdown latency without busy-spinning.
 const POLL: Duration = Duration::from_millis(100);
+
+/// Default bound on queued jobs (`--max-queue 0` keeps it).
+const DEFAULT_MAX_QUEUE: usize = 1024;
+
+/// Default per-connection in-flight job bound.
+const DEFAULT_MAX_INFLIGHT_PER_CONN: usize = 64;
+
+/// Default request-frame size bound (8 MiB — inline inputs are legal,
+/// unbounded buffering for a client that never sends a newline is not).
+const DEFAULT_MAX_FRAME_BYTES: usize = 8 * 1024 * 1024;
+
+/// Default per-connection write deadline: a client that stops reading
+/// for this long forfeits its event stream instead of wedging a worker.
+const DEFAULT_WRITE_TIMEOUT: Duration = Duration::from_secs(30);
 
 /// Server configuration (the `serve` subcommand's flags).
 #[derive(Clone, Debug, Default)]
@@ -61,6 +76,80 @@ pub struct ServeConfig {
     pub workers: usize,
     /// Result-cache capacity in entries (0 = default 256).
     pub cache_entries: usize,
+    /// Bound on queued jobs; past it new jobs are shed with a typed
+    /// `overloaded` error (0 = default 1024).
+    pub max_queue: usize,
+    /// Bound on queued+running jobs per connection (0 = default 64).
+    pub max_inflight_per_conn: usize,
+    /// Timeout applied to jobs that request none (None = unlimited).
+    pub default_timeout: Option<Duration>,
+    /// Upper clamp on any job timeout, requested or defaulted.
+    pub max_timeout: Option<Duration>,
+    /// Bound on one request frame in bytes (0 = default 8 MiB).
+    pub max_frame_bytes: usize,
+    /// Bound on admitted input rows (0 = unlimited).
+    pub max_rows: u64,
+    /// Bound on distinct admitted input items (0 = unlimited).
+    pub max_items: u64,
+    /// Snapshot the result cache to this path on shutdown (and
+    /// periodically, see `cache_snapshot_every`); restore it on boot.
+    pub cache_persist: Option<String>,
+    /// Additionally snapshot after every N completed computations
+    /// (0 = shutdown only). Only meaningful with `cache_persist`.
+    pub cache_snapshot_every: u64,
+    /// Per-connection write deadline (None = default 30 s).
+    pub write_timeout: Option<Duration>,
+}
+
+/// The resolved admission-control limits (config defaults applied once,
+/// at startup).
+#[derive(Clone, Copy, Debug)]
+struct Limits {
+    max_queue: usize,
+    max_inflight_per_conn: usize,
+    default_timeout: Option<Duration>,
+    max_timeout: Option<Duration>,
+    max_frame_bytes: usize,
+    max_rows: u64,
+    max_items: u64,
+    write_timeout: Duration,
+}
+
+impl Limits {
+    fn from_config(config: &ServeConfig) -> Limits {
+        Limits {
+            max_queue: if config.max_queue == 0 {
+                DEFAULT_MAX_QUEUE
+            } else {
+                config.max_queue
+            },
+            max_inflight_per_conn: if config.max_inflight_per_conn == 0 {
+                DEFAULT_MAX_INFLIGHT_PER_CONN
+            } else {
+                config.max_inflight_per_conn
+            },
+            default_timeout: config.default_timeout,
+            max_timeout: config.max_timeout,
+            max_frame_bytes: if config.max_frame_bytes == 0 {
+                DEFAULT_MAX_FRAME_BYTES
+            } else {
+                config.max_frame_bytes
+            },
+            max_rows: config.max_rows,
+            max_items: config.max_items,
+            // set_write_timeout rejects a zero duration; floor it.
+            write_timeout: config
+                .write_timeout
+                .unwrap_or(DEFAULT_WRITE_TIMEOUT)
+                .max(Duration::from_millis(1)),
+        }
+    }
+}
+
+/// Deterministic `retry_after_ms` hint for a shed job: scaled to the
+/// backlog per worker, bounded so clients neither hammer nor stall.
+fn retry_hint_ms(backlog: u64, workers: u64) -> u64 {
+    (25 * (backlog / workers.max(1) + 1)).clamp(25, 5_000)
 }
 
 // ---------------------------------------------------------------------------
@@ -70,18 +159,21 @@ pub struct ServeConfig {
 /// The write half of one connection. Workers and the reader thread both
 /// emit events here; the mutex makes each line atomic. A failed write
 /// marks the connection dead and later sends become no-ops — a client
-/// that disconnected mid-job just loses its events, the job itself
-/// completes (and populates the cache) regardless.
+/// that disconnected (or, with the socket write deadline, stopped
+/// reading) mid-job just loses its events, the job itself completes (and
+/// populates the cache) regardless.
 struct ConnSink {
     writer: Mutex<Box<dyn Write + Send>>,
     alive: AtomicBool,
+    counters: Arc<Counters>,
 }
 
 impl ConnSink {
-    fn new(writer: Box<dyn Write + Send>) -> ConnSink {
+    fn new(writer: Box<dyn Write + Send>, counters: Arc<Counters>) -> ConnSink {
         ConnSink {
             writer: Mutex::new(writer),
             alive: AtomicBool::new(true),
+            counters,
         }
     }
 
@@ -90,46 +182,77 @@ impl ConnSink {
             return;
         }
         let mut w = self.writer.lock().unwrap();
-        if writeln!(w, "{line}").and_then(|()| w.flush()).is_err() {
+        if let Err(e) = writeln!(w, "{line}").and_then(|()| w.flush()) {
+            if matches!(
+                e.kind(),
+                io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+            ) {
+                // A stalled reader hit the write deadline; it is
+                // disconnected like any other dead peer.
+                self.counters.write_timeouts.fetch_add(1, Ordering::Relaxed);
+            }
             self.alive.store(false, Ordering::Relaxed);
         }
     }
 }
 
+/// One read step from a [`LineReader`].
+enum Frame {
+    /// A complete request line.
+    Line(String),
+    /// The peer exceeded the per-frame byte bound before sending a
+    /// newline. The buffer cannot be resynchronized, so the connection
+    /// must be closed after reporting the rejection.
+    TooLong,
+    /// EOF, hard error, or shutdown.
+    Closed,
+}
+
 /// Buffered line reading over a raw stream with a read timeout. Unlike
 /// `BufReader::read_line`, a timeout between chunks never discards the
 /// partial line already buffered — it just re-checks the shutdown flag
-/// and keeps reading.
+/// and keeps reading. Frames are bounded: a peer that streams more than
+/// `max_frame` bytes without a newline gets [`Frame::TooLong`] instead of
+/// growing the buffer without limit.
 struct LineReader<R: Read> {
     inner: R,
     buf: Vec<u8>,
+    max_frame: usize,
 }
 
 impl<R: Read> LineReader<R> {
-    fn new(inner: R) -> LineReader<R> {
+    fn new(inner: R, max_frame: usize) -> LineReader<R> {
         LineReader {
             inner,
             buf: Vec::new(),
+            max_frame,
         }
     }
 
-    /// The next complete line, or `None` on EOF, hard error, or shutdown.
-    fn next_line(&mut self, shutdown: &AtomicBool) -> Option<String> {
+    /// The next complete line, a frame-too-long rejection, or `Closed` on
+    /// EOF, hard error, or shutdown.
+    fn next_line(&mut self, shutdown: &AtomicBool) -> Frame {
         loop {
             if let Some(pos) = self.buf.iter().position(|&b| b == b'\n') {
+                if pos > self.max_frame {
+                    return Frame::TooLong;
+                }
                 let mut line: Vec<u8> = self.buf.drain(..=pos).collect();
                 line.pop();
                 if line.last() == Some(&b'\r') {
                     line.pop();
                 }
-                return Some(String::from_utf8_lossy(&line).into_owned());
+                return Frame::Line(String::from_utf8_lossy(&line).into_owned());
+            }
+            if self.buf.len() > self.max_frame {
+                return Frame::TooLong;
             }
             if shutdown.load(Ordering::SeqCst) {
-                return None;
+                return Frame::Closed;
             }
             let mut chunk = [0u8; 4096];
             match self.inner.read(&mut chunk) {
-                Ok(0) => return None,
+                Ok(0) => return Frame::Closed,
                 Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
                 Err(e)
                     if matches!(
@@ -141,7 +264,7 @@ impl<R: Read> LineReader<R> {
                 {
                     continue
                 }
-                Err(_) => return None,
+                Err(_) => return Frame::Closed,
             }
         }
     }
@@ -177,6 +300,16 @@ struct QueuedJob {
     conn_id: u64,
     ctl: Arc<JobCtl>,
     req: JobRequest,
+    /// The job's budget after the server's timeout policy was applied.
+    budget: Budget,
+    /// Absolute deadline fixed at admission: time spent queued counts
+    /// against the budget, so a job that aged out in the queue is shed
+    /// instead of computed for a client that already gave up on it.
+    deadline: Option<Instant>,
+    /// Whether the server changed the requested timeout (defaulted or
+    /// capped). A clamped job skips the incremental route — bit-identity
+    /// with a from-scratch run is proven only for unbudgeted runs.
+    clamped: bool,
 }
 
 // ---------------------------------------------------------------------------
@@ -239,6 +372,31 @@ struct Counters {
     coalesced: AtomicU64,
     incremental: AtomicU64,
     errors: AtomicU64,
+    busy_workers: AtomicU64,
+    open_conns: AtomicU64,
+    shed_queue_full: AtomicU64,
+    shed_conn_limit: AtomicU64,
+    shed_deadline: AtomicU64,
+    deadline_clamped: AtomicU64,
+    too_large: AtomicU64,
+    write_timeouts: AtomicU64,
+    persist_saves: AtomicU64,
+    persist_restored: AtomicU64,
+    persist_errors: AtomicU64,
+}
+
+/// Cache-snapshot state, present when `--cache-persist` is configured.
+struct PersistState {
+    path: PathBuf,
+    /// Snapshot after this many completed computations (0 = shutdown
+    /// only).
+    every: u64,
+    /// Computations completed since the last periodic snapshot.
+    pending: AtomicU64,
+    /// Serializes snapshot writes; the atomic tmp+rename envelope makes
+    /// each write crash-safe, this keeps concurrent workers from racing
+    /// two writes to the same tmp path.
+    write_lock: Mutex<()>,
 }
 
 struct Shared {
@@ -249,15 +407,54 @@ struct Shared {
     shutdown: AtomicBool,
     running: Mutex<HashMap<(u64, u64), Arc<JobCtl>>>,
     conns: Mutex<Vec<JoinHandle<()>>>,
-    counters: Counters,
+    counters: Arc<Counters>,
     workers: u64,
     next_conn: AtomicU64,
+    limits: Limits,
+    persist: Option<PersistState>,
 }
 
 impl Shared {
     fn begin_shutdown(&self) {
         self.shutdown.store(true, Ordering::SeqCst);
         self.queue_cv.notify_all();
+    }
+
+    /// Writes a cache snapshot if persistence is configured. Failures are
+    /// counted and logged, never fatal — the in-memory cache stays
+    /// authoritative.
+    fn snapshot_cache(&self) {
+        let Some(persist) = &self.persist else {
+            return;
+        };
+        let _guard = persist.write_lock.lock().unwrap();
+        match persist::save_snapshot(&self.cache, &persist.path) {
+            Ok(_) => {
+                self.counters.persist_saves.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(e) => {
+                self.counters.persist_errors.fetch_add(1, Ordering::Relaxed);
+                eprintln!(
+                    "serve: warning: cache snapshot to {:?} failed: {e}",
+                    persist.path
+                );
+            }
+        }
+    }
+
+    /// Called after each completed computation: advances the periodic
+    /// snapshot counter and snapshots when it reaches the cadence.
+    fn note_computation(&self) {
+        let Some(persist) = &self.persist else {
+            return;
+        };
+        if persist.every == 0 {
+            return;
+        }
+        if persist.pending.fetch_add(1, Ordering::Relaxed) + 1 >= persist.every {
+            persist.pending.store(0, Ordering::Relaxed);
+            self.snapshot_cache();
+        }
     }
 
     fn server_counters(&self) -> ServerCounters {
@@ -270,6 +467,17 @@ impl Shared {
             incremental: self.counters.incremental.load(Ordering::Relaxed),
             errors: self.counters.errors.load(Ordering::Relaxed),
             workers: self.workers,
+            busy_workers: self.counters.busy_workers.load(Ordering::Relaxed),
+            open_conns: self.counters.open_conns.load(Ordering::Relaxed),
+            shed_queue_full: self.counters.shed_queue_full.load(Ordering::Relaxed),
+            shed_conn_limit: self.counters.shed_conn_limit.load(Ordering::Relaxed),
+            shed_deadline: self.counters.shed_deadline.load(Ordering::Relaxed),
+            deadline_clamped: self.counters.deadline_clamped.load(Ordering::Relaxed),
+            too_large: self.counters.too_large.load(Ordering::Relaxed),
+            write_timeouts: self.counters.write_timeouts.load(Ordering::Relaxed),
+            persist_saves: self.counters.persist_saves.load(Ordering::Relaxed),
+            persist_restored: self.counters.persist_restored.load(Ordering::Relaxed),
+            persist_errors: self.counters.persist_errors.load(Ordering::Relaxed),
             cache_entries: cache.entries,
             cache_evictions: cache.evictions,
         }
@@ -368,23 +576,88 @@ struct Served {
     fingerprint: String,
 }
 
-type JobFailure = (i32, String);
+/// A job-level failure, carried to the connection as a terminal `error`
+/// event. `kind` is the machine-readable tag for typed rejections
+/// (`"too_large"`); untyped failures keep the historical event shape.
+struct JobFailure {
+    code: i32,
+    kind: Option<&'static str>,
+    message: String,
+}
+
+impl JobFailure {
+    fn new(code: i32, message: impl Into<String>) -> JobFailure {
+        JobFailure {
+            code,
+            kind: None,
+            message: message.into(),
+        }
+    }
+
+    fn too_large(message: impl Into<String>) -> JobFailure {
+        JobFailure {
+            code: 3,
+            kind: Some("too_large"),
+            message: message.into(),
+        }
+    }
+}
 
 fn read_input(input: &Input) -> Result<String, JobFailure> {
     match input {
         Input::Inline(text) => Ok(text.clone()),
-        Input::Path(path) => {
-            std::fs::read_to_string(path).map_err(|e| (4, format!("cannot read {path:?}: {e}")))
-        }
+        Input::Path(path) => std::fs::read_to_string(path)
+            .map_err(|e| JobFailure::new(4, format!("cannot read {path:?}: {e}"))),
     }
 }
 
 fn job_error(e: JobError) -> JobFailure {
     match e {
-        JobError::Format(e) => (3, e.to_string()),
-        JobError::Io(msg) => (4, msg),
-        JobError::Fault(msg) => (5, msg),
+        JobError::Format(e) => JobFailure::new(3, e.to_string()),
+        JobError::Io(msg) => JobFailure::new(4, msg),
+        JobError::Fault(msg) => JobFailure::new(5, msg),
     }
+}
+
+/// Input-size admission: counts non-empty, non-comment lines (rows) and
+/// distinct whitespace/comma-separated tokens (items) against the
+/// configured bounds, before any canonicalization or parsing touches the
+/// text. A cheap linear scan — the point is to reject a 10M-row input
+/// with a typed `too_large` error instead of parsing it first.
+fn check_input_size(limits: &Limits, label: &str, text: &str) -> Result<(), JobFailure> {
+    if limits.max_rows == 0 && limits.max_items == 0 {
+        return Ok(());
+    }
+    let mut rows = 0u64;
+    let mut items: HashSet<&str> = HashSet::new();
+    for line in text.lines() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        rows += 1;
+        if limits.max_rows != 0 && rows > limits.max_rows {
+            return Err(JobFailure::too_large(format!(
+                "{label}: input has more than {} rows (max-rows)",
+                limits.max_rows
+            )));
+        }
+        if limits.max_items != 0 {
+            for token in line.split(|c: char| c.is_whitespace() || c == ',') {
+                if token.is_empty() {
+                    continue;
+                }
+                items.insert(token);
+                if items.len() as u64 > limits.max_items {
+                    return Err(JobFailure::too_large(format!(
+                        "{label}: input has more than {} distinct items (max-items)",
+                        limits.max_items
+                    )));
+                }
+            }
+        }
+    }
+    Ok(())
 }
 
 fn exit_for(out: &exec::JobOutput) -> i32 {
@@ -438,31 +711,35 @@ fn serve_job(
     req: &JobRequest,
     meter: &Arc<Meter>,
     sink: &Arc<ConnSink>,
+    clamped: bool,
 ) -> Result<Served, JobFailure> {
     let id = req.id;
 
     // Read and fingerprint the input. Mine keeps its canonical form for
-    // the appended-rows probe and the (single) parse.
+    // the appended-rows probe and the (single) parse. Size bounds are
+    // enforced on the raw text, before any canonicalization.
     let text = read_input(&req.input)?;
+    check_input_size(&shared.limits, req.input.label(), &text)?;
     let (content, mine_canon) = match &req.op {
         OpKind::Mine { .. } => {
             let canon = canon::canon_baskets(&text)
-                .map_err(|e| (3, e.in_file(req.input.label()).to_string()))?;
+                .map_err(|e| JobFailure::new(3, e.in_file(req.input.label()).to_string()))?;
             (canon.fingerprint, Some(canon))
         }
         OpKind::Transversals { .. } => (
             canon::fingerprint_hypergraph(&text)
-                .map_err(|e| (3, e.in_file(req.input.label()).to_string()))?,
+                .map_err(|e| JobFailure::new(3, e.in_file(req.input.label()).to_string()))?,
             None,
         ),
         OpKind::Keys { .. } => (
             canon::fingerprint_relation(&text)
-                .map_err(|e| (3, e.in_file(req.input.label()).to_string()))?,
+                .map_err(|e| JobFailure::new(3, e.in_file(req.input.label()).to_string()))?,
             None,
         ),
         OpKind::VerifyDual => {
             let input2 = req.input2.as_ref().expect("parser enforced input2");
             let g_text = read_input(input2)?;
+            check_input_size(&shared.limits, input2.label(), &g_text)?;
             let fp = canon::fingerprint_dual_pair(&text, &g_text).map_err(|e| {
                 // The raw parse error does not say which file; report the
                 // one that fails to parse alone.
@@ -471,7 +748,7 @@ fn serve_job(
                 } else {
                     input2.label()
                 };
-                (3, e.in_file(label).to_string())
+                JobFailure::new(3, e.in_file(label).to_string())
             })?;
             (fp, None)
         }
@@ -532,7 +809,7 @@ fn serve_job(
                         reason,
                         fingerprint,
                     }),
-                    FlightResult::Failed { code, message } => Err((code, message)),
+                    FlightResult::Failed { code, message } => Err(JobFailure::new(code, message)),
                 };
             }
             None => {
@@ -545,7 +822,9 @@ fn serve_job(
         None
     };
 
-    let outcome = compute_fresh(shared, req, meter, sink, &text, mine_canon, params, content);
+    let outcome = compute_fresh(
+        shared, req, meter, sink, clamped, &text, mine_canon, params, content,
+    );
 
     // Publish to waiters and clear the flight — on every path, including
     // failure, or coalesced requests would hang.
@@ -557,9 +836,9 @@ fn serve_job(
                 exit: served.exit,
                 reason: served.reason,
             },
-            Err((code, message)) => FlightResult::Failed {
-                code: *code,
-                message: message.clone(),
+            Err(f) => FlightResult::Failed {
+                code: f.code,
+                message: f.message.clone(),
             },
         });
         shared.inflight.lock().unwrap().remove(&(params, content));
@@ -577,6 +856,7 @@ fn compute_fresh(
     req: &JobRequest,
     meter: &Arc<Meter>,
     sink: &Arc<ConnSink>,
+    clamped: bool,
     text: &str,
     mine_canon: Option<canon::CanonBaskets>,
     params: u64,
@@ -614,7 +894,10 @@ fn compute_fresh(
                 rules: *rules,
                 maximal: *maximal,
             };
-            let base = incremental_ok(req)
+            // A server-clamped deadline can cut the FUP update short
+            // mid-merge, so a clamped job takes the cold route even when
+            // the request itself looks incremental-eligible.
+            let base = (incremental_ok(req) && !clamped)
                 .then(|| shared.cache.find_mine_base(params, &canon))
                 .flatten();
             if let Some((entry, base_rows)) = base {
@@ -655,12 +938,12 @@ fn compute_fresh(
         }
         OpKind::Transversals { algo } => {
             let (universe, h) = formats::parse_hypergraph(text)
-                .map_err(|e| (3, e.in_file(req.input.label()).to_string()))?;
+                .map_err(|e| JobFailure::new(3, e.in_file(req.input.label()).to_string()))?;
             exec::transversals(&universe, &h, *algo, &req.run, &cx).map_err(job_error)?
         }
         OpKind::Keys { fds } => {
             let (universe, rel) = formats::parse_relation(text)
-                .map_err(|e| (3, e.in_file(req.input.label()).to_string()))?;
+                .map_err(|e| JobFailure::new(3, e.in_file(req.input.label()).to_string()))?;
             exec::keys(&universe, &rel, *fds, &req.run, &cx).map_err(job_error)?
         }
         OpKind::VerifyDual => {
@@ -688,6 +971,7 @@ fn compute_fresh(
             exit,
             mine,
         });
+        shared.note_computation();
     }
     Ok(Served {
         tag,
@@ -723,15 +1007,36 @@ fn run_job(shared: &Shared, job: QueuedJob) {
         conn_id,
         ctl,
         req,
+        budget,
+        deadline,
+        clamped,
     } = job;
     let id = req.id;
-    let meter = Arc::new(req.run.budget().start());
+    shared.counters.busy_workers.fetch_add(1, Ordering::Relaxed);
+
+    // The deadline is absolute from admission: time spent queued counts
+    // against the job's budget. A job that aged out while waiting starts
+    // with zero remaining budget, so the pre-flight check in `serve_job`
+    // sheds it (typed `budget:deadline` result) without running an
+    // engine for a client that already gave up on it.
+    let mut budget = budget;
+    if let Some(deadline) = deadline {
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() && budget.timeout.is_some_and(|t| !t.is_zero()) {
+            shared
+                .counters
+                .shed_deadline
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        budget.timeout = Some(remaining);
+    }
+    let meter = Arc::new(budget.start());
     *ctl.meter.lock().unwrap() = Some(Arc::clone(&meter));
     if ctl.cancel.load(Ordering::SeqCst) {
         meter.cancel();
     }
 
-    let outcome = serve_job(shared, &req, &meter, &sink);
+    let outcome = serve_job(shared, &req, &meter, &sink, clamped);
 
     // Deregister (only if this registration is still ours — a reused job
     // id re-registers and must not be unregistered by the older job).
@@ -756,11 +1061,15 @@ fn run_job(shared: &Shared, job: QueuedJob) {
                 &served.stats,
             ));
         }
-        Err((code, message)) => {
+        Err(f) => {
             shared.counters.errors.fetch_add(1, Ordering::Relaxed);
-            sink.send(&proto::ev_error(id, code, &message));
+            if f.kind == Some("too_large") {
+                shared.counters.too_large.fetch_add(1, Ordering::Relaxed);
+            }
+            sink.send(&proto::ev_error_typed(id, f.code, f.kind, None, &f.message));
         }
     }
+    shared.counters.busy_workers.fetch_sub(1, Ordering::Relaxed);
 }
 
 // ---------------------------------------------------------------------------
@@ -769,9 +1078,28 @@ fn run_job(shared: &Shared, job: QueuedJob) {
 
 fn handle_conn(shared: Arc<Shared>, reader: Box<dyn Read + Send>, writer: Box<dyn Write + Send>) {
     let conn_id = shared.next_conn.fetch_add(1, Ordering::Relaxed);
-    let sink = Arc::new(ConnSink::new(writer));
-    let mut lines = LineReader::new(reader);
-    while let Some(line) = lines.next_line(&shared.shutdown) {
+    shared.counters.open_conns.fetch_add(1, Ordering::Relaxed);
+    let sink = Arc::new(ConnSink::new(writer, Arc::clone(&shared.counters)));
+    let mut lines = LineReader::new(reader, shared.limits.max_frame_bytes);
+    loop {
+        let line = match lines.next_line(&shared.shutdown) {
+            Frame::Line(line) => line,
+            Frame::TooLong => {
+                // The oversized frame has no parseable id and the stream
+                // cannot be resynchronized; reject and disconnect.
+                shared.counters.too_large.fetch_add(1, Ordering::Relaxed);
+                shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+                sink.send(&proto::ev_too_large(
+                    0,
+                    &format!(
+                        "request frame exceeds {} bytes (max-frame-bytes)",
+                        shared.limits.max_frame_bytes
+                    ),
+                ));
+                break;
+            }
+            Frame::Closed => break,
+        };
         if line.trim().is_empty() {
             continue;
         }
@@ -781,19 +1109,79 @@ fn handle_conn(shared: Arc<Shared>, reader: Box<dyn Read + Send>, writer: Box<dy
                 sink.send(&proto::ev_error(0, 7, &e.message));
             }
             Ok(Request::Job(req)) => {
+                let req = *req;
+                // Admission control, cheapest check first. A shed job is
+                // never counted in `jobs`, registered, or queued — the
+                // typed `overloaded` error is its entire lifecycle.
+                let inflight = shared
+                    .running
+                    .lock()
+                    .unwrap()
+                    .keys()
+                    .filter(|(conn, _)| *conn == conn_id)
+                    .count();
+                if inflight >= shared.limits.max_inflight_per_conn {
+                    shared
+                        .counters
+                        .shed_conn_limit
+                        .fetch_add(1, Ordering::Relaxed);
+                    sink.send(&proto::ev_overloaded(
+                        req.id,
+                        retry_hint_ms(inflight as u64, shared.workers),
+                        &format!(
+                            "connection already has {inflight} jobs in flight \
+                             (max-inflight-per-conn {})",
+                            shared.limits.max_inflight_per_conn
+                        ),
+                    ));
+                    continue;
+                }
+                let (budget, clamped) = req
+                    .run
+                    .budget()
+                    .clamp_timeout(shared.limits.default_timeout, shared.limits.max_timeout);
+                let mut queue = shared.queue.lock().unwrap();
+                if queue.len() >= shared.limits.max_queue {
+                    let backlog = queue.len() as u64;
+                    drop(queue);
+                    shared
+                        .counters
+                        .shed_queue_full
+                        .fetch_add(1, Ordering::Relaxed);
+                    sink.send(&proto::ev_overloaded(
+                        req.id,
+                        retry_hint_ms(backlog, shared.workers),
+                        &format!(
+                            "queue full ({backlog} jobs waiting, max-queue {})",
+                            shared.limits.max_queue
+                        ),
+                    ));
+                    continue;
+                }
                 shared.counters.jobs.fetch_add(1, Ordering::Relaxed);
+                if clamped {
+                    shared
+                        .counters
+                        .deadline_clamped
+                        .fetch_add(1, Ordering::Relaxed);
+                }
                 let ctl = Arc::new(JobCtl::new());
                 shared
                     .running
                     .lock()
                     .unwrap()
                     .insert((conn_id, req.id), Arc::clone(&ctl));
-                shared.queue.lock().unwrap().push_back(QueuedJob {
+                let deadline = budget.timeout.map(|t| Instant::now() + t);
+                queue.push_back(QueuedJob {
                     sink: Arc::clone(&sink),
                     conn_id,
                     ctl,
-                    req: *req,
+                    req,
+                    budget,
+                    deadline,
+                    clamped,
                 });
+                drop(queue);
                 shared.queue_cv.notify_one();
             }
             Ok(Request::Cancel { id, job }) => {
@@ -824,12 +1212,17 @@ fn handle_conn(shared: Arc<Shared>, reader: Box<dyn Read + Send>, writer: Box<dy
             ctl.cancel();
         }
     }
+    drop(running);
+    shared.counters.open_conns.fetch_sub(1, Ordering::Relaxed);
 }
 
 fn accept_loop_tcp(shared: Arc<Shared>, listener: TcpListener) {
-    listener
-        .set_nonblocking(true)
-        .expect("set_nonblocking on TCP listener");
+    // A listener that cannot go nonblocking would wedge shutdown; better
+    // to run without this listener than to panic the accept thread.
+    if let Err(e) = listener.set_nonblocking(true) {
+        eprintln!("serve: warning: TCP listener disabled (set_nonblocking: {e})");
+        return;
+    }
     loop {
         if shared.shutdown.load(Ordering::SeqCst) {
             return;
@@ -837,10 +1230,20 @@ fn accept_loop_tcp(shared: Arc<Shared>, listener: TcpListener) {
         match listener.accept() {
             Ok((stream, _)) => {
                 let _ = stream.set_nodelay(true);
-                stream
+                // A socket that cannot take its deadlines is dropped:
+                // running it without timeouts would reintroduce the
+                // unbounded-stall failure modes the deadlines exist for.
+                let prepared = stream
                     .set_read_timeout(Some(POLL))
-                    .expect("set_read_timeout");
-                let writer = stream.try_clone().expect("clone TCP stream");
+                    .and_then(|()| stream.set_write_timeout(Some(shared.limits.write_timeout)))
+                    .and_then(|()| stream.try_clone());
+                let writer = match prepared {
+                    Ok(writer) => writer,
+                    Err(e) => {
+                        eprintln!("serve: warning: dropping connection (socket setup: {e})");
+                        continue;
+                    }
+                };
                 let shared2 = Arc::clone(&shared);
                 let handle = std::thread::spawn(move || {
                     handle_conn(shared2, Box::new(stream), Box::new(writer))
@@ -857,19 +1260,27 @@ fn accept_loop_tcp(shared: Arc<Shared>, listener: TcpListener) {
 
 #[cfg(unix)]
 fn accept_loop_unix(shared: Arc<Shared>, listener: UnixListener) {
-    listener
-        .set_nonblocking(true)
-        .expect("set_nonblocking on unix listener");
+    if let Err(e) = listener.set_nonblocking(true) {
+        eprintln!("serve: warning: unix listener disabled (set_nonblocking: {e})");
+        return;
+    }
     loop {
         if shared.shutdown.load(Ordering::SeqCst) {
             return;
         }
         match listener.accept() {
             Ok((stream, _)) => {
-                stream
+                let prepared = stream
                     .set_read_timeout(Some(POLL))
-                    .expect("set_read_timeout");
-                let writer = stream.try_clone().expect("clone unix stream");
+                    .and_then(|()| stream.set_write_timeout(Some(shared.limits.write_timeout)))
+                    .and_then(|()| stream.try_clone());
+                let writer = match prepared {
+                    Ok(writer) => writer,
+                    Err(e) => {
+                        eprintln!("serve: warning: dropping connection (socket setup: {e})");
+                        continue;
+                    }
+                };
                 let shared2 = Arc::clone(&shared);
                 let handle = std::thread::spawn(move || {
                     handle_conn(shared2, Box::new(stream), Box::new(writer))
@@ -905,9 +1316,10 @@ impl ServerHandle {
     }
 
     /// Waits for the drain to finish: listeners, workers, and every
-    /// connection thread join; the unix socket file is removed. Blocks
-    /// until [`shutdown`](ServerHandle::shutdown) (or a client `shutdown`
-    /// op) has been issued.
+    /// connection thread join; a final cache snapshot is written when
+    /// persistence is configured; the unix socket file is removed.
+    /// Blocks until [`shutdown`](ServerHandle::shutdown) (or a client
+    /// `shutdown` op) has been issued.
     pub fn join(self) {
         for h in self.accepters {
             let _ = h.join();
@@ -915,6 +1327,8 @@ impl ServerHandle {
         for h in self.workers {
             let _ = h.join();
         }
+        // Workers are done, so the cache is final: snapshot it now.
+        self.shared.snapshot_cache();
         let conns = std::mem::take(&mut *self.shared.conns.lock().unwrap());
         for h in conns {
             let _ = h.join();
@@ -942,17 +1356,40 @@ pub fn start(config: &ServeConfig) -> io::Result<ServerHandle> {
     } else {
         config.cache_entries
     };
+    let limits = Limits::from_config(config);
+    let cache = ResultCache::new(cache_entries);
+    let counters = Arc::new(Counters::default());
+    let persist = config.cache_persist.as_ref().map(|path| {
+        let path = PathBuf::from(path);
+        // Restore the previous snapshot; a torn or corrupted file is a
+        // warning and a cold start, never a failed boot.
+        match persist::load_snapshot(&cache, &path) {
+            Ok(n) => counters.persist_restored.store(n, Ordering::Relaxed),
+            Err(e) => {
+                counters.persist_errors.fetch_add(1, Ordering::Relaxed);
+                eprintln!("serve: warning: cache snapshot {path:?} unusable, cold-starting: {e}");
+            }
+        }
+        PersistState {
+            path,
+            every: config.cache_snapshot_every,
+            pending: AtomicU64::new(0),
+            write_lock: Mutex::new(()),
+        }
+    });
     let shared = Arc::new(Shared {
-        cache: ResultCache::new(cache_entries),
+        cache,
         inflight: Mutex::new(HashMap::new()),
         queue: Mutex::new(VecDeque::new()),
         queue_cv: Condvar::new(),
         shutdown: AtomicBool::new(false),
         running: Mutex::new(HashMap::new()),
         conns: Mutex::new(Vec::new()),
-        counters: Counters::default(),
+        counters,
         workers: workers as u64,
         next_conn: AtomicU64::new(1),
+        limits,
+        persist,
     });
 
     let mut accepters = Vec::new();
@@ -1042,16 +1479,41 @@ mod tests {
             }
         }
         let shutdown = AtomicBool::new(false);
-        let mut lines = LineReader::new(Trickle {
-            data: b"alpha\r\nbeta\ngamma".to_vec(),
-            pos: 0,
-            tick: false,
-        });
-        assert_eq!(lines.next_line(&shutdown).as_deref(), Some("alpha"));
-        assert_eq!(lines.next_line(&shutdown).as_deref(), Some("beta"));
+        let mut lines = LineReader::new(
+            Trickle {
+                data: b"alpha\r\nbeta\ngamma".to_vec(),
+                pos: 0,
+                tick: false,
+            },
+            DEFAULT_MAX_FRAME_BYTES,
+        );
+        let next = |lines: &mut LineReader<Trickle>| match lines.next_line(&shutdown) {
+            Frame::Line(line) => Some(line),
+            Frame::TooLong => panic!("unexpected TooLong"),
+            Frame::Closed => None,
+        };
+        assert_eq!(next(&mut lines).as_deref(), Some("alpha"));
+        assert_eq!(next(&mut lines).as_deref(), Some("beta"));
         // Trailing data without a newline is dropped at EOF (a client
         // that dies mid-line never sent a complete request).
-        assert_eq!(lines.next_line(&shutdown), None);
+        assert_eq!(next(&mut lines), None);
+    }
+
+    #[test]
+    fn line_reader_bounds_frame_size() {
+        let shutdown = AtomicBool::new(false);
+        // An unterminated flood past the cap is rejected without waiting
+        // for a newline that may never come.
+        let mut lines = LineReader::new(io::Cursor::new(vec![b'x'; 64]), 16);
+        assert!(matches!(lines.next_line(&shutdown), Frame::TooLong));
+        // A terminated line past the cap is rejected too.
+        let mut data = vec![b'y'; 32];
+        data.push(b'\n');
+        let mut lines = LineReader::new(io::Cursor::new(data), 16);
+        assert!(matches!(lines.next_line(&shutdown), Frame::TooLong));
+        // At or under the cap passes.
+        let mut lines = LineReader::new(io::Cursor::new(b"ok\n".to_vec()), 16);
+        assert!(matches!(lines.next_line(&shutdown), Frame::Line(l) if l == "ok"));
     }
 
     #[test]
@@ -1062,5 +1524,58 @@ mod tests {
         assert!(meter.exceeded().is_none());
         ctl.cancel();
         assert_eq!(meter.exceeded(), Some(BudgetReason::Cancelled));
+    }
+
+    #[test]
+    fn limits_apply_defaults_and_floors() {
+        let limits = Limits::from_config(&ServeConfig::default());
+        assert_eq!(limits.max_queue, DEFAULT_MAX_QUEUE);
+        assert_eq!(limits.max_inflight_per_conn, DEFAULT_MAX_INFLIGHT_PER_CONN);
+        assert_eq!(limits.max_frame_bytes, DEFAULT_MAX_FRAME_BYTES);
+        assert_eq!(limits.write_timeout, DEFAULT_WRITE_TIMEOUT);
+        assert_eq!((limits.max_rows, limits.max_items), (0, 0));
+        let limits = Limits::from_config(&ServeConfig {
+            max_queue: 3,
+            max_inflight_per_conn: 2,
+            max_frame_bytes: 128,
+            write_timeout: Some(Duration::ZERO),
+            ..ServeConfig::default()
+        });
+        assert_eq!(limits.max_queue, 3);
+        assert_eq!(limits.max_inflight_per_conn, 2);
+        assert_eq!(limits.max_frame_bytes, 128);
+        // Zero write timeouts are invalid at the socket layer; floored.
+        assert_eq!(limits.write_timeout, Duration::from_millis(1));
+    }
+
+    #[test]
+    fn retry_hints_scale_with_backlog_and_stay_bounded() {
+        assert_eq!(retry_hint_ms(0, 4), 25);
+        assert_eq!(retry_hint_ms(8, 4), 75);
+        assert_eq!(retry_hint_ms(1_000_000, 1), 5_000);
+        // A zero worker count (impossible, but cheap to defend) does not
+        // divide by zero.
+        assert_eq!(retry_hint_ms(10, 0), 275);
+    }
+
+    #[test]
+    fn input_size_checks_reject_typed() {
+        let limits = Limits {
+            max_rows: 2,
+            max_items: 3,
+            ..Limits::from_config(&ServeConfig::default())
+        };
+        assert!(check_input_size(&limits, "in", "a b\n# comment\na c\n").is_ok());
+        let err = check_input_size(&limits, "in", "a\nb\nc\n").unwrap_err();
+        assert_eq!((err.code, err.kind), (3, Some("too_large")));
+        assert!(err.message.contains("max-rows"));
+        let err = check_input_size(&limits, "in", "a,b\nc,d\n").unwrap_err();
+        assert_eq!((err.code, err.kind), (3, Some("too_large")));
+        assert!(err.message.contains("max-items"));
+        // Repeated items are distinct-counted, not occurrence-counted.
+        assert!(check_input_size(&limits, "in", "a b c\na b c\n").is_ok());
+        // Unlimited by default.
+        let unlimited = Limits::from_config(&ServeConfig::default());
+        assert!(check_input_size(&unlimited, "in", "a\nb\nc\nd\ne\n").is_ok());
     }
 }

@@ -22,6 +22,7 @@ fn serve(workers: usize) -> (ServerHandle, String) {
         unix: None,
         workers,
         cache_entries: 64,
+        ..ServeConfig::default()
     })
     .expect("bind an ephemeral port");
     let addr = handle.tcp_addr.expect("tcp listener").to_string();

@@ -1,0 +1,154 @@
+//! Protocol-frame fuzz: whole wire frames — truncated JSON, palette-
+//! biased garbage, interleaved valid requests — against both the parser
+//! and a live server.
+//!
+//! Extends the arbitrary-input approach of `formats.rs`'s proptest
+//! module from file payloads to protocol frames. Two properties:
+//! `parse_request` never panics, and a server that just consumed an
+//! arbitrary frame still answers a well-formed request *on the same
+//! connection* (garbage costs the sender an error event, not the
+//! connection, and never wedges the reader loop).
+
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+
+use dualminer_serve::client::Conn;
+use dualminer_serve::proto;
+use dualminer_serve::server::{start, ServeConfig, ServerHandle};
+
+/// The probe id: far outside anything `arb_frame` can generate (its
+/// templates use ids below 100 and truncation never grows a number).
+const PROBE_ID: u64 = 999_999_999;
+
+fn server() -> &'static (ServerHandle, String) {
+    static SERVER: OnceLock<(ServerHandle, String)> = OnceLock::new();
+    SERVER.get_or_init(|| {
+        let handle = start(&ServeConfig {
+            tcp: Some("127.0.0.1:0".into()),
+            workers: 2,
+            cache_entries: 16,
+            ..ServeConfig::default()
+        })
+        .expect("bind an ephemeral port");
+        let addr = handle.tcp_addr.expect("tcp listener").to_string();
+        (handle, addr)
+    })
+}
+
+/// Well-formed frames an honest client could send (shutdown excluded —
+/// the server under fuzz must stay up).
+fn valid_frame(selector: u32, id: u64) -> String {
+    match selector % 4 {
+        0 => format!(
+            r#"{{"op":"mine","id":{id},"input":{{"inline":"a b\nb c\na c\n"}},"min_support":"2"}}"#
+        ),
+        1 => format!(r#"{{"op":"transversals","id":{id},"input":{{"inline":"a b\nc\n"}}}}"#),
+        2 => format!(r#"{{"op":"cancel","id":{id},"job":{}}}"#, id + 1),
+        _ => format!(r#"{{"op":"server-stats","id":{id}}}"#),
+    }
+}
+
+/// Garbage biased toward JSON/protocol structure: braces, quotes,
+/// colons, protocol keywords, digits, and a sprinkling of arbitrary
+/// codepoints — the shapes most likely to trip a hand-rolled parser.
+/// Newlines are excluded so one generated value stays one frame.
+fn garbage_frame(codes: &[u32]) -> String {
+    const PALETTE: &[&str] = &[
+        "{",
+        "}",
+        "[",
+        "]",
+        "\"",
+        ":",
+        ",",
+        "op",
+        "id",
+        "input",
+        "inline",
+        "mine",
+        "cancel",
+        "min_support",
+        "0",
+        "7",
+        "-1",
+        "18446744073709551616",
+        " ",
+        "\t",
+        "\\",
+        "\\\"",
+        "null",
+        "true",
+        "\u{0}",
+    ];
+    codes
+        .iter()
+        .map(|&c| {
+            if (c as usize) < 4 * PALETTE.len() {
+                PALETTE[c as usize % PALETTE.len()].to_string()
+            } else {
+                char::from_u32(c)
+                    .filter(|&ch| ch != '\n' && ch != '\r')
+                    .unwrap_or('\u{fffd}')
+                    .to_string()
+            }
+        })
+        .collect()
+}
+
+/// Cuts a valid frame mid-JSON at a char boundary — oversized declared
+/// payloads fall out of cutting a string's closing quote off.
+fn truncate_frame(frame: &str, cut_pct: u32) -> String {
+    let mut cut = (frame.len() * cut_pct as usize) / 100;
+    cut = cut.min(frame.len());
+    while !frame.is_char_boundary(cut) {
+        cut -= 1;
+    }
+    frame[..cut].to_string()
+}
+
+/// A whole frame: well-formed, truncated-valid, or structured garbage,
+/// in roughly equal thirds.
+fn arb_frame() -> impl Strategy<Value = String> {
+    (
+        0u32..12,
+        0u64..100,
+        proptest::collection::vec(0u32..2048, 0..120),
+        0u32..100,
+    )
+        .prop_map(|(class, id, codes, cut_pct)| match class {
+            0..=3 => valid_frame(class, id),
+            4..=7 => truncate_frame(&valid_frame(class, id), cut_pct),
+            _ => garbage_frame(&codes),
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn parse_request_never_panics(frame in arb_frame()) {
+        let _ = proto::parse_request(&frame);
+    }
+}
+
+proptest! {
+    // Each case is a real TCP round trip; fewer cases keep the suite
+    // fast while still covering all three frame classes many times.
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn server_answers_wellformed_frames_after_arbitrary_ones(frame in arb_frame()) {
+        let (_, addr) = server();
+        let mut conn = Conn::connect(addr).expect("connect");
+        // The arbitrary frame first. Whatever it provokes — an error
+        // event, an accepted job, nothing — is drained by id-filtering
+        // below; the connection itself must survive.
+        conn.send_line(&frame).expect("send fuzz frame");
+        let probe = format!(r#"{{"op":"server-stats","id":{PROBE_ID}}}"#);
+        let events = conn.roundtrip(&probe, PROBE_ID).expect("probe answered");
+        let last = events.last().expect("terminal event");
+        prop_assert_eq!(last.kind.as_str(), "server-stats");
+        prop_assert_eq!(last.id, PROBE_ID);
+    }
+}
